@@ -1,0 +1,178 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (Section VI). Each BenchmarkFig* drives the same harness
+// code as `midas-bench -exp figN`; sizes here are scaled for
+// benchmark-loop runtimes (use the CLI for full-scale runs and
+// EXPERIMENTS.md for recorded results).
+//
+//	go test -bench=. -benchmem
+package midas_test
+
+import (
+	"io"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/fascia"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/harness"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/pregel"
+	"github.com/midas-hpc/midas/internal/roadnet"
+	"github.com/midas-hpc/midas/internal/scanstat"
+)
+
+// benchParams keeps the harness sweeps inside benchmark-loop budgets.
+func benchParams() harness.Params {
+	return harness.Params{Scale: 600, N: 8, Ks: []int{6}, KMax: 8, Seed: 1}
+}
+
+func runFigure(b *testing.B, fn func(io.Writer, harness.Params) error) {
+	b.Helper()
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		if err := fn(io.Discard, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Datasets(b *testing.B) { runFigure(b, harness.Table2) }
+
+func BenchmarkFig3PartitionSizeRandomBS1(b *testing.B) {
+	runFigure(b, func(w io.Writer, p harness.Params) error {
+		return harness.FigPartitionSize(w, "random", false, p)
+	})
+}
+
+func BenchmarkFig4PartitionSizeOrkutBS1(b *testing.B) {
+	runFigure(b, func(w io.Writer, p harness.Params) error {
+		return harness.FigPartitionSize(w, "orkut", false, p)
+	})
+}
+
+func BenchmarkFig5PartitionSizeMiamiBS1(b *testing.B) {
+	runFigure(b, func(w io.Writer, p harness.Params) error {
+		return harness.FigPartitionSize(w, "miami", false, p)
+	})
+}
+
+func BenchmarkFig6PartitionSizeRandomBSMax(b *testing.B) {
+	runFigure(b, func(w io.Writer, p harness.Params) error {
+		return harness.FigPartitionSize(w, "random", true, p)
+	})
+}
+
+func BenchmarkFig7PartitionSizeOrkutBSMax(b *testing.B) {
+	runFigure(b, func(w io.Writer, p harness.Params) error {
+		return harness.FigPartitionSize(w, "orkut", true, p)
+	})
+}
+
+func BenchmarkFig8PartitionSizeMiamiBSMax(b *testing.B) {
+	runFigure(b, func(w io.Writer, p harness.Params) error {
+		return harness.FigPartitionSize(w, "miami", true, p)
+	})
+}
+
+func BenchmarkFig9StrongScalingFixedN1(b *testing.B) { runFigure(b, harness.Fig9) }
+
+func BenchmarkFig10StrongScalingN1eqN(b *testing.B) { runFigure(b, harness.Fig10) }
+
+func BenchmarkFig11MidasVsFascia(b *testing.B) { runFigure(b, harness.Fig11) }
+
+func BenchmarkFig12ScanStatScaling(b *testing.B) { runFigure(b, harness.Fig12) }
+
+func BenchmarkFig13RoadCaseStudy(b *testing.B) { runFigure(b, harness.Fig13) }
+
+func BenchmarkScalingSubgraphSize(b *testing.B) { runFigure(b, harness.ScalingK) }
+
+func BenchmarkScalingNetworkSize(b *testing.B) { runFigure(b, harness.ScalingN) }
+
+func BenchmarkAblationBatching(b *testing.B) { runFigure(b, harness.AblationN2) }
+
+func BenchmarkAblationGrayCode(b *testing.B) { runFigure(b, harness.AblationGray) }
+
+func BenchmarkAblationVariant(b *testing.B) { runFigure(b, harness.AblationVariant) }
+
+func BenchmarkAblationPartitioner(b *testing.B) { runFigure(b, harness.AblationPartitioner) }
+
+// --- direct micro/meso benchmarks of the components the figures sum ---
+
+func BenchmarkSequentialPathK10(b *testing.B) {
+	g := graph.RandomNLogN(600, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := mld.DetectPath(g, 10, mld.Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialTreeK10(b *testing.B) {
+	g := graph.RandomNLogN(600, 1)
+	tpl := graph.BinaryTreeTemplate(10)
+	for i := 0; i < b.N; i++ {
+		if _, err := mld.DetectTree(g, tpl, mld.Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSequentialScanK4(b *testing.B) {
+	g := graph.RandomNLogN(200, 1)
+	w := make([]int64, g.NumVertices())
+	for i := range w {
+		if i%10 == 0 {
+			w[i] = 1
+		}
+	}
+	g.SetWeights(w)
+	for i := 0; i < b.N; i++ {
+		if _, err := mld.ScanTable(g, 4, 8, mld.Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDistributedPathWorld8(b *testing.B) {
+	g := graph.RandomNLogN(600, 1)
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunPathConfig(g, 8, core.Config{K: 8, N1: 4, N2: 16, Seed: uint64(i), Rounds: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
+}
+
+func BenchmarkFasciaColoring(b *testing.B) {
+	g := graph.RandomNLogN(600, 1)
+	for i := 0; i < b.N; i++ {
+		if _, err := fascia.Count(g, graph.PathTemplate(8), fascia.Options{Seed: uint64(i), Iterations: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPregelBaselinePath(b *testing.B) {
+	g := graph.RandomNLogN(600, 1)
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pregel.DetectPath(g, 8, pregel.Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAnomalyPipeline(b *testing.B) {
+	sim, err := roadnet.Simulate(roadnet.Config{Rows: 8, Cols: 8, Snapshots: 12, AnomalySize: 4, Seed: 5})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sim.G.SetWeights(scanstat.IndicatorWeights(sim.PValues, 0.02))
+	for i := 0; i < b.N; i++ {
+		if _, err := scanstat.Detect(sim.G, 5, scanstat.BerkJones{Alpha: 0.02},
+			scanstat.Options{MLD: mld.Options{Seed: uint64(i), Rounds: 1}}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func TestRunCountAndDetect(t *testing.T) {
+	dir := t.TempDir()
+	gPath := filepath.Join(dir, "g.txt")
+	if err := graph.SaveEdgeList(gPath, graph.RandomNLogN(80, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gPath, 4, "", 50, 0.1, 1, 1, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gPath, 4, "", 20, 0.1, 1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithTemplate(t *testing.T) {
+	dir := t.TempDir()
+	gPath := filepath.Join(dir, "g.txt")
+	if err := graph.SaveEdgeList(gPath, graph.Grid(5, 5)); err != nil {
+		t.Fatal(err)
+	}
+	tPath := filepath.Join(dir, "t.txt")
+	tpl := graph.StarTemplate(4)
+	tg := graph.NewBuilder(4)
+	for v := int32(0); v < 4; v++ {
+		for _, u := range tpl.Neighbors(v) {
+			if v < u {
+				tg.AddEdge(v, u)
+			}
+		}
+	}
+	if err := graph.SaveEdgeList(tPath, tg.Build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(gPath, 0, tPath, 30, 0.1, 1, 1, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", 4, "", 10, 0.1, 1, 1, false); err == nil {
+		t.Fatal("missing graph accepted")
+	}
+}

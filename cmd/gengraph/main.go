@@ -1,0 +1,103 @@
+// Command gengraph generates the synthetic datasets of the evaluation
+// (Table II analogues) as edge-list files, optionally with synthetic
+// vertex weights.
+//
+//	gengraph -kind random -n 100000 -out random-1e5.txt
+//	gengraph -kind orkut  -n 50000  -out orkut.txt
+//	gengraph -kind miami  -n 40000  -out miami.txt -weights miami-w.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/harness"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func main() {
+	var (
+		kind    = flag.String("kind", "random", "random | orkut | miami | gnp | grid | smallworld | rmat")
+		n       = flag.Int("n", 10000, "vertex count (grid: made square)")
+		p       = flag.Float64("p", 0.001, "edge probability (kind=gnp)")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output path (required)")
+		format  = flag.String("format", "text", "text | binary")
+		weights = flag.String("weights", "", "also write synthetic event weights here")
+		hotFrac = flag.Float64("hot", 0.1, "fraction of nodes with nonzero weight")
+	)
+	flag.Parse()
+	if err := run(*kind, *n, *p, *seed, *out, *format, *weights, *hotFrac); err != nil {
+		fmt.Fprintln(os.Stderr, "gengraph:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, n int, p float64, seed uint64, out, format, weightsPath string, hotFrac float64) error {
+	if out == "" {
+		return fmt.Errorf("-out is required")
+	}
+	if format != "text" && format != "binary" {
+		return fmt.Errorf("unknown format %q (want text|binary)", format)
+	}
+	var g *graph.Graph
+	switch kind {
+	case "random", "orkut", "miami":
+		ds, err := harness.DatasetByName(kind)
+		if err != nil {
+			return err
+		}
+		g = ds.Build(n, seed)
+	case "gnp":
+		g = graph.RandomGNP(n, p, seed)
+	case "grid":
+		side := 1
+		for side*side < n {
+			side++
+		}
+		g = graph.Grid(side, side)
+	case "smallworld":
+		g = graph.SmallWorld(n, 3, 0.1, seed)
+	case "rmat":
+		scale := 1
+		for 1<<uint(scale) < n {
+			scale++
+		}
+		g = graph.RMAT(scale, 8, seed)
+	default:
+		return fmt.Errorf("unknown kind %q", kind)
+	}
+	save := graph.SaveEdgeList
+	if format == "binary" {
+		save = graph.SaveBinary
+	}
+	if err := save(out, g); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%s): %d vertices, %d edges\n", out, format, g.NumVertices(), g.NumEdges())
+	if weightsPath != "" {
+		r := rng.New(seed ^ 0x77)
+		w := make([]int64, g.NumVertices())
+		for i := range w {
+			if r.Float64() < hotFrac {
+				w[i] = int64(1 + r.Intn(3))
+			}
+		}
+		g.SetWeights(w)
+		f, err := os.Create(weightsPath)
+		if err != nil {
+			return err
+		}
+		if err := graph.WriteWeights(f, g); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: total weight %d\n", weightsPath, g.TotalWeight())
+	}
+	return nil
+}

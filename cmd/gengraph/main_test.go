@@ -1,0 +1,69 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func TestGenerateAllKinds(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"random", "orkut", "miami", "gnp", "grid", "smallworld"} {
+		out := filepath.Join(dir, kind+".txt")
+		if err := run(kind, 200, 0.05, 1, out, "text", "", 0.1); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		g, err := graph.LoadEdgeList(out)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s produced empty graph", kind)
+		}
+	}
+}
+
+func TestGenerateWithWeights(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.txt")
+	w := filepath.Join(dir, "w.txt")
+	if err := run("random", 150, 0, 2, out, "binary", w, 0.2); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.Load(out) // format-sniffing loader handles binary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 150 {
+		t.Fatalf("binary round trip lost vertices: %d", g.NumVertices())
+	}
+	f, err := filepath.Glob(w)
+	if err != nil || len(f) != 1 {
+		t.Fatal("weights file missing")
+	}
+	_ = g
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := run("random", 100, 0, 1, "", "text", "", 0.1); err == nil {
+		t.Fatal("missing -out accepted")
+	}
+	if err := run("marslander", 100, 0, 1, filepath.Join(t.TempDir(), "x.txt"), "text", "", 0.1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestGenerateRMAT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "r.txt")
+	if err := run("rmat", 500, 0, 3, out, "text", "", 0.1); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadEdgeList(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() < 500 {
+		t.Fatalf("rmat n = %d", g.NumVertices())
+	}
+}

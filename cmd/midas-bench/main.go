@@ -1,0 +1,104 @@
+// Command midas-bench regenerates the data behind every table and
+// figure of the paper's evaluation section (see DESIGN.md §5 for the
+// experiment index and EXPERIMENTS.md for recorded results).
+//
+//	midas-bench -exp all
+//	midas-bench -exp fig11 -scale 1000 -kmax 18
+//	midas-bench -exp fig3,fig6 -n 64 -ks 6,10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/midas-hpc/midas/internal/harness"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "comma-separated experiments: table2,fig3..fig13,scaling-k,scaling-n,ablation-n2,ablation-gray,ablation-variant,ablation-partitioner,ablation-fingerprints,all")
+		scale = flag.Int("scale", 2000, "dataset vertex count")
+		n     = flag.Int("n", 32, "world size for distributed experiments")
+		ks    = flag.String("ks", "6,10", "subgraph sizes")
+		kmax  = flag.Int("kmax", 12, "largest k for fig11 / scaling-k")
+		seed  = flag.Uint64("seed", 1, "base seed")
+	)
+	flag.Parse()
+	p := harness.Params{Scale: *scale, N: *n, KMax: *kmax, Seed: *seed}
+	for _, s := range strings.Split(*ks, ",") {
+		k, err := strconv.Atoi(strings.TrimSpace(s))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "midas-bench: bad -ks entry %q: %v\n", s, err)
+			os.Exit(1)
+		}
+		p.Ks = append(p.Ks, k)
+	}
+	if err := run(os.Stdout, *exp, p); err != nil {
+		fmt.Fprintln(os.Stderr, "midas-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, exps string, p harness.Params) error {
+	registry := []struct {
+		name string
+		fn   func(io.Writer, harness.Params) error
+	}{
+		{"table2", harness.Table2},
+		{"fig3", func(w io.Writer, p harness.Params) error { return harness.FigPartitionSize(w, "random", false, p) }},
+		{"fig4", func(w io.Writer, p harness.Params) error { return harness.FigPartitionSize(w, "orkut", false, p) }},
+		{"fig5", func(w io.Writer, p harness.Params) error { return harness.FigPartitionSize(w, "miami", false, p) }},
+		{"fig6", func(w io.Writer, p harness.Params) error { return harness.FigPartitionSize(w, "random", true, p) }},
+		{"fig7", func(w io.Writer, p harness.Params) error { return harness.FigPartitionSize(w, "orkut", true, p) }},
+		{"fig8", func(w io.Writer, p harness.Params) error { return harness.FigPartitionSize(w, "miami", true, p) }},
+		{"fig9", harness.Fig9},
+		{"fig10", harness.Fig10},
+		{"fig11", harness.Fig11},
+		{"fig12", harness.Fig12},
+		{"fig13", harness.Fig13},
+		{"profile", harness.ProfileBreakdown},
+		{"scaling-k", harness.ScalingK},
+		{"scaling-n", harness.ScalingN},
+		{"ablation-n2", harness.AblationN2},
+		{"ablation-gray", harness.AblationGray},
+		{"ablation-variant", harness.AblationVariant},
+		{"ablation-partitioner", harness.AblationPartitioner},
+		{"ablation-fingerprints", harness.AblationFingerprints},
+	}
+	want := map[string]bool{}
+	all := false
+	for _, e := range strings.Split(exps, ",") {
+		e = strings.TrimSpace(e)
+		if e == "all" {
+			all = true
+			continue
+		}
+		want[e] = true
+	}
+	known := map[string]bool{}
+	for _, r := range registry {
+		known[r.name] = true
+	}
+	for e := range want {
+		if !known[e] {
+			return fmt.Errorf("unknown experiment %q", e)
+		}
+	}
+	ran := 0
+	for _, r := range registry {
+		if all || want[r.name] {
+			if err := r.fn(w, p); err != nil {
+				return fmt.Errorf("%s: %w", r.name, err)
+			}
+			ran++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments selected")
+	}
+	return nil
+}

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/harness"
+)
+
+func tinyParams() harness.Params {
+	return harness.Params{Scale: 150, N: 2, Ks: []int{4}, KMax: 5, Seed: 1}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "table2", tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Table II") {
+		t.Fatalf("output:\n%s", buf.String())
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig13, ablation-fingerprints", tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Fig 13") || !strings.Contains(out, "fingerprint") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, "fig99", tinyParams()); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run(&buf, "", tinyParams()); err == nil {
+		t.Fatal("empty selection accepted")
+	}
+}

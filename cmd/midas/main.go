@@ -1,0 +1,207 @@
+// Command midas detects k-paths, tree templates, and anomalous
+// connected subgraphs in edge-list graphs, sequentially or distributed
+// over TCP ranks.
+//
+// Usage:
+//
+//	midas -graph g.txt -mode path -k 12
+//	midas -graph g.txt -mode tree -template t.txt
+//	midas -graph g.txt -mode scan -k 8 -weights w.txt -stat kulldorff
+//
+// Distributed (run one process per rank):
+//
+//	midas -graph g.txt -mode path -k 12 -rank 0 -size 4 -root :9000 -n1 2 -n2 64
+//	midas -graph g.txt -mode path -k 12 -rank 1 -size 4 -root host:9000 -n1 2 -n2 64
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	midas "github.com/midas-hpc/midas"
+)
+
+func main() {
+	var (
+		graphPath = flag.String("graph", "", "edge-list graph file (required)")
+		mode      = flag.String("mode", "path", "path | tree | scan | maxweight")
+		k         = flag.Int("k", 8, "subgraph size")
+		tplPath   = flag.String("template", "", "tree template edge list (mode=tree)")
+		weights   = flag.String("weights", "", "vertex weights file 'v w [b]' (mode=scan)")
+		statName  = flag.String("stat", "kulldorff", "kulldorff | elevated | berkjones (mode=scan)")
+		alpha     = flag.Float64("alpha", 0.05, "Berk-Jones significance level")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		eps       = flag.Float64("epsilon", 0.05, "failure probability bound")
+		extract   = flag.Bool("extract", false, "recover the witness vertices, not just yes/no")
+		zmax      = flag.Int64("zmax", 0, "scan weight cap (0 = total weight, capped)")
+
+		rank = flag.Int("rank", -1, "distributed rank (-1 = sequential)")
+		size = flag.Int("size", 0, "distributed world size")
+		root = flag.String("root", "", "rank-0 rendezvous address host:port")
+		n1   = flag.Int("n1", 0, "graph parts per phase group (0 = world size)")
+		n2   = flag.Int("n2", 64, "iterations per batch")
+	)
+	flag.Parse()
+	if err := run(*graphPath, *mode, *k, *tplPath, *weights, *statName, *alpha,
+		*seed, *eps, *extract, *zmax, *rank, *size, *root, *n1, *n2); err != nil {
+		fmt.Fprintln(os.Stderr, "midas:", err)
+		os.Exit(1)
+	}
+}
+
+func run(graphPath, mode string, k int, tplPath, weightsPath, statName string, alpha float64,
+	seed uint64, eps float64, extract bool, zmax int64, rank, size int, root string, n1, n2 int) error {
+	if graphPath == "" {
+		return fmt.Errorf("-graph is required")
+	}
+	g, err := midas.LoadGraph(graphPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+	if weightsPath != "" {
+		if err := midas.LoadWeights(weightsPath, g); err != nil {
+			return err
+		}
+	}
+	opt := midas.Options{Seed: seed, Epsilon: eps, N2: n2}
+
+	if rank >= 0 {
+		return runDistributed(g, mode, k, tplPath, seed, eps, zmax, rank, size, root, n1, n2)
+	}
+
+	switch mode {
+	case "path":
+		found, err := midas.FindPath(g, k, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d-path: %v\n", k, found)
+		if found && extract {
+			path, err := midas.FindPathVertices(g, k, midas.Options{Seed: seed, Epsilon: 1e-6, N2: n2})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("witness: %v\n", path)
+		}
+	case "tree":
+		if tplPath == "" {
+			return fmt.Errorf("mode=tree needs -template")
+		}
+		tpl, err := midas.LoadTemplate(tplPath)
+		if err != nil {
+			return err
+		}
+		found, err := midas.FindTree(g, tpl, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d-tree: %v\n", tpl.K(), found)
+		if found && extract {
+			emb, err := midas.FindTreeVertices(g, tpl, midas.Options{Seed: seed, Epsilon: 1e-6, N2: n2})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("embedding (by template vertex): %v\n", emb)
+		}
+	case "maxweight":
+		w, found, err := midas.MaxWeightPath(g, k, opt)
+		if err != nil {
+			return err
+		}
+		if !found {
+			fmt.Printf("no %d-path exists\n", k)
+			return nil
+		}
+		fmt.Printf("maximum %d-path weight: %d\n", k, w)
+	case "scan":
+		stat, err := pickStat(statName, alpha)
+		if err != nil {
+			return err
+		}
+		res, err := midas.DetectAnomaly(g, k, stat, opt)
+		if err != nil {
+			return err
+		}
+		if !res.Feasible {
+			fmt.Println("no anomalous cluster found")
+			return nil
+		}
+		fmt.Printf("best cluster: score=%.4f size=%d weight=%d (stat=%s)\n", res.Score, res.Size, res.Weight, stat.Name())
+		if extract {
+			set, err := midas.ExtractAnomaly(g, res.Size, res.Weight, midas.Options{Seed: seed, Epsilon: 1e-6, N2: n2})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("cluster vertices: %v\n", set)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func runDistributed(g *midas.Graph, mode string, k int, tplPath string, seed uint64, eps float64,
+	zmax int64, rank, size int, root string, n1, n2 int) error {
+	if size < 1 || root == "" {
+		return fmt.Errorf("distributed mode needs -size and -root")
+	}
+	c, err := midas.ConnectTCP(rank, size, root)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	cfg := midas.ClusterConfig{N1: n1, N2: n2, Seed: seed, Epsilon: eps}
+	switch mode {
+	case "path":
+		found, err := midas.DistributedFindPath(c, g, k, cfg)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			fmt.Printf("%d-path: %v (world of %d ranks)\n", k, found, size)
+		}
+	case "tree":
+		tpl, err := midas.LoadTemplate(tplPath)
+		if err != nil {
+			return err
+		}
+		found, err := midas.DistributedFindTree(c, g, tpl, cfg)
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			fmt.Printf("%d-tree: %v (world of %d ranks)\n", tpl.K(), found, size)
+		}
+	case "scan":
+		if zmax <= 0 {
+			zmax = g.TotalWeight()
+		}
+		cfg.K = k
+		feas, err := midas.DistributedScanTable(c, g, midas.ScanClusterConfig{Config: cfg, ZMax: zmax})
+		if err != nil {
+			return err
+		}
+		if rank == 0 {
+			res := midas.MaximizeScanTable(feas, midas.KulldorffPoisson{})
+			fmt.Printf("best cluster: %+v\n", res)
+		}
+	default:
+		return fmt.Errorf("unknown mode %q", mode)
+	}
+	return nil
+}
+
+func pickStat(name string, alpha float64) (midas.Statistic, error) {
+	switch name {
+	case "kulldorff":
+		return midas.KulldorffPoisson{}, nil
+	case "elevated":
+		return midas.ElevatedMean{}, nil
+	case "berkjones":
+		return midas.BerkJones{Alpha: alpha}, nil
+	default:
+		return nil, fmt.Errorf("unknown statistic %q", name)
+	}
+}

@@ -1,0 +1,86 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func writeFixtures(t *testing.T) (graphPath, tplPath, weightsPath string) {
+	t.Helper()
+	dir := t.TempDir()
+	g := graph.RandomNLogN(120, 1)
+	graphPath = filepath.Join(dir, "g.txt")
+	if err := graph.SaveEdgeList(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+	tplPath = filepath.Join(dir, "t.txt")
+	if err := os.WriteFile(tplPath, []byte("0 1\n1 2\n1 3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	weightsPath = filepath.Join(dir, "w.txt")
+	if err := os.WriteFile(weightsPath, []byte("3 2\n4 2\n5 2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestRunPathMode(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	if err := run(g, "path", 5, "", "", "kulldorff", 0.05, 1, 0.05, true, 0, -1, 0, "", 0, 16); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunTreeMode(t *testing.T) {
+	g, tpl, _ := writeFixtures(t)
+	if err := run(g, "tree", 0, tpl, "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(g, "tree", 0, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err == nil {
+		t.Fatal("tree mode without template accepted")
+	}
+}
+
+func TestRunScanMode(t *testing.T) {
+	g, _, w := writeFixtures(t)
+	if err := run(g, "scan", 4, "", w, "elevated", 0.05, 1, 0.05, false, 8, -1, 0, "", 0, 8); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(g, "scan", 4, "", w, "bogus", 0.05, 1, 0.05, false, 8, -1, 0, "", 0, 8); err == nil {
+		t.Fatal("bogus statistic accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("", "path", 5, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+	g, _, _ := writeFixtures(t)
+	if err := run(g, "teleport", 5, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err == nil {
+		t.Fatal("bad mode accepted")
+	}
+	if err := run(g, "path", 5, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, 0, 0, "", 0, 16); err == nil {
+		t.Fatal("distributed without -size/-root accepted")
+	}
+}
+
+func TestPickStat(t *testing.T) {
+	for _, name := range []string{"kulldorff", "elevated", "berkjones"} {
+		if _, err := pickStat(name, 0.05); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickStat("x", 0.05); err == nil {
+		t.Fatal("unknown stat accepted")
+	}
+}
+
+func TestRunMaxWeightMode(t *testing.T) {
+	g, _, w := writeFixtures(t)
+	if err := run(g, "maxweight", 3, "", w, "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err != nil {
+		t.Fatal(err)
+	}
+}

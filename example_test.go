@@ -1,0 +1,84 @@
+package midas_test
+
+import (
+	"fmt"
+
+	midas "github.com/midas-hpc/midas"
+)
+
+// The examples below double as documentation on pkg.go.dev and as
+// executable tests (their output is verified by `go test`).
+
+func ExampleFindPath() {
+	// A 4-cycle with a tail: longest simple path has 5 vertices.
+	g := midas.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {3, 4}})
+	for _, k := range []int{5, 6} {
+		found, err := midas.FindPath(g, k, midas.Options{Seed: 1})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("path on %d vertices: %v\n", k, found)
+	}
+	// Output:
+	// path on 5 vertices: true
+	// path on 6 vertices: false
+}
+
+func ExampleFindTree() {
+	// Star template needs a degree-3 vertex; a path has none.
+	tpl, _ := midas.NewTemplate(4, [][2]int32{{0, 1}, {0, 2}, {0, 3}})
+	path := midas.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	star := midas.FromEdges(5, [][2]int32{{0, 1}, {0, 2}, {0, 3}, {0, 4}})
+	a, _ := midas.FindTree(path, tpl, midas.Options{Seed: 2})
+	b, _ := midas.FindTree(star, tpl, midas.Options{Seed: 2})
+	fmt.Println(a, b)
+	// Output:
+	// false true
+}
+
+func ExampleMaxWeightPath() {
+	// P4 with weights 1,5,1,9: the best 2-vertex path is 1+9 = 10.
+	g := midas.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	g.SetWeights([]int64{1, 5, 1, 9})
+	w, found, err := midas.MaxWeightPath(g, 2, midas.Options{Seed: 3, Epsilon: 1e-6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(found, w)
+	// Output:
+	// true 10
+}
+
+func ExampleDetectAnomaly() {
+	// A path with a heavy pair in the middle.
+	g := midas.FromEdges(7, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 6}})
+	g.SetWeights([]int64{0, 0, 6, 6, 0, 0, 0})
+	res, err := midas.DetectAnomaly(g, 3, midas.KulldorffPoisson{}, midas.Options{Seed: 4, Epsilon: 1e-6})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("size=%d weight=%d\n", res.Size, res.Weight)
+	// Output:
+	// size=2 weight=12
+}
+
+func ExampleRunLocal() {
+	g := midas.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	err := midas.RunLocal(2, func(c *midas.Cluster) error {
+		found, err := midas.DistributedFindPath(c, g, 4, midas.ClusterConfig{
+			N1: 2, N2: 4, Seed: 5, NoTiming: true,
+		})
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			fmt.Println("4-path:", found)
+		}
+		return nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Output:
+	// 4-path: true
+}

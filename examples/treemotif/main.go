@@ -1,0 +1,61 @@
+// Treemotif: search a protein-interaction-style network for a tree
+// motif — the use case that motivates subgraph detection in biological
+// networks (paper Section I) — and compare MIDAS against the
+// color-coding baseline on the same instance.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	midas "github.com/midas-hpc/midas"
+	"github.com/midas-hpc/midas/internal/fascia"
+)
+
+func main() {
+	// Heavy-tailed network: hubs + sparse periphery, like a PPI graph.
+	g := midas.NewPowerLawGraph(30_000, 4, 7)
+	fmt.Printf("network: %d vertices, %d edges, max degree %d\n",
+		g.NumVertices(), g.NumEdges(), g.MaxDegree())
+
+	// The motif: a "spider" — a hub with three legs of length 3
+	// (10 vertices), a shape that path queries cannot express.
+	edges := [][2]int32{
+		{0, 1}, {1, 2}, {2, 3},
+		{0, 4}, {4, 5}, {5, 6},
+		{0, 7}, {7, 8}, {8, 9},
+	}
+	tpl, err := midas.NewTemplate(10, edges)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	found, err := midas.FindTree(g, tpl, midas.Options{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("MIDAS: spider motif present: %v (%.2fs)\n", found, time.Since(start).Seconds())
+
+	if found {
+		emb, err := midas.FindTreeVertices(g, tpl, midas.Options{Seed: 7, Epsilon: 1e-6})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("embedding (template vertex -> graph vertex): %v\n", emb)
+	}
+
+	// The same detection by color coding needs ~e^k colorings; run a
+	// couple to show the per-coloring cost, then report the projection.
+	start = time.Now()
+	const sample = 3
+	_, err = fascia.Count(g, tpl, fascia.Options{Seed: 7, Iterations: sample})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perColoring := time.Since(start).Seconds() / sample
+	needed := fascia.IterationsForApprox(tpl.K(), 0.05)
+	fmt.Printf("FASCIA (color coding): %.3fs per coloring, %d colorings needed ⇒ ~%.0fs total\n",
+		perColoring, needed, perColoring*float64(needed))
+}

@@ -1,0 +1,3 @@
+module github.com/midas-hpc/midas
+
+go 1.22

@@ -1,0 +1,72 @@
+package comm
+
+// Clock is a per-rank virtual clock implementing the α–β communication
+// cost model (DESIGN.md §3): receiving a message advances the receiver
+// to max(own time, sender's send time + Alpha + Beta·bytes), and local
+// compute advances via Advance. With every rank of a world sharing one
+// CostModel, the maximum clock across ranks after a run is the modeled
+// parallel makespan. When the zero CostModel is used, the clock degrades
+// to a pure busy-time counter (Alpha = Beta = 0: messages are free and
+// only Advance moves time).
+type Clock struct {
+	now   float64 // seconds
+	model CostModel
+}
+
+// CostModel holds the α–β parameters: Alpha is the per-message latency
+// in seconds, Beta the per-byte transfer time in seconds. The defaults
+// in DefaultCostModel approximate the paper's 56 Gbps InfiniBand
+// cluster (≈1.5 µs latency, ≈5 GB/s effective per-link bandwidth).
+type CostModel struct {
+	Alpha float64 // seconds per message
+	Beta  float64 // seconds per byte
+}
+
+// DefaultCostModel returns parameters approximating the paper's
+// interconnect.
+func DefaultCostModel() CostModel {
+	return CostModel{Alpha: 1.5e-6, Beta: 1.0 / 5e9}
+}
+
+// Now returns the rank's current virtual time in seconds.
+func (c *Clock) Now() float64 { return c.now }
+
+// Advance adds dt seconds of local compute.
+func (c *Clock) Advance(dt float64) {
+	if dt < 0 {
+		panic("comm: negative clock advance")
+	}
+	c.now += dt
+}
+
+// Reset zeroes the clock (between independent experiment repetitions).
+func (c *Clock) Reset() { c.now = 0 }
+
+// observe applies the receive rule for a message stamped with sendTime
+// carrying n payload bytes.
+func (c *Clock) observe(sendTime float64, n int) {
+	arrival := sendTime + c.model.Alpha + c.model.Beta*float64(n)
+	if arrival > c.now {
+		c.now = arrival
+	}
+}
+
+// Stats counts a rank's traffic; the experiment harness aggregates these
+// to report the message/byte volumes that Theorem 2 bounds.
+type Stats struct {
+	MsgsSent   int64
+	MsgsRecvd  int64
+	BytesSent  int64
+	BytesRecvd int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.MsgsSent += other.MsgsSent
+	s.MsgsRecvd += other.MsgsRecvd
+	s.BytesSent += other.BytesSent
+	s.BytesRecvd += other.BytesRecvd
+}
+
+// Reset zeroes all counters.
+func (s *Stats) Reset() { *s = Stats{} }

@@ -1,0 +1,92 @@
+package comm
+
+import "fmt"
+
+// Additional MPI-style operations beyond the core set in comm.go:
+// combined send/receive, all-gather, scatter, and a gather returning
+// fixed-size records. All are built on the same tagged point-to-point
+// primitives, so they work identically over both transports and are
+// modeled by the same virtual clocks.
+
+const (
+	tagAllgather = -6
+	tagScatter   = -7
+	tagAlltoall  = -8
+)
+
+// Sendrecv sends to dst and receives from src under the same tag in one
+// deadlock-free step (sends are buffered, so ordering is free).
+func (c *Comm) Sendrecv(dst int, sendData []byte, src, tag int) []byte {
+	c.Send(dst, tag, sendData)
+	return c.Recv(src, tag)
+}
+
+// AllgatherBytes collects every rank's payload on every rank, indexed by
+// rank. Implemented as gather-to-root plus broadcast (2·log N rounds of
+// the binomial trees).
+func (c *Comm) AllgatherBytes(data []byte) [][]byte {
+	gathered := c.GatherBytes(0, data)
+	// flatten with length prefixes for the broadcast
+	var flat []byte
+	if c.rank == 0 {
+		for _, d := range gathered {
+			flat = append(flat, byte(len(d)), byte(len(d)>>8), byte(len(d)>>16), byte(len(d)>>24))
+			flat = append(flat, d...)
+		}
+	}
+	flat = c.bcastFromRoot(tagAllgather, flat)
+	out := make([][]byte, len(c.group))
+	off := 0
+	for r := range out {
+		if off+4 > len(flat) {
+			panic(fmt.Sprintf("comm: allgather underflow at rank %d", r))
+		}
+		n := int(flat[off]) | int(flat[off+1])<<8 | int(flat[off+2])<<16 | int(flat[off+3])<<24
+		off += 4
+		out[r] = flat[off : off+n : off+n]
+		off += n
+	}
+	return out
+}
+
+// ScatterBytes distributes root's per-rank payloads; every rank returns
+// its own chunk. Only root's chunks argument is used, and it must have
+// exactly Size() entries.
+func (c *Comm) ScatterBytes(root int, chunks [][]byte) []byte {
+	if c.rank == root {
+		if len(chunks) != len(c.group) {
+			panic(fmt.Sprintf("comm: scatter got %d chunks for %d ranks", len(chunks), len(c.group)))
+		}
+		for r := range c.group {
+			if r != root {
+				c.sendInternal(r, tagScatter, chunks[r])
+			}
+		}
+		return chunks[root]
+	}
+	return c.recvInternal(root, tagScatter)
+}
+
+// AlltoallBytes performs a personalized all-to-all exchange: send[i]
+// goes to rank i, and the returned slice holds what every rank sent to
+// this one, indexed by source. send must have Size() entries.
+func (c *Comm) AlltoallBytes(send [][]byte) [][]byte {
+	n := len(c.group)
+	if len(send) != n {
+		panic(fmt.Sprintf("comm: alltoall got %d sends for %d ranks", len(send), n))
+	}
+	out := make([][]byte, n)
+	for r := 0; r < n; r++ {
+		if r == c.rank {
+			out[r] = send[r]
+			continue
+		}
+		c.sendInternal(r, tagAlltoall, send[r])
+	}
+	for r := 0; r < n; r++ {
+		if r != c.rank {
+			out[r] = c.recvInternal(r, tagAlltoall)
+		}
+	}
+	return out
+}

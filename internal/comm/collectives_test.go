@@ -1,0 +1,119 @@
+package comm
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestSendrecvRing(t *testing.T) {
+	err := RunLocal(5, CostModel{}, func(c *Comm) error {
+		next := (c.Rank() + 1) % 5
+		prev := (c.Rank() + 4) % 5
+		got := c.Sendrecv(next, []byte{byte(c.Rank())}, prev, 3)
+		if got[0] != byte(prev) {
+			return fmt.Errorf("got %d from %d", got[0], prev)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgatherBytes(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7} {
+		n := n
+		err := RunLocal(n, CostModel{}, func(c *Comm) error {
+			// variable-length payloads to exercise the length framing
+			payload := bytes.Repeat([]byte{byte(c.Rank())}, c.Rank()+1)
+			got := c.AllgatherBytes(payload)
+			if len(got) != n {
+				return fmt.Errorf("got %d entries", len(got))
+			}
+			for r := 0; r < n; r++ {
+				want := bytes.Repeat([]byte{byte(r)}, r+1)
+				if !bytes.Equal(got[r], want) {
+					return fmt.Errorf("entry %d = %v want %v", r, got[r], want)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestScatterBytes(t *testing.T) {
+	err := RunLocal(4, CostModel{}, func(c *Comm) error {
+		var chunks [][]byte
+		if c.Rank() == 1 {
+			chunks = [][]byte{{10}, {11}, {12}, {13}}
+		}
+		got := c.ScatterBytes(1, chunks)
+		if len(got) != 1 || got[0] != byte(10+c.Rank()) {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScatterValidatesChunkCount(t *testing.T) {
+	err := RunLocal(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.ScatterBytes(0, [][]byte{{1}}) // wrong count → panic
+		}
+		// rank 1 returns immediately: the root panics during
+		// validation, before any message leaves.
+		return nil
+	})
+	if err == nil {
+		t.Fatal("bad scatter accepted")
+	}
+}
+
+func TestAlltoallBytes(t *testing.T) {
+	const n = 4
+	err := RunLocal(n, CostModel{}, func(c *Comm) error {
+		send := make([][]byte, n)
+		for r := 0; r < n; r++ {
+			send[r] = []byte{byte(c.Rank()*10 + r)}
+		}
+		got := c.AlltoallBytes(send)
+		for r := 0; r < n; r++ {
+			want := byte(r*10 + c.Rank())
+			if len(got[r]) != 1 || got[r][0] != want {
+				return fmt.Errorf("from %d got %v want %d", r, got[r], want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallOnSplitComm(t *testing.T) {
+	err := RunLocal(6, CostModel{}, func(c *Comm) error {
+		child := c.Split(c.Rank()%2, c.Rank())
+		n := child.Size()
+		send := make([][]byte, n)
+		for r := 0; r < n; r++ {
+			send[r] = []byte{byte(child.Rank())}
+		}
+		got := child.AlltoallBytes(send)
+		for r := 0; r < n; r++ {
+			if got[r][0] != byte(r) {
+				return fmt.Errorf("child alltoall wrong")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

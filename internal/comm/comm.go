@@ -1,0 +1,361 @@
+// Package comm is the message-passing substrate MIDAS runs on — a small
+// MPI replacement built on the standard library, since the paper's MPI
+// is not available here (DESIGN.md §3).
+//
+// The model is SPMD: a *world* of N ranks, each executing the same
+// function. A Comm handle provides MPI-like operations:
+//
+//   - tagged point-to-point Send/Recv with unbounded buffering
+//     (non-blocking sends, so symmetric exchange patterns cannot
+//     deadlock),
+//   - collectives built generically on top of point-to-point with a
+//     reserved tag space: Barrier, Bcast, Reduce/Allreduce over binomial
+//     trees (O(log N) rounds for any N),
+//   - communicator splitting (MPI_Comm_split semantics) used by MIDAS to
+//     carve the world into N/N1 phase groups of N1 ranks.
+//
+// Two transports implement the wire: an in-process channel mesh
+// (NewLocalWorld; used by all tests and single-machine benchmarks) and
+// TCP (Connect*; used by examples/distributed for true multi-process
+// runs).
+//
+// Every rank also carries a virtual Clock implementing the α–β (LogP
+// style) cost model described in DESIGN.md: Send stamps messages with
+// the sender's virtual time, Recv advances the receiver to
+// max(own, sent + α + bytes·β), and compute advances via Clock.Advance.
+// Because collectives are built on Send/Recv, their tree latency is
+// modeled automatically. The maximum clock over ranks at the end of a
+// run is the modeled makespan used for the paper's scaling figures,
+// which cannot be measured for N ≫ cores on this single-core machine.
+//
+// Error handling follows MPI's default: a transport failure is not a
+// recoverable condition for an SPMD kernel, so Send/Recv panic on a
+// broken or closed transport. The Run* helpers recover per-rank panics
+// and return them as errors, which is the boundary where failure
+// injection is tested.
+package comm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Reserved internal tags. User tags must be non-negative.
+const (
+	tagBarrier = -1
+	tagReduce  = -2
+	tagBcast   = -3
+	tagSplit   = -4
+	tagGather  = -5
+)
+
+// Comm is a communicator: a view of a rank within a group of ranks.
+type Comm struct {
+	transport transport
+	ctx       uint64 // context id separating communicators sharing a transport
+	rank      int    // rank within this communicator
+	group     []int  // group[r] = world rank of communicator rank r
+	splits    int    // number of Split calls so far (for deterministic child ctx)
+	clock     *Clock
+	stats     *Stats
+}
+
+// transport moves bytes between world ranks.
+type transport interface {
+	send(worldDst int, m message)
+	recv(worldSrc int, ctx uint64) message
+	close(worldRank int)
+}
+
+type message struct {
+	ctx  uint64
+	tag  int
+	ts   float64 // sender's virtual send time (cost model)
+	data []byte
+}
+
+// Rank returns this rank's id within the communicator, in [0, Size()).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// Clock returns the rank's virtual clock (never nil).
+func (c *Comm) Clock() *Clock { return c.clock }
+
+// Stats returns the rank's communication counters (never nil).
+func (c *Comm) Stats() *Stats { return c.stats }
+
+// Send delivers data to rank dst under the given tag. It never blocks
+// (buffering is unbounded). The data slice is owned by the receiver
+// afterwards; the caller must not modify it.
+func (c *Comm) Send(dst, tag int, data []byte) {
+	if dst < 0 || dst >= len(c.group) {
+		panic(fmt.Sprintf("comm: send to rank %d of %d", dst, len(c.group)))
+	}
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	c.sendInternal(dst, tag, data)
+}
+
+func (c *Comm) sendInternal(dst, tag int, data []byte) {
+	c.stats.MsgsSent++
+	c.stats.BytesSent += int64(len(data))
+	c.transport.send(c.group[dst], message{ctx: c.ctx, tag: tag, ts: c.clock.now, data: data})
+}
+
+// Recv blocks until the next message from src on this communicator
+// arrives and returns its payload. Messages from a given src arrive in
+// send order; if the arriving message's tag differs from the expected
+// tag the protocol is broken and Recv panics (a deliberately strict
+// variant of MPI matching that turns protocol bugs into loud failures).
+func (c *Comm) Recv(src, tag int) []byte {
+	if src < 0 || src >= len(c.group) {
+		panic(fmt.Sprintf("comm: recv from rank %d of %d", src, len(c.group)))
+	}
+	if tag < 0 {
+		panic("comm: negative tags are reserved")
+	}
+	return c.recvInternal(src, tag)
+}
+
+func (c *Comm) recvInternal(src, tag int) []byte {
+	m := c.transport.recv(c.group[src], c.ctx)
+	if m.tag != tag {
+		panic(fmt.Sprintf("comm: rank %d expected tag %d from %d, got %d", c.rank, tag, src, m.tag))
+	}
+	c.stats.MsgsRecvd++
+	c.stats.BytesRecvd += int64(len(m.data))
+	c.clock.observe(m.ts, len(m.data))
+	return m.data
+}
+
+// Barrier blocks until every rank in the communicator has entered it.
+// Implemented as a binomial-tree reduce followed by a broadcast, so the
+// virtual clocks synchronize to the group maximum plus the modeled tree
+// latency — exactly the semantics the per-phase MPIBarrier has in the
+// paper's Algorithms 3–5.
+func (c *Comm) Barrier() {
+	c.reduceToRoot(tagBarrier, nil, nil)
+	c.bcastFromRoot(tagBarrier, nil)
+}
+
+// reduceToRoot folds the byte payloads of all ranks onto rank 0 along a
+// binomial tree. combine merges a child's payload into ours (may be nil
+// when payloads are nil, as in Barrier). Returns the folded payload on
+// rank 0, nil elsewhere.
+func (c *Comm) reduceToRoot(tag int, data []byte, combine func(mine, theirs []byte) []byte) []byte {
+	size := len(c.group)
+	rank := c.rank
+	for step := 1; step < size; step <<= 1 {
+		if rank&step != 0 {
+			c.sendInternal((rank^step)&^(step-1), tag, data)
+			return nil
+		}
+		partner := rank | step
+		if partner < size {
+			theirs := c.recvInternal(partner, tag)
+			if combine != nil {
+				data = combine(data, theirs)
+			}
+		}
+	}
+	return data
+}
+
+// bcastFromRoot sends rank 0's payload to everyone along a binomial
+// tree and returns it.
+func (c *Comm) bcastFromRoot(tag int, data []byte) []byte {
+	size := len(c.group)
+	rank := c.rank
+	// Find the highest step at which this rank receives.
+	mask := 1
+	for mask < size {
+		mask <<= 1
+	}
+	if rank != 0 {
+		// receive from the parent: clear the lowest set bit
+		parent := rank & (rank - 1)
+		// wait until our turn in the tree: parent sends in decreasing
+		// step order; FIFO per pair makes this safe without extra sync.
+		data = c.recvInternal(parent, tag)
+	}
+	// forward to children: rank | step for steps above our lowest set bit
+	low := rank & (-rank)
+	if rank == 0 {
+		low = mask
+	}
+	for step := low >> 1; step >= 1; step >>= 1 {
+		child := rank | step
+		if child != rank && child < size {
+			c.sendInternal(child, tag, data)
+		}
+	}
+	return data
+}
+
+// Bcast distributes root's payload to all ranks and returns it. Only
+// root's data argument is used.
+func (c *Comm) Bcast(root int, data []byte) []byte {
+	if root < 0 || root >= len(c.group) {
+		panic(fmt.Sprintf("comm: bcast root %d of %d", root, len(c.group)))
+	}
+	// Rotate so the generic root-0 tree applies.
+	rot := c.rotated(root)
+	return rot.bcastFromRoot(tagBcast, data)
+}
+
+// rotated returns a view of the communicator with ranks relabeled so
+// that the given root becomes rank 0. Shares transport, clock, stats.
+func (c *Comm) rotated(root int) *Comm {
+	if root == 0 {
+		return c
+	}
+	size := len(c.group)
+	g := make([]int, size)
+	for r := 0; r < size; r++ {
+		g[r] = c.group[(r+root)%size]
+	}
+	return &Comm{
+		transport: c.transport, ctx: c.ctx,
+		rank: (c.rank - root + size) % size, group: g,
+		clock: c.clock, stats: c.stats,
+	}
+}
+
+// AllreduceUint64 folds each rank's slice element-wise with op and
+// returns the combined slice on every rank. All ranks must pass slices
+// of the same length.
+func (c *Comm) AllreduceUint64(data []uint64, op func(a, b uint64) uint64) []uint64 {
+	buf := u64sToBytes(data)
+	combined := c.reduceToRoot(tagReduce, buf, func(mine, theirs []byte) []byte {
+		a, b := bytesToU64s(mine), bytesToU64s(theirs)
+		if len(a) != len(b) {
+			panic(fmt.Sprintf("comm: allreduce length mismatch %d vs %d", len(a), len(b)))
+		}
+		for i := range a {
+			a[i] = op(a[i], b[i])
+		}
+		return u64sToBytes(a)
+	})
+	out := c.bcastFromRoot(tagReduce, combined)
+	return bytesToU64s(out)
+}
+
+// AllreduceXor xors slices element-wise across ranks — the GF(2^b)
+// global sum at the heart of MIDAS's MPIReduce step.
+func (c *Comm) AllreduceXor(data []uint64) []uint64 {
+	return c.AllreduceUint64(data, func(a, b uint64) uint64 { return a ^ b })
+}
+
+// AllreduceSumMod sums slices element-wise modulo mod across ranks (the
+// Koutis-variant reduction, mod 2^(k+1)).
+func (c *Comm) AllreduceSumMod(data []uint64, mod uint64) []uint64 {
+	return c.AllreduceUint64(data, func(a, b uint64) uint64 { return (a + b) % mod })
+}
+
+// AllreduceMaxFloat returns the maximum of x over all ranks.
+func (c *Comm) AllreduceMaxFloat(x float64) float64 {
+	out := c.AllreduceUint64([]uint64{math.Float64bits(x)}, func(a, b uint64) uint64 {
+		if math.Float64frombits(a) >= math.Float64frombits(b) {
+			return a
+		}
+		return b
+	})
+	return math.Float64frombits(out[0])
+}
+
+// GatherBytes collects each rank's payload at root, index by rank.
+// Returns nil on non-root ranks.
+func (c *Comm) GatherBytes(root int, data []byte) [][]byte {
+	if c.rank == root {
+		out := make([][]byte, len(c.group))
+		out[c.rank] = data
+		for r := 0; r < len(c.group); r++ {
+			if r != root {
+				out[r] = c.recvInternal(r, tagGather)
+			}
+		}
+		return out
+	}
+	c.sendInternal(root, tagGather, data)
+	return nil
+}
+
+// Split partitions the communicator into disjoint sub-communicators:
+// ranks passing the same color end up in the same child, ordered by
+// (key, rank) — MPI_Comm_split semantics. Every rank of the parent must
+// call Split collectively. The child shares the parent's transport,
+// clock and stats.
+func (c *Comm) Split(color, key int) *Comm {
+	// Gather (rank,color,key) triples everywhere via allreduce of a
+	// sparse table (simple and collective-shaped; groups are small).
+	n := len(c.group)
+	table := make([]uint64, 2*n)
+	table[2*c.rank] = uint64(uint32(color))<<32 | uint64(uint32(key))
+	table[2*c.rank+1] = 1
+	table = c.AllreduceUint64(table, func(a, b uint64) uint64 { return a | b })
+	type entry struct{ rank, color, key int }
+	var mine []entry
+	myColor := color
+	for r := 0; r < n; r++ {
+		if table[2*r+1] == 0 {
+			panic("comm: split table missing a rank")
+		}
+		ec := int(int32(table[2*r] >> 32))
+		ek := int(int32(table[2*r] & 0xffffffff))
+		if ec == myColor {
+			mine = append(mine, entry{rank: r, color: ec, key: ek})
+		}
+	}
+	sort.Slice(mine, func(i, j int) bool {
+		if mine[i].key != mine[j].key {
+			return mine[i].key < mine[j].key
+		}
+		return mine[i].rank < mine[j].rank
+	})
+	group := make([]int, len(mine))
+	newRank := -1
+	for i, e := range mine {
+		group[i] = c.group[e.rank]
+		if e.rank == c.rank {
+			newRank = i
+		}
+	}
+	c.splits++
+	// Deterministic child context: all ranks compute the same value.
+	childCtx := c.ctx*0x9e3779b97f4a7c15 + uint64(c.splits)*2654435761 + uint64(uint32(color)) + 1
+	return &Comm{
+		transport: c.transport, ctx: childCtx,
+		rank: newRank, group: group,
+		clock: c.clock, stats: c.stats,
+	}
+}
+
+// Close releases the rank's transport endpoint. Call once per world
+// rank, on the world communicator, after all communication is done.
+func (c *Comm) Close() {
+	c.transport.close(c.group[c.rank])
+}
+
+func u64sToBytes(v []uint64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, x := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], x)
+	}
+	return out
+}
+
+func bytesToU64s(b []byte) []uint64 {
+	if len(b)%8 != 0 {
+		panic("comm: payload not a []uint64")
+	}
+	out := make([]uint64, len(b)/8)
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[8*i:])
+	}
+	return out
+}

@@ -1,0 +1,417 @@
+package comm
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestSendRecvPairs(t *testing.T) {
+	err := RunLocal(4, CostModel{}, func(c *Comm) error {
+		// ring: send to (r+1)%4, receive from (r-1+4)%4
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		c.Send(next, 7, []byte{byte(c.Rank())})
+		got := c.Recv(prev, 7)
+		if len(got) != 1 || got[0] != byte(prev) {
+			return fmt.Errorf("got %v from %d", got, prev)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrderPerPair(t *testing.T) {
+	err := RunLocal(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 100; i++ {
+				c.Send(1, 3, []byte{byte(i)})
+			}
+			return nil
+		}
+		for i := 0; i < 100; i++ {
+			if got := c.Recv(0, 3); got[0] != byte(i) {
+				return fmt.Errorf("message %d arrived as %d", i, got[0])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagMismatchPanicsIntoError(t *testing.T) {
+	err := RunLocal(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 5, nil)
+			return nil
+		}
+		c.Recv(0, 6) // wrong tag → panic → RankError
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "expected tag") {
+		t.Fatalf("want tag mismatch error, got %v", err)
+	}
+}
+
+func TestNegativeTagRejected(t *testing.T) {
+	err := RunLocal(1, CostModel{}, func(c *Comm) error {
+		c.Send(0, -1, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("reserved tag accepted")
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	var before, after int32
+	err := RunLocal(8, CostModel{}, func(c *Comm) error {
+		atomic.AddInt32(&before, 1)
+		c.Barrier()
+		if atomic.LoadInt32(&before) != 8 {
+			return fmt.Errorf("rank %d passed barrier before all arrived", c.Rank())
+		}
+		atomic.AddInt32(&after, 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != 8 {
+		t.Fatalf("only %d ranks passed barrier", after)
+	}
+}
+
+func TestBcastAllSizesAndRoots(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8, 13} {
+		for root := 0; root < n; root += 2 {
+			n, root := n, root
+			err := RunLocal(n, CostModel{}, func(c *Comm) error {
+				var data []byte
+				if c.Rank() == root {
+					data = []byte("payload")
+				}
+				got := c.Bcast(root, data)
+				if string(got) != "payload" {
+					return fmt.Errorf("rank %d got %q", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("n=%d root=%d: %v", n, root, err)
+			}
+		}
+	}
+}
+
+func TestAllreduceXorMatchesFold(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 16} {
+		n := n
+		want := make([]uint64, 4)
+		for r := 0; r < n; r++ {
+			for i := range want {
+				want[i] ^= uint64(r*1000 + i)
+			}
+		}
+		err := RunLocal(n, CostModel{}, func(c *Comm) error {
+			in := make([]uint64, 4)
+			for i := range in {
+				in[i] = uint64(c.Rank()*1000 + i)
+			}
+			out := c.AllreduceXor(in)
+			for i := range out {
+				if out[i] != want[i] {
+					return fmt.Errorf("rank %d slot %d: %d != %d", c.Rank(), i, out[i], want[i])
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}
+
+func TestAllreduceSumMod(t *testing.T) {
+	const mod = 1 << 11
+	err := RunLocal(6, CostModel{}, func(c *Comm) error {
+		out := c.AllreduceSumMod([]uint64{uint64(c.Rank()) + 2000}, mod)
+		want := uint64(0)
+		for r := 0; r < 6; r++ {
+			want = (want + uint64(r) + 2000) % mod
+		}
+		if out[0] != want {
+			return fmt.Errorf("got %d want %d", out[0], want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceMaxFloat(t *testing.T) {
+	err := RunLocal(5, CostModel{}, func(c *Comm) error {
+		got := c.AllreduceMaxFloat(float64(c.Rank() * 10))
+		if got != 40 {
+			return fmt.Errorf("max = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherBytes(t *testing.T) {
+	err := RunLocal(4, CostModel{}, func(c *Comm) error {
+		got := c.GatherBytes(2, []byte{byte(c.Rank() * 3)})
+		if c.Rank() != 2 {
+			if got != nil {
+				return fmt.Errorf("non-root got data")
+			}
+			return nil
+		}
+		for r := 0; r < 4; r++ {
+			if got[r][0] != byte(r*3) {
+				return fmt.Errorf("slot %d = %v", r, got[r])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitGroupsAndIsolation(t *testing.T) {
+	// 6 ranks → 2 colors {0,1,2} and {3,4,5}; exchange within each
+	// child; ensure sizes, ranks and traffic isolation are right.
+	err := RunLocal(6, CostModel{}, func(c *Comm) error {
+		color := c.Rank() / 3
+		child := c.Split(color, c.Rank())
+		if child.Size() != 3 {
+			return fmt.Errorf("child size %d", child.Size())
+		}
+		if child.Rank() != c.Rank()%3 {
+			return fmt.Errorf("world %d got child rank %d", c.Rank(), child.Rank())
+		}
+		// ring within child
+		child.Send((child.Rank()+1)%3, 9, []byte{byte(color)})
+		got := child.Recv((child.Rank()+2)%3, 9)
+		if got[0] != byte(color) {
+			return fmt.Errorf("cross-color leak: got %d in color %d", got[0], color)
+		}
+		// collective on child
+		sum := child.AllreduceSumMod([]uint64{1}, 1000)
+		if sum[0] != 3 {
+			return fmt.Errorf("child allreduce = %d", sum[0])
+		}
+		c.Barrier() // parent still usable
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByKeyReorders(t *testing.T) {
+	err := RunLocal(4, CostModel{}, func(c *Comm) error {
+		// all same color, key reverses order
+		child := c.Split(0, -c.Rank())
+		if child.Rank() != c.Size()-1-c.Rank() {
+			return fmt.Errorf("world %d child %d", c.Rank(), child.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNestedSplit(t *testing.T) {
+	err := RunLocal(8, CostModel{}, func(c *Comm) error {
+		half := c.Split(c.Rank()/4, c.Rank())
+		quarter := half.Split(half.Rank()/2, half.Rank())
+		if quarter.Size() != 2 {
+			return fmt.Errorf("quarter size %d", quarter.Size())
+		}
+		out := quarter.AllreduceSumMod([]uint64{uint64(c.Rank())}, 1<<20)
+		// partners are world ranks 2a, 2a+1
+		base := (c.Rank() / 2) * 2
+		if out[0] != uint64(base+base+1) {
+			return fmt.Errorf("world %d quarter sum %d", c.Rank(), out[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	comms, err := RunLocalInspect(2, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Send(1, 1, make([]byte, 100))
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := TotalStats(comms)
+	if s.MsgsSent != 1 || s.BytesSent != 100 || s.MsgsRecvd != 1 || s.BytesRecvd != 100 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestClockModelsLatencyAndBandwidth(t *testing.T) {
+	model := CostModel{Alpha: 1e-3, Beta: 1e-6}
+	comms, err := RunLocalInspect(2, model, func(c *Comm) error {
+		if c.Rank() == 0 {
+			c.Clock().Advance(0.5)
+			c.Send(1, 1, make([]byte, 1000))
+		} else {
+			c.Recv(0, 1)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// receiver clock = 0.5 (sender compute) + 1e-3 (alpha) + 1000e-6 (beta)
+	want := 0.5 + 1e-3 + 1e-3
+	got := comms[1].Clock().Now()
+	if diff := got - want; diff < -1e-12 || diff > 1e-12 {
+		t.Fatalf("receiver clock %v, want %v", got, want)
+	}
+	if mk := MaxClock(comms); mk != got {
+		t.Fatalf("makespan %v want %v", mk, got)
+	}
+}
+
+func TestClockBarrierTakesMax(t *testing.T) {
+	comms, err := RunLocalInspect(4, CostModel{}, func(c *Comm) error {
+		c.Clock().Advance(float64(c.Rank()))
+		c.Barrier()
+		if c.Clock().Now() < 3 {
+			return fmt.Errorf("rank %d clock %v below group max", c.Rank(), c.Clock().Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = comms
+}
+
+func TestClockAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative advance accepted")
+		}
+	}()
+	(&Clock{}).Advance(-1)
+}
+
+func TestSelfSendRecv(t *testing.T) {
+	err := RunLocal(3, CostModel{}, func(c *Comm) error {
+		c.Send(c.Rank(), 2, []byte{42})
+		if got := c.Recv(c.Rank(), 2); got[0] != 42 {
+			return fmt.Errorf("self message corrupted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunLocalPropagatesError(t *testing.T) {
+	sentinel := fmt.Errorf("boom")
+	err := RunLocal(3, CostModel{}, func(c *Comm) error {
+		if c.Rank() == 1 {
+			return sentinel
+		}
+		return nil
+	})
+	re, ok := err.(*RankError)
+	if !ok || re.Rank != 1 || re.Unwrap() != sentinel {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestWorldSizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero world accepted")
+		}
+	}()
+	NewLocalWorld(0, CostModel{})
+}
+
+func TestSendRecvRankRangePanics(t *testing.T) {
+	err := RunLocal(1, CostModel{}, func(c *Comm) error {
+		c.Send(5, 0, nil)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-range send accepted")
+	}
+	err = RunLocal(1, CostModel{}, func(c *Comm) error {
+		c.Recv(-1, 0)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("out-of-range recv accepted")
+	}
+}
+
+func BenchmarkAllreduce8(b *testing.B) {
+	comms := NewLocalWorld(8, CostModel{})
+	var wg sync.WaitGroup
+	for r := 1; r < 8; r++ {
+		wg.Add(1)
+		go func(c *Comm) {
+			defer wg.Done()
+			in := make([]uint64, 8)
+			for i := 0; i < b.N; i++ {
+				c.AllreduceXor(in)
+			}
+		}(comms[r])
+	}
+	data := make([]uint64, 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comms[0].AllreduceXor(data)
+	}
+	wg.Wait()
+}
+
+func BenchmarkPingPong(b *testing.B) {
+	comms := NewLocalWorld(2, CostModel{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		c := comms[1]
+		for i := 0; i < b.N; i++ {
+			c.Send(0, 1, c.Recv(0, 1))
+		}
+	}()
+	payload := make([]byte, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comms[0].Send(1, 1, payload)
+		payload = comms[0].Recv(1, 1)
+	}
+	wg.Wait()
+}

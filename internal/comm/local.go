@@ -1,0 +1,193 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+)
+
+// inbox is the shared mailbox used by both transports: per
+// (source world rank, context) FIFO queues with blocking receive.
+type inbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queues map[inboxKey][]message
+	closed bool
+}
+
+type inboxKey struct {
+	src int
+	ctx uint64
+}
+
+func newInbox() *inbox {
+	ib := &inbox{queues: make(map[inboxKey][]message)}
+	ib.cond = sync.NewCond(&ib.mu)
+	return ib
+}
+
+func (ib *inbox) put(src int, m message) {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	if ib.closed {
+		return // messages to a closed rank are dropped
+	}
+	k := inboxKey{src, m.ctx}
+	ib.queues[k] = append(ib.queues[k], m)
+	ib.cond.Broadcast()
+}
+
+func (ib *inbox) take(src int, ctx uint64) message {
+	ib.mu.Lock()
+	defer ib.mu.Unlock()
+	k := inboxKey{src, ctx}
+	for len(ib.queues[k]) == 0 {
+		if ib.closed {
+			panic(fmt.Sprintf("comm: recv from %d on closed endpoint", src))
+		}
+		ib.cond.Wait()
+	}
+	q := ib.queues[k]
+	m := q[0]
+	// shift; reslicing would pin the backing array forever
+	copy(q, q[1:])
+	ib.queues[k] = q[:len(q)-1]
+	return m
+}
+
+func (ib *inbox) shutdown() {
+	ib.mu.Lock()
+	ib.closed = true
+	ib.cond.Broadcast()
+	ib.mu.Unlock()
+}
+
+// localTransport is the in-process world: a slice of inboxes, one per
+// rank, shared by all endpoints.
+type localTransport struct {
+	inboxes []*inbox
+}
+
+// localEndpoint binds a localTransport to a specific world rank so that
+// sends are correctly attributed to their sender.
+type localEndpoint struct {
+	world *localTransport
+	me    int
+}
+
+func (e *localEndpoint) send(worldDst int, m message) {
+	if worldDst < 0 || worldDst >= len(e.world.inboxes) {
+		panic(fmt.Sprintf("comm: send to world rank %d of %d", worldDst, len(e.world.inboxes)))
+	}
+	e.world.inboxes[worldDst].put(e.me, m)
+}
+
+func (e *localEndpoint) recv(worldSrc int, ctx uint64) message {
+	return e.world.inboxes[e.me].take(worldSrc, ctx)
+}
+
+func (e *localEndpoint) close(int) {
+	e.world.inboxes[e.me].shutdown()
+}
+
+// NewLocalWorld creates an in-process world of n ranks sharing the given
+// cost model and returns the n world communicators, index by rank. Each
+// handle must be used by exactly one goroutine.
+func NewLocalWorld(n int, model CostModel) []*Comm {
+	if n <= 0 {
+		panic("comm: world size must be positive")
+	}
+	world := &localTransport{inboxes: make([]*inbox, n)}
+	for i := range world.inboxes {
+		world.inboxes[i] = newInbox()
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	comms := make([]*Comm, n)
+	for r := 0; r < n; r++ {
+		comms[r] = &Comm{
+			transport: &localEndpoint{world: world, me: r},
+			ctx:       0,
+			rank:      r,
+			group:     group,
+			clock:     &Clock{model: model},
+			stats:     &Stats{},
+		}
+	}
+	return comms
+}
+
+// RankError reports a panic or error raised inside one rank of an SPMD
+// run.
+type RankError struct {
+	Rank int
+	Err  error
+}
+
+func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+
+// Unwrap exposes the underlying error.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// RunLocal executes fn as an SPMD program on a fresh local world of n
+// ranks and waits for all of them. Per-rank panics are recovered and
+// returned (first failing rank wins); communicators are closed on
+// return. The returned comms' clocks/stats remain readable afterwards
+// via the inspect callback style: use RunLocalInspect when the caller
+// needs them.
+func RunLocal(n int, model CostModel, fn func(c *Comm) error) error {
+	_, err := RunLocalInspect(n, model, fn)
+	return err
+}
+
+// RunLocalInspect is RunLocal but also returns the world communicators
+// so callers can read per-rank clocks and statistics after the run.
+func RunLocalInspect(n int, model CostModel, fn func(c *Comm) error) ([]*Comm, error) {
+	comms := NewLocalWorld(n, model)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("panic: %v", p)
+				}
+			}()
+			errs[rank] = fn(comms[rank])
+		}(r)
+	}
+	wg.Wait()
+	for _, c := range comms {
+		c.Close()
+	}
+	for r, err := range errs {
+		if err != nil {
+			return comms, &RankError{Rank: r, Err: err}
+		}
+	}
+	return comms, nil
+}
+
+// MaxClock returns the maximum virtual time over the given
+// communicators — the modeled makespan of a completed run.
+func MaxClock(comms []*Comm) float64 {
+	max := 0.0
+	for _, c := range comms {
+		if t := c.Clock().Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// TotalStats sums traffic counters over the given communicators.
+func TotalStats(comms []*Comm) Stats {
+	var s Stats
+	for _, c := range comms {
+		s.Add(*c.Stats())
+	}
+	return s
+}

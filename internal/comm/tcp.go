@@ -1,0 +1,304 @@
+package comm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"time"
+)
+
+// TCP transport: a world of separate OS processes connected by a full
+// mesh of TCP connections. Bootstrap is a rendezvous at rank 0:
+//
+//  1. every rank listens on its own ephemeral port;
+//  2. non-zero ranks dial rank 0's well-known address and register
+//     their listen address; rank 0 assigns ranks in registration order
+//     and replies with the full address table;
+//  3. each pair (i, j) with i < j is connected once: i dials j, sends a
+//     hello frame with its rank, and both sides start a reader pump
+//     into the shared inbox.
+//
+// Frames on the wire: sender rank is implied by the connection; each
+// message is [ctx u64][tag i64][ts f64][len u32][payload].
+
+const tcpMagic = 0x4d494441 // "MIDA"
+
+// ConnectTCP joins (or hosts) a TCP world. rank 0 must be started with
+// rootAddr as its own listen address ("host:port"); other ranks pass
+// the same rootAddr to find it. size is the total number of ranks and
+// must agree across processes. The call blocks until the whole world is
+// connected.
+func ConnectTCP(rank, size int, rootAddr string, model CostModel) (*Comm, error) {
+	if size <= 0 || rank < 0 || rank >= size {
+		return nil, fmt.Errorf("comm: bad rank/size %d/%d", rank, size)
+	}
+	var ln net.Listener
+	var err error
+	if rank == 0 {
+		ln, err = net.Listen("tcp", rootAddr)
+	} else {
+		ln, err = net.Listen("tcp", "127.0.0.1:0")
+	}
+	if err != nil {
+		return nil, fmt.Errorf("comm: listen: %w", err)
+	}
+	addrs := make([]string, size)
+	addrs[rank] = ln.Addr().String()
+
+	if rank == 0 {
+		// Collect registrations, then send everyone the table.
+		conns := make([]net.Conn, size)
+		for i := 1; i < size; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return nil, fmt.Errorf("comm: rendezvous accept: %w", err)
+			}
+			r, addr, err := readRegistration(conn)
+			if err != nil {
+				return nil, fmt.Errorf("comm: registration: %w", err)
+			}
+			// Ranks may register out of order; index by claimed rank.
+			if r <= 0 || r >= size || conns[r] != nil {
+				return nil, fmt.Errorf("comm: bad or duplicate registration for rank %d", r)
+			}
+			conns[r] = conn
+			addrs[r] = addr
+		}
+		for r := 1; r < size; r++ {
+			if err := writeAddrTable(conns[r], addrs); err != nil {
+				return nil, fmt.Errorf("comm: address table to rank %d: %w", r, err)
+			}
+			conns[r].Close()
+		}
+	} else {
+		conn, err := dialRetry(rootAddr, 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("comm: rendezvous dial: %w", err)
+		}
+		if err := writeRegistration(conn, rank, addrs[rank]); err != nil {
+			return nil, err
+		}
+		addrs, err = readAddrTable(conn, size)
+		if err != nil {
+			return nil, err
+		}
+		conn.Close()
+	}
+
+	// Full-mesh connect: i dials j for i < j; everyone accepts from
+	// lower ranks.
+	ib := newInbox()
+	t := &tcpTransport{inbox: ib, conns: make([]net.Conn, size), rank: rank}
+	done := make(chan error, size)
+	expected := rank // number of incoming connections (from lower ranks)
+	go func() {
+		for i := 0; i < expected; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				done <- err
+				return
+			}
+			peer, err := readHello(conn)
+			if err != nil {
+				done <- err
+				return
+			}
+			t.conns[peer] = conn
+			go t.pump(peer, conn)
+		}
+		done <- nil
+	}()
+	for j := rank + 1; j < size; j++ {
+		conn, err := dialRetry(addrs[j], 10*time.Second)
+		if err != nil {
+			return nil, fmt.Errorf("comm: dial rank %d: %w", j, err)
+		}
+		if err := writeHello(conn, rank); err != nil {
+			return nil, err
+		}
+		t.conns[j] = conn
+		go t.pump(j, conn)
+	}
+	if err := <-done; err != nil {
+		return nil, fmt.Errorf("comm: mesh accept: %w", err)
+	}
+	ln.Close()
+
+	group := make([]int, size)
+	for i := range group {
+		group[i] = i
+	}
+	return &Comm{
+		transport: t, ctx: 0, rank: rank, group: group,
+		clock: &Clock{model: model}, stats: &Stats{},
+	}, nil
+}
+
+type tcpTransport struct {
+	inbox *inbox
+	conns []net.Conn
+	rank  int
+}
+
+func (t *tcpTransport) send(worldDst int, m message) {
+	if worldDst == t.rank {
+		t.inbox.put(t.rank, m)
+		return
+	}
+	conn := t.conns[worldDst]
+	if conn == nil {
+		panic(fmt.Sprintf("comm: no connection to rank %d", worldDst))
+	}
+	var hdr [28]byte
+	binary.LittleEndian.PutUint64(hdr[0:], m.ctx)
+	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(m.tag)))
+	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(m.ts))
+	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(m.data)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		panic(fmt.Sprintf("comm: send to rank %d: %v", worldDst, err))
+	}
+	if len(m.data) > 0 {
+		if _, err := conn.Write(m.data); err != nil {
+			panic(fmt.Sprintf("comm: send to rank %d: %v", worldDst, err))
+		}
+	}
+}
+
+func (t *tcpTransport) recv(worldSrc int, ctx uint64) message {
+	return t.inbox.take(worldSrc, ctx)
+}
+
+func (t *tcpTransport) close(int) {
+	for _, c := range t.conns {
+		if c != nil {
+			c.Close()
+		}
+	}
+	t.inbox.shutdown()
+}
+
+// pump reads frames from one peer connection into the inbox until EOF.
+func (t *tcpTransport) pump(peer int, conn net.Conn) {
+	br := bufio.NewReaderSize(conn, 1<<16)
+	var hdr [28]byte
+	for {
+		if _, err := io.ReadFull(br, hdr[:]); err != nil {
+			return // connection closed; pending receivers fail via shutdown
+		}
+		m := message{
+			ctx: binary.LittleEndian.Uint64(hdr[0:]),
+			tag: int(int64(binary.LittleEndian.Uint64(hdr[8:]))),
+			ts:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:])),
+		}
+		n := binary.LittleEndian.Uint32(hdr[24:])
+		if n > 0 {
+			m.data = make([]byte, n)
+			if _, err := io.ReadFull(br, m.data); err != nil {
+				return
+			}
+		}
+		t.inbox.put(peer, m)
+	}
+}
+
+func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(timeout)
+	for {
+		conn, err := net.Dial("tcp", addr)
+		if err == nil {
+			return conn, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, err
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+func writeHello(conn net.Conn, rank int) error {
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:], tcpMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(rank))
+	_, err := conn.Write(hdr[:])
+	return err
+}
+
+func readHello(conn net.Conn) (int, error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != tcpMagic {
+		return 0, fmt.Errorf("bad hello magic")
+	}
+	return int(binary.LittleEndian.Uint32(hdr[4:])), nil
+}
+
+func writeRegistration(conn net.Conn, rank int, addr string) error {
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:], tcpMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(rank))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(len(addr)))
+	if _, err := conn.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := conn.Write([]byte(addr))
+	return err
+}
+
+func readRegistration(conn net.Conn) (rank int, addr string, err error) {
+	var hdr [12]byte
+	if _, err = io.ReadFull(conn, hdr[:]); err != nil {
+		return 0, "", err
+	}
+	if binary.LittleEndian.Uint32(hdr[0:]) != tcpMagic {
+		return 0, "", fmt.Errorf("bad magic")
+	}
+	rank = int(binary.LittleEndian.Uint32(hdr[4:]))
+	n := binary.LittleEndian.Uint32(hdr[8:])
+	if n > 1024 {
+		return 0, "", fmt.Errorf("oversized address")
+	}
+	buf := make([]byte, n)
+	if _, err = io.ReadFull(conn, buf); err != nil {
+		return 0, "", err
+	}
+	return rank, string(buf), nil
+}
+
+func writeAddrTable(conn net.Conn, addrs []string) error {
+	for _, a := range addrs {
+		var l [4]byte
+		binary.LittleEndian.PutUint32(l[:], uint32(len(a)))
+		if _, err := conn.Write(l[:]); err != nil {
+			return err
+		}
+		if _, err := conn.Write([]byte(a)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readAddrTable(conn net.Conn, size int) ([]string, error) {
+	addrs := make([]string, size)
+	for i := range addrs {
+		var l [4]byte
+		if _, err := io.ReadFull(conn, l[:]); err != nil {
+			return nil, err
+		}
+		n := binary.LittleEndian.Uint32(l[:])
+		if n > 1024 {
+			return nil, fmt.Errorf("comm: oversized address entry")
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(conn, buf); err != nil {
+			return nil, err
+		}
+		addrs[i] = string(buf)
+	}
+	return addrs, nil
+}

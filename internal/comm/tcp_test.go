@@ -1,0 +1,179 @@
+package comm
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+)
+
+// freePort grabs an ephemeral port for the rendezvous root.
+func freePort(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// runTCPWorld runs fn as an SPMD program over a TCP world hosted in this
+// process (one goroutine per rank, real sockets in between).
+func runTCPWorld(t *testing.T, n int, fn func(c *Comm) error) error {
+	t.Helper()
+	root := freePort(t)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("panic: %v", p)
+				}
+			}()
+			c, err := ConnectTCP(rank, n, root, CostModel{})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			errs[rank] = fn(c)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return &RankError{Rank: r, Err: err}
+		}
+	}
+	return nil
+}
+
+func TestTCPSendRecv(t *testing.T) {
+	err := runTCPWorld(t, 3, func(c *Comm) error {
+		next := (c.Rank() + 1) % 3
+		prev := (c.Rank() + 2) % 3
+		c.Send(next, 4, []byte(fmt.Sprintf("hello-%d", c.Rank())))
+		got := string(c.Recv(prev, 4))
+		want := fmt.Sprintf("hello-%d", prev)
+		if got != want {
+			return fmt.Errorf("got %q want %q", got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPCollectivesAndSplit(t *testing.T) {
+	err := runTCPWorld(t, 4, func(c *Comm) error {
+		out := c.AllreduceSumMod([]uint64{uint64(c.Rank() + 1)}, 1<<30)
+		if out[0] != 10 {
+			return fmt.Errorf("allreduce sum = %d, want 10", out[0])
+		}
+		data := c.Bcast(1, []byte{99})
+		if data[0] != 99 {
+			return fmt.Errorf("bcast got %v", data)
+		}
+		child := c.Split(c.Rank()%2, c.Rank())
+		if child.Size() != 2 {
+			return fmt.Errorf("child size %d", child.Size())
+		}
+		pair := child.AllreduceSumMod([]uint64{uint64(c.Rank())}, 1<<30)
+		want := uint64(c.Rank()%2) + uint64(c.Rank()%2+2)
+		if pair[0] != want {
+			return fmt.Errorf("pair sum %d want %d", pair[0], want)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPLargeMessage(t *testing.T) {
+	const size = 1 << 20
+	err := runTCPWorld(t, 2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			data := make([]byte, size)
+			for i := range data {
+				data[i] = byte(i * 31)
+			}
+			c.Send(1, 8, data)
+			return nil
+		}
+		got := c.Recv(0, 8)
+		if len(got) != size {
+			return fmt.Errorf("len %d", len(got))
+		}
+		for i := range got {
+			if got[i] != byte(i*31) {
+				return fmt.Errorf("corruption at %d", i)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPBadRankRejected(t *testing.T) {
+	if _, err := ConnectTCP(5, 3, "127.0.0.1:0", CostModel{}); err == nil {
+		t.Fatal("rank >= size accepted")
+	}
+	if _, err := ConnectTCP(0, 0, "127.0.0.1:0", CostModel{}); err == nil {
+		t.Fatal("empty world accepted")
+	}
+}
+
+func TestTCPPeerDeathFailsLoudly(t *testing.T) {
+	// Rank 1 closes immediately; rank 0's blocking recv must panic
+	// (captured as RankError), not hang.
+	root := freePort(t)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		defer func() {
+			if p := recover(); p != nil {
+				errs[0] = fmt.Errorf("panic: %v", p)
+			}
+		}()
+		c, err := ConnectTCP(0, 2, root, CostModel{})
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		// peer is gone; this recv can never be satisfied. Close our
+		// endpoint from another goroutine once the peer's death is
+		// certain, so take() wakes up and panics.
+		go func() {
+			c.Close()
+		}()
+		c.Recv(1, 1)
+	}()
+	go func() {
+		defer wg.Done()
+		c, err := ConnectTCP(1, 2, root, CostModel{})
+		if err != nil {
+			errs[1] = err
+			return
+		}
+		c.Close() // die without sending
+	}()
+	wg.Wait()
+	if errs[0] == nil {
+		t.Fatal("recv from dead peer returned successfully")
+	}
+	if errs[1] != nil {
+		t.Fatalf("rank 1 failed: %v", errs[1])
+	}
+}

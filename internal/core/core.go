@@ -1,0 +1,303 @@
+// Package core implements MIDAS itself — the distributed multilinear
+// detection algorithm of the paper's Section IV — on top of the
+// internal/comm substrate.
+//
+// The world of N ranks is split into a = N/N1 *phase groups* of N1
+// ranks (comm.Split). All groups share one deterministic partition of
+// the graph into N1 parts; rank r of a group owns part r. The 2^k
+// iterations are cut into phases of N2 iterations; phase t is handled
+// by group t mod a. Within a phase, the group evaluates the polynomial
+// bottom-up: each DP level updates the owned vertices' iteration
+// vectors and then exchanges boundary vectors with neighboring parts in
+// one aggregated message per (source, destination) pair — the paper's
+// communication batching. Per-phase-step world barriers and the final
+// XOR all-reduce mirror Algorithm 2's MPIBarrier/MPIReduce.
+//
+// Everything random (vertex scalars, fingerprints, partition seeds) is
+// derived from the configured seed, so all ranks construct identical
+// assignments with zero communication.
+//
+// Per-rank compute time is modeled by counting DP operations and
+// converting them with constants calibrated once on this machine
+// (costmodel.go) — wall-clock measurement would be inflated by
+// goroutine preemption when many ranks share one core. Combined with
+// the α–β message costs in internal/comm, the maximum clock after a run
+// is the modeled makespan used by the scaling experiments (DESIGN.md
+// §3).
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+// Config parameterizes a MIDAS run. Every rank must pass identical
+// values.
+type Config struct {
+	K       int
+	N1      int // graph parts per phase group; must divide world size; 0 → world size
+	N2      int // iterations per phase; 0 → 128 (capped at 2^k)
+	Seed    uint64
+	Epsilon float64          // target failure probability (default 0.05)
+	Rounds  int              // 0 → derived from Epsilon
+	Scheme  partition.Scheme // partitioner; "" → block
+
+	NoFingerprints bool // ablation: the unsound verbatim pseudo-code
+	NoGray         bool // ablation: recompute base values per iteration
+	NoTiming       bool // skip wall-time clock advancement (pure answers)
+}
+
+func (cfg Config) withDefaults(worldSize, k int) (Config, error) {
+	if cfg.N1 == 0 {
+		cfg.N1 = worldSize
+	}
+	if cfg.N1 < 1 || cfg.N1 > worldSize || worldSize%cfg.N1 != 0 {
+		return cfg, fmt.Errorf("core: N1=%d must divide world size %d", cfg.N1, worldSize)
+	}
+	if cfg.Scheme == "" {
+		cfg.Scheme = partition.SchemeBlock
+	}
+	if cfg.N2 <= 0 {
+		cfg.N2 = 128
+	}
+	if total := uint64(1) << uint(k); uint64(cfg.N2) > total {
+		cfg.N2 = int(total)
+	}
+	return cfg, nil
+}
+
+func (cfg Config) mldOptions() mld.Options {
+	return mld.Options{
+		Seed: cfg.Seed, Epsilon: cfg.Epsilon, Rounds: cfg.Rounds,
+		N2: cfg.N2, NoFingerprints: cfg.NoFingerprints, NoGray: cfg.NoGray,
+	}
+}
+
+// plan is the per-rank execution plan: the partition, this rank's owned
+// vertex set, ghost slots for remote neighbors, and the symmetric halo
+// exchange lists. All ranks derive identical plans deterministically.
+type plan struct {
+	cfg    Config
+	g      *graph.Graph
+	group  *comm.Comm // the phase group communicator (size N1)
+	world  *comm.Comm
+	groups int // number of phase groups a = N/N1
+	gid    int // this rank's group index
+
+	part   *partition.Partition
+	myPart int
+	owned  []int32 // global ids, sorted
+	slotOf []int32 // global id → value-buffer slot; -1 when unused
+	vertOf []int32 // slot → global id
+	nSlots int     // owned + ghosts
+
+	// halo lists per peer part, sorted by part id then vertex id.
+	sendTo   []haloList // our owned boundary vertices each peer needs
+	recvFrom []haloList // peer-owned vertices our updates need
+
+	computeSecs float64 // accumulated modeled/measured compute time (profiling)
+	sumDegOwned int     // Σ_{v owned} deg(v): the per-level work measure
+}
+
+type haloList struct {
+	part  int
+	verts []int32 // global ids, ascending
+	slots []int32 // value-buffer slots of verts
+}
+
+func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
+	cfg, err := cfg.withDefaults(world.Size(), cfg.K)
+	if err != nil {
+		return nil, err
+	}
+	p := &plan{cfg: cfg, g: g, world: world}
+	p.groups = world.Size() / cfg.N1
+	p.gid = world.Rank() / cfg.N1
+	p.group = world.Split(p.gid, world.Rank()%cfg.N1)
+	p.myPart = p.group.Rank()
+
+	part, err := partition.ByScheme(cfg.Scheme, g, cfg.N1, cfg.Seed^0x70a3d70a3d70a3d7)
+	if err != nil {
+		return nil, err
+	}
+	p.part = part
+	p.owned = append([]int32(nil), part.Members(p.myPart)...)
+	sort.Slice(p.owned, func(i, j int) bool { return p.owned[i] < p.owned[j] })
+
+	p.slotOf = make([]int32, g.NumVertices())
+	for i := range p.slotOf {
+		p.slotOf[i] = -1
+	}
+	for s, v := range p.owned {
+		p.slotOf[v] = int32(s)
+	}
+
+	sendSets := make(map[int]map[int32]bool)
+	ghostSets := make(map[int]map[int32]bool)
+	for _, v := range p.owned {
+		for _, u := range g.Neighbors(v) {
+			pu := int(part.Of[u])
+			if pu == p.myPart {
+				continue
+			}
+			if sendSets[pu] == nil {
+				sendSets[pu] = make(map[int32]bool)
+			}
+			sendSets[pu][v] = true
+			if ghostSets[pu] == nil {
+				ghostSets[pu] = make(map[int32]bool)
+			}
+			ghostSets[pu][u] = true
+		}
+	}
+	next := int32(len(p.owned))
+	peerParts := make([]int, 0, len(ghostSets))
+	for pu := range ghostSets {
+		peerParts = append(peerParts, pu)
+	}
+	sort.Ints(peerParts)
+	for _, pu := range peerParts {
+		verts := setToSorted(ghostSets[pu])
+		slots := make([]int32, len(verts))
+		for i, u := range verts {
+			if p.slotOf[u] < 0 {
+				p.slotOf[u] = next
+				next++
+			}
+			slots[i] = p.slotOf[u]
+		}
+		p.recvFrom = append(p.recvFrom, haloList{part: pu, verts: verts, slots: slots})
+	}
+	for _, pu := range peerParts {
+		verts := setToSorted(sendSets[pu])
+		slots := make([]int32, len(verts))
+		for i, v := range verts {
+			slots[i] = p.slotOf[v]
+		}
+		p.sendTo = append(p.sendTo, haloList{part: pu, verts: verts, slots: slots})
+	}
+	p.nSlots = int(next)
+	p.vertOf = make([]int32, p.nSlots)
+	for v, s := range p.slotOf {
+		if s >= 0 {
+			p.vertOf[s] = int32(v)
+		}
+	}
+	for _, v := range p.owned {
+		p.sumDegOwned += g.Degree(v)
+	}
+	return p, nil
+}
+
+// advanceCompute charges dt modeled seconds of compute to this rank.
+func (p *plan) advanceCompute(dt float64) {
+	if p.cfg.NoTiming {
+		return
+	}
+	p.world.Clock().Advance(dt)
+	p.computeSecs += dt
+}
+
+func setToSorted(s map[int32]bool) []int32 {
+	out := make([]int32, 0, len(s))
+	for v := range s {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// exchange sends this rank's boundary vectors for the current DP level
+// and fills the ghost slots with the peers' values. vals is the flat
+// value buffer (nSlots × stride), nb the live width of each vector.
+// tag distinguishes levels so protocol slips fail loudly.
+func (p *plan) exchange(vals []gf.Elem, stride, nb, tag int) {
+	// all sends first (non-blocking), then receives: symmetric and
+	// deadlock-free.
+	for _, h := range p.sendTo {
+		payload := make([]byte, 2*nb*len(h.slots))
+		off := 0
+		for _, s := range h.slots {
+			vec := vals[int(s)*stride : int(s)*stride+nb]
+			for _, e := range vec {
+				payload[off] = byte(e)
+				payload[off+1] = byte(e >> 8)
+				off += 2
+			}
+		}
+		p.group.Send(h.part, tag, payload)
+	}
+	for _, h := range p.recvFrom {
+		payload := p.group.Recv(h.part, tag)
+		if len(payload) != 2*nb*len(h.slots) {
+			panic(fmt.Sprintf("core: halo message from part %d has %d bytes, want %d",
+				h.part, len(payload), 2*nb*len(h.slots)))
+		}
+		off := 0
+		for _, s := range h.slots {
+			vec := vals[int(s)*stride : int(s)*stride+nb]
+			for q := range vec {
+				vec[q] = gf.Elem(payload[off]) | gf.Elem(payload[off+1])<<8
+				off += 2
+			}
+		}
+	}
+}
+
+// phases returns the number of phases for 2^k iterations at width N2.
+func (p *plan) phases(k int) uint64 {
+	total := uint64(1) << uint(k)
+	return (total + uint64(p.cfg.N2) - 1) / uint64(p.cfg.N2)
+}
+
+// Profile is a rank's time and traffic breakdown for one run: the
+// measured compute time, the rank's total virtual time (compute plus
+// modeled communication and waiting), and its traffic. The gap between
+// TotalSecs and ComputeSecs is the communication share the paper's
+// Section VI discusses.
+type Profile struct {
+	ComputeSecs float64
+	TotalSecs   float64
+	MsgsSent    int64
+	BytesSent   int64
+}
+
+// RunPathProfiled is RunPath returning this rank's Profile.
+func RunPathProfiled(world *comm.Comm, g *graph.Graph, cfg Config) (bool, Profile, error) {
+	clock0 := world.Clock().Now()
+	stats0 := *world.Stats()
+	if err := validateConfig(g, cfg); err != nil {
+		return false, Profile{}, err
+	}
+	if cfg.K > g.NumVertices() {
+		return false, Profile{}, nil
+	}
+	p, err := buildPlan(world, g, cfg)
+	if err != nil {
+		return false, Profile{}, err
+	}
+	answer := false
+	rounds := cfg.mldOptions().RoundsFor(cfg.K)
+	for round := 0; round < rounds; round++ {
+		a := mld.NewPathAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
+		total := p.pathRoundLocal(a)
+		global := world.AllreduceXor([]uint64{uint64(total)})
+		if global[0] != 0 {
+			answer = true
+			break
+		}
+	}
+	prof := Profile{
+		ComputeSecs: p.computeSecs,
+		TotalSecs:   world.Clock().Now() - clock0,
+		MsgsSent:    world.Stats().MsgsSent - stats0.MsgsSent,
+		BytesSent:   world.Stats().BytesSent - stats0.BytesSent,
+	}
+	return answer, prof, nil
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+)
+
+// Distributed witness extraction: the self-reduction of mld.Whittle with
+// the cluster as the detection oracle. The whittling schedule (batch
+// choices, shrink decisions) is a pure function of the seed and the
+// oracle answers; since every rank derives the same randomness and the
+// collective RunPath answers are identical everywhere, all ranks walk
+// the same sequence of induced subgraphs in lockstep and the oracle
+// calls line up as collectives. The final exact search runs redundantly
+// on every rank's (identical, small) remnant — cheaper than electing
+// and broadcasting.
+
+// ExtractPath returns the vertices of an actual k-path using the whole
+// cluster for the detection oracle; every rank calls collectively and
+// receives the same path.
+func ExtractPath(world *comm.Comm, g *graph.Graph, k int, cfg Config) ([]int32, error) {
+	cfg.K = k
+	if err := mld.ValidateK(k); err != nil {
+		return nil, err
+	}
+	oracle := func(sub *graph.Graph) (bool, error) {
+		return RunPath(world, sub, cfg)
+	}
+	ok, err := oracle(g)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: extraction requested but graph tests negative")
+	}
+	stopAt := 4 * k
+	if stopAt < 24 {
+		stopAt = 24
+	}
+	remnant, toOld, err := mld.Whittle(g, cfg.Seed, stopAt, oracle)
+	if err != nil {
+		return nil, err
+	}
+	local := mld.FindPathExact(remnant, k)
+	if local == nil {
+		return nil, fmt.Errorf("core: witness search failed on %d-vertex remnant", remnant.NumVertices())
+	}
+	out := make([]int32, len(local))
+	for i, v := range local {
+		out[i] = toOld[v]
+	}
+	return out, nil
+}
+
+// ExtractTree is ExtractPath for tree templates.
+func ExtractTree(world *comm.Comm, g *graph.Graph, tpl *graph.Template, cfg Config) ([]int32, error) {
+	cfg.K = tpl.K()
+	if err := mld.ValidateK(cfg.K); err != nil {
+		return nil, err
+	}
+	oracle := func(sub *graph.Graph) (bool, error) {
+		return RunTree(world, sub, tpl, cfg)
+	}
+	ok, err := oracle(g)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("core: extraction requested but graph tests negative")
+	}
+	stopAt := 4 * cfg.K
+	if stopAt < 24 {
+		stopAt = 24
+	}
+	remnant, toOld, err := mld.Whittle(g, cfg.Seed, stopAt, oracle)
+	if err != nil {
+		return nil, err
+	}
+	local := mld.FindTreeExact(remnant, tpl)
+	if local == nil {
+		return nil, fmt.Errorf("core: witness search failed on %d-vertex remnant", remnant.NumVertices())
+	}
+	out := make([]int32, len(local))
+	for i, v := range local {
+		out[i] = toOld[v]
+	}
+	return out, nil
+}

@@ -1,0 +1,82 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func TestDistributedExtractPath(t *testing.T) {
+	g := graph.RandomGNM(80, 260, 21)
+	const k = 5
+	paths := make([][]int32, 4)
+	err := comm.RunLocal(4, comm.CostModel{}, func(c *comm.Comm) error {
+		path, err := ExtractPath(c, g, k, Config{N1: 2, N2: 8, Seed: 9, Epsilon: 1e-6, NoTiming: true})
+		if err != nil {
+			return err
+		}
+		paths[c.Rank()] = path
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, path := range paths {
+		if len(path) != k {
+			t.Fatalf("rank %d extracted %d vertices", r, len(path))
+		}
+		seen := map[int32]bool{}
+		for i, v := range path {
+			if seen[v] {
+				t.Fatalf("rank %d: repeated vertex", r)
+			}
+			seen[v] = true
+			if i > 0 && !g.HasEdge(path[i-1], v) {
+				t.Fatalf("rank %d: non-edge in path", r)
+			}
+			if r > 0 && paths[0][i] != v {
+				t.Fatalf("ranks disagree on the witness: %v vs %v", paths[0], path)
+			}
+		}
+	}
+}
+
+func TestDistributedExtractTree(t *testing.T) {
+	g := graph.Grid(8, 8)
+	tpl := graph.StarTemplate(5)
+	err := comm.RunLocal(2, comm.CostModel{}, func(c *comm.Comm) error {
+		emb, err := ExtractTree(c, g, tpl, Config{N1: 2, N2: 4, Seed: 5, Epsilon: 1e-6, NoTiming: true})
+		if err != nil {
+			return err
+		}
+		if len(emb) != 5 {
+			return fmt.Errorf("embedding size %d", len(emb))
+		}
+		for tv := int32(0); tv < 5; tv++ {
+			for _, tn := range tpl.Neighbors(tv) {
+				if tn > tv && !g.HasEdge(emb[tv], emb[tn]) {
+					return fmt.Errorf("template edge (%d,%d) broken", tv, tn)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedExtractRejectsNegative(t *testing.T) {
+	g := graph.Star(20) // no 4-path
+	err := comm.RunLocal(2, comm.CostModel{}, func(c *comm.Comm) error {
+		if _, err := ExtractPath(c, g, 4, Config{N1: 2, Seed: 1, NoTiming: true}); err == nil {
+			return fmt.Errorf("negative instance accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

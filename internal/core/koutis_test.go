@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func TestDistributedKoutisMatchesSequential(t *testing.T) {
+	r := rng.New(51)
+	for trial := 0; trial < 6; trial++ {
+		n := 12 + r.Intn(12)
+		g := graph.RandomGNM(n, 3*n, r.Uint64())
+		k := 3 + r.Intn(3)
+		seed := r.Uint64()
+		want, err := mld.DetectPath(g, k, mld.Options{Seed: seed, Variant: mld.VariantKoutis, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct{ n, n1, n2 int }{{1, 1, 1}, {2, 2, 2}, {4, 2, 4}, {4, 4, 3}} {
+			err := comm.RunLocal(tc.n, comm.CostModel{}, func(c *comm.Comm) error {
+				got, err := RunPathVariant(c, g, Config{K: k, N1: tc.n1, N2: tc.n2, Seed: seed, Rounds: 1, NoTiming: true}, mld.VariantKoutis)
+				if err != nil {
+					return err
+				}
+				if got != want {
+					return fmt.Errorf("rank %d: koutis distributed %v sequential %v", c.Rank(), got, want)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("trial %d N=%d N1=%d N2=%d: %v", trial, tc.n, tc.n1, tc.n2, err)
+			}
+		}
+	}
+}
+
+func TestRunPathVariantDispatch(t *testing.T) {
+	g := graph.Path(6)
+	err := comm.RunLocal(2, comm.CostModel{}, func(c *comm.Comm) error {
+		gf, err := RunPathVariant(c, g, Config{K: 4, N1: 2, Seed: 1, Rounds: 1, NoTiming: true}, mld.VariantGF16)
+		if err != nil {
+			return err
+		}
+		if !gf {
+			return fmt.Errorf("GF16 dispatch missed the path")
+		}
+		if _, err := RunPathVariant(c, g, Config{K: 4, N1: 2, Seed: 1}, mld.VariantGF8); err == nil {
+			return fmt.Errorf("GF8 distributed should be rejected")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestEmptyParts: more parts than vertices leaves some ranks owning
+// nothing; the algorithm must still complete and agree everywhere.
+func TestEmptyParts(t *testing.T) {
+	g := graph.Path(3) // 3 vertices, 4 parts
+	want, err := mld.DetectPath(g, 3, mld.Options{Seed: 7, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runPathWorld(t, 4, g, Config{K: 3, N1: 4, N2: 2, Seed: 7, Rounds: 1, NoTiming: true}); got != want {
+		t.Fatalf("empty-part world: %v vs sequential %v", got, want)
+	}
+	// Koutis path with empty parts too.
+	err = comm.RunLocal(4, comm.CostModel{}, func(c *comm.Comm) error {
+		_, err := RunPathVariant(c, g, Config{K: 3, N1: 4, N2: 1, Seed: 7, Rounds: 1, NoTiming: true}, mld.VariantKoutis)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

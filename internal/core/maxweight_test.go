@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func TestDistributedMaxWeightMatchesSequential(t *testing.T) {
+	r := rng.New(61)
+	for trial := 0; trial < 6; trial++ {
+		n := 15 + r.Intn(10)
+		g := graph.RandomGNM(n, 3*n, r.Uint64())
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(4))
+		}
+		g.SetWeights(w)
+		k := 3 + r.Intn(3)
+		seed := r.Uint64()
+		wantW, wantOK, err := mld.MaxWeightPath(g, k, mld.Options{Seed: seed, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tc := range []struct{ n, n1, n2 int }{{1, 1, 2}, {4, 2, 4}, {4, 4, 8}, {6, 3, 1}} {
+			err := comm.RunLocal(tc.n, comm.CostModel{}, func(c *comm.Comm) error {
+				gotW, gotOK, err := RunMaxWeightPath(c, g, Config{K: k, N1: tc.n1, N2: tc.n2, Seed: seed, Rounds: 1, NoTiming: true})
+				if err != nil {
+					return err
+				}
+				if gotOK != wantOK || (wantOK && gotW != wantW) {
+					return fmt.Errorf("rank %d: got (%d,%v) want (%d,%v)", c.Rank(), gotW, gotOK, wantW, wantOK)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("trial %d N=%d N1=%d: %v", trial, tc.n, tc.n1, err)
+			}
+		}
+	}
+}
+
+func TestDistributedMaxWeightAgainstBruteForce(t *testing.T) {
+	g := graph.Cycle(10)
+	g.SetWeights([]int64{5, 1, 1, 1, 4, 1, 1, 3, 1, 2})
+	const k = 4
+	wantW, wantOK := mld.BruteMaxWeightPath(g, k)
+	err := comm.RunLocal(2, comm.CostModel{}, func(c *comm.Comm) error {
+		gotW, gotOK, err := RunMaxWeightPath(c, g, Config{K: k, N1: 2, N2: 4, Seed: 9, Epsilon: 1e-5, NoTiming: true})
+		if err != nil {
+			return err
+		}
+		if gotOK != wantOK || gotW != wantW {
+			return fmt.Errorf("got (%d,%v) want (%d,%v)", gotW, gotOK, wantW, wantOK)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistributedMaxWeightValidation(t *testing.T) {
+	g := graph.Path(5)
+	g.SetWeights([]int64{1, -1, 0, 0, 0})
+	err := comm.RunLocal(1, comm.CostModel{}, func(c *comm.Comm) error {
+		if _, _, err := RunMaxWeightPath(c, g, Config{K: 2, Seed: 1}); err == nil {
+			return fmt.Errorf("negative weight accepted")
+		}
+		if _, _, err := RunMaxWeightPath(c, graph.Path(3), Config{K: 0}); err == nil {
+			return fmt.Errorf("k=0 accepted")
+		}
+		w, ok, err := RunMaxWeightPath(c, graph.Path(3), Config{K: 9, Seed: 1})
+		if err != nil || ok || w != 0 {
+			return fmt.Errorf("k>n should be a quiet no: %d %v %v", w, ok, err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

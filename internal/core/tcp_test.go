@@ -1,0 +1,72 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+)
+
+// TestDistributedPathOverTCP runs the full MIDAS path algorithm over
+// real sockets (ranks as goroutines, traffic through the loopback TCP
+// transport) and cross-checks against the sequential answer — the same
+// guarantee the local-transport tests give, now for the wire path the
+// multi-process deployment uses.
+func TestDistributedPathOverTCP(t *testing.T) {
+	g := graph.RandomGNM(30, 70, 5)
+	const k = 4
+	want, err := mld.DetectPath(g, k, mld.Options{Seed: 13, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := ln.Addr().String()
+	ln.Close()
+
+	const n = 4
+	errs := make([]error, n)
+	answers := make([]bool, n)
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for r := 0; r < n; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("panic: %v", p)
+				}
+			}()
+			c, err := comm.ConnectTCP(rank, n, root, comm.CostModel{})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			defer c.Close()
+			got, err := RunPath(c, g, Config{K: k, N1: 2, N2: 4, Seed: 13, Rounds: 1, NoTiming: true})
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			answers[rank] = got
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	for r, a := range answers {
+		if a != want {
+			t.Fatalf("rank %d answered %v, sequential says %v", r, a, want)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package fascia reimplements the color-coding subgraph counting
+// baseline MIDAS is compared against in the paper's Fig 11 — FASCIA
+// (Slota & Madduri, ICPP'13 / IPDPS'14).
+//
+// Color coding (Alon–Yuster–Zwick): color every vertex uniformly with
+// one of k colors; a k-vertex template embedding survives ("is
+// colorful") with probability k!/k^k ≈ e^-k; colorful embeddings are
+// countable by dynamic programming over the template's single-child
+// decomposition in time O(2^k·m) per coloring, so an (1±δ)-approximate
+// count needs Θ(e^k) random colorings — the e^k·2^k time and the
+// per-vertex Θ(2^k)-sized color-set tables are exactly the costs that
+// keep FASCIA below k ≈ 12 while MIDAS reaches 18.
+//
+// As in FASCIA, the DP table for a subtemplate of size s stores one
+// float per vertex per *s-subset of colors*, indexed by combinatorial
+// rank (C(k,s) entries, not 2^k), and vertices are processed by a
+// worker pool (FASCIA's OpenMP threading).
+package fascia
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"sync"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// Options configures a FASCIA run.
+type Options struct {
+	Seed       uint64
+	Iterations int // random colorings; 0 → IterationsForApprox(k, 0.1)
+	Workers    int // vertex-parallel workers; 0 → 1
+}
+
+// IterationsForApprox returns the standard number of colorings for a
+// constant-factor approximate count at subgraph size k: ceil(e^k·ln(1/ε))
+// capped to keep pathological arguments finite.
+func IterationsForApprox(k int, eps float64) int {
+	if eps <= 0 || eps >= 1 {
+		eps = 0.1
+	}
+	it := math.Ceil(math.Exp(float64(k)) * math.Log(1/eps))
+	if it > 1e9 {
+		it = 1e9
+	}
+	if it < 1 {
+		it = 1
+	}
+	return int(it)
+}
+
+// MemoryBytes estimates the peak DP table footprint for counting a
+// size-k template on an n-vertex graph: the two largest child tables
+// live simultaneously, each n·C(k, s)·8 bytes at its subtemplate size.
+// This is the curve that walls FASCIA out of Fig 11 beyond k ≈ 12.
+func MemoryBytes(n, k int) int64 {
+	var total int64
+	// The peeling decomposition materializes tables for subtemplate
+	// sizes 1..k (active chain) plus passive singletons: bound by the
+	// sum over s of n·C(k,s) = n·2^k in the worst case; the path
+	// template's chain needs Σ_{s=1..k} C(k,s) ≈ 2^k.
+	for s := 1; s <= k; s++ {
+		total += int64(n) * 8 * int64(binom(k, s))
+	}
+	return total
+}
+
+// Count estimates the number of labeled non-induced embeddings
+// (injective homomorphisms) of the template in g.
+func Count(g *graph.Graph, tpl *graph.Template, opt Options) (float64, error) {
+	k := tpl.K()
+	if k < 1 {
+		return 0, fmt.Errorf("fascia: empty template")
+	}
+	if k > 20 {
+		return 0, fmt.Errorf("fascia: k=%d beyond color-coding practicality (tables are C(%d,s) per vertex)", k, k)
+	}
+	if k > g.NumVertices() {
+		return 0, nil
+	}
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = IterationsForApprox(k, 0.1)
+	}
+	e := newEngine(g, tpl, opt)
+	var sum float64
+	for it := 0; it < iters; it++ {
+		sum += e.runColoring(rng.Hash2(opt.Seed, uint64(it), 0xFA5C1A))
+	}
+	// Each embedding is colorful with probability k!/k^k.
+	pColorful := factorial(k) / math.Pow(float64(k), float64(k))
+	return sum / float64(iters) / pColorful, nil
+}
+
+// Detect reports whether any colorful embedding was found across the
+// iterations (a detection-only use of the same DP; error is one-sided
+// like MIDAS's).
+func Detect(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) {
+	k := tpl.K()
+	if k < 1 {
+		return false, fmt.Errorf("fascia: empty template")
+	}
+	if k > 20 {
+		return false, fmt.Errorf("fascia: k=%d beyond color-coding practicality", k)
+	}
+	if k > g.NumVertices() {
+		return false, nil
+	}
+	iters := opt.Iterations
+	if iters <= 0 {
+		// detection needs e^k·ln(1/ε) colorings too
+		iters = IterationsForApprox(k, 0.05)
+	}
+	e := newEngine(g, tpl, opt)
+	for it := 0; it < iters; it++ {
+		if e.runColoring(rng.Hash2(opt.Seed, uint64(it), 0xFA5C1A)) > 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// CountPaths estimates the number of simple paths on k vertices
+// (undirected paths counted once, matching graph.CountPathsOfLength).
+func CountPaths(g *graph.Graph, k int, opt Options) (float64, error) {
+	if k == 1 {
+		return float64(g.NumVertices()), nil
+	}
+	c, err := Count(g, graph.PathTemplate(k), opt)
+	// a path template has exactly 2 automorphisms (identity + reversal)
+	return c / 2, err
+}
+
+// engine holds the per-run state reused across colorings.
+type engine struct {
+	g      *graph.Graph
+	k      int
+	d      *graph.Decomposition
+	opt    Options
+	colors []uint8
+	rnd    *rng.Rand
+	// tables[j] is the DP table of decomposition node j: for each
+	// vertex, C(k, size_j) floats indexed by colorset rank.
+	tables [][]float64
+	ranks  *rankTable
+}
+
+func newEngine(g *graph.Graph, tpl *graph.Template, opt Options) *engine {
+	e := &engine{
+		g: g, k: tpl.K(), d: tpl.Decompose(), opt: opt,
+		colors: make([]uint8, g.NumVertices()),
+		ranks:  newRankTable(tpl.K()),
+	}
+	e.tables = make([][]float64, len(e.d.Nodes))
+	for j, nd := range e.d.Nodes {
+		e.tables[j] = make([]float64, g.NumVertices()*binom(e.k, nd.Size))
+	}
+	return e
+}
+
+// runColoring executes one coloring's full DP and returns the number of
+// colorful embeddings found (Σ_v Σ_C cnt[root][v][C]).
+func (e *engine) runColoring(seed uint64) float64 {
+	n := e.g.NumVertices()
+	r := rng.New(seed)
+	for i := range e.colors {
+		e.colors[i] = uint8(r.Intn(e.k))
+	}
+	for j, nd := range e.d.Nodes {
+		tab := e.tables[j]
+		width := binom(e.k, nd.Size)
+		if nd.Left < 0 {
+			for i := range tab {
+				tab[i] = 0
+			}
+			for v := 0; v < n; v++ {
+				// colorset {col[v]} has rank = rank1(col[v])
+				tab[v*width+e.ranks.rank(1<<e.colors[v])] = 1
+			}
+			continue
+		}
+		e.combine(j, nd, tab, width)
+	}
+	root := e.tables[e.d.Root]
+	var total float64
+	for _, c := range root {
+		total += c
+	}
+	return total
+}
+
+// combine fills the DP table of internal node nd (index j):
+// cnt[j][v][C] = Σ_{u∈N(v)} Σ_{Ca ⊎ Cp = C} cnt[left][v][Ca]·cnt[right][u][Cp].
+func (e *engine) combine(j int, nd graph.Subtree, tab []float64, width int) {
+	n := e.g.NumVertices()
+	left := e.tables[nd.Left]
+	right := e.tables[nd.Right]
+	sa := e.d.Nodes[nd.Left].Size
+	s := nd.Size
+	wLeft := binom(e.k, sa)
+	wRight := binom(e.k, s-sa)
+	masks := e.ranks.masksOfSize(s)
+
+	workers := e.opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for v := lo; v < hi; v++ {
+				row := tab[v*width : (v+1)*width]
+				for i := range row {
+					row[i] = 0
+				}
+				nbr := e.g.Neighbors(int32(v))
+				for ci, c := range masks {
+					var acc float64
+					// enumerate sub-masks of c with popcount sa
+					for ca := c; ; ca = (ca - 1) & c {
+						if bits.OnesCount32(uint32(ca)) == sa {
+							lv := left[v*wLeft+e.ranks.rank(ca)]
+							if lv != 0 {
+								cp := c &^ ca
+								rp := e.ranks.rank(cp)
+								var nsum float64
+								for _, u := range nbr {
+									nsum += right[int(u)*wRight+rp]
+								}
+								acc += lv * nsum
+							}
+						}
+						if ca == 0 {
+							break
+						}
+					}
+					row[ci] = acc
+				}
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// rankTable maps color-set bitmasks to their combinatorial rank among
+// masks of equal popcount, and back.
+type rankTable struct {
+	k      int
+	rankOf []int32    // mask → rank within its popcount class
+	masks  [][]uint32 // size → masks in rank order
+}
+
+func newRankTable(k int) *rankTable {
+	rt := &rankTable{k: k, rankOf: make([]int32, 1<<uint(k)), masks: make([][]uint32, k+1)}
+	counts := make([]int32, k+1)
+	for m := 0; m < 1<<uint(k); m++ {
+		s := bits.OnesCount32(uint32(m))
+		rt.rankOf[m] = counts[s]
+		counts[s]++
+		rt.masks[s] = append(rt.masks[s], uint32(m))
+	}
+	return rt
+}
+
+func (rt *rankTable) rank(mask uint32) int       { return int(rt.rankOf[mask]) }
+func (rt *rankTable) masksOfSize(s int) []uint32 { return rt.masks[s] }
+
+func binom(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	r := 1
+	for i := 0; i < k; i++ {
+		r = r * (n - i) / (i + 1)
+	}
+	return r
+}
+
+func factorial(n int) float64 {
+	f := 1.0
+	for i := 2; i <= n; i++ {
+		f *= float64(i)
+	}
+	return f
+}

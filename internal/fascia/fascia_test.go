@@ -1,0 +1,172 @@
+package fascia
+
+import (
+	"math"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func TestBinom(t *testing.T) {
+	cases := map[[2]int]int{
+		{5, 0}: 1, {5, 5}: 1, {5, 2}: 10, {10, 3}: 120, {18, 9}: 48620,
+		{4, 5}: 0, {4, -1}: 0,
+	}
+	for in, want := range cases {
+		if got := binom(in[0], in[1]); got != want {
+			t.Fatalf("binom(%d,%d) = %d want %d", in[0], in[1], got, want)
+		}
+	}
+}
+
+func TestRankTableBijective(t *testing.T) {
+	rt := newRankTable(6)
+	for s := 0; s <= 6; s++ {
+		ms := rt.masksOfSize(s)
+		if len(ms) != binom(6, s) {
+			t.Fatalf("size %d has %d masks, want %d", s, len(ms), binom(6, s))
+		}
+		for r, m := range ms {
+			if rt.rank(m) != r {
+				t.Fatalf("rank(mask %b) = %d, want %d", m, rt.rank(m), r)
+			}
+		}
+	}
+}
+
+func TestCountPathsMatchesExactOnSmallGraphs(t *testing.T) {
+	r := rng.New(1)
+	for trial := 0; trial < 5; trial++ {
+		g := graph.RandomGNM(12, 25, r.Uint64())
+		for _, k := range []int{2, 3, 4} {
+			exact := float64(graph.CountPathsOfLength(g, k))
+			got, err := CountPaths(g, k, Options{Seed: r.Uint64(), Iterations: 3000})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if exact == 0 {
+				if got != 0 {
+					t.Fatalf("k=%d: estimated %v on path-free graph", k, got)
+				}
+				continue
+			}
+			if math.Abs(got-exact)/exact > 0.25 {
+				t.Fatalf("trial %d k=%d: estimate %.1f vs exact %.0f (>25%% off)", trial, k, got, exact)
+			}
+		}
+	}
+}
+
+func TestCountKnownValues(t *testing.T) {
+	// Exact colorful probability correction: star template in a star
+	// graph. Star(5): star-4 template (center + 3 leaves) has
+	// C(4,3)·3! = 24 injective homs mapping center→center.
+	g := graph.Star(5)
+	got, err := Count(g, graph.StarTemplate(4), Options{Seed: 2, Iterations: 5000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-24)/24 > 0.25 {
+		t.Fatalf("star-4 homs in Star(5): %.1f want ~24", got)
+	}
+	// triangle-free: path-3 count on a single edge is 0
+	got, err = CountPaths(graph.Path(2), 3, Options{Seed: 3, Iterations: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 0 {
+		t.Fatalf("P3 count on K2 = %v", got)
+	}
+}
+
+func TestDetectAgreesWithBruteForce(t *testing.T) {
+	r := rng.New(9)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomGNM(10, 18, r.Uint64())
+		k := 2 + r.Intn(3)
+		tpl := graph.RandomTemplate(k, r.Uint64())
+		want := graph.HasTreeEmbedding(g, tpl)
+		got, err := Detect(g, tpl, Options{Seed: r.Uint64(), Iterations: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d k=%d: detect %v brute %v", trial, k, got, want)
+		}
+	}
+}
+
+func TestDetectOneSided(t *testing.T) {
+	g := graph.Star(8)
+	for seed := uint64(0); seed < 10; seed++ {
+		got, err := Detect(g, graph.PathTemplate(4), Options{Seed: seed, Iterations: 50})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Fatalf("seed %d: colorful 4-path found in a star", seed)
+		}
+	}
+}
+
+func TestWorkersAgree(t *testing.T) {
+	g := graph.RandomGNM(30, 80, 4)
+	tpl := graph.BinaryTreeTemplate(5)
+	a, err := Count(g, tpl, Options{Seed: 7, Iterations: 20, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Count(g, tpl, Options{Seed: 7, Iterations: 20, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("worker counts diverge: %v vs %v", a, b)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := graph.Path(5)
+	if _, err := Count(g, graph.PathTemplate(21), Options{}); err == nil {
+		t.Fatal("k=21 accepted")
+	}
+	if c, err := Count(g, graph.PathTemplate(6), Options{Iterations: 5}); err != nil || c != 0 {
+		t.Fatalf("k>n should count 0: %v %v", c, err)
+	}
+}
+
+func TestIterationsForApprox(t *testing.T) {
+	if it := IterationsForApprox(5, 0.1); it < 300 || it > 400 {
+		t.Fatalf("e^5·ln10 ≈ 342, got %d", it)
+	}
+	if IterationsForApprox(3, -1) <= 0 {
+		t.Fatal("bad eps fallback broken")
+	}
+	if IterationsForApprox(30, 0.1) != 1e9 {
+		t.Fatal("cap missing")
+	}
+}
+
+func TestMemoryBytesGrowth(t *testing.T) {
+	// The footprint at fixed n must blow up ~2^k: that is FASCIA's wall.
+	m10 := MemoryBytes(1000, 10)
+	m12 := MemoryBytes(1000, 12)
+	if ratio := float64(m12) / float64(m10); ratio < 3 || ratio > 5 {
+		t.Fatalf("memory ratio k=12/k=10 = %.1f, want ~4 (2^Δk)", ratio)
+	}
+	// concrete: n=1e6, k=12 ⇒ ~2^12·8e6 = 32 GB-ish territory
+	if MemoryBytes(1_000_000, 12) < 30<<30 {
+		t.Fatalf("k=12 at n=1e6 should exceed 30 GiB, got %d", MemoryBytes(1_000_000, 12))
+	}
+}
+
+func BenchmarkFasciaIterationK7(b *testing.B) {
+	g := graph.RandomNLogN(300, 1)
+	tpl := graph.PathTemplate(7)
+	e := newEngine(g, tpl, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.runColoring(uint64(i))
+	}
+}

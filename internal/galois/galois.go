@@ -1,0 +1,260 @@
+// Package galois contains explicit, dense reference implementations of
+// the two algebras behind multilinear detection (paper Section III).
+// They are exponential in k and exist to *prove the evaluation strategy
+// correct*: internal/mld's O(k)-space iteration loops are property-tested
+// against these oracles for small k.
+//
+// Two algebras appear:
+//
+//   - OrPoly — the quotient ring GF(2^16)[χ1..χk]/(χj²-χj): a polynomial
+//     is a vector of 2^k coefficients indexed by support mask, and
+//     multiplication is OR-convolution. This models Williams' GF-variant
+//     evaluation: assigning xi = Σj u[i][j]·χj and detecting whether the
+//     full-support coefficient is nonzero is exactly k-MLD, and the sum
+//     of the polynomial's evaluations over all χ ∈ {0,1}^k equals that
+//     coefficient (TraceOr), which is why MIDAS's 2^k iterations work.
+//
+//   - GroupAlg — the integral group algebra Z[Z2^k] with coefficients
+//     reduced mod 2^(k+1): a vector of 2^k coefficients indexed by group
+//     element, multiplication is XOR-convolution. This models Koutis'
+//     original algorithm: xi = v0 + vi, squares vanish identically, and
+//     the trace (2^k times the identity coefficient) equals the sum of
+//     the 2^k character evaluations xi ↦ 1 + (-1)^(vi·t) (TraceXor).
+package galois
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/midas-hpc/midas/internal/gf"
+)
+
+// OrPoly is an element of GF(2^16)[χ1..χk]/(χj²-χj), stored as 2^k
+// coefficients indexed by support mask.
+type OrPoly struct {
+	K     int
+	Coeff []gf.Elem // len 2^K
+}
+
+// NewOrPoly returns the zero polynomial for k variables.
+func NewOrPoly(k int) *OrPoly {
+	if k < 0 || k > 20 {
+		panic(fmt.Sprintf("galois: OrPoly k=%d out of supported range [0,20]", k))
+	}
+	return &OrPoly{K: k, Coeff: make([]gf.Elem, 1<<k)}
+}
+
+// OrVariable returns the linear form Σj u[j]·χj (the image of a vertex
+// variable under Williams' substitution). len(u) must be k.
+func OrVariable(k int, u []gf.Elem) *OrPoly {
+	if len(u) != k {
+		panic("galois: OrVariable needs k scalars")
+	}
+	p := NewOrPoly(k)
+	for j := 0; j < k; j++ {
+		p.Coeff[1<<j] = u[j]
+	}
+	return p
+}
+
+// OrScalar returns the constant polynomial c.
+func OrScalar(k int, c gf.Elem) *OrPoly {
+	p := NewOrPoly(k)
+	p.Coeff[0] = c
+	return p
+}
+
+// Add returns p + q (coefficient-wise XOR).
+func (p *OrPoly) Add(q *OrPoly) *OrPoly {
+	p.checkCompat(q)
+	r := NewOrPoly(p.K)
+	for i := range r.Coeff {
+		r.Coeff[i] = p.Coeff[i] ^ q.Coeff[i]
+	}
+	return r
+}
+
+// Mul returns p·q by OR-convolution (χS·χT = χ(S∪T)). O(4^k).
+func (p *OrPoly) Mul(q *OrPoly) *OrPoly {
+	p.checkCompat(q)
+	r := NewOrPoly(p.K)
+	for s, a := range p.Coeff {
+		if a == 0 {
+			continue
+		}
+		for t, b := range q.Coeff {
+			if b == 0 {
+				continue
+			}
+			r.Coeff[s|t] ^= gf.Mul(a, b)
+		}
+	}
+	return r
+}
+
+// MulScalar returns c·p.
+func (p *OrPoly) MulScalar(c gf.Elem) *OrPoly {
+	r := NewOrPoly(p.K)
+	for i, a := range p.Coeff {
+		r.Coeff[i] = gf.Mul(c, a)
+	}
+	return r
+}
+
+// FullCoeff returns the coefficient of χ1·χ2·…·χk — nonzero iff the
+// represented k-MLD instance detects (for this random assignment).
+func (p *OrPoly) FullCoeff() gf.Elem {
+	return p.Coeff[len(p.Coeff)-1]
+}
+
+// Eval evaluates p at the boolean point given by mask t (χj = 1 iff bit
+// j of t is set): Σ_{S ⊆ t} coeff[S].
+func (p *OrPoly) Eval(t uint64) gf.Elem {
+	var sum gf.Elem
+	for s, a := range p.Coeff {
+		if uint64(s)&^t == 0 {
+			sum ^= a
+		}
+	}
+	return sum
+}
+
+// TraceOr sums Eval over all 2^k boolean points. By the char-2
+// inclusion–exclusion identity this equals FullCoeff — the fact that
+// licenses MIDAS's iteration loop. Exposed so the tests can assert it.
+func (p *OrPoly) TraceOr() gf.Elem {
+	var sum gf.Elem
+	for t := uint64(0); t < uint64(len(p.Coeff)); t++ {
+		sum ^= p.Eval(t)
+	}
+	return sum
+}
+
+// IsZero reports whether all coefficients vanish.
+func (p *OrPoly) IsZero() bool {
+	for _, a := range p.Coeff {
+		if a != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (p *OrPoly) checkCompat(q *OrPoly) {
+	if p.K != q.K {
+		panic(fmt.Sprintf("galois: mixing OrPoly k=%d and k=%d", p.K, q.K))
+	}
+}
+
+// GroupAlg is an element of Z[Z2^k] with coefficients mod 2^(k+1),
+// stored as 2^k coefficients indexed by group element.
+type GroupAlg struct {
+	K     int
+	Mod   uint64
+	Coeff []uint64 // len 2^K, each < Mod
+}
+
+// NewGroupAlg returns the zero element for Z2^k.
+func NewGroupAlg(k int) *GroupAlg {
+	if k < 0 || k > 20 {
+		panic(fmt.Sprintf("galois: GroupAlg k=%d out of supported range [0,20]", k))
+	}
+	return &GroupAlg{K: k, Mod: 1 << uint(k+1), Coeff: make([]uint64, 1<<k)}
+}
+
+// GroupVariable returns v0 + v (Koutis' substitution for a vertex whose
+// random vector is v).
+func GroupVariable(k int, v uint64) *GroupAlg {
+	g := NewGroupAlg(k)
+	g.Coeff[0] = (g.Coeff[0] + 1) % g.Mod
+	g.Coeff[v&((1<<uint(k))-1)] = (g.Coeff[v&((1<<uint(k))-1)] + 1) % g.Mod
+	return g
+}
+
+// GroupScalar returns c·v0.
+func GroupScalar(k int, c uint64) *GroupAlg {
+	g := NewGroupAlg(k)
+	g.Coeff[0] = c % g.Mod
+	return g
+}
+
+// Add returns g + h.
+func (g *GroupAlg) Add(h *GroupAlg) *GroupAlg {
+	g.checkCompat(h)
+	r := NewGroupAlg(g.K)
+	for i := range r.Coeff {
+		r.Coeff[i] = (g.Coeff[i] + h.Coeff[i]) % g.Mod
+	}
+	return r
+}
+
+// Mul returns g·h by XOR-convolution (the Z2^k group law). O(4^k).
+func (g *GroupAlg) Mul(h *GroupAlg) *GroupAlg {
+	g.checkCompat(h)
+	r := NewGroupAlg(g.K)
+	for s, a := range g.Coeff {
+		if a == 0 {
+			continue
+		}
+		for t, b := range h.Coeff {
+			if b == 0 {
+				continue
+			}
+			r.Coeff[s^t] = (r.Coeff[s^t] + a*b) % g.Mod
+		}
+	}
+	return r
+}
+
+// MulScalar returns c·g.
+func (g *GroupAlg) MulScalar(c uint64) *GroupAlg {
+	r := NewGroupAlg(g.K)
+	for i, a := range g.Coeff {
+		r.Coeff[i] = (a * (c % g.Mod)) % g.Mod
+	}
+	return r
+}
+
+// CharEval evaluates g under the character indexed by t:
+// Σ_v coeff[v]·(-1)^(v·t), reduced mod 2^(k+1) into [0, Mod).
+func (g *GroupAlg) CharEval(t uint64) uint64 {
+	var sum uint64
+	for v, a := range g.Coeff {
+		if bits.OnesCount64(uint64(v)&t)&1 == 0 {
+			sum = (sum + a) % g.Mod
+		} else {
+			sum = (sum + g.Mod - a) % g.Mod
+		}
+	}
+	return sum
+}
+
+// TraceXor sums CharEval over all 2^k characters; it equals
+// 2^k · coeff[identity] mod 2^(k+1) — the trace of the matrix
+// representation from paper Section III-C. Exposed for the tests.
+func (g *GroupAlg) TraceXor() uint64 {
+	var sum uint64
+	for t := uint64(0); t < uint64(len(g.Coeff)); t++ {
+		sum = (sum + g.CharEval(t)) % g.Mod
+	}
+	return sum
+}
+
+// IdentityCoeff returns the coefficient of the group identity v0.
+func (g *GroupAlg) IdentityCoeff() uint64 { return g.Coeff[0] }
+
+// IsZero reports whether all coefficients vanish.
+func (g *GroupAlg) IsZero() bool {
+	for _, a := range g.Coeff {
+		if a != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (g *GroupAlg) checkCompat(h *GroupAlg) {
+	if g.K != h.K {
+		panic(fmt.Sprintf("galois: mixing GroupAlg k=%d and k=%d", g.K, h.K))
+	}
+}

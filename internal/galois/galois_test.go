@@ -1,0 +1,294 @@
+package galois
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func randOrPoly(r *rng.Rand, k int) *OrPoly {
+	p := NewOrPoly(k)
+	for i := range p.Coeff {
+		p.Coeff[i] = gf.Elem(r.Uint32())
+	}
+	return p
+}
+
+func randGroupAlg(r *rng.Rand, k int) *GroupAlg {
+	g := NewGroupAlg(k)
+	for i := range g.Coeff {
+		g.Coeff[i] = r.Uint64() % g.Mod
+	}
+	return g
+}
+
+// --- OrPoly ring axioms ---
+
+func TestOrPolyRingAxioms(t *testing.T) {
+	r := rng.New(1)
+	const k = 4
+	for i := 0; i < 20; i++ {
+		a, b, c := randOrPoly(r, k), randOrPoly(r, k), randOrPoly(r, k)
+		ab := a.Mul(b)
+		ba := b.Mul(a)
+		for j := range ab.Coeff {
+			if ab.Coeff[j] != ba.Coeff[j] {
+				t.Fatal("OrPoly multiplication not commutative")
+			}
+		}
+		lhs := a.Mul(b.Mul(c))
+		rhs := a.Mul(b).Mul(c)
+		for j := range lhs.Coeff {
+			if lhs.Coeff[j] != rhs.Coeff[j] {
+				t.Fatal("OrPoly multiplication not associative")
+			}
+		}
+		d1 := a.Mul(b.Add(c))
+		d2 := a.Mul(b).Add(a.Mul(c))
+		for j := range d1.Coeff {
+			if d1.Coeff[j] != d2.Coeff[j] {
+				t.Fatal("OrPoly distributivity fails")
+			}
+		}
+	}
+}
+
+func TestOrPolyIdempotentVariables(t *testing.T) {
+	// χj² = χj: squaring the monomial χj must give χj back.
+	const k = 3
+	p := NewOrPoly(k)
+	p.Coeff[0b010] = 1
+	sq := p.Mul(p)
+	if sq.Coeff[0b010] != 1 {
+		t.Fatalf("χ² != χ: %v", sq.Coeff)
+	}
+}
+
+// TestOrTraceEqualsFullCoeff is the linchpin: the 2^k-point evaluation
+// sum equals the full-support coefficient for arbitrary polynomials.
+func TestOrTraceEqualsFullCoeff(t *testing.T) {
+	r := rng.New(2)
+	for _, k := range []int{1, 2, 3, 5, 7} {
+		for i := 0; i < 10; i++ {
+			p := randOrPoly(r, k)
+			if p.TraceOr() != p.FullCoeff() {
+				t.Fatalf("k=%d: trace %#x != full coefficient %#x", k, p.TraceOr(), p.FullCoeff())
+			}
+		}
+	}
+}
+
+// TestOrSquaredMonomialHasZeroFullCoeff verifies Williams' soundness
+// argument concretely: a product of k linear forms with a *repeated*
+// form has zero full-support coefficient (permanent with repeated rows
+// over char 2), while generically a product of k distinct random forms
+// does not.
+func TestOrSquaredMonomialHasZeroFullCoeff(t *testing.T) {
+	r := rng.New(3)
+	const k = 4
+	for trial := 0; trial < 20; trial++ {
+		us := make([][]gf.Elem, k)
+		for i := range us {
+			us[i] = make([]gf.Elem, k)
+			for j := range us[i] {
+				us[i][j] = gf.Elem(r.Uint32())
+			}
+		}
+		// squared: x0²·x2·x3 (k=4 factors with x0 repeated)
+		sq := OrVariable(k, us[0]).Mul(OrVariable(k, us[0])).
+			Mul(OrVariable(k, us[2])).Mul(OrVariable(k, us[3]))
+		if sq.FullCoeff() != 0 {
+			t.Fatalf("squared monomial has full coefficient %#x, want 0", sq.FullCoeff())
+		}
+	}
+	// multilinear: nonzero in at least most trials
+	nonzero := 0
+	for trial := 0; trial < 20; trial++ {
+		m := OrScalar(4, 1)
+		for i := 0; i < 4; i++ {
+			u := make([]gf.Elem, 4)
+			for j := range u {
+				u[j] = gf.Elem(r.Uint32())
+			}
+			m = m.Mul(OrVariable(4, u))
+		}
+		if m.FullCoeff() != 0 {
+			nonzero++
+		}
+	}
+	if nonzero < 18 {
+		t.Fatalf("multilinear monomial detected in only %d/20 trials", nonzero)
+	}
+}
+
+func TestOrEvalMatchesDefinition(t *testing.T) {
+	// Eval at the full mask is the sum of everything; at 0 it is the
+	// constant term.
+	p := NewOrPoly(2)
+	p.Coeff[0b00] = 3
+	p.Coeff[0b01] = 5
+	p.Coeff[0b10] = 9
+	p.Coeff[0b11] = 1
+	if p.Eval(0) != 3 {
+		t.Fatalf("Eval(0) = %#x", p.Eval(0))
+	}
+	if p.Eval(0b01) != 3^5 {
+		t.Fatalf("Eval(01) = %#x", p.Eval(0b01))
+	}
+	if p.Eval(0b11) != 3^5^9^1 {
+		t.Fatalf("Eval(11) = %#x", p.Eval(0b11))
+	}
+}
+
+func TestOrPolyMismatchedKPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mixed-k multiply did not panic")
+		}
+	}()
+	NewOrPoly(2).Mul(NewOrPoly(3))
+}
+
+// --- GroupAlg axioms ---
+
+func TestGroupAlgRingAxioms(t *testing.T) {
+	r := rng.New(4)
+	const k = 4
+	for i := 0; i < 20; i++ {
+		a, b, c := randGroupAlg(r, k), randGroupAlg(r, k), randGroupAlg(r, k)
+		ab, ba := a.Mul(b), b.Mul(a)
+		for j := range ab.Coeff {
+			if ab.Coeff[j] != ba.Coeff[j] {
+				t.Fatal("GroupAlg multiplication not commutative")
+			}
+		}
+		lhs, rhs := a.Mul(b.Mul(c)), a.Mul(b).Mul(c)
+		for j := range lhs.Coeff {
+			if lhs.Coeff[j] != rhs.Coeff[j] {
+				t.Fatal("GroupAlg multiplication not associative")
+			}
+		}
+	}
+}
+
+// TestGroupVariableSquareVanishes is the paper's boxed identity:
+// (v0+vi)² = 2·v0 + 2·vi ≡ ... the coefficients stay even, and after
+// multiplying k factors with any repeat the identity coefficient is
+// ≡ 0 mod 2 — here we check the exact Koutis statement: the square has
+// every coefficient even, so products containing it contribute 0 to the
+// mod-2^(k+1) trace after the 2^k multiplier.
+func TestGroupVariableSquareVanishes(t *testing.T) {
+	const k = 3
+	v := GroupVariable(k, 0b101)
+	sq := v.Mul(v)
+	// (v0+v)² = v0² + 2 v0·v + v² = 2·v0 + 2·v
+	if sq.Coeff[0] != 2 || sq.Coeff[0b101] != 2 {
+		t.Fatalf("square = %v", sq.Coeff)
+	}
+	for i, c := range sq.Coeff {
+		if c%2 != 0 {
+			t.Fatalf("square has odd coefficient at %d", i)
+		}
+	}
+}
+
+// TestGroupTraceIdentity checks trace == 2^k · identity coefficient.
+func TestGroupTraceIdentity(t *testing.T) {
+	r := rng.New(5)
+	for _, k := range []int{1, 2, 3, 5} {
+		for i := 0; i < 10; i++ {
+			g := randGroupAlg(r, k)
+			want := (g.IdentityCoeff() << uint(k)) % g.Mod
+			if got := g.TraceXor(); got != want {
+				t.Fatalf("k=%d: trace %d != 2^k·id %d", k, got, want)
+			}
+		}
+	}
+}
+
+// TestGroupMultilinearDetection: a product of k independent (v0+vi)
+// factors has odd identity coefficient (so nonzero trace); with a
+// repeated factor the trace vanishes.
+func TestGroupMultilinearDetection(t *testing.T) {
+	const k = 3
+	// independent vectors e1,e2,e3
+	m := GroupScalar(k, 1)
+	for j := 0; j < k; j++ {
+		m = m.Mul(GroupVariable(k, 1<<uint(j)))
+	}
+	if m.TraceXor() == 0 {
+		t.Fatal("independent multilinear product has zero trace")
+	}
+	// repeated factor
+	sq := GroupVariable(k, 0b001).Mul(GroupVariable(k, 0b001)).Mul(GroupVariable(k, 0b010))
+	if sq.TraceXor() != 0 {
+		t.Fatalf("squared product has trace %d, want 0", sq.TraceXor())
+	}
+	// dependent vectors: v1^v2^v3 = 0 → even identity coeff → zero trace
+	dep := GroupVariable(k, 0b011).Mul(GroupVariable(k, 0b101)).Mul(GroupVariable(k, 0b110))
+	if dep.TraceXor() != 0 {
+		t.Fatalf("dependent multilinear product has trace %d, want 0", dep.TraceXor())
+	}
+}
+
+func TestGroupCharEvalIsHomomorphism(t *testing.T) {
+	// φ_t(g·h) = φ_t(g)·φ_t(h) mod 2^(k+1)
+	r := rng.New(6)
+	const k = 4
+	f := func(tRaw uint8) bool {
+		tt := uint64(tRaw) & ((1 << k) - 1)
+		g, h := randGroupAlg(r, k), randGroupAlg(r, k)
+		lhs := g.Mul(h).CharEval(tt)
+		rhs := (g.CharEval(tt) * h.CharEval(tt)) % g.Mod
+		return lhs == rhs
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupVariableCharEvalFormula(t *testing.T) {
+	// φ_t(v0+vi) = 1 + (-1)^(vi·t): 2 when vi·t even, 0 when odd —
+	// the exact base-case value in Algorithm 1 line 9.
+	const k = 4
+	for v := uint64(0); v < 1<<k; v++ {
+		g := GroupVariable(k, v)
+		for tt := uint64(0); tt < 1<<k; tt++ {
+			got := g.CharEval(tt)
+			want := uint64(2)
+			if popcount(v&tt)%2 == 1 {
+				want = 0
+			}
+			if got != want {
+				t.Fatalf("φ_%d(v0+%d) = %d, want %d", tt, v, got, want)
+			}
+		}
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestNewPanicsOnAbsurdK(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewOrPoly(-1) }, func() { NewOrPoly(21) },
+		func() { NewGroupAlg(-1) }, func() { NewGroupAlg(25) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad k accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

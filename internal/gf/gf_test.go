@@ -1,0 +1,316 @@
+package gf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// --- table construction sanity ---
+
+func TestTablesPrimitive(t *testing.T) {
+	// If Poly8 / Poly16 are primitive with generator x, every nonzero
+	// element appears exactly once in the exp table's first period.
+	seen8 := make(map[uint8]bool)
+	for i := 0; i < Order8; i++ {
+		if seen8[exp8[i]] {
+			t.Fatalf("GF(2^8) exp table repeats %#x at %d: Poly8 not primitive", exp8[i], i)
+		}
+		seen8[exp8[i]] = true
+	}
+	if len(seen8) != Order8 || seen8[0] {
+		t.Fatalf("GF(2^8) exp table covers %d elements, want %d nonzero", len(seen8), Order8)
+	}
+	seen16 := make(map[uint16]bool)
+	for i := 0; i < Order16; i++ {
+		if seen16[exp16[i]] {
+			t.Fatalf("GF(2^16) exp table repeats %#x at %d: Poly16 not primitive", exp16[i], i)
+		}
+		seen16[exp16[i]] = true
+	}
+	if len(seen16) != Order16 || seen16[0] {
+		t.Fatalf("GF(2^16) exp table covers %d elements, want %d nonzero", len(seen16), Order16)
+	}
+}
+
+func TestLogExpRoundTrip(t *testing.T) {
+	for a := 1; a < 1<<16; a++ {
+		if got := exp16[log16[uint16(a)]]; got != uint16(a) {
+			t.Fatalf("exp(log(%#x)) = %#x", a, got)
+		}
+	}
+}
+
+// --- field axioms (property-based) ---
+
+func TestGF16FieldAxioms(t *testing.T) {
+	assoc := func(a, b, c Elem) bool {
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	comm := func(a, b Elem) bool { return Mul(a, b) == Mul(b, a) }
+	distrib := func(a, b, c Elem) bool {
+		return Mul(a, Add(b, c)) == Add(Mul(a, b), Mul(a, c))
+	}
+	identity := func(a Elem) bool { return Mul(a, 1) == a && Add(a, 0) == a }
+	selfInverse := func(a Elem) bool { return Add(a, a) == 0 }
+	inverse := func(a Elem) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul(a, Inv(a)) == 1
+	}
+	for name, f := range map[string]interface{}{
+		"associativity": assoc, "commutativity": comm, "distributivity": distrib,
+		"identity": identity, "char2": selfInverse, "inverse": inverse,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestGF8FieldAxioms(t *testing.T) {
+	// GF(2^8) is small enough to exhaustively check inverses and spot
+	// check associativity on a grid.
+	for a := 1; a < 256; a++ {
+		if Mul8(uint8(a), Inv8(uint8(a))) != 1 {
+			t.Fatalf("GF(2^8): %#x · inv = %#x, want 1", a, Mul8(uint8(a), Inv8(uint8(a))))
+		}
+	}
+	for a := 0; a < 256; a += 7 {
+		for b := 0; b < 256; b += 11 {
+			for c := 0; c < 256; c += 13 {
+				x, y, z := uint8(a), uint8(b), uint8(c)
+				if Mul8(Mul8(x, y), z) != Mul8(x, Mul8(y, z)) {
+					t.Fatalf("GF(2^8) associativity fails at %d,%d,%d", a, b, c)
+				}
+				if Mul8(x, y^z) != Mul8(x, y)^Mul8(x, z) {
+					t.Fatalf("GF(2^8) distributivity fails at %d,%d,%d", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGF32Axioms(t *testing.T) {
+	assoc := func(a, b, c uint32) bool {
+		return Mul32(Mul32(a, b), c) == Mul32(a, Mul32(b, c))
+	}
+	distrib := func(a, b, c uint32) bool {
+		return Mul32(a, b^c) == Mul32(a, b)^Mul32(a, c)
+	}
+	inverse := func(a uint32) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul32(a, Inv32(a)) == 1
+	}
+	for name, f := range map[string]interface{}{
+		"associativity": assoc, "distributivity": distrib, "inverse": inverse,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Fatalf("GF(2^32) %s: %v", name, err)
+		}
+	}
+}
+
+func TestGF64Axioms(t *testing.T) {
+	assoc := func(a, b, c uint64) bool {
+		return Mul64(Mul64(a, b), c) == Mul64(a, Mul64(b, c))
+	}
+	distrib := func(a, b, c uint64) bool {
+		return Mul64(a, b^c) == Mul64(a, b)^Mul64(a, c)
+	}
+	inverse := func(a uint64) bool {
+		if a == 0 {
+			return true
+		}
+		return Mul64(a, Inv64(a)) == 1
+	}
+	for name, f := range map[string]interface{}{
+		"associativity": assoc, "distributivity": distrib, "inverse": inverse,
+	} {
+		if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+			t.Fatalf("GF(2^64) %s: %v", name, err)
+		}
+	}
+}
+
+// --- derived operations ---
+
+func TestDivMatchesInv(t *testing.T) {
+	f := func(a, b Elem) bool {
+		if b == 0 {
+			return true
+		}
+		return Div(a, b) == Mul(a, Inv(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowBasics(t *testing.T) {
+	if Pow(0, 0) != 1 {
+		t.Fatal("Pow(0,0) != 1")
+	}
+	if Pow(0, 5) != 0 {
+		t.Fatal("Pow(0,5) != 0")
+	}
+	f := func(a Elem, n uint8) bool {
+		// Compare square-and-multiply-free log version against naive.
+		want := Elem(1)
+		for i := 0; i < int(n); i++ {
+			want = Mul(want, a)
+		}
+		return Pow(a, uint64(n)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFermat16(t *testing.T) {
+	// a^(2^16-1) == 1 for all nonzero a; spot check.
+	for _, a := range []Elem{1, 2, 3, 0x1234, 0xFFFF, 0x8000} {
+		if Pow(a, Order16) != 1 {
+			t.Fatalf("Fermat fails for %#x", a)
+		}
+	}
+}
+
+func TestNonZeroNeverZero(t *testing.T) {
+	f := func(h uint64) bool { return NonZero(h) != 0 && NonZero8(h) != 0 }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDivPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Div by zero did not panic")
+		}
+	}()
+	Div(1, 0)
+}
+
+func TestInvPanicsOnZero(t *testing.T) {
+	for _, f := range []func(){
+		func() { Inv(0) }, func() { Inv8(0) }, func() { Inv32(0) }, func() { Inv64(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Inv(0) did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- vector kernels ---
+
+func TestMulSlice16MatchesScalar(t *testing.T) {
+	f := func(src []Elem, c Elem) bool {
+		dst := make([]Elem, len(src))
+		want := make([]Elem, len(src))
+		for i := range src {
+			want[i] = Mul(c, src[i])
+		}
+		MulSlice16(dst, src, c)
+		for i := range dst {
+			if dst[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulSlice16Accumulates(t *testing.T) {
+	dst := []Elem{5, 7}
+	src := []Elem{1, 2}
+	MulSlice16(dst, src, 3)
+	if dst[0] != 5^Mul(3, 1) || dst[1] != 7^Mul(3, 2) {
+		t.Fatalf("MulSlice16 did not xor-accumulate: %v", dst)
+	}
+}
+
+func TestHadamardKernels(t *testing.T) {
+	f := func(a, b []Elem) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		dst := make([]Elem, n)
+		HadamardInto(dst, a, b)
+		acc := make([]Elem, n)
+		copy(acc, dst)
+		MulHadamardAccum(acc, a, b)
+		for i := 0; i < n; i++ {
+			if dst[i] != Mul(a[i], b[i]) {
+				return false
+			}
+			if acc[i] != 0 { // x ^ x == 0
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MulSlice16":       func() { MulSlice16(make([]Elem, 2), make([]Elem, 3), 1) },
+		"HadamardInto":     func() { HadamardInto(make([]Elem, 2), make([]Elem, 2), make([]Elem, 3)) },
+		"MulHadamardAccum": func() { MulHadamardAccum(make([]Elem, 1), make([]Elem, 2), make([]Elem, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s length mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// --- benchmarks ---
+
+func BenchmarkMul16(b *testing.B) {
+	var sink Elem
+	for i := 0; i < b.N; i++ {
+		sink ^= Mul(Elem(i)|1, Elem(i>>3)|1)
+	}
+	_ = sink
+}
+
+func BenchmarkMul64(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Mul64(uint64(i)|1, uint64(i>>3)|1)
+	}
+	_ = sink
+}
+
+func BenchmarkMulSlice16(b *testing.B) {
+	src := make([]Elem, 1024)
+	dst := make([]Elem, 1024)
+	for i := range src {
+		src[i] = Elem(i*2654435761 + 1)
+	}
+	b.SetBytes(int64(len(src) * 2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulSlice16(dst, src, Elem(i)|1)
+	}
+}

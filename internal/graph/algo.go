@@ -1,0 +1,177 @@
+package graph
+
+// Traversal and structure utilities used by the partitioners, the
+// baselines, and the test oracles.
+
+// BFS runs a breadth-first search from src and returns the distance of
+// every vertex (-1 for unreachable).
+func BFS(g *Graph, src int32) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, n)
+	queue = append(queue, src)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range g.Neighbors(v) {
+			if dist[u] < 0 {
+				dist[u] = dist[v] + 1
+				queue = append(queue, u)
+			}
+		}
+	}
+	return dist
+}
+
+// ConnectedComponents labels each vertex with a component id in
+// [0, #components), assigned in order of discovery.
+func ConnectedComponents(g *Graph) []int32 {
+	n := g.NumVertices()
+	comp := make([]int32, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := int32(0)
+	queue := make([]int32, 0, 64)
+	for s := int32(0); s < int32(n); s++ {
+		if comp[s] >= 0 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			v := queue[len(queue)-1]
+			queue = queue[:len(queue)-1]
+			for _, u := range g.Neighbors(v) {
+				if comp[u] < 0 {
+					comp[u] = next
+					queue = append(queue, u)
+				}
+			}
+		}
+		next++
+	}
+	return comp
+}
+
+// IsConnected reports whether g is connected (the empty graph counts as
+// connected).
+func IsConnected(g *Graph) bool {
+	n := g.NumVertices()
+	if n == 0 {
+		return true
+	}
+	dist := BFS(g, 0)
+	for _, d := range dist {
+		if d < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// IsConnectedSubset reports whether the vertex subset s induces a
+// connected subgraph of g. Used to validate scan-statistics outputs.
+func IsConnectedSubset(g *Graph, s []int32) bool {
+	if len(s) == 0 {
+		return false
+	}
+	in := make(map[int32]bool, len(s))
+	for _, v := range s {
+		in[v] = true
+	}
+	if len(in) != len(s) {
+		return false // duplicates
+	}
+	seen := map[int32]bool{s[0]: true}
+	stack := []int32{s[0]}
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range g.Neighbors(v) {
+			if in[u] && !seen[u] {
+				seen[u] = true
+				stack = append(stack, u)
+			}
+		}
+	}
+	return len(seen) == len(s)
+}
+
+// HasPathOfLength reports, by exhaustive backtracking, whether g contains
+// a simple path on k vertices. Exponential; the brute-force oracle for
+// the multilinear detection tests. Do not call on large graphs with
+// large k.
+func HasPathOfLength(g *Graph, k int) bool {
+	if k <= 0 {
+		return false
+	}
+	n := g.NumVertices()
+	if k == 1 {
+		return n > 0
+	}
+	used := make([]bool, n)
+	var dfs func(v int32, depth int) bool
+	dfs = func(v int32, depth int) bool {
+		if depth == k {
+			return true
+		}
+		for _, u := range g.Neighbors(v) {
+			if !used[u] {
+				used[u] = true
+				if dfs(u, depth+1) {
+					return true
+				}
+				used[u] = false
+			}
+		}
+		return false
+	}
+	for s := int32(0); s < int32(n); s++ {
+		used[s] = true
+		if dfs(s, 1) {
+			return true
+		}
+		used[s] = false
+	}
+	return false
+}
+
+// CountPathsOfLength counts simple paths on k vertices (each undirected
+// path counted once). Brute-force test oracle.
+func CountPathsOfLength(g *Graph, k int) int64 {
+	if k <= 0 {
+		return 0
+	}
+	n := g.NumVertices()
+	if k == 1 {
+		return int64(n)
+	}
+	used := make([]bool, n)
+	var count int64
+	var start int32
+	var dfs func(v int32, depth int)
+	dfs = func(v int32, depth int) {
+		if depth == k {
+			count++
+			return
+		}
+		for _, u := range g.Neighbors(v) {
+			if !used[u] {
+				used[u] = true
+				dfs(u, depth+1)
+				used[u] = false
+			}
+		}
+	}
+	for start = 0; start < int32(n); start++ {
+		used[start] = true
+		dfs(start, 1)
+		used[start] = false
+	}
+	return count / 2 // each path traversed from both ends
+}

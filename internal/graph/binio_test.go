@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"path/filepath"
+	"testing"
+)
+
+func graphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape mismatch: %v vs %v", a, b)
+	}
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		na, nb := a.Neighbors(v), b.Neighbors(v)
+		if len(na) != len(nb) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range na {
+			if na[i] != nb[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+		if a.Weight(v) != b.Weight(v) || a.Baseline(v) != b.Baseline(v) {
+			t.Fatalf("weight/baseline mismatch at %d", v)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := RandomGNM(200, 800, 7)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, g2)
+}
+
+func TestBinaryRoundTripWithWeights(t *testing.T) {
+	g := Cycle(10)
+	g.SetWeights([]int64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	g.SetBaselines([]int64{2, 2, 2, 2, 2, 1, 1, 1, 1, 1})
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, g, g2)
+	if !g2.Weighted() {
+		t.Fatal("weights flag lost")
+	}
+}
+
+func TestBinaryRejectsCorruption(t *testing.T) {
+	g := Path(5)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	// bad magic
+	bad := append([]byte(nil), good...)
+	bad[0] ^= 0xff
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	// bad version
+	bad = append([]byte(nil), good...)
+	bad[4] = 99
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad version accepted")
+	}
+	// truncation at every prefix must error, never panic
+	for cut := 0; cut < len(good); cut += 7 {
+		if _, err := ReadBinary(bytes.NewReader(good[:cut])); err == nil {
+			t.Fatalf("truncated file (%d bytes) accepted", cut)
+		}
+	}
+	// out-of-range adjacency entry
+	bad = append([]byte(nil), good...)
+	// adjacency starts after 3*4 + 2*8 header + (n+1)*8 offsets
+	adjOff := 12 + 16 + 6*8
+	binary.LittleEndian.PutUint32(bad[adjOff:], 999)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Fatal("out-of-range adjacency accepted")
+	}
+}
+
+func TestLoadSniffsFormat(t *testing.T) {
+	dir := t.TempDir()
+	g := RandomGNM(50, 120, 3)
+
+	binPath := filepath.Join(dir, "g.bin")
+	if err := SaveBinary(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := SaveEdgeList(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Load(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromTxt, err := Load(txtPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqual(t, fromBin, fromTxt)
+	if _, err := Load(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func BenchmarkBinaryLoad(b *testing.B) {
+	g := RandomGNM(5000, 40000, 1)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTextLoad(b *testing.B) {
+	g := RandomGNM(5000, 40000, 1)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadEdgeList(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,90 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// Fuzz targets for the two parsers. Run as seed-corpus regression tests
+// under `go test`, or explore with `go test -fuzz=FuzzReadEdgeList`.
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n5 5\n2 9\n")
+	f.Add("not numbers\n")
+	f.Add("-3 4\n")
+	f.Add("4294967296 1\n") // overflows int32
+	f.Add("0 1 extra tokens are ok\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g, err := ReadEdgeList(strings.NewReader(input))
+		if err != nil {
+			return // rejecting is fine; panicking is not
+		}
+		// Accepted graphs must satisfy the CSR invariants.
+		n := g.NumVertices()
+		for v := int32(0); v < int32(n); v++ {
+			nbr := g.Neighbors(v)
+			for i, u := range nbr {
+				if u < 0 || int(u) >= n {
+					t.Fatalf("adjacency out of range: %d", u)
+				}
+				if u == v {
+					t.Fatal("self loop survived")
+				}
+				if i > 0 && nbr[i-1] >= u {
+					t.Fatal("adjacency not strictly sorted")
+				}
+				if !g.HasEdge(u, v) {
+					t.Fatal("asymmetric edge")
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// seed with a valid file and some mutations
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, RandomGNM(10, 20, 1)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("GARBAGEGARBAGEGARBAGE"))
+	mut := append([]byte(nil), valid...)
+	mut[20] ^= 0xff
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, input []byte) {
+		g, err := ReadBinary(bytes.NewReader(input))
+		if err != nil {
+			return
+		}
+		// structural invariants on acceptance
+		n := g.NumVertices()
+		for v := int32(0); v < int32(n); v++ {
+			for _, u := range g.Neighbors(v) {
+				if u < 0 || int(u) >= n {
+					t.Fatalf("adjacency out of range: %d", u)
+				}
+			}
+		}
+	})
+}
+
+func FuzzReadWeights(f *testing.F) {
+	f.Add("0 5\n1 2 3\n")
+	f.Add("bad\n")
+	f.Add("99 1\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		g := Path(4)
+		if err := ReadWeights(strings.NewReader(input), g); err != nil {
+			return
+		}
+		if len(g.Weights()) != 4 {
+			t.Fatal("accepted weights with wrong length")
+		}
+	})
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// This file contains the synthetic dataset generators. The paper's
+// evaluation (Table II) uses miami (a spatially embedded synthetic
+// population contact network), com-Orkut (a heavy-tailed social network)
+// and two Erdős–Rényi graphs with m = n·ln n. We reproduce those three
+// structural classes at configurable scale:
+//
+//   RandomGNM / RandomGNP   → the random-1e6 / random-1e7 analogues
+//   BarabasiAlbert          → the com-Orkut analogue (power-law degrees)
+//   RoadNetwork             → the miami analogue and the Fig 13 substrate
+//                             (low, near-uniform degree, high diameter,
+//                             planar-ish spatial structure)
+
+// RandomGNM returns an Erdős–Rényi G(n, m) graph: m edges sampled
+// uniformly without replacement from all vertex pairs.
+func RandomGNM(n, m int, seed uint64) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: G(n,m) with m=%d > n(n-1)/2=%d", m, maxM))
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	seen := make(map[uint64]bool, m)
+	for len(seen) < m {
+		u := int32(r.Intn(n))
+		v := int32(r.Intn(n))
+		if u == v {
+			continue
+		}
+		if u > v {
+			u, v = v, u
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// RandomNLogN returns the paper's random-* dataset shape: G(n, m) with
+// m = round(n·ln n).
+func RandomNLogN(n int, seed uint64) *Graph {
+	m := int(math.Round(float64(n) * math.Log(float64(n))))
+	if max := n * (n - 1) / 2; m > max {
+		m = max
+	}
+	return RandomGNM(n, m, seed)
+}
+
+// RandomGNP returns an Erdős–Rényi G(n, p) graph using geometric edge
+// skipping (O(n + m) expected time).
+func RandomGNP(n int, p float64, seed uint64) *Graph {
+	if p < 0 || p > 1 {
+		panic("graph: G(n,p) probability out of [0,1]")
+	}
+	b := NewBuilder(n)
+	if p == 0 || n < 2 {
+		return b.Build()
+	}
+	r := rng.New(seed)
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				b.AddEdge(int32(u), int32(v))
+			}
+		}
+		return b.Build()
+	}
+	lq := math.Log(1 - p)
+	// Iterate over the upper-triangular pair index space with geometric jumps.
+	v, w := 1, -1
+	for v < n {
+		w += 1 + int(math.Log(1-r.Float64())/lq)
+		for w >= v && v < n {
+			w -= v
+			v++
+		}
+		if v < n {
+			b.AddEdge(int32(v), int32(w))
+		}
+	}
+	return b.Build()
+}
+
+// BarabasiAlbert returns a preferential-attachment graph: each new vertex
+// attaches to mAttach existing vertices chosen proportionally to degree.
+// Degrees follow a power law, giving the com-Orkut-like hub structure
+// that stresses MaxDeg in Theorem 2.
+func BarabasiAlbert(n, mAttach int, seed uint64) *Graph {
+	if mAttach < 1 || n <= mAttach {
+		panic(fmt.Sprintf("graph: BarabasiAlbert needs 1 <= mAttach=%d < n=%d", mAttach, n))
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	// repeated-endpoint list: picking a uniform element is degree-
+	// proportional sampling.
+	targets := make([]int32, 0, 2*n*mAttach)
+	// Seed clique on mAttach+1 vertices.
+	for u := 0; u <= mAttach; u++ {
+		for v := u + 1; v <= mAttach; v++ {
+			b.AddEdge(int32(u), int32(v))
+			targets = append(targets, int32(u), int32(v))
+		}
+	}
+	chosen := make(map[int32]bool, mAttach)
+	for v := mAttach + 1; v < n; v++ {
+		for k := range chosen {
+			delete(chosen, k)
+		}
+		for len(chosen) < mAttach {
+			chosen[targets[r.Intn(len(targets))]] = true
+		}
+		for u := range chosen {
+			b.AddEdge(int32(v), u)
+			targets = append(targets, int32(v), u)
+		}
+	}
+	return b.Build()
+}
+
+// RoadNetwork returns a spatially embedded road-like graph: a rows×cols
+// lattice with a fraction of edges removed (dead ends / missing links)
+// and a sprinkling of diagonal shortcuts (interchanges). Degree is near
+// uniform and small, diameter is large — the miami contact network's
+// relevant properties for MIDAS (low MaxDeg after spatial partitioning).
+// The graph is guaranteed connected (removals that disconnect are
+// re-added).
+func RoadNetwork(rows, cols int, seed uint64) *Graph {
+	n := rows * cols
+	r := rng.New(seed)
+	id := func(i, j int) int32 { return int32(i*cols + j) }
+	b := NewBuilder(n)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols && r.Float64() > 0.08 {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows && r.Float64() > 0.08 {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+			if i+1 < rows && j+1 < cols && r.Float64() < 0.05 {
+				b.AddEdge(id(i, j), id(i+1, j+1))
+			}
+		}
+	}
+	g := b.Build()
+	// Reconnect if edge removal split the lattice: chain component
+	// representatives along grid order.
+	comp := ConnectedComponents(g)
+	ncomp := 0
+	for _, c := range comp {
+		if c+1 > int32(ncomp) {
+			ncomp = int(c + 1)
+		}
+	}
+	if ncomp > 1 {
+		rep := make([]int32, ncomp)
+		for i := range rep {
+			rep[i] = -1
+		}
+		for v := int32(0); v < int32(n); v++ {
+			if rep[comp[v]] < 0 {
+				rep[comp[v]] = v
+			}
+		}
+		b2 := NewBuilder(n)
+		for _, e := range g.Edges() {
+			b2.AddEdge(e[0], e[1])
+		}
+		for c := 1; c < ncomp; c++ {
+			b2.AddEdge(rep[0], rep[c])
+		}
+		g = b2.Build()
+	}
+	return g
+}
+
+// RMAT returns a recursive-matrix (Kronecker-style, Graph500 flavor)
+// graph on 2^scale vertices with edgeFactor·2^scale edges, using the
+// standard (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) quadrant probabilities.
+// Degrees are heavy-tailed with community-like structure — an
+// alternative com-Orkut-class generator. Self-loops and duplicates are
+// dropped, so the final edge count is slightly below the nominal.
+func RMAT(scale, edgeFactor int, seed uint64) *Graph {
+	if scale < 1 || scale > 28 {
+		panic(fmt.Sprintf("graph: RMAT scale %d out of [1,28]", scale))
+	}
+	if edgeFactor < 1 {
+		panic("graph: RMAT edgeFactor must be positive")
+	}
+	n := 1 << uint(scale)
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	const a, bb, c = 0.57, 0.19, 0.19 // d = 1 - a - b - c
+	for e := 0; e < edgeFactor*n; e++ {
+		var u, v int
+		for bit := 0; bit < scale; bit++ {
+			p := r.Float64()
+			switch {
+			case p < a:
+				// (0,0)
+			case p < a+bb:
+				v |= 1 << uint(bit)
+			case p < a+bb+c:
+				u |= 1 << uint(bit)
+			default:
+				u |= 1 << uint(bit)
+				v |= 1 << uint(bit)
+			}
+		}
+		b.AddEdge(int32(u), int32(v))
+	}
+	return b.Build()
+}
+
+// SmallWorld returns a Watts–Strogatz ring lattice on n vertices where
+// each vertex connects to its kHalf nearest neighbors on each side and
+// each edge is rewired with probability beta.
+func SmallWorld(n, kHalf int, beta float64, seed uint64) *Graph {
+	if kHalf < 1 || n <= 2*kHalf {
+		panic(fmt.Sprintf("graph: SmallWorld needs 1 <= kHalf=%d and n=%d > 2*kHalf", kHalf, n))
+	}
+	r := rng.New(seed)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for d := 1; d <= kHalf; d++ {
+			v := (u + d) % n
+			if r.Float64() < beta {
+				w := r.Intn(n)
+				for w == u {
+					w = r.Intn(n)
+				}
+				v = w
+			}
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// Path returns the path graph on n vertices (0-1-2-…-(n-1)).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i+1 < n; i++ {
+		b.AddEdge(int32(i), int32(i+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph on n vertices.
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: Cycle needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(int32(i), int32((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Star returns the star graph with center 0 and n-1 leaves.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, int32(i))
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddEdge(int32(u), int32(v))
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols lattice (no removals); vertex (i,j) has id
+// i*cols+j.
+func Grid(rows, cols int) *Graph {
+	b := NewBuilder(rows * cols)
+	id := func(i, j int) int32 { return int32(i*cols + j) }
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			if j+1 < cols {
+				b.AddEdge(id(i, j), id(i, j+1))
+			}
+			if i+1 < rows {
+				b.AddEdge(id(i, j), id(i+1, j))
+			}
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,250 @@
+// Package graph provides the compressed-sparse-row graph representation,
+// synthetic generators for the paper's datasets (Table II analogues),
+// edge-list IO, the k-Tree template type, and the traversal utilities the
+// rest of the repository builds on.
+//
+// Graphs are simple and undirected: self-loops and parallel edges are
+// dropped at build time, and each undirected edge {u,v} is stored twice
+// (u→v and v→u), so Degree(v) is the true undirected degree and the DP
+// loops can iterate "incoming messages" exactly as the paper's
+// pseudo-code does.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Graph is an immutable undirected graph in CSR form.
+type Graph struct {
+	offsets []int64 // len n+1; adjacency of v is adj[offsets[v]:offsets[v+1]]
+	adj     []int32
+	weights []int64 // optional per-node event weights (scan statistics); nil if unweighted
+	base    []int64 // optional per-node baseline counts; nil if absent
+}
+
+// NumVertices returns n.
+func (g *Graph) NumVertices() int { return len(g.offsets) - 1 }
+
+// NumEdges returns the number of undirected edges m.
+func (g *Graph) NumEdges() int { return len(g.adj) / 2 }
+
+// Degree returns the degree of v.
+func (g *Graph) Degree(v int32) int {
+	return int(g.offsets[v+1] - g.offsets[v])
+}
+
+// Neighbors returns the (sorted) adjacency list of v. The returned slice
+// aliases internal storage and must not be modified.
+func (g *Graph) Neighbors(v int32) []int32 {
+	return g.adj[g.offsets[v]:g.offsets[v+1]]
+}
+
+// HasEdge reports whether {u,v} is an edge, by binary search.
+func (g *Graph) HasEdge(u, v int32) bool {
+	nbr := g.Neighbors(u)
+	i := sort.Search(len(nbr), func(i int) bool { return nbr[i] >= v })
+	return i < len(nbr) && nbr[i] == v
+}
+
+// Weight returns the event weight of v (0 if the graph is unweighted).
+func (g *Graph) Weight(v int32) int64 {
+	if g.weights == nil {
+		return 0
+	}
+	return g.weights[v]
+}
+
+// Baseline returns the baseline count of v (1 if absent, matching the
+// unit-baseline reduction described in DESIGN.md §2).
+func (g *Graph) Baseline(v int32) int64 {
+	if g.base == nil {
+		return 1
+	}
+	return g.base[v]
+}
+
+// Weighted reports whether per-node event weights are attached.
+func (g *Graph) Weighted() bool { return g.weights != nil }
+
+// TotalWeight returns Σ_v w(v).
+func (g *Graph) TotalWeight() int64 {
+	var s int64
+	for _, w := range g.weights {
+		s += w
+	}
+	return s
+}
+
+// MaxDegree returns the maximum vertex degree (0 for the empty graph).
+func (g *Graph) MaxDegree() int {
+	max := 0
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if d := g.Degree(v); d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// SetWeights attaches per-node event weights. len(w) must equal n.
+func (g *Graph) SetWeights(w []int64) {
+	if len(w) != g.NumVertices() {
+		panic(fmt.Sprintf("graph: SetWeights got %d weights for %d vertices", len(w), g.NumVertices()))
+	}
+	g.weights = w
+}
+
+// SetBaselines attaches per-node baseline counts. len(b) must equal n.
+func (g *Graph) SetBaselines(b []int64) {
+	if len(b) != g.NumVertices() {
+		panic(fmt.Sprintf("graph: SetBaselines got %d baselines for %d vertices", len(b), g.NumVertices()))
+	}
+	g.base = b
+}
+
+// Weights returns the weight slice (nil if unweighted). Read-only.
+func (g *Graph) Weights() []int64 { return g.weights }
+
+// String summarizes the graph.
+func (g *Graph) String() string {
+	return fmt.Sprintf("graph{n=%d m=%d weighted=%v}", g.NumVertices(), g.NumEdges(), g.weights != nil)
+}
+
+// Builder accumulates edges and produces a Graph. The zero value is not
+// usable; construct with NewBuilder.
+type Builder struct {
+	n     int
+	edges [][2]int32
+}
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Builder{n: n}
+}
+
+// AddEdge records the undirected edge {u,v}. Self-loops and duplicates
+// are tolerated here and dropped in Build.
+func (b *Builder) AddEdge(u, v int32) {
+	if u < 0 || v < 0 || int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, b.n))
+	}
+	b.edges = append(b.edges, [2]int32{u, v})
+}
+
+// NumPendingEdges reports how many edge records have been added
+// (including duplicates and self-loops that Build will drop).
+func (b *Builder) NumPendingEdges() int { return len(b.edges) }
+
+// Build produces the CSR graph: both directions of every edge, sorted
+// adjacency, no self-loops, no parallel edges.
+func (b *Builder) Build() *Graph {
+	type half struct{ src, dst int32 }
+	halves := make([]half, 0, 2*len(b.edges))
+	for _, e := range b.edges {
+		if e[0] == e[1] {
+			continue
+		}
+		halves = append(halves, half{e[0], e[1]}, half{e[1], e[0]})
+	}
+	sort.Slice(halves, func(i, j int) bool {
+		if halves[i].src != halves[j].src {
+			return halves[i].src < halves[j].src
+		}
+		return halves[i].dst < halves[j].dst
+	})
+	g := &Graph{offsets: make([]int64, b.n+1)}
+	g.adj = make([]int32, 0, len(halves))
+	var prev half
+	first := true
+	for _, h := range halves {
+		if !first && h == prev {
+			continue // parallel edge
+		}
+		first = false
+		prev = h
+		g.adj = append(g.adj, h.dst)
+		g.offsets[h.src+1]++
+	}
+	for i := 1; i <= b.n; i++ {
+		g.offsets[i] += g.offsets[i-1]
+	}
+	return g
+}
+
+// FromEdges builds a graph on n vertices directly from an edge list.
+func FromEdges(n int, edges [][2]int32) *Graph {
+	b := NewBuilder(n)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+	}
+	return b.Build()
+}
+
+// Edges returns every undirected edge once, as (u,v) with u < v.
+func (g *Graph) Edges() [][2]int32 {
+	out := make([][2]int32, 0, g.NumEdges())
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				out = append(out, [2]int32{u, v})
+			}
+		}
+	}
+	return out
+}
+
+// InducedSubgraph returns the subgraph induced on keep (which must not
+// contain duplicates), together with the mapping from new ids to old.
+// Weights and baselines are carried over.
+func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32) {
+	newID := make(map[int32]int32, len(keep))
+	for i, v := range keep {
+		if _, dup := newID[v]; dup {
+			panic(fmt.Sprintf("graph: duplicate vertex %d in InducedSubgraph", v))
+		}
+		newID[v] = int32(i)
+	}
+	b := NewBuilder(len(keep))
+	for _, v := range keep {
+		nv := newID[v]
+		for _, u := range g.Neighbors(v) {
+			if nu, ok := newID[u]; ok && nv < nu {
+				b.AddEdge(nv, nu)
+			}
+		}
+	}
+	sub := b.Build()
+	if g.weights != nil {
+		w := make([]int64, len(keep))
+		for i, v := range keep {
+			w[i] = g.weights[v]
+		}
+		sub.weights = w
+	}
+	if g.base != nil {
+		bb := make([]int64, len(keep))
+		for i, v := range keep {
+			bb[i] = g.base[v]
+		}
+		sub.base = bb
+	}
+	old := make([]int32, len(keep))
+	copy(old, keep)
+	return sub, old
+}
+
+// DeleteVertices returns the subgraph with the given vertices removed,
+// plus the new→old id mapping. Used by witness extraction.
+func (g *Graph) DeleteVertices(drop map[int32]bool) (*Graph, []int32) {
+	keep := make([]int32, 0, g.NumVertices())
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if !drop[v] {
+			keep = append(keep, v)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}

@@ -1,0 +1,464 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func TestBuilderDedupAndSort(t *testing.T) {
+	b := NewBuilder(4)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0) // duplicate reversed
+	b.AddEdge(0, 1) // duplicate
+	b.AddEdge(2, 2) // self loop
+	b.AddEdge(3, 1)
+	g := b.Build()
+	if g.NumVertices() != 4 {
+		t.Fatalf("n = %d, want 4", g.NumVertices())
+	}
+	if g.NumEdges() != 2 {
+		t.Fatalf("m = %d, want 2 (dedup + self-loop drop)", g.NumEdges())
+	}
+	if got := g.Neighbors(1); len(got) != 2 || got[0] != 0 || got[1] != 3 {
+		t.Fatalf("Neighbors(1) = %v, want [0 3]", got)
+	}
+	if g.Degree(2) != 0 {
+		t.Fatalf("self-loop survived: deg(2) = %d", g.Degree(2))
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range edge did not panic")
+		}
+	}()
+	NewBuilder(3).AddEdge(0, 3)
+}
+
+func TestHasEdge(t *testing.T) {
+	g := Cycle(5)
+	for i := int32(0); i < 5; i++ {
+		if !g.HasEdge(i, (i+1)%5) || !g.HasEdge((i+1)%5, i) {
+			t.Fatalf("cycle edge (%d,%d) missing", i, (i+1)%5)
+		}
+		if g.HasEdge(i, (i+2)%5) {
+			t.Fatalf("phantom chord (%d,%d)", i, (i+2)%5)
+		}
+	}
+}
+
+func TestEdgesRoundTrip(t *testing.T) {
+	g := RandomGNM(50, 200, 1)
+	g2 := FromEdges(50, g.Edges())
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge round trip lost edges: %d vs %d", g2.NumEdges(), g.NumEdges())
+	}
+	for v := int32(0); v < 50; v++ {
+		if g.Degree(v) != g2.Degree(v) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func TestCSRInvariants(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := RandomGNM(30, 60, seed)
+		// symmetric: u in N(v) iff v in N(u); sorted adjacency
+		for v := int32(0); v < 30; v++ {
+			nbr := g.Neighbors(v)
+			for i := 1; i < len(nbr); i++ {
+				if nbr[i-1] >= nbr[i] {
+					return false
+				}
+			}
+			for _, u := range nbr {
+				if !g.HasEdge(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWeights(t *testing.T) {
+	g := Path(3)
+	if g.Weighted() {
+		t.Fatal("fresh graph claims weights")
+	}
+	if g.Weight(0) != 0 || g.Baseline(0) != 1 {
+		t.Fatal("default weight/baseline wrong")
+	}
+	g.SetWeights([]int64{5, 0, 2})
+	g.SetBaselines([]int64{1, 1, 3})
+	if !g.Weighted() || g.TotalWeight() != 7 || g.Weight(2) != 2 || g.Baseline(2) != 3 {
+		t.Fatal("weight accessors wrong")
+	}
+}
+
+func TestSetWeightsLengthPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched SetWeights did not panic")
+		}
+	}()
+	Path(3).SetWeights([]int64{1})
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	g := Cycle(6)
+	g.SetWeights([]int64{0, 1, 2, 3, 4, 5})
+	sub, old := g.InducedSubgraph([]int32{1, 2, 3, 5})
+	if sub.NumVertices() != 4 {
+		t.Fatalf("sub n = %d", sub.NumVertices())
+	}
+	// edges among {1,2,3,5} in C6: (1,2),(2,3) → 2 edges
+	if sub.NumEdges() != 2 {
+		t.Fatalf("sub m = %d, want 2", sub.NumEdges())
+	}
+	if old[3] != 5 || sub.Weight(3) != 5 {
+		t.Fatalf("weight carry-over broken: old=%v w=%d", old, sub.Weight(3))
+	}
+}
+
+func TestDeleteVertices(t *testing.T) {
+	g := Path(5)
+	sub, old := g.DeleteVertices(map[int32]bool{2: true})
+	if sub.NumVertices() != 4 || sub.NumEdges() != 2 {
+		t.Fatalf("delete middle of P5: n=%d m=%d", sub.NumVertices(), sub.NumEdges())
+	}
+	if len(old) != 4 {
+		t.Fatalf("old mapping length %d", len(old))
+	}
+}
+
+// --- generators ---
+
+func TestRandomGNMExactEdgeCount(t *testing.T) {
+	g := RandomGNM(100, 321, 7)
+	if g.NumEdges() != 321 {
+		t.Fatalf("G(n,m) produced %d edges, want 321", g.NumEdges())
+	}
+}
+
+func TestRandomGNMRejectsTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("overfull G(n,m) did not panic")
+		}
+	}()
+	RandomGNM(4, 10, 1)
+}
+
+func TestRandomGNPEdgeCountPlausible(t *testing.T) {
+	n, p := 300, 0.1
+	g := RandomGNP(n, p, 3)
+	want := p * float64(n*(n-1)/2)
+	got := float64(g.NumEdges())
+	if got < 0.8*want || got > 1.2*want {
+		t.Fatalf("G(n,p) edges = %v, want ~%v", got, want)
+	}
+	if RandomGNP(50, 0, 1).NumEdges() != 0 {
+		t.Fatal("G(n,0) has edges")
+	}
+	if g := RandomGNP(10, 1, 1); g.NumEdges() != 45 {
+		t.Fatalf("G(10,1) edges = %d, want 45", g.NumEdges())
+	}
+}
+
+func TestRandomNLogNShape(t *testing.T) {
+	g := RandomNLogN(1000, 5)
+	if g.NumEdges() < 6500 || g.NumEdges() > 7400 {
+		t.Fatalf("n ln n = ~6908 edges, got %d", g.NumEdges())
+	}
+}
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 4, 9)
+	if g.NumVertices() != 2000 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if !IsConnected(g) {
+		t.Fatal("BA graph disconnected")
+	}
+	// power law: max degree should far exceed mean degree
+	mean := 2 * float64(g.NumEdges()) / 2000
+	if float64(g.MaxDegree()) < 5*mean {
+		t.Fatalf("BA max degree %d not heavy-tailed vs mean %.1f", g.MaxDegree(), mean)
+	}
+}
+
+func TestRoadNetworkConnectedLowDegree(t *testing.T) {
+	g := RoadNetwork(40, 40, 11)
+	if !IsConnected(g) {
+		t.Fatal("road network disconnected")
+	}
+	if g.MaxDegree() > 10 {
+		t.Fatalf("road network max degree %d implausibly high", g.MaxDegree())
+	}
+}
+
+func TestSmallWorld(t *testing.T) {
+	g := SmallWorld(200, 3, 0.1, 2)
+	if g.NumVertices() != 200 {
+		t.Fatal("bad n")
+	}
+	if g.NumEdges() < 550 || g.NumEdges() > 600 {
+		t.Fatalf("small world edges = %d, want ~600", g.NumEdges())
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	if g := Path(5); g.NumEdges() != 4 || g.Degree(0) != 1 || g.Degree(2) != 2 {
+		t.Fatal("Path(5) malformed")
+	}
+	if g := Cycle(5); g.NumEdges() != 5 || g.Degree(0) != 2 {
+		t.Fatal("Cycle(5) malformed")
+	}
+	if g := Star(5); g.NumEdges() != 4 || g.Degree(0) != 4 {
+		t.Fatal("Star(5) malformed")
+	}
+	if g := Complete(5); g.NumEdges() != 10 {
+		t.Fatal("K5 malformed")
+	}
+	if g := Grid(3, 4); g.NumEdges() != 3*3+2*4 {
+		t.Fatalf("Grid(3,4) edges = %d, want 17", g.NumEdges())
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := RandomGNM(50, 100, 42).Edges()
+	b := RandomGNM(50, 100, 42).Edges()
+	if len(a) != len(b) {
+		t.Fatal("same seed, different graphs")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed, different graphs")
+		}
+	}
+}
+
+// --- traversal ---
+
+func TestBFSDistances(t *testing.T) {
+	g := Path(5)
+	d := BFS(g, 0)
+	for i, want := range []int32{0, 1, 2, 3, 4} {
+		if d[i] != want {
+			t.Fatalf("BFS dist[%d] = %d, want %d", i, d[i], want)
+		}
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	g := b.Build()
+	comp := ConnectedComponents(g)
+	if comp[0] != comp[1] || comp[2] != comp[3] || comp[3] != comp[4] {
+		t.Fatalf("components wrong: %v", comp)
+	}
+	if comp[0] == comp[2] || comp[5] == comp[0] || comp[5] == comp[2] {
+		t.Fatalf("components merged: %v", comp)
+	}
+	if IsConnected(g) {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !IsConnected(Cycle(4)) {
+		t.Fatal("cycle reported disconnected")
+	}
+}
+
+func TestIsConnectedSubset(t *testing.T) {
+	g := Path(6)
+	if !IsConnectedSubset(g, []int32{1, 2, 3}) {
+		t.Fatal("contiguous path slice should be connected")
+	}
+	if IsConnectedSubset(g, []int32{0, 2}) {
+		t.Fatal("gap should not be connected")
+	}
+	if IsConnectedSubset(g, nil) {
+		t.Fatal("empty set should not be connected")
+	}
+	if IsConnectedSubset(g, []int32{1, 1}) {
+		t.Fatal("duplicates should be rejected")
+	}
+}
+
+// --- brute-force oracles (self-test on known graphs) ---
+
+func TestHasPathOfLengthKnown(t *testing.T) {
+	g := Path(6)
+	for k := 1; k <= 6; k++ {
+		if !HasPathOfLength(g, k) {
+			t.Fatalf("P6 should contain path on %d vertices", k)
+		}
+	}
+	if HasPathOfLength(g, 7) {
+		t.Fatal("P6 cannot contain 7-vertex path")
+	}
+	if HasPathOfLength(Star(10), 4) {
+		t.Fatal("star has no 4-vertex path")
+	}
+	if !HasPathOfLength(Star(10), 3) {
+		t.Fatal("star has 3-vertex paths")
+	}
+}
+
+func TestCountPathsKnown(t *testing.T) {
+	// C5: paths on 3 vertices = 5; on 5 vertices = 5.
+	if got := CountPathsOfLength(Cycle(5), 3); got != 5 {
+		t.Fatalf("C5 3-paths = %d, want 5", got)
+	}
+	if got := CountPathsOfLength(Cycle(5), 5); got != 5 {
+		t.Fatalf("C5 5-paths = %d, want 5", got)
+	}
+	// K4: ordered simple 3-vertex walks = 4·3·2 = 24 → 12 undirected.
+	if got := CountPathsOfLength(Complete(4), 3); got != 12 {
+		t.Fatalf("K4 3-paths = %d, want 12", got)
+	}
+	if got := CountPathsOfLength(Path(4), 1); got != 4 {
+		t.Fatalf("single-vertex paths = %d, want n", got)
+	}
+}
+
+// --- templates ---
+
+func TestTemplateValidation(t *testing.T) {
+	if _, err := NewTemplate(3, [][2]int32{{0, 1}}); err == nil {
+		t.Fatal("too few edges accepted")
+	}
+	if _, err := NewTemplate(3, [][2]int32{{0, 1}, {0, 1}}); err == nil {
+		t.Fatal("multigraph accepted as tree")
+	}
+	if _, err := NewTemplate(4, [][2]int32{{0, 1}, {1, 2}, {0, 2}}); err == nil {
+		t.Fatal("cycle accepted as tree")
+	}
+	if _, err := NewTemplate(3, [][2]int32{{0, 1}, {1, 5}}); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+	if _, err := NewTemplate(2, [][2]int32{{0, 1}}); err != nil {
+		t.Fatalf("valid tree rejected: %v", err)
+	}
+}
+
+func TestDecomposeStructure(t *testing.T) {
+	for _, k := range []int{1, 2, 3, 5, 8} {
+		for _, tpl := range []*Template{PathTemplate(max(k, 1)), StarTemplate(max(k, 2)), RandomTemplate(max(k, 2), 77)} {
+			d := tpl.Decompose()
+			if want := 2*tpl.K() - 1; len(d.Nodes) != want {
+				t.Fatalf("k=%d: decomposition has %d nodes, want %d", tpl.K(), len(d.Nodes), want)
+			}
+			if d.Nodes[d.Root].Size != tpl.K() {
+				t.Fatalf("root size %d, want %d", d.Nodes[d.Root].Size, tpl.K())
+			}
+			leaves := 0
+			for i, nd := range d.Nodes {
+				if nd.Left < 0 != (nd.Right < 0) {
+					t.Fatalf("node %d half-leaf", i)
+				}
+				if nd.Left < 0 {
+					leaves++
+					if nd.Size != 1 {
+						t.Fatalf("leaf with size %d", nd.Size)
+					}
+					continue
+				}
+				if nd.Left >= i || nd.Right >= i {
+					t.Fatalf("node %d references later child (topological order broken)", i)
+				}
+				if nd.Size != d.Nodes[nd.Left].Size+d.Nodes[nd.Right].Size {
+					t.Fatalf("node %d size %d != %d + %d", i, nd.Size, d.Nodes[nd.Left].Size, d.Nodes[nd.Right].Size)
+				}
+			}
+			if leaves != tpl.K() {
+				t.Fatalf("%d leaves, want k=%d", leaves, tpl.K())
+			}
+		}
+	}
+}
+
+func TestRandomTemplateIsTree(t *testing.T) {
+	r := rng.New(4)
+	for i := 0; i < 20; i++ {
+		k := 2 + r.Intn(12)
+		tpl := RandomTemplate(k, r.Uint64())
+		deg := 0
+		for v := int32(0); v < int32(k); v++ {
+			deg += len(tpl.Neighbors(v))
+		}
+		if deg != 2*(k-1) {
+			t.Fatalf("random template on %d vertices has %d half-edges", k, deg)
+		}
+	}
+}
+
+func TestHasTreeEmbeddingKnown(t *testing.T) {
+	g := Grid(3, 3)
+	if !HasTreeEmbedding(g, PathTemplate(5)) {
+		t.Fatal("grid should embed P5")
+	}
+	if !HasTreeEmbedding(g, StarTemplate(5)) {
+		t.Fatal("grid center has degree 4: star-5 embeds")
+	}
+	if HasTreeEmbedding(g, StarTemplate(6)) {
+		t.Fatal("grid max degree 4 cannot embed star-6")
+	}
+	if HasTreeEmbedding(Path(3), PathTemplate(4)) {
+		t.Fatal("P3 cannot embed P4")
+	}
+	if !HasTreeEmbedding(Path(3), PathTemplate(3)) {
+		t.Fatal("P3 embeds itself")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestRMATShape(t *testing.T) {
+	g := RMAT(10, 8, 3) // 1024 vertices, nominal 8192 edges
+	if g.NumVertices() != 1024 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() < 4000 || g.NumEdges() > 8192 {
+		t.Fatalf("edges = %d, want (4000, 8192] after dedup", g.NumEdges())
+	}
+	// heavy tail: max degree far above mean
+	mean := 2 * float64(g.NumEdges()) / 1024
+	if float64(g.MaxDegree()) < 4*mean {
+		t.Fatalf("RMAT max degree %d not heavy-tailed vs mean %.1f", g.MaxDegree(), mean)
+	}
+	// determinism
+	g2 := RMAT(10, 8, 3)
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatal("same seed, different RMAT graph")
+	}
+}
+
+func TestRMATValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { RMAT(0, 8, 1) }, func() { RMAT(29, 8, 1) }, func() { RMAT(5, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("bad RMAT parameters accepted")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,161 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Edge-list IO. The text format is the usual whitespace-separated
+// "u v" per line (as used by SNAP datasets like com-Orkut), with '#'
+// comment lines. An optional weights file carries one "v w [b]" line per
+// weighted vertex.
+
+// WriteEdgeList writes g in text edge-list form (each undirected edge
+// once, "u v" per line) preceded by a header comment.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# midas graph: n=%d m=%d\n", g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	for u := int32(0); u < int32(g.NumVertices()); u++ {
+		for _, v := range g.Neighbors(u) {
+			if u < v {
+				if _, err := fmt.Fprintf(bw, "%d %d\n", u, v); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses a text edge list. Vertex ids may be arbitrary
+// non-negative integers; the graph is built on max_id+1 vertices.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges [][2]int32
+	maxID := int32(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || strings.HasPrefix(line, "%") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 'u v', got %q", lineNo, line)
+		}
+		u, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		v, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", lineNo, err)
+		}
+		if u < 0 || v < 0 {
+			return nil, fmt.Errorf("graph: line %d: negative vertex id", lineNo)
+		}
+		edges = append(edges, [2]int32{int32(u), int32(v)})
+		if int32(u) > maxID {
+			maxID = int32(u)
+		}
+		if int32(v) > maxID {
+			maxID = int32(v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return FromEdges(int(maxID+1), edges), nil
+}
+
+// LoadEdgeList reads a graph from a file path.
+func LoadEdgeList(path string) (*Graph, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadEdgeList(f)
+}
+
+// SaveEdgeList writes a graph to a file path.
+func SaveEdgeList(path string, g *Graph) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// WriteWeights writes per-vertex "v w b" lines for all vertices.
+func WriteWeights(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if _, err := fmt.Fprintf(bw, "%d %d %d\n", v, g.Weight(v), g.Baseline(v)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadWeights parses "v w [b]" lines and attaches them to g. Vertices
+// not mentioned keep weight 0 and baseline 1.
+func ReadWeights(r io.Reader, g *Graph) error {
+	n := g.NumVertices()
+	weights := make([]int64, n)
+	base := make([]int64, n)
+	for i := range base {
+		base[i] = 1
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("graph: weights line %d: want 'v w [b]', got %q", lineNo, line)
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graph: weights line %d: %v", lineNo, err)
+		}
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("graph: weights line %d: vertex %d out of range", lineNo, v)
+		}
+		wv, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("graph: weights line %d: %v", lineNo, err)
+		}
+		weights[v] = wv
+		if len(fields) >= 3 {
+			bv, err := strconv.ParseInt(fields[2], 10, 64)
+			if err != nil {
+				return fmt.Errorf("graph: weights line %d: %v", lineNo, err)
+			}
+			base[v] = bv
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	g.SetWeights(weights)
+	g.SetBaselines(base)
+	return nil
+}

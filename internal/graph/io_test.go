@@ -1,0 +1,106 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g := RandomGNM(40, 120, 3)
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("round trip changed graph: %v vs %v", g2, g)
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency mismatch at %d", v)
+			}
+		}
+	}
+}
+
+func TestReadEdgeListCommentsAndErrors(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# comment\n% another\n0 1\n\n1 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("parsed %v", g)
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0\n")); err == nil {
+		t.Fatal("short line accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("0 x\n")); err == nil {
+		t.Fatal("non-numeric accepted")
+	}
+	if _, err := ReadEdgeList(strings.NewReader("-1 2\n")); err == nil {
+		t.Fatal("negative id accepted")
+	}
+}
+
+func TestFileSaveLoad(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.txt")
+	g := Cycle(7)
+	if err := SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 7 {
+		t.Fatalf("loaded %d edges", g2.NumEdges())
+	}
+	if _, err := LoadEdgeList(filepath.Join(dir, "missing.txt")); err == nil {
+		t.Fatal("missing file did not error")
+	}
+}
+
+func TestWeightsRoundTrip(t *testing.T) {
+	g := Path(4)
+	g.SetWeights([]int64{3, 0, 0, 9})
+	g.SetBaselines([]int64{1, 2, 1, 4})
+	var buf bytes.Buffer
+	if err := WriteWeights(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2 := Path(4)
+	if err := ReadWeights(&buf, g2); err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < 4; v++ {
+		if g2.Weight(v) != g.Weight(v) || g2.Baseline(v) != g.Baseline(v) {
+			t.Fatalf("weights round trip broke at %d", v)
+		}
+	}
+}
+
+func TestReadWeightsErrors(t *testing.T) {
+	g := Path(2)
+	for _, bad := range []string{"0\n", "9 1\n", "x 1\n", "0 x\n", "0 1 x\n"} {
+		if err := ReadWeights(strings.NewReader(bad), Path(2)); err == nil {
+			t.Fatalf("bad weights line %q accepted", bad)
+		}
+	}
+	if err := ReadWeights(strings.NewReader("1 7\n"), g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Weight(1) != 7 || g.Baseline(0) != 1 {
+		t.Fatal("defaults not applied")
+	}
+}

@@ -1,0 +1,298 @@
+package graph
+
+import (
+	"fmt"
+
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// Template is the k-vertex tree H = (V^H, E^H) whose non-induced
+// embeddings k-Tree searches for. Vertices are 0..K-1.
+type Template struct {
+	k   int
+	adj [][]int32
+}
+
+// NewTemplate validates that edges form a tree on k vertices and returns
+// the template. It returns an error on disconnected or cyclic input.
+func NewTemplate(k int, edges [][2]int32) (*Template, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("graph: template needs k >= 1, got %d", k)
+	}
+	if len(edges) != k-1 {
+		return nil, fmt.Errorf("graph: tree on %d vertices needs %d edges, got %d", k, k-1, len(edges))
+	}
+	t := &Template{k: k, adj: make([][]int32, k)}
+	for _, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || int(u) >= k || int(v) >= k || u == v {
+			return nil, fmt.Errorf("graph: bad template edge (%d,%d)", u, v)
+		}
+		t.adj[u] = append(t.adj[u], v)
+		t.adj[v] = append(t.adj[v], u)
+	}
+	// connectivity check (k-1 edges + connected ⇒ tree)
+	seen := make([]bool, k)
+	stack := []int32{0}
+	seen[0] = true
+	cnt := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, u := range t.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				cnt++
+				stack = append(stack, u)
+			}
+		}
+	}
+	if cnt != k {
+		return nil, fmt.Errorf("graph: template edges do not form a tree (reached %d of %d vertices)", cnt, k)
+	}
+	return t, nil
+}
+
+// MustTemplate is NewTemplate that panics on error; for fixtures.
+func MustTemplate(k int, edges [][2]int32) *Template {
+	t, err := NewTemplate(k, edges)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// K returns the number of template vertices.
+func (t *Template) K() int { return t.k }
+
+// Neighbors returns the template adjacency of v.
+func (t *Template) Neighbors(v int32) []int32 { return t.adj[v] }
+
+// PathTemplate returns the k-vertex path template (so k-Tree degenerates
+// to k-Path, which the tests exploit for cross-validation).
+func PathTemplate(k int) *Template {
+	edges := make([][2]int32, 0, k-1)
+	for i := 0; i+1 < k; i++ {
+		edges = append(edges, [2]int32{int32(i), int32(i + 1)})
+	}
+	return MustTemplate(k, edges)
+}
+
+// StarTemplate returns the star on k vertices with center 0.
+func StarTemplate(k int) *Template {
+	edges := make([][2]int32, 0, k-1)
+	for i := 1; i < k; i++ {
+		edges = append(edges, [2]int32{0, int32(i)})
+	}
+	return MustTemplate(k, edges)
+}
+
+// BinaryTreeTemplate returns the complete-ish binary tree on k vertices
+// (vertex i's parent is (i-1)/2).
+func BinaryTreeTemplate(k int) *Template {
+	edges := make([][2]int32, 0, k-1)
+	for i := 1; i < k; i++ {
+		edges = append(edges, [2]int32{int32((i - 1) / 2), int32(i)})
+	}
+	return MustTemplate(k, edges)
+}
+
+// RandomTemplate returns a uniform random labeled tree on k vertices via
+// a random Prüfer sequence.
+func RandomTemplate(k int, seed uint64) *Template {
+	if k == 1 {
+		return MustTemplate(1, nil)
+	}
+	if k == 2 {
+		return MustTemplate(2, [][2]int32{{0, 1}})
+	}
+	r := rng.New(seed)
+	prufer := make([]int, k-2)
+	for i := range prufer {
+		prufer[i] = r.Intn(k)
+	}
+	deg := make([]int, k)
+	for i := range deg {
+		deg[i] = 1
+	}
+	for _, p := range prufer {
+		deg[p]++
+	}
+	edges := make([][2]int32, 0, k-1)
+	for _, p := range prufer {
+		for leaf := 0; leaf < k; leaf++ {
+			if deg[leaf] == 1 {
+				edges = append(edges, [2]int32{int32(leaf), int32(p)})
+				deg[leaf]--
+				deg[p]--
+				break
+			}
+		}
+	}
+	u, v := -1, -1
+	for i := 0; i < k; i++ {
+		if deg[i] == 1 {
+			if u < 0 {
+				u = i
+			} else {
+				v = i
+			}
+		}
+	}
+	edges = append(edges, [2]int32{int32(u), int32(v)})
+	return MustTemplate(k, edges)
+}
+
+// Subtree is one node of the template decomposition (paper, Fig 2): a
+// rooted subtree of H. A leaf has Left == Right == -1; an internal node
+// splits off the subtree hanging from one neighbor of its root:
+// Left keeps this subtree's root, Right is rooted at the split-off
+// neighbor, and Size = Left.Size + Right.Size.
+type Subtree struct {
+	Size        int
+	Left, Right int
+}
+
+// Decomposition is the collection T of subtrees of H, indexed so that
+// children precede parents (evaluating nodes in index order satisfies
+// every dependency). Node Root (the last index) is H itself.
+type Decomposition struct {
+	Nodes []Subtree
+	Root  int
+}
+
+// Decompose roots the template at vertex 0 and recursively splits it per
+// the paper's Fig 2, producing 2k-1 subtree nodes.
+func (t *Template) Decompose() *Decomposition {
+	// children lists under root 0
+	parent := make([]int32, t.k)
+	order := make([]int32, 0, t.k)
+	parent[0] = -1
+	seen := make([]bool, t.k)
+	seen[0] = true
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range t.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				parent[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	children := make([][]int32, t.k)
+	for _, v := range order {
+		if parent[v] >= 0 {
+			children[parent[v]] = append(children[parent[v]], v)
+		}
+	}
+	d := &Decomposition{}
+	// build recursively: node for (root r with the suffix of its child
+	// list starting at index ci).
+	var build func(r int32, ci int) int
+	build = func(r int32, ci int) int {
+		if ci >= len(children[r]) {
+			d.Nodes = append(d.Nodes, Subtree{Size: 1, Left: -1, Right: -1})
+			return len(d.Nodes) - 1
+		}
+		u := children[r][ci]
+		right := build(u, 0)
+		left := build(r, ci+1)
+		d.Nodes = append(d.Nodes, Subtree{
+			Size:  d.Nodes[left].Size + d.Nodes[right].Size,
+			Left:  left,
+			Right: right,
+		})
+		return len(d.Nodes) - 1
+	}
+	d.Root = build(0, 0)
+	return d
+}
+
+// HasTreeEmbedding reports, by exhaustive backtracking, whether the
+// template has a non-induced embedding in g (injective vertex map
+// preserving template edges). Brute-force test oracle.
+func HasTreeEmbedding(g *Graph, t *Template) bool {
+	n := g.NumVertices()
+	if t.k > n {
+		return false
+	}
+	// BFS order from template vertex 0 so each vertex after the first
+	// has a mapped template neighbor.
+	order := make([]int32, 0, t.k)
+	attach := make([]int32, t.k) // template parent in BFS tree
+	seen := make([]bool, t.k)
+	seen[0] = true
+	attach[0] = -1
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range t.adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				attach[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	mapping := make([]int32, t.k)
+	usedG := make(map[int32]bool, t.k)
+	var dfs func(idx int) bool
+	dfs = func(idx int) bool {
+		if idx == t.k {
+			return true
+		}
+		tv := order[idx]
+		var candidates []int32
+		if attach[tv] < 0 {
+			candidates = nil // all graph vertices; handled below
+		} else {
+			candidates = g.Neighbors(mapping[attach[tv]])
+		}
+		try := func(gv int32) bool {
+			if usedG[gv] {
+				return false
+			}
+			// check edges to all already-mapped template neighbors
+			for _, tn := range t.adj[tv] {
+				mapped := false
+				for _, ov := range order[:idx] {
+					if ov == tn {
+						mapped = true
+						break
+					}
+				}
+				if mapped && !g.HasEdge(gv, mapping[tn]) {
+					return false
+				}
+			}
+			usedG[gv] = true
+			mapping[tv] = gv
+			if dfs(idx + 1) {
+				return true
+			}
+			delete(usedG, gv)
+			return false
+		}
+		if candidates == nil {
+			for gv := int32(0); gv < int32(n); gv++ {
+				if try(gv) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, gv := range candidates {
+			if try(gv) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0)
+}

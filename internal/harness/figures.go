@@ -1,0 +1,538 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/fascia"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/partition"
+	"github.com/midas-hpc/midas/internal/roadnet"
+	"github.com/midas-hpc/midas/internal/scanstat"
+)
+
+// Params sizes an experiment run. Zero values take the defaults noted.
+type Params struct {
+	Scale int    // dataset vertex count (default 2000)
+	N     int    // world size for distributed experiments (default 32)
+	Ks    []int  // subgraph sizes (default {6, 10})
+	KMax  int    // largest k for Fig 11 (default 12)
+	Seed  uint64 // base seed
+}
+
+func (p Params) withDefaults() Params {
+	if p.Scale <= 0 {
+		p.Scale = 2000
+	}
+	if p.N <= 0 {
+		p.N = 32
+	}
+	if len(p.Ks) == 0 {
+		p.Ks = []int{6, 10}
+	}
+	if p.KMax <= 0 {
+		p.KMax = 12
+	}
+	return p
+}
+
+func divisorsPow2(n int) []int {
+	var out []int
+	for d := 1; d <= n; d *= 2 {
+		if n%d == 0 {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Table2 prints the dataset summary analogous to the paper's Table II.
+func Table2(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	t := &Table{Title: "Table II analogue: datasets", Header: []string{"dataset", "stands for", "nodes", "edges", "maxdeg"}}
+	for _, d := range Datasets() {
+		g := d.Build(p.Scale, p.Seed)
+		t.Add(d.Name, d.Paper, fmt.Sprint(g.NumVertices()), fmt.Sprint(g.NumEdges()), fmt.Sprint(g.MaxDegree()))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// FigPartitionSize regenerates Figs 3–8: k-path modeled runtime versus
+// N1 at fixed N, with N2 = 1 (BS1, Figs 3–5) or N2 = 2^k·N1/N (BSMax,
+// Figs 6–8), for the named dataset.
+func FigPartitionSize(w io.Writer, dsName string, bsMax bool, p Params) error {
+	p = p.withDefaults()
+	ds, err := DatasetByName(dsName)
+	if err != nil {
+		return err
+	}
+	g := ds.Build(p.Scale, p.Seed)
+	mode, fig := "BS1 (N2=1)", map[string]string{"random": "3", "orkut": "4", "miami": "5"}[dsName]
+	if bsMax {
+		mode, fig = "BSMax (N2=2^k·N1/N)", map[string]string{"random": "6", "orkut": "7", "miami": "8"}[dsName]
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig %s analogue: k-path on %s (n=%d m=%d), N=%d, %s", fig, dsName, g.NumVertices(), g.NumEdges(), p.N, mode),
+		Header: []string{"k", "N1", "N2", "modeled", "msgs", "bytes", "wall"},
+	}
+	for _, k := range p.Ks {
+		for _, n1 := range divisorsPow2(p.N) {
+			n2 := 1
+			if bsMax {
+				n2 = BSMaxN2(k, p.N, n1)
+			}
+			cfg := core.Config{K: k, N1: n1, N2: n2, Seed: p.Seed, Rounds: 1}
+			res, err := RunPathConfig(g, p.N, cfg)
+			if err != nil {
+				return err
+			}
+			t.Add(fmt.Sprint(k), fmt.Sprint(n1), fmt.Sprint(n2), fmtSecs(res.ModeledSecs),
+				fmt.Sprint(res.Msgs), fmtBytes(res.Bytes), fmtSecs(res.WallSecs))
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig9 regenerates the fixed-N1 strong-scaling speedup curves: for each
+// N1, T(N_min)/T(N) as N grows, plus the envelope over N1 ("Best").
+func Fig9(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale, p.Seed)
+	k := p.Ks[len(p.Ks)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 9 analogue: k-path strong scaling, fixed N1 (random, n=%d, k=%d)", g.NumVertices(), k),
+		Header: []string{"N1", "N", "modeled", "speedup-vs-minN"},
+	}
+	best := map[int]float64{}
+	for _, n1 := range []int{1, 4, 16} {
+		if n1 > p.N {
+			continue
+		}
+		var base float64
+		for n := n1; n <= p.N; n *= 2 {
+			cfg := core.Config{K: k, N1: n1, N2: BSMaxN2(k, n, n1), Seed: p.Seed, Rounds: 1}
+			res, err := RunPathConfig(g, n, cfg)
+			if err != nil {
+				return err
+			}
+			if base == 0 {
+				base = res.ModeledSecs
+			}
+			t.Add(fmt.Sprint(n1), fmt.Sprint(n), fmtSecs(res.ModeledSecs), fmt.Sprintf("%.2fx", base/res.ModeledSecs))
+			if cur, ok := best[n]; !ok || res.ModeledSecs < cur {
+				best[n] = res.ModeledSecs
+			}
+		}
+	}
+	for n := 1; n <= p.N; n *= 2 {
+		if tm, ok := best[n]; ok {
+			t.Add("best", fmt.Sprint(n), fmtSecs(tm), "")
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig10 regenerates the classic strong scaling with N1 = N across all
+// datasets.
+func Fig10(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	k := p.Ks[len(p.Ks)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 10 analogue: k-path strong scaling with N1=N (k=%d, scale=%d)", k, p.Scale),
+		Header: []string{"dataset", "N", "modeled", "speedup"},
+	}
+	for _, ds := range Datasets() {
+		g := ds.Build(p.Scale, p.Seed)
+		var base float64
+		for n := 1; n <= p.N; n *= 2 {
+			cfg := core.Config{K: k, N1: n, N2: BSMaxN2(k, n, n), Seed: p.Seed, Rounds: 1}
+			res, err := RunPathConfig(g, n, cfg)
+			if err != nil {
+				return err
+			}
+			if n == 1 {
+				base = res.ModeledSecs
+			}
+			t.Add(ds.Name, fmt.Sprint(n), fmtSecs(res.ModeledSecs), fmt.Sprintf("%.2fx", base/res.ModeledSecs))
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig11 regenerates the MIDAS-vs-FASCIA comparison: sequential wall
+// time versus subgraph size, with FASCIA's approximate-count time
+// projected from measured per-coloring time × required colorings, and
+// its memory wall marked (the paper's "fails beyond k = 12").
+func Fig11(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale, p.Seed)
+	const memLimit = int64(8) << 30
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 11 analogue: MIDAS vs FASCIA, k-path on random (n=%d m=%d)", g.NumVertices(), g.NumEdges()),
+		Header: []string{"k", "midas", "fascia(1 coloring)", "fascia(approx count)", "fascia memory", "note"},
+	}
+	for k := 5; k <= p.KMax; k++ {
+		start := time.Now()
+		if _, err := mld.DetectPath(g, k, mld.Options{Seed: p.Seed, Rounds: 1}); err != nil {
+			return err
+		}
+		midasSecs := time.Since(start).Seconds()
+
+		memB := fascia.MemoryBytes(g.NumVertices(), k)
+		note := ""
+		fasciaOne, fasciaFull := "-", "-"
+		if memB > memLimit {
+			note = "OOM: tables exceed memory (paper: FASCIA fails beyond k≈12)"
+		} else {
+			start = time.Now()
+			if _, err := fascia.Count(g, graph.PathTemplate(k), fascia.Options{Seed: p.Seed, Iterations: 1}); err != nil {
+				return err
+			}
+			one := time.Since(start).Seconds()
+			iters := fascia.IterationsForApprox(k, 0.1)
+			fasciaOne = fmtSecs(one)
+			fasciaFull = fmtSecs(one * float64(iters))
+			note = fmt.Sprintf("%d colorings needed", iters)
+		}
+		t.Add(fmt.Sprint(k), fmtSecs(midasSecs), fasciaOne, fasciaFull, fmtBytes(memB), note)
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// Fig12 regenerates scan-statistics strong scaling with N1 = N.
+func Fig12(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	const k, zmax = 4, 12
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 12 analogue: scan statistics strong scaling, N1=N (k=%d, zmax=%d)", k, zmax),
+		Header: []string{"dataset", "N", "modeled", "speedup"},
+	}
+	for _, ds := range Datasets() {
+		g := ds.Build(p.Scale/4, p.Seed)
+		attachSyntheticWeights(g, p.Seed)
+		var base float64
+		for n := 1; n <= p.N; n *= 2 {
+			cfg := core.ScanConfig{
+				Config: core.Config{K: k, N1: n, N2: 8, Seed: p.Seed, Rounds: 1},
+				ZMax:   zmax,
+			}
+			res, _, err := RunScanConfig(g, n, cfg)
+			if err != nil {
+				return err
+			}
+			if n == 1 {
+				base = res.ModeledSecs
+			}
+			t.Add(ds.Name, fmt.Sprint(n), fmtSecs(res.ModeledSecs), fmt.Sprintf("%.2fx", base/res.ModeledSecs))
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+func attachSyntheticWeights(g *graph.Graph, seed uint64) {
+	w := make([]int64, g.NumVertices())
+	for i := range w {
+		// sparse events: ~10% of nodes carry weight 1-2
+		h := uint64(i)*2654435761 + seed
+		if h%10 == 0 {
+			w[i] = int64(1 + h%2)
+		}
+	}
+	g.SetWeights(w)
+}
+
+// Fig13 runs the road-network congestion case study end to end and
+// renders the detection map.
+func Fig13(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	sim, err := roadnet.Simulate(roadnet.Config{
+		Rows: 12, Cols: 12, Snapshots: 30, AnomalySize: 6, Seed: p.Seed + 7,
+	})
+	if err != nil {
+		return err
+	}
+	const alpha = 0.02
+	sim.G.SetWeights(scanstat.IndicatorWeights(sim.PValues, alpha))
+	const k = 8
+	res, err := scanstat.Detect(sim.G, k, scanstat.BerkJones{Alpha: alpha},
+		scanstat.Options{MLD: mld.Options{Seed: p.Seed, Epsilon: 1e-4}})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\n== Fig 13 analogue: congested highway clusters ==\n")
+	if !res.Feasible {
+		fmt.Fprintln(w, "no anomalous cluster found")
+		return nil
+	}
+	cluster, err := scanstat.ExtractCell(sim.G, res.Size, res.Weight,
+		scanstat.Options{MLD: mld.Options{Seed: p.Seed, Epsilon: 1e-6}})
+	if err != nil {
+		return err
+	}
+	prec, rec := sim.PrecisionRecall(cluster)
+	fmt.Fprintf(w, "statistic=%s score=%.3f size=%d weight=%d precision=%.2f recall=%.2f\n",
+		scanstat.BerkJones{Alpha: alpha}.Name(), res.Score, res.Size, res.Weight, prec, rec)
+	fmt.Fprintf(w, "map (o=injected, #=detected, @=both):\n%s", sim.AsciiMap(cluster))
+	return nil
+}
+
+// ScalingK regenerates the Section VI-C claim: runtime doubles with
+// each k increment (the 2^k factor).
+func ScalingK(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale, p.Seed)
+	t := &Table{
+		Title:  fmt.Sprintf("Scaling with subgraph size (random, n=%d): expect ~2x per k", g.NumVertices()),
+		Header: []string{"k", "seconds", "ratio-to-prev"},
+	}
+	prev := 0.0
+	for k := 4; k <= p.KMax; k++ {
+		start := time.Now()
+		if _, err := mld.DetectPath(g, k, mld.Options{Seed: p.Seed, Rounds: 1}); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		ratio := "-"
+		if prev > 0 {
+			ratio = fmt.Sprintf("%.2fx", secs/prev)
+		}
+		t.Add(fmt.Sprint(k), fmtSecs(secs), ratio)
+		prev = secs
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// ScalingN regenerates the linear-in-network-size claim.
+func ScalingN(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	k := p.Ks[0]
+	t := &Table{
+		Title:  fmt.Sprintf("Scaling with network size (random, k=%d): expect ~linear in m", k),
+		Header: []string{"n", "m", "seconds", "secs/edge"},
+	}
+	for n := p.Scale / 4; n <= p.Scale*2; n *= 2 {
+		g := graph.RandomNLogN(n, p.Seed)
+		start := time.Now()
+		if _, err := mld.DetectPath(g, k, mld.Options{Seed: p.Seed, Rounds: 1}); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		t.Add(fmt.Sprint(n), fmt.Sprint(g.NumEdges()), fmtSecs(secs),
+			fmt.Sprintf("%.1fns", secs/float64(g.NumEdges())*1e9))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// AblationN2 measures the Section IV-B cache-locality effect: sequential
+// wall time of one round as the batch width N2 grows.
+func AblationN2(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale, p.Seed)
+	k := p.Ks[len(p.Ks)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: batch width N2 (sequential k-path, random n=%d, k=%d)", g.NumVertices(), k),
+		Header: []string{"N2", "seconds", "speedup-vs-N2=1"},
+	}
+	var base float64
+	for _, n2 := range []int{1, 4, 16, 64, 256, 1024} {
+		if n2 > 1<<uint(k) {
+			break
+		}
+		start := time.Now()
+		if _, err := mld.DetectPath(g, k, mld.Options{Seed: p.Seed, Rounds: 1, N2: n2}); err != nil {
+			return err
+		}
+		secs := time.Since(start).Seconds()
+		if base == 0 {
+			base = secs
+		}
+		t.Add(fmt.Sprint(n2), fmtSecs(secs), fmt.Sprintf("%.2fx", base/secs))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// AblationGray compares Gray-code incremental base updates against
+// full recomputation.
+func AblationGray(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale, p.Seed)
+	k := p.Ks[len(p.Ks)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: Gray-code base updates (k=%d, N2=64)", k),
+		Header: []string{"mode", "seconds"},
+	}
+	for _, mode := range []struct {
+		name   string
+		noGray bool
+	}{{"gray-incremental", false}, {"recompute", true}} {
+		start := time.Now()
+		if _, err := mld.DetectPath(g, k, mld.Options{Seed: p.Seed, Rounds: 1, N2: 64, NoGray: mode.noGray}); err != nil {
+			return err
+		}
+		t.Add(mode.name, fmtSecs(time.Since(start).Seconds()))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// AblationVariant compares the GF(2^16) evaluation with the GF(2^8)
+// width the paper prescribes and the verbatim Koutis mod-2^(k+1)
+// arithmetic (each including its amplification cost).
+func AblationVariant(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale/2, p.Seed)
+	k := p.Ks[0]
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: evaluation variant (k=%d)", k),
+		Header: []string{"variant", "rounds(ε=0.05)", "seconds"},
+	}
+	for _, v := range []mld.Variant{mld.VariantGF16, mld.VariantGF8, mld.VariantKoutis} {
+		opt := mld.Options{Seed: p.Seed, Variant: v}
+		start := time.Now()
+		if _, err := mld.DetectPath(g, k, opt); err != nil {
+			return err
+		}
+		t.Add(v.String(), fmt.Sprint(opt.RoundsFor(k)), fmtSecs(time.Since(start).Seconds()))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// AblationPartitioner compares partition schemes on the spatial dataset:
+// the MaxDeg/cut quality and the resulting modeled run time.
+func AblationPartitioner(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("miami")
+	g := ds.Build(p.Scale, p.Seed)
+	k := p.Ks[0]
+	n1 := 8
+	if n1 > p.N {
+		n1 = p.N
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Ablation: partitioner (miami n=%d, N=%d, N1=%d, k=%d)", g.NumVertices(), p.N, n1, k),
+		Header: []string{"scheme", "maxload", "maxdeg", "cut", "modeled", "bytes"},
+	}
+	for _, s := range []partition.Scheme{partition.SchemeBlock, partition.SchemeRandom, partition.SchemeBFSGrow, partition.SchemeMultilevel} {
+		part, err := partition.ByScheme(s, g, n1, p.Seed)
+		if err != nil {
+			return err
+		}
+		m := part.ComputeMetrics(g)
+		cfg := core.Config{K: k, N1: n1, N2: BSMaxN2(k, p.N, n1), Seed: p.Seed, Rounds: 1, Scheme: s}
+		res, err := RunPathConfig(g, p.N, cfg)
+		if err != nil {
+			return err
+		}
+		t.Add(string(s), fmt.Sprint(m.MaxLoad), fmt.Sprint(m.MaxDeg), fmt.Sprint(m.Cut),
+			fmtSecs(res.ModeledSecs), fmtBytes(res.Bytes))
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// ProfileBreakdown reports, per N1, the per-rank compute versus
+// communication share of the modeled makespan — the quantitative form
+// of the paper's Section VI-B observation that communication cost grows
+// with N1 until it dominates.
+func ProfileBreakdown(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	ds, _ := DatasetByName("random")
+	g := ds.Build(p.Scale, p.Seed)
+	k := p.Ks[len(p.Ks)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Profile: compute vs communication share (random n=%d, N=%d, k=%d)", g.NumVertices(), p.N, k),
+		Header: []string{"mode", "N1", "N2", "max-compute", "makespan", "comm-share", "msgs", "bytes"},
+	}
+	for _, mode := range []struct {
+		name  string
+		bsMax bool
+	}{{"BS1", false}, {"BSMax", true}} {
+		for _, n1 := range divisorsPow2(p.N) {
+			n2 := 1
+			if mode.bsMax {
+				n2 = BSMaxN2(k, p.N, n1)
+			}
+			profiles := make([]core.Profile, p.N)
+			cfg := core.Config{K: k, N1: n1, N2: n2, Seed: p.Seed, Rounds: 1}
+			comms, err := comm.RunLocalInspect(p.N, comm.DefaultCostModel(), func(c *comm.Comm) error {
+				_, prof, err := core.RunPathProfiled(c, g, cfg)
+				profiles[c.Rank()] = prof
+				return err
+			})
+			if err != nil {
+				return err
+			}
+			makespan := comm.MaxClock(comms)
+			var maxCompute float64
+			var msgs, bytes int64
+			for _, pr := range profiles {
+				if pr.ComputeSecs > maxCompute {
+					maxCompute = pr.ComputeSecs
+				}
+				msgs += pr.MsgsSent
+				bytes += pr.BytesSent
+			}
+			share := 0.0
+			if makespan > 0 {
+				share = 1 - maxCompute/makespan
+				if share < 0 {
+					share = 0
+				}
+			}
+			t.Add(mode.name, fmt.Sprint(n1), fmt.Sprint(n2), fmtSecs(maxCompute), fmtSecs(makespan),
+				fmt.Sprintf("%.0f%%", 100*share), fmt.Sprint(msgs), fmtBytes(bytes))
+		}
+	}
+	t.Fprint(w)
+	return nil
+}
+
+// AblationFingerprints demonstrates the soundness failure of the
+// verbatim pseudo-code (DESIGN.md §2): without per-(edge, level)
+// coefficients, path instances are missed systematically.
+func AblationFingerprints(w io.Writer, p Params) error {
+	p = p.withDefaults()
+	t := &Table{
+		Title:  "Ablation: fingerprint coefficients (20 seeds, P8 graph, k=6: answer should be yes)",
+		Header: []string{"mode", "yes-answers"},
+	}
+	g := graph.Path(8)
+	for _, mode := range []struct {
+		name string
+		off  bool
+	}{{"with fingerprints", false}, {"without (verbatim Alg. 1)", true}} {
+		yes := 0
+		for seed := uint64(0); seed < 20; seed++ {
+			got, err := mld.DetectPath(g, 6, mld.Options{Seed: seed, Rounds: 1, NoFingerprints: mode.off})
+			if err != nil {
+				return err
+			}
+			if got {
+				yes++
+			}
+		}
+		t.Add(mode.name, fmt.Sprintf("%d/20", yes))
+	}
+	t.Fprint(w)
+	return nil
+}

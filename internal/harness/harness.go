@@ -1,0 +1,215 @@
+// Package harness runs the paper's experiments (Section VI) and prints
+// the tables/series behind every figure. Each Fig* function regenerates
+// one figure's data; cmd/midas-bench is the CLI front end and
+// bench_test.go wraps them as testing.B benchmarks.
+//
+// Because this machine exposes a single core (DESIGN.md §3), scaling
+// numbers are reported as *modeled makespan*: per-rank compute sections
+// are measured with real wall time and message costs follow the α–β
+// model in internal/comm; the maximum virtual clock over ranks is the
+// makespan. Total traffic (messages/bytes) is reported alongside, since
+// Theorem 2's communication term is directly observable there.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// Dataset is a named synthetic analogue of one of the paper's Table II
+// datasets, constructible at any scale.
+type Dataset struct {
+	Name  string
+	Paper string // what it stands in for
+	Build func(n int, seed uint64) *graph.Graph
+}
+
+// Datasets returns the three structural classes of Table II.
+func Datasets() []Dataset {
+	return []Dataset{
+		{
+			Name:  "random",
+			Paper: "random-1e6/1e7 (Erdős–Rényi, m = n·ln n)",
+			Build: func(n int, seed uint64) *graph.Graph { return graph.RandomNLogN(n, seed) },
+		},
+		{
+			Name:  "orkut",
+			Paper: "com-Orkut (heavy-tailed social network)",
+			Build: func(n int, seed uint64) *graph.Graph {
+				m := 8 // mean degree ~16, power-law tail
+				if n <= m+1 {
+					m = n - 2
+				}
+				return graph.BarabasiAlbert(n, m, seed)
+			},
+		},
+		{
+			Name:  "miami",
+			Paper: "miami (spatial contact/road network)",
+			Build: func(n int, seed uint64) *graph.Graph {
+				side := 1
+				for side*side < n {
+					side++
+				}
+				return graph.RoadNetwork(side, side, seed)
+			},
+		},
+	}
+}
+
+// DatasetByName finds a dataset.
+func DatasetByName(name string) (Dataset, error) {
+	for _, d := range Datasets() {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return Dataset{}, fmt.Errorf("harness: unknown dataset %q (want random|orkut|miami)", name)
+}
+
+// Table is a printable result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "\n== %s ==\n", t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// RunResult bundles the observables of one MIDAS configuration run.
+type RunResult struct {
+	Answer      bool
+	ModeledSecs float64 // makespan from virtual clocks
+	WallSecs    float64 // real wall time of the whole local-world run
+	Msgs        int64
+	Bytes       int64
+}
+
+// RunPathConfig executes distributed k-path detection on a fresh local
+// world of N ranks and reports the modeled makespan and traffic.
+func RunPathConfig(g *graph.Graph, n int, cfg core.Config) (RunResult, error) {
+	var res RunResult
+	answers := make([]bool, n)
+	start := time.Now()
+	comms, err := comm.RunLocalInspect(n, comm.DefaultCostModel(), func(c *comm.Comm) error {
+		got, err := core.RunPath(c, g, cfg)
+		if err != nil {
+			return err
+		}
+		answers[c.Rank()] = got
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.WallSecs = time.Since(start).Seconds()
+	res.Answer = answers[0]
+	res.ModeledSecs = comm.MaxClock(comms)
+	s := comm.TotalStats(comms)
+	res.Msgs, res.Bytes = s.MsgsSent, s.BytesSent
+	return res, nil
+}
+
+// RunScanConfig is RunPathConfig for the scan-statistics table.
+func RunScanConfig(g *graph.Graph, n int, cfg core.ScanConfig) (RunResult, [][]bool, error) {
+	var res RunResult
+	var tab [][]bool
+	start := time.Now()
+	comms, err := comm.RunLocalInspect(n, comm.DefaultCostModel(), func(c *comm.Comm) error {
+		t, err := core.RunScan(c, g, cfg)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			tab = t
+		}
+		return nil
+	})
+	if err != nil {
+		return res, nil, err
+	}
+	res.WallSecs = time.Since(start).Seconds()
+	res.ModeledSecs = comm.MaxClock(comms)
+	s := comm.TotalStats(comms)
+	res.Msgs, res.Bytes = s.MsgsSent, s.BytesSent
+	return res, tab, nil
+}
+
+// BSMaxN2 is the paper's "BSMax" batch width: all of a phase group's
+// iterations in one batch, N2 = 2^k·N1/N.
+func BSMaxN2(k, n, n1 int) int {
+	total := uint64(1) << uint(k)
+	groups := uint64(n / n1)
+	n2 := total / groups
+	if n2 < 1 {
+		n2 = 1
+	}
+	const lim = 1 << 14 // the paper also caps N2 (< 1024 there) to bound message size
+	if n2 > lim {
+		n2 = lim
+	}
+	return int(n2)
+}
+
+func fmtSecs(s float64) string {
+	switch {
+	case s >= 1:
+		return fmt.Sprintf("%.2fs", s)
+	case s >= 1e-3:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	}
+}
+
+func fmtBytes(b int64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// small keeps harness tests fast: tiny scale, few ranks.
+func small() Params {
+	return Params{Scale: 200, N: 4, Ks: []int{4}, KMax: 6, Seed: 1}
+}
+
+func TestDatasetsBuild(t *testing.T) {
+	for _, d := range Datasets() {
+		g := d.Build(300, 1)
+		if g.NumVertices() < 300 {
+			t.Fatalf("%s built %d vertices, want >= 300", d.Name, g.NumVertices())
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s has no edges", d.Name)
+		}
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if d, err := DatasetByName("miami"); err != nil || d.Name != "miami" {
+		t.Fatalf("lookup failed: %v", err)
+	}
+}
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{Title: "T", Header: []string{"a", "long-header"}}
+	tab.Add("1", "2")
+	tab.Add("333", "4")
+	var buf bytes.Buffer
+	tab.Fprint(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "== T ==") || !strings.Contains(out, "long-header") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title, header, sep, 2 rows
+		t.Fatalf("unexpected table shape:\n%s", out)
+	}
+}
+
+func TestRunPathConfigReportsObservables(t *testing.T) {
+	g := graph.RandomNLogN(150, 2)
+	res, err := RunPathConfig(g, 4, core.Config{K: 4, N1: 2, N2: 4, Seed: 1, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Answer {
+		t.Fatal("150-vertex n·ln n graph surely has a 4-path")
+	}
+	if res.ModeledSecs <= 0 || res.WallSecs <= 0 {
+		t.Fatalf("times missing: %+v", res)
+	}
+	if res.Msgs == 0 || res.Bytes == 0 {
+		t.Fatalf("traffic missing: %+v", res)
+	}
+}
+
+func TestBSMaxN2(t *testing.T) {
+	// k=6, N=128, N1=32 → phases of 2^6·32/128 = 16 iterations
+	if got := BSMaxN2(6, 128, 32); got != 16 {
+		t.Fatalf("BSMaxN2 = %d, want 16", got)
+	}
+	if got := BSMaxN2(4, 64, 1); got != 1 {
+		t.Fatalf("tiny share should floor at 1, got %d", got)
+	}
+	if got := BSMaxN2(20, 2, 2); got != 1<<14 {
+		t.Fatalf("cap missing: %d", got)
+	}
+}
+
+func TestAllFiguresRunAtTinyScale(t *testing.T) {
+	p := small()
+	var buf bytes.Buffer
+	steps := []struct {
+		name string
+		run  func() error
+	}{
+		{"table2", func() error { return Table2(&buf, p) }},
+		{"fig3", func() error { return FigPartitionSize(&buf, "random", false, p) }},
+		{"fig6", func() error { return FigPartitionSize(&buf, "random", true, p) }},
+		{"fig9", func() error { return Fig9(&buf, p) }},
+		{"fig10", func() error { return Fig10(&buf, p) }},
+		{"fig11", func() error { return Fig11(&buf, p) }},
+		{"fig12", func() error { return Fig12(&buf, p) }},
+		{"fig13", func() error { return Fig13(&buf, p) }},
+		{"scaling-k", func() error { return ScalingK(&buf, p) }},
+		{"scaling-n", func() error { return ScalingN(&buf, p) }},
+		{"ablation-n2", func() error { return AblationN2(&buf, p) }},
+		{"ablation-gray", func() error { return AblationGray(&buf, p) }},
+		{"ablation-variant", func() error { return AblationVariant(&buf, p) }},
+		{"ablation-partitioner", func() error { return AblationPartitioner(&buf, p) }},
+		{"ablation-fingerprints", func() error { return AblationFingerprints(&buf, p) }},
+	}
+	for _, s := range steps {
+		if err := s.run(); err != nil {
+			t.Fatalf("%s: %v", s.name, err)
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Table II", "Fig 3", "Fig 9", "Fig 10", "Fig 11", "Fig 12", "Fig 13", "Ablation"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFigureErrorsOnBadDataset(t *testing.T) {
+	var buf bytes.Buffer
+	if err := FigPartitionSize(&buf, "bogus", false, small()); err == nil {
+		t.Fatal("bogus dataset accepted")
+	}
+}
+
+func TestFingerprintAblationShowsFailure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationFingerprints(&buf, small()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "20/20") || !strings.Contains(out, "0/20") {
+		t.Fatalf("ablation should show 20/20 with and 0/20 without fingerprints:\n%s", out)
+	}
+}
+
+func TestProfileBreakdown(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ProfileBreakdown(&buf, small()); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "comm-share") || !strings.Contains(out, "makespan") {
+		t.Fatalf("profile output:\n%s", out)
+	}
+}

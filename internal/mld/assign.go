@@ -1,0 +1,165 @@
+package mld
+
+import (
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// Assignment carries one round's randomness: the n×k matrix of vertex
+// scalars u[i][j] and the seed from which per-(edge, level) fingerprint
+// coefficients are hashed on demand. All of it is a pure function of
+// (seed, round, algorithm tag), so in the distributed algorithm every
+// rank constructs an identical Assignment locally — randomness costs no
+// communication.
+type Assignment struct {
+	K    int
+	Seed uint64 // round-specific derived seed
+	u    []gf.Elem
+	n    int
+}
+
+// Algorithm tags folded into the seed so path/tree/scan runs over the
+// same user seed draw independent randomness.
+const (
+	tagPath = iota + 1
+	tagTree
+	tagScan
+)
+
+// NewPathAssignment derives the round's assignment for the k-path
+// polynomial (used by the distributed implementation, which must build
+// the exact same randomness as the sequential one).
+func NewPathAssignment(n, k int, seed uint64, round int) *Assignment {
+	return NewAssignment(n, k, seed, round, tagPath)
+}
+
+// NewTreeAssignment derives the round's assignment for the k-tree
+// polynomial.
+func NewTreeAssignment(n, k int, seed uint64, round int) *Assignment {
+	return NewAssignment(n, k, seed, round, tagTree)
+}
+
+// NewScanAssignment derives the round's assignment for the
+// scan-statistics polynomial at target size k.
+func NewScanAssignment(n, k int, seed uint64, round int) *Assignment {
+	return NewAssignment(n, k, seed, round, tagScan)
+}
+
+// NewMaxWeightAssignment derives the round's assignment for the
+// weight-indexed path polynomial of MaxWeightPath.
+func NewMaxWeightAssignment(n, k int, seed uint64, round int) *Assignment {
+	return NewAssignment(n, k, seed, round, tagScan+7)
+}
+
+// NewAssignment derives the round's assignment for n vertices and k
+// colors.
+func NewAssignment(n, k int, seed uint64, round int, algTag uint64) *Assignment {
+	derived := rng.Hash3(seed, uint64(round)+1, algTag, uint64(k))
+	a := &Assignment{K: k, Seed: derived, n: n, u: make([]gf.Elem, n*k)}
+	r := rng.New(derived)
+	for i := range a.u {
+		a.u[i] = gf.Elem(r.Uint32())
+	}
+	return a
+}
+
+// U returns u[i][j].
+func (a *Assignment) U(i int32, j int) gf.Elem { return a.u[int(i)*a.K+j] }
+
+// VertexValue returns x_i(mask) = Σ_{j ∈ mask} u[i][j].
+func (a *Assignment) VertexValue(i int32, mask uint64) gf.Elem {
+	row := a.u[int(i)*a.K : int(i)*a.K+a.K]
+	var x gf.Elem
+	for j := 0; mask != 0; j++ {
+		if mask&1 != 0 {
+			x ^= row[j]
+		}
+		mask >>= 1
+	}
+	return x
+}
+
+// FillBase fills dst[q] = x_i(gray(q0+q)) for q in [0, n2). With gray
+// ordering each subsequent value is one XOR; with noGray every value is
+// recomputed from its mask (the ablation baseline).
+func (a *Assignment) FillBase(dst []gf.Elem, i int32, q0 uint64, noGray bool) {
+	n2 := uint64(len(dst))
+	if noGray {
+		for q := uint64(0); q < n2; q++ {
+			dst[q] = a.VertexValue(i, gray(q0+q))
+		}
+		return
+	}
+	x := a.VertexValue(i, gray(q0))
+	dst[0] = x
+	row := a.u[int(i)*a.K : int(i)*a.K+a.K]
+	for q := uint64(1); q < n2; q++ {
+		x ^= row[flipBit(q0+q-1)]
+		dst[q] = x
+	}
+}
+
+// EdgeCoeff returns the fingerprint coefficient for the DP transition
+// that consumes the value of u at level `level` to update vertex i.
+// Deliberately asymmetric in (u, i): the asymmetry is what breaks the
+// path-orientation cancellation.
+func (a *Assignment) EdgeCoeff(u, i int32, level int) gf.Elem {
+	h := rng.Hash2(a.Seed, uint64(uint32(u))<<32|uint64(uint32(i)), uint64(level))
+	return gf.NonZero(h)
+}
+
+// ScanCoeff is EdgeCoeff for the scan-statistics DP, whose transitions
+// are additionally indexed by the size split (j, j') and the weight of
+// the absorbed piece.
+func (a *Assignment) ScanCoeff(u, i int32, j, jp int, zp int64) gf.Elem {
+	h := rng.Hash3(a.Seed,
+		uint64(uint32(u))<<32|uint64(uint32(i)),
+		uint64(uint32(j))<<32|uint64(uint32(jp)),
+		uint64(zp))
+	return gf.NonZero(h)
+}
+
+// KoutisAssignment carries the randomness of the integer variant:
+// a random vector v_i ∈ Z2^k per vertex and hashed integer edge
+// coefficients mod 2^(k+1).
+type KoutisAssignment struct {
+	K    int
+	Mod  uint64
+	Seed uint64
+	v    []uint64
+}
+
+// NewKoutisAssignment derives the round's Koutis assignment.
+func NewKoutisAssignment(n, k int, seed uint64, round int) *KoutisAssignment {
+	derived := rng.Hash3(seed, uint64(round)+1, tagPath*1000, uint64(k))
+	a := &KoutisAssignment{K: k, Mod: 1 << uint(k+1), Seed: derived, v: make([]uint64, n)}
+	r := rng.New(derived)
+	for i := range a.v {
+		a.v[i] = r.Uint64() & ((1 << uint(k)) - 1)
+	}
+	return a
+}
+
+// Base returns 1 + (-1)^(v_i · t) ∈ {0, 2}: Algorithm 1's line 9.
+func (a *KoutisAssignment) Base(i int32, t uint64) uint64 {
+	if parity(a.v[i]&t) == 1 {
+		return 0
+	}
+	return 2
+}
+
+// EdgeCoeff returns the integer fingerprint for a transition, uniform
+// in [0, 2^(k+1)).
+func (a *KoutisAssignment) EdgeCoeff(u, i int32, level int) uint64 {
+	return rng.Hash2(a.Seed, uint64(uint32(u))<<32|uint64(uint32(i)), uint64(level)) % a.Mod
+}
+
+func parity(x uint64) int {
+	x ^= x >> 32
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return int(x & 1)
+}

@@ -1,0 +1,155 @@
+package mld
+
+import (
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// Witness extraction (an extension over the paper, which only decides
+// yes/no): self-reduction by vertex deletion. Starting from a graph that
+// tests "yes", we repeatedly try to delete random vertex batches while
+// the answer stays "yes", shrinking the batch on failure; once the
+// survivor set is small, the exact witness is recovered by brute force.
+// Expected O(log(n/k)·amplified detections) oracle calls for the
+// whittling phase.
+
+// Oracle answers detection queries on induced subgraphs during
+// extraction. It must be (near-)deterministic in the sense that a
+// subgraph containing a witness answers true with high probability —
+// pass a detector with a small Epsilon.
+type Oracle func(g *graph.Graph) (bool, error)
+
+// ExtractPath returns the vertices of an actual k-path of g (in path
+// order), using DetectPath as the oracle. It returns an error if g does
+// not test positive to begin with.
+func ExtractPath(g *graph.Graph, k int, opt Options) ([]int32, error) {
+	oracle := func(sub *graph.Graph) (bool, error) { return DetectPath(sub, k, opt) }
+	finish := func(sub *graph.Graph) []int32 { return bruteFindPath(sub, k) }
+	return extract(g, k, opt.Seed, oracle, finish)
+}
+
+// ExtractTree returns the vertices of a non-induced embedding of the
+// template (in template-vertex order), using DetectTree as the oracle.
+func ExtractTree(g *graph.Graph, tpl *graph.Template, opt Options) ([]int32, error) {
+	oracle := func(sub *graph.Graph) (bool, error) { return DetectTree(sub, tpl, opt) }
+	finish := func(sub *graph.Graph) []int32 { return bruteFindTree(sub, tpl) }
+	return extract(g, tpl.K(), opt.Seed, oracle, finish)
+}
+
+// FindPathExact returns a k-path of g (vertex ids in path order) by
+// exhaustive backtracking, or nil. Exponential worst case; intended for
+// the small remnants produced by Whittle.
+func FindPathExact(g *graph.Graph, k int) []int32 { return bruteFindPath(g, k) }
+
+// FindTreeExact returns an embedding of tpl in g (indexed by template
+// vertex) by exhaustive backtracking, or nil. Same caveats as
+// FindPathExact.
+func FindTreeExact(g *graph.Graph, tpl *graph.Template) []int32 { return bruteFindTree(g, tpl) }
+
+// bruteFindPath returns a k-path of g (vertex ids in path order), or nil.
+func bruteFindPath(g *graph.Graph, k int) []int32 {
+	n := g.NumVertices()
+	if k < 1 || k > n {
+		return nil
+	}
+	used := make([]bool, n)
+	path := make([]int32, 0, k)
+	var dfs func(v int32) bool
+	dfs = func(v int32) bool {
+		used[v] = true
+		path = append(path, v)
+		if len(path) == k {
+			return true
+		}
+		for _, u := range g.Neighbors(v) {
+			if !used[u] && dfs(u) {
+				return true
+			}
+		}
+		used[v] = false
+		path = path[:len(path)-1]
+		return false
+	}
+	for s := int32(0); s < int32(n); s++ {
+		if dfs(s) {
+			return path
+		}
+	}
+	return nil
+}
+
+// bruteFindTree returns an embedding of tpl in g as a slice indexed by
+// template vertex, or nil.
+func bruteFindTree(g *graph.Graph, tpl *graph.Template) []int32 {
+	k := tpl.K()
+	n := g.NumVertices()
+	if k > n {
+		return nil
+	}
+	// BFS order so each template vertex after the first attaches to a
+	// mapped neighbor.
+	order := make([]int32, 0, k)
+	attach := make([]int32, k)
+	seen := make([]bool, k)
+	seen[0] = true
+	attach[0] = -1
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range tpl.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				attach[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	mapping := make([]int32, k)
+	placed := make([]bool, k)
+	usedG := make(map[int32]bool, k)
+	var dfs func(idx int) bool
+	dfs = func(idx int) bool {
+		if idx == k {
+			return true
+		}
+		tv := order[idx]
+		try := func(gv int32) bool {
+			if usedG[gv] {
+				return false
+			}
+			for _, tn := range tpl.Neighbors(tv) {
+				if placed[tn] && !g.HasEdge(gv, mapping[tn]) {
+					return false
+				}
+			}
+			usedG[gv] = true
+			mapping[tv] = gv
+			placed[tv] = true
+			if dfs(idx + 1) {
+				return true
+			}
+			placed[tv] = false
+			delete(usedG, gv)
+			return false
+		}
+		if attach[tv] < 0 {
+			for gv := int32(0); gv < int32(n); gv++ {
+				if try(gv) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, gv := range g.Neighbors(mapping[attach[tv]]) {
+			if try(gv) {
+				return true
+			}
+		}
+		return false
+	}
+	if !dfs(0) {
+		return nil
+	}
+	return mapping
+}

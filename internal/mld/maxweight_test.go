@@ -1,0 +1,119 @@
+package mld
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func TestMaxWeightPathKnown(t *testing.T) {
+	// P5 with weights 1,5,1,1,9: the best 3-path is 1+1+9 = 11.
+	g := graph.Path(5)
+	g.SetWeights([]int64{1, 5, 1, 1, 9})
+	w, ok, err := MaxWeightPath(g, 3, Options{Seed: 1, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w != 11 {
+		t.Fatalf("got (%d,%v), want (11,true)", w, ok)
+	}
+	// k=5: the whole path, weight 17
+	w, ok, err = MaxWeightPath(g, 5, Options{Seed: 1, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || w != 17 {
+		t.Fatalf("k=5: got (%d,%v), want (17,true)", w, ok)
+	}
+	// no 6-path
+	_, ok, err = MaxWeightPath(g, 6, Options{Seed: 1})
+	if err != nil || ok {
+		t.Fatalf("k=6 on P5 should not exist: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestMaxWeightPathMatchesBruteForce(t *testing.T) {
+	r := rng.New(71)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(7)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(5))
+		}
+		g.SetWeights(w)
+		k := 2 + r.Intn(4)
+		wantW, wantOK := BruteMaxWeightPath(g, k)
+		gotW, gotOK, err := MaxWeightPath(g, k, Options{Seed: r.Uint64(), Epsilon: 1e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || (wantOK && gotW != wantW) {
+			t.Fatalf("trial %d n=%d k=%d: got (%d,%v) want (%d,%v)", trial, n, k, gotW, gotOK, wantW, wantOK)
+		}
+	}
+}
+
+func TestMaxWeightPathUnweighted(t *testing.T) {
+	// all-zero weights: best weight is 0 if a k-path exists.
+	g := graph.Cycle(6)
+	g.SetWeights(make([]int64, 6))
+	w, ok, err := MaxWeightPath(g, 4, Options{Seed: 2})
+	if err != nil || !ok || w != 0 {
+		t.Fatalf("got (%d,%v,%v)", w, ok, err)
+	}
+}
+
+func TestMaxWeightPathValidation(t *testing.T) {
+	g := graph.Path(4)
+	g.SetWeights([]int64{1, -1, 0, 0})
+	if _, _, err := MaxWeightPath(g, 2, Options{}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, _, err := MaxWeightPath(graph.Path(4), 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestDetectPathGF8Variant(t *testing.T) {
+	r := rng.New(81)
+	for trial := 0; trial < 20; trial++ {
+		n := 6 + r.Intn(8)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		k := 2 + r.Intn(4)
+		want := graph.HasPathOfLength(g, k)
+		got, err := DetectPath(g, k, Options{Seed: r.Uint64(), Variant: VariantGF8, Epsilon: 1e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("gf8 trial %d k=%d: got %v want %v", trial, k, got, want)
+		}
+	}
+	// one-sidedness
+	for seed := uint64(0); seed < 10; seed++ {
+		got, _ := DetectPath(graph.Star(8), 4, Options{Seed: seed, Variant: VariantGF8, Rounds: 1})
+		if got {
+			t.Fatalf("gf8 false positive at seed %d", seed)
+		}
+	}
+	// GF8 needs more rounds than GF16 at the same epsilon
+	if (Options{Variant: VariantGF8, Epsilon: 1e-6}).RoundsFor(10) <= (Options{Epsilon: 1e-6}).RoundsFor(10) {
+		t.Fatal("GF8 should require at least as many rounds as GF16")
+	}
+}
+
+func TestGF8BatchingInvariance(t *testing.T) {
+	g := graph.RandomGNM(15, 35, 3)
+	opt := func(n2 int) Options { return Options{Seed: 9, N2: n2, Variant: VariantGF8} }
+	ref := pathRound8(g, 5, opt(1), 0)
+	for _, n2 := range []int{2, 8, 32} {
+		if got := pathRound8(g, 5, opt(n2), 0); got != ref {
+			t.Fatalf("N2=%d: %#x != %#x", n2, got, ref)
+		}
+	}
+	if got := pathRound8(g, 5, Options{Seed: 9, N2: 4, NoGray: true}, 0); got != ref {
+		t.Fatal("NoGray changed gf8 total")
+	}
+}

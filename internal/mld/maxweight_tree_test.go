@@ -1,0 +1,159 @@
+package mld
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// BruteMaxWeightTree exhaustively finds the maximum-weight embedding of
+// tpl in g (test oracle).
+func BruteMaxWeightTree(g *graph.Graph, tpl *graph.Template) (int64, bool) {
+	k := tpl.K()
+	n := g.NumVertices()
+	if k > n {
+		return 0, false
+	}
+	order := make([]int32, 0, k)
+	attach := make([]int32, k)
+	seen := make([]bool, k)
+	seen[0] = true
+	attach[0] = -1
+	queue := []int32{0}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		order = append(order, v)
+		for _, u := range tpl.Neighbors(v) {
+			if !seen[u] {
+				seen[u] = true
+				attach[u] = v
+				queue = append(queue, u)
+			}
+		}
+	}
+	mapping := make([]int32, k)
+	placed := make([]bool, k)
+	usedG := map[int32]bool{}
+	best := int64(-1)
+	var dfs func(idx int, weight int64)
+	dfs = func(idx int, weight int64) {
+		if idx == k {
+			if weight > best {
+				best = weight
+			}
+			return
+		}
+		tv := order[idx]
+		try := func(gv int32) {
+			if usedG[gv] {
+				return
+			}
+			for _, tn := range tpl.Neighbors(tv) {
+				if placed[tn] && !g.HasEdge(gv, mapping[tn]) {
+					return
+				}
+			}
+			usedG[gv] = true
+			mapping[tv] = gv
+			placed[tv] = true
+			dfs(idx+1, weight+g.Weight(gv))
+			placed[tv] = false
+			delete(usedG, gv)
+		}
+		if attach[tv] < 0 {
+			for gv := int32(0); gv < int32(n); gv++ {
+				try(gv)
+			}
+			return
+		}
+		for _, gv := range g.Neighbors(mapping[attach[tv]]) {
+			try(gv)
+		}
+	}
+	dfs(0, 0)
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
+}
+
+func TestMaxWeightTreeKnown(t *testing.T) {
+	// Star graph, star template: center forced, pick heaviest leaves.
+	g := graph.Star(6)
+	g.SetWeights([]int64{1, 9, 2, 8, 3, 7})
+	w, ok, err := MaxWeightTree(g, graph.StarTemplate(4), Options{Seed: 1, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// center(1) + three heaviest leaves 9+8+7 = 25
+	if !ok || w != 25 {
+		t.Fatalf("got (%d,%v), want (25,true)", w, ok)
+	}
+}
+
+func TestMaxWeightTreeMatchesBruteForce(t *testing.T) {
+	r := rng.New(91)
+	for trial := 0; trial < 15; trial++ {
+		n := 6 + r.Intn(6)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(4))
+		}
+		g.SetWeights(w)
+		k := 2 + r.Intn(4)
+		tpl := graph.RandomTemplate(k, r.Uint64())
+		wantW, wantOK := BruteMaxWeightTree(g, tpl)
+		gotW, gotOK, err := MaxWeightTree(g, tpl, Options{Seed: r.Uint64(), Epsilon: 1e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotOK != wantOK || (wantOK && gotW != wantW) {
+			t.Fatalf("trial %d n=%d k=%d: got (%d,%v) want (%d,%v)", trial, n, k, gotW, gotOK, wantW, wantOK)
+		}
+	}
+}
+
+func TestMaxWeightTreePathTemplateAgreesWithMaxWeightPath(t *testing.T) {
+	r := rng.New(93)
+	for trial := 0; trial < 8; trial++ {
+		n := 7 + r.Intn(5)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(3))
+		}
+		g.SetWeights(w)
+		k := 3 + r.Intn(3)
+		pw, pok, err := MaxWeightPath(g, k, Options{Seed: 4, Epsilon: 1e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tw, tok, err := MaxWeightTree(g, graph.PathTemplate(k), Options{Seed: 4, Epsilon: 1e-5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pok != tok || (pok && pw != tw) {
+			t.Fatalf("trial %d k=%d: path (%d,%v) vs tree (%d,%v)", trial, k, pw, pok, tw, tok)
+		}
+	}
+}
+
+func TestMaxWeightTreeSingleVertexTemplate(t *testing.T) {
+	g := graph.Path(4)
+	g.SetWeights([]int64{2, 7, 1, 5})
+	w, ok, err := MaxWeightTree(g, graph.MustTemplate(1, nil), Options{Seed: 1, Epsilon: 1e-4})
+	if err != nil || !ok || w != 7 {
+		t.Fatalf("got (%d,%v,%v), want (7,true,nil)", w, ok, err)
+	}
+}
+
+func TestMaxWeightTreeValidation(t *testing.T) {
+	g := graph.Path(4)
+	g.SetWeights([]int64{0, -2, 0, 0})
+	if _, _, err := MaxWeightTree(g, graph.PathTemplate(2), Options{}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+}

@@ -1,0 +1,198 @@
+// Package mld implements sequential k-multilinear detection (paper
+// Sections III and V): the randomized evaluation that decides whether
+// the k-path / k-tree / scan-statistics polynomial of a graph has a
+// degree-k multilinear term, in O(2^k · poly) time and O(k · poly)
+// space.
+//
+// # Evaluation strategy
+//
+// The working variant (VariantGF16) is Williams' refinement as engineered
+// in the authors' implementation lineage: each vertex i receives a row
+// u[i][1..k] of random GF(2^16) scalars; iteration t ∈ {0,1}^k assigns
+// the vertex variable the scalar x_i(t) = Σ_{j∈t} u[i][j]; the DP of
+// Algorithm 1 runs once per iteration over plain field scalars; and the
+// XOR of the DP results over all 2^k iterations equals the coefficient
+// of χ1…χk, which is zero for every monomial with a repeated vertex
+// (a permanent with repeated rows in characteristic 2) and nonzero with
+// high probability when a multilinear monomial exists. The identity is
+// property-tested against the explicit algebra in internal/galois.
+//
+// VariantKoutis is the paper's Algorithm 1 exactly as printed: integer
+// arithmetic mod 2^(k+1) with base case 1 + (-1)^(v_i·t). It is kept as
+// a reference and ablation target.
+//
+// # Fingerprints
+//
+// Both variants multiply every DP transition by a pseudo-random
+// per-(edge, level) coefficient derived by hashing, without which the
+// two orientations of an undirected path cancel identically (see
+// DESIGN.md §2; TestNaiveCancellation demonstrates the failure). Hashing
+// makes the coefficients computable on any rank of the distributed
+// implementation with no communication.
+//
+// # Iteration batching
+//
+// All evaluators process iterations in batches of N2 (the paper's phase
+// width): the DP state for a vertex is a vector of N2 field elements
+// updated by the fused kernels in internal/gf, which is both the unit of
+// message aggregation for the distributed version and the source of the
+// cache-locality speedup reported in the paper's Section IV-B. Iteration
+// index q is mapped to the mask gray(q), so consecutive iterations in a
+// batch differ in one bit and base values update incrementally.
+package mld
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// Variant selects the arithmetic of the evaluation.
+type Variant int
+
+// Supported variants.
+const (
+	VariantGF16   Variant = iota // Williams-style GF(2^16) evaluation (default)
+	VariantKoutis                // Algorithm 1 verbatim: integers mod 2^(k+1)
+	VariantGF8                   // GF(2^8): the paper's b = 3 + log2 k width
+)
+
+func (v Variant) String() string {
+	switch v {
+	case VariantGF16:
+		return "gf16"
+	case VariantKoutis:
+		return "koutis"
+	case VariantGF8:
+		return "gf8"
+	default:
+		return fmt.Sprintf("variant(%d)", int(v))
+	}
+}
+
+// MaxK bounds the subgraph size: 2^k iterations must be enumerable in
+// reasonable time and the Koutis modulus 2^(k+1) must fit comfortably
+// in uint64 products.
+const MaxK = 26
+
+// Options configures a detection run. The zero value is usable: seed 0,
+// ε = 0.05, derived round count, GF(2^16) variant, batch 128.
+type Options struct {
+	Seed    uint64
+	Epsilon float64 // target failure probability; default 0.05
+	Rounds  int     // explicit round count; 0 derives from Epsilon
+	Variant Variant
+	N2      int // iteration batch width; 0 defaults to 128 (capped at 2^k)
+	Workers int // shared-memory workers for the DP vertex loops; 0/1 = serial
+
+	// NoFingerprints disables the per-(edge, level) coefficients.
+	// The result is the paper's pseudo-code taken literally, which is
+	// unsound on undirected graphs; exposed only for the ablation and
+	// the cancellation demonstration test.
+	NoFingerprints bool
+	// NoGray disables the Gray-code incremental base-value updates
+	// (ablation; results are identical, only speed differs).
+	NoGray bool
+}
+
+func (o Options) epsilon() float64 {
+	if o.Epsilon <= 0 || o.Epsilon >= 1 {
+		return 0.05
+	}
+	return o.Epsilon
+}
+
+// RoundsFor returns the number of independent rounds the options imply
+// for subgraph size k. The paper's bound (success ≥ 1/5 per round)
+// gives ceil(log(1/ε)/log(5/4)); for the GF(2^16) variant the per-round
+// failure is at most ~2k/2^16 by Schwartz–Zippel, so far fewer rounds
+// reach the same ε.
+func (o Options) RoundsFor(k int) int {
+	if o.Rounds > 0 {
+		return o.Rounds
+	}
+	eps := o.epsilon()
+	var perRoundFail float64
+	switch o.Variant {
+	case VariantKoutis:
+		perRoundFail = 0.8 // paper's conservative 4/5
+	case VariantGF8:
+		perRoundFail = float64(2*k+2) / 256.0
+	default:
+		perRoundFail = float64(2*k+2) / 65536.0
+	}
+	r := int(math.Ceil(math.Log(eps) / math.Log(perRoundFail)))
+	if r < 1 {
+		r = 1
+	}
+	return r
+}
+
+func (o Options) batch(k int) int {
+	n2 := o.N2
+	if n2 <= 0 {
+		n2 = 128
+	}
+	if total := 1 << uint(k); n2 > total {
+		n2 = total
+	}
+	return n2
+}
+
+// ValidateK checks that a subgraph size is within the supported range.
+func ValidateK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("mld: k must be positive, got %d", k)
+	}
+	if k > MaxK {
+		return fmt.Errorf("mld: k=%d exceeds supported maximum %d", k, MaxK)
+	}
+	return nil
+}
+
+func validateK(k, n int) error { return ValidateK(k) }
+
+// parallelVertices runs fn over vertex ranges [lo,hi) on opt.Workers
+// goroutines (serial when 0/1). Level updates write only to the
+// vertices' own rows, so range splitting is race-free.
+func (o Options) parallelVertices(n int, fn func(lo, hi int32)) {
+	w := o.Workers
+	if w <= 1 || n < 2*w {
+		fn(0, int32(n))
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo, hi := i*chunk, (i+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int32) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(int32(lo), int32(hi))
+	}
+	wg.Wait()
+}
+
+// gray maps an iteration index to its mask; consecutive indices differ
+// in exactly one bit. Any bijection works (the sum ranges over all
+// masks); Gray order makes incremental updates O(1).
+func gray(q uint64) uint64 { return q ^ (q >> 1) }
+
+// flipBit returns the bit position in which gray(q) and gray(q+1)
+// differ: the number of trailing ones... i.e. trailing zeros of q+1.
+func flipBit(q uint64) int {
+	x := q + 1
+	b := 0
+	for x&1 == 0 {
+		x >>= 1
+		b++
+	}
+	return b
+}

@@ -1,0 +1,127 @@
+package mld
+
+import (
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// DetectPath decides whether g contains a simple path on k vertices,
+// with failure probability at most opt.Epsilon (one-sided: a "no" answer
+// for a graph with a k-path is possible with probability ≤ ε, a "yes"
+// answer is always correct).
+func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
+	if err := validateK(k, g.NumVertices()); err != nil {
+		return false, err
+	}
+	if k > g.NumVertices() {
+		return false, nil
+	}
+	rounds := opt.RoundsFor(k)
+	for round := 0; round < rounds; round++ {
+		var hit bool
+		switch opt.Variant {
+		case VariantKoutis:
+			hit = koutisPathRound(g, k, opt, round) != 0
+		case VariantGF8:
+			hit = pathRound8(g, k, opt, round) != 0
+		default:
+			a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagPath)
+			hit = pathRound(g, a, opt) != 0
+		}
+		if hit {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// pathRound evaluates the k-path polynomial over all 2^k iterations for
+// one assignment and returns the accumulated field total (nonzero ⇒
+// a k-path exists).
+func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
+	n := g.NumVertices()
+	k := a.K
+	n2 := opt.batch(k)
+	iters := uint64(1) << uint(k)
+
+	base := make([]gf.Elem, n*n2)
+	prev := make([]gf.Elem, n*n2)
+	cur := make([]gf.Elem, n*n2)
+	var total gf.Elem
+
+	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		nb := n2
+		if rem := iters - q0; uint64(nb) > rem {
+			nb = int(rem)
+		}
+		for i := 0; i < n; i++ {
+			a.FillBase(base[i*n2:i*n2+nb], int32(i), q0, opt.NoGray)
+		}
+		// level 1: P(i,1) = x_i
+		copy(prev, base)
+		for j := 2; j <= k; j++ {
+			opt.parallelVertices(n, func(lo, hi int32) {
+				for i := lo; i < hi; i++ {
+					dst := cur[int(i)*n2 : int(i)*n2+nb]
+					for q := range dst {
+						dst[q] = 0
+					}
+					for _, u := range g.Neighbors(i) {
+						var r gf.Elem = 1
+						if !opt.NoFingerprints {
+							r = a.EdgeCoeff(u, i, j)
+						}
+						gf.MulSlice16(dst, prev[int(u)*n2:int(u)*n2+nb], r)
+					}
+					// P(i,j) = x_i · Σ_u r·P(u,j-1)
+					gf.HadamardInto(dst, dst, base[int(i)*n2:int(i)*n2+nb])
+				}
+			})
+			prev, cur = cur, prev
+		}
+		for i := 0; i < n; i++ {
+			for q := 0; q < nb; q++ {
+				total ^= prev[i*n2+q]
+			}
+		}
+	}
+	return total
+}
+
+// koutisPathRound is Algorithm 1 as printed: one full pass of 2^k
+// iterations with arithmetic mod 2^(k+1), plus the integer fingerprints
+// discussed in DESIGN.md §2. Returns the trace (nonzero ⇒ k-path).
+func koutisPathRound(g *graph.Graph, k int, opt Options, round int) uint64 {
+	n := g.NumVertices()
+	a := NewKoutisAssignment(n, k, opt.Seed, round)
+	mod := a.Mod
+	iters := uint64(1) << uint(k)
+	base := make([]uint64, n)
+	prev := make([]uint64, n)
+	cur := make([]uint64, n)
+	var total uint64
+	for t := uint64(0); t < iters; t++ {
+		for i := 0; i < n; i++ {
+			base[i] = a.Base(int32(i), t)
+			prev[i] = base[i]
+		}
+		for j := 2; j <= k; j++ {
+			for i := int32(0); i < int32(n); i++ {
+				var acc uint64
+				for _, u := range g.Neighbors(i) {
+					r := uint64(1)
+					if !opt.NoFingerprints {
+						r = a.EdgeCoeff(u, i, j)
+					}
+					acc = (acc + r*prev[u]) % mod
+				}
+				cur[i] = (acc * base[i]) % mod
+			}
+			prev, cur = cur, prev
+		}
+		for i := 0; i < n; i++ {
+			total = (total + prev[i]) % mod
+		}
+	}
+	return total
+}

@@ -1,0 +1,218 @@
+package mld
+
+import (
+	"fmt"
+
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// ScanTable computes the connected-subgraph feasibility table behind the
+// scan-statistics optimization (paper Section V-B): entry [j][z] is true
+// iff g has a connected subgraph of exactly j vertices with total event
+// weight exactly z, for 1 ≤ j ≤ k and 0 ≤ z ≤ zmax. Errors are
+// one-sided (a true entry is always correct; a feasible entry is false
+// with probability at most opt.Epsilon).
+//
+// The GF evaluation detects terms whose χ-support equals the number of
+// colors, so each target size j runs with its own j-color iteration
+// space of 2^j points; the total work Σ_j 2^j·poly ≤ 2^(k+1)·poly
+// matches Lemma 3's O(2^k ...) bound (DESIGN.md §2).
+//
+// Vertex weights must be non-negative.
+func ScanTable(g *graph.Graph, k int, zmax int64, opt Options) ([][]bool, error) {
+	if err := validateK(k, g.NumVertices()); err != nil {
+		return nil, err
+	}
+	if zmax < 0 {
+		return nil, fmt.Errorf("mld: negative weight cap %d", zmax)
+	}
+	for v := int32(0); v < int32(g.NumVertices()); v++ {
+		if g.Weight(v) < 0 {
+			return nil, fmt.Errorf("mld: vertex %d has negative weight %d", v, g.Weight(v))
+		}
+	}
+	feas := make([][]bool, k+1)
+	for j := 1; j <= k; j++ {
+		feas[j] = make([]bool, zmax+1)
+	}
+	for j := 1; j <= k && j <= g.NumVertices(); j++ {
+		rounds := opt.RoundsFor(j)
+		for round := 0; round < rounds; round++ {
+			a := NewAssignment(g.NumVertices(), j, opt.Seed, round, tagScan)
+			row := scanRound(g, j, zmax, a, opt)
+			for z := int64(0); z <= zmax; z++ {
+				if row[z] != 0 {
+					feas[j][z] = true
+				}
+			}
+		}
+	}
+	return feas, nil
+}
+
+// CellFeasible answers a single feasibility question — does g contain a
+// connected subgraph of exactly j vertices and weight exactly z? — by
+// running only the size-j evaluation (the witness-extraction oracle, for
+// which computing the whole table would waste a factor ~2).
+func CellFeasible(g *graph.Graph, j int, z int64, opt Options) (bool, error) {
+	if err := validateK(j, g.NumVertices()); err != nil {
+		return false, err
+	}
+	if z < 0 {
+		return false, fmt.Errorf("mld: negative weight %d", z)
+	}
+	if j > g.NumVertices() {
+		return false, nil
+	}
+	rounds := opt.RoundsFor(j)
+	for round := 0; round < rounds; round++ {
+		a := NewAssignment(g.NumVertices(), j, opt.Seed, round, tagScan)
+		row := scanRound(g, j, z, a, opt)
+		if row[z] != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// scanRound evaluates the scan polynomial for subgraph size exactly j
+// over all 2^j iterations of one assignment, returning the per-weight
+// field totals (nonzero at z ⇒ a connected size-j weight-z subgraph
+// exists).
+func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []gf.Elem {
+	n := g.NumVertices()
+	n2 := opt.batch(j)
+	iters := uint64(1) << uint(j)
+	nz := int(zmax) + 1
+	// A subgraph on s vertices weighs at most s·max_v w(v); cells above
+	// that are identically zero, so the DP loops can stop there.
+	var maxw int64
+	for v := int32(0); v < int32(n); v++ {
+		if w := g.Weight(v); w > maxw {
+			maxw = w
+		}
+	}
+	zcap := func(s int) int {
+		c := int64(s) * maxw
+		if c > zmax {
+			c = zmax
+		}
+		return int(c)
+	}
+
+	// p[jj][z] is a flat n×n2 buffer; cell (i,q) at [i*n2+q].
+	p := make([][][]gf.Elem, j+1)
+	for jj := 1; jj <= j; jj++ {
+		p[jj] = make([][]gf.Elem, nz)
+		for z := 0; z < nz; z++ {
+			p[jj][z] = make([]gf.Elem, n*n2)
+		}
+	}
+	base := make([]gf.Elem, n*n2)
+	totals := make([]gf.Elem, nz)
+
+	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		nb := n2
+		if rem := iters - q0; uint64(nb) > rem {
+			nb = int(rem)
+		}
+		for i := 0; i < n; i++ {
+			a.FillBase(base[i*n2:i*n2+nb], int32(i), q0, opt.NoGray)
+		}
+		// base case: P(i,1,w(i)) = x_i
+		for jj := 1; jj <= j; jj++ {
+			for z := 0; z < nz; z++ {
+				buf := p[jj][z]
+				for i := range buf {
+					buf[i] = 0
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			w := g.Weight(int32(i))
+			if w > zmax {
+				continue
+			}
+			copy(p[1][w][i*n2:i*n2+nb], base[i*n2:i*n2+nb])
+		}
+		// inductive: P(i,jj,z) = Σ_u Σ_{j'} Σ_{z'} r·P(i,j',z')·P(u,jj-j',z-z')
+		// Level jj reads only levels < jj, and each vertex writes only
+		// its own rows, so the vertex loop parallelizes per level.
+		for jj := 2; jj <= j; jj++ {
+			jj := jj
+			opt.parallelVertices(n, func(lo, hi int32) {
+				for i := lo; i < hi; i++ {
+					iLo, iHi := int(i)*n2, int(i)*n2+nb
+					for _, u := range g.Neighbors(i) {
+						uLo, uHi := int(u)*n2, int(u)*n2+nb
+						for jp := 1; jp < jj; jp++ {
+							jr := jj - jp
+							for zp := 0; zp <= zcap(jp); zp++ {
+								src1 := p[jp][zp][iLo:iHi]
+								if !gf.AnyNonZero(src1) {
+									continue
+								}
+								var r gf.Elem = 1
+								if !opt.NoFingerprints {
+									r = a.ScanCoeff(u, i, jj, jp, int64(zp))
+								}
+								for zr := 0; zr <= zcap(jr) && zp+zr < nz; zr++ {
+									src2 := p[jr][zr][uLo:uHi]
+									if !gf.AnyNonZero(src2) {
+										continue
+									}
+									gf.MulHadamardAccumScaled(p[jj][zp+zr][iLo:iHi], src1, src2, r)
+								}
+							}
+						}
+					}
+				}
+			})
+		}
+		for z := 0; z < nz; z++ {
+			buf := p[j][z]
+			for i := 0; i < n; i++ {
+				for q := 0; q < nb; q++ {
+					totals[z] ^= buf[i*n2+q]
+				}
+			}
+		}
+	}
+	return totals
+}
+
+// BruteScanTable computes the exact feasibility table by enumerating all
+// vertex combinations of size up to k and testing connectivity — the
+// obviously-correct (and exponential) test oracle for ScanTable. Small
+// graphs only.
+func BruteScanTable(g *graph.Graph, k int, zmax int64) [][]bool {
+	feas := make([][]bool, k+1)
+	for j := 1; j <= k; j++ {
+		feas[j] = make([]bool, zmax+1)
+	}
+	n := g.NumVertices()
+	set := make([]int32, 0, k)
+	var rec func(start int32)
+	rec = func(start int32) {
+		if j := len(set); j >= 1 {
+			var w int64
+			for _, v := range set {
+				w += g.Weight(v)
+			}
+			if w <= zmax && graph.IsConnectedSubset(g, set) {
+				feas[j][w] = true
+			}
+		}
+		if len(set) == k {
+			return
+		}
+		for v := start; v < int32(n); v++ {
+			set = append(set, v)
+			rec(v + 1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(0)
+	return feas
+}

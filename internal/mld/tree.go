@@ -1,0 +1,94 @@
+package mld
+
+import (
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// DetectTree decides whether the tree template has a non-induced
+// embedding in g, with one-sided failure probability at most
+// opt.Epsilon. The template polynomial is built from the recursive
+// decomposition of paper Fig 2 and evaluated exactly like the path
+// polynomial, one subtree per DP "level".
+func DetectTree(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) {
+	k := tpl.K()
+	if err := validateK(k, g.NumVertices()); err != nil {
+		return false, err
+	}
+	if k > g.NumVertices() {
+		return false, nil
+	}
+	d := tpl.Decompose()
+	rounds := opt.RoundsFor(k)
+	for round := 0; round < rounds; round++ {
+		a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagTree)
+		if treeRound(g, d, a, opt) != 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// treeRound evaluates the k-tree polynomial over all 2^k iterations for
+// one assignment; a nonzero return means an embedding exists.
+func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Options) gf.Elem {
+	n := g.NumVertices()
+	k := a.K
+	n2 := opt.batch(k)
+	iters := uint64(1) << uint(k)
+
+	base := make([]gf.Elem, n*n2)
+	// one value buffer per internal decomposition node; leaves share base.
+	vals := make([][]gf.Elem, len(d.Nodes))
+	for j, nd := range d.Nodes {
+		if nd.Left >= 0 {
+			vals[j] = make([]gf.Elem, n*n2)
+		}
+	}
+	var total gf.Elem
+
+	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		nb := n2
+		if rem := iters - q0; uint64(nb) > rem {
+			nb = int(rem)
+		}
+		for i := 0; i < n; i++ {
+			a.FillBase(base[i*n2:i*n2+nb], int32(i), q0, opt.NoGray)
+		}
+		for j, nd := range d.Nodes {
+			if nd.Left < 0 {
+				vals[j] = base
+				continue
+			}
+			left, right := vals[nd.Left], vals[nd.Right]
+			dstAll := vals[j]
+			j := j // capture for the closure
+			opt.parallelVertices(n, func(lo, hi int32) {
+				av := make([]gf.Elem, nb) // per-worker scratch
+				for i := lo; i < hi; i++ {
+					for q := range av {
+						av[q] = 0
+					}
+					for _, u := range g.Neighbors(i) {
+						var r gf.Elem = 1
+						if !opt.NoFingerprints {
+							// level key: the decomposition node index,
+							// unique per subtree shape.
+							r = a.EdgeCoeff(u, i, j)
+						}
+						gf.MulSlice16(av, right[int(u)*n2:int(u)*n2+nb], r)
+					}
+					// P(i, H') = P(i, H'_1) · Σ_u r·P(u, H'_2)
+					gf.HadamardInto(dstAll[int(i)*n2:int(i)*n2+nb], left[int(i)*n2:int(i)*n2+nb], av)
+				}
+			})
+		}
+		root := vals[d.Root]
+		for i := 0; i < n; i++ {
+			for q := 0; q < nb; q++ {
+				total ^= root[i*n2+q]
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,307 @@
+package mld
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// --- DetectTree ---
+
+func TestDetectTreeKnownCases(t *testing.T) {
+	opt := Options{Seed: 2}
+	grid := graph.Grid(3, 3)
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		tpl  *graph.Template
+		want bool
+	}{
+		{"grid embeds P5", grid, graph.PathTemplate(5), true},
+		{"grid embeds star5", grid, graph.StarTemplate(5), true},
+		{"grid lacks star6", grid, graph.StarTemplate(6), false},
+		{"path lacks star4", graph.Path(6), graph.StarTemplate(4), false},
+		{"star embeds star", graph.Star(6), graph.StarTemplate(5), true},
+		{"binary tree in K7", graph.Complete(7), graph.BinaryTreeTemplate(7), true},
+		{"single node", graph.Path(3), graph.MustTemplate(1, nil), true},
+		{"template bigger than graph", graph.Path(2), graph.PathTemplate(3), false},
+	}
+	for _, tc := range cases {
+		got, err := DetectTree(tc.g, tc.tpl, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: got %v want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestDetectTreeMatchesBruteForce(t *testing.T) {
+	r := rng.New(33)
+	for trial := 0; trial < 30; trial++ {
+		n := 6 + r.Intn(7)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		k := 2 + r.Intn(5)
+		tpl := graph.RandomTemplate(k, r.Uint64())
+		want := graph.HasTreeEmbedding(g, tpl)
+		got, err := DetectTree(g, tpl, Options{Seed: r.Uint64(), Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: n=%d k=%d: detect %v brute %v", trial, n, k, got, want)
+		}
+	}
+}
+
+func TestDetectTreePathTemplateAgreesWithDetectPath(t *testing.T) {
+	// k-Tree with a path template must agree with the k-path detector.
+	r := rng.New(44)
+	for trial := 0; trial < 15; trial++ {
+		n := 7 + r.Intn(6)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		k := 2 + r.Intn(4)
+		asPath, err := DetectPath(g, k, Options{Seed: 5, Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		asTree, err := DetectTree(g, graph.PathTemplate(k), Options{Seed: 5, Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if asPath != asTree {
+			t.Fatalf("trial %d k=%d: path %v tree %v", trial, k, asPath, asTree)
+		}
+	}
+}
+
+func TestDetectTreeOneSided(t *testing.T) {
+	g := graph.Path(7) // max degree 2: no star-4
+	for seed := uint64(0); seed < 20; seed++ {
+		got, err := DetectTree(g, graph.StarTemplate(4), Options{Seed: seed, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got {
+			t.Fatalf("seed %d: false positive", seed)
+		}
+	}
+}
+
+func TestTreeBatchingInvariance(t *testing.T) {
+	g := graph.RandomGNM(14, 30, 6)
+	tpl := graph.RandomTemplate(5, 9)
+	d := tpl.Decompose()
+	a := NewAssignment(g.NumVertices(), 5, 77, 0, tagTree)
+	ref := treeRound(g, d, a, Options{N2: 1})
+	for _, n2 := range []int{2, 5, 8, 32} {
+		if got := treeRound(g, d, a, Options{N2: n2}); got != ref {
+			t.Fatalf("N2=%d: %#x != %#x", n2, got, ref)
+		}
+	}
+}
+
+// --- ScanTable ---
+
+func TestScanTableMatchesBruteForce(t *testing.T) {
+	r := rng.New(55)
+	for trial := 0; trial < 12; trial++ {
+		n := 6 + r.Intn(5)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		w := make([]int64, n)
+		for i := range w {
+			w[i] = int64(r.Intn(4))
+		}
+		g.SetWeights(w)
+		k := 2 + r.Intn(3)
+		zmax := int64(8)
+		want := BruteScanTable(g, k, zmax)
+		got, err := ScanTable(g, k, zmax, Options{Seed: r.Uint64(), Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := 1; j <= k; j++ {
+			for z := int64(0); z <= zmax; z++ {
+				if got[j][z] != want[j][z] {
+					t.Fatalf("trial %d (n=%d m=%d k=%d): cell (%d,%d) detect %v brute %v",
+						trial, n, g.NumEdges(), k, j, z, got[j][z], want[j][z])
+				}
+			}
+		}
+	}
+}
+
+func TestScanTableKnownPath(t *testing.T) {
+	// P4 with weights 1,2,3,4: connected subgraphs are contiguous runs.
+	g := graph.Path(4)
+	g.SetWeights([]int64{1, 2, 3, 4})
+	got, err := ScanTable(g, 4, 10, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type cell struct {
+		j int
+		z int64
+	}
+	want := map[cell]bool{
+		{1, 1}: true, {1, 2}: true, {1, 3}: true, {1, 4}: true,
+		{2, 3}: true, {2, 5}: true, {2, 7}: true,
+		{3, 6}: true, {3, 9}: true,
+		{4, 10}: true,
+	}
+	for j := 1; j <= 4; j++ {
+		for z := int64(0); z <= 10; z++ {
+			if got[j][z] != want[cell{j, z}] {
+				t.Fatalf("cell (%d,%d): got %v want %v", j, z, got[j][z], want[cell{j, z}])
+			}
+		}
+	}
+}
+
+func TestScanTableValidation(t *testing.T) {
+	g := graph.Path(3)
+	if _, err := ScanTable(g, 2, -1, Options{}); err == nil {
+		t.Fatal("negative zmax accepted")
+	}
+	g.SetWeights([]int64{1, -2, 0})
+	if _, err := ScanTable(g, 2, 5, Options{}); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := ScanTable(graph.Path(3), 0, 5, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+}
+
+func TestScanTableUnweightedCountsSizes(t *testing.T) {
+	// With all weights zero, the only feasible weight is 0 and size
+	// feasibility = existence of connected subgraphs of that size.
+	g := graph.Cycle(5)
+	g.SetWeights(make([]int64, 5))
+	got, err := ScanTable(g, 4, 2, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= 4; j++ {
+		if !got[j][0] {
+			t.Fatalf("size %d weight 0 should be feasible on C5", j)
+		}
+		for z := int64(1); z <= 2; z++ {
+			if got[j][z] {
+				t.Fatalf("nonzero weight %d feasible on zero-weight graph", z)
+			}
+		}
+	}
+}
+
+// --- extraction ---
+
+func TestExtractPathValid(t *testing.T) {
+	g := graph.RandomGNM(60, 200, 12)
+	const k = 5
+	has, err := DetectPath(g, k, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !has {
+		t.Skip("random graph unexpectedly has no 5-path")
+	}
+	path, err := ExtractPath(g, k, Options{Seed: 1, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != k {
+		t.Fatalf("extracted %d vertices, want %d", len(path), k)
+	}
+	seen := map[int32]bool{}
+	for i, v := range path {
+		if seen[v] {
+			t.Fatalf("repeated vertex %d in path", v)
+		}
+		seen[v] = true
+		if i > 0 && !g.HasEdge(path[i-1], v) {
+			t.Fatalf("non-edge (%d,%d) in extracted path", path[i-1], v)
+		}
+	}
+}
+
+func TestExtractTreeValid(t *testing.T) {
+	g := graph.Grid(6, 6)
+	tpl := graph.StarTemplate(5)
+	emb, err := ExtractTree(g, tpl, Options{Seed: 4, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb) != 5 {
+		t.Fatalf("embedding size %d", len(emb))
+	}
+	seen := map[int32]bool{}
+	for _, v := range emb {
+		if seen[v] {
+			t.Fatal("non-injective embedding")
+		}
+		seen[v] = true
+	}
+	for tv := int32(0); tv < 5; tv++ {
+		for _, tn := range tpl.Neighbors(tv) {
+			if tn > tv && !g.HasEdge(emb[tv], emb[tn]) {
+				t.Fatalf("template edge (%d,%d) not preserved", tv, tn)
+			}
+		}
+	}
+}
+
+func TestExtractPathRejectsNegativeInstance(t *testing.T) {
+	if _, err := ExtractPath(graph.Star(6), 4, Options{Seed: 1}); err == nil {
+		t.Fatal("extraction on negative instance should error")
+	}
+}
+
+// --- benchmarks ---
+
+func BenchmarkDetectPathK8(b *testing.B) {
+	g := graph.RandomNLogN(500, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectPath(g, 8, Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDetectTreeK8(b *testing.B) {
+	g := graph.RandomNLogN(500, 1)
+	tpl := graph.BinaryTreeTemplate(8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := DetectTree(g, tpl, Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestScanTableWorkersInvariance(t *testing.T) {
+	g := graph.RandomGNM(15, 35, 4)
+	w := make([]int64, 15)
+	for i := range w {
+		w[i] = int64(i % 3)
+	}
+	g.SetWeights(w)
+	const k, zmax = 3, 6
+	want, err := ScanTable(g, k, zmax, Options{Seed: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ScanTable(g, k, zmax, Options{Seed: 2, Rounds: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= k; j++ {
+		for z := 0; z <= zmax; z++ {
+			if got[j][z] != want[j][z] {
+				t.Fatalf("workers changed cell (%d,%d)", j, z)
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+package mld
+
+import (
+	"fmt"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// Whittle shrinks a graph while the oracle keeps answering true, by
+// deleting random vertex batches; a vertex whose single removal breaks
+// the oracle is *locked* (it belongs to every witness of the current
+// remnant) and never tried again. The loop terminates when the remnant
+// is at most stopAt vertices or every remaining vertex is locked — in
+// the latter case the remnant is exactly the unique witness.
+//
+// This is the standard self-reduction behind witness extraction; the
+// locking rule is what guarantees progress when witnesses are rare
+// (deleting any random half would almost surely destroy a unique
+// witness, so a naive halving loop stalls with a large remnant).
+//
+// Returns the remnant and the mapping from remnant ids to g's ids.
+func Whittle(g *graph.Graph, seed uint64, stopAt int, oracle Oracle) (*graph.Graph, []int32, error) {
+	cur := g
+	toOld := make([]int32, g.NumVertices())
+	for i := range toOld {
+		toOld[i] = int32(i)
+	}
+	locked := make(map[int32]bool) // ids in cur's namespace
+	r := rng.New(seed ^ 0x3b97f4a5c2d1)
+
+	for cur.NumVertices() > stopAt && len(locked) < cur.NumVertices() {
+		unlocked := make([]int32, 0, cur.NumVertices()-len(locked))
+		for v := int32(0); v < int32(cur.NumVertices()); v++ {
+			if !locked[v] {
+				unlocked = append(unlocked, v)
+			}
+		}
+		batch := len(unlocked) / 4
+		if batch < 1 {
+			batch = 1
+		}
+		// shrink batch on failures; at batch 1 a failure locks the vertex.
+		for batch >= 1 {
+			r.Shuffle(len(unlocked), func(i, j int) { unlocked[i], unlocked[j] = unlocked[j], unlocked[i] })
+			drop := make(map[int32]bool, batch)
+			for _, v := range unlocked[:batch] {
+				drop[v] = true
+			}
+			sub, subToCur := cur.DeleteVertices(drop)
+			ok, err := oracle(sub)
+			if err != nil {
+				return nil, nil, err
+			}
+			if ok {
+				newToOld := make([]int32, sub.NumVertices())
+				newLocked := make(map[int32]bool, len(locked))
+				for i, cv := range subToCur {
+					newToOld[i] = toOld[cv]
+					if locked[cv] {
+						newLocked[int32(i)] = true
+					}
+				}
+				cur, toOld, locked = sub, newToOld, newLocked
+				break
+			}
+			if batch == 1 {
+				locked[unlocked[0]] = true
+				break
+			}
+			batch /= 2
+		}
+	}
+	return cur, toOld, nil
+}
+
+// extract whittles g down with the oracle, then runs finish on the small
+// survivor graph, mapping ids back to g. finish returns ids local to the
+// subgraph it is given.
+func extract(g *graph.Graph, k int, seed uint64, oracle Oracle, finish func(*graph.Graph) []int32) ([]int32, error) {
+	ok, err := oracle(g)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		return nil, fmt.Errorf("mld: extraction requested but graph tests negative")
+	}
+	// Below this size, exact search on the remnant is instant.
+	stopAt := 4 * k
+	if stopAt < 24 {
+		stopAt = 24
+	}
+	cur, toOld, err := Whittle(g, seed, stopAt, oracle)
+	if err != nil {
+		return nil, err
+	}
+	local := finish(cur)
+	if local == nil {
+		// Possible only if a randomized oracle false-negative locked us
+		// into a dead end; the caller can retry with another seed.
+		return nil, fmt.Errorf("mld: witness search failed on %d-vertex remnant", cur.NumVertices())
+	}
+	out := make([]int32, len(local))
+	for i, v := range local {
+		out[i] = toOld[v]
+	}
+	return out, nil
+}

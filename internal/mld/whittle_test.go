@@ -1,0 +1,89 @@
+package mld
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// plantedPathGraph builds `tris` disjoint triangles (whose longest
+// simple path has 3 vertices) plus one planted path on `k` extra
+// vertices — so the ONLY k-path, as a vertex set, is the planted one.
+func plantedPathGraph(tris, k int) (*graph.Graph, []int32) {
+	n := 3*tris + k
+	b := graph.NewBuilder(n)
+	for t := 0; t < tris; t++ {
+		a := int32(3 * t)
+		b.AddEdge(a, a+1)
+		b.AddEdge(a+1, a+2)
+		b.AddEdge(a, a+2)
+	}
+	witness := make([]int32, k)
+	for i := 0; i < k; i++ {
+		witness[i] = int32(3*tris + i)
+		if i > 0 {
+			b.AddEdge(witness[i-1], witness[i])
+		}
+	}
+	return b.Build(), witness
+}
+
+// TestWhittleUniqueWitness plants a unique witness in a larger graph
+// and checks the whittler isolates it instead of stalling — the
+// regression case behind the locking design: deleting any random batch
+// almost surely destroys a unique witness, so a naive halving loop gives
+// up with a large remnant.
+func TestWhittleUniqueWitness(t *testing.T) {
+	g, witness := plantedPathGraph(40, 6) // 126 vertices, unique 6-path
+	oracle := func(sub *graph.Graph) (bool, error) {
+		return DetectPath(sub, 6, Options{Seed: 5, Epsilon: 1e-6})
+	}
+	remnant, toOld, err := Whittle(g, 7, 10, oracle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := oracle(remnant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("whittle destroyed the witness")
+	}
+	if remnant.NumVertices() > 12 {
+		t.Fatalf("whittle stalled with %d vertices (unique witness has 6)", remnant.NumVertices())
+	}
+	if len(toOld) != remnant.NumVertices() {
+		t.Fatalf("mapping length %d vs %d vertices", len(toOld), remnant.NumVertices())
+	}
+	present := map[int32]bool{}
+	for _, v := range toOld {
+		present[v] = true
+	}
+	for _, need := range witness {
+		if !present[need] {
+			t.Fatalf("witness vertex %d missing from remnant (have %v)", need, toOld)
+		}
+	}
+}
+
+// TestExtractPathUniqueWitness runs the full extraction on the planted
+// instance: it must return exactly the planted vertices.
+func TestExtractPathUniqueWitness(t *testing.T) {
+	g, witness := plantedPathGraph(25, 7)
+	path, err := ExtractPath(g, 7, Options{Seed: 3, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int32]bool{}
+	for _, v := range witness {
+		want[v] = true
+	}
+	if len(path) != 7 {
+		t.Fatalf("extracted %d vertices", len(path))
+	}
+	for _, v := range path {
+		if !want[v] {
+			t.Fatalf("extracted %v, expected exactly the planted path %v", path, witness)
+		}
+	}
+}

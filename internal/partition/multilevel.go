@@ -1,0 +1,261 @@
+package partition
+
+import (
+	"sort"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// Multilevel is a METIS-style multilevel k-way partitioner: the graph is
+// coarsened by repeated heavy-edge matching, the coarsest graph is
+// partitioned greedily, and the partition is projected back up with a
+// boundary Kernighan–Lin refinement pass at every level. It typically
+// beats BFSGrow's edge cut on irregular graphs at a modest CPU cost —
+// the strongest arm of the partitioner ablation (DESIGN.md §6.4).
+func Multilevel(g *graph.Graph, parts int, seed uint64) *Partition {
+	if parts <= 0 {
+		panic("partition: non-positive part count")
+	}
+	n := g.NumVertices()
+	if parts == 1 || n <= parts {
+		return Block(g, parts)
+	}
+	lvl := levelFromGraph(g)
+	r := rng.New(seed ^ 0x9e3779b97f4a7c15)
+
+	// Coarsen until small or stuck.
+	var stack []*level
+	for lvl.n > 20*parts && len(stack) < 40 {
+		next := lvl.coarsen(r)
+		if next == nil || next.n >= lvl.n*9/10 {
+			break // matching stopped making progress
+		}
+		stack = append(stack, lvl)
+		lvl = next
+	}
+
+	// Initial partition of the coarsest level: weighted BFS-grow.
+	assign := lvl.initialPartition(parts, r)
+	lvl.refine(assign, parts, 4)
+
+	// Uncoarsen with refinement.
+	for i := len(stack) - 1; i >= 0; i-- {
+		fine := stack[i]
+		fineAssign := make([]int32, fine.n)
+		for v := 0; v < fine.n; v++ {
+			fineAssign[v] = assign[fine.match[v]]
+		}
+		assign = fineAssign
+		lvl = fine
+		lvl.refine(assign, parts, 2)
+	}
+	p, err := New(parts, assign)
+	if err != nil {
+		panic(err) // internal invariant: labels always in range
+	}
+	return p
+}
+
+// level is one graph in the coarsening hierarchy, with vertex and edge
+// weights (contracted multiplicities).
+type level struct {
+	n       int
+	adj     [][]levelEdge
+	vweight []int64
+	match   []int32 // fine vertex → coarse vertex (set when coarsened)
+}
+
+type levelEdge struct {
+	to int32
+	w  int64
+}
+
+func levelFromGraph(g *graph.Graph) *level {
+	n := g.NumVertices()
+	l := &level{n: n, adj: make([][]levelEdge, n), vweight: make([]int64, n)}
+	for v := int32(0); v < int32(n); v++ {
+		l.vweight[v] = 1
+		nbr := g.Neighbors(v)
+		l.adj[v] = make([]levelEdge, len(nbr))
+		for i, u := range nbr {
+			l.adj[v][i] = levelEdge{to: u, w: 1}
+		}
+	}
+	return l
+}
+
+// coarsen contracts a heavy-edge matching and returns the coarser level
+// (or nil if nothing matched).
+func (l *level) coarsen(r *rng.Rand) *level {
+	match := make([]int32, l.n)
+	for i := range match {
+		match[i] = -1
+	}
+	order := r.Perm(l.n)
+	coarse := int32(0)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		// heaviest unmatched neighbor
+		best := int32(-1)
+		var bestW int64 = -1
+		for _, e := range l.adj[v] {
+			if match[e.to] < 0 && e.to != v && e.w > bestW {
+				best, bestW = e.to, e.w
+			}
+		}
+		match[v] = coarse
+		if best >= 0 {
+			match[best] = coarse
+		}
+		coarse++
+	}
+	if int(coarse) == l.n {
+		return nil
+	}
+	next := &level{n: int(coarse), adj: make([][]levelEdge, coarse), vweight: make([]int64, coarse)}
+	l.match = match
+	// accumulate contracted edges
+	type key struct{ a, b int32 }
+	wsum := make(map[key]int64)
+	for v := int32(0); v < int32(l.n); v++ {
+		cv := match[v]
+		next.vweight[cv] += l.vweight[v]
+		for _, e := range l.adj[v] {
+			cu := match[e.to]
+			if cu == cv {
+				continue
+			}
+			wsum[key{cv, cu}] += e.w
+		}
+	}
+	for k, w := range wsum {
+		next.adj[k.a] = append(next.adj[k.a], levelEdge{to: k.b, w: w})
+	}
+	for v := range next.adj {
+		sort.Slice(next.adj[v], func(i, j int) bool { return next.adj[v][i].to < next.adj[v][j].to })
+	}
+	return next
+}
+
+// initialPartition grows parts over the coarsest graph by weighted BFS.
+func (l *level) initialPartition(parts int, r *rng.Rand) []int32 {
+	var total int64
+	for _, w := range l.vweight {
+		total += w
+	}
+	target := (total + int64(parts) - 1) / int64(parts)
+	assign := make([]int32, l.n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	order := r.Perm(l.n)
+	next := 0
+	queue := make([]int32, 0, 64)
+	for pt := 0; pt < parts; pt++ {
+		var load int64
+		queue = queue[:0]
+		for load < target {
+			if len(queue) == 0 {
+				for next < l.n && assign[order[next]] >= 0 {
+					next++
+				}
+				if next >= l.n {
+					break
+				}
+				s := int32(order[next])
+				assign[s] = int32(pt)
+				load += l.vweight[s]
+				queue = append(queue, s)
+				continue
+			}
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range l.adj[v] {
+				if assign[e.to] < 0 && load < target {
+					assign[e.to] = int32(pt)
+					load += l.vweight[e.to]
+					queue = append(queue, e.to)
+				}
+			}
+		}
+	}
+	// stragglers to least-loaded part
+	loads := make([]int64, parts)
+	for v, pt := range assign {
+		if pt >= 0 {
+			loads[pt] += l.vweight[v]
+		}
+	}
+	for v := range assign {
+		if assign[v] < 0 {
+			best := 0
+			for pt := 1; pt < parts; pt++ {
+				if loads[pt] < loads[best] {
+					best = pt
+				}
+			}
+			assign[v] = int32(best)
+			loads[best] += l.vweight[v]
+		}
+	}
+	return assign
+}
+
+// refine runs boundary Kernighan–Lin-style passes: move a vertex to the
+// neighboring part with the largest cut-weight gain, subject to a load
+// balance cap. Greedy, non-backtracking, `passes` sweeps.
+func (l *level) refine(assign []int32, parts, passes int) {
+	var total int64
+	for _, w := range l.vweight {
+		total += w
+	}
+	maxLoad := total/int64(parts) + total/int64(parts*5) + 1 // 20% slack
+	loads := make([]int64, parts)
+	for v, pt := range assign {
+		loads[pt] += l.vweight[v]
+	}
+	gain := make([]int64, parts)
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for v := int32(0); v < int32(l.n); v++ {
+			home := assign[v]
+			// cut weight toward each adjacent part
+			for pt := range gain {
+				gain[pt] = 0
+			}
+			boundary := false
+			for _, e := range l.adj[v] {
+				gain[assign[e.to]] += e.w
+				if assign[e.to] != home {
+					boundary = true
+				}
+			}
+			if !boundary {
+				continue
+			}
+			best := home
+			for pt := int32(0); pt < int32(parts); pt++ {
+				if pt == home || gain[pt] <= gain[best] {
+					continue
+				}
+				if loads[pt]+l.vweight[v] > maxLoad {
+					continue
+				}
+				best = pt
+			}
+			if best != home {
+				loads[home] -= l.vweight[v]
+				loads[best] += l.vweight[v]
+				assign[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package partition
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+func TestMultilevelValid(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		g     *graph.Graph
+		parts int
+	}{
+		{"grid", graph.Grid(20, 20), 8},
+		{"random", graph.RandomGNM(300, 900, 1), 6},
+		{"ba", graph.BarabasiAlbert(400, 3, 2), 5},
+		{"tiny", graph.Path(5), 3},
+		{"single part", graph.Cycle(10), 1},
+		{"more parts than growth", graph.Path(9), 4},
+	} {
+		p := Multilevel(tc.g, tc.parts, 7)
+		checkValid(t, p, tc.g.NumVertices(), tc.parts)
+	}
+}
+
+func TestMultilevelBalance(t *testing.T) {
+	g := graph.RandomGNM(500, 1500, 3)
+	const parts = 8
+	p := Multilevel(g, parts, 9)
+	m := p.ComputeMetrics(g)
+	// 20% refinement slack plus initial-partition granularity: accept 1.6x.
+	if limit := 500 * 16 / (parts * 10); m.MaxLoad > limit {
+		t.Fatalf("MaxLoad %d exceeds balance limit %d", m.MaxLoad, limit)
+	}
+}
+
+func TestMultilevelBeatsRandomCut(t *testing.T) {
+	for _, g := range []*graph.Graph{
+		graph.Grid(25, 25),
+		graph.RoadNetwork(25, 25, 4),
+		graph.RandomGNM(600, 2400, 5),
+	} {
+		ml := Multilevel(g, 8, 11).ComputeMetrics(g)
+		rd := Random(g, 8, 11).ComputeMetrics(g)
+		if ml.Cut >= rd.Cut {
+			t.Fatalf("multilevel cut %d should beat random cut %d (n=%d)", ml.Cut, rd.Cut, g.NumVertices())
+		}
+	}
+}
+
+func TestMultilevelCompetitiveWithBFSGrowOnGrid(t *testing.T) {
+	g := graph.Grid(30, 30)
+	ml := Multilevel(g, 9, 2).ComputeMetrics(g)
+	bf := BFSGrow(g, 9, 2).ComputeMetrics(g)
+	// Multilevel should be at least in the same league (within 2x) and
+	// usually better; a regression to random-like cuts would blow this.
+	if ml.Cut > 2*bf.Cut {
+		t.Fatalf("multilevel cut %d far worse than BFSGrow %d", ml.Cut, bf.Cut)
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := graph.RandomGNM(200, 600, 2)
+	a := Multilevel(g, 4, 5)
+	b := Multilevel(g, 4, 5)
+	for v := range a.Of {
+		if a.Of[v] != b.Of[v] {
+			t.Fatal("same seed produced different partitions")
+		}
+	}
+}
+
+func TestMultilevelViaByScheme(t *testing.T) {
+	g := graph.Grid(10, 10)
+	p, err := ByScheme(SchemeMultilevel, g, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkValid(t, p, 100, 4)
+}
+
+func TestCoarsenPreservesTotalVertexWeight(t *testing.T) {
+	g := graph.RandomGNM(150, 500, 8)
+	l := levelFromGraph(g)
+	r := rngFor(42)
+	next := l.coarsen(r)
+	if next == nil {
+		t.Fatal("coarsen made no progress on a dense graph")
+	}
+	var before, after int64
+	for _, w := range l.vweight {
+		before += w
+	}
+	for _, w := range next.vweight {
+		after += w
+	}
+	if before != after {
+		t.Fatalf("vertex weight changed under contraction: %d -> %d", before, after)
+	}
+	if next.n >= l.n {
+		t.Fatalf("coarsening did not shrink: %d -> %d", l.n, next.n)
+	}
+	// contracted adjacency must be symmetric in weight
+	wOf := func(lv *level, a, b int32) int64 {
+		for _, e := range lv.adj[a] {
+			if e.to == b {
+				return e.w
+			}
+		}
+		return 0
+	}
+	for v := int32(0); v < int32(next.n); v++ {
+		for _, e := range next.adj[v] {
+			if back := wOf(next, e.to, v); back != e.w {
+				t.Fatalf("asymmetric contracted edge (%d,%d): %d vs %d", v, e.to, e.w, back)
+			}
+		}
+	}
+}
+
+// rngFor gives tests access to a seeded generator without importing rng
+// at every call site.
+func rngFor(seed uint64) *rng.Rand { return rng.New(seed) }

@@ -1,0 +1,170 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func checkValid(t *testing.T, p *Partition, n, parts int) {
+	t.Helper()
+	if len(p.Of) != n {
+		t.Fatalf("assignment covers %d of %d vertices", len(p.Of), n)
+	}
+	total := 0
+	for pt := 0; pt < parts; pt++ {
+		total += len(p.Members(pt))
+	}
+	if total != n {
+		t.Fatalf("members cover %d of %d vertices (overlap or gap)", total, n)
+	}
+	for v, pt := range p.Of {
+		if pt < 0 || int(pt) >= parts {
+			t.Fatalf("vertex %d in part %d", v, pt)
+		}
+	}
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Fatal("zero parts accepted")
+	}
+	if _, err := New(2, []int32{0, 2}); err == nil {
+		t.Fatal("out-of-range label accepted")
+	}
+	if _, err := New(2, []int32{0, 1, 1}); err != nil {
+		t.Fatalf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestBlockBalance(t *testing.T) {
+	for _, tc := range []struct{ n, parts int }{{10, 3}, {100, 7}, {5, 5}, {4, 8}, {1, 1}} {
+		g := graph.Path(tc.n)
+		p := Block(g, tc.parts)
+		checkValid(t, p, tc.n, tc.parts)
+		lo, hi := tc.n, 0
+		for pt := 0; pt < tc.parts; pt++ {
+			s := len(p.Members(pt))
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		}
+		if hi-lo > 1 {
+			t.Fatalf("n=%d parts=%d: block sizes spread %d..%d", tc.n, tc.parts, lo, hi)
+		}
+		if p.MaxLoad() != hi {
+			t.Fatalf("MaxLoad %d != observed max %d", p.MaxLoad(), hi)
+		}
+	}
+}
+
+func TestBlockOnPathHasMinimalCut(t *testing.T) {
+	g := graph.Path(100)
+	m := Block(g, 4).ComputeMetrics(g)
+	if m.Cut != 3 {
+		t.Fatalf("block partition of a path should cut exactly parts-1 edges, got %d", m.Cut)
+	}
+	if m.MaxDeg > 2 {
+		t.Fatalf("MaxDeg %d on a path block partition", m.MaxDeg)
+	}
+}
+
+func TestRandomCoversAllParts(t *testing.T) {
+	g := graph.RandomGNM(500, 1000, 1)
+	p := Random(g, 8, 42)
+	checkValid(t, p, 500, 8)
+	for pt := 0; pt < 8; pt++ {
+		if len(p.Members(pt)) == 0 {
+			t.Fatalf("random partition left part %d empty (n=500)", pt)
+		}
+	}
+}
+
+func TestBFSGrowValidAndBalanced(t *testing.T) {
+	g := graph.Grid(20, 20)
+	p := BFSGrow(g, 8, 7)
+	checkValid(t, p, 400, 8)
+	if p.MaxLoad() > 70 { // target is 50; allow slack from frontier granularity
+		t.Fatalf("BFSGrow MaxLoad %d too unbalanced", p.MaxLoad())
+	}
+}
+
+func TestBFSGrowBeatsRandomOnGrid(t *testing.T) {
+	g := graph.Grid(30, 30)
+	mb := BFSGrow(g, 9, 3).ComputeMetrics(g)
+	mr := Random(g, 9, 3).ComputeMetrics(g)
+	if mb.Cut >= mr.Cut {
+		t.Fatalf("BFSGrow cut %d should beat random cut %d on a grid", mb.Cut, mr.Cut)
+	}
+}
+
+func TestMetricsAgainstHandComputed(t *testing.T) {
+	// C4 split into {0,1} and {2,3}: cut edges (1,2) and (3,0) → Cut=2,
+	// each part has 2 outgoing half-edges → MaxDeg=2, MaxLoad=2.
+	g := graph.Cycle(4)
+	p, err := New(2, []int32{0, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := p.ComputeMetrics(g)
+	if m.Cut != 2 || m.MaxDeg != 2 || m.MaxLoad != 2 {
+		t.Fatalf("metrics %+v, want cut=2 maxdeg=2 maxload=2", m)
+	}
+}
+
+func TestSinglePartMetrics(t *testing.T) {
+	g := graph.RandomGNM(50, 120, 5)
+	m := Block(g, 1).ComputeMetrics(g)
+	if m.Cut != 0 || m.MaxDeg != 0 || m.MaxLoad != 50 {
+		t.Fatalf("single part metrics %+v", m)
+	}
+}
+
+func TestPartitionInvariantsProperty(t *testing.T) {
+	f := func(seed uint64, partsRaw uint8) bool {
+		parts := int(partsRaw%15) + 1
+		g := graph.RandomGNM(80, 200, seed)
+		for _, p := range []*Partition{
+			Block(g, parts), Random(g, parts, seed), BFSGrow(g, parts, seed),
+		} {
+			if len(p.Of) != 80 {
+				return false
+			}
+			seenTotal := 0
+			for pt := 0; pt < parts; pt++ {
+				seenTotal += len(p.Members(pt))
+			}
+			if seenTotal != 80 {
+				return false
+			}
+			m := p.ComputeMetrics(g)
+			if m.MaxLoad*parts < 80 { // pigeonhole
+				return false
+			}
+			if m.MaxDeg > 2*m.Cut && m.Cut > 0 {
+				return false // a part cannot touch more cut-halves than 2·cut... (each cut edge has 2 halves)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestByScheme(t *testing.T) {
+	g := graph.Path(10)
+	for _, s := range []Scheme{SchemeBlock, SchemeRandom, SchemeBFSGrow} {
+		p, err := ByScheme(s, g, 2, 1)
+		if err != nil || p == nil {
+			t.Fatalf("scheme %q failed: %v", s, err)
+		}
+	}
+	if _, err := ByScheme("metis", g, 2, 1); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}

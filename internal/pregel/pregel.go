@@ -1,0 +1,248 @@
+// Package pregel is a vertex-centric bulk-synchronous-parallel graph
+// framework in the style of Pregel/Giraph. It exists as the faithful
+// stand-in for the Giraph baseline of reference [19] ("Fast graph scan
+// statistics optimization using algebraic fingerprints"), which the
+// paper reports beating by an order of magnitude: programs written
+// against it pay the per-edge message materialization and per-superstep
+// global barrier that MIDAS's aggregated halo exchange avoids.
+//
+// Semantics follow Pregel: in superstep s every active vertex receives
+// the messages sent to it in superstep s-1, updates its state, sends
+// messages along edges, and may vote to halt; a halted vertex is
+// reactivated by an incoming message. An optional combiner merges
+// messages addressed to the same vertex; aggregators fold a value over
+// all vertices each superstep and make the result visible in the next.
+package pregel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// Program defines vertex behavior. V is the vertex state, M the message
+// type.
+type Program[V, M any] interface {
+	// Init returns the initial state of a vertex; all vertices start
+	// active.
+	Init(id int32) V
+	// Compute processes one superstep for a vertex. It may read
+	// incoming messages, mutate *state, send messages via ctx, and
+	// return true to vote to halt.
+	Compute(ctx *Context[M], id int32, state *V, msgs []M) (halt bool)
+}
+
+// Combiner merges two messages bound for the same destination vertex
+// (Giraph's message combiner).
+type Combiner[M any] func(a, b M) M
+
+// Aggregator folds uint64 values contributed by vertices during a
+// superstep; the folded result of superstep s is readable in s+1.
+type Aggregator func(a, b uint64) uint64
+
+// Context is handed to Compute for sending messages and aggregation.
+type Context[M any] struct {
+	engine interface {
+		send(dst int32, m M)
+		aggregate(v uint64)
+	}
+	superstep int
+	agg       uint64 // previous superstep's aggregate
+	g         *graph.Graph
+	id        int32
+}
+
+// Superstep returns the current superstep index (0-based).
+func (c *Context[M]) Superstep() int { return c.superstep }
+
+// SendTo sends a message to vertex dst, delivered next superstep.
+func (c *Context[M]) SendTo(dst int32, m M) { c.engine.send(dst, m) }
+
+// SendToNeighbors sends m along every incident edge.
+func (c *Context[M]) SendToNeighbors(m M) {
+	for _, u := range c.g.Neighbors(c.id) {
+		c.engine.send(u, m)
+	}
+}
+
+// Neighbors exposes the vertex's adjacency.
+func (c *Context[M]) Neighbors() []int32 { return c.g.Neighbors(c.id) }
+
+// Aggregate contributes v to this superstep's global aggregate.
+func (c *Context[M]) Aggregate(v uint64) { c.engine.aggregate(v) }
+
+// PrevAggregate returns the folded aggregate of the previous superstep.
+func (c *Context[M]) PrevAggregate() uint64 { return c.agg }
+
+// Stats reports the cost drivers of a run: BSP supersteps executed and
+// total messages materialized (the quantity that separates this
+// baseline from MIDAS).
+type Stats struct {
+	Supersteps   int
+	Messages     int64
+	ComputeCalls int64
+}
+
+const lockStripes = 64
+
+// Engine executes a Program over a graph.
+type Engine[V, M any] struct {
+	g        *graph.Graph
+	prog     Program[V, M]
+	workers  int
+	combiner Combiner[M]
+	aggFn    Aggregator
+	aggInit  uint64
+
+	state  []V
+	active []bool
+	inbox  [][]M
+	outbox [][]M
+	locks  [lockStripes]sync.Mutex
+
+	aggCur   uint64
+	aggPrev  uint64
+	aggMu    sync.Mutex
+	stats    Stats
+	msgCount atomic.Int64
+}
+
+// Option customizes an Engine.
+type Option[V, M any] func(*Engine[V, M])
+
+// WithWorkers sets the number of vertex-compute workers (default 1).
+func WithWorkers[V, M any](w int) Option[V, M] {
+	return func(e *Engine[V, M]) {
+		if w > 0 {
+			e.workers = w
+		}
+	}
+}
+
+// WithCombiner installs a message combiner.
+func WithCombiner[V, M any](c Combiner[M]) Option[V, M] {
+	return func(e *Engine[V, M]) { e.combiner = c }
+}
+
+// WithAggregator installs the global aggregator with its identity value.
+func WithAggregator[V, M any](init uint64, f Aggregator) Option[V, M] {
+	return func(e *Engine[V, M]) { e.aggInit, e.aggFn = init, f }
+}
+
+// NewEngine builds an engine; Run may be called repeatedly (state is
+// re-initialized per call).
+func NewEngine[V, M any](g *graph.Graph, prog Program[V, M], opts ...Option[V, M]) *Engine[V, M] {
+	e := &Engine[V, M]{g: g, prog: prog, workers: 1}
+	for _, o := range opts {
+		o(e)
+	}
+	return e
+}
+
+func (e *Engine[V, M]) send(dst int32, m M) {
+	s := &e.locks[int(dst)%lockStripes]
+	s.Lock()
+	if e.combiner != nil && len(e.outbox[dst]) > 0 {
+		e.outbox[dst][0] = e.combiner(e.outbox[dst][0], m)
+	} else {
+		e.outbox[dst] = append(e.outbox[dst], m)
+	}
+	s.Unlock()
+	e.msgCount.Add(1)
+}
+
+func (e *Engine[V, M]) aggregate(v uint64) {
+	e.aggMu.Lock()
+	if e.aggFn != nil {
+		e.aggCur = e.aggFn(e.aggCur, v)
+	}
+	e.aggMu.Unlock()
+}
+
+// State returns a pointer to a vertex's state; valid after Run (drivers
+// read results out of vertex state when a single aggregate is not
+// expressive enough).
+func (e *Engine[V, M]) State(v int32) *V { return &e.state[v] }
+
+// Run executes up to maxSupersteps supersteps (or until all vertices
+// halt with no messages in flight) and returns run statistics plus the
+// aggregate folded over every superstep of the run. (PrevAggregate
+// inside Compute still exposes only the previous superstep's fold,
+// matching Giraph.)
+func (e *Engine[V, M]) Run(maxSupersteps int) (Stats, uint64) {
+	n := e.g.NumVertices()
+	e.state = make([]V, n)
+	e.active = make([]bool, n)
+	e.inbox = make([][]M, n)
+	e.outbox = make([][]M, n)
+	for v := 0; v < n; v++ {
+		e.state[v] = e.prog.Init(int32(v))
+		e.active[v] = true
+	}
+	e.stats = Stats{}
+	e.msgCount.Store(0)
+	e.aggPrev = e.aggInit
+	runTotal := e.aggInit
+	for step := 0; step < maxSupersteps; step++ {
+		anyActive := false
+		for v := 0; v < n && !anyActive; v++ {
+			anyActive = e.active[v] || len(e.inbox[v]) > 0
+		}
+		if !anyActive {
+			break
+		}
+		e.aggCur = e.aggInit
+		e.runSuperstep(step)
+		e.stats.Supersteps++
+		e.aggPrev = e.aggCur
+		if e.aggFn != nil {
+			runTotal = e.aggFn(runTotal, e.aggCur)
+		}
+		// message rotation: this superstep's outbox becomes next inbox
+		e.inbox, e.outbox = e.outbox, e.inbox
+		for v := range e.outbox {
+			e.outbox[v] = e.outbox[v][:0]
+		}
+	}
+	e.stats.Messages = e.msgCount.Load()
+	return e.stats, runTotal
+}
+
+func (e *Engine[V, M]) runSuperstep(step int) {
+	n := e.g.NumVertices()
+	var wg sync.WaitGroup
+	chunk := (n + e.workers - 1) / e.workers
+	var computeCalls int64
+	var ccMu sync.Mutex
+	for w := 0; w < e.workers; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var calls int64
+			for v := lo; v < hi; v++ {
+				msgs := e.inbox[v]
+				if !e.active[v] && len(msgs) == 0 {
+					continue
+				}
+				ctx := &Context[M]{engine: e, superstep: step, agg: e.aggPrev, g: e.g, id: int32(v)}
+				halt := e.prog.Compute(ctx, int32(v), &e.state[v], msgs)
+				e.active[v] = !halt
+				e.inbox[v] = e.inbox[v][:0]
+				calls++
+			}
+			ccMu.Lock()
+			computeCalls += calls
+			ccMu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	e.stats.ComputeCalls += computeCalls
+}

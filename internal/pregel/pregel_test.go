@@ -1,0 +1,287 @@
+package pregel
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// --- framework semantics, via small classic programs ---
+
+// bfsProgram computes BFS distances: classic Pregel hello-world.
+type bfsState struct{ dist int32 }
+
+type bfsProgram struct{ src int32 }
+
+func (b *bfsProgram) Init(id int32) bfsState { return bfsState{dist: -1} }
+
+func (b *bfsProgram) Compute(ctx *Context[int32], id int32, st *bfsState, msgs []int32) bool {
+	if ctx.Superstep() == 0 {
+		if id == b.src {
+			st.dist = 0
+			ctx.SendToNeighbors(1)
+		}
+		return true
+	}
+	if st.dist >= 0 {
+		return true
+	}
+	best := int32(-1)
+	for _, m := range msgs {
+		if best < 0 || m < best {
+			best = m
+		}
+	}
+	if best >= 0 {
+		st.dist = best
+		ctx.SendToNeighbors(best + 1)
+	}
+	return true
+}
+
+func TestBFSProgramMatchesGraphBFS(t *testing.T) {
+	g := graph.RandomGNM(60, 150, 3)
+	want := graph.BFS(g, 7)
+	for _, workers := range []int{1, 4} {
+		eng := NewEngine[bfsState, int32](g, &bfsProgram{src: 7},
+			WithWorkers[bfsState, int32](workers))
+		stats, _ := eng.Run(100)
+		for v := 0; v < 60; v++ {
+			if eng.State(int32(v)).dist != want[v] {
+				t.Fatalf("workers=%d: dist[%d] = %d, want %d", workers, v, eng.State(int32(v)).dist, want[v])
+			}
+		}
+		if stats.Supersteps == 0 || stats.Messages == 0 {
+			t.Fatalf("stats empty: %+v", stats)
+		}
+	}
+}
+
+func TestHaltTerminatesEarly(t *testing.T) {
+	g := graph.Path(5)
+	eng := NewEngine[bfsState, int32](g, &bfsProgram{src: 0})
+	stats, _ := eng.Run(1000)
+	// P5 BFS completes in 5 supersteps of activity (plus the final
+	// quiet check), far below the 1000 cap.
+	if stats.Supersteps > 10 {
+		t.Fatalf("no early termination: %d supersteps", stats.Supersteps)
+	}
+}
+
+// degreeSum exercises the aggregator: every vertex contributes its
+// degree in superstep 0.
+type aggProgram struct{}
+
+func (aggProgram) Init(id int32) struct{} { return struct{}{} }
+func (aggProgram) Compute(ctx *Context[struct{}], id int32, st *struct{}, msgs []struct{}) bool {
+	if ctx.Superstep() == 0 {
+		ctx.Aggregate(uint64(len(ctx.Neighbors())))
+		return false
+	}
+	// aggregate from the previous superstep is now visible
+	if ctx.PrevAggregate() == 0 {
+		panic("aggregate not visible")
+	}
+	return true
+}
+
+func TestAggregator(t *testing.T) {
+	g := graph.Cycle(10)
+	eng := NewEngine[struct{}, struct{}](g, aggProgram{},
+		WithAggregator[struct{}, struct{}](0, func(a, b uint64) uint64 { return a + b }))
+	_, agg := eng.Run(3)
+	if agg != 20 {
+		t.Fatalf("degree sum aggregate = %d, want 20", agg)
+	}
+}
+
+// combiner test: sum-combine messages so each vertex sees one message.
+type combState struct{ got int }
+
+type combProgram struct{}
+
+func (combProgram) Init(id int32) combState { return combState{} }
+func (combProgram) Compute(ctx *Context[uint64], id int32, st *combState, msgs []uint64) bool {
+	if ctx.Superstep() == 0 {
+		ctx.SendToNeighbors(uint64(id + 1))
+		return false
+	}
+	st.got = len(msgs)
+	var sum uint64
+	for _, m := range msgs {
+		sum += m
+	}
+	ctx.Aggregate(sum)
+	return true
+}
+
+func TestCombinerMergesMessages(t *testing.T) {
+	g := graph.Star(6) // center receives 5 messages
+	eng := NewEngine[combState, uint64](g, combProgram{},
+		WithCombiner[combState, uint64](func(a, b uint64) uint64 { return a + b }),
+		WithAggregator[combState, uint64](0, func(a, b uint64) uint64 { return a + b }))
+	_, agg := eng.Run(3)
+	if got := eng.State(0).got; got != 1 {
+		t.Fatalf("center saw %d messages, combiner should merge to 1", got)
+	}
+	// sum of leaf ids+1 delivered to center, plus center's id+1 to each leaf
+	want := uint64(2+3+4+5+6) + 5*1
+	if agg != want {
+		t.Fatalf("aggregate %d want %d", agg, want)
+	}
+}
+
+// --- multilinear programs vs sequential mld ---
+
+func TestPregelPathMatchesSequential(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		g := graph.RandomGNM(20, 45, r.Uint64())
+		k := 2 + r.Intn(4)
+		seed := r.Uint64()
+		want, err := mld.DetectPath(g, k, mld.Options{Seed: seed, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n2 := range []int{1, 4, 1 << uint(k)} {
+			got, stats, err := DetectPath(g, k, Options{Seed: seed, Rounds: 1, N2: n2, Workers: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Fatalf("trial %d k=%d n2=%d: pregel %v sequential %v", trial, k, n2, got, want)
+			}
+			if want && stats.Messages == 0 && k > 1 {
+				t.Fatal("no messages materialized")
+			}
+		}
+	}
+}
+
+func TestPregelPathValidation(t *testing.T) {
+	g := graph.Path(4)
+	if _, _, err := DetectPath(g, 0, Options{}); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if got, _, err := DetectPath(g, 9, Options{}); err != nil || got {
+		t.Fatalf("k>n should be no: %v %v", got, err)
+	}
+}
+
+func TestPregelScanMatchesSequential(t *testing.T) {
+	g := graph.RandomGNM(12, 25, 6)
+	w := make([]int64, 12)
+	r := rng.New(2)
+	for i := range w {
+		w[i] = int64(r.Intn(3))
+	}
+	g.SetWeights(w)
+	const k, zmax = 3, 5
+	want, err := mld.ScanTable(g, k, zmax, mld.Options{Seed: 5, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats, err := ScanTable(g, k, zmax, Options{Seed: 5, Rounds: 1, N2: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= k; j++ {
+		for z := 0; z <= zmax; z++ {
+			if got[j][z] != want[j][z] {
+				t.Fatalf("cell (%d,%d): pregel %v sequential %v", j, z, got[j][z], want[j][z])
+			}
+		}
+	}
+	if stats.Messages == 0 {
+		t.Fatal("scan program sent no messages")
+	}
+}
+
+func TestPregelScanAgainstBruteForce(t *testing.T) {
+	g := graph.Grid(3, 3)
+	g.SetWeights([]int64{1, 0, 1, 0, 2, 0, 1, 0, 1})
+	const k, zmax = 3, 4
+	want := mld.BruteScanTable(g, k, zmax)
+	got, _, err := ScanTable(g, k, zmax, Options{Seed: 8, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 1; j <= k; j++ {
+		for z := 0; z <= zmax; z++ {
+			if got[j][z] != want[j][z] {
+				t.Fatalf("cell (%d,%d): pregel %v brute %v", j, z, got[j][z], want[j][z])
+			}
+		}
+	}
+}
+
+func TestPregelMessageCountScalesWithEdges(t *testing.T) {
+	// The framework's handicap: per-level per-edge messages. For k
+	// levels, expect ≈ (k-1)·2m messages per batch (every vertex sends
+	// to all neighbors at levels 1..k-1).
+	g := graph.Cycle(30)
+	k := 4
+	_, stats, err := DetectPath(g, k, Options{Seed: 1, Rounds: 1, N2: 1 << uint(k)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64((k - 1) * 2 * g.NumEdges())
+	if stats.Messages != want {
+		t.Fatalf("messages = %d, want %d", stats.Messages, want)
+	}
+}
+
+func BenchmarkPregelPathK8(b *testing.B) {
+	g := graph.RandomNLogN(300, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := DetectPath(g, 8, Options{Seed: uint64(i), Rounds: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPregelTreeMatchesSequential(t *testing.T) {
+	r := rng.New(47)
+	for trial := 0; trial < 8; trial++ {
+		g := graph.RandomGNM(18, 40, r.Uint64())
+		k := 2 + r.Intn(4)
+		tpl := graph.RandomTemplate(k, r.Uint64())
+		seed := r.Uint64()
+		want, err := mld.DetectTree(g, tpl, mld.Options{Seed: seed, Rounds: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := DetectTree(g, tpl, Options{Seed: seed, Rounds: 1, N2: 4, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d k=%d: pregel %v sequential %v", trial, k, got, want)
+		}
+	}
+}
+
+func TestPregelTreeKnownCases(t *testing.T) {
+	grid := graph.Grid(3, 3)
+	cases := []struct {
+		tpl  *graph.Template
+		want bool
+	}{
+		{graph.StarTemplate(5), true},
+		{graph.StarTemplate(6), false},
+		{graph.PathTemplate(9), true},
+		{graph.MustTemplate(1, nil), true},
+	}
+	for i, tc := range cases {
+		got, _, err := DetectTree(grid, tc.tpl, Options{Seed: 3, Epsilon: 1e-4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Fatalf("case %d: got %v want %v", i, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package rng provides deterministic pseudo-random number generation and
+// keyed hashing for MIDAS.
+//
+// Two properties matter for the algorithms in this repository:
+//
+//  1. Reproducibility: a run is fully determined by a single 64-bit seed,
+//     so experiments can be replayed and distributed ranks agree on all
+//     random choices without communicating them.
+//  2. Cross-rank derivability: the per-(edge, level) fingerprint
+//     coefficients used by the multilinear detection DP are *hashed*, not
+//     stored. Any rank can recompute the coefficient for any edge from
+//     (seed, edge endpoints, level) alone, which removes an O(m·k) table
+//     and, more importantly, removes a broadcast from the distributed
+//     setup phase.
+//
+// The generator is xoshiro256** seeded through splitmix64, the standard
+// pairing recommended by the xoshiro authors. The keyed hash is a
+// splitmix64 chain, which is a strong 64->64 mixer (not cryptographic,
+// which is fine: the adversary here is Schwartz–Zippel, not a person).
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// SplitMix64 advances the splitmix64 state and returns the next value.
+// It is used both as a seeder and as the mixing function for Hash64.
+func SplitMix64(state uint64) (next uint64, out uint64) {
+	state += 0x9e3779b97f4a7c15
+	z := state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return state, z
+}
+
+// Mix64 applies the splitmix64 finalizer to x. It is a bijective 64-bit
+// mixer with full avalanche.
+func Mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Hash64 hashes an arbitrary-length key of 64-bit words under the given
+// seed. It is deterministic across processes and architectures.
+func Hash64(seed uint64, words ...uint64) uint64 {
+	h := Mix64(seed ^ 0x6a09e667f3bcc909)
+	for _, w := range words {
+		h = Mix64(h ^ w)
+	}
+	return h
+}
+
+// Hash2 is a fast-path Hash64 for exactly two words, avoiding the
+// variadic slice allocation in hot loops.
+func Hash2(seed, a, b uint64) uint64 {
+	h := Mix64(seed ^ 0x6a09e667f3bcc909)
+	h = Mix64(h ^ a)
+	return Mix64(h ^ b)
+}
+
+// Hash3 is a fast-path Hash64 for exactly three words.
+func Hash3(seed, a, b, c uint64) uint64 {
+	h := Mix64(seed ^ 0x6a09e667f3bcc909)
+	h = Mix64(h ^ a)
+	h = Mix64(h ^ b)
+	return Mix64(h ^ c)
+}
+
+// Rand is a xoshiro256** generator. The zero value is invalid; use New.
+type Rand struct {
+	s         [4]uint64
+	spare     float64
+	haveSpare bool
+}
+
+// New returns a generator seeded from a single 64-bit seed via splitmix64.
+func New(seed uint64) *Rand {
+	var r Rand
+	st := seed
+	for i := range r.s {
+		st, r.s[i] = SplitMix64(st)
+	}
+	// xoshiro must not be seeded with the all-zero state. splitmix64 of
+	// any seed cannot produce four zero outputs in a row, but guard
+	// against it anyway so the invariant is local.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &r
+}
+
+// Uint64 returns the next value in the stream.
+func (r *Rand) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniform 32-bit value.
+func (r *Rand) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform value in [0, n) using Lemire's multiply-shift
+// rejection method. It panics if n == 0.
+func (r *Rand) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with zero n")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// NormFloat64 returns a standard normal variate (polar Box–Muller with a
+// cached spare).
+func (r *Rand) NormFloat64() float64 {
+	if r.haveSpare {
+		r.haveSpare = false
+		return r.spare
+	}
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		f := math.Sqrt(-2 * math.Log(s) / s)
+		r.spare = v * f
+		r.haveSpare = true
+		return u * f
+	}
+}
+
+// Perm returns a uniform random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}

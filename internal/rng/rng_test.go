@@ -1,0 +1,208 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMix64Bijective(t *testing.T) {
+	// Mix64 is a bijection, so distinct inputs in a sample must map to
+	// distinct outputs.
+	seen := make(map[uint64]uint64)
+	for i := uint64(0); i < 10000; i++ {
+		out := Mix64(i)
+		if prev, ok := seen[out]; ok {
+			t.Fatalf("Mix64 collision: Mix64(%d) == Mix64(%d) == %#x", i, prev, out)
+		}
+		seen[out] = i
+	}
+}
+
+func TestMix64Avalanche(t *testing.T) {
+	// Flipping one input bit should flip roughly half the output bits.
+	var totalFlips, samples int
+	for i := uint64(1); i <= 1000; i++ {
+		base := Mix64(i)
+		for b := 0; b < 64; b++ {
+			diff := base ^ Mix64(i^(1<<uint(b)))
+			totalFlips += popcount(diff)
+			samples++
+		}
+	}
+	avg := float64(totalFlips) / float64(samples)
+	if avg < 28 || avg > 36 {
+		t.Fatalf("poor avalanche: average %.2f bit flips, want ~32", avg)
+	}
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+func TestHash64Deterministic(t *testing.T) {
+	a := Hash64(42, 1, 2, 3)
+	b := Hash64(42, 1, 2, 3)
+	if a != b {
+		t.Fatalf("Hash64 not deterministic: %#x vs %#x", a, b)
+	}
+	if Hash64(42, 1, 2, 3) == Hash64(43, 1, 2, 3) {
+		t.Fatal("seed change did not change hash")
+	}
+	if Hash64(42, 1, 2, 3) == Hash64(42, 1, 2, 4) {
+		t.Fatal("word change did not change hash")
+	}
+	if Hash64(42, 1, 2) == Hash64(42, 2, 1) {
+		t.Fatal("word order should matter")
+	}
+}
+
+func TestHashFastPathsMatchHash64(t *testing.T) {
+	f := func(seed, a, b, c uint64) bool {
+		return Hash2(seed, a, b) == Hash64(seed, a, b) &&
+			Hash3(seed, a, b, c) == Hash64(seed, a, b, c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandDeterministicBySeed(t *testing.T) {
+	r1, r2 := New(7), New(7)
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+	r3 := New(8)
+	same := 0
+	r1 = New(7)
+	for i := 0; i < 100; i++ {
+		if r1.Uint64() == r3.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 equal values", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(1)
+	for _, n := range []uint64{1, 2, 3, 7, 8, 100, 1 << 40, math.MaxUint64} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nUniformish(t *testing.T) {
+	r := New(99)
+	const n, iters = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < iters; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(iters) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d has %d samples, want ~%.0f", b, c, want)
+		}
+	}
+}
+
+func TestIntnPanicsOnBadInput(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(5)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance = %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(11)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(13)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("shuffle changed element multiset: sum %d -> %d", sum, got)
+	}
+}
+
+func BenchmarkHash3(b *testing.B) {
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= Hash3(42, uint64(i), uint64(i>>3), 7)
+	}
+	_ = sink
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64()
+	}
+	_ = sink
+}

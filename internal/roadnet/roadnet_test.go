@@ -1,0 +1,146 @@
+package roadnet
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/scanstat"
+)
+
+func TestSimulateValidation(t *testing.T) {
+	bad := []Config{
+		{Rows: 1, Cols: 10, Snapshots: 5, AnomalySize: 2},
+		{Rows: 5, Cols: 5, Snapshots: 2, AnomalySize: 2},
+		{Rows: 5, Cols: 5, Snapshots: 5, AnomalySize: 0},
+		{Rows: 5, Cols: 5, Snapshots: 5, AnomalySize: 20},
+	}
+	for i, cfg := range bad {
+		if _, err := Simulate(cfg); err == nil {
+			t.Fatalf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestSimulateBasicShape(t *testing.T) {
+	s, err := Simulate(Config{Rows: 10, Cols: 12, Snapshots: 20, AnomalySize: 6, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.G.NumVertices() != 120 {
+		t.Fatalf("n = %d", s.G.NumVertices())
+	}
+	if len(s.Truth) != 6 {
+		t.Fatalf("truth size %d", len(s.Truth))
+	}
+	if !graph.IsConnectedSubset(s.G, s.Truth) {
+		t.Fatal("injected anomaly not connected")
+	}
+	for i, p := range s.PValues {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			t.Fatalf("p-value[%d] = %v", i, p)
+		}
+	}
+}
+
+func TestAnomalousNodesHaveLowPValues(t *testing.T) {
+	s, err := Simulate(Config{Rows: 12, Cols: 12, Snapshots: 30, AnomalySize: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inTruth := map[int32]bool{}
+	for _, v := range s.Truth {
+		inTruth[v] = true
+	}
+	var anomMax float64
+	normLow := 0
+	for v, p := range s.PValues {
+		if inTruth[int32(v)] {
+			if p > anomMax {
+				anomMax = p
+			}
+		} else if p < 0.01 {
+			normLow++
+		}
+	}
+	if anomMax > 0.05 {
+		t.Fatalf("an injected sensor has p-value %v (> 0.05): drop too weak", anomMax)
+	}
+	if frac := float64(normLow) / float64(s.G.NumVertices()); frac > 0.05 {
+		t.Fatalf("%.1f%% of normal sensors spuriously significant", 100*frac)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	a, _ := Simulate(Config{Rows: 8, Cols: 8, Snapshots: 10, AnomalySize: 4, Seed: 9})
+	b, _ := Simulate(Config{Rows: 8, Cols: 8, Snapshots: 10, AnomalySize: 4, Seed: 9})
+	for i := range a.PValues {
+		if a.PValues[i] != b.PValues[i] {
+			t.Fatal("same seed, different simulation")
+		}
+	}
+}
+
+func TestNormalCDF(t *testing.T) {
+	cases := map[float64]float64{0: 0.5, 1.96: 0.975, -1.96: 0.025, 3: 0.99865}
+	for x, want := range cases {
+		if got := NormalCDF(x); math.Abs(got-want) > 1e-3 {
+			t.Fatalf("Φ(%v) = %v want %v", x, got, want)
+		}
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	s := &Sim{Truth: []int32{1, 2, 3, 4}}
+	p, r := s.PrecisionRecall([]int32{1, 2, 9, 10})
+	if p != 0.5 || r != 0.5 {
+		t.Fatalf("p=%v r=%v", p, r)
+	}
+	p, r = s.PrecisionRecall(nil)
+	if p != 0 || r != 0 {
+		t.Fatal("empty detection should be 0/0")
+	}
+}
+
+func TestAsciiMapMarks(t *testing.T) {
+	s := &Sim{Rows: 2, Cols: 3, Truth: []int32{0, 1}}
+	m := s.AsciiMap([]int32{1, 5})
+	lines := strings.Split(strings.TrimRight(m, "\n"), "\n")
+	if len(lines) != 2 || lines[0] != "o@." || lines[1] != "..#" {
+		t.Fatalf("map:\n%s", m)
+	}
+}
+
+// TestEndToEndDetection is the Fig 13 pipeline in miniature: simulate,
+// convert p-values to indicator weights, run the scan-statistics
+// detector, extract the cluster, and check it overlaps the injection.
+func TestEndToEndDetection(t *testing.T) {
+	s, err := Simulate(Config{Rows: 9, Cols: 9, Snapshots: 25, AnomalySize: 5, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alpha = 0.02
+	s.G.SetWeights(scanstat.IndicatorWeights(s.PValues, alpha))
+	const k = 6
+	res, err := scanstat.Detect(s.G, k, scanstat.BerkJones{Alpha: alpha},
+		scanstat.Options{MLD: mld.Options{Seed: 11, Epsilon: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("no anomalous cluster detected")
+	}
+	cluster, err := scanstat.ExtractCell(s.G, res.Size, res.Weight,
+		scanstat.Options{MLD: mld.Options{Seed: 11, Epsilon: 1e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recall := s.PrecisionRecall(cluster)
+	if recall < 0.4 {
+		sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+		t.Fatalf("recall %.2f too low; detected %v truth %v\n%s", recall, cluster, s.Truth, s.AsciiMap(cluster))
+	}
+}

@@ -1,0 +1,89 @@
+package roadnet
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/scanstat"
+)
+
+func TestNewStreamValidation(t *testing.T) {
+	bad := []StreamConfig{
+		{Rows: 1, Cols: 5, Snapshots: 10, Warmup: 5, AnomalyFrom: 6, AnomalyTo: 7, AnomalySize: 2},
+		{Rows: 5, Cols: 5, Snapshots: 5, Warmup: 5, AnomalyFrom: 5, AnomalyTo: 5, AnomalySize: 2},
+		{Rows: 5, Cols: 5, Snapshots: 10, Warmup: 5, AnomalyFrom: 2, AnomalyTo: 7, AnomalySize: 2},
+		{Rows: 5, Cols: 5, Snapshots: 10, Warmup: 5, AnomalyFrom: 6, AnomalyTo: 12, AnomalySize: 2},
+		{Rows: 5, Cols: 5, Snapshots: 10, Warmup: 5, AnomalyFrom: 6, AnomalyTo: 7, AnomalySize: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := NewStream(cfg); err == nil {
+			t.Fatalf("bad stream config %d accepted", i)
+		}
+	}
+}
+
+func TestStreamPValuesShape(t *testing.T) {
+	s, err := NewStream(StreamConfig{
+		Rows: 8, Cols: 8, Snapshots: 64, Warmup: 40,
+		AnomalyFrom: 50, AnomalyTo: 53, AnomalySize: 5, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pv, err := s.PValuesAt(44) // pre-anomaly snapshot
+	if err != nil {
+		t.Fatal(err)
+	}
+	low := 0
+	for _, p := range pv {
+		if p < 0 || p > 1 {
+			t.Fatalf("p-value %v out of range", p)
+		}
+		if p < 0.02 {
+			low++
+		}
+	}
+	if frac := float64(low) / float64(len(pv)); frac > 0.08 {
+		t.Fatalf("%.1f%% spuriously significant pre-anomaly", 100*frac)
+	}
+	if _, err := s.PValuesAt(4); err == nil {
+		t.Fatal("too-early snapshot accepted")
+	}
+	if _, err := s.PValuesAt(99); err == nil {
+		t.Fatal("out-of-range snapshot accepted")
+	}
+}
+
+// TestMonitorAlarmsInsideWindow is the streaming version of Fig 13: the
+// alarm should fire during the injected window and stay quiet before it.
+func TestMonitorAlarmsInsideWindow(t *testing.T) {
+	s, err := NewStream(StreamConfig{
+		Rows: 8, Cols: 8, Snapshots: 60, Warmup: 40,
+		AnomalyFrom: 50, AnomalyTo: 54, AnomalySize: 5, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const alpha, threshold, k = 0.02, 8.0, 6
+	results, err := s.Monitor(k, alpha, threshold, scanstat.Options{MLD: mld.Options{Seed: 2, Epsilon: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	from, to := s.AnomalyWindow()
+	inWindowAlarms, preWindowAlarms := 0, 0
+	for _, r := range results {
+		if r.Snapshot >= from && r.Snapshot <= to {
+			if r.Alarm {
+				inWindowAlarms++
+			}
+		} else if r.Snapshot < from && r.Alarm {
+			preWindowAlarms++
+		}
+	}
+	if inWindowAlarms < (to - from) { // allow one miss in the window
+		t.Fatalf("only %d/%d alarms inside the anomaly window: %+v", inWindowAlarms, to-from+1, results)
+	}
+	if preWindowAlarms > 1 {
+		t.Fatalf("%d false alarms before the window: %+v", preWindowAlarms, results)
+	}
+}

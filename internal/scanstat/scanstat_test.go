@@ -1,0 +1,218 @@
+package scanstat
+
+import (
+	"math"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+)
+
+func TestKulldorffPoisson(t *testing.T) {
+	kp := KulldorffPoisson{}
+	if kp.Score(5, 10) != 0 || kp.Score(10, 10) != 0 {
+		t.Fatal("non-elevated counts should score 0")
+	}
+	// W=20, B=10: 20·ln2 − 10 ≈ 3.863
+	if got := kp.Score(20, 10); math.Abs(got-3.8629) > 1e-3 {
+		t.Fatalf("Kulldorff(20,10) = %v", got)
+	}
+	// monotone in W above B
+	if kp.Score(30, 10) <= kp.Score(20, 10) {
+		t.Fatal("Kulldorff not monotone in W")
+	}
+	if kp.Score(0, 0) != 0 {
+		t.Fatal("degenerate inputs should score 0")
+	}
+}
+
+func TestElevatedMean(t *testing.T) {
+	em := ElevatedMean{}
+	if em.Score(5, 9) != 0 {
+		t.Fatal("below expectation should be 0")
+	}
+	if got := em.Score(15, 9); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("(15-9)/3 = 2, got %v", got)
+	}
+}
+
+func TestBerkJones(t *testing.T) {
+	bj := BerkJones{Alpha: 0.1}
+	if bj.Score(1, 20) != 0 {
+		t.Fatal("5% significant at α=10% should score 0")
+	}
+	s1 := bj.Score(10, 20) // half significant
+	if s1 <= 0 {
+		t.Fatal("elevated significance should score positive")
+	}
+	if bj.Score(20, 20) <= s1 {
+		t.Fatal("BJ not monotone in W")
+	}
+	// all significant: KL(1, 0.1) = ln(10)
+	if got := bj.Score(20, 20); math.Abs(got-20*math.Log(10)) > 1e-9 {
+		t.Fatalf("BJ(20,20) = %v", got)
+	}
+}
+
+func TestIndicatorWeights(t *testing.T) {
+	w := IndicatorWeights([]float64{0.001, 0.5, 0.049, 0.05}, 0.05)
+	want := []int64{1, 0, 1, 0}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("indicator %v want %v", w, want)
+		}
+	}
+}
+
+func TestRoundWeights(t *testing.T) {
+	w, err := RoundWeights([]float64{0, 2.5, 5, 10}, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{0, 25, 50, 100}
+	for i := range w {
+		if w[i] != want[i] {
+			t.Fatalf("rounded %v want %v", w, want)
+		}
+	}
+	if _, err := RoundWeights([]float64{-1}, 10); err == nil {
+		t.Fatal("negative weight accepted")
+	}
+	if _, err := RoundWeights([]float64{math.NaN()}, 10); err == nil {
+		t.Fatal("NaN accepted")
+	}
+	if _, err := RoundWeights([]float64{1}, 0); err == nil {
+		t.Fatal("zero grid accepted")
+	}
+	if z, err := RoundWeights([]float64{0, 0}, 10); err != nil || z[0] != 0 || z[1] != 0 {
+		t.Fatal("all-zero weights mishandled")
+	}
+}
+
+func TestExpandBaselines(t *testing.T) {
+	g := graph.Path(3)
+	g.SetWeights([]int64{5, 0, 7})
+	g.SetBaselines([]int64{1, 3, 2})
+	ex, orig, err := ExpandBaselines(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.NumVertices() != 6 {
+		t.Fatalf("expanded n = %d, want 6", ex.NumVertices())
+	}
+	if ex.TotalWeight() != 12 {
+		t.Fatalf("expanded weight = %d", ex.TotalWeight())
+	}
+	if !graph.IsConnected(ex) {
+		t.Fatal("expansion broke connectivity")
+	}
+	counts := map[int32]int{}
+	for _, o := range orig {
+		counts[o]++
+	}
+	if counts[0] != 1 || counts[1] != 3 || counts[2] != 2 {
+		t.Fatalf("copy counts %v", counts)
+	}
+	g.SetBaselines([]int64{0, 1, 1})
+	if _, _, err := ExpandBaselines(g); err == nil {
+		t.Fatal("baseline 0 accepted")
+	}
+}
+
+func TestMaximizeTable(t *testing.T) {
+	feas := [][]bool{nil, {false, true, false}, {false, false, true}}
+	// cells: (j=1,z=1), (j=2,z=2)
+	res := MaximizeTable(feas, ElevatedMean{})
+	if res.Feasible {
+		// (1,1): W=B → 0; (2,2): W=B → 0: nothing scores
+		t.Fatalf("no cell should score positive, got %+v", res)
+	}
+	feas[1][2] = true // (j=1, z=2): (2-1)/1 = 1
+	res = MaximizeTable(feas, ElevatedMean{})
+	if !res.Feasible || res.Size != 1 || res.Weight != 2 || res.Score != 1 {
+		t.Fatalf("wrong maximizer: %+v", res)
+	}
+}
+
+// TestDetectFindsInjectedAnomaly: a path with a heavy connected segment;
+// the maximizer must sit on that segment.
+func TestDetectFindsInjectedAnomaly(t *testing.T) {
+	g := graph.Path(20)
+	w := make([]int64, 20)
+	for i := 8; i < 12; i++ {
+		w[i] = 5 // injected hot segment of 4 nodes, weight 20
+	}
+	g.SetWeights(w)
+	res, err := Detect(g, 5, KulldorffPoisson{}, Options{MLD: mld.Options{Seed: 3, Epsilon: 1e-4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible {
+		t.Fatal("no anomaly found")
+	}
+	// Best Kulldorff cell: the 4 hot nodes (W=20, B=4) — or those plus
+	// one zero neighbor (W=20, B=5, lower score). Expect (4, 20).
+	if res.Size != 4 || res.Weight != 20 {
+		t.Fatalf("maximizer (%d,%d), want (4,20); score %v", res.Size, res.Weight, res.Score)
+	}
+}
+
+func TestDetectHonorsZMaxDefault(t *testing.T) {
+	g := graph.Path(4)
+	g.SetWeights([]int64{1, 1, 1, 1})
+	res, err := Detect(g, 2, ElevatedMean{}, Options{MLD: mld.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Weight != 2 || res.Size != 1 {
+		// best: single node W=1,B=1 → 0; two nodes W=2,B=2 → 0... all
+		// equal weights give 0 for ElevatedMean since W==B... wait:
+		// (j=1,z=1): (1-1)/1=0. Nothing positive → not feasible.
+		if res.Feasible {
+			t.Fatalf("uniform weights should yield no positive cell: %+v", res)
+		}
+	}
+}
+
+func TestExtractCellRecoversWitness(t *testing.T) {
+	g := graph.Grid(5, 5)
+	w := make([]int64, 25)
+	// heavy 2x2 block at rows 1-2, cols 1-2: ids 6,7,11,12
+	for _, v := range []int{6, 7, 11, 12} {
+		w[v] = 3
+	}
+	g.SetWeights(w)
+	sub, err := ExtractCell(g, 4, 12, Options{MLD: mld.Options{Seed: 5, Epsilon: 1e-6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sub) != 4 {
+		t.Fatalf("witness size %d", len(sub))
+	}
+	if !graph.IsConnectedSubset(g, sub) {
+		t.Fatalf("witness %v not connected", sub)
+	}
+	var total int64
+	for _, v := range sub {
+		total += g.Weight(v)
+	}
+	if total != 12 {
+		t.Fatalf("witness weight %d, want 12", total)
+	}
+}
+
+func TestExtractCellRejectsInfeasible(t *testing.T) {
+	g := graph.Path(5)
+	g.SetWeights(make([]int64, 5))
+	if _, err := ExtractCell(g, 3, 7, Options{MLD: mld.Options{Seed: 1}}); err == nil {
+		t.Fatal("infeasible cell accepted")
+	}
+}
+
+func TestStatisticNames(t *testing.T) {
+	for _, s := range []Statistic{KulldorffPoisson{}, ElevatedMean{}, BerkJones{Alpha: 0.05}} {
+		if s.Name() == "" {
+			t.Fatal("empty statistic name")
+		}
+	}
+}

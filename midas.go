@@ -1,0 +1,297 @@
+// Package midas is a Go implementation of MIDAS — multilinear detection
+// at scale (Ekanayake, Cadena, Wickramasinghe, Vullikanti; IPDPS 2018):
+// randomized algebraic detection of k-vertex paths, trees, and
+// anomalous connected subgraphs (graph scan statistics) in large
+// networks, sequentially or distributed over an MPI-style communicator.
+//
+// The underlying technique (Koutis; Williams) represents candidate
+// subgraphs as monomials of a recursively-defined polynomial and tests
+// for a degree-k multilinear term by evaluating the polynomial 2^k
+// times over GF(2^16); time grows as O(2^k·m) and memory only as
+// O(k·n), which is what lets MIDAS reach subgraph sizes (k = 18) that
+// color-coding methods cannot.
+//
+// # Quick start
+//
+//	g := midas.NewRandomGraph(100_000, midas.Seed(1))
+//	found, err := midas.FindPath(g, 12, midas.Options{Seed: 1})
+//
+// # Distributed use
+//
+// A Cluster is a set of SPMD ranks. RunLocal simulates one in-process
+// (rank-per-goroutine); ConnectTCP joins separate OS processes into one
+// world. Inside the SPMD function, the Distributed* calls run the
+// paper's Algorithm 2 with graph partitioning (N1) and iteration
+// batching (N2):
+//
+//	midas.RunLocal(8, func(c *midas.Cluster) error {
+//	    found, err := midas.DistributedFindPath(c, g, 12, midas.ClusterConfig{N1: 4, N2: 64})
+//	    ...
+//	})
+//
+// Everything is deterministic in Options.Seed; answers have one-sided
+// error at most Options.Epsilon (default 0.05): "yes" answers are
+// always correct.
+package midas
+
+import (
+	"os"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/partition"
+	"github.com/midas-hpc/midas/internal/scanstat"
+)
+
+// Graph is an immutable undirected graph in CSR form. Build one with
+// NewBuilder/FromEdges, a generator, or LoadEdgeList.
+type Graph = graph.Graph
+
+// Builder accumulates edges for a Graph.
+type Builder = graph.Builder
+
+// Template is the k-vertex tree searched for by FindTree.
+type Template = graph.Template
+
+// NewBuilder returns a builder for a graph on n vertices.
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph on n vertices from an edge list.
+func FromEdges(n int, edges [][2]int32) *Graph { return graph.FromEdges(n, edges) }
+
+// LoadGraph reads a graph file in either supported format (text edge
+// list or the binary CSR format), sniffing the header.
+func LoadGraph(path string) (*Graph, error) { return graph.Load(path) }
+
+// LoadEdgeList reads a whitespace-separated "u v" edge list file.
+func LoadEdgeList(path string) (*Graph, error) { return graph.LoadEdgeList(path) }
+
+// SaveEdgeList writes a graph as an edge-list file.
+func SaveEdgeList(path string, g *Graph) error { return graph.SaveEdgeList(path, g) }
+
+// SaveBinary writes a graph in the fast binary CSR format (including
+// any attached weights and baselines).
+func SaveBinary(path string, g *Graph) error { return graph.SaveBinary(path, g) }
+
+// LoadWeights reads a "v w [b]" per-vertex weights file and attaches it
+// to g (weight defaults to 0 and baseline to 1 for absent vertices).
+func LoadWeights(path string, g *Graph) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.ReadWeights(f, g)
+}
+
+// LoadTemplate reads a tree template from an edge-list file; the
+// template has max-id+1 vertices and the edges must form a tree.
+func LoadTemplate(path string) (*Template, error) {
+	g, err := graph.LoadEdgeList(path)
+	if err != nil {
+		return nil, err
+	}
+	return graph.NewTemplate(g.NumVertices(), g.Edges())
+}
+
+// NewRandomGraph returns an Erdős–Rényi graph with m = n·ln n edges
+// (the paper's random-* dataset shape).
+func NewRandomGraph(n int, seed uint64) *Graph { return graph.RandomNLogN(n, seed) }
+
+// NewPowerLawGraph returns a Barabási–Albert preferential-attachment
+// graph with the given attachment degree.
+func NewPowerLawGraph(n, attach int, seed uint64) *Graph {
+	return graph.BarabasiAlbert(n, attach, seed)
+}
+
+// NewRoadGraph returns a connected spatial road-style network on a
+// rows×cols lattice.
+func NewRoadGraph(rows, cols int, seed uint64) *Graph { return graph.RoadNetwork(rows, cols, seed) }
+
+// NewTemplate validates a tree template on k vertices.
+func NewTemplate(k int, edges [][2]int32) (*Template, error) { return graph.NewTemplate(k, edges) }
+
+// PathTemplate returns the k-vertex path template.
+func PathTemplate(k int) *Template { return graph.PathTemplate(k) }
+
+// StarTemplate returns the k-vertex star template.
+func StarTemplate(k int) *Template { return graph.StarTemplate(k) }
+
+// Options configures sequential detection. The zero value works: seed
+// 0, ε = 0.05, GF(2^16) arithmetic, batch width 128.
+type Options struct {
+	// Seed makes the run reproducible; every random choice derives
+	// from it.
+	Seed uint64
+	// Epsilon bounds the one-sided failure probability (default 0.05).
+	Epsilon float64
+	// Rounds overrides the amplification round count (0 = derive from
+	// Epsilon).
+	Rounds int
+	// N2 is the iteration batch width (paper Section IV-B; default 128).
+	N2 int
+	// Workers splits the DP vertex loops across goroutines for
+	// shared-memory parallelism (0 or 1 = serial). Orthogonal to the
+	// distributed mode: one process per rank, workers within a rank.
+	Workers int
+}
+
+func (o Options) mld() mld.Options {
+	return mld.Options{Seed: o.Seed, Epsilon: o.Epsilon, Rounds: o.Rounds, N2: o.N2, Workers: o.Workers}
+}
+
+// FindPath reports whether g contains a simple path on k vertices.
+func FindPath(g *Graph, k int, opt Options) (bool, error) {
+	return mld.DetectPath(g, k, opt.mld())
+}
+
+// FindPathVertices returns an actual k-path (in order), or an error if
+// none is detected.
+func FindPathVertices(g *Graph, k int, opt Options) ([]int32, error) {
+	return mld.ExtractPath(g, k, opt.mld())
+}
+
+// MaxWeightPath returns the maximum total vertex weight over all simple
+// paths on exactly k vertices (the paper's Problem 3(2) for paths), and
+// whether any k-path exists. Vertex weights must be non-negative; round
+// large float weights with RoundWeights first.
+func MaxWeightPath(g *Graph, k int, opt Options) (weight int64, found bool, err error) {
+	return mld.MaxWeightPath(g, k, opt.mld())
+}
+
+// MaxWeightTree is MaxWeightPath for tree templates: the maximum total
+// vertex weight over all non-induced embeddings of tpl.
+func MaxWeightTree(g *Graph, tpl *Template, opt Options) (weight int64, found bool, err error) {
+	return mld.MaxWeightTree(g, tpl, opt.mld())
+}
+
+// FindTree reports whether the tree template has a non-induced
+// embedding in g.
+func FindTree(g *Graph, tpl *Template, opt Options) (bool, error) {
+	return mld.DetectTree(g, tpl, opt.mld())
+}
+
+// FindTreeVertices returns an embedding (indexed by template vertex),
+// or an error if none is detected.
+func FindTreeVertices(g *Graph, tpl *Template, opt Options) ([]int32, error) {
+	return mld.ExtractTree(g, tpl, opt.mld())
+}
+
+// Statistic scores candidate anomalous subgraphs; see KulldorffPoisson,
+// ElevatedMean and BerkJones.
+type Statistic = scanstat.Statistic
+
+// KulldorffPoisson is the expectation-based Poisson scan statistic.
+type KulldorffPoisson = scanstat.KulldorffPoisson
+
+// ElevatedMean is the expectation-based Gaussian scan statistic.
+type ElevatedMean = scanstat.ElevatedMean
+
+// BerkJones is the non-parametric Berk–Jones scan statistic over
+// p-values.
+type BerkJones = scanstat.BerkJones
+
+// AnomalyResult reports the best-scoring connected subgraph cell.
+type AnomalyResult = scanstat.Result
+
+// IndicatorWeights converts p-values to the 0/1 weights Berk–Jones
+// consumes: w(v) = 1 iff p(v) < alpha.
+func IndicatorWeights(pvalues []float64, alpha float64) []int64 {
+	return scanstat.IndicatorWeights(pvalues, alpha)
+}
+
+// RoundWeights maps float event counts onto an integer grid (the
+// knapsack-style rounding of the paper's reference [19]).
+func RoundWeights(w []float64, gridMax int) ([]int64, error) {
+	return scanstat.RoundWeights(w, gridMax)
+}
+
+// DetectAnomaly finds the connected subgraph of at most k vertices
+// maximizing the statistic over g's vertex weights (set them with
+// Graph.SetWeights).
+func DetectAnomaly(g *Graph, k int, stat Statistic, opt Options) (AnomalyResult, error) {
+	return scanstat.Detect(g, k, stat, scanstat.Options{MLD: opt.mld()})
+}
+
+// ExtractAnomaly recovers an actual vertex set realizing a feasible
+// (size, weight) cell reported by DetectAnomaly.
+func ExtractAnomaly(g *Graph, size int, weight int64, opt Options) ([]int32, error) {
+	return scanstat.ExtractCell(g, size, weight, scanstat.Options{MLD: opt.mld()})
+}
+
+// Cluster is a rank's handle on an SPMD world (MPI-communicator-like).
+type Cluster = comm.Comm
+
+// ClusterConfig tunes the distributed algorithm: N1 graph parts per
+// phase group, N2 iterations per batch, the partitioning scheme, and
+// the usual Options fields.
+type ClusterConfig = core.Config
+
+// ScanClusterConfig extends ClusterConfig with the scan weight cap.
+type ScanClusterConfig = core.ScanConfig
+
+// Partition scheme names for ClusterConfig.Scheme.
+const (
+	SchemeBlock      = partition.SchemeBlock
+	SchemeRandom     = partition.SchemeRandom
+	SchemeBFSGrow    = partition.SchemeBFSGrow
+	SchemeMultilevel = partition.SchemeMultilevel
+)
+
+// RunLocal executes fn as an SPMD program over n in-process ranks
+// (goroutines) and returns the first rank error, if any.
+func RunLocal(n int, fn func(c *Cluster) error) error {
+	return comm.RunLocal(n, comm.DefaultCostModel(), fn)
+}
+
+// ConnectTCP joins this process into a TCP world of the given size;
+// rank 0 listens on rootAddr, others use it as the rendezvous point.
+func ConnectTCP(rank, size int, rootAddr string) (*Cluster, error) {
+	return comm.ConnectTCP(rank, size, rootAddr, comm.DefaultCostModel())
+}
+
+// DistributedFindPath runs the paper's Algorithm 2 for k-path; all
+// ranks of c must call it collectively with identical arguments.
+func DistributedFindPath(c *Cluster, g *Graph, k int, cfg ClusterConfig) (bool, error) {
+	cfg.K = k
+	return core.RunPath(c, g, cfg)
+}
+
+// DistributedFindTree runs Algorithm 2 with the tree evaluator.
+func DistributedFindTree(c *Cluster, g *Graph, tpl *Template, cfg ClusterConfig) (bool, error) {
+	return core.RunTree(c, g, tpl, cfg)
+}
+
+// DistributedFindPathVertices extracts an actual k-path using the whole
+// cluster as the detection oracle; all ranks call collectively and
+// return the same path.
+func DistributedFindPathVertices(c *Cluster, g *Graph, k int, cfg ClusterConfig) ([]int32, error) {
+	return core.ExtractPath(c, g, k, cfg)
+}
+
+// DistributedFindTreeVertices extracts an embedding of the template
+// using the cluster as the oracle.
+func DistributedFindTreeVertices(c *Cluster, g *Graph, tpl *Template, cfg ClusterConfig) ([]int32, error) {
+	return core.ExtractTree(c, g, tpl, cfg)
+}
+
+// DistributedMaxWeightPath runs Algorithm 2 with the weight-indexed
+// path evaluator (the distributed MaxWeightPath).
+func DistributedMaxWeightPath(c *Cluster, g *Graph, k int, cfg ClusterConfig) (weight int64, found bool, err error) {
+	cfg.K = k
+	return core.RunMaxWeightPath(c, g, cfg)
+}
+
+// DistributedScanTable runs Algorithm 2 with the scan-statistics
+// evaluator and returns the feasibility table feas[size][weight].
+func DistributedScanTable(c *Cluster, g *Graph, cfg ScanClusterConfig) ([][]bool, error) {
+	return core.RunScan(c, g, cfg)
+}
+
+// MaximizeScanTable picks the best statistic value over a feasibility
+// table (pair with DistributedScanTable).
+func MaximizeScanTable(feas [][]bool, stat Statistic) AnomalyResult {
+	return scanstat.MaximizeTable(feas, stat)
+}

@@ -1,0 +1,249 @@
+package midas_test
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	midas "github.com/midas-hpc/midas"
+)
+
+// These tests exercise the public API exactly as a downstream user
+// would (external test package, no internals).
+
+func TestPublicPathPipeline(t *testing.T) {
+	g := midas.NewRandomGraph(400, 1)
+	found, err := midas.FindPath(g, 8, midas.Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("n·ln n graph at n=400 should contain an 8-path")
+	}
+	path, err := midas.FindPathVertices(g, 8, midas.Options{Seed: 1, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 8 {
+		t.Fatalf("path length %d", len(path))
+	}
+	for i := 1; i < len(path); i++ {
+		if !g.HasEdge(path[i-1], path[i]) {
+			t.Fatalf("returned path has non-edge at %d", i)
+		}
+	}
+}
+
+func TestPublicTreePipeline(t *testing.T) {
+	g := midas.NewRoadGraph(12, 12, 2)
+	tpl, err := midas.NewTemplate(4, [][2]int32{{0, 1}, {1, 2}, {1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := midas.FindTree(g, tpl, midas.Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found {
+		t.Fatal("road grid should embed a 4-vertex spider")
+	}
+	emb, err := midas.FindTreeVertices(g, tpl, midas.Options{Seed: 2, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(emb) != 4 || !g.HasEdge(emb[0], emb[1]) || !g.HasEdge(emb[1], emb[2]) || !g.HasEdge(emb[1], emb[3]) {
+		t.Fatalf("bad embedding %v", emb)
+	}
+}
+
+func TestPublicAnomalyPipeline(t *testing.T) {
+	g := midas.NewRoadGraph(8, 8, 3)
+	w := make([]int64, g.NumVertices())
+	for _, v := range []int32{10, 11, 18, 19} {
+		w[v] = 2
+	}
+	g.SetWeights(w)
+	res, err := midas.DetectAnomaly(g, 5, midas.KulldorffPoisson{}, midas.Options{Seed: 3, Epsilon: 1e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Feasible || res.Score <= 0 {
+		t.Fatalf("anomaly not found: %+v", res)
+	}
+	set, err := midas.ExtractAnomaly(g, res.Size, res.Weight, midas.Options{Seed: 3, Epsilon: 1e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) != res.Size {
+		t.Fatalf("extracted %d vertices for size-%d cell", len(set), res.Size)
+	}
+}
+
+func TestPublicDistributed(t *testing.T) {
+	g := midas.NewRandomGraph(200, 4)
+	want, err := midas.FindPath(g, 6, midas.Options{Seed: 9, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = midas.RunLocal(4, func(c *midas.Cluster) error {
+		got, err := midas.DistributedFindPath(c, g, 6, midas.ClusterConfig{
+			N1: 2, N2: 8, Seed: 9, Rounds: 1, Scheme: midas.SchemeBFSGrow,
+		})
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("rank %d: %v != sequential %v", c.Rank(), got, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicDistributedScanAndMaximize(t *testing.T) {
+	g := midas.NewRoadGraph(6, 6, 5)
+	w := make([]int64, g.NumVertices())
+	w[14], w[15], w[20] = 3, 3, 3
+	g.SetWeights(w)
+	err := midas.RunLocal(2, func(c *midas.Cluster) error {
+		feas, err := midas.DistributedScanTable(c, g, midas.ScanClusterConfig{
+			Config: midas.ClusterConfig{K: 4, N1: 2, Seed: 6, Rounds: 1},
+			ZMax:   9,
+		})
+		if err != nil {
+			return err
+		}
+		res := midas.MaximizeScanTable(feas, midas.ElevatedMean{})
+		if !res.Feasible {
+			return fmt.Errorf("no anomaly in table")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g := midas.FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := midas.SaveEdgeList(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := midas.LoadEdgeList(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != 3 {
+		t.Fatalf("round trip edges %d", g2.NumEdges())
+	}
+	b := midas.NewBuilder(3)
+	b.AddEdge(0, 2)
+	if b.Build().NumEdges() != 1 {
+		t.Fatal("builder broken")
+	}
+}
+
+func TestPublicHelpers(t *testing.T) {
+	iw := midas.IndicatorWeights([]float64{0.01, 0.9}, 0.05)
+	if iw[0] != 1 || iw[1] != 0 {
+		t.Fatal("IndicatorWeights wrong")
+	}
+	rw, err := midas.RoundWeights([]float64{0, 10}, 5)
+	if err != nil || rw[1] != 5 {
+		t.Fatal("RoundWeights wrong")
+	}
+	if midas.PathTemplate(5).K() != 5 || midas.StarTemplate(4).K() != 4 {
+		t.Fatal("template helpers wrong")
+	}
+	if midas.NewPowerLawGraph(50, 3, 1).NumVertices() != 50 {
+		t.Fatal("power-law generator wrong")
+	}
+}
+
+func TestPublicMaxWeight(t *testing.T) {
+	g := midas.FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 4}})
+	g.SetWeights([]int64{1, 8, 1, 1, 9})
+	w, found, err := midas.MaxWeightPath(g, 3, midas.Options{Seed: 1, Epsilon: 1e-6})
+	if err != nil || !found || w != 11 {
+		t.Fatalf("MaxWeightPath = (%d,%v,%v), want (11,true,nil)", w, found, err)
+	}
+	tpl, _ := midas.NewTemplate(3, [][2]int32{{0, 1}, {1, 2}})
+	tw, tfound, err := midas.MaxWeightTree(g, tpl, midas.Options{Seed: 1, Epsilon: 1e-6})
+	if err != nil || !tfound || tw != 11 {
+		t.Fatalf("MaxWeightTree = (%d,%v,%v), want (11,true,nil)", tw, tfound, err)
+	}
+}
+
+func TestPublicDistributedMaxWeight(t *testing.T) {
+	g := midas.NewRandomGraph(100, 6)
+	w := make([]int64, g.NumVertices())
+	for i := range w {
+		w[i] = int64(i % 4)
+	}
+	g.SetWeights(w)
+	want, wantOK, err := midas.MaxWeightPath(g, 4, midas.Options{Seed: 2, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = midas.RunLocal(2, func(c *midas.Cluster) error {
+		got, ok, err := midas.DistributedMaxWeightPath(c, g, 4, midas.ClusterConfig{
+			N1: 2, N2: 4, Seed: 2, Rounds: 1, NoTiming: true,
+		})
+		if err != nil {
+			return err
+		}
+		if ok != wantOK || got != want {
+			return fmt.Errorf("distributed (%d,%v) vs sequential (%d,%v)", got, ok, want, wantOK)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicBinaryGraphIO(t *testing.T) {
+	dir := t.TempDir()
+	g := midas.NewRandomGraph(80, 4)
+	g.SetWeights(make([]int64, 80))
+	binPath := filepath.Join(dir, "g.midg")
+	if err := midas.SaveBinary(binPath, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := midas.LoadGraph(binPath) // sniffed as binary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() || !g2.Weighted() {
+		t.Fatalf("binary round trip lost data: %v vs %v", g2, g)
+	}
+	txtPath := filepath.Join(dir, "g.txt")
+	if err := midas.SaveEdgeList(txtPath, g); err != nil {
+		t.Fatal(err)
+	}
+	g3, err := midas.LoadGraph(txtPath) // sniffed as text
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != g.NumEdges() {
+		t.Fatal("text round trip lost edges")
+	}
+}
+
+func TestPublicWorkersOption(t *testing.T) {
+	g := midas.NewRandomGraph(300, 9)
+	a, err := midas.FindPath(g, 7, midas.Options{Seed: 3, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := midas.FindPath(g, 7, midas.Options{Seed: 3, Rounds: 1, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Workers changed the answer")
+	}
+}
