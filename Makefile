@@ -1,0 +1,34 @@
+# Developer entry points. `make check` is what CI (and PR hygiene)
+# runs: build, vet, formatting, full tests, and the race detector over
+# the concurrency-heavy packages (the in-process message runtime and
+# the observability layer it feeds).
+
+GO ?= go
+
+.PHONY: all build test vet fmt-check check race bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# gofmt -l prints offending files; grep inverts that into an exit code.
+fmt-check:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+race:
+	$(GO) test -race ./internal/comm/... ./internal/obs/...
+
+check: build vet fmt-check test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -5,6 +5,13 @@
 //	midas-bench -exp all
 //	midas-bench -exp fig11 -scale 1000 -kmax 18
 //	midas-bench -exp fig3,fig6 -n 64 -ks 6,10
+//	midas-bench -exp profile -n 8 -trace profile.json
+//
+// The profile experiment runs with observability enabled and reports
+// per-rank measured counters (DP ops, halo traffic) next to the modeled
+// makespan; -trace additionally writes a Chrome trace_event timeline of
+// the final configuration, and -reps repeats each configuration with
+// telemetry resets between repetitions (docs/OBSERVABILITY.md).
 package main
 
 import (
@@ -26,9 +33,11 @@ func main() {
 		ks    = flag.String("ks", "6,10", "subgraph sizes")
 		kmax  = flag.Int("kmax", 12, "largest k for fig11 / scaling-k")
 		seed  = flag.Uint64("seed", 1, "base seed")
+		reps  = flag.Int("reps", 1, "repetitions per configuration (telemetry is reset between them)")
+		trace = flag.String("trace", "", "write the profile experiment's Chrome trace_event timeline to this file")
 	)
 	flag.Parse()
-	p := harness.Params{Scale: *scale, N: *n, KMax: *kmax, Seed: *seed}
+	p := harness.Params{Scale: *scale, N: *n, KMax: *kmax, Seed: *seed, Reps: *reps, TracePath: *trace}
 	for _, s := range strings.Split(*ks, ",") {
 		k, err := strconv.Atoi(strings.TrimSpace(s))
 		if err != nil {

@@ -12,6 +12,14 @@
 //
 //	midas -graph g.txt -mode path -k 12 -rank 0 -size 4 -root :9000 -n1 2 -n2 64
 //	midas -graph g.txt -mode path -k 12 -rank 1 -size 4 -root host:9000 -n1 2 -n2 64
+//
+// Observability (docs/OBSERVABILITY.md is the full guide): -obs prints
+// the per-rank counter/timing summary after the run, and -trace out.json
+// writes a Chrome trace_event timeline loadable at chrome://tracing. In
+// distributed mode every rank's telemetry is gathered to rank 0, which
+// does the writing:
+//
+//	midas -graph g.txt -mode path -k 12 -obs -trace out.json
 package main
 
 import (
@@ -22,74 +30,125 @@ import (
 	midas "github.com/midas-hpc/midas"
 )
 
-func main() {
-	var (
-		graphPath = flag.String("graph", "", "edge-list graph file (required)")
-		mode      = flag.String("mode", "path", "path | tree | scan | maxweight")
-		k         = flag.Int("k", 8, "subgraph size")
-		tplPath   = flag.String("template", "", "tree template edge list (mode=tree)")
-		weights   = flag.String("weights", "", "vertex weights file 'v w [b]' (mode=scan)")
-		statName  = flag.String("stat", "kulldorff", "kulldorff | elevated | berkjones (mode=scan)")
-		alpha     = flag.Float64("alpha", 0.05, "Berk-Jones significance level")
-		seed      = flag.Uint64("seed", 1, "random seed")
-		eps       = flag.Float64("epsilon", 0.05, "failure probability bound")
-		extract   = flag.Bool("extract", false, "recover the witness vertices, not just yes/no")
-		zmax      = flag.Int64("zmax", 0, "scan weight cap (0 = total weight, capped)")
+// cliConfig carries every flag; the zero value plus a graph path is a
+// sequential path run with library defaults.
+type cliConfig struct {
+	graphPath string
+	mode      string // path | tree | scan | maxweight
+	k         int
+	tplPath   string
+	weights   string
+	statName  string
+	alpha     float64
+	seed      uint64
+	eps       float64
+	extract   bool
+	zmax      int64
 
-		rank = flag.Int("rank", -1, "distributed rank (-1 = sequential)")
-		size = flag.Int("size", 0, "distributed world size")
-		root = flag.String("root", "", "rank-0 rendezvous address host:port")
-		n1   = flag.Int("n1", 0, "graph parts per phase group (0 = world size)")
-		n2   = flag.Int("n2", 64, "iterations per batch")
-	)
+	rank, size int // rank < 0 means sequential
+	root       string
+	n1, n2     int
+
+	tracePath string // write Chrome trace_event JSON here ("" = off)
+	obs       bool   // print the telemetry summary table
+}
+
+func main() {
+	var cfg cliConfig
+	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list graph file (required)")
+	flag.StringVar(&cfg.mode, "mode", "path", "path | tree | scan | maxweight")
+	flag.IntVar(&cfg.k, "k", 8, "subgraph size")
+	flag.StringVar(&cfg.tplPath, "template", "", "tree template edge list (mode=tree)")
+	flag.StringVar(&cfg.weights, "weights", "", "vertex weights file 'v w [b]' (mode=scan)")
+	flag.StringVar(&cfg.statName, "stat", "kulldorff", "kulldorff | elevated | berkjones (mode=scan)")
+	flag.Float64Var(&cfg.alpha, "alpha", 0.05, "Berk-Jones significance level")
+	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
+	flag.Float64Var(&cfg.eps, "epsilon", 0.05, "failure probability bound")
+	flag.BoolVar(&cfg.extract, "extract", false, "recover the witness vertices, not just yes/no")
+	flag.Int64Var(&cfg.zmax, "zmax", 0, "scan weight cap (0 = total weight, capped)")
+	flag.IntVar(&cfg.rank, "rank", -1, "distributed rank (-1 = sequential)")
+	flag.IntVar(&cfg.size, "size", 0, "distributed world size")
+	flag.StringVar(&cfg.root, "root", "", "rank-0 rendezvous address host:port")
+	flag.IntVar(&cfg.n1, "n1", 0, "graph parts per phase group (0 = world size)")
+	flag.IntVar(&cfg.n2, "n2", 64, "iterations per batch")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace_event JSON timeline to this file")
+	flag.BoolVar(&cfg.obs, "obs", false, "print the per-rank counter/timing summary after the run")
 	flag.Parse()
-	if err := run(*graphPath, *mode, *k, *tplPath, *weights, *statName, *alpha,
-		*seed, *eps, *extract, *zmax, *rank, *size, *root, *n1, *n2); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "midas:", err)
 		os.Exit(1)
 	}
 }
 
-func run(graphPath, mode string, k int, tplPath, weightsPath, statName string, alpha float64,
-	seed uint64, eps float64, extract bool, zmax int64, rank, size int, root string, n1, n2 int) error {
-	if graphPath == "" {
+func (c cliConfig) observing() bool { return c.obs || c.tracePath != "" }
+
+// emitObs writes the requested telemetry outputs for the gathered
+// snapshots (called once, on the rank that holds them).
+func (c cliConfig) emitObs(snaps ...midas.ObsSnapshot) error {
+	if c.obs {
+		if err := midas.WriteObsSummary(os.Stdout, snaps...); err != nil {
+			return err
+		}
+	}
+	if c.tracePath != "" {
+		f, err := os.Create(c.tracePath)
+		if err != nil {
+			return err
+		}
+		if err := midas.WriteObsTrace(f, snaps...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", c.tracePath)
+	}
+	return nil
+}
+
+func run(cfg cliConfig) error {
+	if cfg.graphPath == "" {
 		return fmt.Errorf("-graph is required")
 	}
-	g, err := midas.LoadGraph(graphPath)
+	g, err := midas.LoadGraph(cfg.graphPath)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("graph: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
-	if weightsPath != "" {
-		if err := midas.LoadWeights(weightsPath, g); err != nil {
+	if cfg.weights != "" {
+		if err := midas.LoadWeights(cfg.weights, g); err != nil {
 			return err
 		}
 	}
-	opt := midas.Options{Seed: seed, Epsilon: eps, N2: n2}
 
-	if rank >= 0 {
-		return runDistributed(g, mode, k, tplPath, seed, eps, zmax, rank, size, root, n1, n2)
+	if cfg.rank >= 0 {
+		return runDistributed(g, cfg)
 	}
 
-	switch mode {
+	opt := midas.Options{Seed: cfg.seed, Epsilon: cfg.eps, N2: cfg.n2}
+	if cfg.observing() {
+		opt.Obs = midas.NewObsRecorder()
+	}
+	switch cfg.mode {
 	case "path":
-		found, err := midas.FindPath(g, k, opt)
+		found, err := midas.FindPath(g, cfg.k, opt)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%d-path: %v\n", k, found)
-		if found && extract {
-			path, err := midas.FindPathVertices(g, k, midas.Options{Seed: seed, Epsilon: 1e-6, N2: n2})
+		fmt.Printf("%d-path: %v\n", cfg.k, found)
+		if found && cfg.extract {
+			path, err := midas.FindPathVertices(g, cfg.k, midas.Options{Seed: cfg.seed, Epsilon: 1e-6, N2: cfg.n2})
 			if err != nil {
 				return err
 			}
 			fmt.Printf("witness: %v\n", path)
 		}
 	case "tree":
-		if tplPath == "" {
+		if cfg.tplPath == "" {
 			return fmt.Errorf("mode=tree needs -template")
 		}
-		tpl, err := midas.LoadTemplate(tplPath)
+		tpl, err := midas.LoadTemplate(cfg.tplPath)
 		if err != nil {
 			return err
 		}
@@ -98,97 +157,110 @@ func run(graphPath, mode string, k int, tplPath, weightsPath, statName string, a
 			return err
 		}
 		fmt.Printf("%d-tree: %v\n", tpl.K(), found)
-		if found && extract {
-			emb, err := midas.FindTreeVertices(g, tpl, midas.Options{Seed: seed, Epsilon: 1e-6, N2: n2})
+		if found && cfg.extract {
+			emb, err := midas.FindTreeVertices(g, tpl, midas.Options{Seed: cfg.seed, Epsilon: 1e-6, N2: cfg.n2})
 			if err != nil {
 				return err
 			}
 			fmt.Printf("embedding (by template vertex): %v\n", emb)
 		}
 	case "maxweight":
-		w, found, err := midas.MaxWeightPath(g, k, opt)
+		w, found, err := midas.MaxWeightPath(g, cfg.k, opt)
 		if err != nil {
 			return err
 		}
 		if !found {
-			fmt.Printf("no %d-path exists\n", k)
-			return nil
+			fmt.Printf("no %d-path exists\n", cfg.k)
+			break
 		}
-		fmt.Printf("maximum %d-path weight: %d\n", k, w)
+		fmt.Printf("maximum %d-path weight: %d\n", cfg.k, w)
 	case "scan":
-		stat, err := pickStat(statName, alpha)
+		stat, err := pickStat(cfg.statName, cfg.alpha)
 		if err != nil {
 			return err
 		}
-		res, err := midas.DetectAnomaly(g, k, stat, opt)
+		res, err := midas.DetectAnomaly(g, cfg.k, stat, opt)
 		if err != nil {
 			return err
 		}
 		if !res.Feasible {
 			fmt.Println("no anomalous cluster found")
-			return nil
+			break
 		}
 		fmt.Printf("best cluster: score=%.4f size=%d weight=%d (stat=%s)\n", res.Score, res.Size, res.Weight, stat.Name())
-		if extract {
-			set, err := midas.ExtractAnomaly(g, res.Size, res.Weight, midas.Options{Seed: seed, Epsilon: 1e-6, N2: n2})
+		if cfg.extract {
+			set, err := midas.ExtractAnomaly(g, res.Size, res.Weight, midas.Options{Seed: cfg.seed, Epsilon: 1e-6, N2: cfg.n2})
 			if err != nil {
 				return err
 			}
 			fmt.Printf("cluster vertices: %v\n", set)
 		}
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
+	}
+	if opt.Obs != nil {
+		return cfg.emitObs(opt.Obs.Snapshot())
 	}
 	return nil
 }
 
-func runDistributed(g *midas.Graph, mode string, k int, tplPath string, seed uint64, eps float64,
-	zmax int64, rank, size int, root string, n1, n2 int) error {
-	if size < 1 || root == "" {
+func runDistributed(g *midas.Graph, cfg cliConfig) error {
+	if cfg.size < 1 || cfg.root == "" {
 		return fmt.Errorf("distributed mode needs -size and -root")
 	}
-	c, err := midas.ConnectTCP(rank, size, root)
+	c, err := midas.ConnectTCP(cfg.rank, cfg.size, cfg.root)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	cfg := midas.ClusterConfig{N1: n1, N2: n2, Seed: seed, Epsilon: eps}
-	switch mode {
+	if cfg.observing() {
+		c.EnableObs()
+	}
+	ccfg := midas.ClusterConfig{N1: cfg.n1, N2: cfg.n2, Seed: cfg.seed, Epsilon: cfg.eps}
+	switch cfg.mode {
 	case "path":
-		found, err := midas.DistributedFindPath(c, g, k, cfg)
+		found, err := midas.DistributedFindPath(c, g, cfg.k, ccfg)
 		if err != nil {
 			return err
 		}
-		if rank == 0 {
-			fmt.Printf("%d-path: %v (world of %d ranks)\n", k, found, size)
+		if cfg.rank == 0 {
+			fmt.Printf("%d-path: %v (world of %d ranks)\n", cfg.k, found, cfg.size)
 		}
 	case "tree":
-		tpl, err := midas.LoadTemplate(tplPath)
+		tpl, err := midas.LoadTemplate(cfg.tplPath)
 		if err != nil {
 			return err
 		}
-		found, err := midas.DistributedFindTree(c, g, tpl, cfg)
+		found, err := midas.DistributedFindTree(c, g, tpl, ccfg)
 		if err != nil {
 			return err
 		}
-		if rank == 0 {
-			fmt.Printf("%d-tree: %v (world of %d ranks)\n", tpl.K(), found, size)
+		if cfg.rank == 0 {
+			fmt.Printf("%d-tree: %v (world of %d ranks)\n", tpl.K(), found, cfg.size)
 		}
 	case "scan":
+		zmax := cfg.zmax
 		if zmax <= 0 {
 			zmax = g.TotalWeight()
 		}
-		cfg.K = k
-		feas, err := midas.DistributedScanTable(c, g, midas.ScanClusterConfig{Config: cfg, ZMax: zmax})
+		ccfg.K = cfg.k
+		feas, err := midas.DistributedScanTable(c, g, midas.ScanClusterConfig{Config: ccfg, ZMax: zmax})
 		if err != nil {
 			return err
 		}
-		if rank == 0 {
+		if cfg.rank == 0 {
 			res := midas.MaximizeScanTable(feas, midas.KulldorffPoisson{})
 			fmt.Printf("best cluster: %+v\n", res)
 		}
 	default:
-		return fmt.Errorf("unknown mode %q", mode)
+		return fmt.Errorf("unknown mode %q", cfg.mode)
+	}
+	if cfg.observing() {
+		// Collective: every rank participates; only rank 0 gets the set.
+		snaps := c.GatherObsSnapshots(0)
+		if cfg.rank == 0 {
+			return cfg.emitObs(snaps...)
+		}
 	}
 	return nil
 }

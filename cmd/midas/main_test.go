@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -27,42 +28,62 @@ func writeFixtures(t *testing.T) (graphPath, tplPath, weightsPath string) {
 	return
 }
 
+// seqConfig is the sequential baseline the tests tweak per mode.
+func seqConfig(graphPath string) cliConfig {
+	return cliConfig{
+		graphPath: graphPath, mode: "path", k: 5, statName: "kulldorff",
+		alpha: 0.05, seed: 1, eps: 0.05, rank: -1, n2: 16,
+	}
+}
+
 func TestRunPathMode(t *testing.T) {
 	g, _, _ := writeFixtures(t)
-	if err := run(g, "path", 5, "", "", "kulldorff", 0.05, 1, 0.05, true, 0, -1, 0, "", 0, 16); err != nil {
+	cfg := seqConfig(g)
+	cfg.extract = true
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunTreeMode(t *testing.T) {
 	g, tpl, _ := writeFixtures(t)
-	if err := run(g, "tree", 0, tpl, "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err != nil {
+	cfg := seqConfig(g)
+	cfg.mode, cfg.tplPath, cfg.k = "tree", tpl, 0
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(g, "tree", 0, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err == nil {
+	cfg.tplPath = ""
+	if err := run(cfg); err == nil {
 		t.Fatal("tree mode without template accepted")
 	}
 }
 
 func TestRunScanMode(t *testing.T) {
 	g, _, w := writeFixtures(t)
-	if err := run(g, "scan", 4, "", w, "elevated", 0.05, 1, 0.05, false, 8, -1, 0, "", 0, 8); err != nil {
+	cfg := seqConfig(g)
+	cfg.mode, cfg.weights, cfg.statName, cfg.k, cfg.zmax, cfg.n2 = "scan", w, "elevated", 4, 8, 8
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(g, "scan", 4, "", w, "bogus", 0.05, 1, 0.05, false, 8, -1, 0, "", 0, 8); err == nil {
+	cfg.statName = "bogus"
+	if err := run(cfg); err == nil {
 		t.Fatal("bogus statistic accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("", "path", 5, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err == nil {
+	if err := run(seqConfig("")); err == nil {
 		t.Fatal("missing -graph accepted")
 	}
 	g, _, _ := writeFixtures(t)
-	if err := run(g, "teleport", 5, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err == nil {
+	cfg := seqConfig(g)
+	cfg.mode = "teleport"
+	if err := run(cfg); err == nil {
 		t.Fatal("bad mode accepted")
 	}
-	if err := run(g, "path", 5, "", "", "kulldorff", 0.05, 1, 0.05, false, 0, 0, 0, "", 0, 16); err == nil {
+	cfg = seqConfig(g)
+	cfg.rank = 0 // distributed, but no -size/-root
+	if err := run(cfg); err == nil {
 		t.Fatal("distributed without -size/-root accepted")
 	}
 }
@@ -80,7 +101,45 @@ func TestPickStat(t *testing.T) {
 
 func TestRunMaxWeightMode(t *testing.T) {
 	g, _, w := writeFixtures(t)
-	if err := run(g, "maxweight", 3, "", w, "kulldorff", 0.05, 1, 0.05, false, 0, -1, 0, "", 0, 16); err != nil {
+	cfg := seqConfig(g)
+	cfg.mode, cfg.weights, cfg.k = "maxweight", w, 3
+	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestRunTraceFlag is the acceptance check for `midas -trace out.json`:
+// the file must exist and be valid Chrome trace_event JSON with at
+// least one complete ("X") span event.
+func TestRunTraceFlag(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.obs = true
+	cfg.tracePath = filepath.Join(t.TempDir(), "out.json")
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cfg.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	spans := 0
+	for _, ev := range tf.TraceEvents {
+		if ev.Ph == "X" {
+			spans++
+		}
+	}
+	if spans == 0 {
+		t.Fatalf("trace has no span events: %d total events", len(tf.TraceEvents))
 	}
 }

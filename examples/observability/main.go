@@ -1,0 +1,74 @@
+// Observability: instrument a sequential and a (local in-process)
+// distributed MIDAS run, print the counter/timing summary, and write a
+// Chrome trace_event timeline. docs/OBSERVABILITY.md documents every
+// counter and span category that appears in the output.
+//
+//	go run ./examples/observability            # writes trace.json
+//	go run ./examples/observability -trace /tmp/t.json -np 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	midas "github.com/midas-hpc/midas"
+)
+
+func main() {
+	var (
+		np    = flag.Int("np", 4, "ranks for the distributed part")
+		k     = flag.Int("k", 8, "path length")
+		n     = flag.Int("nodes", 2000, "graph size")
+		seed  = flag.Uint64("seed", 7, "seed")
+		trace = flag.String("trace", "trace.json", "Chrome trace_event output path")
+	)
+	flag.Parse()
+	g := midas.NewRandomGraph(*n, *seed)
+
+	// Sequential: hand Options an ObsRecorder; the detector fills it
+	// with round/phase/level spans and DP-op counts as it runs.
+	rec := midas.NewObsRecorder()
+	found, err := midas.FindPath(g, *k, midas.Options{Seed: *seed, Obs: rec})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sequential: %d-path = %v\n", *k, found)
+	if err := midas.WriteObsSummary(os.Stdout, rec.Snapshot()); err != nil {
+		log.Fatal(err)
+	}
+
+	// Distributed (in-process local world): EnableObs on each rank,
+	// gather every rank's snapshot to rank 0 with a collective, and
+	// export the merged timeline — one trace row per rank.
+	var snaps []midas.ObsSnapshot
+	err = midas.RunLocal(*np, func(c *midas.Cluster) error {
+		c.EnableObs()
+		if _, err := midas.DistributedFindPath(c, g, *k, midas.ClusterConfig{
+			N1: 2, Seed: *seed,
+		}); err != nil {
+			return err
+		}
+		if got := c.GatherObsSnapshots(0); c.Rank() == 0 {
+			snaps = got
+		}
+		return nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ndistributed world of %d ranks:\n", *np)
+	if err := midas.WriteObsSummary(os.Stdout, snaps...); err != nil {
+		log.Fatal(err)
+	}
+	f, err := os.Create(*trace)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := midas.WriteObsTrace(f, snaps...); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntrace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *trace)
+}

@@ -52,12 +52,23 @@ func (c *Clock) observe(sendTime float64, n int) {
 }
 
 // Stats counts a rank's traffic; the experiment harness aggregates these
-// to report the message/byte volumes that Theorem 2 bounds.
+// to report the message/byte volumes that Theorem 2 bounds. Counters are
+// exact measured quantities (unlike the modeled Clock); the observability
+// layer (internal/obs) merges them into its per-rank Snapshot rather
+// than keeping duplicates. Reset (or Comm.ResetTelemetry, which also
+// resets the clock and recorder) must be called between independent
+// repetitions on a reused world, or counters accumulate across runs.
 type Stats struct {
 	MsgsSent   int64
 	MsgsRecvd  int64
 	BytesSent  int64
 	BytesRecvd int64
+	// Collectives counts collective operations entered: Barrier, Bcast,
+	// the Allreduce family, GatherBytes, Allgather/Scatter/Alltoall, and
+	// Split. Collectives built on other collectives count each layer (a
+	// Split includes its internal Allreduce), mirroring the span nesting
+	// the recorder captures.
+	Collectives int64
 }
 
 // Add accumulates other into s.
@@ -66,6 +77,7 @@ func (s *Stats) Add(other Stats) {
 	s.MsgsRecvd += other.MsgsRecvd
 	s.BytesSent += other.BytesSent
 	s.BytesRecvd += other.BytesRecvd
+	s.Collectives += other.Collectives
 }
 
 // Reset zeroes all counters.

@@ -25,6 +25,8 @@ func (c *Comm) Sendrecv(dst int, sendData []byte, src, tag int) []byte {
 // rank. Implemented as gather-to-root plus broadcast (2·log N rounds of
 // the binomial trees).
 func (c *Comm) AllgatherBytes(data []byte) [][]byte {
+	c.beginCollective("allgather")
+	defer c.endCollective()
 	gathered := c.GatherBytes(0, data)
 	// flatten with length prefixes for the broadcast
 	var flat []byte
@@ -53,6 +55,8 @@ func (c *Comm) AllgatherBytes(data []byte) [][]byte {
 // its own chunk. Only root's chunks argument is used, and it must have
 // exactly Size() entries.
 func (c *Comm) ScatterBytes(root int, chunks [][]byte) []byte {
+	c.beginCollective("scatter")
+	defer c.endCollective()
 	if c.rank == root {
 		if len(chunks) != len(c.group) {
 			panic(fmt.Sprintf("comm: scatter got %d chunks for %d ranks", len(chunks), len(c.group)))
@@ -71,6 +75,8 @@ func (c *Comm) ScatterBytes(root int, chunks [][]byte) []byte {
 // goes to rank i, and the returned slice holds what every rank sent to
 // this one, indexed by source. send must have Size() entries.
 func (c *Comm) AlltoallBytes(send [][]byte) [][]byte {
+	c.beginCollective("alltoall")
+	defer c.endCollective()
 	n := len(c.group)
 	if len(send) != n {
 		panic(fmt.Sprintf("comm: alltoall got %d sends for %d ranks", len(send), n))

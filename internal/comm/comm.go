@@ -40,6 +40,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // Reserved internal tags. User tags must be non-negative.
@@ -60,6 +62,7 @@ type Comm struct {
 	splits    int    // number of Split calls so far (for deterministic child ctx)
 	clock     *Clock
 	stats     *Stats
+	rec       *obs.Recorder // nil unless observability is enabled (obs.go)
 }
 
 // transport moves bytes between world ranks.
@@ -133,14 +136,28 @@ func (c *Comm) recvInternal(src, tag int) []byte {
 	return m.data
 }
 
+// beginCollective counts a collective entry in Stats and opens a
+// "collective" span when a recorder is attached; every call must be
+// paired with endCollective. With the virtual clock as the span's time
+// base, the span's extent is the rank's modeled wait: the jump to the
+// group maximum plus tree latency.
+func (c *Comm) beginCollective(name string) {
+	c.stats.Collectives++
+	c.rec.Begin(name, "collective")
+}
+
+func (c *Comm) endCollective() { c.rec.End() }
+
 // Barrier blocks until every rank in the communicator has entered it.
 // Implemented as a binomial-tree reduce followed by a broadcast, so the
 // virtual clocks synchronize to the group maximum plus the modeled tree
 // latency — exactly the semantics the per-phase MPIBarrier has in the
 // paper's Algorithms 3–5.
 func (c *Comm) Barrier() {
+	c.beginCollective("barrier")
 	c.reduceToRoot(tagBarrier, nil, nil)
 	c.bcastFromRoot(tagBarrier, nil)
+	c.endCollective()
 }
 
 // reduceToRoot folds the byte payloads of all ranks onto rank 0 along a
@@ -204,8 +221,11 @@ func (c *Comm) Bcast(root int, data []byte) []byte {
 		panic(fmt.Sprintf("comm: bcast root %d of %d", root, len(c.group)))
 	}
 	// Rotate so the generic root-0 tree applies.
+	c.beginCollective("bcast")
 	rot := c.rotated(root)
-	return rot.bcastFromRoot(tagBcast, data)
+	out := rot.bcastFromRoot(tagBcast, data)
+	c.endCollective()
+	return out
 }
 
 // rotated returns a view of the communicator with ranks relabeled so
@@ -222,7 +242,7 @@ func (c *Comm) rotated(root int) *Comm {
 	return &Comm{
 		transport: c.transport, ctx: c.ctx,
 		rank: (c.rank - root + size) % size, group: g,
-		clock: c.clock, stats: c.stats,
+		clock: c.clock, stats: c.stats, rec: c.rec,
 	}
 }
 
@@ -230,6 +250,8 @@ func (c *Comm) rotated(root int) *Comm {
 // returns the combined slice on every rank. All ranks must pass slices
 // of the same length.
 func (c *Comm) AllreduceUint64(data []uint64, op func(a, b uint64) uint64) []uint64 {
+	c.beginCollective("allreduce")
+	defer c.endCollective()
 	buf := u64sToBytes(data)
 	combined := c.reduceToRoot(tagReduce, buf, func(mine, theirs []byte) []byte {
 		a, b := bytesToU64s(mine), bytesToU64s(theirs)
@@ -271,6 +293,8 @@ func (c *Comm) AllreduceMaxFloat(x float64) float64 {
 // GatherBytes collects each rank's payload at root, index by rank.
 // Returns nil on non-root ranks.
 func (c *Comm) GatherBytes(root int, data []byte) [][]byte {
+	c.beginCollective("gather")
+	defer c.endCollective()
 	if c.rank == root {
 		out := make([][]byte, len(c.group))
 		out[c.rank] = data
@@ -289,8 +313,10 @@ func (c *Comm) GatherBytes(root int, data []byte) [][]byte {
 // ranks passing the same color end up in the same child, ordered by
 // (key, rank) — MPI_Comm_split semantics. Every rank of the parent must
 // call Split collectively. The child shares the parent's transport,
-// clock and stats.
+// clock, stats and recorder.
 func (c *Comm) Split(color, key int) *Comm {
+	c.beginCollective("split")
+	defer c.endCollective()
 	// Gather (rank,color,key) triples everywhere via allreduce of a
 	// sparse table (simple and collective-shaped; groups are small).
 	n := len(c.group)
@@ -331,7 +357,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	return &Comm{
 		transport: c.transport, ctx: childCtx,
 		rank: newRank, group: group,
-		clock: c.clock, stats: c.stats,
+		clock: c.clock, stats: c.stats, rec: c.rec,
 	}
 }
 

@@ -1,0 +1,99 @@
+package comm
+
+// This file binds the observability layer (internal/obs) to the
+// communicator. A Comm carries an optional *obs.Recorder; when nil
+// (the default) every instrumentation call in the hot paths is a
+// pointer-test no-op, so obs-disabled runs benchmark identically
+// (asserted by TestObsDisabledSendRecvAllocatesNothing).
+
+import "github.com/midas-hpc/midas/internal/obs"
+
+// EnableObs attaches a fresh recorder to the communicator, using the
+// rank's virtual clock as the span time base — so span timelines and
+// the modeled makespan share an axis. It returns the recorder (also
+// reachable via Recorder). Calling it again replaces the previous
+// recorder. Children created by Split/rotated views share the
+// recorder of the communicator they were derived from, so enable
+// observability on the world communicator before splitting.
+func (c *Comm) EnableObs() *obs.Recorder {
+	c.rec = obs.NewRecorder(c.rank, c.clock.Now)
+	return c.rec
+}
+
+// AttachRecorder installs an externally constructed recorder (nil
+// detaches). Most callers want EnableObs; AttachRecorder exists for
+// tests and for callers that need a custom time base.
+func (c *Comm) AttachRecorder(r *obs.Recorder) { c.rec = r }
+
+// Recorder returns the attached recorder, or nil when observability is
+// disabled. The nil recorder is safe to call (every obs.Recorder
+// method no-ops on nil), so instrumented code can use the result
+// unconditionally.
+func (c *Comm) Recorder() *obs.Recorder { return c.rec }
+
+// ResetTelemetry clears all per-rank measurement state between
+// independent repetitions on a reused world: the virtual clock, the
+// traffic Stats, and (if attached) the recorder — in that order, so
+// the recorder re-anchors its time base at the freshly zeroed clock.
+// Call it on every rank, typically right after a Barrier so no
+// in-flight traffic from the previous repetition leaks into the next.
+func (c *Comm) ResetTelemetry() {
+	c.clock.Reset()
+	c.stats.Reset()
+	c.rec.Reset()
+}
+
+// ObsSnapshot freezes the rank's telemetry into one obs.Snapshot,
+// merging the traffic Stats into the recorder's counters and spans
+// (obs deliberately does not duplicate message/byte counting — see the
+// obs package comment). With no recorder attached the snapshot still
+// carries the Stats and the clock reading, so summary tables work for
+// metrics-only runs.
+func (c *Comm) ObsSnapshot() obs.Snapshot {
+	s := c.rec.Snapshot()
+	s.Rank = c.rank
+	s.MsgsSent = c.stats.MsgsSent
+	s.MsgsRecvd = c.stats.MsgsRecvd
+	s.BytesSent = c.stats.BytesSent
+	s.BytesRecvd = c.stats.BytesRecvd
+	s.Collectives = c.stats.Collectives
+	s.End = c.clock.Now()
+	return s
+}
+
+// GatherObsSnapshots is a collective that assembles every rank's
+// ObsSnapshot at root, indexed by rank; non-root ranks receive nil.
+// It communicates (a GatherBytes of JSON-encoded snapshots), so each
+// snapshot is taken before the gather's own traffic and the gather
+// itself does not perturb the collected numbers.
+func (c *Comm) GatherObsSnapshots(root int) []obs.Snapshot {
+	snap := c.ObsSnapshot()
+	payload, err := obs.EncodeSnapshot(snap)
+	if err != nil {
+		panic("comm: encode obs snapshot: " + err.Error())
+	}
+	parts := c.GatherBytes(root, payload)
+	if parts == nil {
+		return nil
+	}
+	out := make([]obs.Snapshot, len(parts))
+	for r, b := range parts {
+		s, err := obs.DecodeSnapshot(b)
+		if err != nil {
+			panic("comm: decode obs snapshot: " + err.Error())
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Snapshots takes ObsSnapshots of several communicators without
+// communicating — the in-process path for local worlds, where the
+// driver holds all rank handles (RunLocalInspect exposes them).
+func Snapshots(comms []*Comm) []obs.Snapshot {
+	out := make([]obs.Snapshot, len(comms))
+	for i, c := range comms {
+		out[i] = c.ObsSnapshot()
+	}
+	return out
+}

@@ -34,6 +34,7 @@ import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 	"github.com/midas-hpc/midas/internal/partition"
 )
 
@@ -103,6 +104,8 @@ type plan struct {
 
 	computeSecs float64 // accumulated modeled/measured compute time (profiling)
 	sumDegOwned int     // Σ_{v owned} deg(v): the per-level work measure
+
+	rec *obs.Recorder // the world's recorder; nil when observability is off
 }
 
 type haloList struct {
@@ -116,7 +119,7 @@ func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	p := &plan{cfg: cfg, g: g, world: world}
+	p := &plan{cfg: cfg, g: g, world: world, rec: world.Recorder()}
 	p.groups = world.Size() / cfg.N1
 	p.gid = world.Rank() / cfg.N1
 	p.group = world.Split(p.gid, world.Rank()%cfg.N1)
@@ -204,6 +207,24 @@ func (p *plan) advanceCompute(dt float64) {
 	p.computeSecs += dt
 }
 
+// countDPOps charges n field-element operations to the recorder — the
+// measured counterpart of the modeled seconds advanceCompute charges
+// (docs/OBSERVABILITY.md explains how the two relate). No-op when
+// observability is off.
+func (p *plan) countDPOps(n float64) { p.rec.Add(obs.DPOps, int64(n)) }
+
+// span opens a recorder span named by one of obs's cached name helpers,
+// evaluating the name only when observability is on — so the disabled
+// path stays literally allocation-free even for indices past the name
+// cache. Pair with endSpan.
+func (p *plan) span(name func(int) string, idx int, cat string) {
+	if p.rec.Enabled() {
+		p.rec.Begin(name(idx), cat)
+	}
+}
+
+func (p *plan) endSpan() { p.rec.End() }
+
 func setToSorted(s map[int32]bool) []int32 {
 	out := make([]int32, 0, len(s))
 	for v := range s {
@@ -213,11 +234,14 @@ func setToSorted(s map[int32]bool) []int32 {
 	return out
 }
 
-// exchange sends this rank's boundary vectors for the current DP level
-// and fills the ghost slots with the peers' values. vals is the flat
-// value buffer (nSlots × stride), nb the live width of each vector.
-// tag distinguishes levels so protocol slips fail loudly.
-func (p *plan) exchange(vals []gf.Elem, stride, nb, tag int) {
+// exchange sends this rank's boundary vectors for DP level `level` and
+// fills the ghost slots with the peers' values. vals is the flat value
+// buffer (nSlots × stride), nb the live width of each vector. tag
+// distinguishes exchanges so protocol slips fail loudly (it equals the
+// level for the path/tree DPs but carries a weight index too for the
+// weight-stratified ones, which call exchange once per weight class).
+func (p *plan) exchange(vals []gf.Elem, stride, nb, level, tag int) {
+	p.span(obs.HaloName, level, "halo")
 	// all sends first (non-blocking), then receives: symmetric and
 	// deadlock-free.
 	for _, h := range p.sendTo {
@@ -232,6 +256,9 @@ func (p *plan) exchange(vals []gf.Elem, stride, nb, tag int) {
 			}
 		}
 		p.group.Send(h.part, tag, payload)
+		p.rec.Add(obs.HaloMsgs, 1)
+		p.rec.Add(obs.HaloBytes, int64(len(payload)))
+		p.rec.AddHaloLevel(level, int64(len(payload)))
 	}
 	for _, h := range p.recvFrom {
 		payload := p.group.Recv(h.part, tag)
@@ -248,6 +275,7 @@ func (p *plan) exchange(vals []gf.Elem, stride, nb, tag int) {
 			}
 		}
 	}
+	p.endSpan()
 }
 
 // phases returns the number of phases for 2^k iterations at width N2.
@@ -285,9 +313,12 @@ func RunPathProfiled(world *comm.Comm, g *graph.Graph, cfg Config) (bool, Profil
 	answer := false
 	rounds := cfg.mldOptions().RoundsFor(cfg.K)
 	for round := 0; round < rounds; round++ {
+		p.span(obs.RoundName, round, "round")
+		p.rec.Add(obs.Rounds, 1)
 		a := mld.NewPathAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
 		total := p.pathRoundLocal(a)
 		global := world.AllreduceXor([]uint64{uint64(total)})
+		p.endSpan()
 		if global[0] != 0 {
 			answer = true
 			break

@@ -6,6 +6,7 @@ import (
 	"github.com/midas-hpc/midas/internal/comm"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // Distributed evaluator for the paper's Algorithm 1 arithmetic: integers
@@ -44,9 +45,12 @@ func runPathKoutis(world *comm.Comm, g *graph.Graph, cfg Config) (bool, error) {
 	mod := uint64(1) << uint(cfg.K+1)
 	rounds := cfg.mldOptions().RoundsFor(cfg.K)
 	for round := 0; round < rounds; round++ {
+		p.span(obs.RoundName, round, "round")
+		p.rec.Add(obs.Rounds, 1)
 		a := mld.NewKoutisAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
 		total := p.koutisRoundLocal(a, mod)
 		global := world.AllreduceSumMod([]uint64{total}, mod)
+		p.endSpan()
 		if global[0] != 0 {
 			return true, nil
 		}
@@ -70,6 +74,8 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
 		if ph < numPhases {
+			p.span(obs.PhaseName, int(ph), "phase")
+			p.rec.Add(obs.Phases, 1)
 			q0 := ph * uint64(n2)
 			nb := n2
 			if rem := iters - q0; uint64(nb) > rem {
@@ -86,9 +92,12 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 			}
 			copy(prev, base)
 			p.advanceCompute(elemSec * float64(p.nSlots) * float64(nb))
-			levelCost := elemSec*float64(p.sumDegOwned+len(p.owned))*float64(nb) +
-				edgeSec*float64(p.sumDegOwned)
+			p.countDPOps(float64(p.nSlots) * float64(nb))
+			levelElems := float64(p.sumDegOwned+len(p.owned)) * float64(nb)
+			levelCost := elemSec*levelElems + edgeSec*float64(p.sumDegOwned)
 			for j := 2; j <= k; j++ {
+				p.span(obs.LevelName, j, "level")
+				p.rec.Add(obs.Levels, 1)
 				for _, v := range p.owned {
 					sv := int(p.slotOf[v])
 					dst := cur[sv*n2 : sv*n2+nb]
@@ -112,9 +121,11 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 					}
 				}
 				p.advanceCompute(levelCost)
+				p.countDPOps(levelElems)
 				if j < k {
-					p.exchange64(cur, n2, nb, j)
+					p.exchange64(cur, n2, nb, j, j)
 				}
+				p.endSpan()
 				prev, cur = cur, prev
 			}
 			for _, v := range p.owned {
@@ -124,6 +135,8 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 				}
 			}
 			p.advanceCompute(elemSec * float64(len(p.owned)) * float64(nb))
+			p.countDPOps(float64(len(p.owned)) * float64(nb))
+			p.endSpan()
 		}
 		p.world.Barrier()
 	}
@@ -131,7 +144,8 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 }
 
 // exchange64 is exchange for uint64 value vectors (8 bytes per element).
-func (p *plan) exchange64(vals []uint64, stride, nb, tag int) {
+func (p *plan) exchange64(vals []uint64, stride, nb, level, tag int) {
+	p.span(obs.HaloName, level, "halo")
 	for _, h := range p.sendTo {
 		payload := make([]byte, 8*nb*len(h.slots))
 		off := 0
@@ -150,6 +164,9 @@ func (p *plan) exchange64(vals []uint64, stride, nb, tag int) {
 			}
 		}
 		p.group.Send(h.part, tag, payload)
+		p.rec.Add(obs.HaloMsgs, 1)
+		p.rec.Add(obs.HaloBytes, int64(len(payload)))
+		p.rec.AddHaloLevel(level, int64(len(payload)))
 	}
 	for _, h := range p.recvFrom {
 		payload := p.group.Recv(h.part, tag)

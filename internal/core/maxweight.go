@@ -7,6 +7,7 @@ import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // RunMaxWeightPath is the distributed form of mld.MaxWeightPath: the
@@ -39,6 +40,8 @@ func RunMaxWeightPath(world *comm.Comm, g *graph.Graph, cfg Config) (int64, bool
 	found := false
 	rounds := cfg.mldOptions().RoundsFor(cfg.K)
 	for round := 0; round < rounds; round++ {
+		p.span(obs.RoundName, round, "round")
+		p.rec.Add(obs.Rounds, 1)
 		a := mld.NewMaxWeightAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
 		totals := p.maxWeightRoundLocal(a, zmax)
 		packed := make([]uint64, len(totals))
@@ -46,6 +49,7 @@ func RunMaxWeightPath(world *comm.Comm, g *graph.Graph, cfg Config) (int64, bool
 			packed[z] = uint64(t)
 		}
 		global := world.AllreduceXor(packed)
+		p.endSpan()
 		for z := len(global) - 1; z >= 0; z-- {
 			if global[z] != 0 {
 				found = true
@@ -98,6 +102,8 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
 		if ph < numPhases {
+			p.span(obs.PhaseName, int(ph), "phase")
+			p.rec.Add(obs.Phases, 1)
 			q0 := ph * uint64(n2)
 			nb := n2
 			if rem := iters - q0; uint64(nb) > rem {
@@ -118,7 +124,10 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 				copy(prev[w][sl*n2:sl*n2+nb], base[sl*n2:sl*n2+nb])
 			}
 			p.advanceCompute(elemSec * float64(p.nSlots) * float64(2*nb+k))
+			p.countDPOps(float64(p.nSlots) * float64(2*nb+k))
 			for j := 2; j <= k; j++ {
+				p.span(obs.LevelName, j, "level")
+				p.rec.Add(obs.Levels, 1)
 				zhi := zcap(j)
 				zPrev := zcap(j - 1) // prev is only valid (zeroed/exchanged) up to here
 				var kernelElems, hashes float64
@@ -156,11 +165,13 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 					}
 				}
 				p.advanceCompute(elemSec*kernelElems + edgeSec*hashes)
+				p.countDPOps(kernelElems)
 				if j < k {
 					for z := int64(0); z <= zhi; z++ {
-						p.exchange(cur[z], n2, nb, j*nz+int(z))
+						p.exchange(cur[z], n2, nb, j, j*nz+int(z))
 					}
 				}
+				p.endSpan()
 				prev, cur = cur, prev
 			}
 			for z := 0; z < nz; z++ {
@@ -173,6 +184,8 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 				}
 			}
 			p.advanceCompute(elemSec * float64(nz*len(p.owned)) * float64(nb))
+			p.countDPOps(float64(nz*len(p.owned)) * float64(nb))
+			p.endSpan()
 		}
 		p.world.Barrier()
 	}

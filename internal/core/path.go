@@ -5,6 +5,7 @@ import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // RunPath executes distributed k-path detection (Algorithms 2 and 3).
@@ -35,6 +36,8 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
 		if ph < numPhases {
+			p.span(obs.PhaseName, int(ph), "phase")
+			p.rec.Add(obs.Phases, 1)
 			q0 := ph * uint64(n2)
 			nb := n2
 			if rem := iters - q0; uint64(nb) > rem {
@@ -48,9 +51,12 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 			}
 			copy(prev, base)
 			p.advanceCompute(elemSec * float64(p.nSlots) * float64(nb+k))
-			levelCost := elemSec*float64(p.sumDegOwned+len(p.owned))*float64(nb) +
-				edgeSec*float64(p.sumDegOwned)
+			p.countDPOps(float64(p.nSlots) * float64(nb+k))
+			levelElems := float64(p.sumDegOwned+len(p.owned)) * float64(nb)
+			levelCost := elemSec*levelElems + edgeSec*float64(p.sumDegOwned)
 			for j := 2; j <= k; j++ {
+				p.span(obs.LevelName, j, "level")
+				p.rec.Add(obs.Levels, 1)
 				for _, v := range p.owned {
 					sv := int(p.slotOf[v])
 					dst := cur[sv*n2 : sv*n2+nb]
@@ -68,12 +74,14 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 					gf.HadamardInto(dst, dst, base[sv*n2:sv*n2+nb])
 				}
 				p.advanceCompute(levelCost)
+				p.countDPOps(levelElems)
 				// Send result to neighbors (Algorithm 3 lines 14–16),
 				// one aggregated message per destination part. The last
 				// level feeds only the local sum, so it needs no halo.
 				if j < k {
-					p.exchange(cur, n2, nb, j)
+					p.exchange(cur, n2, nb, j, j)
 				}
+				p.endSpan()
 				prev, cur = cur, prev
 			}
 			for _, v := range p.owned {
@@ -83,6 +91,8 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 				}
 			}
 			p.advanceCompute(elemSec * float64(len(p.owned)) * float64(nb))
+			p.countDPOps(float64(len(p.owned)) * float64(nb))
+			p.endSpan()
 		}
 		// Algorithm 2 line 12: all groups synchronize between batches.
 		p.world.Barrier()

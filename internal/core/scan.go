@@ -6,6 +6,7 @@ import (
 	"github.com/midas-hpc/midas/internal/comm"
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 
 	"github.com/midas-hpc/midas/internal/graph"
 )
@@ -47,6 +48,8 @@ func RunScan(world *comm.Comm, g *graph.Graph, cfg ScanConfig) ([][]bool, error)
 		}
 		rounds := sub.mldOptions().RoundsFor(j)
 		for round := 0; round < rounds; round++ {
+			p.span(obs.RoundName, round, "round")
+			p.rec.Add(obs.Rounds, 1)
 			a := mld.NewScanAssignment(g.NumVertices(), j, cfg.Seed, round)
 			totals := p.scanRoundLocal(a, j, cfg.ZMax)
 			packed := make([]uint64, len(totals))
@@ -54,6 +57,7 @@ func RunScan(world *comm.Comm, g *graph.Graph, cfg ScanConfig) ([][]bool, error)
 				packed[z] = uint64(t)
 			}
 			global := world.AllreduceXor(packed)
+			p.endSpan()
 			for z := range global {
 				if global[z] != 0 {
 					feas[j][z] = true
@@ -104,6 +108,8 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
 		if ph < numPhases {
+			p.span(obs.PhaseName, int(ph), "phase")
+			p.rec.Add(obs.Phases, 1)
 			q0 := ph * uint64(n2)
 			nb := n2
 			if rem := iters - q0; uint64(nb) > rem {
@@ -130,7 +136,10 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 				copy(tab[1][w][sl*n2:sl*n2+nb], base[sl*n2:sl*n2+nb])
 			}
 			p.advanceCompute(elemSec * float64(p.nSlots) * float64(2*nb+j))
+			p.countDPOps(float64(p.nSlots) * float64(2*nb+j))
 			for jj := 2; jj <= j; jj++ {
+				p.span(obs.LevelName, jj, "level")
+				p.rec.Add(obs.Levels, 1)
 				var kernelElems, hashes float64
 				for _, v := range p.owned {
 					sv := int(p.slotOf[v])
@@ -163,14 +172,16 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 					}
 				}
 				p.advanceCompute(elemSec*kernelElems + edgeSec*hashes)
+				p.countDPOps(kernelElems)
 				// Halo for this level: later levels read every earlier
 				// level at neighbor vertices. The final level is only
 				// summed locally.
 				if jj < j {
 					for z := 0; z < nz; z++ {
-						p.exchange(tab[jj][z], n2, nb, jj*nz+z)
+						p.exchange(tab[jj][z], n2, nb, jj, jj*nz+z)
 					}
 				}
+				p.endSpan()
 			}
 			for z := 0; z < nz; z++ {
 				buf := tab[j][z]
@@ -182,6 +193,8 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 				}
 			}
 			p.advanceCompute(elemSec * float64(nz*len(p.owned)) * float64(nb))
+			p.countDPOps(float64(nz*len(p.owned)) * float64(nb))
+			p.endSpan()
 		}
 		p.world.Barrier()
 	}

@@ -5,6 +5,7 @@ import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // RunTree executes distributed k-tree detection (Algorithm 4). Every
@@ -25,9 +26,12 @@ func RunTree(world *comm.Comm, g *graph.Graph, tpl *graph.Template, cfg Config) 
 	d := tpl.Decompose()
 	rounds := cfg.mldOptions().RoundsFor(cfg.K)
 	for round := 0; round < rounds; round++ {
+		p.span(obs.RoundName, round, "round")
+		p.rec.Add(obs.Rounds, 1)
 		a := mld.NewTreeAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
 		total := p.treeRoundLocal(d, a)
 		global := world.AllreduceXor([]uint64{uint64(total)})
+		p.endSpan()
 		if global[0] != 0 {
 			return true, nil
 		}
@@ -65,6 +69,8 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
 		if ph < numPhases {
+			p.span(obs.PhaseName, int(ph), "phase")
+			p.rec.Add(obs.Phases, 1)
 			q0 := ph * uint64(n2)
 			nb := n2
 			if rem := iters - q0; uint64(nb) > rem {
@@ -76,13 +82,16 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 				a.FillBase(base[sl*n2:sl*n2+nb], p.vertOf[sl], q0, p.cfg.NoGray)
 			}
 			p.advanceCompute(elemSec * float64(p.nSlots) * float64(nb+k))
-			nodeCost := elemSec*float64(p.sumDegOwned+len(p.owned))*float64(nb) +
-				edgeSec*float64(p.sumDegOwned)
+			p.countDPOps(float64(p.nSlots) * float64(nb+k))
+			nodeElems := float64(p.sumDegOwned+len(p.owned)) * float64(nb)
+			nodeCost := elemSec*nodeElems + edgeSec*float64(p.sumDegOwned)
 			for j, nd := range d.Nodes {
 				if nd.Left < 0 {
 					vals[j] = base // leaves share the base buffer; ghosts are local
 					continue
 				}
+				p.span(obs.LevelName, j, "level")
+				p.rec.Add(obs.Levels, 1)
 				left, right := vals[nd.Left], vals[nd.Right]
 				dstAll := vals[j]
 				for _, v := range p.owned {
@@ -102,9 +111,11 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 					gf.HadamardInto(dstAll[sv*n2:sv*n2+nb], left[sv*n2:sv*n2+nb], av)
 				}
 				p.advanceCompute(nodeCost)
+				p.countDPOps(nodeElems)
 				if isRight[j] {
-					p.exchange(dstAll, n2, nb, j)
+					p.exchange(dstAll, n2, nb, j, j)
 				}
+				p.endSpan()
 			}
 			root := vals[d.Root]
 			for _, v := range p.owned {
@@ -114,6 +125,8 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 				}
 			}
 			p.advanceCompute(elemSec * float64(len(p.owned)) * float64(nb))
+			p.countDPOps(float64(len(p.owned)) * float64(nb))
+			p.endSpan()
 		}
 		p.world.Barrier()
 	}

@@ -3,6 +3,7 @@ package harness
 import (
 	"fmt"
 	"io"
+	"os"
 	"time"
 
 	"github.com/midas-hpc/midas/internal/comm"
@@ -10,6 +11,7 @@ import (
 	"github.com/midas-hpc/midas/internal/fascia"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 	"github.com/midas-hpc/midas/internal/partition"
 	"github.com/midas-hpc/midas/internal/roadnet"
 	"github.com/midas-hpc/midas/internal/scanstat"
@@ -22,6 +24,14 @@ type Params struct {
 	Ks    []int  // subgraph sizes (default {6, 10})
 	KMax  int    // largest k for Fig 11 (default 12)
 	Seed  uint64 // base seed
+	// Reps repeats each distributed configuration on its (reused)
+	// world, with Comm.ResetTelemetry between repetitions so counters
+	// and clocks never accumulate across them; reported numbers are
+	// from the final repetition (default 1).
+	Reps int
+	// TracePath, when non-empty, makes the profile experiment write a
+	// Chrome trace_event timeline of its last configuration there.
+	TracePath string
 }
 
 func (p Params) withDefaults() Params {
@@ -36,6 +46,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.KMax <= 0 {
 		p.KMax = 12
+	}
+	if p.Reps <= 0 {
+		p.Reps = 1
 	}
 	return p
 }
@@ -87,7 +100,7 @@ func FigPartitionSize(w io.Writer, dsName string, bsMax bool, p Params) error {
 				n2 = BSMaxN2(k, p.N, n1)
 			}
 			cfg := core.Config{K: k, N1: n1, N2: n2, Seed: p.Seed, Rounds: 1}
-			res, err := RunPathConfig(g, p.N, cfg)
+			res, err := RunPathConfigReps(g, p.N, p.Reps, cfg)
 			if err != nil {
 				return err
 			}
@@ -118,7 +131,7 @@ func Fig9(w io.Writer, p Params) error {
 		var base float64
 		for n := n1; n <= p.N; n *= 2 {
 			cfg := core.Config{K: k, N1: n1, N2: BSMaxN2(k, n, n1), Seed: p.Seed, Rounds: 1}
-			res, err := RunPathConfig(g, n, cfg)
+			res, err := RunPathConfigReps(g, n, p.Reps, cfg)
 			if err != nil {
 				return err
 			}
@@ -154,7 +167,7 @@ func Fig10(w io.Writer, p Params) error {
 		var base float64
 		for n := 1; n <= p.N; n *= 2 {
 			cfg := core.Config{K: k, N1: n, N2: BSMaxN2(k, n, n), Seed: p.Seed, Rounds: 1}
-			res, err := RunPathConfig(g, n, cfg)
+			res, err := RunPathConfigReps(g, n, p.Reps, cfg)
 			if err != nil {
 				return err
 			}
@@ -439,7 +452,7 @@ func AblationPartitioner(w io.Writer, p Params) error {
 		}
 		m := part.ComputeMetrics(g)
 		cfg := core.Config{K: k, N1: n1, N2: BSMaxN2(k, p.N, n1), Seed: p.Seed, Rounds: 1, Scheme: s}
-		res, err := RunPathConfig(g, p.N, cfg)
+		res, err := RunPathConfigReps(g, p.N, p.Reps, cfg)
 		if err != nil {
 			return err
 		}
@@ -453,7 +466,13 @@ func AblationPartitioner(w io.Writer, p Params) error {
 // ProfileBreakdown reports, per N1, the per-rank compute versus
 // communication share of the modeled makespan — the quantitative form
 // of the paper's Section VI-B observation that communication cost grows
-// with N1 until it dominates.
+// with N1 until it dominates. Every rank runs with observability
+// enabled, so the per-configuration table carries measured counters
+// (DP ops, halo traffic) alongside the modeled makespan, and the final
+// configuration's full per-rank telemetry is printed via obs.
+// WriteSummary. With Params.TracePath set, that configuration's span
+// timeline is also written as Chrome trace_event JSON
+// (docs/OBSERVABILITY.md walks through reading both outputs).
 func ProfileBreakdown(w io.Writer, p Params) error {
 	p = p.withDefaults()
 	ds, _ := DatasetByName("random")
@@ -461,8 +480,10 @@ func ProfileBreakdown(w io.Writer, p Params) error {
 	k := p.Ks[len(p.Ks)-1]
 	t := &Table{
 		Title:  fmt.Sprintf("Profile: compute vs communication share (random n=%d, N=%d, k=%d)", g.NumVertices(), p.N, k),
-		Header: []string{"mode", "N1", "N2", "max-compute", "makespan", "comm-share", "msgs", "bytes"},
+		Header: []string{"mode", "N1", "N2", "max-compute", "makespan", "comm-share", "msgs", "bytes", "dp-ops", "halo-bytes"},
 	}
+	var lastSnaps []obs.Snapshot
+	var lastLabel string
 	for _, mode := range []struct {
 		name  string
 		bsMax bool
@@ -475,14 +496,26 @@ func ProfileBreakdown(w io.Writer, p Params) error {
 			profiles := make([]core.Profile, p.N)
 			cfg := core.Config{K: k, N1: n1, N2: n2, Seed: p.Seed, Rounds: 1}
 			comms, err := comm.RunLocalInspect(p.N, comm.DefaultCostModel(), func(c *comm.Comm) error {
-				_, prof, err := core.RunPathProfiled(c, g, cfg)
-				profiles[c.Rank()] = prof
-				return err
+				c.EnableObs()
+				for rep := 0; rep < p.Reps; rep++ {
+					if rep > 0 {
+						c.Barrier()
+						c.ResetTelemetry()
+					}
+					if _, prof, err := core.RunPathProfiled(c, g, cfg); err != nil {
+						return err
+					} else {
+						profiles[c.Rank()] = prof
+					}
+				}
+				return nil
 			})
 			if err != nil {
 				return err
 			}
 			makespan := comm.MaxClock(comms)
+			snaps := comm.Snapshots(comms)
+			tot := obs.Totals(snaps...)
 			var maxCompute float64
 			var msgs, bytes int64
 			for _, pr := range profiles {
@@ -500,10 +533,34 @@ func ProfileBreakdown(w io.Writer, p Params) error {
 				}
 			}
 			t.Add(mode.name, fmt.Sprint(n1), fmt.Sprint(n2), fmtSecs(maxCompute), fmtSecs(makespan),
-				fmt.Sprintf("%.0f%%", 100*share), fmt.Sprint(msgs), fmtBytes(bytes))
+				fmt.Sprintf("%.0f%%", 100*share), fmt.Sprint(msgs), fmtBytes(bytes),
+				fmt.Sprint(tot.Counter(obs.DPOps)), fmtBytes(tot.Counter(obs.HaloBytes)))
+			lastSnaps = snaps
+			lastLabel = fmt.Sprintf("%s, N1=%d, N2=%d", mode.name, n1, n2)
 		}
 	}
 	t.Fprint(w)
+
+	// Full per-rank breakdown of the last (most communication-heavy)
+	// configuration: measured counters plus virtual-clock span times.
+	fmt.Fprintf(w, "\n== Per-rank telemetry: %s (see docs/OBSERVABILITY.md) ==\n", lastLabel)
+	if err := obs.WriteSummary(w, lastSnaps...); err != nil {
+		return err
+	}
+	if p.TracePath != "" {
+		f, err := os.Create(p.TracePath)
+		if err != nil {
+			return err
+		}
+		if err := obs.WriteTrace(f, lastSnaps...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "\ntrace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", p.TracePath)
+	}
 	return nil
 }
 

@@ -127,15 +127,37 @@ type RunResult struct {
 // RunPathConfig executes distributed k-path detection on a fresh local
 // world of N ranks and reports the modeled makespan and traffic.
 func RunPathConfig(g *graph.Graph, n int, cfg core.Config) (RunResult, error) {
+	return RunPathConfigReps(g, n, 1, cfg)
+}
+
+// RunPathConfigReps is RunPathConfig repeated reps times on the same
+// world. Every rank calls Comm.ResetTelemetry (after a barrier) between
+// repetitions, so the reported makespan and traffic describe exactly
+// the final repetition — without the reset, clocks and counters
+// accumulate across repetitions and every repeated experiment
+// over-reports (the stale-counter regression pinned by
+// TestRepeatedRunsDoNotAccumulate).
+func RunPathConfigReps(g *graph.Graph, n, reps int, cfg core.Config) (RunResult, error) {
+	if reps < 1 {
+		reps = 1
+	}
 	var res RunResult
 	answers := make([]bool, n)
 	start := time.Now()
 	comms, err := comm.RunLocalInspect(n, comm.DefaultCostModel(), func(c *comm.Comm) error {
-		got, err := core.RunPath(c, g, cfg)
-		if err != nil {
-			return err
+		for rep := 0; rep < reps; rep++ {
+			if rep > 0 {
+				// Quiesce before resetting so no in-flight traffic
+				// from the previous repetition lands after the zero.
+				c.Barrier()
+				c.ResetTelemetry()
+			}
+			got, err := core.RunPath(c, g, cfg)
+			if err != nil {
+				return err
+			}
+			answers[c.Rank()] = got
 		}
-		answers[c.Rank()] = got
 		return nil
 	})
 	if err != nil {

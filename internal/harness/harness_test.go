@@ -2,6 +2,8 @@ package harness
 
 import (
 	"bytes"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -133,12 +135,58 @@ func TestFingerprintAblationShowsFailure(t *testing.T) {
 }
 
 func TestProfileBreakdown(t *testing.T) {
+	p := small()
+	p.TracePath = filepath.Join(t.TempDir(), "profile.json")
 	var buf bytes.Buffer
-	if err := ProfileBreakdown(&buf, small()); err != nil {
+	if err := ProfileBreakdown(&buf, p); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
 	if !strings.Contains(out, "comm-share") || !strings.Contains(out, "makespan") {
 		t.Fatalf("profile output:\n%s", out)
+	}
+	// The acceptance criterion: measured counters, not only the modeled
+	// clock. "dp-ops" appears as a table column and in the per-rank
+	// summary emitted by obs.WriteSummary.
+	if !strings.Contains(out, "dp-ops") || !strings.Contains(out, "Per-rank telemetry") {
+		t.Fatalf("profile output lacks measured counters:\n%s", out)
+	}
+	raw, err := os.ReadFile(p.TracePath)
+	if err != nil {
+		t.Fatalf("trace not written: %v", err)
+	}
+	if !strings.Contains(string(raw), "traceEvents") {
+		t.Fatalf("trace file malformed:\n%.200s", raw)
+	}
+}
+
+// TestRepeatedRunsDoNotAccumulate pins the stale-telemetry bug: without
+// ResetTelemetry between repetitions on a reused world, virtual clocks
+// and traffic counters keep growing, so a 3-repetition run would report
+// roughly 3x the makespan and traffic of a single run.
+func TestRepeatedRunsDoNotAccumulate(t *testing.T) {
+	g := graph.RandomNLogN(150, 2)
+	// NoTiming keeps the virtual clock purely message-driven (no wall
+	// time mixed in), so accumulation shows up as exact inequality.
+	cfg := core.Config{K: 4, N1: 2, N2: 4, Seed: 1, Rounds: 1, NoTiming: true}
+	once, err := RunPathConfigReps(g, 4, 1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	thrice, err := RunPathConfigReps(g, 4, 3, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if thrice.Answer != once.Answer {
+		t.Fatalf("answer changed across repetitions: %v vs %v", thrice.Answer, once.Answer)
+	}
+	if thrice.Msgs != once.Msgs || thrice.Bytes != once.Bytes {
+		t.Fatalf("traffic accumulated across repetitions: reps=3 (%d msgs, %d bytes) vs reps=1 (%d msgs, %d bytes)",
+			thrice.Msgs, thrice.Bytes, once.Msgs, once.Bytes)
+	}
+	// The modeled clock is deterministic (virtual time), so the final
+	// repetition must report exactly the single-run makespan.
+	if thrice.ModeledSecs != once.ModeledSecs {
+		t.Fatalf("modeled makespan accumulated: reps=3 %v vs reps=1 %v", thrice.ModeledSecs, once.ModeledSecs)
 	}
 }

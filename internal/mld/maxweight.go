@@ -5,6 +5,7 @@ import (
 
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // MaxWeightPath solves the weighted variant of Problem 3(2) from the
@@ -51,8 +52,11 @@ func MaxWeightPath(g *graph.Graph, k int, opt Options) (int64, bool, error) {
 	found := false
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
+		opt.obsSpan(obs.RoundName, round, "round")
+		opt.Obs.Add(obs.Rounds, 1)
 		a := NewMaxWeightAssignment(g.NumVertices(), k, opt.Seed, round)
 		row := maxWeightRound(g, k, zmax, a, opt)
+		opt.obsEnd()
 		for z := zmax; z >= 0; z-- {
 			if row[z] != 0 {
 				found = true

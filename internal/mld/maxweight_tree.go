@@ -5,6 +5,7 @@ import (
 
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // MaxWeightTree is MaxWeightPath for tree templates: the maximum total
@@ -41,8 +42,11 @@ func MaxWeightTree(g *graph.Graph, tpl *graph.Template, opt Options) (int64, boo
 	found := false
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
+		opt.obsSpan(obs.RoundName, round, "round")
+		opt.Obs.Add(obs.Rounds, 1)
 		a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagTree+13)
 		row := maxWeightTreeRound(g, d, zmax, a, opt)
+		opt.obsEnd()
 		for z := zmax; z >= 0; z-- {
 			if row[z] != 0 {
 				found = true

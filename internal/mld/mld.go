@@ -45,6 +45,8 @@ import (
 	"fmt"
 	"math"
 	"sync"
+
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // Variant selects the arithmetic of the evaluation.
@@ -93,6 +95,14 @@ type Options struct {
 	// NoGray disables the Gray-code incremental base-value updates
 	// (ablation; results are identical, only speed differs).
 	NoGray bool
+
+	// Obs, when non-nil, receives round/batch/level spans and DP
+	// operation counts from the sequential evaluators (wall-clock time
+	// base; the distributed instrumentation in internal/core uses the
+	// virtual clock instead). Nil — the default — disables
+	// instrumentation: every recorder call no-ops on nil, so
+	// uninstrumented runs pay one pointer test per event.
+	Obs *obs.Recorder
 }
 
 func (o Options) epsilon() float64 {
@@ -137,6 +147,26 @@ func (o Options) batch(k int) int {
 		n2 = total
 	}
 	return n2
+}
+
+// obsSpan opens a recorder span named by one of obs's cached helpers,
+// evaluating the name only when instrumentation is on (the disabled
+// path must stay allocation-free even past the name cache). Pair with
+// obsEnd.
+func (o Options) obsSpan(name func(int) string, idx int, cat string) {
+	if o.Obs.Enabled() {
+		o.Obs.Begin(name(idx), cat)
+	}
+}
+
+func (o Options) obsEnd() { o.Obs.End() }
+
+// obsLevel charges one DP level to the recorder: the Levels counter and
+// elems field-element operations (the analytic per-level op count; see
+// docs/OBSERVABILITY.md on measured op counts vs. wall time).
+func (o Options) obsLevel(elems int64) {
+	o.Obs.Add(obs.Levels, 1)
+	o.Obs.Add(obs.DPOps, elems)
 }
 
 // ValidateK checks that a subgraph size is within the supported range.

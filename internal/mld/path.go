@@ -3,6 +3,7 @@ package mld
 import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // DetectPath decides whether g contains a simple path on k vertices,
@@ -18,6 +19,8 @@ func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
 	}
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
+		opt.obsSpan(obs.RoundName, round, "round")
+		opt.Obs.Add(obs.Rounds, 1)
 		var hit bool
 		switch opt.Variant {
 		case VariantKoutis:
@@ -28,6 +31,7 @@ func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
 			a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagPath)
 			hit = pathRound(g, a, opt) != 0
 		}
+		opt.obsEnd()
 		if hit {
 			return true, nil
 		}
@@ -49,7 +53,10 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 	cur := make([]gf.Elem, n*n2)
 	var total gf.Elem
 
+	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
+		opt.Obs.Add(obs.Phases, 1)
 		nb := n2
 		if rem := iters - q0; uint64(nb) > rem {
 			nb = int(rem)
@@ -60,6 +67,8 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 		// level 1: P(i,1) = x_i
 		copy(prev, base)
 		for j := 2; j <= k; j++ {
+			opt.obsSpan(obs.LevelName, j, "level")
+			opt.obsLevel(levelElems * int64(nb))
 			opt.parallelVertices(n, func(lo, hi int32) {
 				for i := lo; i < hi; i++ {
 					dst := cur[int(i)*n2 : int(i)*n2+nb]
@@ -77,6 +86,7 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 					gf.HadamardInto(dst, dst, base[int(i)*n2:int(i)*n2+nb])
 				}
 			})
+			opt.obsEnd()
 			prev, cur = cur, prev
 		}
 		for i := 0; i < n; i++ {
@@ -84,6 +94,7 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 				total ^= prev[i*n2+q]
 			}
 		}
+		opt.obsEnd()
 	}
 	return total
 }

@@ -5,6 +5,7 @@ import (
 
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // ScanTable computes the connected-subgraph feasibility table behind the
@@ -39,8 +40,11 @@ func ScanTable(g *graph.Graph, k int, zmax int64, opt Options) ([][]bool, error)
 	for j := 1; j <= k && j <= g.NumVertices(); j++ {
 		rounds := opt.RoundsFor(j)
 		for round := 0; round < rounds; round++ {
+			opt.obsSpan(obs.RoundName, round, "round")
+			opt.Obs.Add(obs.Rounds, 1)
 			a := NewAssignment(g.NumVertices(), j, opt.Seed, round, tagScan)
 			row := scanRound(g, j, zmax, a, opt)
+			opt.obsEnd()
 			for z := int64(0); z <= zmax; z++ {
 				if row[z] != 0 {
 					feas[j][z] = true
@@ -140,6 +144,8 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 		// Level jj reads only levels < jj, and each vertex writes only
 		// its own rows, so the vertex loop parallelizes per level.
 		for jj := 2; jj <= j; jj++ {
+			opt.obsSpan(obs.LevelName, jj, "level")
+			opt.Obs.Add(obs.Levels, 1)
 			jj := jj
 			opt.parallelVertices(n, func(lo, hi int32) {
 				for i := lo; i < hi; i++ {
@@ -169,6 +175,7 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 					}
 				}
 			})
+			opt.obsEnd()
 		}
 		for z := 0; z < nz; z++ {
 			buf := p[j][z]

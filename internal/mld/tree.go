@@ -3,6 +3,7 @@ package mld
 import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // DetectTree decides whether the tree template has a non-induced
@@ -21,8 +22,12 @@ func DetectTree(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) 
 	d := tpl.Decompose()
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
+		opt.obsSpan(obs.RoundName, round, "round")
+		opt.Obs.Add(obs.Rounds, 1)
 		a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagTree)
-		if treeRound(g, d, a, opt) != 0 {
+		hit := treeRound(g, d, a, opt) != 0
+		opt.obsEnd()
+		if hit {
 			return true, nil
 		}
 	}
@@ -47,7 +52,10 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 	}
 	var total gf.Elem
 
+	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
+		opt.Obs.Add(obs.Phases, 1)
 		nb := n2
 		if rem := iters - q0; uint64(nb) > rem {
 			nb = int(rem)
@@ -60,6 +68,8 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 				vals[j] = base
 				continue
 			}
+			opt.obsSpan(obs.LevelName, j, "level")
+			opt.obsLevel(levelElems * int64(nb))
 			left, right := vals[nd.Left], vals[nd.Right]
 			dstAll := vals[j]
 			j := j // capture for the closure
@@ -82,6 +92,7 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 					gf.HadamardInto(dstAll[int(i)*n2:int(i)*n2+nb], left[int(i)*n2:int(i)*n2+nb], av)
 				}
 			})
+			opt.obsEnd()
 		}
 		root := vals[d.Root]
 		for i := 0; i < n; i++ {
@@ -89,6 +100,7 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 				total ^= root[i*n2+q]
 			}
 		}
+		opt.obsEnd()
 	}
 	return total
 }

@@ -1,0 +1,209 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// traceEvent is one entry of the Chrome trace_event format ("X"
+// complete events plus "M" metadata). chrome://tracing and Perfetto
+// both load the {"traceEvents": [...]} container emitted by WriteTrace.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"` // microseconds
+	Dur  *float64       `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders the snapshots as Chrome trace_event JSON: one
+// trace "thread" per rank, one complete event per span, timestamps in
+// microseconds of the snapshot's time base (virtual seconds for
+// distributed ranks, so the timeline is the modeled makespan; wall
+// seconds for sequential recorders). Load the file at chrome://tracing
+// or https://ui.perfetto.dev.
+func WriteTrace(w io.Writer, snaps ...Snapshot) error {
+	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
+	for _, s := range snaps {
+		rank := s.Rank
+		if rank < 0 {
+			rank = 0
+		}
+		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+		})
+		for _, sp := range s.Spans {
+			dur := sp.Dur * 1e6
+			tf.TraceEvents = append(tf.TraceEvents, traceEvent{
+				Name: sp.Name,
+				Cat:  sp.Cat,
+				Ph:   "X",
+				Ts:   sp.Start * 1e6,
+				Dur:  &dur,
+				Pid:  0,
+				Tid:  rank,
+			})
+		}
+	}
+	enc, err := json.MarshalIndent(tf, "", " ")
+	if err != nil {
+		return err
+	}
+	enc = append(enc, '\n')
+	_, err = w.Write(enc)
+	return err
+}
+
+// WriteSummary renders the snapshots as the plain-text operator
+// summary: a per-rank counter table with a totals row, a per-rank
+// time-by-span-category table, and the halo volume per DP level.
+// docs/OBSERVABILITY.md defines every column.
+func WriteSummary(w io.Writer, snaps ...Snapshot) error {
+	if len(snaps) == 0 {
+		_, err := fmt.Fprintln(w, "obs: no snapshots")
+		return err
+	}
+	tw := newTextTable("rank", "msgs-sent", "msgs-recvd", "bytes-sent", "bytes-recvd",
+		"collectives", "halo-msgs", "halo-bytes", "dp-ops", "rounds", "phases", "levels", "clock")
+	addRow := func(label string, s Snapshot) {
+		tw.add(label,
+			i64(s.MsgsSent), i64(s.MsgsRecvd), i64(s.BytesSent), i64(s.BytesRecvd),
+			i64(s.Collectives),
+			i64(s.Counter(HaloMsgs)), i64(s.Counter(HaloBytes)), i64(s.Counter(DPOps)),
+			i64(s.Counter(Rounds)), i64(s.Counter(Phases)), i64(s.Counter(Levels)),
+			fmt.Sprintf("%.6fs", s.End))
+	}
+	for _, s := range snaps {
+		addRow(fmt.Sprint(s.Rank), s)
+	}
+	if len(snaps) > 1 {
+		addRow("total", Totals(snaps...))
+	}
+	if _, err := fmt.Fprintln(w, "-- per-rank counters --"); err != nil {
+		return err
+	}
+	if err := tw.write(w); err != nil {
+		return err
+	}
+
+	// Time by span category, one column per category seen anywhere.
+	catSet := map[string]bool{}
+	for _, s := range snaps {
+		for _, sp := range s.Spans {
+			catSet[sp.Cat] = true
+		}
+	}
+	if len(catSet) > 0 {
+		cats := make([]string, 0, len(catSet))
+		for c := range catSet {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		ct := newTextTable(append([]string{"rank"}, cats...)...)
+		for _, s := range snaps {
+			bycat := s.CategorySeconds()
+			row := make([]string, 0, len(cats)+1)
+			row = append(row, fmt.Sprint(s.Rank))
+			for _, c := range cats {
+				row = append(row, fmt.Sprintf("%.6fs", bycat[c]))
+			}
+			ct.add(row...)
+		}
+		if _, err := fmt.Fprintln(w, "\n-- time by span category (nested spans overlap; see docs/OBSERVABILITY.md) --"); err != nil {
+			return err
+		}
+		if err := ct.write(w); err != nil {
+			return err
+		}
+	}
+
+	// Halo volume per DP level, totalled over ranks.
+	tot := Totals(snaps...)
+	if len(tot.HaloLevelBytes) > 0 {
+		ht := newTextTable("dp-level", "halo-bytes(all ranks)")
+		for j, b := range tot.HaloLevelBytes {
+			if b != 0 {
+				ht.add(LevelName(j), i64(b))
+			}
+		}
+		if _, err := fmt.Fprintln(w, "\n-- halo volume by DP level --"); err != nil {
+			return err
+		}
+		if err := ht.write(w); err != nil {
+			return err
+		}
+	}
+	if dropped := tot.Counter(SpansDropped); dropped > 0 {
+		if _, err := fmt.Fprintf(w, "\nWARNING: %d spans dropped (MaxSpans cap); counters remain exact\n", dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EncodeSnapshot serializes a snapshot for transport (the payload
+// GatherObsSnapshots moves to rank 0).
+func EncodeSnapshot(s Snapshot) ([]byte, error) { return json.Marshal(s) }
+
+// DecodeSnapshot inverts EncodeSnapshot.
+func DecodeSnapshot(b []byte) (Snapshot, error) {
+	var s Snapshot
+	err := json.Unmarshal(b, &s)
+	return s, err
+}
+
+func i64(v int64) string { return fmt.Sprint(v) }
+
+// textTable is a minimal aligned-column printer (obs stays
+// zero-dependency, so it cannot borrow internal/harness's Table).
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable { return &textTable{header: header} }
+
+func (t *textTable) add(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *textTable) write(w io.Writer) error {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.header); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden files")
+
+// goldenSnapshots builds a small deterministic two-rank run.
+func goldenSnapshots() []Snapshot {
+	snaps := make([]Snapshot, 2)
+	for rank := 0; rank < 2; rank++ {
+		fc := &fakeClock{}
+		r := NewRecorder(rank, fc.now)
+		fc.t = 0
+		r.Begin(RoundName(0), "round")
+		fc.t = 0.001 * float64(rank)
+		r.Begin(PhaseName(0), "phase")
+		fc.t += 0.002
+		r.Begin(LevelName(2), "level")
+		r.Add(DPOps, int64(1000*(rank+1)))
+		r.Add(Levels, 1)
+		fc.t += 0.003
+		r.Begin(HaloName(2), "halo")
+		r.Add(HaloMsgs, 2)
+		r.Add(HaloBytes, 256)
+		r.AddHaloLevel(2, 256)
+		fc.t += 0.0005
+		r.End() // halo
+		r.End() // level
+		fc.t += 0.001
+		r.End() // phase
+		r.Add(Rounds, 1)
+		r.Add(Phases, 1)
+		fc.t = 0.01
+		r.End() // round
+		s := r.Snapshot()
+		s.MsgsSent = int64(4 + rank)
+		s.MsgsRecvd = int64(4 + rank)
+		s.BytesSent = 512
+		s.BytesRecvd = 512
+		s.Collectives = 3
+		snaps[rank] = s
+	}
+	return snaps
+}
+
+func TestWriteTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "trace_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace JSON drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteTraceIsLoadableChromeFormat checks the structural contract
+// chrome://tracing relies on, independent of golden-file drift.
+func TestWriteTraceIsLoadableChromeFormat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, goldenSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	if len(tf.TraceEvents) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	phases := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		phases[ph]++
+		switch ph {
+		case "M":
+			if ev["name"] != "thread_name" {
+				t.Fatalf("unexpected metadata event: %v", ev)
+			}
+		case "X":
+			if _, ok := ev["ts"].(float64); !ok {
+				t.Fatalf("X event without numeric ts: %v", ev)
+			}
+			if _, ok := ev["dur"].(float64); !ok {
+				t.Fatalf("X event without numeric dur: %v", ev)
+			}
+		default:
+			t.Fatalf("unexpected event phase %q", ph)
+		}
+	}
+	if phases["M"] != 2 { // one thread_name per rank
+		t.Fatalf("want 2 metadata events, got %d", phases["M"])
+	}
+	if phases["X"] != 8 { // 4 spans per rank (round > phase > level > halo)
+		t.Fatalf("want 8 span events, got %d", phases["X"])
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, goldenSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"per-rank counters", "msgs-sent", "dp-ops",
+		"total", "time by span category", "halo", "level", "round",
+		"halo volume by DP level", "L2", "512",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+	// Totals row: 4+5 messages.
+	if !strings.Contains(out, "9") {
+		t.Fatalf("summary missing aggregated message count:\n%s", out)
+	}
+}
+
+func TestWriteSummaryEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "no snapshots") {
+		t.Fatalf("empty summary output: %q", buf.String())
+	}
+}
+
+func TestSnapshotEncodeDecodeRoundTrip(t *testing.T) {
+	in := goldenSnapshots()[1]
+	b, err := EncodeSnapshot(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := DecodeSnapshot(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Rank != in.Rank || out.MsgsSent != in.MsgsSent || out.End != in.End ||
+		len(out.Spans) != len(in.Spans) || out.Counter(DPOps) != in.Counter(DPOps) {
+		t.Fatalf("round trip lost data:\nin:  %+v\nout: %+v", in, out)
+	}
+	if _, err := DecodeSnapshot([]byte("{not json")); err == nil {
+		t.Fatal("garbage decoded")
+	}
+}

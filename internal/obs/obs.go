@@ -1,0 +1,424 @@
+// Package obs is the observability layer of the MIDAS runtime: typed
+// per-rank counters, nested span recording, and exporters that turn a
+// run into an operator-readable summary table or a Chrome trace_event
+// timeline (docs/OBSERVABILITY.md is the operations guide).
+//
+// The package is deliberately zero-dependency (standard library only)
+// and allocation-light: every Recorder method is a no-op on a nil
+// receiver, so instrumented code holds a possibly-nil *Recorder and
+// calls it unconditionally — an instrumented-off run pays one pointer
+// test per event and allocates nothing (asserted by TestDisabled
+// RecorderAllocatesNothing and the comm-path testing.AllocsPerRun
+// test).
+//
+// # Model
+//
+// A Recorder belongs to one rank (one goroutine at a time — the SPMD
+// discipline of internal/comm). It holds
+//
+//   - a fixed array of typed Counters (halo traffic, DP operations,
+//     rounds/phases/levels entered, …) — message and byte totals are
+//     deliberately NOT duplicated here: internal/comm's Stats already
+//     counts them, and Snapshot merges the two;
+//   - per-DP-level halo byte volumes (AddHaloLevel), the quantity the
+//     paper's communication analysis (Theorem 2) bounds level by level;
+//   - a stack of nested spans (Begin/End) in the time base the now
+//     function supplies: the rank's virtual α–β clock for distributed
+//     runs, wall time for sequential ones.
+//
+// Snapshot freezes a Recorder into a serializable value; the exporters
+// in export.go consume snapshots from any number of ranks.
+//
+// # Span nesting
+//
+// Spans nest strictly (Begin/End must match like parentheses within a
+// rank); the recorded Depth lets exporters and tests reconstruct the
+// round → phase → level → halo hierarchy that core's instrumentation
+// emits. A bounded span buffer (MaxSpans) protects long runs: once
+// full, further spans are counted in SpansDropped instead of recorded,
+// and Ends stay balanced.
+package obs
+
+import "time"
+
+// Counter identifies one typed per-rank counter. Counters hold
+// quantities that are measured (counted), never modeled — see
+// docs/OBSERVABILITY.md for the full dictionary.
+type Counter uint8
+
+// The counter set. NumCounters bounds the array; new counters must be
+// appended (exports index by value) and named in counterNames.
+const (
+	// HaloMsgs counts aggregated halo-exchange messages sent by the
+	// rank (one per (source part, destination part, DP level) pair).
+	HaloMsgs Counter = iota
+	// HaloBytes counts halo-exchange payload bytes sent by the rank.
+	HaloBytes
+	// DPOps counts field-element operations executed by the rank's DP
+	// kernels (the op-count that internal/core's cost model converts
+	// to modeled seconds).
+	DPOps
+	// Rounds counts amplification rounds entered.
+	Rounds
+	// Phases counts phases (distributed) or iteration batches
+	// (sequential) entered.
+	Phases
+	// Levels counts DP levels (path/scan) or decomposition nodes
+	// (tree) evaluated.
+	Levels
+	// SpansDropped counts spans discarded after the MaxSpans cap.
+	SpansDropped
+
+	// NumCounters is the number of defined counters.
+	NumCounters
+)
+
+var counterNames = [NumCounters]string{
+	"halo-msgs", "halo-bytes", "dp-ops", "rounds", "phases", "levels", "spans-dropped",
+}
+
+// String returns the stable kebab-case name used by the exporters.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return "counter-?"
+}
+
+// Span is one closed (or still-open, at snapshot time) timed section of
+// a rank's execution. Start is seconds since the recorder's time base;
+// Dur is its extent in the same base.
+type Span struct {
+	Name  string  `json:"name"`
+	Cat   string  `json:"cat"`
+	Start float64 `json:"start"`
+	Dur   float64 `json:"dur"`
+	Depth int     `json:"depth"`
+}
+
+// DefaultMaxSpans bounds a Recorder's span buffer (~24 MiB of spans per
+// rank at the default; SetMaxSpans overrides).
+const DefaultMaxSpans = 1 << 19
+
+// Recorder collects one rank's counters and spans. The zero value is
+// not usable; construct with NewRecorder. A nil *Recorder is the
+// disabled recorder: every method is a cheap no-op.
+type Recorder struct {
+	rank      int
+	now       func() float64
+	base      float64 // subtracted from now(): Reset re-anchors here
+	counters  [NumCounters]int64
+	haloLevel []int64 // halo bytes indexed by DP level
+	spans     []Span
+	open      []int32 // indices of open spans (the nesting stack)
+	openDrop  int     // Begins swallowed after the cap, awaiting Ends
+	maxSpans  int
+}
+
+// NewRecorder returns a recorder for the given rank using now as its
+// time source (seconds; monotone non-decreasing). A nil now uses wall
+// time anchored at the call — the right base for sequential runs.
+// Distributed ranks should pass their virtual clock (Comm.EnableObs
+// does) so the timeline matches the modeled makespan.
+func NewRecorder(rank int, now func() float64) *Recorder {
+	if now == nil {
+		start := time.Now()
+		now = func() float64 { return time.Since(start).Seconds() }
+	}
+	return &Recorder{rank: rank, now: now, base: now(), maxSpans: DefaultMaxSpans}
+}
+
+// Rank returns the rank the recorder was created for.
+func (r *Recorder) Rank() int {
+	if r == nil {
+		return -1
+	}
+	return r.rank
+}
+
+// Enabled reports whether the recorder records (false exactly for nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SetMaxSpans overrides the span-buffer cap (n <= 0 keeps the current
+// cap). Spans beyond the cap are counted in SpansDropped.
+func (r *Recorder) SetMaxSpans(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.maxSpans = n
+}
+
+// Add increments counter c by n. No-op on a nil recorder.
+func (r *Recorder) Add(c Counter, n int64) {
+	if r == nil {
+		return
+	}
+	r.counters[c] += n
+}
+
+// Get returns counter c's current value (0 on a nil recorder).
+func (r *Recorder) Get(c Counter) int64 {
+	if r == nil {
+		return 0
+	}
+	return r.counters[c]
+}
+
+// AddHaloLevel charges n halo bytes to the given DP level (and to the
+// HaloBytes/HaloMsgs totals the caller maintains separately).
+func (r *Recorder) AddHaloLevel(level int, n int64) {
+	if r == nil || level < 0 {
+		return
+	}
+	for len(r.haloLevel) <= level {
+		r.haloLevel = append(r.haloLevel, 0)
+	}
+	r.haloLevel[level] += n
+}
+
+// Begin opens a span. Every Begin must be matched by an End on the same
+// rank; spans nest strictly. name should be stable across ranks (use
+// LevelName/PhaseName/RoundName for the hot ones — they do not
+// allocate for small indices).
+func (r *Recorder) Begin(name, cat string) {
+	if r == nil {
+		return
+	}
+	if len(r.spans) >= r.maxSpans {
+		r.openDrop++
+		r.counters[SpansDropped]++
+		return
+	}
+	r.spans = append(r.spans, Span{
+		Name:  name,
+		Cat:   cat,
+		Start: r.now() - r.base,
+		Dur:   -1, // open
+		Depth: len(r.open) + r.openDrop,
+	})
+	r.open = append(r.open, int32(len(r.spans)-1))
+}
+
+// End closes the innermost open span.
+func (r *Recorder) End() {
+	if r == nil {
+		return
+	}
+	if r.openDrop > 0 {
+		r.openDrop--
+		return
+	}
+	if len(r.open) == 0 {
+		panic("obs: End without matching Begin")
+	}
+	i := r.open[len(r.open)-1]
+	r.open = r.open[:len(r.open)-1]
+	sp := &r.spans[i]
+	sp.Dur = r.now() - r.base - sp.Start
+}
+
+// Depth returns the current span nesting depth (0 outside any span).
+func (r *Recorder) Depth() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.open) + r.openDrop
+}
+
+// Reset discards all recorded data and re-anchors the time base at the
+// current reading of the time source. Invoke it between independent
+// repetitions of an experiment on a reused world, after the virtual
+// clock itself has been reset (Comm.ResetTelemetry does both, in
+// order).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.counters = [NumCounters]int64{}
+	r.haloLevel = r.haloLevel[:0]
+	r.spans = r.spans[:0]
+	r.open = r.open[:0]
+	r.openDrop = 0
+	r.base = r.now()
+}
+
+// Snapshot freezes the recorder into an exportable value. Spans still
+// open at snapshot time are included with their duration measured up to
+// now. The communication fields (MsgsSent …) are zero here; callers
+// that own traffic counters fill them in (comm.Comm.ObsSnapshot merges
+// its Stats).
+func (r *Recorder) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{Rank: -1}
+	}
+	now := r.now() - r.base
+	spans := make([]Span, len(r.spans))
+	copy(spans, r.spans)
+	for i := range spans {
+		if spans[i].Dur < 0 {
+			spans[i].Dur = now - spans[i].Start
+		}
+	}
+	return Snapshot{
+		Rank:           r.rank,
+		Counters:       append([]int64(nil), r.counters[:]...),
+		HaloLevelBytes: append([]int64(nil), r.haloLevel...),
+		Spans:          spans,
+		End:            now,
+	}
+}
+
+// Snapshot is the serializable form of one rank's telemetry: the
+// recorder's counters and spans merged with the rank's communication
+// Stats. It is what the exporters consume and what distributed runs
+// gather to rank 0 (comm.Comm.GatherObsSnapshots).
+type Snapshot struct {
+	Rank int `json:"rank"`
+
+	// Traffic counters, from internal/comm's Stats (not duplicated in
+	// Counters; see the package comment).
+	MsgsSent    int64 `json:"msgsSent"`
+	MsgsRecvd   int64 `json:"msgsRecvd"`
+	BytesSent   int64 `json:"bytesSent"`
+	BytesRecvd  int64 `json:"bytesRecvd"`
+	Collectives int64 `json:"collectives"`
+
+	// Counters is indexed by Counter; len is NumCounters (shorter
+	// slices read as zero, so old snapshots stay decodable).
+	Counters []int64 `json:"counters"`
+
+	// HaloLevelBytes[j] is the halo payload volume the rank sent for
+	// DP level j.
+	HaloLevelBytes []int64 `json:"haloLevelBytes,omitempty"`
+
+	Spans []Span `json:"spans"`
+
+	// End is the rank's time-base reading at snapshot (virtual seconds
+	// for distributed ranks — the rank's share of the modeled
+	// makespan — wall seconds for sequential runs).
+	End float64 `json:"end"`
+}
+
+// Counter returns counter c from the snapshot (0 when absent).
+func (s Snapshot) Counter(c Counter) int64 {
+	if int(c) < len(s.Counters) {
+		return s.Counters[c]
+	}
+	return 0
+}
+
+// Totals aggregates snapshots across ranks: counters, traffic, and
+// per-level halo volumes sum; End takes the maximum (the makespan of
+// the snapshot set); spans are not merged (Rank is -1 in the result).
+func Totals(snaps ...Snapshot) Snapshot {
+	out := Snapshot{Rank: -1, Counters: make([]int64, NumCounters)}
+	for _, s := range snaps {
+		out.MsgsSent += s.MsgsSent
+		out.MsgsRecvd += s.MsgsRecvd
+		out.BytesSent += s.BytesSent
+		out.BytesRecvd += s.BytesRecvd
+		out.Collectives += s.Collectives
+		for c := Counter(0); c < NumCounters; c++ {
+			out.Counters[c] += s.Counter(c)
+		}
+		for j, b := range s.HaloLevelBytes {
+			for len(out.HaloLevelBytes) <= j {
+				out.HaloLevelBytes = append(out.HaloLevelBytes, 0)
+			}
+			out.HaloLevelBytes[j] += b
+		}
+		if s.End > out.End {
+			out.End = s.End
+		}
+	}
+	return out
+}
+
+// CategorySeconds sums span durations by category for one rank.
+// Nested spans each contribute their full extent (a phase contains its
+// levels; the categories are a hierarchy, not a partition — see
+// docs/OBSERVABILITY.md).
+func (s Snapshot) CategorySeconds() map[string]float64 {
+	out := make(map[string]float64)
+	for _, sp := range s.Spans {
+		out[sp.Cat] += sp.Dur
+	}
+	return out
+}
+
+// Cached small-index span names, so hot instrumentation sites do not
+// allocate. Indices beyond the cache fall back to fmt-free manual
+// formatting via itoa (still allocating only for the rare big index).
+const nameCache = 64
+
+var (
+	levelNames [nameCache]string
+	phaseNames [nameCache]string
+	roundNames [nameCache]string
+	haloNames  [nameCache]string
+)
+
+func init() {
+	for i := 0; i < nameCache; i++ {
+		levelNames[i] = "L" + itoa(i)
+		phaseNames[i] = "phase " + itoa(i)
+		roundNames[i] = "round " + itoa(i)
+		haloNames[i] = "halo L" + itoa(i)
+	}
+}
+
+// itoa is a minimal strconv.Itoa (kept local so the hot-path helpers
+// stay obviously allocation-free for cached indices).
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	pos := len(buf)
+	neg := i < 0
+	if neg {
+		i = -i
+	}
+	for i > 0 {
+		pos--
+		buf[pos] = byte('0' + i%10)
+		i /= 10
+	}
+	if neg {
+		pos--
+		buf[pos] = '-'
+	}
+	return string(buf[pos:])
+}
+
+// LevelName returns the span name for DP level j ("L3").
+func LevelName(j int) string {
+	if j >= 0 && j < nameCache {
+		return levelNames[j]
+	}
+	return "L" + itoa(j)
+}
+
+// PhaseName returns the span name for phase index p ("phase 7").
+func PhaseName(p int) string {
+	if p >= 0 && p < nameCache {
+		return phaseNames[p]
+	}
+	return "phase " + itoa(p)
+}
+
+// RoundName returns the span name for amplification round r.
+func RoundName(r int) string {
+	if r >= 0 && r < nameCache {
+		return roundNames[r]
+	}
+	return "round " + itoa(r)
+}
+
+// HaloName returns the span name for the halo exchange of DP level j.
+func HaloName(j int) string {
+	if j >= 0 && j < nameCache {
+		return haloNames[j]
+	}
+	return "halo L" + itoa(j)
+}

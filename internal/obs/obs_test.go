@@ -1,0 +1,257 @@
+package obs
+
+import (
+	"testing"
+)
+
+// fakeClock is a deterministic time source for span tests.
+type fakeClock struct{ t float64 }
+
+func (f *fakeClock) now() float64 { return f.t }
+
+func TestCountersAddGetReset(t *testing.T) {
+	r := NewRecorder(3, nil)
+	r.Add(DPOps, 10)
+	r.Add(DPOps, 5)
+	r.Add(HaloBytes, 128)
+	if got := r.Get(DPOps); got != 15 {
+		t.Fatalf("DPOps = %d, want 15", got)
+	}
+	if got := r.Get(HaloBytes); got != 128 {
+		t.Fatalf("HaloBytes = %d, want 128", got)
+	}
+	if got := r.Get(Rounds); got != 0 {
+		t.Fatalf("Rounds = %d, want 0", got)
+	}
+	r.Reset()
+	if got := r.Get(DPOps); got != 0 {
+		t.Fatalf("after Reset DPOps = %d, want 0", got)
+	}
+}
+
+func TestCounterNames(t *testing.T) {
+	seen := map[string]bool{}
+	for c := Counter(0); c < NumCounters; c++ {
+		name := c.String()
+		if name == "" || name == "counter-?" {
+			t.Fatalf("counter %d has no name", c)
+		}
+		if seen[name] {
+			t.Fatalf("duplicate counter name %q", name)
+		}
+		seen[name] = true
+	}
+}
+
+func TestSpanNesting(t *testing.T) {
+	fc := &fakeClock{}
+	r := NewRecorder(0, fc.now)
+
+	fc.t = 1.0
+	r.Begin("round 0", "round")
+	fc.t = 2.0
+	r.Begin("phase 0", "phase")
+	fc.t = 3.0
+	r.Begin("L2", "level")
+	if d := r.Depth(); d != 3 {
+		t.Fatalf("Depth = %d, want 3", d)
+	}
+	fc.t = 4.0
+	r.End() // L2
+	fc.t = 5.0
+	r.End() // phase
+	fc.t = 7.0
+	r.End() // round
+	if d := r.Depth(); d != 0 {
+		t.Fatalf("Depth = %d, want 0", d)
+	}
+
+	s := r.Snapshot()
+	if len(s.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(s.Spans))
+	}
+	// Spans are recorded in Begin order with depths 0,1,2.
+	want := []struct {
+		name       string
+		depth      int
+		start, dur float64
+	}{
+		{"round 0", 0, 1.0, 6.0},
+		{"phase 0", 1, 2.0, 3.0},
+		{"L2", 2, 3.0, 1.0},
+	}
+	for i, wv := range want {
+		sp := s.Spans[i]
+		if sp.Name != wv.name || sp.Depth != wv.depth || sp.Start != wv.start || sp.Dur != wv.dur {
+			t.Fatalf("span %d = %+v, want %+v", i, sp, wv)
+		}
+	}
+	// Parent spans must contain their children.
+	if s.Spans[1].Start < s.Spans[0].Start || s.Spans[1].Start+s.Spans[1].Dur > s.Spans[0].Start+s.Spans[0].Dur {
+		t.Fatal("phase span escapes its round span")
+	}
+}
+
+func TestOpenSpansClosedAtSnapshot(t *testing.T) {
+	fc := &fakeClock{}
+	r := NewRecorder(0, fc.now)
+	fc.t = 1.0
+	r.Begin("round 0", "round")
+	fc.t = 4.0
+	s := r.Snapshot()
+	if len(s.Spans) != 1 || s.Spans[0].Dur != 3.0 {
+		t.Fatalf("open span not measured to snapshot time: %+v", s.Spans)
+	}
+	r.End() // still balanced afterwards
+}
+
+func TestEndWithoutBeginPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unbalanced End did not panic")
+		}
+	}()
+	NewRecorder(0, nil).End()
+}
+
+func TestMaxSpansCap(t *testing.T) {
+	fc := &fakeClock{}
+	r := NewRecorder(0, fc.now)
+	r.SetMaxSpans(2)
+	for i := 0; i < 5; i++ {
+		r.Begin("s", "c")
+	}
+	for i := 0; i < 5; i++ {
+		r.End()
+	}
+	if got := r.Get(SpansDropped); got != 3 {
+		t.Fatalf("SpansDropped = %d, want 3", got)
+	}
+	s := r.Snapshot()
+	if len(s.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(s.Spans))
+	}
+	for _, sp := range s.Spans {
+		if sp.Dur < 0 {
+			t.Fatalf("span left open after balanced Ends: %+v", sp)
+		}
+	}
+	if r.Depth() != 0 {
+		t.Fatalf("Depth = %d after balanced Ends, want 0", r.Depth())
+	}
+}
+
+func TestHaloLevelBytes(t *testing.T) {
+	r := NewRecorder(0, nil)
+	r.AddHaloLevel(2, 100)
+	r.AddHaloLevel(4, 50)
+	r.AddHaloLevel(2, 10)
+	s := r.Snapshot()
+	if len(s.HaloLevelBytes) != 5 || s.HaloLevelBytes[2] != 110 || s.HaloLevelBytes[4] != 50 || s.HaloLevelBytes[3] != 0 {
+		t.Fatalf("HaloLevelBytes = %v", s.HaloLevelBytes)
+	}
+}
+
+func TestTotalsAggregatesAcrossRanks(t *testing.T) {
+	mk := func(rank int, msgs, dpops int64, halo []int64, end float64) Snapshot {
+		counters := make([]int64, NumCounters)
+		counters[DPOps] = dpops
+		return Snapshot{
+			Rank: rank, MsgsSent: msgs, BytesSent: msgs * 10,
+			Collectives: 1, Counters: counters, HaloLevelBytes: halo, End: end,
+		}
+	}
+	tot := Totals(
+		mk(0, 3, 100, []int64{0, 0, 7}, 1.5),
+		mk(1, 5, 200, []int64{0, 0, 3, 9}, 2.5),
+		mk(2, 2, 50, nil, 0.5),
+	)
+	if tot.MsgsSent != 10 || tot.BytesSent != 100 || tot.Collectives != 3 {
+		t.Fatalf("traffic totals wrong: %+v", tot)
+	}
+	if tot.Counter(DPOps) != 350 {
+		t.Fatalf("DPOps total = %d, want 350", tot.Counter(DPOps))
+	}
+	if len(tot.HaloLevelBytes) != 4 || tot.HaloLevelBytes[2] != 10 || tot.HaloLevelBytes[3] != 9 {
+		t.Fatalf("halo totals = %v", tot.HaloLevelBytes)
+	}
+	if tot.End != 2.5 {
+		t.Fatalf("End = %v, want max 2.5", tot.End)
+	}
+}
+
+func TestSnapshotCounterShortSliceSafe(t *testing.T) {
+	s := Snapshot{Counters: []int64{1}}
+	if s.Counter(HaloMsgs) != 1 || s.Counter(DPOps) != 0 {
+		t.Fatal("short counter slice must read as zero beyond its length")
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	r.Add(DPOps, 1)
+	r.AddHaloLevel(3, 10)
+	r.Begin("x", "y")
+	r.End()
+	r.Reset()
+	r.SetMaxSpans(10)
+	if r.Enabled() || r.Get(DPOps) != 0 || r.Depth() != 0 || r.Rank() != -1 {
+		t.Fatal("nil recorder misbehaves")
+	}
+	if s := r.Snapshot(); s.Rank != -1 || len(s.Spans) != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+}
+
+// TestDisabledRecorderAllocatesNothing pins the cost of instrumented-off
+// code: calling every hot-path method on a nil recorder performs zero
+// allocations (counter Adds on an enabled recorder are also free).
+func TestDisabledRecorderAllocatesNothing(t *testing.T) {
+	var r *Recorder
+	if n := testing.AllocsPerRun(1000, func() {
+		r.Add(DPOps, 1)
+		r.AddHaloLevel(2, 64)
+		r.Begin(LevelName(3), "level")
+		r.End()
+	}); n != 0 {
+		t.Fatalf("nil recorder allocates %v per run, want 0", n)
+	}
+	enabled := NewRecorder(0, func() float64 { return 0 })
+	enabled.AddHaloLevel(8, 1) // pre-size the level slice
+	if n := testing.AllocsPerRun(1000, func() {
+		enabled.Add(DPOps, 1)
+		enabled.AddHaloLevel(2, 64)
+	}); n != 0 {
+		t.Fatalf("enabled counter adds allocate %v per run, want 0", n)
+	}
+}
+
+func TestCachedNamesAllocateNothing(t *testing.T) {
+	if n := testing.AllocsPerRun(1000, func() {
+		_ = LevelName(5)
+		_ = PhaseName(7)
+		_ = RoundName(1)
+		_ = HaloName(3)
+	}); n != 0 {
+		t.Fatalf("cached names allocate %v per run, want 0", n)
+	}
+	// Out-of-cache indices still work.
+	if LevelName(1000) != "L1000" || HaloName(-2) != "halo L-2" {
+		t.Fatal("fallback names wrong")
+	}
+}
+
+func TestResetReanchorsTimeBase(t *testing.T) {
+	fc := &fakeClock{t: 5}
+	r := NewRecorder(0, fc.now)
+	fc.t = 10
+	r.Reset()
+	fc.t = 11
+	r.Begin("a", "c")
+	fc.t = 12
+	r.End()
+	s := r.Snapshot()
+	if s.Spans[0].Start != 1.0 {
+		t.Fatalf("span start = %v, want 1.0 (re-anchored base)", s.Spans[0].Start)
+	}
+}

@@ -32,15 +32,33 @@
 // Everything is deterministic in Options.Seed; answers have one-sided
 // error at most Options.Epsilon (default 0.05): "yes" answers are
 // always correct.
+//
+// # Observability
+//
+// Runs can be instrumented with per-rank counters and span timelines
+// (docs/OBSERVABILITY.md is the operations guide). Sequential: attach a
+// recorder via Options.Obs and export its Snapshot. Distributed: call
+// Cluster.EnableObs before the Distributed* call, then gather every
+// rank's telemetry with Cluster.GatherObsSnapshots:
+//
+//	rec := midas.NewObsRecorder()
+//	found, _ := midas.FindPath(g, 12, midas.Options{Obs: rec})
+//	midas.WriteObsSummary(os.Stdout, rec.Snapshot())
+//
+// WriteObsTrace renders snapshots as Chrome trace_event JSON for
+// chrome://tracing or Perfetto. With no recorder attached the
+// instrumentation is free: every hook is a nil-receiver no-op.
 package midas
 
 import (
+	"io"
 	"os"
 
 	"github.com/midas-hpc/midas/internal/comm"
 	"github.com/midas-hpc/midas/internal/core"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
 	"github.com/midas-hpc/midas/internal/partition"
 	"github.com/midas-hpc/midas/internal/scanstat"
 )
@@ -136,10 +154,14 @@ type Options struct {
 	// shared-memory parallelism (0 or 1 = serial). Orthogonal to the
 	// distributed mode: one process per rank, workers within a rank.
 	Workers int
+	// Obs, when non-nil, records round/phase/level spans and DP op
+	// counts for the run (see the package Observability section and
+	// docs/OBSERVABILITY.md). Nil disables instrumentation at no cost.
+	Obs *ObsRecorder
 }
 
 func (o Options) mld() mld.Options {
-	return mld.Options{Seed: o.Seed, Epsilon: o.Epsilon, Rounds: o.Rounds, N2: o.N2, Workers: o.Workers}
+	return mld.Options{Seed: o.Seed, Epsilon: o.Epsilon, Rounds: o.Rounds, N2: o.N2, Workers: o.Workers, Obs: o.Obs}
 }
 
 // FindPath reports whether g contains a simple path on k vertices.
@@ -221,7 +243,39 @@ func ExtractAnomaly(g *Graph, size int, weight int64, opt Options) ([]int32, err
 	return scanstat.ExtractCell(g, size, weight, scanstat.Options{MLD: opt.mld()})
 }
 
+// ObsRecorder collects one rank's (or a sequential run's) telemetry:
+// typed counters plus nested round/phase/level spans. Attach one via
+// Options.Obs (sequential) or Cluster.EnableObs (distributed; uses the
+// rank's virtual clock as the time base). A nil *ObsRecorder is the
+// disabled recorder — every method no-ops.
+type ObsRecorder = obs.Recorder
+
+// ObsSnapshot is the frozen, serializable form of one rank's telemetry;
+// feed any number of them to WriteObsSummary or WriteObsTrace.
+type ObsSnapshot = obs.Snapshot
+
+// NewObsRecorder returns a recorder for sequential runs, using wall
+// time anchored at the call as its time base. Distributed ranks should
+// use Cluster.EnableObs instead, which anchors the recorder to the
+// rank's virtual clock.
+func NewObsRecorder() *ObsRecorder { return obs.NewRecorder(0, nil) }
+
+// WriteObsSummary renders snapshots as the plain-text operator summary:
+// per-rank counters, time by span category, and halo volume per DP
+// level. docs/OBSERVABILITY.md defines every column.
+func WriteObsSummary(w io.Writer, snaps ...ObsSnapshot) error { return obs.WriteSummary(w, snaps...) }
+
+// WriteObsTrace renders snapshots as Chrome trace_event JSON — one
+// trace thread per rank, one complete event per span — loadable at
+// chrome://tracing or https://ui.perfetto.dev.
+func WriteObsTrace(w io.Writer, snaps ...ObsSnapshot) error { return obs.WriteTrace(w, snaps...) }
+
 // Cluster is a rank's handle on an SPMD world (MPI-communicator-like).
+// Observability hooks live directly on it: EnableObs attaches a
+// virtual-clock recorder, ObsSnapshot freezes the rank's telemetry,
+// GatherObsSnapshots collects every rank's snapshot at a root rank, and
+// ResetTelemetry clears clock+stats+recorder between repeated
+// experiments on a reused world.
 type Cluster = comm.Comm
 
 // ClusterConfig tunes the distributed algorithm: N1 graph parts per

@@ -1,8 +1,10 @@
 package midas_test
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	midas "github.com/midas-hpc/midas"
@@ -245,5 +247,52 @@ func TestPublicWorkersOption(t *testing.T) {
 	}
 	if a != b {
 		t.Fatal("Workers changed the answer")
+	}
+}
+
+func TestPublicObservability(t *testing.T) {
+	// Sequential: Options.Obs records; both exporters accept the snapshot.
+	g := midas.NewRandomGraph(200, 4)
+	rec := midas.NewObsRecorder()
+	if _, err := midas.FindPath(g, 6, midas.Options{Seed: 2, Rounds: 1, Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	snap := rec.Snapshot()
+	if len(snap.Spans) == 0 {
+		t.Fatal("sequential run recorded no spans")
+	}
+	var sum, trace bytes.Buffer
+	if err := midas.WriteObsSummary(&sum, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := midas.WriteObsTrace(&trace, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sum.String(), "dp-ops") || !strings.Contains(trace.String(), "traceEvents") {
+		t.Fatalf("exporter output malformed:\n%s", sum.String())
+	}
+
+	// Distributed: EnableObs + GatherObsSnapshots through the aliases.
+	var snaps []midas.ObsSnapshot
+	err := midas.RunLocal(4, func(c *midas.Cluster) error {
+		c.EnableObs()
+		if _, err := midas.DistributedFindPath(c, g, 6, midas.ClusterConfig{N1: 2, N2: 16, Seed: 2, Rounds: 1}); err != nil {
+			return err
+		}
+		if got := c.GatherObsSnapshots(0); c.Rank() == 0 {
+			snaps = got
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("gathered %d snapshots, want 4", len(snaps))
+	}
+	for r, s := range snaps {
+		if s.Rank != r || s.MsgsSent == 0 {
+			t.Fatalf("rank %d snapshot looks empty: %+v", r, s)
+		}
 	}
 }
