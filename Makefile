@@ -1,7 +1,9 @@
-# Developer entry points. `make check` is what CI (and PR hygiene)
-# runs: build, vet, formatting, full tests, and the race detector over
-# the concurrency-heavy packages (the in-process message runtime and
-# the observability layer it feeds).
+# Developer entry points. `make check` is what CI
+# (.github/workflows/ci.yml) and PR hygiene run: build, vet,
+# formatting, full tests, and the race detector over the
+# concurrency-heavy packages (the message runtime with its fault
+# injection, the distributed core that drives it, and the
+# observability layer they feed).
 
 GO ?= go
 
@@ -26,7 +28,7 @@ fmt-check:
 	fi
 
 race:
-	$(GO) test -race ./internal/comm/... ./internal/obs/...
+	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/...
 
 check: build vet fmt-check test race
 

@@ -51,6 +51,10 @@ type cliConfig struct {
 
 	tracePath string // write Chrome trace_event JSON here ("" = off)
 	obs       bool   // print the telemetry summary table
+
+	faultSpec     string // fault-injection schedule ("" = off); docs/FAULTS.md
+	chaosRanks    int    // world size for the in-process chaos run
+	chaosAttempts int    // detection re-runs before giving up on faults
 }
 
 func main() {
@@ -73,6 +77,9 @@ func main() {
 	flag.IntVar(&cfg.n2, "n2", 64, "iterations per batch")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace_event JSON timeline to this file")
 	flag.BoolVar(&cfg.obs, "obs", false, "print the per-rank counter/timing summary after the run")
+	flag.StringVar(&cfg.faultSpec, "fault-spec", "", "inject faults, e.g. 'drop=0.05,delay=2ms,seed=42' (docs/FAULTS.md)")
+	flag.IntVar(&cfg.chaosRanks, "chaos-ranks", 4, "in-process world size for -fault-spec runs (sequential mode)")
+	flag.IntVar(&cfg.chaosAttempts, "chaos-attempts", 3, "detection re-runs before giving up on injected faults")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "midas:", err)
@@ -124,6 +131,9 @@ func run(cfg cliConfig) error {
 
 	if cfg.rank >= 0 {
 		return runDistributed(g, cfg)
+	}
+	if cfg.faultSpec != "" {
+		return runChaos(g, cfg)
 	}
 
 	opt := midas.Options{Seed: cfg.seed, Epsilon: cfg.eps, N2: cfg.n2}
@@ -204,11 +214,52 @@ func run(cfg cliConfig) error {
 	return nil
 }
 
+// runChaos runs the detection on an in-process chaos world: the graph
+// is partitioned over -chaos-ranks goroutine ranks whose transports
+// inject the -fault-spec schedule, and the whole detection re-runs (up
+// to -chaos-attempts times) when an unmasked fault kills it. Only
+// mode=path supports resilient re-running.
+func runChaos(g *midas.Graph, cfg cliConfig) error {
+	if cfg.mode != "path" {
+		return fmt.Errorf("-fault-spec chaos runs support mode=path only (got %q)", cfg.mode)
+	}
+	spec, err := midas.ParseFaultSpec(cfg.faultSpec)
+	if err != nil {
+		return err
+	}
+	ccfg := midas.ClusterConfig{N1: cfg.n1, N2: cfg.n2, Seed: cfg.seed, Epsilon: cfg.eps}
+	var setup func(c *midas.Cluster)
+	if cfg.observing() {
+		setup = func(c *midas.Cluster) { c.EnableObs() }
+	}
+	found, clusters, report, err := midas.ChaosFindPath(cfg.chaosRanks, spec, g, cfg.k, ccfg, cfg.chaosAttempts, setup)
+	fmt.Printf("fault schedule: %s\n", spec)
+	if err != nil {
+		return fmt.Errorf("chaos run failed after %s: %w", report, err)
+	}
+	fmt.Printf("%d-path: %v (chaos world of %d ranks, %s)\n", cfg.k, found, cfg.chaosRanks, report)
+	for _, fail := range report.Failures {
+		fmt.Printf("retried after: %v\n", fail)
+	}
+	if cfg.observing() {
+		return cfg.emitObs(midas.ClusterSnapshots(clusters)...)
+	}
+	return nil
+}
+
 func runDistributed(g *midas.Graph, cfg cliConfig) error {
 	if cfg.size < 1 || cfg.root == "" {
 		return fmt.Errorf("distributed mode needs -size and -root")
 	}
-	c, err := midas.ConnectTCP(cfg.rank, cfg.size, cfg.root)
+	opts := midas.TCPOptions{}
+	if cfg.faultSpec != "" {
+		spec, err := midas.ParseFaultSpec(cfg.faultSpec)
+		if err != nil {
+			return err
+		}
+		opts.Fault = &spec
+	}
+	c, err := midas.ConnectTCPOpts(cfg.rank, cfg.size, cfg.root, opts)
 	if err != nil {
 		return err
 	}
@@ -255,12 +306,15 @@ func runDistributed(g *midas.Graph, cfg cliConfig) error {
 	default:
 		return fmt.Errorf("unknown mode %q", cfg.mode)
 	}
-	if cfg.observing() {
-		// Collective: every rank participates; only rank 0 gets the set.
-		snaps := c.GatherObsSnapshots(0)
-		if cfg.rank == 0 {
-			return cfg.emitObs(snaps...)
-		}
+	// The telemetry gather is a collective, so every rank joins it
+	// unconditionally — gating it on -obs would deadlock the observing
+	// ranks whenever the flag isn't passed uniformly (non-observing
+	// ranks would exit while rank 0 blocks waiting for their
+	// snapshots). Snapshots are valid without a recorder (they still
+	// carry the traffic stats), and the gather is a few KB.
+	snaps := c.GatherObsSnapshots(0)
+	if cfg.rank == 0 && cfg.observing() {
+		return cfg.emitObs(snaps...)
 	}
 	return nil
 }

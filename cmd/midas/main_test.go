@@ -1,9 +1,12 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"github.com/midas-hpc/midas/internal/graph"
@@ -105,6 +108,100 @@ func TestRunMaxWeightMode(t *testing.T) {
 	cfg.mode, cfg.weights, cfg.k = "maxweight", w, 3
 	if err := run(cfg); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// captureStdout runs fn with os.Stdout swapped for a pipe and returns
+// everything fn printed alongside its error.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		done <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	return <-done, runErr
+}
+
+// TestRunFaultSpecChaos is the acceptance check for `midas -fault-spec`:
+// a seeded drop+delay schedule over an in-process chaos world must
+// complete with the correct verdict and surface the resilience counters
+// in the -obs summary.
+func TestRunFaultSpecChaos(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.obs = true
+	cfg.faultSpec = "drop=0.1,delay=1ms,seed=42"
+	cfg.chaosRanks = 4
+	cfg.chaosAttempts = 3
+	out, err := captureStdout(t, func() error { return run(cfg) })
+	if err != nil {
+		t.Fatalf("chaos run failed: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "fault schedule: drop=0.1,delay=1ms,seed=42") {
+		t.Fatalf("fault schedule not echoed:\n%s", out)
+	}
+	if !strings.Contains(out, "5-path: true (chaos world of 4 ranks") {
+		t.Fatalf("verdict missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "-- resilience") || !strings.Contains(out, "faults-injected") {
+		t.Fatalf("resilience counters missing from -obs summary:\n%s", out)
+	}
+}
+
+// TestRunFaultSpecKillRecovers kills a rank mid-run; the CLI must
+// retry the detection (kill rules model one-shot crashes) and report
+// the failed attempt it recovered from.
+func TestRunFaultSpecKillRecovers(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.faultSpec = "kill=1@3,seed=7"
+	cfg.chaosRanks = 4
+	cfg.chaosAttempts = 3
+	out, err := captureStdout(t, func() error { return run(cfg) })
+	if err != nil {
+		t.Fatalf("kill was not recovered: %v\noutput:\n%s", err, out)
+	}
+	if !strings.Contains(out, "retried after:") || !strings.Contains(out, "rank killed by fault injection") {
+		t.Fatalf("recovered failure not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "2 attempts (1 failed)") {
+		t.Fatalf("retry report missing:\n%s", out)
+	}
+}
+
+func TestRunFaultSpecErrors(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.faultSpec = "drop=1.5"
+	cfg.chaosRanks = 4
+	cfg.chaosAttempts = 1
+	if _, err := captureStdout(t, func() error { return run(cfg) }); err == nil {
+		t.Fatal("invalid fault spec accepted")
+	}
+	cfg.faultSpec = "kill=1,seed=3"
+	_, err := captureStdout(t, func() error { return run(cfg) })
+	if err == nil {
+		t.Fatal("killed rank with one attempt reported success")
+	}
+	if !strings.Contains(err.Error(), "rank 1") {
+		t.Fatalf("failure does not name the killed rank: %v", err)
+	}
+	cfg = seqConfig(g)
+	cfg.mode, cfg.k = "maxweight", 3
+	cfg.faultSpec = "drop=0.1"
+	if _, err := captureStdout(t, func() error { return run(cfg) }); err == nil {
+		t.Fatal("chaos run accepted for non-path mode")
 	}
 }
 

@@ -1,0 +1,383 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"testing"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// Chaos property suite: the collectives must be *correct under masked
+// faults* — a world whose every message may be dropped (and retried),
+// delayed, duplicated, or reordered must produce byte-identical results
+// to a clean world — and *loud under unmasked ones* — kills and severed
+// links must surface as structured RankErrors, never hangs. Every test
+// runs under its own deadline so a protocol bug fails instead of
+// wedging the suite.
+
+const chaosDeadline = 30 * time.Second
+
+// runDeadlined runs fn with a hang guard.
+func runDeadlined(t *testing.T, name string, fn func() error) error {
+	t.Helper()
+	done := make(chan error, 1)
+	go func() { done <- fn() }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(chaosDeadline):
+		t.Fatalf("%s: hung past %v", name, chaosDeadline)
+		return nil
+	}
+}
+
+// batteryParams is one randomized exercise plan, drawn from a seed so
+// the clean and chaos worlds run the identical program.
+type batteryParams struct {
+	n       int    // world size
+	tag     int    // base tag for point-to-point traffic
+	root    int    // bcast/gather root
+	payload int    // ring payload size in bytes
+	rounds  int    // repetitions of the whole battery
+	seed    uint64 // per-rank data salt
+}
+
+func drawBattery(rng *rand.Rand) batteryParams {
+	return batteryParams{
+		n:       2 + rng.Intn(6),
+		tag:     1 + rng.Intn(100),
+		root:    rng.Intn(1 << 30), // reduced mod n below
+		payload: 1 + rng.Intn(512),
+		rounds:  1 + rng.Intn(3),
+		seed:    rng.Uint64(),
+	}
+}
+
+// runBattery exercises point-to-point traffic, every collective, and a
+// split sub-world, folding each rank's observations into a digest.
+// Returns the per-rank digests, or the run error.
+func runBattery(p batteryParams, spec FaultSpec) ([]uint64, error) {
+	digests := make([]uint64, p.n)
+	err := RunLocalFaulty(p.n, CostModel{}, spec, func(c *Comm) error {
+		h := fnv.New64a()
+		mix := func(b []byte) { h.Write(b) }
+		root := p.root % c.Size()
+		for round := 0; round < p.rounds; round++ {
+			// ring exchange with per-round tags
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			payload := make([]byte, p.payload)
+			for i := range payload {
+				payload[i] = byte(p.seed>>uint(i%8*8)) + byte(c.Rank()*31+i+round)
+			}
+			c.Send(next, p.tag+round, payload)
+			mix(c.Recv(prev, p.tag+round))
+
+			// collectives
+			var bdata []byte
+			if c.Rank() == root {
+				bdata = payload
+			}
+			mix(c.Bcast(root, bdata))
+			xs := c.AllreduceXor([]uint64{p.seed ^ uint64(c.Rank()*1000+round)})
+			mix([]byte(fmt.Sprint(xs[0])))
+			sm := c.AllreduceSumMod([]uint64{uint64(c.Rank()) + p.seed%1000}, 1<<20)
+			mix([]byte(fmt.Sprint(sm[0])))
+			for _, part := range c.GatherBytes(root, []byte{byte(c.Rank()), byte(round)}) {
+				mix(part)
+			}
+			c.Barrier()
+
+			// split sub-world: odd/even colors, reversed key order
+			child := c.Split(c.Rank()%2, -c.Rank())
+			cs := child.AllreduceSumMod([]uint64{uint64(c.Rank() + 1)}, 1<<20)
+			mix([]byte(fmt.Sprint(cs[0])))
+		}
+		digests[c.Rank()] = h.Sum64()
+		return nil
+	})
+	return digests, err
+}
+
+// TestChaosCollectivesMatchClean is the tentpole property: randomized
+// worlds and fault schedules whose faults are all maskable (drops under
+// the retry budget, delays, duplicates, reordering) must produce
+// byte-identical per-rank results to a fault-free run of the same
+// program.
+func TestChaosCollectivesMatchClean(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3, 42, 0xdead, 31337} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(int64(seed)))
+			p := drawBattery(rng)
+			spec := FaultSpec{
+				Drop:      rng.Float64() * 0.2,
+				Delay:     time.Duration(rng.Intn(3)) * time.Millisecond,
+				DelayProb: rng.Float64() * 0.5,
+				Dup:       rng.Float64() * 0.3,
+				Reorder:   rng.Float64() * 0.3,
+				Seed:      seed,
+			}
+			var clean, chaos []uint64
+			if err := runDeadlined(t, "clean battery", func() error {
+				var err error
+				clean, err = runBattery(p, FaultSpec{})
+				return err
+			}); err != nil {
+				t.Fatalf("clean run: %v", err)
+			}
+			if err := runDeadlined(t, "chaos battery", func() error {
+				var err error
+				chaos, err = runBattery(p, spec)
+				return err
+			}); err != nil {
+				t.Fatalf("chaos run (spec %s): %v", spec, err)
+			}
+			for r := range clean {
+				if clean[r] != chaos[r] {
+					t.Fatalf("rank %d digest diverged under %s: clean %x chaos %x",
+						r, spec, clean[r], chaos[r])
+				}
+			}
+		})
+	}
+}
+
+// TestChaosScheduleReproducible pins determinism: the same spec on the
+// same program must inject the identical fault schedule, observed
+// through the per-rank fault counters.
+func TestChaosScheduleReproducible(t *testing.T) {
+	p := batteryParams{n: 4, tag: 7, root: 2, payload: 64, rounds: 2, seed: 99}
+	spec := FaultSpec{Drop: 0.15, Dup: 0.2, Reorder: 0.2, Delay: time.Millisecond, DelayProb: 0.3, Seed: 1234}
+	run := func() []int64 {
+		comms := NewLocalWorldFaulty(p.n, CostModel{}, spec)
+		for _, c := range comms {
+			c.EnableObs()
+		}
+		err := runWorld(comms, func(c *Comm) error {
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			for round := 0; round < 20; round++ {
+				c.Send(next, round, []byte{byte(round)})
+				c.Recv(prev, round)
+			}
+			c.Barrier()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("chaos run: %v", err)
+		}
+		out := make([]int64, 0, 2*p.n)
+		for _, c := range comms {
+			s := c.ObsSnapshot()
+			out = append(out, s.Counter(obs.FaultsInjected), s.Counter(obs.SendRetries))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("fault schedule not reproducible: counters %v vs %v", a, b)
+		}
+	}
+}
+
+// TestChaosKillSurfacesStructured kills a rank mid-run and checks the
+// failure is a WorldError whose rank errors are inspectable: the killed
+// rank carries a *FaultError with ErrRankKilled, stranded peers unwind
+// with ErrClosed, and nothing hangs.
+func TestChaosKillSurfacesStructured(t *testing.T) {
+	spec := FaultSpec{Kill: []KillRule{{Rank: 1, AfterSends: 3}}, Seed: 5}
+	err := runDeadlined(t, "kill run", func() error {
+		return RunLocalFaulty(4, CostModel{}, spec, func(c *Comm) error {
+			for round := 0; round < 10; round++ {
+				next := (c.Rank() + 1) % c.Size()
+				prev := (c.Rank() + c.Size() - 1) % c.Size()
+				c.Send(next, round, []byte{1})
+				c.Recv(prev, round)
+			}
+			return nil
+		})
+	})
+	if err == nil {
+		t.Fatal("killed world reported success")
+	}
+	var we *WorldError
+	if !errors.As(err, &we) {
+		t.Fatalf("want *WorldError, got %T: %v", err, err)
+	}
+	var killed *RankError
+	for _, re := range we.Ranks {
+		var fe *FaultError
+		if errors.As(re.Err, &fe) && errors.Is(fe, ErrRankKilled) {
+			killed = re
+		} else if !errors.Is(re.Err, ErrClosed) {
+			t.Errorf("rank %d died of a non-fault cause: %v", re.Rank, re.Err)
+		}
+	}
+	if killed == nil {
+		t.Fatalf("no rank reported ErrRankKilled in %v", err)
+	}
+	if killed.Rank != 1 {
+		t.Fatalf("killed rank = %d, want 1 (err %v)", killed.Rank, err)
+	}
+}
+
+// TestChaosSeverExhaustsRetries permanently severs a link; the sender
+// must burn its retry budget and escalate ErrLinkSevered rather than
+// retry forever or hang.
+func TestChaosSeverExhaustsRetries(t *testing.T) {
+	spec := FaultSpec{Sever: [][2]int{{0, 1}}, Seed: 9, MaxRetries: 3}
+	err := runDeadlined(t, "sever run", func() error {
+		return RunLocalFaulty(2, CostModel{}, spec, func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 1, []byte{1})
+				return nil
+			}
+			c.Recv(0, 1)
+			return nil
+		})
+	})
+	if !errors.Is(err, ErrLinkSevered) {
+		t.Fatalf("want ErrLinkSevered in the chain, got %v", err)
+	}
+	var fe *FaultError
+	if !errors.As(err, &fe) || fe.From != 0 || fe.To != 1 || fe.Attempts != 4 {
+		t.Fatalf("FaultError detail wrong: %+v (err %v)", fe, err)
+	}
+}
+
+// TestChaosCertainDropExhaustsRetries drops every attempt: the bounded
+// retry loop must give up with ErrMessageLost after recording its
+// retries and backoff in the fault counters.
+func TestChaosCertainDropExhaustsRetries(t *testing.T) {
+	spec := FaultSpec{Drop: 1.0, Seed: 3, MaxRetries: 2}
+	comms := NewLocalWorldFaulty(2, CostModel{}, spec)
+	for _, c := range comms {
+		c.EnableObs()
+	}
+	err := runDeadlined(t, "drop run", func() error {
+		return runWorld(comms, func(c *Comm) error {
+			if c.Rank() == 0 {
+				c.Send(1, 1, []byte{1})
+			} else {
+				c.Recv(0, 1)
+			}
+			return nil
+		})
+	})
+	if !errors.Is(err, ErrMessageLost) {
+		t.Fatalf("want ErrMessageLost, got %v", err)
+	}
+	s := comms[0].ObsSnapshot()
+	if got := s.Counter(obs.SendRetries); got != 2 {
+		t.Fatalf("send-retries = %d, want 2", got)
+	}
+	if got := s.Counter(obs.FaultsInjected); got != 3 { // initial drop + 2 retried drops
+		t.Fatalf("faults-injected = %d, want 3", got)
+	}
+	if s.Counter(obs.BackoffNanos) <= 0 {
+		t.Fatal("no backoff recorded")
+	}
+}
+
+// TestChaosPhaseLabelInErrors checks the failing rank's phase label
+// travels into its RankError.
+func TestChaosPhaseLabelInErrors(t *testing.T) {
+	spec := FaultSpec{Kill: []KillRule{{Rank: 0, AfterSends: 1}}, Seed: 2}
+	err := runDeadlined(t, "phase run", func() error {
+		return RunLocalFaulty(2, CostModel{}, spec, func(c *Comm) error {
+			c.SetPhase("halo-exchange round 3")
+			if c.Rank() == 0 {
+				c.Send(1, 1, []byte{1})
+			} else {
+				c.Recv(0, 1)
+			}
+			return nil
+		})
+	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *RankError, got %v", err)
+	}
+	found := false
+	var we *WorldError
+	errors.As(err, &we)
+	for _, r := range we.Ranks {
+		if r.Rank == 0 && r.Phase == "halo-exchange round 3" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("phase label missing from %v", err)
+	}
+}
+
+// TestChaosInactiveSpecIsClean asserts the zero spec wraps nothing, so
+// production paths pay nothing when chaos is off.
+func TestChaosInactiveSpecIsClean(t *testing.T) {
+	comms := NewLocalWorldFaulty(2, CostModel{}, FaultSpec{})
+	defer func() {
+		for _, c := range comms {
+			c.Close()
+		}
+	}()
+	if _, ok := comms[0].transport.(*faultEndpoint); ok {
+		t.Fatal("inactive spec still wrapped the transport")
+	}
+}
+
+// TestFaultSpecParseRoundTrip pins the -fault-spec grammar.
+func TestFaultSpecParseRoundTrip(t *testing.T) {
+	cases := []string{
+		"drop=0.05,delay=2ms,seed=42",
+		"drop=0.1,delay=1ms,delayp=0.5,dup=0.2,reorder=0.1,sever=0-3,kill=2@10,seed=7,retries=5,backoff=1ms,backoffmax=100ms",
+		"kill=1,kill=2@4,seed=1",
+		"sever=1-2,sever=0-3,seed=9",
+	}
+	for _, text := range cases {
+		spec, err := ParseFaultSpec(text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		back, err := ParseFaultSpec(spec.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", spec.String(), err)
+		}
+		if back.String() != spec.String() {
+			t.Fatalf("round-trip drift: %q -> %q", spec.String(), back.String())
+		}
+	}
+	if _, err := ParseFaultSpec(""); err != nil {
+		t.Fatalf("empty spec must parse: %v", err)
+	}
+	for _, bad := range []string{"drop=1.5", "drop=x", "sever=1", "kill=a@b", "nope=1", "delay=fast"} {
+		if _, err := ParseFaultSpec(bad); err == nil {
+			t.Fatalf("accepted bad spec %q", bad)
+		}
+	}
+}
+
+// TestChaosWithAttemptRetryability pins the resilient-driver contract:
+// attempt 0 is the schedule itself, retries re-seed and shed one-shot
+// kill rules but keep the environment faults.
+func TestChaosWithAttemptRetryability(t *testing.T) {
+	spec := FaultSpec{Drop: 0.1, Sever: [][2]int{{0, 1}}, Kill: []KillRule{{Rank: 1, AfterSends: 1}}, Seed: 11}
+	if got := spec.WithAttempt(0); got.String() != spec.String() {
+		t.Fatalf("attempt 0 must be the spec itself: %s vs %s", got, spec)
+	}
+	retry := spec.WithAttempt(1)
+	if retry.Seed == spec.Seed {
+		t.Fatal("retry did not re-seed")
+	}
+	if len(retry.Kill) != 0 {
+		t.Fatal("retry kept one-shot kill rules")
+	}
+	if retry.Drop != spec.Drop || len(retry.Sever) != 1 {
+		t.Fatal("retry dropped environment faults")
+	}
+}

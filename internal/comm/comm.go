@@ -28,11 +28,20 @@
 // run is the modeled makespan used for the paper's scaling figures,
 // which cannot be measured for N ≫ cores on this single-core machine.
 //
-// Error handling follows MPI's default: a transport failure is not a
-// recoverable condition for an SPMD kernel, so Send/Recv panic on a
-// broken or closed transport. The Run* helpers recover per-rank panics
-// and return them as errors, which is the boundary where failure
-// injection is tested.
+// Error handling is retry-first, fail-structured. Transports absorb
+// transient failures themselves: the TCP path applies connect/IO
+// deadlines and retries failed writes with bounded exponential backoff
+// (reconnecting if the peer comes back), and the chaos wrapper
+// (fault.go) masks its injected drops the same way, recording faults,
+// retries and backoff time in internal/obs counters. Only exhausted
+// retries, severed links, and killed ranks escalate — as a panic
+// carrying a structured *FaultError — because at that point the SPMD
+// kernel cannot continue. The Run* helpers recover per-rank panics and
+// aggregate them into a *WorldError of *RankErrors (rank, phase,
+// cause) instead of one opaque string; callers retry a failed run
+// safely because the 2^k evaluation iterations are independent
+// (core.RunPathLocalResilient does exactly that). The chaos test suite
+// (chaos_test.go) exercises this boundary.
 package comm
 
 import (
@@ -63,6 +72,26 @@ type Comm struct {
 	clock     *Clock
 	stats     *Stats
 	rec       *obs.Recorder // nil unless observability is enabled (obs.go)
+	phase     *string       // current algorithm phase label, shared across Split children
+}
+
+// SetPhase labels the rank's current algorithm phase ("round 2",
+// "phase 7", …). The label is carried into the RankError if the rank
+// later fails, so operators see *where* a rank died, not just that it
+// did. Split children and rotated views share the parent's label cell,
+// so core code can set it on whichever communicator is handy.
+func (c *Comm) SetPhase(name string) {
+	if c.phase != nil {
+		*c.phase = name
+	}
+}
+
+// Phase returns the rank's current phase label ("" when never set).
+func (c *Comm) Phase() string {
+	if c.phase == nil {
+		return ""
+	}
+	return *c.phase
 }
 
 // transport moves bytes between world ranks.
@@ -75,6 +104,7 @@ type transport interface {
 type message struct {
 	ctx  uint64
 	tag  int
+	seq  uint64  // per-(sender, receiver, ctx) stream sequence number
 	ts   float64 // sender's virtual send time (cost model)
 	data []byte
 }
@@ -242,7 +272,7 @@ func (c *Comm) rotated(root int) *Comm {
 	return &Comm{
 		transport: c.transport, ctx: c.ctx,
 		rank: (c.rank - root + size) % size, group: g,
-		clock: c.clock, stats: c.stats, rec: c.rec,
+		clock: c.clock, stats: c.stats, rec: c.rec, phase: c.phase,
 	}
 }
 
@@ -357,7 +387,7 @@ func (c *Comm) Split(color, key int) *Comm {
 	return &Comm{
 		transport: c.transport, ctx: childCtx,
 		rank: newRank, group: group,
-		clock: c.clock, stats: c.stats, rec: c.rec,
+		clock: c.clock, stats: c.stats, rec: c.rec, phase: c.phase,
 	}
 }
 

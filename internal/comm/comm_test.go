@@ -1,6 +1,7 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"sync"
@@ -343,8 +344,12 @@ func TestRunLocalPropagatesError(t *testing.T) {
 		}
 		return nil
 	})
-	re, ok := err.(*RankError)
-	if !ok || re.Rank != 1 || re.Unwrap() != sentinel {
+	var we *WorldError
+	if !errors.As(err, &we) || len(we.Ranks) != 1 {
+		t.Fatalf("got %v, want single-rank WorldError", err)
+	}
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 || !errors.Is(err, sentinel) {
 		t.Fatalf("got %v", err)
 	}
 }

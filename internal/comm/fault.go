@@ -1,0 +1,574 @@
+package comm
+
+// Deterministic fault injection for chaos testing the message runtime.
+//
+// A FaultSpec describes a reproducible fault schedule — message drops,
+// extra latency, duplicates, reorders, severed rank pairs, and rank
+// kills — driven entirely by a seeded splitmix64 stream per rank, so
+// the same spec over the same SPMD program injects the same faults on
+// every run regardless of goroutine interleaving. The wrapper composes
+// over any transport (the in-process channel mesh and TCP), sitting
+// between the Comm and the real wire:
+//
+//   - drop: a send attempt is "lost"; the wrapper retries it with
+//     bounded exponential backoff + jitter, charging the rank's virtual
+//     clock and the SendRetries/BackoffNanos counters, exactly like the
+//     hardened TCP path handles a real write failure. Retries exhausted
+//     escalate as a structured *FaultError.
+//   - delay: the message's virtual timestamp is pushed Delay into the
+//     future, so the receiver's α–β clock models a slow link.
+//   - dup: the message is transmitted twice; the receiver-side sequence
+//     filter discards the copy.
+//   - reorder: the message is held back briefly and overtaken by later
+//     traffic; the receiver reassembles the per-stream sequence order,
+//     so collectives still see exactly-once, in-order delivery.
+//   - sever: every send between the pair fails permanently; retries
+//     exhaust and the rank dies with ErrLinkSevered.
+//   - kill: the rank's AfterSends-th send panics with ErrRankKilled —
+//     a rank death mid-phase; peers unwind via the world abort.
+//
+// Masked faults (drop/delay/dup/reorder) are invisible to the program:
+// Barrier/Bcast/Reduce results are byte-identical to a clean transport
+// (chaos_test.go proves this property). Unmaskable faults (sever,
+// kill, retry exhaustion) surface as *FaultError panics that the Run*
+// helpers aggregate into structured RankErrors. docs/FAULTS.md is the
+// operator guide, including the -fault-spec grammar parsed here.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// Unmaskable fault causes, carried inside *FaultError.
+var (
+	// ErrRankKilled marks a rank terminated by a kill= fault rule.
+	ErrRankKilled = errors.New("comm: rank killed by fault injection")
+	// ErrLinkSevered marks a send over a sever= rank pair.
+	ErrLinkSevered = errors.New("comm: link severed")
+	// ErrMessageLost marks a send whose retries were exhausted by
+	// repeated drops (or repeated real transport failures on TCP).
+	ErrMessageLost = errors.New("comm: message lost, retries exhausted")
+)
+
+// FaultError is the structured failure a transport escalates when an
+// operation cannot be completed: which operation, between which world
+// ranks, after how many attempts, and why. It reaches callers wrapped
+// in a RankError (with the failing rank's phase) via the Run* helpers.
+type FaultError struct {
+	Op       string // "send" or "recv"
+	From, To int    // world ranks (From == To means the rank itself, e.g. kill)
+	Attempts int    // send attempts made before giving up (0 when not retried)
+	Err      error  // ErrRankKilled, ErrLinkSevered, ErrMessageLost, or a transport error
+}
+
+func (e *FaultError) Error() string {
+	if e.Attempts > 0 {
+		return fmt.Sprintf("%s %d->%d failed after %d attempts: %v", e.Op, e.From, e.To, e.Attempts, e.Err)
+	}
+	return fmt.Sprintf("%s %d->%d: %v", e.Op, e.From, e.To, e.Err)
+}
+
+// Unwrap exposes the cause to errors.Is.
+func (e *FaultError) Unwrap() error { return e.Err }
+
+// KillRule terminates one rank after a number of send operations —
+// "die mid-phase" for chaos runs. AfterSends is 1-based: 1 kills the
+// very first send.
+type KillRule struct {
+	Rank       int
+	AfterSends int
+}
+
+// FaultSpec is a reproducible fault schedule. The zero value injects
+// nothing (Active reports false) and is free to pass around. Specs are
+// parsed from the -fault-spec CLI grammar by ParseFaultSpec and
+// printed back by String.
+type FaultSpec struct {
+	Drop      float64       // per-attempt probability a send is dropped
+	Delay     time.Duration // extra modeled latency for delayed messages
+	DelayProb float64       // probability a message is delayed (0 with Delay set means 1)
+	Dup       float64       // probability a message is transmitted twice
+	Reorder   float64       // probability a message is overtaken by later traffic
+	Sever     [][2]int      // world-rank pairs whose link is permanently down
+	Kill      []KillRule    // ranks to terminate mid-run
+	Seed      uint64        // drives every probabilistic choice
+
+	// Retry policy for failed send attempts (injected drops here; real
+	// write errors in the TCP transport, which shares these knobs).
+	MaxRetries  int           // attempts after the first failure (default 8)
+	BackoffBase time.Duration // first backoff (default 100µs), doubles per retry
+	BackoffMax  time.Duration // backoff cap (default 20ms)
+}
+
+// Active reports whether the spec injects any fault at all.
+func (s FaultSpec) Active() bool {
+	return s.Drop > 0 || s.Delay > 0 || s.Dup > 0 || s.Reorder > 0 ||
+		len(s.Sever) > 0 || len(s.Kill) > 0
+}
+
+func (s FaultSpec) maxRetries() int {
+	if s.MaxRetries > 0 {
+		return s.MaxRetries
+	}
+	return 8
+}
+
+func (s FaultSpec) backoffBase() time.Duration {
+	if s.BackoffBase > 0 {
+		return s.BackoffBase
+	}
+	return 100 * time.Microsecond
+}
+
+func (s FaultSpec) backoffMax() time.Duration {
+	if s.BackoffMax > 0 {
+		return s.BackoffMax
+	}
+	return 20 * time.Millisecond
+}
+
+func (s FaultSpec) delayProb() float64 {
+	if s.Delay <= 0 {
+		return 0
+	}
+	if s.DelayProb > 0 {
+		return s.DelayProb
+	}
+	return 1
+}
+
+func (s FaultSpec) severed(a, b int) bool {
+	for _, p := range s.Sever {
+		if (p[0] == a && p[1] == b) || (p[0] == b && p[1] == a) {
+			return true
+		}
+	}
+	return false
+}
+
+// WithAttempt derives the spec for retry attempt i of a resilient
+// driver: attempt 0 is the spec itself (so a seed reproduces its
+// documented schedule); later attempts re-salt the seed so the random
+// faults draw a fresh schedule, and drop Kill rules entirely — a kill
+// models a one-shot crash, and the re-run models the operator
+// restarting that rank. Probabilistic faults (drop/delay/dup/reorder)
+// and severed links persist across attempts: they model the
+// environment, not an event.
+func (s FaultSpec) WithAttempt(i int) FaultSpec {
+	if i == 0 {
+		return s
+	}
+	out := s
+	out.Seed = mix64(s.Seed ^ (uint64(i) * 0xa0761d6478bd642f))
+	out.Kill = nil
+	return out
+}
+
+// String renders the spec in the ParseFaultSpec grammar (stable field
+// order, so String/Parse round-trip).
+func (s FaultSpec) String() string {
+	var parts []string
+	add := func(k, v string) { parts = append(parts, k+"="+v) }
+	if s.Drop > 0 {
+		add("drop", trimFloat(s.Drop))
+	}
+	if s.Delay > 0 {
+		add("delay", s.Delay.String())
+	}
+	if s.DelayProb > 0 {
+		add("delayp", trimFloat(s.DelayProb))
+	}
+	if s.Dup > 0 {
+		add("dup", trimFloat(s.Dup))
+	}
+	if s.Reorder > 0 {
+		add("reorder", trimFloat(s.Reorder))
+	}
+	for _, p := range s.Sever {
+		add("sever", fmt.Sprintf("%d-%d", p[0], p[1]))
+	}
+	for _, k := range s.Kill {
+		add("kill", fmt.Sprintf("%d@%d", k.Rank, k.AfterSends))
+	}
+	add("seed", strconv.FormatUint(s.Seed, 10))
+	if s.MaxRetries > 0 {
+		add("retries", strconv.Itoa(s.MaxRetries))
+	}
+	if s.BackoffBase > 0 {
+		add("backoff", s.BackoffBase.String())
+	}
+	if s.BackoffMax > 0 {
+		add("backoffmax", s.BackoffMax.String())
+	}
+	return strings.Join(parts, ",")
+}
+
+func trimFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// ParseFaultSpec parses the chaos grammar used by `midas -fault-spec`
+// (docs/FAULTS.md):
+//
+//	drop=0.05,delay=2ms,delayp=0.5,dup=0.01,reorder=0.02,
+//	sever=1-2,kill=3@40,seed=42,retries=8,backoff=100us,backoffmax=20ms
+//
+// Keys may repeat only for sever and kill. The empty string parses to
+// the inactive zero spec.
+func ParseFaultSpec(text string) (FaultSpec, error) {
+	var s FaultSpec
+	text = strings.TrimSpace(text)
+	if text == "" {
+		return s, nil
+	}
+	seen := map[string]bool{}
+	for _, field := range strings.Split(text, ",") {
+		key, val, ok := strings.Cut(strings.TrimSpace(field), "=")
+		if !ok || val == "" {
+			return s, fmt.Errorf("comm: fault spec field %q is not key=value", field)
+		}
+		if key != "sever" && key != "kill" {
+			if seen[key] {
+				return s, fmt.Errorf("comm: fault spec repeats %q", key)
+			}
+			seen[key] = true
+		}
+		var err error
+		switch key {
+		case "drop":
+			s.Drop, err = parseProb(val)
+		case "delay":
+			s.Delay, err = time.ParseDuration(val)
+		case "delayp":
+			s.DelayProb, err = parseProb(val)
+		case "dup":
+			s.Dup, err = parseProb(val)
+		case "reorder":
+			s.Reorder, err = parseProb(val)
+		case "sever":
+			a, b, ok := strings.Cut(val, "-")
+			if !ok {
+				return s, fmt.Errorf("comm: sever wants RANK-RANK, got %q", val)
+			}
+			var ra, rb int
+			if ra, err = strconv.Atoi(a); err == nil {
+				rb, err = strconv.Atoi(b)
+			}
+			if err == nil && (ra < 0 || rb < 0 || ra == rb) {
+				err = fmt.Errorf("bad rank pair %d-%d", ra, rb)
+			}
+			if err == nil {
+				s.Sever = append(s.Sever, [2]int{ra, rb})
+			}
+		case "kill":
+			rule := KillRule{AfterSends: 1}
+			rankStr, atStr, hasAt := strings.Cut(val, "@")
+			if rule.Rank, err = strconv.Atoi(rankStr); err == nil && hasAt {
+				rule.AfterSends, err = strconv.Atoi(atStr)
+			}
+			if err == nil && (rule.Rank < 0 || rule.AfterSends < 1) {
+				err = fmt.Errorf("bad kill rule %q", val)
+			}
+			if err == nil {
+				s.Kill = append(s.Kill, rule)
+			}
+		case "seed":
+			s.Seed, err = strconv.ParseUint(val, 10, 64)
+		case "retries":
+			s.MaxRetries, err = strconv.Atoi(val)
+			if err == nil && s.MaxRetries < 1 {
+				err = fmt.Errorf("retries must be >= 1")
+			}
+		case "backoff":
+			s.BackoffBase, err = time.ParseDuration(val)
+		case "backoffmax":
+			s.BackoffMax, err = time.ParseDuration(val)
+		default:
+			return s, fmt.Errorf("comm: unknown fault spec key %q", key)
+		}
+		if err != nil {
+			return s, fmt.Errorf("comm: fault spec %s=%q: %v", key, val, err)
+		}
+	}
+	sort.Slice(s.Kill, func(i, j int) bool { return s.Kill[i].Rank < s.Kill[j].Rank })
+	return s, nil
+}
+
+func parseProb(val string) (float64, error) {
+	p, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return 0, err
+	}
+	if p < 0 || p >= 1 {
+		return 0, fmt.Errorf("probability %v outside [0,1)", p)
+	}
+	return p, nil
+}
+
+// mix64 is the splitmix64 finalizer, used both to seed per-rank
+// streams and to advance them.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+// streamKey identifies one directed (peer, communicator) message
+// stream for sequence numbering.
+type streamKey struct {
+	peer int
+	ctx  uint64
+}
+
+// reassembler restores per-stream order on a wire that may duplicate
+// or reorder frames: messages arrive with sequence numbers, leave in
+// sequence order, and duplicates of already-delivered sequences are
+// discarded. Used by both the fault wrapper (injected dup/reorder) and
+// the TCP transport (at-least-once redelivery across reconnects).
+// Single-consumer per stream: only the rank's own goroutine calls next.
+type reassembler struct {
+	want    map[streamKey]uint64
+	pending map[streamKey]map[uint64]message
+}
+
+func newReassembler() *reassembler {
+	return &reassembler{want: map[streamKey]uint64{}, pending: map[streamKey]map[uint64]message{}}
+}
+
+// next returns the stream's next in-sequence message, pulling raw
+// deliveries from pull until it appears.
+func (ra *reassembler) next(key streamKey, pull func() message) message {
+	want := ra.want[key]
+	for {
+		if buf := ra.pending[key]; buf != nil {
+			if m, ok := buf[want]; ok {
+				delete(buf, want)
+				ra.want[key] = want + 1
+				return m
+			}
+		}
+		m := pull()
+		switch {
+		case m.seq == want:
+			ra.want[key] = want + 1
+			return m
+		case m.seq < want:
+			// duplicate of an already-delivered message
+		default:
+			if ra.pending[key] == nil {
+				ra.pending[key] = map[uint64]message{}
+			}
+			ra.pending[key][m.seq] = m
+		}
+	}
+}
+
+// faultEndpoint wraps a transport with the fault schedule of one rank.
+// The send path (Comm's goroutine) makes every random decision, so the
+// schedule is deterministic; the only concurrent entry points are the
+// hold-back flush timer and abort, both RNG-free.
+type faultEndpoint struct {
+	inner transport
+	me    int
+	spec  FaultSpec
+	clock *Clock        // charged for virtual backoff/delay; may be nil
+	rec   *obs.Recorder // counters; nil-safe
+
+	mu     sync.Mutex
+	rng    uint64
+	sends  int // send calls so far (kill rules trigger on this)
+	seqOut map[streamKey]uint64
+	held   []heldMsg   // reordered messages awaiting flush
+	timer  *time.Timer // scheduled flush for held messages
+
+	// Receive-side reassembly (touched only by the rank's goroutine).
+	ra *reassembler
+}
+
+type heldMsg struct {
+	dst int
+	m   message
+}
+
+// holdFlushAfter bounds how long a reordered message can be overtaken:
+// a real-time safety net so a held message is always delivered even if
+// the rank never touches the transport again.
+const holdFlushAfter = 500 * time.Microsecond
+
+// maxHeld bounds the hold-back buffer; beyond it, reorder faults are
+// skipped rather than queued (delivery keeps priority over chaos).
+const maxHeld = 4
+
+func newFaultEndpoint(inner transport, me int, spec FaultSpec, clock *Clock) *faultEndpoint {
+	return &faultEndpoint{
+		inner:  inner,
+		me:     me,
+		spec:   spec,
+		clock:  clock,
+		rng:    mix64(spec.Seed ^ (uint64(me)+1)*0x9e3779b97f4a7c15),
+		seqOut: map[streamKey]uint64{},
+		ra:     newReassembler(),
+	}
+}
+
+func (e *faultEndpoint) setRecorder(r *obs.Recorder) { e.rec = r }
+
+// rnd advances the rank's deterministic decision stream.
+func (e *faultEndpoint) rnd() float64 {
+	e.rng += 0x9e3779b97f4a7c15
+	return float64(mix64(e.rng)>>11) / (1 << 53)
+}
+
+func (e *faultEndpoint) send(worldDst int, m message) {
+	e.mu.Lock()
+	e.flushHeldLocked()
+	e.sends++
+	for _, rule := range e.spec.Kill {
+		if rule.Rank == e.me && e.sends == rule.AfterSends {
+			e.mu.Unlock()
+			panic(&FaultError{Op: "send", From: e.me, To: worldDst, Err: ErrRankKilled})
+		}
+	}
+	key := streamKey{worldDst, m.ctx}
+	m.seq = e.seqOut[key]
+	e.seqOut[key] = m.seq + 1
+
+	// Delay: push the virtual timestamp so the receiver's α–β clock
+	// sees a slow link. The payload itself is not withheld.
+	if p := e.spec.delayProb(); p > 0 && e.rnd() < p {
+		m.ts += e.spec.Delay.Seconds()
+		e.rec.Add(obs.FaultsInjected, 1)
+	}
+
+	// Drop / sever: fail attempts until the link lets one through, with
+	// the same bounded backoff policy the TCP transport uses for real
+	// write errors.
+	severed := e.spec.severed(e.me, worldDst)
+	attempts := 1
+	for severed || (e.spec.Drop > 0 && e.rnd() < e.spec.Drop) {
+		e.rec.Add(obs.FaultsInjected, 1)
+		if attempts > e.spec.maxRetries() {
+			cause := ErrMessageLost
+			if severed {
+				cause = ErrLinkSevered
+			}
+			e.mu.Unlock()
+			panic(&FaultError{Op: "send", From: e.me, To: worldDst, Attempts: attempts, Err: cause})
+		}
+		backoff := e.backoff(attempts)
+		e.rec.Add(obs.SendRetries, 1)
+		e.rec.Add(obs.BackoffNanos, backoff.Nanoseconds())
+		if e.clock != nil {
+			e.clock.Advance(backoff.Seconds())
+		}
+		attempts++
+	}
+
+	dup := e.spec.Dup > 0 && e.rnd() < e.spec.Dup
+	hold := e.spec.Reorder > 0 && e.rnd() < e.spec.Reorder && len(e.held) < maxHeld
+	if dup {
+		e.rec.Add(obs.FaultsInjected, 1)
+		e.inner.send(worldDst, m)
+	}
+	if hold {
+		e.rec.Add(obs.FaultsInjected, 1)
+		e.held = append(e.held, heldMsg{dst: worldDst, m: m})
+		if e.timer == nil {
+			e.timer = time.AfterFunc(holdFlushAfter, func() {
+				e.mu.Lock()
+				e.flushHeldLocked()
+				e.mu.Unlock()
+			})
+		}
+		e.mu.Unlock()
+		return
+	}
+	e.inner.send(worldDst, m)
+	e.mu.Unlock()
+}
+
+// backoff returns the capped exponential backoff for the given attempt
+// with deterministic ±50% jitter from the rank's decision stream.
+func (e *faultEndpoint) backoff(attempt int) time.Duration {
+	d := e.spec.backoffBase() << uint(attempt-1)
+	if max := e.spec.backoffMax(); d > max || d <= 0 {
+		d = max
+	}
+	return time.Duration((0.5 + e.rnd()) * float64(d))
+}
+
+// flushHeldLocked transmits every held (reordered) message. Called
+// under mu from every transport entry point and the safety timer, so
+// held traffic is always overtaken by at most one batch of later sends.
+func (e *faultEndpoint) flushHeldLocked() {
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+	for _, h := range e.held {
+		e.inner.send(h.dst, h.m)
+	}
+	e.held = nil
+}
+
+// recv returns the next in-sequence message of the (src, ctx) stream,
+// reassembling order across reordered deliveries and discarding
+// duplicates. Only the rank's own goroutine calls it.
+func (e *faultEndpoint) recv(worldSrc int, ctx uint64) message {
+	e.mu.Lock()
+	e.flushHeldLocked()
+	e.mu.Unlock()
+	return e.ra.next(streamKey{worldSrc, ctx}, func() message {
+		return e.inner.recv(worldSrc, ctx)
+	})
+}
+
+func (e *faultEndpoint) close(worldRank int) {
+	e.mu.Lock()
+	e.flushHeldLocked()
+	e.mu.Unlock()
+	e.inner.close(worldRank)
+}
+
+func (e *faultEndpoint) abort() {
+	if a, ok := e.inner.(aborter); ok {
+		a.abort()
+	}
+}
+
+// NewLocalWorldFaulty is NewLocalWorld with every rank's endpoint
+// wrapped in the given fault schedule. An inactive spec degrades to a
+// clean world.
+func NewLocalWorldFaulty(n int, model CostModel, spec FaultSpec) []*Comm {
+	comms := NewLocalWorld(n, model)
+	if !spec.Active() {
+		return comms
+	}
+	for r, c := range comms {
+		c.transport = newFaultEndpoint(c.transport, r, spec, c.clock)
+	}
+	return comms
+}
+
+// RunLocalFaulty executes fn as an SPMD program over a chaos world of n
+// ranks: NewLocalWorldFaulty plus the structured failure aggregation of
+// RunLocal.
+func RunLocalFaulty(n int, model CostModel, spec FaultSpec, fn func(c *Comm) error) error {
+	_, err := RunLocalFaultyInspect(n, model, spec, fn)
+	return err
+}
+
+// RunLocalFaultyInspect is RunLocalFaulty returning the communicators
+// for post-run clock/stats/telemetry inspection.
+func RunLocalFaultyInspect(n int, model CostModel, spec FaultSpec, fn func(c *Comm) error) ([]*Comm, error) {
+	comms := NewLocalWorldFaulty(n, model, spec)
+	return comms, runWorld(comms, fn)
+}

@@ -1,9 +1,17 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 )
+
+// ErrClosed is the cause carried by the panic of a Recv that can never
+// complete: the rank's endpoint was shut down, either by its own Close
+// or because a peer failure aborted the world (runWorld fails fast so
+// stranded ranks surface as structured RankErrors instead of hanging).
+var ErrClosed = errors.New("comm: endpoint closed")
 
 // inbox is the shared mailbox used by both transports: per
 // (source world rank, context) FIFO queues with blocking receive.
@@ -42,7 +50,7 @@ func (ib *inbox) take(src int, ctx uint64) message {
 	k := inboxKey{src, ctx}
 	for len(ib.queues[k]) == 0 {
 		if ib.closed {
-			panic(fmt.Sprintf("comm: recv from %d on closed endpoint", src))
+			panic(fmt.Errorf("comm: recv from rank %d: %w", src, ErrClosed))
 		}
 		ib.cond.Wait()
 	}
@@ -89,6 +97,19 @@ func (e *localEndpoint) close(int) {
 	e.world.inboxes[e.me].shutdown()
 }
 
+// aborter is implemented by transports that can tear down the whole
+// world at once. runWorld invokes it when a rank fails, so peers
+// blocked on the dead rank unwind with ErrClosed instead of hanging.
+type aborter interface {
+	abort()
+}
+
+func (e *localEndpoint) abort() {
+	for _, ib := range e.world.inboxes {
+		ib.shutdown()
+	}
+}
+
 // NewLocalWorld creates an in-process world of n ranks sharing the given
 // cost model and returns the n world communicators, index by rank. Each
 // handle must be used by exactly one goroutine.
@@ -113,29 +134,67 @@ func NewLocalWorld(n int, model CostModel) []*Comm {
 			group:     group,
 			clock:     &Clock{model: model},
 			stats:     &Stats{},
+			phase:     new(string),
 		}
 	}
 	return comms
 }
 
 // RankError reports a panic or error raised inside one rank of an SPMD
-// run.
+// run, tagged with the algorithm phase the rank was in (Comm.SetPhase)
+// when it failed.
 type RankError struct {
-	Rank int
-	Err  error
+	Rank  int
+	Phase string // phase label at failure time; "" when never set
+	Err   error
 }
 
-func (e *RankError) Error() string { return fmt.Sprintf("rank %d: %v", e.Rank, e.Err) }
+func (e *RankError) Error() string {
+	if e.Phase != "" {
+		return fmt.Sprintf("rank %d (%s): %v", e.Rank, e.Phase, e.Err)
+	}
+	return fmt.Sprintf("rank %d: %v", e.Rank, e.Err)
+}
 
 // Unwrap exposes the underlying error.
 func (e *RankError) Unwrap() error { return e.Err }
 
+// WorldError aggregates every failing rank of an SPMD run. The Run*
+// helpers return it instead of the first failure so operators see the
+// full blast radius (a killed rank typically also strands the peers
+// blocked on it). errors.As(err, **RankError) finds the first rank
+// failure; Ranks holds all of them in rank order.
+type WorldError struct {
+	Ranks []*RankError
+}
+
+func (e *WorldError) Error() string {
+	if len(e.Ranks) == 1 {
+		return e.Ranks[0].Error()
+	}
+	msgs := make([]string, len(e.Ranks))
+	for i, re := range e.Ranks {
+		msgs[i] = re.Error()
+	}
+	return fmt.Sprintf("%d ranks failed: %s", len(e.Ranks), strings.Join(msgs, "; "))
+}
+
+// Unwrap exposes each rank failure to errors.Is/As (Go 1.20 multi-error
+// form).
+func (e *WorldError) Unwrap() []error {
+	out := make([]error, len(e.Ranks))
+	for i, re := range e.Ranks {
+		out[i] = re
+	}
+	return out
+}
+
 // RunLocal executes fn as an SPMD program on a fresh local world of n
 // ranks and waits for all of them. Per-rank panics are recovered and
-// returned (first failing rank wins); communicators are closed on
-// return. The returned comms' clocks/stats remain readable afterwards
-// via the inspect callback style: use RunLocalInspect when the caller
-// needs them.
+// aggregated into a *WorldError of structured *RankErrors;
+// communicators are closed on return. The returned comms' clocks/stats
+// remain readable afterwards via the inspect callback style: use
+// RunLocalInspect when the caller needs them.
 func RunLocal(n int, model CostModel, fn func(c *Comm) error) error {
 	_, err := RunLocalInspect(n, model, fn)
 	return err
@@ -145,15 +204,47 @@ func RunLocal(n int, model CostModel, fn func(c *Comm) error) error {
 // so callers can read per-rank clocks and statistics after the run.
 func RunLocalInspect(n int, model CostModel, fn func(c *Comm) error) ([]*Comm, error) {
 	comms := NewLocalWorld(n, model)
+	return comms, runWorld(comms, fn)
+}
+
+// runWorld drives one goroutine per rank over an already-built world,
+// recovers per-rank panics with their phase labels, closes the
+// communicators, and aggregates failures into a *WorldError.
+func runWorld(comms []*Comm, fn func(c *Comm) error) error {
+	n := len(comms)
 	errs := make([]error, n)
+	phases := make([]string, n)
+	// Fail fast: the first rank failure tears the world down so ranks
+	// blocked on the dead peer unwind (as ErrClosed RankErrors) instead
+	// of deadlocking the whole run.
+	var abortOnce sync.Once
+	abort := func() {
+		abortOnce.Do(func() {
+			for _, c := range comms {
+				if a, ok := c.transport.(aborter); ok {
+					a.abort()
+				}
+			}
+		})
+	}
 	var wg sync.WaitGroup
 	wg.Add(n)
 	for r := 0; r < n; r++ {
 		go func(rank int) {
 			defer wg.Done()
 			defer func() {
+				// Read the phase in the rank's own goroutine: the label
+				// cell is single-writer per rank by the SPMD discipline.
+				phases[rank] = comms[rank].Phase()
 				if p := recover(); p != nil {
-					errs[rank] = fmt.Errorf("panic: %v", p)
+					if err, ok := p.(error); ok {
+						errs[rank] = err
+					} else {
+						errs[rank] = fmt.Errorf("panic: %v", p)
+					}
+				}
+				if errs[rank] != nil {
+					abort()
 				}
 			}()
 			errs[rank] = fn(comms[rank])
@@ -163,12 +254,16 @@ func RunLocalInspect(n int, model CostModel, fn func(c *Comm) error) ([]*Comm, e
 	for _, c := range comms {
 		c.Close()
 	}
+	var failed []*RankError
 	for r, err := range errs {
 		if err != nil {
-			return comms, &RankError{Rank: r, Err: err}
+			failed = append(failed, &RankError{Rank: r, Phase: phases[r], Err: err})
 		}
 	}
-	return comms, nil
+	if failed != nil {
+		return &WorldError{Ranks: failed}
+	}
+	return nil
 }
 
 // MaxClock returns the maximum virtual time over the given

@@ -17,13 +17,31 @@ import "github.com/midas-hpc/midas/internal/obs"
 // observability on the world communicator before splitting.
 func (c *Comm) EnableObs() *obs.Recorder {
 	c.rec = obs.NewRecorder(c.rank, c.clock.Now)
+	c.propagateRecorder()
 	return c.rec
+}
+
+// recorderSink is implemented by transports that record their own
+// telemetry (fault injection and TCP retry counters).
+type recorderSink interface {
+	setRecorder(r *obs.Recorder)
+}
+
+// propagateRecorder hands the communicator's recorder to the transport
+// when the transport keeps resilience counters of its own.
+func (c *Comm) propagateRecorder() {
+	if t, ok := c.transport.(recorderSink); ok {
+		t.setRecorder(c.rec)
+	}
 }
 
 // AttachRecorder installs an externally constructed recorder (nil
 // detaches). Most callers want EnableObs; AttachRecorder exists for
 // tests and for callers that need a custom time base.
-func (c *Comm) AttachRecorder(r *obs.Recorder) { c.rec = r }
+func (c *Comm) AttachRecorder(r *obs.Recorder) {
+	c.rec = r
+	c.propagateRecorder()
+}
 
 // Recorder returns the attached recorder, or nil when observability is
 // disabled. The nil recorder is safe to call (every obs.Recorder

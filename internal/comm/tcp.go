@@ -7,7 +7,10 @@ import (
 	"io"
 	"math"
 	"net"
+	"sync"
 	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // TCP transport: a world of separate OS processes connected by a full
@@ -22,16 +25,88 @@ import (
 //     into the shared inbox.
 //
 // Frames on the wire: sender rank is implied by the connection; each
-// message is [ctx u64][tag i64][ts f64][len u32][payload].
+// message is [ctx u64][tag i64][seq u64][ts f64][len u32][payload].
+//
+// Resilience (docs/FAULTS.md): every handshake and data write runs
+// under a deadline (TCPOptions.ConnectTimeout / IOTimeout). A failed
+// write closes the connection and retries with exponential backoff +
+// jitter, re-establishing the link first — the lower rank of the pair
+// redials, the higher rank's persistent accept loop admits the
+// returning peer. Each rank keeps its listener open for the life of
+// the transport for exactly this reason. Retransmitted frames make
+// delivery at-least-once, so the receive path dedups by per-stream
+// sequence number (the same reassembler the fault wrapper uses).
+// Retries exhausted escalate as a structured *FaultError carrying the
+// underlying I/O error.
 
 const tcpMagic = 0x4d494441 // "MIDA"
 
-// ConnectTCP joins (or hosts) a TCP world. rank 0 must be started with
-// rootAddr as its own listen address ("host:port"); other ranks pass
-// the same rootAddr to find it. size is the total number of ranks and
-// must agree across processes. The call blocks until the whole world is
-// connected.
+const tcpHeaderLen = 36
+
+// TCPOptions tunes the TCP transport's deadlines and retry policy.
+// The zero value means "all defaults" (see the accessors below), so
+// callers set only what they need.
+type TCPOptions struct {
+	ConnectTimeout time.Duration // rendezvous, handshake, and (re)dial budget (default 10s)
+	IOTimeout      time.Duration // per-frame write deadline (default 30s; <0 disables)
+	MaxRetries     int           // send retries after the first failure (default 4)
+	BackoffBase    time.Duration // first retry backoff (default 25ms), doubles per retry
+	BackoffMax     time.Duration // backoff cap (default 2s)
+	Fault          *FaultSpec    // optional chaos schedule injected over the wire
+}
+
+// DefaultTCPOptions returns the zero options — every knob at its
+// documented default.
+func DefaultTCPOptions() TCPOptions { return TCPOptions{} }
+
+func (o TCPOptions) connectTimeout() time.Duration {
+	if o.ConnectTimeout > 0 {
+		return o.ConnectTimeout
+	}
+	return 10 * time.Second
+}
+
+func (o TCPOptions) ioTimeout() time.Duration {
+	if o.IOTimeout != 0 {
+		return o.IOTimeout
+	}
+	return 30 * time.Second
+}
+
+func (o TCPOptions) maxRetries() int {
+	if o.MaxRetries > 0 {
+		return o.MaxRetries
+	}
+	return 4
+}
+
+func (o TCPOptions) backoffBase() time.Duration {
+	if o.BackoffBase > 0 {
+		return o.BackoffBase
+	}
+	return 25 * time.Millisecond
+}
+
+func (o TCPOptions) backoffMax() time.Duration {
+	if o.BackoffMax > 0 {
+		return o.BackoffMax
+	}
+	return 2 * time.Second
+}
+
+// ConnectTCP joins (or hosts) a TCP world with default options. rank 0
+// must be started with rootAddr as its own listen address
+// ("host:port"); other ranks pass the same rootAddr to find it. size
+// is the total number of ranks and must agree across processes. The
+// call blocks until the whole world is connected.
 func ConnectTCP(rank, size int, rootAddr string, model CostModel) (*Comm, error) {
+	return ConnectTCPOpts(rank, size, rootAddr, model, DefaultTCPOptions())
+}
+
+// ConnectTCPOpts is ConnectTCP with explicit deadline/retry options
+// and (optionally) a fault-injection schedule wrapped over the wire.
+// All ranks must pass the same Fault spec or none.
+func ConnectTCPOpts(rank, size int, rootAddr string, model CostModel, opts TCPOptions) (*Comm, error) {
 	if size <= 0 || rank < 0 || rank >= size {
 		return nil, fmt.Errorf("comm: bad rank/size %d/%d", rank, size)
 	}
@@ -47,6 +122,7 @@ func ConnectTCP(rank, size int, rootAddr string, model CostModel) (*Comm, error)
 	}
 	addrs := make([]string, size)
 	addrs[rank] = ln.Addr().String()
+	hsDeadline := time.Now().Add(opts.connectTimeout())
 
 	if rank == 0 {
 		// Collect registrations, then send everyone the table.
@@ -56,6 +132,7 @@ func ConnectTCP(rank, size int, rootAddr string, model CostModel) (*Comm, error)
 			if err != nil {
 				return nil, fmt.Errorf("comm: rendezvous accept: %w", err)
 			}
+			conn.SetDeadline(hsDeadline)
 			r, addr, err := readRegistration(conn)
 			if err != nil {
 				return nil, fmt.Errorf("comm: registration: %w", err)
@@ -74,10 +151,11 @@ func ConnectTCP(rank, size int, rootAddr string, model CostModel) (*Comm, error)
 			conns[r].Close()
 		}
 	} else {
-		conn, err := dialRetry(rootAddr, 10*time.Second)
+		conn, err := dialRetry(rootAddr, opts.connectTimeout())
 		if err != nil {
 			return nil, fmt.Errorf("comm: rendezvous dial: %w", err)
 		}
+		conn.SetDeadline(hsDeadline)
 		if err := writeRegistration(conn, rank, addrs[rank]); err != nil {
 			return nil, err
 		}
@@ -88,59 +166,230 @@ func ConnectTCP(rank, size int, rootAddr string, model CostModel) (*Comm, error)
 		conn.Close()
 	}
 
+	t := &tcpTransport{
+		inbox: newInbox(),
+		rank:  rank,
+		addrs: addrs,
+		opts:  opts,
+		ln:    ln,
+		conns: make([]net.Conn, size),
+		seen:  make([]bool, size),
+		wmu:   make([]sync.Mutex, size),
+		ra:    newReassembler(),
+	}
+	t.cond = sync.NewCond(&t.mu)
+	t.managedSeq = opts.Fault != nil && opts.Fault.Active()
+	if !t.managedSeq {
+		t.seqOut = make(map[streamKey]uint64)
+	}
+	// The accept loop runs for the transport's lifetime so peers can
+	// reconnect after a connection failure, not just during bootstrap.
+	go t.acceptLoop()
 	// Full-mesh connect: i dials j for i < j; everyone accepts from
-	// lower ranks.
-	ib := newInbox()
-	t := &tcpTransport{inbox: ib, conns: make([]net.Conn, size), rank: rank}
-	done := make(chan error, size)
-	expected := rank // number of incoming connections (from lower ranks)
-	go func() {
-		for i := 0; i < expected; i++ {
-			conn, err := ln.Accept()
-			if err != nil {
-				done <- err
-				return
-			}
-			peer, err := readHello(conn)
-			if err != nil {
-				done <- err
-				return
-			}
-			t.conns[peer] = conn
-			go t.pump(peer, conn)
-		}
-		done <- nil
-	}()
+	// lower ranks via the accept loop.
 	for j := rank + 1; j < size; j++ {
-		conn, err := dialRetry(addrs[j], 10*time.Second)
-		if err != nil {
+		if _, err := t.dialPeer(j, opts.connectTimeout()); err != nil {
 			return nil, fmt.Errorf("comm: dial rank %d: %w", j, err)
 		}
-		if err := writeHello(conn, rank); err != nil {
-			return nil, err
-		}
-		t.conns[j] = conn
-		go t.pump(j, conn)
 	}
-	if err := <-done; err != nil {
+	if err := t.waitConnected(hsDeadline); err != nil {
 		return nil, fmt.Errorf("comm: mesh accept: %w", err)
 	}
-	ln.Close()
 
+	clock := &Clock{model: model}
+	var tr transport = t
+	if t.managedSeq {
+		tr = newFaultEndpoint(t, rank, *opts.Fault, clock)
+	}
 	group := make([]int, size)
 	for i := range group {
 		group[i] = i
 	}
 	return &Comm{
-		transport: t, ctx: 0, rank: rank, group: group,
-		clock: &Clock{model: model}, stats: &Stats{},
+		transport: tr, ctx: 0, rank: rank, group: group,
+		clock: clock, stats: &Stats{}, phase: new(string),
 	}, nil
 }
 
 type tcpTransport struct {
 	inbox *inbox
-	conns []net.Conn
 	rank  int
+	addrs []string
+	opts  TCPOptions
+	ln    net.Listener
+	rec   *obs.Recorder // send-retry counters; nil-safe
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	conns  []net.Conn
+	seen   []bool // peer ever connected; the bootstrap barrier keys on this, not on conns staying live
+	closed bool
+
+	wmu []sync.Mutex // per-peer write serialization (send path vs held-message flush)
+
+	// managedSeq: an outer fault wrapper owns sequence numbering; the
+	// transport passes seq through untouched. Otherwise the transport
+	// stamps outgoing frames itself so the receive path can dedup
+	// at-least-once redeliveries.
+	managedSeq bool
+	seqOut     map[streamKey]uint64
+	ra         *reassembler
+}
+
+func (t *tcpTransport) setRecorder(r *obs.Recorder) { t.rec = r }
+
+// acceptLoop admits peers for the life of the transport: the initial
+// mesh (higher ranks accept lower ranks) and any reconnection after a
+// failed link. A new connection from a peer replaces the old one.
+func (t *tcpTransport) acceptLoop() {
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed: transport shut down
+		}
+		go func() {
+			conn.SetReadDeadline(time.Now().Add(t.opts.connectTimeout()))
+			peer, err := readHello(conn)
+			conn.SetReadDeadline(time.Time{})
+			if err != nil || peer < 0 || peer >= len(t.conns) {
+				conn.Close()
+				return
+			}
+			t.install(peer, conn)
+		}()
+	}
+}
+
+// install registers conn as the live link to peer (replacing and
+// closing any previous one) and starts its reader pump.
+func (t *tcpTransport) install(peer int, conn net.Conn) {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		conn.Close()
+		return
+	}
+	if old := t.conns[peer]; old != nil {
+		old.Close()
+	}
+	t.conns[peer] = conn
+	t.seen[peer] = true
+	t.cond.Broadcast()
+	t.mu.Unlock()
+	go t.pump(peer, conn)
+}
+
+// dialPeer establishes (or re-establishes) the outgoing link to a
+// higher-ranked peer.
+func (t *tcpTransport) dialPeer(peer int, timeout time.Duration) (net.Conn, error) {
+	conn, err := dialRetry(t.addrs[peer], timeout)
+	if err != nil {
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Now().Add(t.opts.connectTimeout()))
+	if err := writeHello(conn, t.rank); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	conn.SetWriteDeadline(time.Time{})
+	t.install(peer, conn)
+	return conn, nil
+}
+
+// waitConnected blocks until every peer link has been up at least once
+// (bootstrap barrier). It keys on seen, not conns: a fast peer may
+// finish its program and close while we are still here, which retires
+// its conn — that is a completed link, not a missing one, and recv
+// still drains whatever its pump delivered.
+func (t *tcpTransport) waitConnected(deadline time.Time) error {
+	timeout := time.AfterFunc(time.Until(deadline), func() {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer timeout.Stop()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for {
+		missing := -1
+		for p, ok := range t.seen {
+			if p != t.rank && !ok {
+				missing = p
+				break
+			}
+		}
+		if missing < 0 {
+			return nil
+		}
+		if t.closed {
+			return ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("no connection from rank %d within %v", missing, t.opts.connectTimeout())
+		}
+		t.cond.Wait()
+	}
+}
+
+// connFor returns the live connection to peer, re-establishing it if
+// necessary: the lower rank of a pair redials, the higher rank waits
+// for the peer to redial into the accept loop.
+func (t *tcpTransport) connFor(peer int) (net.Conn, error) {
+	t.mu.Lock()
+	if conn := t.conns[peer]; conn != nil || t.closed {
+		t.mu.Unlock()
+		if conn == nil {
+			return nil, ErrClosed
+		}
+		return conn, nil
+	}
+	t.mu.Unlock()
+	if t.rank < peer {
+		return t.dialPeer(peer, t.opts.connectTimeout())
+	}
+	// Higher rank: the peer dials us. Wait for the accept loop.
+	deadline := time.Now().Add(t.opts.connectTimeout())
+	timeout := time.AfterFunc(t.opts.connectTimeout(), func() {
+		t.mu.Lock()
+		t.cond.Broadcast()
+		t.mu.Unlock()
+	})
+	defer timeout.Stop()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for t.conns[peer] == nil {
+		if t.closed {
+			return nil, ErrClosed
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("rank %d did not reconnect within %v", peer, t.opts.connectTimeout())
+		}
+		t.cond.Wait()
+	}
+	return t.conns[peer], nil
+}
+
+// dropConn retires a connection after an I/O error (idempotent: only
+// the currently-installed conn is dropped, so a racing reconnect is
+// not clobbered).
+func (t *tcpTransport) dropConn(peer int, conn net.Conn) {
+	conn.Close()
+	t.mu.Lock()
+	if t.conns[peer] == conn {
+		t.conns[peer] = nil
+	}
+	t.mu.Unlock()
+}
+
+func encodeFrame(m message) []byte {
+	buf := make([]byte, tcpHeaderLen+len(m.data))
+	binary.LittleEndian.PutUint64(buf[0:], m.ctx)
+	binary.LittleEndian.PutUint64(buf[8:], uint64(int64(m.tag)))
+	binary.LittleEndian.PutUint64(buf[16:], m.seq)
+	binary.LittleEndian.PutUint64(buf[24:], math.Float64bits(m.ts))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(len(m.data)))
+	copy(buf[tcpHeaderLen:], m.data)
+	return buf
 }
 
 func (t *tcpTransport) send(worldDst int, m message) {
@@ -148,52 +397,95 @@ func (t *tcpTransport) send(worldDst int, m message) {
 		t.inbox.put(t.rank, m)
 		return
 	}
-	conn := t.conns[worldDst]
-	if conn == nil {
-		panic(fmt.Sprintf("comm: no connection to rank %d", worldDst))
+	if !t.managedSeq {
+		key := streamKey{worldDst, m.ctx}
+		m.seq = t.seqOut[key]
+		t.seqOut[key] = m.seq + 1
 	}
-	var hdr [28]byte
-	binary.LittleEndian.PutUint64(hdr[0:], m.ctx)
-	binary.LittleEndian.PutUint64(hdr[8:], uint64(int64(m.tag)))
-	binary.LittleEndian.PutUint64(hdr[16:], math.Float64bits(m.ts))
-	binary.LittleEndian.PutUint32(hdr[24:], uint32(len(m.data)))
-	if _, err := conn.Write(hdr[:]); err != nil {
-		panic(fmt.Sprintf("comm: send to rank %d: %v", worldDst, err))
-	}
-	if len(m.data) > 0 {
-		if _, err := conn.Write(m.data); err != nil {
-			panic(fmt.Sprintf("comm: send to rank %d: %v", worldDst, err))
+	// One frame, one Write: a retried frame never interleaves with a
+	// concurrent flush to the same peer, and the receiver's sequence
+	// filter absorbs the duplicate if the first write half-succeeded.
+	frame := encodeFrame(m)
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		conn, err := t.connFor(worldDst)
+		if err == nil {
+			t.wmu[worldDst].Lock()
+			if d := t.opts.ioTimeout(); d > 0 {
+				conn.SetWriteDeadline(time.Now().Add(d))
+			}
+			_, err = conn.Write(frame)
+			t.wmu[worldDst].Unlock()
+			if err == nil {
+				return
+			}
+			t.dropConn(worldDst, conn)
 		}
+		lastErr = err
+		if attempt >= t.opts.maxRetries() {
+			panic(&FaultError{Op: "send", From: t.rank, To: worldDst, Attempts: attempt + 1, Err: lastErr})
+		}
+		backoff := t.opts.backoffBase() << uint(attempt)
+		if max := t.opts.backoffMax(); backoff > max || backoff <= 0 {
+			backoff = max
+		}
+		// ±25% deterministic-ish jitter from the attempt counter; the
+		// point is decorrelating peers, not reproducibility (real wall
+		// time is already non-reproducible here).
+		backoff += backoff * time.Duration(attempt%3) / 8
+		t.rec.Add(obs.SendRetries, 1)
+		t.rec.Add(obs.BackoffNanos, backoff.Nanoseconds())
+		time.Sleep(backoff)
 	}
 }
 
 func (t *tcpTransport) recv(worldSrc int, ctx uint64) message {
-	return t.inbox.take(worldSrc, ctx)
+	if t.managedSeq {
+		// The outer fault wrapper dedups; pass raw deliveries through.
+		return t.inbox.take(worldSrc, ctx)
+	}
+	return t.ra.next(streamKey{worldSrc, ctx}, func() message {
+		return t.inbox.take(worldSrc, ctx)
+	})
 }
 
 func (t *tcpTransport) close(int) {
+	t.mu.Lock()
+	t.closed = true
+	t.cond.Broadcast()
 	for _, c := range t.conns {
 		if c != nil {
 			c.Close()
 		}
 	}
+	t.mu.Unlock()
+	t.ln.Close()
 	t.inbox.shutdown()
 }
 
-// pump reads frames from one peer connection into the inbox until EOF.
+func (t *tcpTransport) abort() {
+	// One process per rank: aborting tears down only this endpoint;
+	// remote peers see the dead connections and fail their own sends.
+	t.close(t.rank)
+}
+
+// pump reads frames from one peer connection into the inbox until the
+// connection dies; a reconnect installs a fresh pump.
 func (t *tcpTransport) pump(peer int, conn net.Conn) {
+	defer t.dropConn(peer, conn)
 	br := bufio.NewReaderSize(conn, 1<<16)
-	var hdr [28]byte
+	var hdr [tcpHeaderLen]byte
 	for {
 		if _, err := io.ReadFull(br, hdr[:]); err != nil {
-			return // connection closed; pending receivers fail via shutdown
+			return // connection closed or broken; sender side retries
 		}
 		m := message{
 			ctx: binary.LittleEndian.Uint64(hdr[0:]),
 			tag: int(int64(binary.LittleEndian.Uint64(hdr[8:]))),
-			ts:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[16:])),
+			seq: binary.LittleEndian.Uint64(hdr[16:]),
+			ts:  math.Float64frombits(binary.LittleEndian.Uint64(hdr[24:])),
 		}
-		n := binary.LittleEndian.Uint32(hdr[24:])
+		n := binary.LittleEndian.Uint32(hdr[32:])
 		if n > 0 {
 			m.data = make([]byte, n)
 			if _, err := io.ReadFull(br, m.data); err != nil {
@@ -207,7 +499,7 @@ func (t *tcpTransport) pump(peer int, conn net.Conn) {
 func dialRetry(addr string, timeout time.Duration) (net.Conn, error) {
 	deadline := time.Now().Add(timeout)
 	for {
-		conn, err := net.Dial("tcp", addr)
+		conn, err := net.DialTimeout("tcp", addr, timeout)
 		if err == nil {
 			return conn, nil
 		}

@@ -1,10 +1,14 @@
 package comm
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"sync"
 	"testing"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // freePort grabs an ephemeral port for the rendezvous root.
@@ -130,6 +134,125 @@ func TestTCPBadRankRejected(t *testing.T) {
 	}
 	if _, err := ConnectTCP(0, 0, "127.0.0.1:0", CostModel{}); err == nil {
 		t.Fatal("empty world accepted")
+	}
+}
+
+func TestTCPReconnectAfterConnDrop(t *testing.T) {
+	// A broken TCP connection must not kill the world: the send path
+	// detects the dead link, the lower rank redials, the higher rank's
+	// persistent accept loop admits it, and traffic continues.
+	err := runTCPWorld(t, 2, func(c *Comm) error {
+		peer := 1 - c.Rank()
+		// Warm the link both ways.
+		c.Send(peer, 1, []byte{byte(c.Rank())})
+		if got := c.Recv(peer, 1); got[0] != byte(peer) {
+			return fmt.Errorf("warmup got %v", got)
+		}
+		if c.Rank() == 0 {
+			// Yank the live connection out from under the transport,
+			// simulating a network failure.
+			tt := c.transport.(*tcpTransport)
+			tt.mu.Lock()
+			conn := tt.conns[1]
+			tt.mu.Unlock()
+			conn.Close()
+			// This send hits the dead conn, drops it, redials, and the
+			// message arrives on the fresh connection.
+			c.Send(1, 2, []byte{42})
+			if got := c.Recv(1, 3); got[0] != 43 {
+				return fmt.Errorf("reply got %v", got)
+			}
+			return nil
+		}
+		if got := c.Recv(0, 2); got[0] != 42 {
+			return fmt.Errorf("post-drop recv got %v", got)
+		}
+		// Replying exercises the reconnected link in the other
+		// direction (the accept loop already swapped in the new conn).
+		c.Send(0, 3, []byte{43})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPSendRetryCountersRecorded(t *testing.T) {
+	// A send to a rank that is gone for good must burn the bounded
+	// retry budget (recording each retry and its backoff in the
+	// resilience counters) and escalate a structured *FaultError — not
+	// retry forever and not report success.
+	const maxRetries = 2
+	root := freePort(t)
+	peerGone := make(chan struct{})
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	var retries, backoff int64
+	go func() { // rank 0: the surviving sender
+		defer wg.Done()
+		c, err := ConnectTCPOpts(0, 2, root, CostModel{}, TCPOptions{
+			ConnectTimeout: 200 * time.Millisecond,
+			MaxRetries:     maxRetries,
+			BackoffBase:    time.Millisecond,
+			BackoffMax:     5 * time.Millisecond,
+		})
+		if err != nil {
+			errs[0] = err
+			return
+		}
+		defer c.Close()
+		c.EnableObs()
+		c.Send(1, 1, []byte{0})
+		c.Recv(1, 1)
+		<-peerGone
+		func() {
+			defer func() {
+				p := recover()
+				if p == nil {
+					errs[0] = fmt.Errorf("send to dead rank succeeded")
+					return
+				}
+				fe, ok := p.(error)
+				if !ok {
+					errs[0] = fmt.Errorf("panic was not an error: %v", p)
+					return
+				}
+				var fault *FaultError
+				if !errors.As(fe, &fault) || fault.To != 1 || fault.Attempts != maxRetries+1 {
+					errs[0] = fmt.Errorf("want FaultError to rank 1 after %d attempts, got %v", maxRetries+1, fe)
+				}
+			}()
+			c.Send(1, 2, []byte{7})
+		}()
+		s := c.ObsSnapshot()
+		retries = s.Counter(obs.SendRetries)
+		backoff = s.Counter(obs.BackoffNanos)
+	}()
+	go func() { // rank 1: connects, exchanges once, and dies
+		defer wg.Done()
+		c, err := ConnectTCP(1, 2, root, CostModel{})
+		if err != nil {
+			errs[1] = err
+			close(peerGone)
+			return
+		}
+		c.Send(0, 1, []byte{1})
+		c.Recv(0, 1)
+		c.Close()
+		close(peerGone)
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	if retries != maxRetries {
+		t.Fatalf("send-retries = %d, want %d", retries, maxRetries)
+	}
+	if backoff <= 0 {
+		t.Fatal("no backoff time recorded")
 	}
 }
 

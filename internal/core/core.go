@@ -119,6 +119,7 @@ func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	world.SetPhase("setup")
 	p := &plan{cfg: cfg, g: g, world: world, rec: world.Recorder()}
 	p.groups = world.Size() / cfg.N1
 	p.gid = world.Rank() / cfg.N1
@@ -215,9 +216,15 @@ func (p *plan) countDPOps(n float64) { p.rec.Add(obs.DPOps, int64(n)) }
 
 // span opens a recorder span named by one of obs's cached name helpers,
 // evaluating the name only when observability is on — so the disabled
-// path stays literally allocation-free even for indices past the name
-// cache. Pair with endSpan.
+// path stays allocation-free even for indices past the name cache
+// (round and phase spans are the exception: their names also become
+// the communicator's failure-phase label via SetPhase, so a rank that
+// dies mid-run reports *where* — see comm.RankError). Pair with
+// endSpan.
 func (p *plan) span(name func(int) string, idx int, cat string) {
+	if cat == "round" || cat == "phase" {
+		p.world.SetPhase(name(idx))
+	}
 	if p.rec.Enabled() {
 		p.rec.Begin(name(idx), cat)
 	}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// Resilient local driver: re-runs the whole detection when a run dies
+// of injected (or injectable) faults. The paper's algorithm makes this
+// cheap to reason about — the 2^k iterations of a round are mutually
+// independent and every round is a pure function of (graph, config,
+// seed, round), so re-executing after a rank failure cannot change the
+// answer, only the wall/virtual time. This is the graceful-degradation
+// hook the comm layer's structured errors exist for: a *WorldError
+// whose every rank failure is fault-caused is a retryable event, any
+// other failure is a bug and propagates immediately.
+
+// RetryReport describes what a resilient run took to finish.
+type RetryReport struct {
+	Attempts int     // total attempts, including the successful one (≥1)
+	Failures []error // the *WorldError of each failed attempt, in order
+}
+
+func (r RetryReport) String() string {
+	if r.Attempts <= 1 {
+		return "1 attempt"
+	}
+	return fmt.Sprintf("%d attempts (%d failed)", r.Attempts, len(r.Failures))
+}
+
+// faultCaused reports whether err is a failure the resilient driver may
+// retry: every failing rank died of a *comm.FaultError (killed rank,
+// severed link, exhausted retries) or of the world teardown those
+// trigger (comm.ErrClosed strands the peers of a dead rank). A single
+// rank failing for any other reason — a panic in the DP, a config
+// error — marks the whole error non-retryable.
+func faultCaused(err error) bool {
+	var we *comm.WorldError
+	if !errors.As(err, &we) {
+		return false
+	}
+	for _, re := range we.Ranks {
+		var fe *comm.FaultError
+		if !errors.As(re.Err, &fe) && !errors.Is(re.Err, comm.ErrClosed) {
+			return false
+		}
+	}
+	return true
+}
+
+// RunPathLocalResilient runs distributed k-path detection on a fresh
+// local chaos world of n ranks, re-running the whole detection (up to
+// attempts times in total) when a run is killed by injected faults.
+// Attempt i uses spec.WithAttempt(i): attempt 0 reproduces the spec's
+// documented schedule, retries re-roll the random faults and drop
+// one-shot kill rules (the re-run models restarted ranks). The comms of
+// the last attempt are returned for clock/stats/obs inspection, along
+// with a RetryReport of what it took. setup, when non-nil, is called on
+// each rank's communicator before its SPMD function starts (e.g. to
+// EnableObs).
+//
+// Non-fault errors are returned as-is after their first occurrence;
+// exhausting attempts returns the last fault-caused *WorldError.
+func RunPathLocalResilient(n int, model comm.CostModel, spec comm.FaultSpec, g *graph.Graph, cfg Config, attempts int, setup func(c *comm.Comm)) (bool, []*comm.Comm, RetryReport, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	report := RetryReport{}
+	var comms []*comm.Comm
+	var err error
+	for i := 0; i < attempts; i++ {
+		report.Attempts = i + 1
+		found := make([]bool, n)
+		comms, err = comm.RunLocalFaultyInspect(n, model, spec.WithAttempt(i), func(c *comm.Comm) error {
+			if setup != nil {
+				setup(c)
+			}
+			ok, runErr := RunPath(c, g, cfg)
+			found[c.Rank()] = ok
+			return runErr
+		})
+		if err == nil {
+			// All ranks agree (the verdict is an allreduce); report rank 0's.
+			return found[0], comms, report, nil
+		}
+		if !faultCaused(err) {
+			return false, comms, report, err
+		}
+		report.Failures = append(report.Failures, err)
+	}
+	return false, comms, report, err
+}

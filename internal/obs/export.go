@@ -145,6 +145,27 @@ func WriteSummary(w io.Writer, snaps ...Snapshot) error {
 			return err
 		}
 	}
+	// Resilience counters: only shown when something actually went
+	// wrong (clean runs keep the clean summary of earlier releases).
+	if tot.Counter(FaultsInjected) > 0 || tot.Counter(SendRetries) > 0 || tot.Counter(BackoffNanos) > 0 {
+		rt := newTextTable("rank", "faults-injected", "send-retries", "backoff")
+		addResRow := func(label string, s Snapshot) {
+			rt.add(label, i64(s.Counter(FaultsInjected)), i64(s.Counter(SendRetries)),
+				fmt.Sprintf("%.6fs", float64(s.Counter(BackoffNanos))/1e9))
+		}
+		for _, s := range snaps {
+			addResRow(fmt.Sprint(s.Rank), s)
+		}
+		if len(snaps) > 1 {
+			addResRow("total", tot)
+		}
+		if _, err := fmt.Fprintln(w, "\n-- resilience (injected faults and send retries; see docs/FAULTS.md) --"); err != nil {
+			return err
+		}
+		if err := rt.write(w); err != nil {
+			return err
+		}
+	}
 	if dropped := tot.Counter(SpansDropped); dropped > 0 {
 		if _, err := fmt.Fprintf(w, "\nWARNING: %d spans dropped (MaxSpans cap); counters remain exact\n", dropped); err != nil {
 			return err

@@ -68,6 +68,17 @@ const (
 	Levels
 	// SpansDropped counts spans discarded after the MaxSpans cap.
 	SpansDropped
+	// FaultsInjected counts faults the chaos transport injected into
+	// this rank's traffic: drops, delays, duplicates, reorders, and
+	// severed-link send failures (docs/FAULTS.md).
+	FaultsInjected
+	// SendRetries counts send attempts repeated after a transport
+	// failure — injected (fault wrapper) or real (TCP write error).
+	SendRetries
+	// BackoffNanos accumulates the nanoseconds spent backing off
+	// between send retries (virtual time for the local chaos
+	// transport, wall time for TCP reconnects).
+	BackoffNanos
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -75,6 +86,7 @@ const (
 
 var counterNames = [NumCounters]string{
 	"halo-msgs", "halo-bytes", "dp-ops", "rounds", "phases", "levels", "spans-dropped",
+	"faults-injected", "send-retries", "backoff-nanos",
 }
 
 // String returns the stable kebab-case name used by the exporters.

@@ -295,7 +295,8 @@ const (
 )
 
 // RunLocal executes fn as an SPMD program over n in-process ranks
-// (goroutines) and returns the first rank error, if any.
+// (goroutines). Rank failures are aggregated into a *WorldError of
+// structured *RankErrors (nil when every rank succeeds).
 func RunLocal(n int, fn func(c *Cluster) error) error {
 	return comm.RunLocal(n, comm.DefaultCostModel(), fn)
 }
@@ -305,6 +306,66 @@ func RunLocal(n int, fn func(c *Cluster) error) error {
 func ConnectTCP(rank, size int, rootAddr string) (*Cluster, error) {
 	return comm.ConnectTCP(rank, size, rootAddr, comm.DefaultCostModel())
 }
+
+// TCPOptions tunes ConnectTCPOpts: connect/IO deadlines, the send
+// retry/backoff policy, and an optional fault-injection schedule.
+type TCPOptions = comm.TCPOptions
+
+// ConnectTCPOpts is ConnectTCP with explicit resilience options.
+func ConnectTCPOpts(rank, size int, rootAddr string, opts TCPOptions) (*Cluster, error) {
+	return comm.ConnectTCPOpts(rank, size, rootAddr, comm.DefaultCostModel(), opts)
+}
+
+// FaultSpec is a reproducible fault-injection schedule for chaos
+// testing: message drops, delays, duplicates, reordering, severed rank
+// pairs, and rank kills, all derived from one seed. docs/FAULTS.md
+// documents the model and the textual grammar.
+type FaultSpec = comm.FaultSpec
+
+// ParseFaultSpec parses the -fault-spec grammar, e.g.
+// "drop=0.05,delay=2ms,kill=3@10,seed=42". An empty string is the
+// inactive (inject-nothing) spec.
+func ParseFaultSpec(text string) (FaultSpec, error) { return comm.ParseFaultSpec(text) }
+
+// RankError is one rank's structured failure: which rank, in which
+// algorithm phase, and why.
+type RankError = comm.RankError
+
+// WorldError aggregates every failing rank of an SPMD run;
+// errors.As/Is reach the individual RankErrors and their causes.
+type WorldError = comm.WorldError
+
+// FaultError is the failure a transport escalates when an operation
+// cannot complete (killed rank, severed link, retries exhausted).
+type FaultError = comm.FaultError
+
+// RetryReport says what a resilient run took: total attempts and the
+// error of each failed one.
+type RetryReport = core.RetryReport
+
+// RunLocalChaos is RunLocal over a fault-injecting world: every rank's
+// transport applies the spec's schedule. Masked faults (drops retried
+// away, delays, duplicates, reordering) only perturb timing; unmasked
+// ones (kills, severed links) surface as FaultErrors inside the
+// returned WorldError.
+func RunLocalChaos(n int, spec FaultSpec, fn func(c *Cluster) error) error {
+	return comm.RunLocalFaulty(n, comm.DefaultCostModel(), spec, fn)
+}
+
+// ChaosFindPath runs distributed k-path detection on an in-process
+// chaos world of n ranks, retrying the whole detection (up to attempts
+// times) when injected faults kill a run — safe because every round is
+// a pure function of (graph, config, seed). setup, when non-nil, runs
+// on each rank before the detection (e.g. Cluster.EnableObs). The
+// returned clusters are the last attempt's, for telemetry inspection.
+func ChaosFindPath(n int, spec FaultSpec, g *Graph, k int, cfg ClusterConfig, attempts int, setup func(c *Cluster)) (bool, []*Cluster, RetryReport, error) {
+	cfg.K = k
+	return core.RunPathLocalResilient(n, comm.DefaultCostModel(), spec, g, cfg, attempts, setup)
+}
+
+// ClusterSnapshots freezes the telemetry of several clusters without
+// communicating — the in-process counterpart of GatherObsSnapshots.
+func ClusterSnapshots(cs []*Cluster) []ObsSnapshot { return comm.Snapshots(cs) }
 
 // DistributedFindPath runs the paper's Algorithm 2 for k-path; all
 // ranks of c must call it collectively with identical arguments.
