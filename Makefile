@@ -6,8 +6,11 @@
 # observability layer they feed).
 
 GO ?= go
+# Repetitions for `make bench`; 6+ gives benchstat enough samples for
+# a significance test (`make bench > new.txt && benchstat old.txt new.txt`).
+BENCH_COUNT ?= 6
 
-.PHONY: all build test vet fmt-check check race bench
+.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures
 
 all: check
 
@@ -32,5 +35,16 @@ race:
 
 check: build vet fmt-check test race
 
+# Microbenchmarks of the hot kernels (GF(2^w) multiplies, DP inner
+# loop), repeated for benchstat-friendly output.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/gf ./internal/core
+
+# One iteration of every benchmark in the repo — the CI smoke check
+# that nothing bench-shaped has rotted.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# The paper-figure benchmarks (heavyweight; regenerate EXPERIMENTS.md).
+bench-figures:
+	$(GO) test -run '^$$' -bench . -benchmem .

@@ -6,6 +6,13 @@
 //	midas-bench -exp fig11 -scale 1000 -kmax 18
 //	midas-bench -exp fig3,fig6 -n 64 -ks 6,10
 //	midas-bench -exp profile -n 8 -trace profile.json
+//	midas-bench -json report.json -scale 300 -n 4 -ks 4,6
+//
+// -json skips the human tables and instead runs the standard report
+// suite (every dataset class × every -ks size), writing a versioned
+// machine-readable JSON report — modeled makespan, traffic, telemetry
+// counters, and latency-histogram quantiles per configuration.
+// BENCH_baseline.json at the repo root is a committed reference report.
 //
 // The profile experiment runs with observability enabled and reports
 // per-rank measured counters (DP ops, halo traffic) next to the modeled
@@ -27,14 +34,15 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "comma-separated experiments: table2,fig3..fig13,scaling-k,scaling-n,ablation-n2,ablation-gray,ablation-variant,ablation-partitioner,ablation-fingerprints,all")
-		scale = flag.Int("scale", 2000, "dataset vertex count")
-		n     = flag.Int("n", 32, "world size for distributed experiments")
-		ks    = flag.String("ks", "6,10", "subgraph sizes")
-		kmax  = flag.Int("kmax", 12, "largest k for fig11 / scaling-k")
-		seed  = flag.Uint64("seed", 1, "base seed")
-		reps  = flag.Int("reps", 1, "repetitions per configuration (telemetry is reset between them)")
-		trace = flag.String("trace", "", "write the profile experiment's Chrome trace_event timeline to this file")
+		exp     = flag.String("exp", "all", "comma-separated experiments: table2,fig3..fig13,scaling-k,scaling-n,ablation-n2,ablation-gray,ablation-variant,ablation-partitioner,ablation-fingerprints,all")
+		scale   = flag.Int("scale", 2000, "dataset vertex count")
+		n       = flag.Int("n", 32, "world size for distributed experiments")
+		ks      = flag.String("ks", "6,10", "subgraph sizes")
+		kmax    = flag.Int("kmax", 12, "largest k for fig11 / scaling-k")
+		seed    = flag.Uint64("seed", 1, "base seed")
+		reps    = flag.Int("reps", 1, "repetitions per configuration (telemetry is reset between them)")
+		trace   = flag.String("trace", "", "write the profile experiment's Chrome trace_event timeline to this file")
+		jsonOut = flag.String("json", "", "write the machine-readable bench report to this file (overrides -exp)")
 	)
 	flag.Parse()
 	p := harness.Params{Scale: *scale, N: *n, KMax: *kmax, Seed: *seed, Reps: *reps, TracePath: *trace}
@@ -46,10 +54,31 @@ func main() {
 		}
 		p.Ks = append(p.Ks, k)
 	}
+	if *jsonOut != "" {
+		if err := runJSON(*jsonOut, p); err != nil {
+			fmt.Fprintln(os.Stderr, "midas-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(os.Stdout, *exp, p); err != nil {
 		fmt.Fprintln(os.Stderr, "midas-bench:", err)
 		os.Exit(1)
 	}
+}
+
+// runJSON runs the standard report suite and writes the versioned
+// machine-readable report (schema harness.BenchSchemaVersion).
+func runJSON(path string, p harness.Params) error {
+	rep, err := harness.BenchReport(p)
+	if err != nil {
+		return err
+	}
+	if err := harness.WriteReport(path, rep); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s (%s, %d runs)\n", path, rep.Schema, len(rep.Runs))
+	return nil
 }
 
 func run(w io.Writer, exps string, p harness.Params) error {

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -40,5 +41,27 @@ func TestRunRejectsUnknown(t *testing.T) {
 	}
 	if err := run(&buf, "", tinyParams()); err == nil {
 		t.Fatal("empty selection accepted")
+	}
+}
+
+// TestRunJSONReport is the acceptance check for `midas-bench -json`:
+// the file must load back under the current schema with one run per
+// dataset × k.
+func TestRunJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := runJSON(path, tinyParams()); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := harness.ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != harness.BenchSchemaVersion || len(rep.Runs) != 3 {
+		t.Fatalf("report = schema %q, %d runs", rep.Schema, len(rep.Runs))
+	}
+	for _, r := range rep.Runs {
+		if r.Counters["dp-ops"] == 0 || len(r.Hists) == 0 {
+			t.Fatalf("run missing telemetry: %+v", r)
+		}
 	}
 }

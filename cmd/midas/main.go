@@ -14,18 +14,27 @@
 //	midas -graph g.txt -mode path -k 12 -rank 1 -size 4 -root host:9000 -n1 2 -n2 64
 //
 // Observability (docs/OBSERVABILITY.md is the full guide): -obs prints
-// the per-rank counter/timing summary after the run, and -trace out.json
-// writes a Chrome trace_event timeline loadable at chrome://tracing. In
-// distributed mode every rank's telemetry is gathered to rank 0, which
-// does the writing:
+// the per-rank counter/timing summary after the run (-obs-out FILE
+// redirects it to a file), and -trace out.json writes a Chrome
+// trace_event timeline — with cross-rank message flow arrows —
+// loadable at chrome://tracing. In distributed mode every rank's
+// telemetry is gathered to rank 0, which does the writing:
 //
 //	midas -graph g.txt -mode path -k 12 -obs -trace out.json
+//
+// -obs-addr serves the live telemetry plane while the run is in
+// flight: Prometheus text-format /metrics, rank liveness on /healthz,
+// and the pprof profiler on /debug/pprof/. The endpoint stays up until
+// the process exits:
+//
+//	midas -graph g.txt -mode path -k 12 -obs-addr :8080
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"sync"
 
 	midas "github.com/midas-hpc/midas"
 )
@@ -51,6 +60,8 @@ type cliConfig struct {
 
 	tracePath string // write Chrome trace_event JSON here ("" = off)
 	obs       bool   // print the telemetry summary table
+	obsOut    string // write the summary to this file instead of stdout
+	obsAddr   string // serve /metrics, /healthz, /debug/pprof/ here ("" = off)
 
 	faultSpec     string // fault-injection schedule ("" = off); docs/FAULTS.md
 	chaosRanks    int    // world size for the in-process chaos run
@@ -77,6 +88,8 @@ func main() {
 	flag.IntVar(&cfg.n2, "n2", 64, "iterations per batch")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write Chrome trace_event JSON timeline to this file")
 	flag.BoolVar(&cfg.obs, "obs", false, "print the per-rank counter/timing summary after the run")
+	flag.StringVar(&cfg.obsOut, "obs-out", "", "write the telemetry summary to this file instead of stdout (implies -obs)")
+	flag.StringVar(&cfg.obsAddr, "obs-addr", "", "serve live telemetry (/metrics, /healthz, /debug/pprof/) on this host:port (':0' picks a free port)")
 	flag.StringVar(&cfg.faultSpec, "fault-spec", "", "inject faults, e.g. 'drop=0.05,delay=2ms,seed=42' (docs/FAULTS.md)")
 	flag.IntVar(&cfg.chaosRanks, "chaos-ranks", 4, "in-process world size for -fault-spec runs (sequential mode)")
 	flag.IntVar(&cfg.chaosAttempts, "chaos-attempts", 3, "detection re-runs before giving up on injected faults")
@@ -87,12 +100,42 @@ func main() {
 	}
 }
 
-func (c cliConfig) observing() bool { return c.obs || c.tracePath != "" }
+func (c cliConfig) observing() bool {
+	return c.obs || c.tracePath != "" || c.obsOut != "" || c.obsAddr != ""
+}
+
+// obsServerStarted, when non-nil, receives the bound address of the
+// -obs-addr endpoint as soon as it is serving (test hook).
+var obsServerStarted func(addr string)
+
+// announceObs prints where the live endpoint landed. The server is
+// deliberately never closed: it answers until the process exits, so
+// operators (and post-run scrapes) can still read final metrics after
+// a short detection finishes.
+func announceObs(srv *midas.ObsServer) {
+	fmt.Printf("obs: serving /metrics, /healthz, /debug/pprof/ on http://%s\n", srv.Addr())
+	if obsServerStarted != nil {
+		obsServerStarted(srv.Addr())
+	}
+}
 
 // emitObs writes the requested telemetry outputs for the gathered
 // snapshots (called once, on the rank that holds them).
 func (c cliConfig) emitObs(snaps ...midas.ObsSnapshot) error {
-	if c.obs {
+	if c.obsOut != "" {
+		f, err := os.Create(c.obsOut)
+		if err != nil {
+			return err
+		}
+		if err := midas.WriteObsSummary(f, snaps...); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Printf("obs: wrote summary to %s\n", c.obsOut)
+	} else if c.obs {
 		if err := midas.WriteObsSummary(os.Stdout, snaps...); err != nil {
 			return err
 		}
@@ -139,6 +182,13 @@ func run(cfg cliConfig) error {
 	opt := midas.Options{Seed: cfg.seed, Epsilon: cfg.eps, N2: cfg.n2}
 	if cfg.observing() {
 		opt.Obs = midas.NewObsRecorder()
+	}
+	if cfg.obsAddr != "" {
+		srv, err := midas.ServeObs(cfg.obsAddr, opt.Obs)
+		if err != nil {
+			return err
+		}
+		announceObs(srv)
 	}
 	switch cfg.mode {
 	case "path":
@@ -229,8 +279,37 @@ func runChaos(g *midas.Graph, cfg cliConfig) error {
 	}
 	ccfg := midas.ClusterConfig{N1: cfg.n1, N2: cfg.n2, Seed: cfg.seed, Epsilon: cfg.eps}
 	var setup func(c *midas.Cluster)
+	var recMu sync.Mutex
+	var recs []*midas.ObsRecorder
 	if cfg.observing() {
-		setup = func(c *midas.Cluster) { c.EnableObs() }
+		setup = func(c *midas.Cluster) {
+			rec := c.EnableObs()
+			recMu.Lock()
+			recs = append(recs, rec)
+			recMu.Unlock()
+		}
+	}
+	if cfg.obsAddr != "" {
+		// Chaos worlds are rebuilt per retry attempt, so the endpoint
+		// snapshots the latest world's recorders dynamically.
+		srv, err := midas.ServeObsSource(cfg.obsAddr, func() []midas.ObsSnapshot {
+			recMu.Lock()
+			rs := recs
+			if len(rs) > cfg.chaosRanks {
+				rs = rs[len(rs)-cfg.chaosRanks:]
+			}
+			rs = append([]*midas.ObsRecorder(nil), rs...)
+			recMu.Unlock()
+			out := make([]midas.ObsSnapshot, 0, len(rs))
+			for _, r := range rs {
+				out = append(out, r.LiteSnapshot())
+			}
+			return out
+		})
+		if err != nil {
+			return err
+		}
+		announceObs(srv)
 	}
 	found, clusters, report, err := midas.ChaosFindPath(cfg.chaosRanks, spec, g, cfg.k, ccfg, cfg.chaosAttempts, setup)
 	fmt.Printf("fault schedule: %s\n", spec)
@@ -265,7 +344,15 @@ func runDistributed(g *midas.Graph, cfg cliConfig) error {
 	}
 	defer c.Close()
 	if cfg.observing() {
-		c.EnableObs()
+		rec := c.EnableObs()
+		if cfg.obsAddr != "" {
+			// One endpoint per OS process, serving this rank's recorder.
+			srv, err := midas.ServeObs(cfg.obsAddr, rec)
+			if err != nil {
+				return err
+			}
+			announceObs(srv)
+		}
 	}
 	ccfg := midas.ClusterConfig{N1: cfg.n1, N2: cfg.n2, Seed: cfg.seed, Epsilon: cfg.eps}
 	switch cfg.mode {

@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"encoding/json"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"github.com/midas-hpc/midas/internal/graph"
 )
@@ -238,5 +240,168 @@ func TestRunTraceFlag(t *testing.T) {
 	}
 	if spans == 0 {
 		t.Fatalf("trace has no span events: %d total events", len(tf.TraceEvents))
+	}
+}
+
+// httpGet fetches a URL with a short timeout, returning status and body.
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestRunObsAddrLiveEndpoint is the acceptance check for `midas
+// -obs-addr`: while a 4-rank chaos run is in flight, the process must
+// serve valid /metrics with at least 4 histogram families, /healthz
+// with per-rank progress, and the pprof index.
+func TestRunObsAddrLiveEndpoint(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.faultSpec = "drop=0.05,delay=200us,seed=9"
+	cfg.chaosRanks = 4
+	cfg.chaosAttempts = 3
+	cfg.obsAddr = "127.0.0.1:0"
+	addrCh := make(chan string, 1)
+	obsServerStarted = func(a string) { addrCh <- a }
+	defer func() { obsServerStarted = nil }()
+	done := make(chan error, 1)
+	go func() { done <- run(cfg) }()
+	var addr string
+	select {
+	case addr = <-addrCh:
+	case err := <-done:
+		t.Fatalf("run finished before announcing the endpoint (err=%v)", err)
+	}
+	// Poll the live endpoint (the run is in flight in the goroutine; the
+	// server also outlives it, so the loop converges either way).
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body := httpGet(t, "http://"+addr+"/metrics")
+		if code != 200 {
+			t.Fatalf("/metrics status %d", code)
+		}
+		families := strings.Count(body, " histogram\n")
+		code, health := httpGet(t, "http://"+addr+"/healthz")
+		if code != 200 {
+			t.Fatalf("/healthz status %d", code)
+		}
+		var h struct {
+			Status string `json:"status"`
+			Ranks  []struct {
+				Rank int `json:"rank"`
+			} `json:"ranks"`
+		}
+		if err := json.Unmarshal([]byte(health), &h); err != nil {
+			t.Fatalf("healthz is not JSON: %v\n%s", err, health)
+		}
+		if h.Status != "ok" {
+			t.Fatalf("healthz status %q", h.Status)
+		}
+		if families >= 4 && len(h.Ranks) == 4 {
+			if !strings.Contains(body, "midas_send_latency_seconds_bucket") {
+				t.Fatalf("send-latency histogram missing from /metrics:\n%s", body)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("endpoint never showed 4 histogram families and 4 ranks:\n%s", body)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code, _ := httpGet(t, "http://"+addr+"/debug/pprof/cmdline"); code != 200 {
+		t.Fatalf("pprof cmdline status %d", code)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("chaos run failed: %v", err)
+	}
+}
+
+// TestRunTraceFlowStitching is the acceptance check for cross-rank
+// trace stitching: a 4-rank run's -trace output must contain flow
+// events pairing a send ("s") to its receive ("f") across distinct
+// trace pids.
+func TestRunTraceFlowStitching(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.faultSpec = "seed=1" // valid but inactive: routes through the 4-rank chaos world
+	cfg.chaosRanks = 4
+	cfg.chaosAttempts = 1
+	cfg.tracePath = filepath.Join(t.TempDir(), "trace.json")
+	if _, err := captureStdout(t, func() error { return run(cfg) }); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cfg.tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tf struct {
+		TraceEvents []struct {
+			Ph  string `json:"ph"`
+			Pid int    `json:"pid"`
+			ID  string `json:"id"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tf); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v", err)
+	}
+	sends := map[string]int{} // flow id -> sender pid
+	recvs := map[string]int{}
+	for _, ev := range tf.TraceEvents {
+		switch ev.Ph {
+		case "s":
+			sends[ev.ID] = ev.Pid
+		case "f":
+			recvs[ev.ID] = ev.Pid
+		}
+	}
+	if len(sends) == 0 || len(recvs) == 0 {
+		t.Fatalf("trace has no flow events: %d sends, %d recvs", len(sends), len(recvs))
+	}
+	stitched := 0
+	for id, rpid := range recvs {
+		spid, ok := sends[id]
+		if !ok {
+			t.Fatalf("receive flow %s has no matching send", id)
+		}
+		if spid != rpid {
+			stitched++
+		}
+	}
+	if stitched == 0 {
+		t.Fatal("no flow stitches a send to a receive on a different rank pid")
+	}
+}
+
+// TestRunObsOutFile checks `midas -obs-out FILE`: the summary lands in
+// the file (not on stdout) and the flag alone enables telemetry.
+func TestRunObsOutFile(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	cfg := seqConfig(g)
+	cfg.obsOut = filepath.Join(t.TempDir(), "summary.txt")
+	out, err := captureStdout(t, func() error { return run(cfg) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "-- per-rank counters --") {
+		t.Fatalf("summary leaked to stdout:\n%s", out)
+	}
+	if !strings.Contains(out, "obs: wrote summary to "+cfg.obsOut) {
+		t.Fatalf("summary destination not announced:\n%s", out)
+	}
+	raw, err := os.ReadFile(cfg.obsOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "-- per-rank counters --") || !strings.Contains(string(raw), "dp-ops") {
+		t.Fatalf("summary file content wrong:\n%s", raw)
 	}
 }

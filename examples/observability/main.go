@@ -1,10 +1,11 @@
 // Observability: instrument a sequential and a (local in-process)
 // distributed MIDAS run, print the counter/timing summary, and write a
 // Chrome trace_event timeline. docs/OBSERVABILITY.md documents every
-// counter and span category that appears in the output.
+// counter, histogram, and span category that appears in the output.
 //
 //	go run ./examples/observability            # writes trace.json
 //	go run ./examples/observability -trace /tmp/t.json -np 8
+//	go run ./examples/observability -serve :9090   # then curl /metrics
 package main
 
 import (
@@ -23,6 +24,7 @@ func main() {
 		n     = flag.Int("nodes", 2000, "graph size")
 		seed  = flag.Uint64("seed", 7, "seed")
 		trace = flag.String("trace", "trace.json", "Chrome trace_event output path")
+		serve = flag.String("serve", "", "serve the gathered telemetry on this address (Prometheus /metrics, /healthz, pprof) until interrupted")
 	)
 	flag.Parse()
 	g := midas.NewRandomGraph(*n, *seed)
@@ -71,4 +73,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("\ntrace: wrote %s (load in chrome://tracing or ui.perfetto.dev)\n", *trace)
+
+	// Optionally keep serving the gathered per-rank telemetry — the
+	// same endpoint `midas -obs-addr` exposes during a live run.
+	if *serve != "" {
+		srv, err := midas.ServeObsSource(*serve, func() []midas.ObsSnapshot { return snaps })
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("serving /metrics, /healthz, /debug/pprof/ on http://%s — ctrl-C to stop\n", srv.Addr())
+		select {}
+	}
 }

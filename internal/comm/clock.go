@@ -1,5 +1,10 @@
 package comm
 
+import (
+	"math"
+	"sync/atomic"
+)
+
 // Clock is a per-rank virtual clock implementing the α–β communication
 // cost model (DESIGN.md §3): receiving a message advances the receiver
 // to max(own time, sender's send time + Alpha + Beta·bytes), and local
@@ -8,10 +13,18 @@ package comm
 // parallel makespan. When the zero CostModel is used, the clock degrades
 // to a pure busy-time counter (Alpha = Beta = 0: messages are free and
 // only Advance moves time).
+//
+// The clock is single-writer (the rank's goroutine) but multi-reader:
+// the live telemetry endpoint snapshots Recorders — whose time base is
+// this clock — from HTTP handler goroutines, so the current time is
+// stored as atomic float64 bits. Mutating methods must only be called
+// from the owning rank's goroutine.
 type Clock struct {
-	now   float64 // seconds
+	bits  atomic.Uint64 // float64 bits of the current time in seconds
 	model CostModel
 }
+
+func (c *Clock) set(t float64) { c.bits.Store(math.Float64bits(t)) }
 
 // CostModel holds the α–β parameters: Alpha is the per-message latency
 // in seconds, Beta the per-byte transfer time in seconds. The defaults
@@ -28,26 +41,27 @@ func DefaultCostModel() CostModel {
 	return CostModel{Alpha: 1.5e-6, Beta: 1.0 / 5e9}
 }
 
-// Now returns the rank's current virtual time in seconds.
-func (c *Clock) Now() float64 { return c.now }
+// Now returns the rank's current virtual time in seconds. Safe to call
+// from any goroutine.
+func (c *Clock) Now() float64 { return math.Float64frombits(c.bits.Load()) }
 
 // Advance adds dt seconds of local compute.
 func (c *Clock) Advance(dt float64) {
 	if dt < 0 {
 		panic("comm: negative clock advance")
 	}
-	c.now += dt
+	c.set(c.Now() + dt)
 }
 
 // Reset zeroes the clock (between independent experiment repetitions).
-func (c *Clock) Reset() { c.now = 0 }
+func (c *Clock) Reset() { c.set(0) }
 
 // observe applies the receive rule for a message stamped with sendTime
 // carrying n payload bytes.
 func (c *Clock) observe(sendTime float64, n int) {
 	arrival := sendTime + c.model.Alpha + c.model.Beta*float64(n)
-	if arrival > c.now {
-		c.now = arrival
+	if arrival > c.Now() {
+		c.set(arrival)
 	}
 }
 

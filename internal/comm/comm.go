@@ -84,6 +84,9 @@ func (c *Comm) SetPhase(name string) {
 	if c.phase != nil {
 		*c.phase = name
 	}
+	// Mirror into the recorder so the live /healthz endpoint can read
+	// the label race-free while the rank is mid-run.
+	c.rec.SetPhaseLabel(name)
 }
 
 // Phase returns the rank's current phase label ("" when never set).
@@ -137,7 +140,14 @@ func (c *Comm) Send(dst, tag int, data []byte) {
 func (c *Comm) sendInternal(dst, tag int, data []byte) {
 	c.stats.MsgsSent++
 	c.stats.BytesSent += int64(len(data))
-	c.transport.send(c.group[dst], message{ctx: c.ctx, tag: tag, ts: c.clock.now, data: data})
+	if c.rec.Enabled() {
+		// The modeled per-message cost under the α–β model; the flow
+		// endpoint lets the trace exporter stitch this send to its
+		// receive on the peer's timeline.
+		c.rec.Observe(obs.HistSendLatency, c.clock.model.Alpha+c.clock.model.Beta*float64(len(data)))
+		c.rec.FlowSend(c.group[c.rank], c.group[dst], c.ctx)
+	}
+	c.transport.send(c.group[dst], message{ctx: c.ctx, tag: tag, ts: c.clock.Now(), data: data})
 }
 
 // Recv blocks until the next message from src on this communicator
@@ -162,7 +172,14 @@ func (c *Comm) recvInternal(src, tag int) []byte {
 	}
 	c.stats.MsgsRecvd++
 	c.stats.BytesRecvd += int64(len(m.data))
-	c.clock.observe(m.ts, len(m.data))
+	if c.rec.Enabled() {
+		before := c.clock.Now()
+		c.clock.observe(m.ts, len(m.data))
+		c.rec.Observe(obs.HistRecvWait, c.clock.Now()-before)
+		c.rec.FlowRecv(c.group[src], c.group[c.rank], c.ctx)
+	} else {
+		c.clock.observe(m.ts, len(m.data))
+	}
 	return m.data
 }
 
@@ -185,8 +202,12 @@ func (c *Comm) endCollective() { c.rec.End() }
 // paper's Algorithms 3–5.
 func (c *Comm) Barrier() {
 	c.beginCollective("barrier")
+	before := c.clock.Now()
 	c.reduceToRoot(tagBarrier, nil, nil)
 	c.bcastFromRoot(tagBarrier, nil)
+	// The rank's modeled barrier cost: jump to the group maximum plus
+	// tree latency. Its spread across ranks is the barrier skew.
+	c.rec.Observe(obs.HistBarrierWait, c.clock.Now()-before)
 	c.endCollective()
 }
 

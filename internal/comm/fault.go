@@ -466,6 +466,7 @@ func (e *faultEndpoint) send(worldDst int, m message) {
 		backoff := e.backoff(attempts)
 		e.rec.Add(obs.SendRetries, 1)
 		e.rec.Add(obs.BackoffNanos, backoff.Nanoseconds())
+		e.rec.Observe(obs.HistRetryBackoff, backoff.Seconds())
 		if e.clock != nil {
 			e.clock.Advance(backoff.Seconds())
 		}

@@ -154,6 +154,139 @@ func TestGatherObsSnapshots(t *testing.T) {
 	}
 }
 
+// flowPairing partitions a snapshot set's flow endpoints into send and
+// receive id multisets.
+func flowPairing(snaps []obs.Snapshot) (sends, recvs map[uint64]int) {
+	sends, recvs = map[uint64]int{}, map[uint64]int{}
+	for _, s := range snaps {
+		for _, f := range s.Flows {
+			if f.Recv {
+				recvs[f.ID]++
+			} else {
+				sends[f.ID]++
+			}
+		}
+	}
+	return sends, recvs
+}
+
+// TestFlowEndpointsMatchAcrossRanks is the trace-stitching invariant:
+// every delivered message's receive endpoint derives the same flow id
+// as its send endpoint, with no id travelling on the wire.
+func TestFlowEndpointsMatchAcrossRanks(t *testing.T) {
+	comms, err := RunLocalInspect(4, DefaultCostModel(), func(c *Comm) error {
+		c.EnableObs()
+		// Point-to-point, collectives, and a split — all flow-tagged.
+		next := (c.Rank() + 1) % c.Size()
+		prev := (c.Rank() + c.Size() - 1) % c.Size()
+		c.Send(next, 9, make([]byte, 16))
+		c.Recv(prev, 9)
+		c.Barrier()
+		c.AllreduceXor([]uint64{uint64(c.Rank())})
+		sub := c.Split(c.Rank()%2, 0)
+		sub.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sends, recvs := flowPairing(Snapshots(comms))
+	if len(recvs) == 0 {
+		t.Fatal("no receive flow endpoints recorded")
+	}
+	for id, n := range recvs {
+		if sends[id] != n {
+			t.Fatalf("flow id %#x: %d receives but %d sends", id, n, sends[id])
+		}
+	}
+	// Every message was delivered (no buffering left behind), so the
+	// multisets must match exactly, not just inject.
+	for id, n := range sends {
+		if recvs[id] != n {
+			t.Fatalf("flow id %#x: %d sends but %d receives", id, n, recvs[id])
+		}
+	}
+}
+
+// TestFlowEndpointsMatchUnderChaos repeats the pairing invariant with
+// drops, duplicates and reordering injected: retries happen below the
+// Comm layer and the reassembler dedups, so per-stream ordinals — and
+// with them the derived flow ids — still agree end to end.
+func TestFlowEndpointsMatchUnderChaos(t *testing.T) {
+	spec, err := ParseFaultSpec("drop=0.2,dup=0.2,reorder=0.3,seed=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comms, err := RunLocalFaultyInspect(3, DefaultCostModel(), spec, func(c *Comm) error {
+		c.EnableObs()
+		for i := 0; i < 20; i++ {
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			c.Send(next, 1, []byte{byte(i)})
+			c.Recv(prev, 1)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := Snapshots(comms)
+	sends, recvs := flowPairing(snaps)
+	for id, n := range recvs {
+		if sends[id] != n {
+			t.Fatalf("chaos broke flow pairing: id %#x has %d receives, %d sends", id, n, sends[id])
+		}
+	}
+	if tot := obs.Totals(snaps...); tot.Counter(obs.FaultsInjected) == 0 {
+		t.Fatal("chaos spec injected nothing; test is vacuous")
+	}
+}
+
+// TestCommHistogramsRecorded checks the comm-level histogram families
+// fill in during an instrumented run and carry the modeled costs.
+func TestCommHistogramsRecorded(t *testing.T) {
+	model := DefaultCostModel()
+	comms, err := RunLocalInspect(2, model, func(c *Comm) error {
+		c.EnableObs()
+		if c.Rank() == 0 {
+			c.Send(1, 3, make([]byte, 1000))
+		} else {
+			c.Recv(0, 3)
+		}
+		c.Barrier()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps := Snapshots(comms)
+	tot := obs.Totals(snaps...)
+	send := tot.Hist("send-latency")
+	// Rank 0's payload send is the largest modeled cost in the run.
+	wantMax := model.Alpha + model.Beta*1000
+	if send.Count == 0 || send.Max != wantMax {
+		t.Fatalf("send-latency = %+v, want max %g", send, wantMax)
+	}
+	if tot.Hist("barrier-wait").Count != 2 {
+		t.Fatalf("barrier-wait count = %d, want one per rank", tot.Hist("barrier-wait").Count)
+	}
+	if tot.Hist("recv-wait").Count == 0 || tot.Hist("recv-wait").Max <= 0 {
+		t.Fatalf("recv-wait = %+v, want positive waits", tot.Hist("recv-wait"))
+	}
+	// Phase label mirrors into the snapshot for /healthz.
+	if err := RunLocal(1, CostModel{}, func(c *Comm) error {
+		c.EnableObs()
+		c.SetPhase("round 7")
+		if s := c.ObsSnapshot(); s.Phase != "round 7" {
+			t.Errorf("snapshot phase = %q, want %q", s.Phase, "round 7")
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestObsDisabledSendRecvAllocatesNothing pins the tentpole's
 // "allocation-light" requirement on the hottest path: with no recorder
 // attached, Send/Recv must not allocate beyond the baseline (the

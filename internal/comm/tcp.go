@@ -435,6 +435,7 @@ func (t *tcpTransport) send(worldDst int, m message) {
 		backoff += backoff * time.Duration(attempt%3) / 8
 		t.rec.Add(obs.SendRetries, 1)
 		t.rec.Add(obs.BackoffNanos, backoff.Nanoseconds())
+		t.rec.Observe(obs.HistRetryBackoff, backoff.Seconds())
 		time.Sleep(backoff)
 	}
 }

@@ -249,6 +249,7 @@ func setToSorted(s map[int32]bool) []int32 {
 // weight-stratified ones, which call exchange once per weight class).
 func (p *plan) exchange(vals []gf.Elem, stride, nb, level, tag int) {
 	p.span(obs.HaloName, level, "halo")
+	haloStart := p.world.Clock().Now()
 	// all sends first (non-blocking), then receives: symmetric and
 	// deadlock-free.
 	for _, h := range p.sendTo {
@@ -282,6 +283,7 @@ func (p *plan) exchange(vals []gf.Elem, stride, nb, level, tag int) {
 			}
 		}
 	}
+	p.rec.Observe(obs.HistHaloExchange, p.world.Clock().Now()-haloStart)
 	p.endSpan()
 }
 

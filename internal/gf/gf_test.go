@@ -283,34 +283,3 @@ func TestKernelLengthMismatchPanics(t *testing.T) {
 		}()
 	}
 }
-
-// --- benchmarks ---
-
-func BenchmarkMul16(b *testing.B) {
-	var sink Elem
-	for i := 0; i < b.N; i++ {
-		sink ^= Mul(Elem(i)|1, Elem(i>>3)|1)
-	}
-	_ = sink
-}
-
-func BenchmarkMul64(b *testing.B) {
-	var sink uint64
-	for i := 0; i < b.N; i++ {
-		sink ^= Mul64(uint64(i)|1, uint64(i>>3)|1)
-	}
-	_ = sink
-}
-
-func BenchmarkMulSlice16(b *testing.B) {
-	src := make([]Elem, 1024)
-	dst := make([]Elem, 1024)
-	for i := range src {
-		src[i] = Elem(i*2654435761 + 1)
-	}
-	b.SetBytes(int64(len(src) * 2))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		MulSlice16(dst, src, Elem(i)|1)
-	}
-}

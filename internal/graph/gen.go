@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 
 	"github.com/midas-hpc/midas/internal/rng"
 )
@@ -114,6 +115,7 @@ func BarabasiAlbert(n, mAttach int, seed uint64) *Graph {
 		}
 	}
 	chosen := make(map[int32]bool, mAttach)
+	picks := make([]int32, 0, mAttach)
 	for v := mAttach + 1; v < n; v++ {
 		for k := range chosen {
 			delete(chosen, k)
@@ -121,7 +123,15 @@ func BarabasiAlbert(n, mAttach int, seed uint64) *Graph {
 		for len(chosen) < mAttach {
 			chosen[targets[r.Intn(len(targets))]] = true
 		}
+		// Drain the set in sorted order: map iteration order would leak
+		// into the targets list (and so into every later draw), making
+		// the graph nondeterministic for a fixed seed.
+		picks = picks[:0]
 		for u := range chosen {
+			picks = append(picks, u)
+		}
+		slices.Sort(picks)
+		for _, u := range picks {
 			b.AddEdge(int32(v), u)
 			targets = append(targets, int32(v), u)
 		}

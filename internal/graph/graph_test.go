@@ -1,6 +1,7 @@
 package graph
 
 import (
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -191,6 +192,13 @@ func TestBarabasiAlbertShape(t *testing.T) {
 	mean := 2 * float64(g.NumEdges()) / 2000
 	if float64(g.MaxDegree()) < 5*mean {
 		t.Fatalf("BA max degree %d not heavy-tailed vs mean %.1f", g.MaxDegree(), mean)
+	}
+	// Regression: the attachment loop once drained its candidate set in
+	// map order, leaking iteration order into the sampling pool — the
+	// same seed produced different graphs across process runs.
+	h := BarabasiAlbert(2000, 4, 9)
+	if !reflect.DeepEqual(g.Edges(), h.Edges()) {
+		t.Fatal("BarabasiAlbert not deterministic for a fixed seed")
 	}
 }
 

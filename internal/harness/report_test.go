@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestBenchReportRoundTrip is the -json schema check: the suite runs,
+// serializes, reloads identically, and carries counters plus histogram
+// quantiles for every configuration.
+func TestBenchReportRoundTrip(t *testing.T) {
+	p := Params{Scale: 120, N: 2, Ks: []int{4}, Seed: 1, Reps: 1}
+	rep, err := BenchReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != BenchSchemaVersion {
+		t.Fatalf("schema = %q, want %q", rep.Schema, BenchSchemaVersion)
+	}
+	if want := len(Datasets()) * len(p.Ks); len(rep.Runs) != want {
+		t.Fatalf("got %d runs, want %d", len(rep.Runs), want)
+	}
+	for _, r := range rep.Runs {
+		if r.Vertices == 0 || r.Msgs == 0 || r.ModeledSecs <= 0 || r.WallSecs <= 0 {
+			t.Fatalf("run looks empty: %+v", r)
+		}
+		if r.Counters["dp-ops"] == 0 || r.Counters["rounds"] == 0 {
+			t.Fatalf("run %s/k=%d missing counters: %v", r.Dataset, r.K, r.Counters)
+		}
+		if len(r.Hists) == 0 {
+			t.Fatalf("run %s/k=%d has no histogram quantiles", r.Dataset, r.K)
+		}
+		seenSend := false
+		for _, h := range r.Hists {
+			if h.Count <= 0 || h.P50 > h.P90 || h.P90 > h.P99 || h.P99 > h.Max {
+				t.Fatalf("quantiles disordered: %+v", h)
+			}
+			if h.Name == "send-latency" {
+				seenSend = true
+			}
+		}
+		if !seenSend {
+			t.Fatalf("send-latency family missing: %+v", r.Hists)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := WriteReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Runs) != len(rep.Runs) || !reflect.DeepEqual(back.Params, rep.Params) {
+		t.Fatalf("round trip drifted:\nwrote %+v\nread  %+v", rep.Params, back.Params)
+	}
+	for i := range back.Runs {
+		if back.Runs[i].Dataset != rep.Runs[i].Dataset || back.Runs[i].Msgs != rep.Runs[i].Msgs ||
+			back.Runs[i].Counters["dp-ops"] != rep.Runs[i].Counters["dp-ops"] {
+			t.Fatalf("run %d drifted through JSON:\nwrote %+v\nread  %+v", i, rep.Runs[i], back.Runs[i])
+		}
+	}
+
+	// Unknown schema versions must be rejected, not half-parsed.
+	bad := rep
+	bad.Schema = "midas-bench/v999"
+	if err := WriteReport(path, bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("unknown schema accepted: %v", err)
+	}
+}
+
+// TestBenchReportDeterministicModeled pins that everything except wall
+// time is a pure function of the parameters.
+func TestBenchReportDeterministicModeled(t *testing.T) {
+	p := Params{Scale: 120, N: 2, Ks: []int{4}, Seed: 3, Reps: 1}
+	a, err := BenchReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BenchReport(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Runs {
+		ra, rb := a.Runs[i], b.Runs[i]
+		if ra.ModeledSecs != rb.ModeledSecs || ra.Msgs != rb.Msgs || ra.Bytes != rb.Bytes ||
+			ra.Answer != rb.Answer || ra.Counters["dp-ops"] != rb.Counters["dp-ops"] {
+			t.Fatalf("run %d not deterministic:\n%+v\n%+v", i, ra, rb)
+		}
+	}
+}

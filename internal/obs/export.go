@@ -9,8 +9,9 @@ import (
 )
 
 // traceEvent is one entry of the Chrome trace_event format ("X"
-// complete events plus "M" metadata). chrome://tracing and Perfetto
-// both load the {"traceEvents": [...]} container emitted by WriteTrace.
+// complete events, "M" metadata, and "s"/"f" flow events linking
+// sender and receiver timelines). chrome://tracing and Perfetto both
+// load the {"traceEvents": [...]} container emitted by WriteTrace.
 type traceEvent struct {
 	Name string         `json:"name"`
 	Cat  string         `json:"cat,omitempty"`
@@ -19,6 +20,8 @@ type traceEvent struct {
 	Dur  *float64       `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
+	ID   string         `json:"id,omitempty"` // flow binding id (hex; viewers match s/f pairs on it)
+	BP   string         `json:"bp,omitempty"` // "e": bind the flow end to the enclosing slice
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -28,11 +31,14 @@ type traceFile struct {
 }
 
 // WriteTrace renders the snapshots as Chrome trace_event JSON: one
-// trace "thread" per rank, one complete event per span, timestamps in
-// microseconds of the snapshot's time base (virtual seconds for
-// distributed ranks, so the timeline is the modeled makespan; wall
-// seconds for sequential recorders). Load the file at chrome://tracing
-// or https://ui.perfetto.dev.
+// trace *process* per rank (pid = rank, so cross-rank flows render as
+// inter-process arrows), one complete event per span, and one flow
+// ("s" on the sender, "f" on the receiver) event pair per recorded
+// message-flow endpoint — the stitched view of a distributed run.
+// Timestamps are microseconds of the snapshot's time base (virtual
+// seconds for distributed ranks, so the timeline is the modeled
+// makespan; wall seconds for sequential recorders). Load the file at
+// chrome://tracing or https://ui.perfetto.dev.
 func WriteTrace(w io.Writer, snaps ...Snapshot) error {
 	tf := traceFile{DisplayTimeUnit: "ms", TraceEvents: []traceEvent{}}
 	for _, s := range snaps {
@@ -41,7 +47,7 @@ func WriteTrace(w io.Writer, snaps ...Snapshot) error {
 			rank = 0
 		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
-			Name: "thread_name", Ph: "M", Pid: 0, Tid: rank,
+			Name: "process_name", Ph: "M", Pid: rank, Tid: 0,
 			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
 		})
 		for _, sp := range s.Spans {
@@ -52,9 +58,26 @@ func WriteTrace(w io.Writer, snaps ...Snapshot) error {
 				Ph:   "X",
 				Ts:   sp.Start * 1e6,
 				Dur:  &dur,
-				Pid:  0,
-				Tid:  rank,
+				Pid:  rank,
+				Tid:  0,
 			})
+		}
+		for _, f := range s.Flows {
+			ev := traceEvent{
+				Name: "msg",
+				Cat:  "flow",
+				Ts:   f.TS * 1e6,
+				Pid:  rank,
+				Tid:  0,
+				ID:   fmt.Sprintf("0x%x", f.ID),
+			}
+			if f.Recv {
+				ev.Ph = "f"
+				ev.BP = "e" // bind to the enclosing receiver span
+			} else {
+				ev.Ph = "s"
+			}
+			tf.TraceEvents = append(tf.TraceEvents, ev)
 		}
 	}
 	enc, err := json.MarshalIndent(tf, "", " ")
@@ -145,6 +168,33 @@ func WriteSummary(w io.Writer, snaps ...Snapshot) error {
 			return err
 		}
 	}
+	// Latency histograms, merged over ranks; only non-empty families,
+	// sorted by name (Totals/MergeHists sort), so the section is
+	// deterministic and absent for runs that observed nothing.
+	var anyHist bool
+	for _, h := range tot.Hists {
+		if h.Count > 0 {
+			anyHist = true
+			break
+		}
+	}
+	if anyHist {
+		lt := newTextTable("histogram", "count", "p50", "p90", "p99", "max", "mean")
+		for _, h := range tot.Hists {
+			if h.Count == 0 {
+				continue
+			}
+			lt.add(h.Name, i64(h.Count),
+				secs(h.Quantile(0.50)), secs(h.Quantile(0.90)), secs(h.Quantile(0.99)),
+				secs(h.Max), secs(h.Mean()))
+		}
+		if _, err := fmt.Fprintln(w, "\n-- latency histograms (seconds, all ranks merged; quantiles carry bucket resolution) --"); err != nil {
+			return err
+		}
+		if err := lt.write(w); err != nil {
+			return err
+		}
+	}
 	// Resilience counters: only shown when something actually went
 	// wrong (clean runs keep the clean summary of earlier releases).
 	if tot.Counter(FaultsInjected) > 0 || tot.Counter(SendRetries) > 0 || tot.Counter(BackoffNanos) > 0 {
@@ -186,6 +236,10 @@ func DecodeSnapshot(b []byte) (Snapshot, error) {
 }
 
 func i64(v int64) string { return fmt.Sprint(v) }
+
+// secs renders a duration in seconds with enough significant digits
+// for sub-microsecond latencies without drowning the table.
+func secs(v float64) string { return fmt.Sprintf("%.4gs", v) }
 
 // textTable is a minimal aligned-column printer (obs stays
 // zero-dependency, so it cannot borrow internal/harness's Table).

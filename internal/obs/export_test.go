@@ -31,7 +31,17 @@ func goldenSnapshots() []Snapshot {
 		r.Add(HaloMsgs, 2)
 		r.Add(HaloBytes, 256)
 		r.AddHaloLevel(2, 256)
+		// One message flows rank 0 → rank 1: both endpoints derive the
+		// same flow id, so the trace exporter can stitch them.
+		if rank == 0 {
+			r.Observe(HistSendLatency, 1.5e-6)
+			r.FlowSend(0, 1, 7)
+		} else {
+			r.Observe(HistRecvWait, 2.5e-4)
+			r.FlowRecv(0, 1, 7)
+		}
 		fc.t += 0.0005
+		r.Observe(HistHaloExchange, 0.0005)
 		r.End() // halo
 		r.End() // level
 		fc.t += 0.001
@@ -91,12 +101,17 @@ func TestWriteTraceIsLoadableChromeFormat(t *testing.T) {
 		t.Fatal("no trace events emitted")
 	}
 	phases := map[string]int{}
+	type flowEnd struct {
+		pid float64
+		id  string
+	}
+	var sends, recvs []flowEnd
 	for _, ev := range tf.TraceEvents {
 		ph, _ := ev["ph"].(string)
 		phases[ph]++
 		switch ph {
 		case "M":
-			if ev["name"] != "thread_name" {
+			if ev["name"] != "process_name" {
 				t.Fatalf("unexpected metadata event: %v", ev)
 			}
 		case "X":
@@ -106,15 +121,40 @@ func TestWriteTraceIsLoadableChromeFormat(t *testing.T) {
 			if _, ok := ev["dur"].(float64); !ok {
 				t.Fatalf("X event without numeric dur: %v", ev)
 			}
+		case "s", "f":
+			id, _ := ev["id"].(string)
+			if id == "" {
+				t.Fatalf("flow event without id: %v", ev)
+			}
+			pid, _ := ev["pid"].(float64)
+			if ph == "s" {
+				sends = append(sends, flowEnd{pid, id})
+			} else {
+				if ev["bp"] != "e" {
+					t.Fatalf("flow finish without bp=e: %v", ev)
+				}
+				recvs = append(recvs, flowEnd{pid, id})
+			}
 		default:
 			t.Fatalf("unexpected event phase %q", ph)
 		}
 	}
-	if phases["M"] != 2 { // one thread_name per rank
+	if phases["M"] != 2 { // one process_name per rank
 		t.Fatalf("want 2 metadata events, got %d", phases["M"])
 	}
 	if phases["X"] != 8 { // 4 spans per rank (round > phase > level > halo)
 		t.Fatalf("want 8 span events, got %d", phases["X"])
+	}
+	// The fixture's one rank 0 → rank 1 message must stitch: matching
+	// ids on distinct pids.
+	if len(sends) != 1 || len(recvs) != 1 {
+		t.Fatalf("want 1 flow send + 1 flow finish, got %d + %d", len(sends), len(recvs))
+	}
+	if sends[0].id != recvs[0].id {
+		t.Fatalf("flow ids do not match: send %q recv %q", sends[0].id, recvs[0].id)
+	}
+	if sends[0].pid == recvs[0].pid {
+		t.Fatalf("flow endpoints share pid %v; want distinct processes", sends[0].pid)
 	}
 }
 
@@ -128,6 +168,7 @@ func TestWriteSummary(t *testing.T) {
 		"per-rank counters", "msgs-sent", "dp-ops",
 		"total", "time by span category", "halo", "level", "round",
 		"halo volume by DP level", "L2", "512",
+		"latency histograms", "halo-exchange", "recv-wait", "send-latency", "p99",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("summary missing %q:\n%s", want, out)
@@ -136,6 +177,38 @@ func TestWriteSummary(t *testing.T) {
 	// Totals row: 4+5 messages.
 	if !strings.Contains(out, "9") {
 		t.Fatalf("summary missing aggregated message count:\n%s", out)
+	}
+}
+
+// TestWriteSummaryGolden pins the summary byte-for-byte: every section
+// is emitted in deterministic sorted order, so repeated runs and CI
+// diffs are stable. Regenerate with -update-golden after intentional
+// format changes.
+func TestWriteSummaryGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteSummary(&buf, goldenSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "summary_golden.txt")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("summary drifted from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// Determinism: a second render is byte-identical.
+	var again bytes.Buffer
+	if err := WriteSummary(&again, goldenSnapshots()...); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("summary output is not deterministic across renders")
 	}
 }
 

@@ -1,0 +1,269 @@
+package obs
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// randHist builds a histogram from n values drawn log-uniformly over
+// the interesting latency range, returning the snapshot and the sorted
+// raw values.
+func randHist(rng *rand.Rand, name string, n int) (HistSnapshot, []float64) {
+	var h Hist
+	vals := make([]float64, n)
+	for i := range vals {
+		// 10^[-9, 2): nanoseconds to ~100 s.
+		v := math.Pow(10, -9+11*rng.Float64())
+		vals[i] = v
+		h.observe(v)
+	}
+	sort.Float64s(vals)
+	return h.snapshot(name), vals
+}
+
+// histEq compares snapshots exactly except for Sum, where float
+// addition order makes bit-exact equality too strict.
+func histEq(a, b HistSnapshot) bool {
+	sa, sb := a.Sum, b.Sum
+	a.Sum, b.Sum = 0, 0
+	tol := 1e-9 * (math.Abs(sa) + math.Abs(sb) + 1)
+	return reflect.DeepEqual(a, b) && math.Abs(sa-sb) <= tol
+}
+
+func TestHistBucketGeometry(t *testing.T) {
+	// Every value falls into a bucket whose upper bound is >= the value
+	// and whose predecessor's bound is < the value (within a bucket
+	// step), across many magnitudes.
+	for _, v := range []float64{1e-10, 1e-9, 1.1e-9, 3e-7, 1.5e-6, 1e-3, 0.25, 1, 17.2, 1e4, 1e9} {
+		i := histBucketOf(v)
+		if ub := HistUpperBound(i); v > ub*(1+1e-12) {
+			t.Fatalf("value %g exceeds its bucket bound %g (bucket %d)", v, ub, i)
+		}
+		if i > 0 && v < HistUpperBound(i-1)*(1-1e-12) {
+			t.Fatalf("value %g far below previous bound %g (bucket %d)", v, HistUpperBound(i-1), i)
+		}
+	}
+	if histBucketOf(0) != 0 || histBucketOf(-1) != 0 || histBucketOf(math.NaN()) != 0 {
+		t.Fatal("degenerate values must land in bucket 0")
+	}
+	if histBucketOf(math.Inf(1)) != histBuckets-1 {
+		t.Fatal("overflow values must land in the last bucket")
+	}
+	if !math.IsInf(HistUpperBound(histBuckets-1), 1) {
+		t.Fatal("last bucket bound must be +Inf")
+	}
+}
+
+// TestHistMergeAssociative is the property the cross-rank gather
+// relies on: folding per-rank histograms in any tree order yields the
+// same distribution.
+func TestHistMergeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		a, _ := randHist(rng, "h", rng.Intn(200))
+		b, _ := randHist(rng, "h", rng.Intn(200))
+		c, _ := randHist(rng, "h", rng.Intn(200))
+		abc1 := a.Merge(b).Merge(c)
+		abc2 := a.Merge(b.Merge(c))
+		if !histEq(abc1, abc2) {
+			t.Fatalf("merge not associative:\n(a+b)+c = %+v\na+(b+c) = %+v", abc1, abc2)
+		}
+		if !histEq(a.Merge(b), b.Merge(a)) {
+			t.Fatal("merge not commutative")
+		}
+	}
+	// Identity: merging with an empty histogram changes nothing.
+	a, _ := randHist(rng, "h", 100)
+	if got := a.Merge(HistSnapshot{}); !histEq(got, a) {
+		t.Fatalf("merge with empty is not identity:\ngot  %+v\nwant %+v", got, a)
+	}
+}
+
+func TestHistMergeMatchesCombinedObservation(t *testing.T) {
+	// Observing X then Y into one histogram equals observing X and Y
+	// into two and merging.
+	rng := rand.New(rand.NewSource(11))
+	var combined Hist
+	var ha, hb Hist
+	for i := 0; i < 500; i++ {
+		v := math.Pow(10, -9+11*rng.Float64())
+		combined.observe(v)
+		if i%2 == 0 {
+			ha.observe(v)
+		} else {
+			hb.observe(v)
+		}
+	}
+	want := combined.snapshot("h")
+	got := ha.snapshot("h").Merge(hb.snapshot("h"))
+	if !histEq(got, want) {
+		t.Fatalf("merge drifted from combined observation:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestHistQuantileProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		s, vals := randHist(rng, "h", 50+rng.Intn(500))
+		if s.Quantile(0) != s.Min || s.Quantile(1) != s.Max {
+			t.Fatalf("quantile endpoints not exact: q0=%g min=%g q1=%g max=%g",
+				s.Quantile(0), s.Min, s.Quantile(1), s.Max)
+		}
+		prev := 0.0
+		for _, p := range []float64{0, 0.1, 0.25, 0.5, 0.9, 0.99, 1} {
+			q := s.Quantile(p)
+			if q < prev {
+				t.Fatalf("quantile not monotone at p=%v: %g < %g", p, q, prev)
+			}
+			prev = q
+			if q < s.Min || q > s.Max {
+				t.Fatalf("quantile %v=%g escapes [min=%g, max=%g]", p, q, s.Min, s.Max)
+			}
+			// Bucket resolution: the estimate must be within one bucket
+			// step (2^(1/4)) of the true order statistic.
+			idx := int(math.Ceil(p*float64(len(vals)))) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			truth := vals[idx]
+			step := math.Pow(2, 1.0/histSubPerOctave)
+			if truth > histMinValue && (q > truth*step*(1+1e-9) || q < truth/step*(1-1e-9)) {
+				t.Fatalf("quantile p=%v estimate %g more than one bucket from truth %g", p, q, truth)
+			}
+		}
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+}
+
+func TestHistSumMinMaxExact(t *testing.T) {
+	var h Hist
+	vals := []float64{0.5, 1e-6, 2.25, 1e-6, 0.125}
+	sum := 0.0
+	for _, v := range vals {
+		h.observe(v)
+		sum += v
+	}
+	s := h.snapshot("h")
+	if s.Count != int64(len(vals)) || s.Min != 1e-6 || s.Max != 2.25 {
+		t.Fatalf("count/min/max wrong: %+v", s)
+	}
+	if math.Abs(s.Sum-sum) > 1e-12 {
+		t.Fatalf("sum = %g, want %g", s.Sum, sum)
+	}
+	if math.Abs(s.Mean()-sum/5) > 1e-12 {
+		t.Fatalf("mean = %g, want %g", s.Mean(), sum/5)
+	}
+}
+
+func TestHistCumulative(t *testing.T) {
+	var h Hist
+	for _, v := range []float64{1e-6, 2e-6, 1e-3, 5} {
+		h.observe(v)
+	}
+	s := h.snapshot("h")
+	bounds, cum := s.Cumulative()
+	if len(bounds) != len(cum) || len(bounds) == 0 {
+		t.Fatalf("cumulative shape wrong: %v %v", bounds, cum)
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			t.Fatalf("bounds not ascending: %v", bounds)
+		}
+		if cum[i] < cum[i-1] {
+			t.Fatalf("cumulative counts decrease: %v", cum)
+		}
+	}
+	if cum[len(cum)-1] != s.Count {
+		t.Fatalf("final cumulative %d != count %d", cum[len(cum)-1], s.Count)
+	}
+}
+
+func TestRecorderObserveAndFlows(t *testing.T) {
+	fc := &fakeClock{}
+	r := NewRecorder(1, fc.now)
+	r.Observe(HistBarrierWait, 0.25)
+	r.Observe(HistBarrierWait, 0.5)
+	fc.t = 1.5
+	r.FlowSend(1, 0, 9)
+	r.FlowSend(1, 0, 9)
+	r.FlowRecv(0, 1, 9)
+	s := r.Snapshot()
+	h := s.Hist("barrier-wait")
+	if h.Count != 2 || h.Min != 0.25 || h.Max != 0.5 {
+		t.Fatalf("barrier-wait hist = %+v", h)
+	}
+	if len(s.Hists) != int(NumHists) {
+		t.Fatalf("want all %d hist families in snapshot, got %d", NumHists, len(s.Hists))
+	}
+	if len(s.Flows) != 3 {
+		t.Fatalf("want 3 flow endpoints, got %d", len(s.Flows))
+	}
+	if s.Flows[0].ID == s.Flows[1].ID {
+		t.Fatal("consecutive sends on one stream must get distinct flow ids")
+	}
+	if s.Flows[0].Recv || !s.Flows[2].Recv {
+		t.Fatalf("flow directions wrong: %+v", s.Flows)
+	}
+	for _, f := range s.Flows {
+		if f.TS != 1.5 || f.ID == 0 {
+			t.Fatalf("flow endpoint wrong: %+v", f)
+		}
+	}
+	// Sender and receiver of the same stream ordinal derive equal ids.
+	send := NewRecorder(0, fc.now)
+	recv := NewRecorder(1, fc.now)
+	send.FlowSend(0, 1, 12)
+	recv.FlowRecv(0, 1, 12)
+	if send.Snapshot().Flows[0].ID != recv.Snapshot().Flows[0].ID {
+		t.Fatal("flow ids disagree across endpoints")
+	}
+	// Distinct streams must (overwhelmingly) get distinct ids.
+	if flowID(0, 1, 12, 0) == flowID(1, 0, 12, 0) || flowID(0, 1, 12, 0) == flowID(0, 1, 13, 0) {
+		t.Fatal("flow id collides across distinct streams")
+	}
+}
+
+func TestMaxFlowsCap(t *testing.T) {
+	r := NewRecorder(0, func() float64 { return 0 })
+	r.SetMaxFlows(2)
+	for i := 0; i < 5; i++ {
+		r.FlowSend(0, 1, 1)
+	}
+	s := r.Snapshot()
+	if len(s.Flows) != 2 {
+		t.Fatalf("flows = %d, want 2 (capped)", len(s.Flows))
+	}
+	if got := s.Counter(FlowsDropped); got != 3 {
+		t.Fatalf("FlowsDropped = %d, want 3", got)
+	}
+}
+
+func TestTotalsMergesHists(t *testing.T) {
+	mk := func(rank int, hist string, vals ...float64) Snapshot {
+		var h Hist
+		for _, v := range vals {
+			h.observe(v)
+		}
+		return Snapshot{Rank: rank, Hists: []HistSnapshot{h.snapshot(hist)}}
+	}
+	tot := Totals(
+		mk(0, "barrier-wait", 0.1, 0.2),
+		mk(1, "barrier-wait", 0.4),
+		mk(2, "recv-wait", 1e-6),
+	)
+	bw := tot.Hist("barrier-wait")
+	if bw.Count != 3 || bw.Min != 0.1 || bw.Max != 0.4 {
+		t.Fatalf("merged barrier-wait = %+v", bw)
+	}
+	if tot.Hist("recv-wait").Count != 1 {
+		t.Fatalf("recv-wait lost in totals: %+v", tot.Hists)
+	}
+	if tot.Hist("absent").Count != 0 {
+		t.Fatal("absent hist must read as empty")
+	}
+}

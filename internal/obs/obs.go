@@ -39,7 +39,10 @@
 // and Ends stay balanced.
 package obs
 
-import "time"
+import (
+	"sync"
+	"time"
+)
 
 // Counter identifies one typed per-rank counter. Counters hold
 // quantities that are measured (counted), never modeled — see
@@ -79,6 +82,9 @@ const (
 	// between send retries (virtual time for the local chaos
 	// transport, wall time for TCP reconnects).
 	BackoffNanos
+	// FlowsDropped counts message-flow events discarded after the
+	// MaxFlows cap (trace stitching degrades; counters stay exact).
+	FlowsDropped
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -86,7 +92,7 @@ const (
 
 var counterNames = [NumCounters]string{
 	"halo-msgs", "halo-bytes", "dp-ops", "rounds", "phases", "levels", "spans-dropped",
-	"faults-injected", "send-retries", "backoff-nanos",
+	"faults-injected", "send-retries", "backoff-nanos", "flows-dropped",
 }
 
 // String returns the stable kebab-case name used by the exporters.
@@ -112,19 +118,78 @@ type Span struct {
 // rank at the default; SetMaxSpans overrides).
 const DefaultMaxSpans = 1 << 19
 
-// Recorder collects one rank's counters and spans. The zero value is
-// not usable; construct with NewRecorder. A nil *Recorder is the
-// disabled recorder: every method is a cheap no-op.
+// DefaultMaxFlows bounds a Recorder's flow-event buffer; overflow is
+// counted in FlowsDropped.
+const DefaultMaxFlows = 1 << 19
+
+// Flow is one endpoint of a cross-rank message flow: the send side
+// (Recv false) or the receive side (Recv true). Both endpoints derive
+// the same ID from the (sender, receiver, context, per-stream ordinal)
+// tuple — delivery is exactly-once and in-order per stream, so the
+// n-th receive on a stream matches the n-th send and no flow id needs
+// to travel on the wire. The trace exporter turns matched pairs into
+// Chrome trace_event flow ("s"/"f") events stitching sender and
+// receiver timelines together.
+type Flow struct {
+	ID   uint64  `json:"id"`
+	TS   float64 `json:"ts"` // seconds since the recorder's time base
+	Recv bool    `json:"recv,omitempty"`
+}
+
+// flowKey identifies one directed per-context message stream.
+type flowKey struct {
+	src, dst int
+	ctx      uint64
+	recv     bool
+}
+
+// flowMix is the splitmix64 finalizer — a cheap, well-distributed hash
+// for deriving flow ids.
+func flowMix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// flowID derives the id both endpoints of the n-th message on stream
+// (src → dst, ctx) agree on. Never zero (viewers treat 0 as unset).
+func flowID(src, dst int, ctx, n uint64) uint64 {
+	h := flowMix(uint64(src)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d)
+	h = flowMix(h ^ (uint64(dst)*0xd1342543de82ef95 + 1))
+	h = flowMix(h ^ ctx)
+	h = flowMix(h ^ n)
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// Recorder collects one rank's counters, histograms, spans, and flow
+// events. The zero value is not usable; construct with NewRecorder. A
+// nil *Recorder is the disabled recorder: every method is a cheap
+// no-op. An enabled Recorder is safe for concurrent use: the rank's
+// goroutine records while the live telemetry endpoint (serve.go)
+// snapshots it from HTTP handler goroutines.
 type Recorder struct {
-	rank      int
-	now       func() float64
+	rank int
+	now  func() float64 // must itself be safe for concurrent use
+
+	mu        sync.Mutex
 	base      float64 // subtracted from now(): Reset re-anchors here
 	counters  [NumCounters]int64
+	hists     [NumHists]Hist
 	haloLevel []int64 // halo bytes indexed by DP level
 	spans     []Span
 	open      []int32 // indices of open spans (the nesting stack)
 	openDrop  int     // Begins swallowed after the cap, awaiting Ends
 	maxSpans  int
+	flows     []Flow
+	flowSeq   map[flowKey]uint64 // next ordinal per directed stream
+	maxFlows  int
+	phase     string // current phase label (SetPhaseLabel)
 }
 
 // NewRecorder returns a recorder for the given rank using now as its
@@ -137,7 +202,12 @@ func NewRecorder(rank int, now func() float64) *Recorder {
 		start := time.Now()
 		now = func() float64 { return time.Since(start).Seconds() }
 	}
-	return &Recorder{rank: rank, now: now, base: now(), maxSpans: DefaultMaxSpans}
+	return &Recorder{
+		rank: rank, now: now, base: now(),
+		maxSpans: DefaultMaxSpans,
+		maxFlows: DefaultMaxFlows,
+		flowSeq:  make(map[flowKey]uint64),
+	}
 }
 
 // Rank returns the rank the recorder was created for.
@@ -157,7 +227,20 @@ func (r *Recorder) SetMaxSpans(n int) {
 	if r == nil || n <= 0 {
 		return
 	}
+	r.mu.Lock()
 	r.maxSpans = n
+	r.mu.Unlock()
+}
+
+// SetMaxFlows overrides the flow-event buffer cap (n <= 0 keeps the
+// current cap). Flows beyond the cap are counted in FlowsDropped.
+func (r *Recorder) SetMaxFlows(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
+	r.mu.Lock()
+	r.maxFlows = n
+	r.mu.Unlock()
 }
 
 // Add increments counter c by n. No-op on a nil recorder.
@@ -165,7 +248,9 @@ func (r *Recorder) Add(c Counter, n int64) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.counters[c] += n
+	r.mu.Unlock()
 }
 
 // Get returns counter c's current value (0 on a nil recorder).
@@ -173,7 +258,80 @@ func (r *Recorder) Get(c Counter) int64 {
 	if r == nil {
 		return 0
 	}
-	return r.counters[c]
+	r.mu.Lock()
+	v := r.counters[c]
+	r.mu.Unlock()
+	return v
+}
+
+// Observe records a duration v (seconds) into histogram id. No-op on a
+// nil recorder; allocation-free when enabled (fixed bucket array).
+func (r *Recorder) Observe(id HistID, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.hists[id].observe(v)
+	r.mu.Unlock()
+}
+
+// FlowSend records the send endpoint of the next message on the
+// directed stream (srcWorld → dstWorld, ctx). Call it exactly once per
+// message sent, in send order; the matching FlowRecv on the receiver
+// derives the same flow id.
+func (r *Recorder) FlowSend(srcWorld, dstWorld int, ctx uint64) {
+	r.flow(srcWorld, dstWorld, ctx, false)
+}
+
+// FlowRecv records the receive endpoint of the next message delivered
+// on the directed stream (srcWorld → dstWorld, ctx). Delivery is
+// exactly-once and in-order per stream (the transports guarantee it),
+// so the n-th FlowRecv pairs with the sender's n-th FlowSend.
+func (r *Recorder) FlowRecv(srcWorld, dstWorld int, ctx uint64) {
+	r.flow(srcWorld, dstWorld, ctx, true)
+}
+
+func (r *Recorder) flow(src, dst int, ctx uint64, recv bool) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	key := flowKey{src: src, dst: dst, ctx: ctx, recv: recv}
+	n := r.flowSeq[key]
+	r.flowSeq[key] = n + 1
+	if len(r.flows) >= r.maxFlows {
+		r.counters[FlowsDropped]++
+		r.mu.Unlock()
+		return
+	}
+	r.flows = append(r.flows, Flow{
+		ID:   flowID(src, dst, ctx, n),
+		TS:   r.now() - r.base,
+		Recv: recv,
+	})
+	r.mu.Unlock()
+}
+
+// SetPhaseLabel records the rank's current algorithm phase label for
+// the live /healthz endpoint (comm.Comm.SetPhase mirrors into it).
+func (r *Recorder) SetPhaseLabel(name string) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.phase = name
+	r.mu.Unlock()
+}
+
+// PhaseLabel returns the label last set by SetPhaseLabel.
+func (r *Recorder) PhaseLabel() string {
+	if r == nil {
+		return ""
+	}
+	r.mu.Lock()
+	p := r.phase
+	r.mu.Unlock()
+	return p
 }
 
 // AddHaloLevel charges n halo bytes to the given DP level (and to the
@@ -182,10 +340,12 @@ func (r *Recorder) AddHaloLevel(level int, n int64) {
 	if r == nil || level < 0 {
 		return
 	}
+	r.mu.Lock()
 	for len(r.haloLevel) <= level {
 		r.haloLevel = append(r.haloLevel, 0)
 	}
 	r.haloLevel[level] += n
+	r.mu.Unlock()
 }
 
 // Begin opens a span. Every Begin must be matched by an End on the same
@@ -196,6 +356,8 @@ func (r *Recorder) Begin(name, cat string) {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if len(r.spans) >= r.maxSpans {
 		r.openDrop++
 		r.counters[SpansDropped]++
@@ -216,6 +378,8 @@ func (r *Recorder) End() {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	if r.openDrop > 0 {
 		r.openDrop--
 		return
@@ -234,7 +398,10 @@ func (r *Recorder) Depth() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.open) + r.openDrop
+	r.mu.Lock()
+	d := len(r.open) + r.openDrop
+	r.mu.Unlock()
+	return d
 }
 
 // Reset discards all recorded data and re-anchors the time base at the
@@ -246,12 +413,19 @@ func (r *Recorder) Reset() {
 	if r == nil {
 		return
 	}
+	r.mu.Lock()
 	r.counters = [NumCounters]int64{}
+	for i := range r.hists {
+		r.hists[i].reset()
+	}
 	r.haloLevel = r.haloLevel[:0]
 	r.spans = r.spans[:0]
 	r.open = r.open[:0]
 	r.openDrop = 0
+	r.flows = r.flows[:0]
+	clear(r.flowSeq)
 	r.base = r.now()
+	r.mu.Unlock()
 }
 
 // Snapshot freezes the recorder into an exportable value. Spans still
@@ -259,11 +433,36 @@ func (r *Recorder) Reset() {
 // now. The communication fields (MsgsSent …) are zero here; callers
 // that own traffic counters fill them in (comm.Comm.ObsSnapshot merges
 // its Stats).
-func (r *Recorder) Snapshot() Snapshot {
+func (r *Recorder) Snapshot() Snapshot { return r.snap(true) }
+
+// LiteSnapshot is Snapshot without the span and flow buffers — the
+// cheap form the live telemetry endpoint scrapes repeatedly during
+// long runs (SpansRecorded still reports the buffer size).
+func (r *Recorder) LiteSnapshot() Snapshot { return r.snap(false) }
+
+func (r *Recorder) snap(full bool) Snapshot {
 	if r == nil {
 		return Snapshot{Rank: -1}
 	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	now := r.now() - r.base
+	hists := make([]HistSnapshot, NumHists)
+	for id := HistID(0); id < NumHists; id++ {
+		hists[id] = r.hists[id].snapshot(id.String())
+	}
+	out := Snapshot{
+		Rank:           r.rank,
+		Phase:          r.phase,
+		Counters:       append([]int64(nil), r.counters[:]...),
+		HaloLevelBytes: append([]int64(nil), r.haloLevel...),
+		Hists:          hists,
+		SpansRecorded:  len(r.spans),
+		End:            now,
+	}
+	if !full {
+		return out
+	}
 	spans := make([]Span, len(r.spans))
 	copy(spans, r.spans)
 	for i := range spans {
@@ -271,13 +470,9 @@ func (r *Recorder) Snapshot() Snapshot {
 			spans[i].Dur = now - spans[i].Start
 		}
 	}
-	return Snapshot{
-		Rank:           r.rank,
-		Counters:       append([]int64(nil), r.counters[:]...),
-		HaloLevelBytes: append([]int64(nil), r.haloLevel...),
-		Spans:          spans,
-		End:            now,
-	}
+	out.Spans = spans
+	out.Flows = append([]Flow(nil), r.flows...)
+	return out
 }
 
 // Snapshot is the serializable form of one rank's telemetry: the
@@ -303,7 +498,26 @@ type Snapshot struct {
 	// DP level j.
 	HaloLevelBytes []int64 `json:"haloLevelBytes,omitempty"`
 
+	// Hists holds the rank's latency histograms, indexed by HistID
+	// when taken from a live Recorder (all NumHists entries, empty
+	// families included so exporters see a stable set). Merge by Name
+	// — Totals does — when snapshot provenance is mixed.
+	Hists []HistSnapshot `json:"hists,omitempty"`
+
 	Spans []Span `json:"spans"`
+
+	// SpansRecorded is the recorder's span-buffer length at snapshot
+	// time — equal to len(Spans) for a full Snapshot, and still
+	// populated by LiteSnapshot, which omits the buffer itself.
+	SpansRecorded int `json:"spansRecorded,omitempty"`
+
+	// Flows holds the rank's message-flow endpoints for cross-rank
+	// trace stitching (not merged by Totals, like Spans).
+	Flows []Flow `json:"flows,omitempty"`
+
+	// Phase is the rank's phase label at snapshot time ("" if never
+	// set) — the live /healthz progress field.
+	Phase string `json:"phase,omitempty"`
 
 	// End is the rank's time-base reading at snapshot (virtual seconds
 	// for distributed ranks — the rank's share of the modeled
@@ -319,9 +533,21 @@ func (s Snapshot) Counter(c Counter) int64 {
 	return 0
 }
 
+// Hist returns the named histogram from the snapshot (an empty
+// histogram when absent).
+func (s Snapshot) Hist(name string) HistSnapshot {
+	for _, h := range s.Hists {
+		if h.Name == name {
+			return h
+		}
+	}
+	return HistSnapshot{Name: name}
+}
+
 // Totals aggregates snapshots across ranks: counters, traffic, and
-// per-level halo volumes sum; End takes the maximum (the makespan of
-// the snapshot set); spans are not merged (Rank is -1 in the result).
+// per-level halo volumes sum; histograms merge by name; End takes the
+// maximum (the makespan of the snapshot set); spans and flows are not
+// merged (Rank is -1 in the result).
 func Totals(snaps ...Snapshot) Snapshot {
 	out := Snapshot{Rank: -1, Counters: make([]int64, NumCounters)}
 	for _, s := range snaps {
@@ -339,6 +565,7 @@ func Totals(snaps ...Snapshot) Snapshot {
 			}
 			out.HaloLevelBytes[j] += b
 		}
+		out.Hists = MergeHists(out.Hists, s.Hists)
 		if s.End > out.End {
 			out.End = s.End
 		}

@@ -193,13 +193,21 @@ func TestNilRecorderIsSafe(t *testing.T) {
 	r.AddHaloLevel(3, 10)
 	r.Begin("x", "y")
 	r.End()
+	r.Observe(HistSendLatency, 1e-6)
+	r.FlowSend(0, 1, 42)
+	r.FlowRecv(0, 1, 42)
+	r.SetPhaseLabel("phase 1")
 	r.Reset()
 	r.SetMaxSpans(10)
-	if r.Enabled() || r.Get(DPOps) != 0 || r.Depth() != 0 || r.Rank() != -1 {
+	r.SetMaxFlows(10)
+	if r.Enabled() || r.Get(DPOps) != 0 || r.Depth() != 0 || r.Rank() != -1 || r.PhaseLabel() != "" {
 		t.Fatal("nil recorder misbehaves")
 	}
-	if s := r.Snapshot(); s.Rank != -1 || len(s.Spans) != 0 {
+	if s := r.Snapshot(); s.Rank != -1 || len(s.Spans) != 0 || len(s.Flows) != 0 {
 		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if s := r.LiteSnapshot(); s.Rank != -1 {
+		t.Fatalf("nil lite snapshot = %+v", s)
 	}
 }
 
@@ -213,6 +221,10 @@ func TestDisabledRecorderAllocatesNothing(t *testing.T) {
 		r.AddHaloLevel(2, 64)
 		r.Begin(LevelName(3), "level")
 		r.End()
+		r.Observe(HistRecvWait, 1e-6)
+		r.FlowSend(0, 1, 7)
+		r.FlowRecv(0, 1, 7)
+		r.SetPhaseLabel("p")
 	}); n != 0 {
 		t.Fatalf("nil recorder allocates %v per run, want 0", n)
 	}
@@ -221,6 +233,7 @@ func TestDisabledRecorderAllocatesNothing(t *testing.T) {
 	if n := testing.AllocsPerRun(1000, func() {
 		enabled.Add(DPOps, 1)
 		enabled.AddHaloLevel(2, 64)
+		enabled.Observe(HistRecvWait, 1e-6) // fixed bucket array: free
 	}); n != 0 {
 		t.Fatalf("enabled counter adds allocate %v per run, want 0", n)
 	}

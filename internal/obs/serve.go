@@ -1,0 +1,221 @@
+package obs
+
+// The live telemetry endpoint: one small HTTP server per process
+// exposing the process's Recorders while a run is in flight —
+// Prometheus text-format counters and histograms on /metrics, rank
+// liveness and phase progress on /healthz, and the standard
+// net/http/pprof profiler under /debug/pprof/. Enabled by
+// Options.ObsAddr (library) or `midas -obs-addr` (CLI); see
+// docs/OBSERVABILITY.md §"Live telemetry endpoint".
+//
+// The handlers read only Recorder snapshots (safe for concurrent use —
+// the Recorder is mutex-guarded and its time base is the atomic
+// virtual clock); they deliberately do not touch comm.Stats, which is
+// written lock-free by the rank goroutines.
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Server is a live telemetry HTTP server. Construct with Serve; stop
+// with Close.
+type Server struct {
+	ln     net.Listener
+	srv    *http.Server
+	source func() []Snapshot
+}
+
+// Serve binds addr (host:port; ":0" picks a free port — read it back
+// via Addr) and serves /metrics, /healthz and /debug/pprof/ until
+// Close. source is invoked per request and must be safe for concurrent
+// use; Recorder.Snapshot is (SnapshotSource adapts a recorder list).
+func Serve(addr string, source func() []Snapshot) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: serve %s: %w", addr, err)
+	}
+	s := &Server{ln: ln, source: source}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// SnapshotSource adapts a fixed recorder list into the source callback
+// Serve wants. Nil recorders in the list are skipped.
+func SnapshotSource(recs ...*Recorder) func() []Snapshot {
+	return func() []Snapshot {
+		out := make([]Snapshot, 0, len(recs))
+		for _, r := range recs {
+			if r.Enabled() {
+				out = append(out, r.LiteSnapshot())
+			}
+		}
+		return out
+	}
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }
+
+// fmtFloat renders a float64 sample the way Prometheus text format
+// expects (shortest round-trip representation; +Inf spelled "+Inf").
+func fmtFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// metricName converts a kebab-case obs name into a Prometheus metric
+// name component ("halo-msgs" → "halo_msgs").
+func metricName(name string) string { return strings.ReplaceAll(name, "-", "_") }
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	snaps := s.source()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Rank < snaps[j].Rank })
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b strings.Builder
+
+	sample := func(name, rank string, v string) {
+		b.WriteString(name)
+		b.WriteString(`{rank="`)
+		b.WriteString(rank)
+		b.WriteString(`"} `)
+		b.WriteString(v)
+		b.WriteByte('\n')
+	}
+
+	// Typed counters.
+	for c := Counter(0); c < NumCounters; c++ {
+		name := "midas_" + metricName(c.String()) + "_total"
+		fmt.Fprintf(&b, "# HELP %s Per-rank MIDAS counter %q (see docs/OBSERVABILITY.md).\n", name, c.String())
+		fmt.Fprintf(&b, "# TYPE %s counter\n", name)
+		for _, s := range snaps {
+			sample(name, strconv.Itoa(s.Rank), strconv.FormatInt(s.Counter(c), 10))
+		}
+	}
+
+	// Traffic counters (filled when the source merges comm.Stats; zero
+	// on recorder-only live sources) and the clock gauge.
+	traffic := []struct {
+		name string
+		get  func(Snapshot) int64
+	}{
+		{"midas_msgs_sent_total", func(s Snapshot) int64 { return s.MsgsSent }},
+		{"midas_msgs_recvd_total", func(s Snapshot) int64 { return s.MsgsRecvd }},
+		{"midas_bytes_sent_total", func(s Snapshot) int64 { return s.BytesSent }},
+		{"midas_bytes_recvd_total", func(s Snapshot) int64 { return s.BytesRecvd }},
+		{"midas_collectives_total", func(s Snapshot) int64 { return s.Collectives }},
+	}
+	for _, m := range traffic {
+		fmt.Fprintf(&b, "# HELP %s Per-rank MIDAS traffic counter (see docs/OBSERVABILITY.md).\n", m.name)
+		fmt.Fprintf(&b, "# TYPE %s counter\n", m.name)
+		for _, s := range snaps {
+			sample(m.name, strconv.Itoa(s.Rank), strconv.FormatInt(m.get(s), 10))
+		}
+	}
+	fmt.Fprintf(&b, "# HELP midas_clock_seconds Rank time-base reading at scrape (virtual seconds for distributed ranks).\n")
+	fmt.Fprintf(&b, "# TYPE midas_clock_seconds gauge\n")
+	for _, s := range snaps {
+		sample("midas_clock_seconds", strconv.Itoa(s.Rank), fmtFloat(s.End))
+	}
+
+	// Latency histograms: one family per HistID, union over snapshots
+	// (a live Recorder snapshot always carries all NumHists families).
+	famSet := map[string]bool{}
+	for _, s := range snaps {
+		for _, h := range s.Hists {
+			famSet[h.Name] = true
+		}
+	}
+	fams := make([]string, 0, len(famSet))
+	for f := range famSet {
+		fams = append(fams, f)
+	}
+	sort.Strings(fams)
+	for _, fam := range fams {
+		name := "midas_" + metricName(fam) + "_seconds"
+		fmt.Fprintf(&b, "# HELP %s Per-rank MIDAS latency histogram %q (see docs/OBSERVABILITY.md).\n", name, fam)
+		fmt.Fprintf(&b, "# TYPE %s histogram\n", name)
+		for _, s := range snaps {
+			h := s.Hist(fam)
+			rank := strconv.Itoa(s.Rank)
+			bounds, cum := h.Cumulative()
+			for i, bound := range bounds {
+				b.WriteString(name)
+				b.WriteString(`_bucket{rank="`)
+				b.WriteString(rank)
+				b.WriteString(`",le="`)
+				b.WriteString(fmtFloat(bound))
+				b.WriteString(`"} `)
+				b.WriteString(strconv.FormatInt(cum[i], 10))
+				b.WriteByte('\n')
+			}
+			b.WriteString(name)
+			b.WriteString(`_bucket{rank="`)
+			b.WriteString(rank)
+			b.WriteString(`",le="+Inf"} `)
+			b.WriteString(strconv.FormatInt(h.Count, 10))
+			b.WriteByte('\n')
+			sample(name+"_sum", rank, fmtFloat(h.Sum))
+			sample(name+"_count", rank, strconv.FormatInt(h.Count, 10))
+		}
+	}
+	w.Write([]byte(b.String())) //nolint:errcheck
+}
+
+// HealthRank is one rank's entry in the /healthz response: is the rank
+// making progress, and where is it.
+type HealthRank struct {
+	Rank      int     `json:"rank"`
+	Phase     string  `json:"phase,omitempty"`
+	ClockSecs float64 `json:"clockSecs"`
+	Rounds    int64   `json:"rounds"`
+	Phases    int64   `json:"phases"`
+	Levels    int64   `json:"levels"`
+	Spans     int     `json:"spans"`
+}
+
+// Health is the /healthz response body.
+type Health struct {
+	Status string       `json:"status"`
+	Ranks  []HealthRank `json:"ranks"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	snaps := s.source()
+	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Rank < snaps[j].Rank })
+	h := Health{Status: "ok", Ranks: make([]HealthRank, 0, len(snaps))}
+	for _, sn := range snaps {
+		h.Ranks = append(h.Ranks, HealthRank{
+			Rank:      sn.Rank,
+			Phase:     sn.Phase,
+			ClockSecs: sn.End,
+			Rounds:    sn.Counter(Rounds),
+			Phases:    sn.Counter(Phases),
+			Levels:    sn.Counter(Levels),
+			Spans:     sn.SpansRecorded,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(h) //nolint:errcheck
+}

@@ -1,0 +1,237 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func testServer(t *testing.T) (*Server, *Recorder) {
+	t.Helper()
+	fc := &fakeClock{}
+	rec := NewRecorder(0, fc.now)
+	fc.t = 0.5
+	rec.Add(DPOps, 1234)
+	rec.Add(Rounds, 1)
+	rec.SetPhaseLabel("phase 3")
+	rec.Observe(HistSendLatency, 1.5e-6)
+	rec.Observe(HistSendLatency, 4e-6)
+	rec.Observe(HistRecvWait, 2e-4)
+	rec.Observe(HistBarrierWait, 1e-3)
+	rec.Observe(HistHaloExchange, 5e-4)
+	rec.Begin("round 0", "round")
+	srv, err := Serve("127.0.0.1:0", SnapshotSource(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, rec
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// promSampleRe matches one Prometheus text-format sample line.
+var promSampleRe = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (\+Inf|-Inf|NaN|[0-9eE+.\-]+)$`)
+
+// TestMetricsExpositionValid checks the /metrics output against the
+// Prometheus text-format contract: every non-comment line parses as a
+// sample, every metric is preceded by a TYPE comment, and histogram
+// series have ascending le bounds, non-decreasing cumulative buckets,
+// a +Inf bucket, and bucket/count agreement.
+func TestMetricsExpositionValid(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, "http://"+srv.Addr()+"/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	typed := map[string]string{} // metric family -> TYPE
+	type histState struct {
+		lastLe  float64
+		lastCum int64
+		infSeen bool
+		inf     int64
+		count   int64
+	}
+	hists := map[string]*histState{} // per family+rank series
+	var histFamilies int
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line: %q", line)
+			}
+			typed[parts[2]] = parts[3]
+			if parts[3] == "histogram" {
+				histFamilies++
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSampleRe.MatchString(line) {
+			t.Fatalf("line is not a valid Prometheus sample: %q", line)
+		}
+		name := line[:strings.IndexAny(line, "{ ")]
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b := strings.TrimSuffix(name, suffix); b != name && typed[b] == "histogram" {
+				base = b
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("sample %q has no preceding TYPE comment", line)
+		}
+		if typed[base] != "histogram" {
+			continue
+		}
+		rank := "?"
+		if m := regexp.MustCompile(`rank="([^"]*)"`).FindStringSubmatch(line); m != nil {
+			rank = m[1]
+		}
+		key := base + "/" + rank
+		st := hists[key]
+		if st == nil {
+			st = &histState{lastLe: -1}
+			hists[key] = st
+		}
+		valStr := line[strings.LastIndex(line, " ")+1:]
+		switch {
+		case strings.HasPrefix(name, base+"_bucket"):
+			m := regexp.MustCompile(`le="([^"]*)"`).FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("bucket without le label: %q", line)
+			}
+			var le float64
+			if m[1] == "+Inf" {
+				le = 1e308
+				st.infSeen = true
+				st.inf, _ = strconv.ParseInt(valStr, 10, 64)
+			} else {
+				var err error
+				le, err = strconv.ParseFloat(m[1], 64)
+				if err != nil {
+					t.Fatalf("unparseable le %q", m[1])
+				}
+			}
+			if le <= st.lastLe {
+				t.Fatalf("le bounds not ascending in %s: %g after %g", key, le, st.lastLe)
+			}
+			st.lastLe = le
+			cum, _ := strconv.ParseInt(valStr, 10, 64)
+			if cum < st.lastCum {
+				t.Fatalf("cumulative bucket decreases in %s: %q", key, line)
+			}
+			st.lastCum = cum
+		case name == base+"_count":
+			st.count, _ = strconv.ParseInt(valStr, 10, 64)
+		}
+	}
+	if histFamilies < 4 {
+		t.Fatalf("want at least 4 histogram families, got %d", histFamilies)
+	}
+	for key, st := range hists {
+		if !st.infSeen {
+			t.Fatalf("histogram series %s has no +Inf bucket", key)
+		}
+		if st.inf != st.count {
+			t.Fatalf("histogram series %s: +Inf bucket %d != count %d", key, st.inf, st.count)
+		}
+	}
+	// Spot-check a counter value made it through.
+	if !strings.Contains(body, `midas_dp_ops_total{rank="0"} 1234`) {
+		t.Fatalf("dp-ops counter missing from exposition:\n%s", body)
+	}
+}
+
+func TestHealthzReportsProgress(t *testing.T) {
+	srv, rec := testServer(t)
+	code, body := get(t, "http://"+srv.Addr()+"/healthz")
+	if code != 200 {
+		t.Fatalf("/healthz status %d", code)
+	}
+	var h Health
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatalf("healthz is not JSON: %v\n%s", err, body)
+	}
+	if h.Status != "ok" || len(h.Ranks) != 1 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	r0 := h.Ranks[0]
+	if r0.Rank != 0 || r0.Phase != "phase 3" || r0.Rounds != 1 || r0.ClockSecs != 0.5 || r0.Spans != 1 {
+		t.Fatalf("rank health = %+v", r0)
+	}
+	rec.End()
+}
+
+func TestPprofServed(t *testing.T) {
+	srv, _ := testServer(t)
+	code, body := get(t, "http://"+srv.Addr()+"/debug/pprof/")
+	if code != 200 || !strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index: status %d body %q", code, body)
+	}
+	code, _ = get(t, "http://"+srv.Addr()+"/debug/pprof/cmdline")
+	if code != 200 {
+		t.Fatalf("pprof cmdline status %d", code)
+	}
+}
+
+// TestServeWhileRecording hammers the endpoint from HTTP while the
+// "rank goroutine" keeps mutating the recorder — the concurrency
+// contract the live telemetry plane needs (run under -race via make
+// race).
+func TestServeWhileRecording(t *testing.T) {
+	rec := NewRecorder(0, func() float64 { return 0 })
+	srv, err := Serve("127.0.0.1:0", SnapshotSource(rec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 500; i++ {
+			rec.Add(DPOps, 1)
+			rec.Observe(HistRecvWait, 1e-6)
+			rec.FlowSend(0, 1, 1)
+			rec.Begin("round 0", "round")
+			rec.SetPhaseLabel("spin")
+			rec.End()
+		}
+	}()
+	for i := 0; i < 20; i++ {
+		if code, _ := get(t, "http://"+srv.Addr()+"/metrics"); code != 200 {
+			t.Fatalf("metrics status %d", code)
+		}
+		if code, _ := get(t, "http://"+srv.Addr()+"/healthz"); code != 200 {
+			t.Fatalf("healthz status %d", code)
+		}
+	}
+	<-done
+	if got := rec.Get(DPOps); got != 500 {
+		t.Fatalf("DPOps = %d, want 500", got)
+	}
+}
+
+func TestServeBadAddr(t *testing.T) {
+	if _, err := Serve("definitely:not:an:addr", nil); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

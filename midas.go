@@ -46,8 +46,14 @@
 //	midas.WriteObsSummary(os.Stdout, rec.Snapshot())
 //
 // WriteObsTrace renders snapshots as Chrome trace_event JSON for
-// chrome://tracing or Perfetto. With no recorder attached the
+// chrome://tracing or Perfetto (send/receive pairs are stitched with
+// flow arrows across ranks). With no recorder attached the
 // instrumentation is free: every hook is a nil-receiver no-op.
+//
+// A run can also be watched live: set Options.ObsAddr (or start a
+// ServeObs server yourself) to expose Prometheus /metrics, /healthz
+// liveness, and /debug/pprof/ on an HTTP port while the detection is
+// in flight.
 package midas
 
 import (
@@ -158,20 +164,53 @@ type Options struct {
 	// counts for the run (see the package Observability section and
 	// docs/OBSERVABILITY.md). Nil disables instrumentation at no cost.
 	Obs *ObsRecorder
+	// ObsAddr, when non-empty, serves the live telemetry endpoint
+	// (/metrics, /healthz, /debug/pprof/) on this host:port for the
+	// duration of the call (":0" picks a free port). A recorder is
+	// attached automatically if Obs is nil. For an endpoint that
+	// outlives a single call, use ServeObs directly.
+	ObsAddr string
 }
 
 func (o Options) mld() mld.Options {
 	return mld.Options{Seed: o.Seed, Epsilon: o.Epsilon, Rounds: o.Rounds, N2: o.N2, Workers: o.Workers, Obs: o.Obs}
 }
 
+// obsSetup applies Options.ObsAddr: when set, it ensures a recorder is
+// attached and serves the live endpoint over it until the returned stop
+// function runs (call it when the detection returns).
+func (o Options) obsSetup() (Options, func(), error) {
+	if o.ObsAddr == "" {
+		return o, func() {}, nil
+	}
+	if o.Obs == nil {
+		o.Obs = NewObsRecorder()
+	}
+	srv, err := ServeObs(o.ObsAddr, o.Obs)
+	if err != nil {
+		return o, nil, err
+	}
+	return o, func() { srv.Close() }, nil
+}
+
 // FindPath reports whether g contains a simple path on k vertices.
 func FindPath(g *Graph, k int, opt Options) (bool, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return false, err
+	}
+	defer stop()
 	return mld.DetectPath(g, k, opt.mld())
 }
 
 // FindPathVertices returns an actual k-path (in order), or an error if
 // none is detected.
 func FindPathVertices(g *Graph, k int, opt Options) ([]int32, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	return mld.ExtractPath(g, k, opt.mld())
 }
 
@@ -180,24 +219,44 @@ func FindPathVertices(g *Graph, k int, opt Options) ([]int32, error) {
 // whether any k-path exists. Vertex weights must be non-negative; round
 // large float weights with RoundWeights first.
 func MaxWeightPath(g *Graph, k int, opt Options) (weight int64, found bool, err error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return 0, false, err
+	}
+	defer stop()
 	return mld.MaxWeightPath(g, k, opt.mld())
 }
 
 // MaxWeightTree is MaxWeightPath for tree templates: the maximum total
 // vertex weight over all non-induced embeddings of tpl.
 func MaxWeightTree(g *Graph, tpl *Template, opt Options) (weight int64, found bool, err error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return 0, false, err
+	}
+	defer stop()
 	return mld.MaxWeightTree(g, tpl, opt.mld())
 }
 
 // FindTree reports whether the tree template has a non-induced
 // embedding in g.
 func FindTree(g *Graph, tpl *Template, opt Options) (bool, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return false, err
+	}
+	defer stop()
 	return mld.DetectTree(g, tpl, opt.mld())
 }
 
 // FindTreeVertices returns an embedding (indexed by template vertex),
 // or an error if none is detected.
 func FindTreeVertices(g *Graph, tpl *Template, opt Options) ([]int32, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	return mld.ExtractTree(g, tpl, opt.mld())
 }
 
@@ -234,12 +293,22 @@ func RoundWeights(w []float64, gridMax int) ([]int64, error) {
 // maximizing the statistic over g's vertex weights (set them with
 // Graph.SetWeights).
 func DetectAnomaly(g *Graph, k int, stat Statistic, opt Options) (AnomalyResult, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return AnomalyResult{}, err
+	}
+	defer stop()
 	return scanstat.Detect(g, k, stat, scanstat.Options{MLD: opt.mld()})
 }
 
 // ExtractAnomaly recovers an actual vertex set realizing a feasible
 // (size, weight) cell reported by DetectAnomaly.
 func ExtractAnomaly(g *Graph, size int, weight int64, opt Options) ([]int32, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return nil, err
+	}
+	defer stop()
 	return scanstat.ExtractCell(g, size, weight, scanstat.Options{MLD: opt.mld()})
 }
 
@@ -269,6 +338,32 @@ func WriteObsSummary(w io.Writer, snaps ...ObsSnapshot) error { return obs.Write
 // trace thread per rank, one complete event per span — loadable at
 // chrome://tracing or https://ui.perfetto.dev.
 func WriteObsTrace(w io.Writer, snaps ...ObsSnapshot) error { return obs.WriteTrace(w, snaps...) }
+
+// ObsHistogram is the mergeable, serializable form of one latency
+// histogram (Snapshot.Hists); Merge folds per-rank distributions.
+type ObsHistogram = obs.HistSnapshot
+
+// ObsServer is the live telemetry HTTP server: Prometheus text-format
+// /metrics, rank liveness and phase progress on /healthz, and the
+// standard /debug/pprof/ profiler. Start one with ServeObs (or let
+// Options.ObsAddr / `midas -obs-addr` do it); stop with Close.
+type ObsServer = obs.Server
+
+// ServeObs serves the live telemetry endpoint on addr (":0" picks a
+// free port; read it back with Addr) over the given recorders — one per
+// in-process rank, or just one for a sequential run. Scrapes see the
+// run in flight: recorders are snapshotted per request.
+func ServeObs(addr string, recs ...*ObsRecorder) (*ObsServer, error) {
+	return obs.Serve(addr, obs.SnapshotSource(recs...))
+}
+
+// ServeObsSource is ServeObs over a dynamic snapshot callback, for
+// servers that must outlive any fixed recorder set (e.g. chaos runs
+// that rebuild their world per attempt). source is invoked per request
+// and must be safe for concurrent use.
+func ServeObsSource(addr string, source func() []ObsSnapshot) (*ObsServer, error) {
+	return obs.Serve(addr, source)
+}
 
 // Cluster is a rank's handle on an SPMD world (MPI-communicator-like).
 // Observability hooks live directly on it: EnableObs attaches a

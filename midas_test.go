@@ -3,6 +3,8 @@ package midas_test
 import (
 	"bytes"
 	"fmt"
+	"io"
+	"net/http"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -294,5 +296,43 @@ func TestPublicObservability(t *testing.T) {
 		if s.Rank != r || s.MsgsSent == 0 {
 			t.Fatalf("rank %d snapshot looks empty: %+v", r, s)
 		}
+	}
+}
+
+// TestPublicLiveTelemetry exercises the live endpoint surface: ServeObs
+// over an explicit recorder, and Options.ObsAddr starting (and closing)
+// a per-call server.
+func TestPublicLiveTelemetry(t *testing.T) {
+	g := midas.NewRandomGraph(200, 4)
+	rec := midas.NewObsRecorder()
+	srv, err := midas.ServeObs("127.0.0.1:0", rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if _, err := midas.FindPath(g, 6, midas.Options{Seed: 2, Rounds: 1, Obs: rec}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(body), "midas_dp_ops_total") {
+		t.Fatalf("metrics exposition wrong (status %d):\n%s", resp.StatusCode, body)
+	}
+
+	// Options.ObsAddr: the endpoint exists for the duration of the call;
+	// the recorder it fed still holds the run's telemetry afterwards.
+	rec2 := midas.NewObsRecorder()
+	if _, err := midas.FindPath(g, 6, midas.Options{Seed: 2, Rounds: 1, Obs: rec2, ObsAddr: "127.0.0.1:0"}); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec2.Snapshot().Spans) == 0 {
+		t.Fatal("ObsAddr run recorded nothing")
+	}
+	if _, err := midas.FindPath(g, 6, midas.Options{ObsAddr: "definitely:not:an:addr"}); err == nil {
+		t.Fatal("bad ObsAddr accepted")
 	}
 }
