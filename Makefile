@@ -10,7 +10,7 @@ GO ?= go
 # a significance test (`make bench > new.txt && benchstat old.txt new.txt`).
 BENCH_COUNT ?= 6
 
-.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures
+.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures bench-compare
 
 all: check
 
@@ -48,3 +48,25 @@ bench-smoke:
 # The paper-figure benchmarks (heavyweight; regenerate EXPERIMENTS.md).
 bench-figures:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Compare current performance against the committed baseline:
+#  1. regenerate the JSON bench report with the baseline's parameters
+#     and diff the deterministic counters via cmd/benchdiff (hard gate);
+#  2. if benchstat is installed, also run the gf + core microbenchmarks
+#     and show a statistical comparison against bench-old.txt when one
+#     exists (informational — wall time is host-dependent).
+bench-compare:
+	mkdir -p artifacts
+	$(GO) run ./cmd/midas-bench -json artifacts/bench-new.json -scale 300 -n 4 -ks 4,6 -seed 1
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json artifacts/bench-new.json | tee artifacts/bench-compare.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		$(GO) test -run '^$$' -bench . -benchmem -count $(BENCH_COUNT) ./internal/gf > artifacts/bench-gf.txt; \
+		if [ -f artifacts/bench-old.txt ]; then \
+			benchstat artifacts/bench-old.txt artifacts/bench-gf.txt | tee -a artifacts/bench-compare.txt; \
+		else \
+			echo "no artifacts/bench-old.txt; saved current run as the next baseline"; \
+		fi; \
+		cp artifacts/bench-gf.txt artifacts/bench-old.txt; \
+	else \
+		echo "benchstat not installed; skipping microbenchmark statistics"; \
+	fi

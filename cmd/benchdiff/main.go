@@ -1,0 +1,138 @@
+// Command benchdiff compares two midas-bench JSON reports and fails on
+// regressions of the deterministic (counted) quantities. It is the CI
+// gate behind `make bench-compare`: wall-clock and modeled times vary
+// by host and are reported but never gated; message counts, bytes and
+// DP-op counters are pure functions of the run parameters, so any
+// increase beyond the tolerance is a real algorithmic regression.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.10] baseline.json new.json
+//
+// Exit status 1 on any finding:
+//   - a run present in the baseline is missing from the new report,
+//   - the boolean answer of a run changed,
+//   - a counted field (msgs, bytes, dp-ops, halo-msgs, halo-bytes,
+//     rounds, phases, levels) grew by more than -tol (default 10%).
+//
+// cells-skipped and the kernel throughput records are informational:
+// skips elide work the analytic dp-ops counter still models, and
+// kernel MB/s depends on the host CPU.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/midas-hpc/midas/internal/harness"
+)
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "allowed fractional increase of counted fields")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.10] baseline.json new.json")
+		os.Exit(2)
+	}
+	oldRep, err := harness.ReadReport(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	newRep, err := harness.ReadReport(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(2)
+	}
+	findings, info := Compare(oldRep, newRep, *tol)
+	for _, line := range info {
+		fmt.Println(line)
+	}
+	if len(findings) > 0 {
+		for _, f := range findings {
+			fmt.Println("REGRESSION:", f)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: OK")
+}
+
+// countedFields are the RunRecord counters gated by tolerance; each is
+// deterministic in the run parameters (see harness.BenchReport).
+var countedFields = []string{"dp-ops", "halo-msgs", "halo-bytes", "rounds", "phases", "levels"}
+
+// Compare diffs two reports and returns the gating findings plus
+// informational lines. Split from main for testing.
+func Compare(oldRep, newRep harness.Report, tol float64) (findings, info []string) {
+	index := func(rep harness.Report) map[string]harness.RunRecord {
+		m := make(map[string]harness.RunRecord, len(rep.Runs))
+		for _, r := range rep.Runs {
+			m[fmt.Sprintf("%s/k=%d/n=%d", r.Dataset, r.K, r.N)] = r
+		}
+		return m
+	}
+	oldRuns, newRuns := index(oldRep), index(newRep)
+
+	gate := func(key, field string, o, n int64) {
+		if o == n {
+			return
+		}
+		change := "∞"
+		if o != 0 {
+			change = fmt.Sprintf("%+.1f%%", 100*(float64(n)-float64(o))/float64(o))
+		}
+		line := fmt.Sprintf("%s %s: %d → %d (%s)", key, field, o, n, change)
+		if float64(n) > float64(o)*(1+tol) {
+			findings = append(findings, line)
+		} else {
+			info = append(info, line)
+		}
+	}
+
+	for _, o := range sortedRuns(oldRuns) {
+		n, ok := newRuns[o.key]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: run missing from new report", o.key))
+			continue
+		}
+		if o.rec.Answer != n.Answer {
+			findings = append(findings, fmt.Sprintf("%s: answer changed %v → %v", o.key, o.rec.Answer, n.Answer))
+		}
+		gate(o.key, "msgs", o.rec.Msgs, n.Msgs)
+		gate(o.key, "bytes", o.rec.Bytes, n.Bytes)
+		for _, f := range countedFields {
+			gate(o.key, f, o.rec.Counters[f], n.Counters[f])
+		}
+		if os, ns := o.rec.Counters["cells-skipped"], n.Counters["cells-skipped"]; os != ns {
+			info = append(info, fmt.Sprintf("%s cells-skipped: %d → %d (informational)", o.key, os, ns))
+		}
+	}
+	for _, k := range newRep.Kernels {
+		info = append(info, fmt.Sprintf("kernel %s: %.0f MB/s (informational)", k.Name, k.MBPerSec))
+	}
+	return findings, info
+}
+
+type keyedRun struct {
+	key string
+	rec harness.RunRecord
+}
+
+// sortedRuns returns runs in a deterministic order so output is stable.
+func sortedRuns(m map[string]harness.RunRecord) []keyedRun {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	out := make([]keyedRun, len(keys))
+	for i, k := range keys {
+		out[i] = keyedRun{key: k, rec: m[k]}
+	}
+	return out
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/harness"
+)
+
+func mkReport(runs ...harness.RunRecord) harness.Report {
+	return harness.Report{Schema: harness.BenchSchemaVersion, Runs: runs}
+}
+
+func mkRun(dataset string, k int, msgs, dpops int64, answer bool) harness.RunRecord {
+	return harness.RunRecord{
+		Dataset: dataset, K: k, N: 4, Answer: answer,
+		Msgs: msgs, Bytes: msgs * 100,
+		Counters: map[string]int64{
+			"dp-ops": dpops, "halo-msgs": msgs, "halo-bytes": msgs * 80,
+			"rounds": 1, "phases": 4, "levels": int64(k - 1),
+		},
+	}
+}
+
+func TestCompareClean(t *testing.T) {
+	old := mkReport(mkRun("er", 4, 100, 5000, true))
+	neu := mkReport(mkRun("er", 4, 100, 5000, true))
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("identical reports produced findings: %v", findings)
+	}
+}
+
+func TestCompareWithinTolerance(t *testing.T) {
+	old := mkReport(mkRun("er", 4, 100, 5000, true))
+	neu := mkReport(mkRun("er", 4, 105, 5200, true)) // +5%, +4%
+	findings, info := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("within-tolerance growth gated: %v", findings)
+	}
+	if len(info) == 0 {
+		t.Fatal("changed fields produced no informational lines")
+	}
+}
+
+func TestCompareRegression(t *testing.T) {
+	old := mkReport(mkRun("er", 4, 100, 5000, true))
+	neu := mkReport(mkRun("er", 4, 150, 5000, true)) // msgs +50%
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) == 0 {
+		t.Fatal("50% msgs growth not flagged")
+	}
+	if !strings.Contains(findings[0], "msgs") {
+		t.Fatalf("finding does not name the field: %q", findings[0])
+	}
+}
+
+func TestCompareAnswerChange(t *testing.T) {
+	old := mkReport(mkRun("er", 4, 100, 5000, true))
+	neu := mkReport(mkRun("er", 4, 100, 5000, false))
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) == 0 {
+		t.Fatal("answer flip not flagged")
+	}
+	if !strings.Contains(findings[0], "answer") {
+		t.Fatalf("finding does not mention the answer: %q", findings[0])
+	}
+}
+
+func TestCompareMissingRun(t *testing.T) {
+	old := mkReport(mkRun("er", 4, 100, 5000, true), mkRun("ba", 6, 200, 9000, false))
+	neu := mkReport(mkRun("er", 4, 100, 5000, true))
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing") {
+		t.Fatalf("missing run not flagged: %v", findings)
+	}
+}
+
+func TestCompareImprovementNotGated(t *testing.T) {
+	old := mkReport(mkRun("er", 4, 100, 5000, true))
+	neu := mkReport(mkRun("er", 4, 50, 2500, true)) // halved — an improvement
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("improvement gated as regression: %v", findings)
+	}
+}
+
+func TestCompareCellsSkippedInformational(t *testing.T) {
+	o := mkRun("er", 4, 100, 5000, true)
+	n := mkRun("er", 4, 100, 5000, true)
+	o.Counters["cells-skipped"] = 0
+	n.Counters["cells-skipped"] = 100000 // huge growth must not gate
+	findings, info := Compare(mkReport(o), mkReport(n), 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("cells-skipped gated: %v", findings)
+	}
+	var seen bool
+	for _, l := range info {
+		if strings.Contains(l, "cells-skipped") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("cells-skipped change not reported informationally")
+	}
+}

@@ -105,7 +105,8 @@ type plan struct {
 	computeSecs float64 // accumulated modeled/measured compute time (profiling)
 	sumDegOwned int     // Σ_{v owned} deg(v): the per-level work measure
 
-	rec *obs.Recorder // the world's recorder; nil when observability is off
+	rec   *obs.Recorder // the world's recorder; nil when observability is off
+	arena *mld.Arena    // slab pool shared across this plan's rounds
 }
 
 type haloList struct {
@@ -120,7 +121,7 @@ func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
 		return nil, err
 	}
 	world.SetPhase("setup")
-	p := &plan{cfg: cfg, g: g, world: world, rec: world.Recorder()}
+	p := &plan{cfg: cfg, g: g, world: world, rec: world.Recorder(), arena: mld.NewArena()}
 	p.groups = world.Size() / cfg.N1
 	p.gid = world.Rank() / cfg.N1
 	p.group = world.Split(p.gid, world.Rank()%cfg.N1)

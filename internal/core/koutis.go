@@ -70,6 +70,8 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 	prev := make([]uint64, p.nSlots*n2)
 	cur := make([]uint64, p.nSlots*n2)
 	var total uint64
+	// mod = 2^(k+1), so reduction is a mask; see mld.koutisPathRound.
+	mask := mod - 1
 
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
@@ -112,12 +114,12 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 						}
 						src := prev[su*n2 : su*n2+nb]
 						for q := range dst {
-							dst[q] = (dst[q] + r*src[q]) % mod
+							dst[q] = (dst[q] + r*src[q]) & mask
 						}
 					}
 					b := base[sv*n2 : sv*n2+nb]
 					for q := range dst {
-						dst[q] = (dst[q] * b[q]) % mod
+						dst[q] = (dst[q] * b[q]) & mask
 					}
 				}
 				p.advanceCompute(levelCost)
@@ -131,7 +133,7 @@ func (p *plan) koutisRoundLocal(a *mld.KoutisAssignment, mod uint64) uint64 {
 			for _, v := range p.owned {
 				sv := int(p.slotOf[v])
 				for q := 0; q < nb; q++ {
-					total = (total + prev[sv*n2+q]) % mod
+					total = (total + prev[sv*n2+q]) & mask
 				}
 			}
 			p.advanceCompute(elemSec * float64(len(p.owned)) * float64(nb))

@@ -91,13 +91,20 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 	alloc := func() [][]gf.Elem {
 		out := make([][]gf.Elem, nz)
 		for z := range out {
-			out[z] = make([]gf.Elem, p.nSlots*n2)
+			out[z] = p.arena.Grab(p.nSlots * n2)
 		}
 		return out
 	}
 	prev, cur := alloc(), alloc()
-	base := make([]gf.Elem, p.nSlots*n2)
+	base := p.arena.Grab(p.nSlots * n2)
+	defer func() {
+		p.arena.Put(base)
+		p.arena.Put(prev...)
+		p.arena.Put(cur...)
+	}()
+	one := mld.CachedMulTable(1)
 	totals := make([]gf.Elem, nz)
+	var skipped int64
 
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
@@ -143,18 +150,20 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 					wi := p.g.Weight(v)
 					for _, u := range p.g.Neighbors(v) {
 						su := int(p.slotOf[u])
-						var r gf.Elem = 1
+						// One coefficient covers the whole weight column.
+						t := one
 						if !p.cfg.NoFingerprints {
-							r = a.EdgeCoeff(u, v, j)
+							t = a.EdgeTable(u, v, j)
 						}
 						uLo, uHi := su*n2, su*n2+nb
 						hashes++
 						for z := wi; z <= zhi && z-wi <= zPrev; z++ {
 							src := prev[z-wi][uLo:uHi]
 							if !gf.AnyNonZero(src) {
+								skipped++
 								continue
 							}
-							gf.MulSlice16(cur[z][iLo:iHi], src, r)
+							gf.MulSliceTable16(cur[z][iLo:iHi], src, t)
 							kernelElems += float64(nb)
 						}
 					}
@@ -189,5 +198,6 @@ func (p *plan) maxWeightRoundLocal(a *mld.Assignment, zmax int64) []gf.Elem {
 		}
 		p.world.Barrier()
 	}
+	p.rec.Add(obs.CellsSkipped, skipped)
 	return totals
 }

@@ -28,10 +28,13 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 	numPhases := p.phases(k)
 	steps := (numPhases + uint64(p.groups) - 1) / uint64(p.groups)
 
-	base := make([]gf.Elem, p.nSlots*n2)
-	prev := make([]gf.Elem, p.nSlots*n2)
-	cur := make([]gf.Elem, p.nSlots*n2)
+	base := p.arena.Grab(p.nSlots * n2)
+	prev := p.arena.Grab(p.nSlots * n2)
+	cur := p.arena.Grab(p.nSlots * n2)
+	defer p.arena.Put(base, prev, cur)
+	one := mld.CachedMulTable(1)
 	var total gf.Elem
+	var skipped int64
 
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
@@ -65,11 +68,16 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 					}
 					for _, u := range p.g.Neighbors(v) {
 						su := int(p.slotOf[u])
-						var r gf.Elem = 1
-						if !p.cfg.NoFingerprints {
-							r = a.EdgeCoeff(u, v, j)
+						src := prev[su*n2 : su*n2+nb]
+						if !gf.AnyNonZero(src) {
+							skipped++
+							continue
 						}
-						gf.MulSlice16(dst, prev[su*n2:su*n2+nb], r)
+						t := one
+						if !p.cfg.NoFingerprints {
+							t = a.EdgeTable(u, v, j)
+						}
+						gf.MulSliceTable16(dst, src, t)
 					}
 					gf.HadamardInto(dst, dst, base[sv*n2:sv*n2+nb])
 				}
@@ -97,5 +105,6 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 		// Algorithm 2 line 12: all groups synchronize between batches.
 		p.world.Barrier()
 	}
+	p.rec.Add(obs.CellsSkipped, skipped)
 	return total
 }

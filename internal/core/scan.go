@@ -99,11 +99,18 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 	for jj := 1; jj <= j; jj++ {
 		tab[jj] = make([][]gf.Elem, nz)
 		for z := 0; z < nz; z++ {
-			tab[jj][z] = make([]gf.Elem, p.nSlots*n2)
+			tab[jj][z] = p.arena.Grab(p.nSlots * n2)
 		}
 	}
-	base := make([]gf.Elem, p.nSlots*n2)
+	base := p.arena.Grab(p.nSlots * n2)
+	defer func() {
+		p.arena.Put(base)
+		for jj := 1; jj <= j; jj++ {
+			p.arena.Put(tab[jj]...)
+		}
+	}()
 	totals := make([]gf.Elem, nz)
+	var skipped int64
 
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
@@ -152,6 +159,7 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 							for zp := 0; zp <= zcap(jp); zp++ {
 								src1 := tab[jp][zp][iLo:iHi]
 								if !gf.AnyNonZero(src1) {
+									skipped++
 									continue
 								}
 								var r gf.Elem = 1
@@ -162,6 +170,7 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 								for zr := 0; zr <= zcap(jr) && zp+zr < nz; zr++ {
 									src2 := tab[jr][zr][uLo:uHi]
 									if !gf.AnyNonZero(src2) {
+										skipped++
 										continue
 									}
 									gf.MulHadamardAccumScaled(tab[jj][zp+zr][iLo:iHi], src1, src2, r)
@@ -198,5 +207,6 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 		}
 		p.world.Barrier()
 	}
+	p.rec.Add(obs.CellsSkipped, skipped)
 	return totals
 }

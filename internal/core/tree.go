@@ -56,15 +56,19 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 		}
 	}
 
-	base := make([]gf.Elem, p.nSlots*n2)
+	base := p.arena.Grab(p.nSlots * n2)
 	vals := make([][]gf.Elem, len(d.Nodes))
 	for j, nd := range d.Nodes {
 		if nd.Left >= 0 {
-			vals[j] = make([]gf.Elem, p.nSlots*n2)
+			vals[j] = p.arena.Grab(p.nSlots * n2)
+			defer p.arena.Put(vals[j])
 		}
 	}
+	defer p.arena.Put(base)
+	one := mld.CachedMulTable(1)
 	acc := make([]gf.Elem, n2)
 	var total gf.Elem
+	var skipped int64
 
 	for s := uint64(0); s < steps; s++ {
 		ph := s*uint64(p.groups) + uint64(p.gid)
@@ -102,11 +106,16 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 					}
 					for _, u := range p.g.Neighbors(v) {
 						su := int(p.slotOf[u])
-						var r gf.Elem = 1
-						if !p.cfg.NoFingerprints {
-							r = a.EdgeCoeff(u, v, j)
+						src := right[su*n2 : su*n2+nb]
+						if !gf.AnyNonZero(src) {
+							skipped++
+							continue
 						}
-						gf.MulSlice16(av, right[su*n2:su*n2+nb], r)
+						t := one
+						if !p.cfg.NoFingerprints {
+							t = a.EdgeTable(u, v, j)
+						}
+						gf.MulSliceTable16(av, src, t)
 					}
 					gf.HadamardInto(dstAll[sv*n2:sv*n2+nb], left[sv*n2:sv*n2+nb], av)
 				}
@@ -130,5 +139,6 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 		}
 		p.world.Barrier()
 	}
+	p.rec.Add(obs.CellsSkipped, skipped)
 	return total
 }

@@ -33,10 +33,14 @@ const (
 // against this concrete type for speed.
 type Elem = uint16
 
+// exp16 carries three periods of the exponent table (not the usual
+// two) so that triple products a·b·c can be computed as one lookup
+// exp16[log a + log b + log c] without a modular reduction; the fused
+// scan-statistics kernel (MulHadamardAccumScaled) depends on this.
 var (
 	exp8  [2 * Order8]uint8
 	log8  [1 << 8]uint16 // log8[0] is unused
-	exp16 [2 * Order16]uint16
+	exp16 [3 * Order16]uint16
 	log16 [1 << 16]uint32 // log16[0] is unused
 )
 
@@ -59,6 +63,7 @@ func buildTables() {
 	for i := 0; i < Order16; i++ {
 		exp16[i] = uint16(y)
 		exp16[i+Order16] = uint16(y)
+		exp16[i+2*Order16] = uint16(y)
 		log16[y] = uint32(i)
 		y <<= 1
 		if y&0x10000 != 0 {
@@ -232,114 +237,7 @@ func Inv64(a uint64) uint64 {
 	return Pow64(a, ^uint64(1)) // exponent 2^64 - 2
 }
 
-// MulSlice16 computes dst[i] ^= c·src[i] over GF(2^16) for all i.
-// This is the axpy kernel of the batched (N2 > 1) DP inner loop: one
-// neighbor message updates a whole iteration-vector at once, which is
-// the cache-locality effect the paper reports in Section IV-B.
-// dst and src must have equal length.
-func MulSlice16(dst, src []Elem, c Elem) {
-	if len(dst) != len(src) {
-		panic("gf: MulSlice16 length mismatch")
-	}
-	if c == 0 {
-		return
-	}
-	lc := log16[c]
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= exp16[lc+log16[s]]
-		}
-	}
-}
-
-// HadamardInto computes dst[i] = a[i]·b[i] over GF(2^16).
-// All three slices must have equal length (dst may alias a or b).
-func HadamardInto(dst, a, b []Elem) {
-	if len(dst) != len(a) || len(a) != len(b) {
-		panic("gf: HadamardInto length mismatch")
-	}
-	for i := range dst {
-		x, y := a[i], b[i]
-		if x == 0 || y == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = exp16[log16[x]+log16[y]]
-		}
-	}
-}
-
-// MulHadamardAccum computes dst[i] ^= a[i]·b[i] over GF(2^16); the
-// fused kernel for the tree DP (P(i,j') ⊙ P(u,j”) accumulation).
-func MulHadamardAccum(dst, a, b []Elem) {
-	if len(dst) != len(a) || len(a) != len(b) {
-		panic("gf: MulHadamardAccum length mismatch")
-	}
-	for i := range dst {
-		x, y := a[i], b[i]
-		if x != 0 && y != 0 {
-			dst[i] ^= exp16[log16[x]+log16[y]]
-		}
-	}
-}
-
-// MulHadamardAccumScaled computes dst[i] ^= c·a[i]·b[i] over GF(2^16);
-// the fused kernel of the scan-statistics DP cell update.
-func MulHadamardAccumScaled(dst, a, b []Elem, c Elem) {
-	if len(dst) != len(a) || len(a) != len(b) {
-		panic("gf: MulHadamardAccumScaled length mismatch")
-	}
-	if c == 0 {
-		return
-	}
-	lc := log16[c]
-	for i := range dst {
-		x, y := a[i], b[i]
-		if x != 0 && y != 0 {
-			p := exp16[log16[x]+log16[y]]
-			dst[i] ^= exp16[lc+log16[p]]
-		}
-	}
-}
-
-// AnyNonZero reports whether the slice has a nonzero element; used to
-// skip dead DP cells cheaply.
-func AnyNonZero(s []Elem) bool {
-	for _, x := range s {
-		if x != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// MulSlice8 is MulSlice16 over GF(2^8): dst[i] ^= c·src[i]. Used by the
-// field-width ablation (the paper's b = 3 + log2 k ≈ 8 choice).
-func MulSlice8(dst, src []uint8, c uint8) {
-	if len(dst) != len(src) {
-		panic("gf: MulSlice8 length mismatch")
-	}
-	if c == 0 {
-		return
-	}
-	lc := log8[c]
-	for i, s := range src {
-		if s != 0 {
-			dst[i] ^= exp8[lc+log8[s]]
-		}
-	}
-}
-
-// HadamardInto8 computes dst[i] = a[i]·b[i] over GF(2^8).
-func HadamardInto8(dst, a, b []uint8) {
-	if len(dst) != len(a) || len(a) != len(b) {
-		panic("gf: HadamardInto8 length mismatch")
-	}
-	for i := range dst {
-		x, y := a[i], b[i]
-		if x == 0 || y == 0 {
-			dst[i] = 0
-		} else {
-			dst[i] = exp8[log8[x]+log8[y]]
-		}
-	}
-}
+// The vector kernels the DP inner loops run on — MulSlice16,
+// HadamardInto, MulHadamardAccum, MulHadamardAccumScaled, their
+// prebuilt-table variants, and the GF(2^8) mirrors — live in
+// kernels.go (branch-free nibble-split implementations).

@@ -1,0 +1,423 @@
+package gf
+
+// Nibble-split vector kernels for the DP inner loops.
+//
+// The DP inner loops of internal/mld and internal/core funnel the whole
+// 2^k iteration space through the axpy/Hadamard kernels below, so their
+// per-element shape dominates the repository's runtime. The axpy kernels
+// (dst[i] ^= c·src[i], one constant against a whole slice) are built
+// around per-constant nibble-split product tables: in GF(2^w),
+// multiplication by a fixed c is linear over GF(2), so c·s decomposes
+// over the four 4-bit nibbles of s into
+//
+//	c·s = T0[s&15] ^ T1[(s>>4)&15] ^ T2[(s>>8)&15] ^ T3[s>>12]
+//
+// where each 16-entry Tj is built from four real multiplies (c·2^b) and
+// eleven XORs. The payoff is a branch-free stream with a tiny working
+// set instead of two dependent lookups into the 256 KiB log/exp tables
+// and a data-dependent zero-branch per element (the tables map 0 to 0).
+// This is the table-split engineering Björklund et al. report
+// integer-factor speedups from in the multilinear-sieving setting
+// (arXiv:1206.3483). Two concrete layouts are used:
+//
+//   - On amd64 with AVX2, the 16-entry tables are exactly the shape of
+//     a VPSHUFB shuffle: each table splits into a low-byte and a
+//     high-byte 16-lane register and 16 elements are processed per loop
+//     iteration (kernels_amd64.s), in the style of Plank et al.'s
+//     "Screaming Fast Galois Field Arithmetic" SIMD kernels.
+//   - The portable fallback fuses nibble pairs into two 256-entry byte
+//     tables (lo[s&255] ^ hi[s>>8], 1 KiB, L1-resident): two
+//     independent L1 loads per element instead of two dependent
+//     log/exp lookups.
+//
+// The Hadamard kernels (x[i]·y[i], both operands varying) cannot use
+// per-constant tables; they keep the scalar log/exp form — on the dense
+// slices the DP produces, the zero-branch is well-predicted and beats a
+// branch-free masked form — with the scaled variant fused into a single
+// triple-product lookup via the three-period exp16 table.
+//
+// Callers that reuse one coefficient across many slices — the per-edge
+// fingerprint coefficients of the DP — should build (or cache, see
+// internal/mld's coefficient-table cache) a MulTable once and call the
+// *Table variants; the plain kernels build a table on the stack when
+// the slice is long enough to amortize it and otherwise fall back to
+// the scalar log/exp path. Every kernel here is pinned byte-identical
+// to the scalar reference by the property/fuzz tests in fuzz_test.go.
+
+// word abstracts the element width so GF(2^16) and GF(2^8) share one
+// nibble-table construction (the field-width ablation measures the
+// same kernel style in both fields).
+type word interface {
+	~uint8 | ~uint16
+}
+
+// buildNibbleTables fills t (length 16·nibbles: 64 for GF(2^16), 32
+// for GF(2^8)) with the per-nibble product tables of c:
+// t[16j+n] = c·(n << 4j). Each 16-entry block costs four real
+// multiplies (the power-of-two entries) and eleven XORs (every other
+// index v is the XOR of its lowest set bit and the rest).
+func buildNibbleTables[W word](t []W, c W, mul func(W, W) W) {
+	for j := 0; j*16 < len(t); j++ {
+		blk := t[j*16 : j*16+16 : j*16+16]
+		blk[0] = 0
+		for b := 0; b < 4; b++ {
+			blk[1<<b] = mul(c, W(1)<<uint(4*j+b))
+		}
+		for v := 3; v < 16; v++ {
+			if v&(v-1) != 0 {
+				blk[v] = blk[v&(v-1)] ^ blk[v&-v]
+			}
+		}
+	}
+}
+
+// fuseByteTables expands the four nibble tables into the two 256-entry
+// byte-fused tables of the portable path: b[s] = c·s and
+// b[256+s] = c·(s<<8) for s in [0,256).
+func fuseByteTables(nt *[64]Elem, b *[512]Elem) {
+	for s := 0; s < 256; s++ {
+		b[s] = nt[s&15] ^ nt[16+(s>>4)]
+		b[256+s] = nt[32+(s&15)] ^ nt[48+(s>>4)]
+	}
+}
+
+// fuseByteTables8 is the GF(2^8) analogue: one full 256-entry product
+// table b[s] = c·s, giving a single L1 load per element.
+func fuseByteTables8(nt *[32]uint8, b *[256]uint8) {
+	for s := 0; s < 256; s++ {
+		b[s] = nt[s&15] ^ nt[16+(s>>4)]
+	}
+}
+
+// packNibbleLUT16 repacks the four 16-entry GF(2^16) nibble tables
+// into the SIMD shuffle layout: for nibble j, the 16 low result bytes
+// at lut[32j:32j+16] and the 16 high result bytes at
+// lut[32j+16:32j+32].
+func packNibbleLUT16(nt *[64]Elem, lut *[128]byte) {
+	for j := 0; j < 4; j++ {
+		for n := 0; n < 16; n++ {
+			v := nt[j*16+n]
+			lut[j*32+n] = byte(v)
+			lut[j*32+16+n] = byte(v >> 8)
+		}
+	}
+}
+
+// axpyByteFused is the portable table axpy: two independent 512-byte
+// L1 lookups per element, no branches. dst and src must have equal,
+// nonzero length.
+func axpyByteFused(dst, src []Elem, b *[512]Elem) {
+	lo := (*[256]Elem)(b[0:256])
+	hi := (*[256]Elem)(b[256:512])
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		dst[i] ^= lo[uint8(s)] ^ hi[uint8(s>>8)]
+	}
+}
+
+// axpyByteFused8 is the GF(2^8) portable table axpy: one L1 lookup
+// per element.
+func axpyByteFused8(dst, src []uint8, b *[256]uint8) {
+	_ = dst[len(src)-1]
+	for i, s := range src {
+		dst[i] ^= b[s]
+	}
+}
+
+// mulSliceScalar16 is the scalar log/exp axpy, used below the table
+// thresholds and for SIMD tails. c must be nonzero.
+func mulSliceScalar16(dst, src []Elem, c Elem) {
+	lc := log16[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= exp16[lc+log16[s]]
+		}
+	}
+}
+
+func mulSliceScalar8(dst, src []uint8, c uint8) {
+	lc := log8[c]
+	for i, s := range src {
+		if s != 0 {
+			dst[i] ^= exp8[lc+log8[s]]
+		}
+	}
+}
+
+// Below these lengths a per-call table build does not amortize and the
+// scalar log/exp loop wins. The SIMD threshold is lower because its
+// build is only the 64-entry nibble construction plus a 128-byte
+// repack; the portable build additionally expands 512 fused entries.
+const (
+	mulTableMinLenAsm16  = 64
+	mulTableMinLenFuse16 = 512
+	mulTableMinLen8      = 64
+)
+
+// MulTable holds the per-constant nibble-split tables for the GF(2^16)
+// axpy kernel, in the representation the active code path consumes:
+// the 128-byte VPSHUFB LUT on the AVX2 path, or the byte-fused
+// 256-entry pair on the portable path. Build one with Init (or
+// NewMulTable) for constants reused across many slices — the
+// coefficient-table cache in internal/mld does exactly this.
+type MulTable struct {
+	c   Elem
+	lut [128]byte  // SIMD shuffle layout (see packNibbleLUT16)
+	b   *[512]Elem // byte-fused tables; nil while the SIMD path is active
+}
+
+// NewMulTable returns a built multiplication table for c.
+func NewMulTable(c Elem) *MulTable {
+	t := new(MulTable)
+	t.Init(c)
+	return t
+}
+
+// Init (re)builds the table for c.
+func (t *MulTable) Init(c Elem) {
+	t.c = c
+	var nt [64]Elem
+	buildNibbleTables(nt[:], c, Mul)
+	if haveAsm {
+		packNibbleLUT16(&nt, &t.lut)
+		return
+	}
+	if t.b == nil {
+		t.b = new([512]Elem)
+	}
+	fuseByteTables(&nt, t.b)
+}
+
+// C returns the constant the table was built for.
+func (t *MulTable) C() Elem { return t.c }
+
+// At returns c·s, the scalar single-element view of the table.
+func (t *MulTable) At(s Elem) Elem { return Mul(t.c, s) }
+
+// MulTable8 is MulTable over GF(2^8).
+type MulTable8 struct {
+	c   uint8
+	lut [32]byte    // the two 16-entry nibble tables, VPSHUFB-ready
+	b   *[256]uint8 // full product table; nil while the SIMD path is active
+}
+
+// NewMulTable8 returns a built GF(2^8) multiplication table for c.
+func NewMulTable8(c uint8) *MulTable8 {
+	t := new(MulTable8)
+	t.Init(c)
+	return t
+}
+
+// Init (re)builds the table for c.
+func (t *MulTable8) Init(c uint8) {
+	t.c = c
+	var nt [32]uint8
+	buildNibbleTables(nt[:], c, Mul8)
+	if haveAsm {
+		copy(t.lut[:], nt[:])
+		return
+	}
+	if t.b == nil {
+		t.b = new([256]uint8)
+	}
+	fuseByteTables8(&nt, t.b)
+}
+
+// At returns c·s.
+func (t *MulTable8) At(s uint8) uint8 { return Mul8(t.c, s) }
+
+// MulSlice16 computes dst[i] ^= c·src[i] over GF(2^16) for all i.
+// This is the axpy kernel of the batched (N2 > 1) DP inner loop: one
+// neighbor message updates a whole iteration-vector at once, which is
+// the cache-locality effect the paper reports in Section IV-B.
+// dst and src must have equal length. For constants reused across
+// calls, build a MulTable once and use MulSliceTable16.
+func MulSlice16(dst, src []Elem, c Elem) {
+	if len(dst) != len(src) {
+		panic("gf: MulSlice16 length mismatch")
+	}
+	if c == 0 || len(src) == 0 {
+		return
+	}
+	if haveAsm && len(src) >= mulTableMinLenAsm16 {
+		var nt [64]Elem
+		var lut [128]byte
+		buildNibbleTables(nt[:], c, Mul)
+		packNibbleLUT16(&nt, &lut)
+		axpyLUT16(dst, src, &lut, c)
+		return
+	}
+	if !haveAsm && len(src) >= mulTableMinLenFuse16 {
+		var nt [64]Elem
+		var b [512]Elem
+		buildNibbleTables(nt[:], c, Mul)
+		fuseByteTables(&nt, &b)
+		axpyByteFused(dst, src, &b)
+		return
+	}
+	mulSliceScalar16(dst, src, c)
+}
+
+// MulSliceTable16 computes dst[i] ^= t.C()·src[i] using a prebuilt
+// table, skipping the per-call table construction of MulSlice16.
+// dst and src must have equal length.
+func MulSliceTable16(dst, src []Elem, t *MulTable) {
+	if len(dst) != len(src) {
+		panic("gf: MulSliceTable16 length mismatch")
+	}
+	if t.c == 0 || len(src) == 0 {
+		return
+	}
+	if haveAsm {
+		if len(src) >= 16 {
+			axpyLUT16(dst, src, &t.lut, t.c)
+		} else {
+			mulSliceScalar16(dst, src, t.c)
+		}
+		return
+	}
+	axpyByteFused(dst, src, t.b)
+}
+
+// MulSlice8 is MulSlice16 over GF(2^8): dst[i] ^= c·src[i]. Used by the
+// field-width ablation (the paper's b = 3 + log2 k ≈ 8 choice).
+func MulSlice8(dst, src []uint8, c uint8) {
+	if len(dst) != len(src) {
+		panic("gf: MulSlice8 length mismatch")
+	}
+	if c == 0 || len(src) == 0 {
+		return
+	}
+	if len(src) >= mulTableMinLen8 {
+		var nt [32]uint8
+		buildNibbleTables(nt[:], c, Mul8)
+		if haveAsm {
+			axpyLUT8(dst, src, (*[32]byte)(nt[:]), c)
+		} else {
+			var b [256]uint8
+			fuseByteTables8(&nt, &b)
+			axpyByteFused8(dst, src, &b)
+		}
+		return
+	}
+	mulSliceScalar8(dst, src, c)
+}
+
+// MulSliceTable8 is MulSliceTable16 over GF(2^8).
+func MulSliceTable8(dst, src []uint8, t *MulTable8) {
+	if len(dst) != len(src) {
+		panic("gf: MulSliceTable8 length mismatch")
+	}
+	if t.c == 0 || len(src) == 0 {
+		return
+	}
+	if haveAsm {
+		if len(src) >= 32 {
+			axpyLUT8(dst, src, &t.lut, t.c)
+		} else {
+			mulSliceScalar8(dst, src, t.c)
+		}
+		return
+	}
+	axpyByteFused8(dst, src, t.b)
+}
+
+// HadamardInto computes dst[i] = a[i]·b[i] over GF(2^16).
+// All three slices must have equal length (dst may alias a or b).
+// Both operands vary, so there is no per-constant table to exploit.
+func HadamardInto(dst, a, b []Elem) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("gf: HadamardInto length mismatch")
+	}
+	for i := range dst {
+		x, y := a[i], b[i]
+		if x == 0 || y == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = exp16[log16[x]+log16[y]]
+		}
+	}
+}
+
+// MulHadamardAccum computes dst[i] ^= a[i]·b[i] over GF(2^16); the
+// fused kernel for the tree DP (P(i,j') ⊙ P(u,j”) accumulation).
+func MulHadamardAccum(dst, a, b []Elem) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("gf: MulHadamardAccum length mismatch")
+	}
+	for i := range dst {
+		x, y := a[i], b[i]
+		if x != 0 && y != 0 {
+			dst[i] ^= exp16[log16[x]+log16[y]]
+		}
+	}
+}
+
+// MulHadamardAccumScaled computes dst[i] ^= c·a[i]·b[i] over GF(2^16);
+// the fused kernel of the scan-statistics DP cell update. The triple
+// product is a single lookup — exp16 carries three periods exactly so
+// that log c + log a + log b needs no modular reduction — where the
+// previous form chained the pairwise product through a second log/exp
+// round trip.
+func MulHadamardAccumScaled(dst, a, b []Elem, c Elem) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("gf: MulHadamardAccumScaled length mismatch")
+	}
+	if c == 0 {
+		return
+	}
+	lc := log16[c]
+	for i := range dst {
+		x, y := a[i], b[i]
+		if x != 0 && y != 0 {
+			dst[i] ^= exp16[lc+log16[x]+log16[y]]
+		}
+	}
+}
+
+// HadamardInto8 computes dst[i] = a[i]·b[i] over GF(2^8).
+func HadamardInto8(dst, a, b []uint8) {
+	if len(dst) != len(a) || len(a) != len(b) {
+		panic("gf: HadamardInto8 length mismatch")
+	}
+	for i := range dst {
+		x, y := a[i], b[i]
+		if x == 0 || y == 0 {
+			dst[i] = 0
+		} else {
+			dst[i] = exp8[log8[x]+log8[y]]
+		}
+	}
+}
+
+// AnyNonZero reports whether the slice has a nonzero element; used to
+// skip dead DP cells cheaply. Unrolled OR accumulation: one branch per
+// eight elements instead of one per element.
+func AnyNonZero(s []Elem) bool {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		if s[i]|s[i+1]|s[i+2]|s[i+3]|s[i+4]|s[i+5]|s[i+6]|s[i+7] != 0 {
+			return true
+		}
+	}
+	var v Elem
+	for ; i < len(s); i++ {
+		v |= s[i]
+	}
+	return v != 0
+}
+
+// AnyNonZero8 is AnyNonZero for GF(2^8) slices.
+func AnyNonZero8(s []uint8) bool {
+	i := 0
+	for ; i+8 <= len(s); i += 8 {
+		if s[i]|s[i+1]|s[i+2]|s[i+3]|s[i+4]|s[i+5]|s[i+6]|s[i+7] != 0 {
+			return true
+		}
+	}
+	var v uint8
+	for ; i < len(s); i++ {
+		v |= s[i]
+	}
+	return v != 0
+}

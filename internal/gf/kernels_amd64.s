@@ -1,0 +1,140 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// AVX2 nibble-split GF axpy kernels. See kernels.go for the table
+// construction and kernels_amd64.go for dispatch.
+
+// 0x000F in every 16-bit lane: extracts one nibble per element.
+DATA nibMask16<>+0(SB)/8, $0x000F000F000F000F
+DATA nibMask16<>+8(SB)/8, $0x000F000F000F000F
+DATA nibMask16<>+16(SB)/8, $0x000F000F000F000F
+DATA nibMask16<>+24(SB)/8, $0x000F000F000F000F
+GLOBL nibMask16<>(SB), RODATA|NOPTR, $32
+
+// 0x0F in every byte: extracts the low nibble of every element.
+DATA nibMask8<>+0(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask8<>+8(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask8<>+16(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibMask8<>+24(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL nibMask8<>(SB), RODATA|NOPTR, $32
+
+// func axpyNibbleAVX2(dst, src *Elem, n int, tab *[128]byte)
+//
+// 16 uint16 elements per iteration. For each of the four nibbles j,
+// the index vector holds the nibble value in the even (low) byte of
+// every 16-bit lane and zero in the odd byte; VPSHUFB against the
+// low-byte table Y(2j) and the high-byte table Y(2j+1) yields the two
+// result halves (index 0 maps to table entry 0, which is 0, so the odd
+// lanes contribute nothing), and the high half is shifted into the odd
+// byte before XOR-accumulation.
+TEXT ·axpyNibbleAVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), BX
+
+	VBROADCASTI128 0(BX), Y0    // nibble 0, low result bytes
+	VBROADCASTI128 16(BX), Y1   // nibble 0, high result bytes
+	VBROADCASTI128 32(BX), Y2   // nibble 1, low
+	VBROADCASTI128 48(BX), Y3   // nibble 1, high
+	VBROADCASTI128 64(BX), Y4   // nibble 2, low
+	VBROADCASTI128 80(BX), Y5   // nibble 2, high
+	VBROADCASTI128 96(BX), Y6   // nibble 3, low
+	VBROADCASTI128 112(BX), Y7  // nibble 3, high
+	VMOVDQU nibMask16<>(SB), Y8
+
+loop16:
+	VMOVDQU (SI), Y9
+
+	VPAND   Y9, Y8, Y10         // nibble 0 indexes
+	VPSHUFB Y10, Y0, Y11
+	VPSHUFB Y10, Y1, Y12
+	VPSLLW  $8, Y12, Y12
+	VPXOR   Y11, Y12, Y13
+
+	VPSRLW  $4, Y9, Y10         // nibble 1
+	VPAND   Y10, Y8, Y10
+	VPSHUFB Y10, Y2, Y11
+	VPSHUFB Y10, Y3, Y12
+	VPSLLW  $8, Y12, Y12
+	VPXOR   Y11, Y13, Y13
+	VPXOR   Y12, Y13, Y13
+
+	VPSRLW  $8, Y9, Y10         // nibble 2
+	VPAND   Y10, Y8, Y10
+	VPSHUFB Y10, Y4, Y11
+	VPSHUFB Y10, Y5, Y12
+	VPSLLW  $8, Y12, Y12
+	VPXOR   Y11, Y13, Y13
+	VPXOR   Y12, Y13, Y13
+
+	VPSRLW  $12, Y9, Y10        // nibble 3 (shift leaves only 4 bits)
+	VPSHUFB Y10, Y6, Y11
+	VPSHUFB Y10, Y7, Y12
+	VPSLLW  $8, Y12, Y12
+	VPXOR   Y11, Y13, Y13
+	VPXOR   Y12, Y13, Y13
+
+	VMOVDQU (DI), Y14
+	VPXOR   Y13, Y14, Y14
+	VMOVDQU Y14, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $16, CX
+	JNZ  loop16
+	VZEROUPPER
+	RET
+
+// func axpyNibble8AVX2(dst, src *uint8, n int, tab *[32]byte)
+//
+// 32 uint8 elements per iteration: low and high nibbles are looked up
+// in their 16-entry tables and XORed.
+TEXT ·axpyNibble8AVX2(SB), NOSPLIT, $0-32
+	MOVQ dst+0(FP), DI
+	MOVQ src+8(FP), SI
+	MOVQ n+16(FP), CX
+	MOVQ tab+24(FP), BX
+
+	VBROADCASTI128 0(BX), Y0    // low-nibble products c·n
+	VBROADCASTI128 16(BX), Y1   // high-nibble products c·(n<<4)
+	VMOVDQU nibMask8<>(SB), Y2
+
+loop8:
+	VMOVDQU (SI), Y3
+	VPAND   Y3, Y2, Y4          // low nibbles
+	VPSRLW  $4, Y3, Y5
+	VPAND   Y5, Y2, Y5          // high nibbles
+	VPSHUFB Y4, Y0, Y4
+	VPSHUFB Y5, Y1, Y5
+	VPXOR   Y4, Y5, Y4
+	VMOVDQU (DI), Y6
+	VPXOR   Y4, Y6, Y6
+	VMOVDQU Y6, (DI)
+
+	ADDQ $32, SI
+	ADDQ $32, DI
+	SUBQ $32, CX
+	JNZ  loop8
+	VZEROUPPER
+	RET
+
+// func cpuidAsm(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+TEXT ·cpuidAsm(SB), NOSPLIT, $0-24
+	MOVL leaf+0(FP), AX
+	MOVL sub+4(FP), CX
+	CPUID
+	MOVL AX, eax+8(FP)
+	MOVL BX, ebx+12(FP)
+	MOVL CX, ecx+16(FP)
+	MOVL DX, edx+20(FP)
+	RET
+
+// func xgetbvAsm() (eax, edx uint32)
+TEXT ·xgetbvAsm(SB), NOSPLIT, $0-8
+	XORL CX, CX
+	XGETBV
+	MOVL AX, eax+0(FP)
+	MOVL DX, edx+4(FP)
+	RET

@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package gf
+
+// No SIMD kernels on this architecture: the byte-fused portable path
+// in kernels.go is always active. haveAsm is a var (not a const) so
+// the dispatch code reads identically on every architecture.
+var haveAsm = false
+
+func axpyLUT16(dst, src []Elem, lut *[128]byte, c Elem) {
+	panic("gf: SIMD kernel unavailable on this architecture")
+}
+
+func axpyLUT8(dst, src []uint8, lut *[32]byte, c uint8) {
+	panic("gf: SIMD kernel unavailable on this architecture")
+}

@@ -34,6 +34,14 @@ func (g *Graph) Degree(v int32) int {
 	return int(g.offsets[v+1] - g.offsets[v])
 }
 
+// AdjOffset returns the CSR offset of v's adjacency, i.e. the number of
+// directed edges incident to vertices < v. Valid for v in [0, n]:
+// AdjOffset(n) is the total directed edge count. Because the offsets
+// array is exactly the degree prefix sum, schedulers use it to cut
+// edge-balanced vertex ranges in O(log n) (internal/mld's
+// parallelVertices).
+func (g *Graph) AdjOffset(v int32) int64 { return g.offsets[v] }
+
 // Neighbors returns the (sorted) adjacency list of v. The returned slice
 // aliases internal storage and must not be modified.
 func (g *Graph) Neighbors(v int32) []int32 {

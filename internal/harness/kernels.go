@@ -1,0 +1,87 @@
+package harness
+
+// In-process microbenchmarks of the GF slice kernels, embedded into the
+// JSON bench report so a single `midas-bench -json` run records both
+// the distributed run counters and the raw kernel throughput they sit
+// on. Timing mirrors internal/gf/bench_test.go (dense 4096-element
+// slices, coefficient table prebuilt for the Table variants) but runs
+// without the testing harness, so numbers land in the report rather
+// than stdout. Wall-clock measurements: machine-dependent, excluded
+// from CI regression gating (see cmd/benchdiff).
+
+import (
+	"time"
+
+	"github.com/midas-hpc/midas/internal/gf"
+)
+
+// KernelRecord is one kernel's measured throughput on dense slices.
+type KernelRecord struct {
+	Name      string  `json:"name"`
+	Len       int     `json:"len"`       // elements per call
+	NsPerOp   float64 `json:"nsPerOp"`   // one kernel call over Len elements
+	MBPerSec  float64 `json:"mbPerSec"`  // source bytes processed
+	ElemBytes int     `json:"elemBytes"` // element width in bytes
+}
+
+// kernelBenchLen matches the gf microbenchmarks.
+const kernelBenchLen = 4096
+
+// timeKernel runs fn repeatedly until ~2ms have elapsed and returns the
+// mean ns/op. Coarse by benchstat standards but plenty to distinguish
+// the ≥1.5× kernel-rewrite wins the report exists to document.
+func timeKernel(fn func()) float64 {
+	fn() // warm tables and cache
+	const minDur = 2 * time.Millisecond
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		el := time.Since(start)
+		if el >= minDur {
+			return float64(el.Nanoseconds()) / float64(iters)
+		}
+		iters *= 4
+	}
+}
+
+// KernelBench measures the hot GF kernels on dense random slices and
+// returns one record per kernel.
+func KernelBench() []KernelRecord {
+	n := kernelBenchLen
+	src := make([]gf.Elem, n)
+	dst := make([]gf.Elem, n)
+	aux := make([]gf.Elem, n)
+	for i := range src {
+		src[i] = gf.NonZero(uint64(i)*0x9E3779B97F4A7C15 + 1)
+		aux[i] = gf.NonZero(uint64(i)*0xBF58476D1CE4E5B9 + 7)
+	}
+	src8 := make([]uint8, n)
+	dst8 := make([]uint8, n)
+	for i := range src8 {
+		src8[i] = gf.NonZero8(uint64(i) + 1)
+	}
+	c := gf.NonZero(42)
+	t16 := gf.NewMulTable(c)
+	t8 := gf.NewMulTable8(0x35)
+
+	rec := func(name string, elemBytes int, fn func()) KernelRecord {
+		ns := timeKernel(fn)
+		return KernelRecord{
+			Name: name, Len: n, NsPerOp: ns,
+			MBPerSec:  float64(n*elemBytes) / ns * 1e9 / 1e6,
+			ElemBytes: elemBytes,
+		}
+	}
+	return []KernelRecord{
+		rec("MulSlice16", 2, func() { gf.MulSlice16(dst, src, c) }),
+		rec("MulSliceTable16", 2, func() { gf.MulSliceTable16(dst, src, t16) }),
+		rec("HadamardInto", 2, func() { gf.HadamardInto(dst, src, aux) }),
+		rec("MulHadamardAccum", 2, func() { gf.MulHadamardAccum(dst, src, aux) }),
+		rec("MulHadamardAccumScaled", 2, func() { gf.MulHadamardAccumScaled(dst, src, aux, c) }),
+		rec("MulSlice8", 1, func() { gf.MulSlice8(dst8, src8, 0x35) }),
+		rec("MulSliceTable8", 1, func() { gf.MulSliceTable8(dst8, src8, t8) }),
+	}
+}

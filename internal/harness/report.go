@@ -67,9 +67,10 @@ type ReportParams struct {
 
 // Report is the versioned output of `midas-bench -json`.
 type Report struct {
-	Schema string       `json:"schema"`
-	Params ReportParams `json:"params"`
-	Runs   []RunRecord  `json:"runs"`
+	Schema  string         `json:"schema"`
+	Params  ReportParams   `json:"params"`
+	Runs    []RunRecord    `json:"runs"`
+	Kernels []KernelRecord `json:"kernels,omitempty"` // GF kernel throughput on this host
 }
 
 // BenchReport runs the standard report suite. The counted quantities
@@ -141,6 +142,7 @@ func BenchReport(p Params) (Report, error) {
 			rep.Runs = append(rep.Runs, rec)
 		}
 	}
+	rep.Kernels = KernelBench()
 	return rep, nil
 }
 

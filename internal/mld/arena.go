@@ -1,0 +1,100 @@
+package mld
+
+import (
+	"sync"
+
+	"github.com/midas-hpc/midas/internal/gf"
+)
+
+// Arena recycles the flat DP slabs (base/prev/cur iteration-vector
+// buffers) across rounds and runs. Every round of every evaluator
+// allocates a handful of n·n2-element slabs; without reuse, repeated
+// rounds — and especially `midas-bench -reps` loops — churn the
+// allocator and the GC with multi-megabyte garbage per round. The
+// Detect*/ScanTable entry points install a fresh Arena per call when
+// the caller did not provide one via Options.Arena, so rounds within a
+// call are allocation-free in steady state; long-lived callers
+// (internal/core's distributed plan, the bench harness) hold one Arena
+// across calls.
+//
+// Slabs are pooled by exact length. A nil *Arena is valid and simply
+// allocates: round functions never need to nil-check.
+type Arena struct {
+	mu     sync.Mutex
+	slabs  map[int][][]gf.Elem
+	slabs8 map[int][][]uint8
+}
+
+// NewArena returns an empty arena.
+func NewArena() *Arena { return &Arena{} }
+
+// Grab returns a zeroed slab of n GF(2^16) elements, reusing a pooled
+// one when available.
+func (a *Arena) Grab(n int) []gf.Elem {
+	if a == nil {
+		return make([]gf.Elem, n)
+	}
+	a.mu.Lock()
+	if ss := a.slabs[n]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		a.slabs[n] = ss[:len(ss)-1]
+		a.mu.Unlock()
+		clear(s)
+		return s
+	}
+	a.mu.Unlock()
+	return make([]gf.Elem, n)
+}
+
+// Put returns slabs to the pool. Nil slabs are ignored.
+func (a *Arena) Put(slabs ...[]gf.Elem) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.slabs == nil {
+		a.slabs = make(map[int][][]gf.Elem)
+	}
+	for _, s := range slabs {
+		if s == nil {
+			continue
+		}
+		a.slabs[len(s)] = append(a.slabs[len(s)], s)
+	}
+}
+
+// Grab8 is Grab for the GF(2^8) evaluators.
+func (a *Arena) Grab8(n int) []uint8 {
+	if a == nil {
+		return make([]uint8, n)
+	}
+	a.mu.Lock()
+	if ss := a.slabs8[n]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		a.slabs8[n] = ss[:len(ss)-1]
+		a.mu.Unlock()
+		clear(s)
+		return s
+	}
+	a.mu.Unlock()
+	return make([]uint8, n)
+}
+
+// Put8 is Put for the GF(2^8) evaluators.
+func (a *Arena) Put8(slabs ...[]uint8) {
+	if a == nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.slabs8 == nil {
+		a.slabs8 = make(map[int][][]uint8)
+	}
+	for _, s := range slabs {
+		if s == nil {
+			continue
+		}
+		a.slabs8[len(s)] = append(a.slabs8[len(s)], s)
+	}
+}

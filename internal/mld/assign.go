@@ -149,9 +149,10 @@ func (a *KoutisAssignment) Base(i int32, t uint64) uint64 {
 }
 
 // EdgeCoeff returns the integer fingerprint for a transition, uniform
-// in [0, 2^(k+1)).
+// in [0, 2^(k+1)). The modulus is a power of two, so the reduction is
+// a mask.
 func (a *KoutisAssignment) EdgeCoeff(u, i int32, level int) uint64 {
-	return rng.Hash2(a.Seed, uint64(uint32(u))<<32|uint64(uint32(i)), uint64(level)) % a.Mod
+	return rng.Hash2(a.Seed, uint64(uint32(u))<<32|uint64(uint32(i)), uint64(level)) & (a.Mod - 1)
 }
 
 func parity(x uint64) int {

@@ -1,0 +1,55 @@
+package mld
+
+import (
+	"sync/atomic"
+
+	"github.com/midas-hpc/midas/internal/gf"
+)
+
+// Coefficient-table cache. The DP multiplies every neighbor message by
+// a fingerprint coefficient hashed from (edge, level); one coefficient
+// is reused against a fresh slice for every batch of every round, and
+// the same (edge, level) pairs recur across all 2^k/n2 phases. Caching
+// the per-constant nibble-split tables (gf.MulTable) by coefficient
+// value means each distinct constant pays its table build exactly once
+// per process.
+//
+// The cache is LRU-less by design: it is indexed by the coefficient
+// value itself, so it is bounded by the field size (2^16 slots; a few
+// MiB fully populated) and never evicts. Entries are published with an
+// atomic pointer; two goroutines racing to build the same entry both
+// build identical tables and either store wins — idempotent, lock-free,
+// safe under the race detector.
+
+var (
+	coeffTables  [1 << 16]atomic.Pointer[gf.MulTable]
+	coeffTables8 [1 << 8]atomic.Pointer[gf.MulTable8]
+)
+
+// CachedMulTable returns the process-wide multiplication table for c,
+// building and publishing it on first use.
+func CachedMulTable(c gf.Elem) *gf.MulTable {
+	if t := coeffTables[c].Load(); t != nil {
+		return t
+	}
+	t := gf.NewMulTable(c)
+	coeffTables[c].Store(t)
+	return t
+}
+
+// CachedMulTable8 is CachedMulTable over GF(2^8).
+func CachedMulTable8(c uint8) *gf.MulTable8 {
+	if t := coeffTables8[c].Load(); t != nil {
+		return t
+	}
+	t := gf.NewMulTable8(c)
+	coeffTables8[c].Store(t)
+	return t
+}
+
+// EdgeTable returns the cached multiplication table for
+// EdgeCoeff(u, i, level); the table-building twin of EdgeCoeff for the
+// batched axpy kernels.
+func (a *Assignment) EdgeTable(u, i int32, level int) *gf.MulTable {
+	return CachedMulTable(a.EdgeCoeff(u, i, level))
+}

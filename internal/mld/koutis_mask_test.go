@@ -1,0 +1,78 @@
+package mld
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// koutisPathRoundModulo is the pre-optimization koutisPathRound with the
+// literal `% mod` reductions, kept verbatim as the reference for
+// TestKoutisMaskMatchesModulo. The production code masks with mod-1
+// instead (mod = 2^(k+1) is always a power of two).
+func koutisPathRoundModulo(g *graph.Graph, k int, opt Options, round int) uint64 {
+	n := g.NumVertices()
+	a := NewKoutisAssignment(n, k, opt.Seed, round)
+	mod := a.Mod
+	iters := uint64(1) << uint(k)
+	base := make([]uint64, n)
+	prev := make([]uint64, n)
+	cur := make([]uint64, n)
+	var total uint64
+	for t := uint64(0); t < iters; t++ {
+		for i := 0; i < n; i++ {
+			base[i] = a.Base(int32(i), t)
+			prev[i] = base[i]
+		}
+		for j := 2; j <= k; j++ {
+			for i := int32(0); i < int32(n); i++ {
+				var acc uint64
+				for _, u := range g.Neighbors(i) {
+					r := uint64(1)
+					if !opt.NoFingerprints {
+						r = a.edgeCoeffModulo(u, i, j)
+					}
+					acc = (acc + r*prev[u]) % mod
+				}
+				cur[i] = (acc * base[i]) % mod
+			}
+			prev, cur = cur, prev
+		}
+		for i := 0; i < n; i++ {
+			total = (total + prev[i]) % mod
+		}
+	}
+	return total
+}
+
+// edgeCoeffModulo is KoutisAssignment.EdgeCoeff with the original `%`
+// reduction (the hash is uniform, so `h % 2^(k+1)` and `h & (2^(k+1)-1)`
+// select the same low bits — this pins that equivalence explicitly).
+func (a *KoutisAssignment) edgeCoeffModulo(u, i int32, level int) uint64 {
+	return rng.Hash2(a.Seed, uint64(uint32(u))<<32|uint64(uint32(i)), uint64(level)) % a.Mod
+}
+
+// TestKoutisMaskMatchesModulo pins the masked koutisPathRound against
+// the literal-modulo reference on seeded random graphs: the traces must
+// be identical bit for bit, round by round.
+func TestKoutisMaskMatchesModulo(t *testing.T) {
+	r := rng.New(31)
+	for trial := 0; trial < 25; trial++ {
+		n := 5 + r.Intn(8)
+		g := graph.RandomGNM(n, min(2*n, n*(n-1)/2), r.Uint64())
+		k := 2 + r.Intn(5)
+		opt := Options{Seed: r.Uint64()}
+		if trial%5 == 0 {
+			opt.NoFingerprints = true
+		}
+		for round := 0; round < 3; round++ {
+			got := koutisPathRound(g, k, opt, round)
+			want := koutisPathRoundModulo(g, k, opt, round)
+			if got != want {
+				t.Fatalf("trial %d round %d: n=%d k=%d masked trace %d != modulo trace %d",
+					trial, round, n, k, got, want)
+			}
+		}
+	}
+}

@@ -48,6 +48,9 @@ func MaxWeightPath(g *graph.Graph, k int, opt Options) (int64, bool, error) {
 	if (zmax+1)*int64(g.NumVertices()) > gridLimit*64 {
 		return 0, false, fmt.Errorf("mld: weight grid %d too large; round weights first (scanstat.RoundWeights)", zmax)
 	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena() // share slabs across this call's rounds
+	}
 	best := int64(-1)
 	found := false
 	rounds := opt.RoundsFor(k)
@@ -85,13 +88,20 @@ func maxWeightRound(g *graph.Graph, k int, zmax int64, a *Assignment, opt Option
 	alloc := func() [][]gf.Elem {
 		out := make([][]gf.Elem, nz)
 		for z := range out {
-			out[z] = make([]gf.Elem, n*n2)
+			out[z] = opt.Arena.Grab(n * n2)
 		}
 		return out
 	}
 	prev, cur := alloc(), alloc()
-	base := make([]gf.Elem, n*n2)
+	base := opt.Arena.Grab(n * n2)
+	defer func() {
+		opt.Arena.Put(base)
+		opt.Arena.Put(prev...)
+		opt.Arena.Put(cur...)
+	}()
+	one := CachedMulTable(1)
 	totals := make([]gf.Elem, nz)
+	var skipped int64
 	var maxwPrefix int64 // max achievable weight after j vertices
 	var maxw int64
 	for v := int32(0); v < int32(n); v++ {
@@ -135,17 +145,20 @@ func maxWeightRound(g *graph.Graph, k int, zmax int64, a *Assignment, opt Option
 				wi := g.Weight(i)
 				iLo, iHi := int(i)*n2, int(i)*n2+nb
 				for _, u := range g.Neighbors(i) {
-					var r gf.Elem = 1
+					// One coefficient covers the whole weight column:
+					// build (or cache-hit) its table once per (u,i).
+					t := one
 					if !opt.NoFingerprints {
-						r = a.EdgeCoeff(u, i, j)
+						t = a.EdgeTable(u, i, j)
 					}
 					uLo, uHi := int(u)*n2, int(u)*n2+nb
 					for z := wi; z <= zhi; z++ {
 						src := prev[z-wi][uLo:uHi]
 						if !gf.AnyNonZero(src) {
+							skipped++
 							continue
 						}
-						gf.MulSlice16(cur[z][iLo:iHi], src, r)
+						gf.MulSliceTable16(cur[z][iLo:iHi], src, t)
 					}
 				}
 				for z := wi; z <= zhi; z++ {
@@ -164,6 +177,7 @@ func maxWeightRound(g *graph.Graph, k int, zmax int64, a *Assignment, opt Option
 			}
 		}
 	}
+	opt.Obs.Add(obs.CellsSkipped, skipped)
 	return totals
 }
 

@@ -37,6 +37,9 @@ func MaxWeightTree(g *graph.Graph, tpl *graph.Template, opt Options) (int64, boo
 	if (zmax+1)*int64(g.NumVertices())*int64(2*k-1) > gridLimit {
 		return 0, false, fmt.Errorf("mld: weight grid %d too large for tree DP; round weights first", zmax)
 	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena() // share slabs across this call's rounds
+	}
 	d := tpl.Decompose()
 	best := int64(-1)
 	found := false
@@ -83,19 +86,29 @@ func maxWeightTreeRound(g *graph.Graph, d *graph.Decomposition, zmax int64, a *A
 		return int(c)
 	}
 
-	base := make([]gf.Elem, n*n2)
+	base := opt.Arena.Grab(n * n2)
 	// vals[node][z] — nil rows for z beyond the node's capacity.
 	vals := make([][][]gf.Elem, len(d.Nodes))
 	for j, nd := range d.Nodes {
 		vals[j] = make([][]gf.Elem, zcap(nd.Size)+1)
 		if nd.Left >= 0 {
 			for z := range vals[j] {
-				vals[j][z] = make([]gf.Elem, n*n2)
+				vals[j][z] = opt.Arena.Grab(n * n2)
 			}
 		}
 	}
+	defer func() {
+		opt.Arena.Put(base)
+		for j, nd := range d.Nodes {
+			if nd.Left >= 0 {
+				opt.Arena.Put(vals[j]...)
+			}
+		}
+	}()
+	one := CachedMulTable(1)
 	acc := make([]gf.Elem, n2)
 	totals := make([]gf.Elem, nz)
+	var skipped int64
 
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
 		nb := n2
@@ -129,13 +142,14 @@ func maxWeightTreeRound(g *graph.Graph, d *graph.Decomposition, zmax int64, a *A
 					for _, u := range g.Neighbors(i) {
 						src := nodeRow(d, vals, nd.Right, int64(z2), u, g, base, n2, nb)
 						if src == nil || !gf.AnyNonZero(src) {
+							skipped++
 							continue
 						}
-						var r gf.Elem = 1
+						t := one
 						if !opt.NoFingerprints {
-							r = a.EdgeCoeff(u, i, j)
+							t = a.EdgeTable(u, i, j)
 						}
-						gf.MulSlice16(av, src, r)
+						gf.MulSliceTable16(av, src, t)
 						nonzero = true
 					}
 					if !nonzero {
@@ -148,6 +162,7 @@ func maxWeightTreeRound(g *graph.Graph, d *graph.Decomposition, zmax int64, a *A
 						}
 						src1 := nodeRow(d, vals, nd.Left, int64(z1), i, g, base, n2, nb)
 						if src1 == nil || !gf.AnyNonZero(src1) {
+							skipped++
 							continue
 						}
 						gf.MulHadamardAccum(vals[j][z][iLo:iHi], src1, av)
@@ -177,6 +192,7 @@ func maxWeightTreeRound(g *graph.Graph, d *graph.Decomposition, zmax int64, a *A
 			}
 		}
 	}
+	opt.Obs.Add(obs.CellsSkipped, skipped)
 	return totals
 }
 

@@ -44,8 +44,10 @@ package mld
 import (
 	"fmt"
 	"math"
+	"sort"
 	"sync"
 
+	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/obs"
 )
 
@@ -103,6 +105,13 @@ type Options struct {
 	// instrumentation: every recorder call no-ops on nil, so
 	// uninstrumented runs pay one pointer test per event.
 	Obs *obs.Recorder
+
+	// Arena, when non-nil, recycles the per-round DP slabs across
+	// rounds and calls (see Arena). The Detect*/ScanTable entry points
+	// install a private arena when left nil, so repeated rounds within
+	// one call are allocation-free either way; set it to share slabs
+	// across calls (the distributed plan and the bench harness do).
+	Arena *Arena
 }
 
 func (o Options) epsilon() float64 {
@@ -182,30 +191,51 @@ func ValidateK(k int) error {
 
 func validateK(k, n int) error { return ValidateK(k) }
 
+// vertexCost is the fixed per-vertex overhead of a DP level update
+// (base fill, Hadamard, bookkeeping) expressed in units of one
+// neighbor-edge update, for the edge-balanced range cut below.
+const vertexCost = 4
+
 // parallelVertices runs fn over vertex ranges [lo,hi) on opt.Workers
 // goroutines (serial when 0/1). Level updates write only to the
 // vertices' own rows, so range splitting is race-free.
-func (o Options) parallelVertices(n int, fn func(lo, hi int32)) {
+//
+// Ranges are edge-balanced, not vertex-balanced: a level update costs
+// one kernel call per incident edge, and on the skewed degree
+// distributions of the paper's datasets (Barabási–Albert preferential
+// attachment) equal vertex counts leave most workers idle behind the
+// one holding the hubs. The CSR offsets array is exactly the degree
+// prefix sum, so the cost prefix cost(v) = AdjOffset(v) + vertexCost·v
+// is monotone and each worker boundary is one binary search for
+// cost ≈ i/w of the total.
+func (o Options) parallelVertices(g *graph.Graph, fn func(lo, hi int32)) {
+	n := g.NumVertices()
 	w := o.Workers
 	if w <= 1 || n < 2*w {
 		fn(0, int32(n))
 		return
 	}
+	cost := func(v int) int64 {
+		return g.AdjOffset(int32(v)) + int64(vertexCost)*int64(v)
+	}
+	total := cost(n)
 	var wg sync.WaitGroup
-	chunk := (n + w - 1) / w
-	for i := 0; i < w; i++ {
-		lo, hi := i*chunk, (i+1)*chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			continue
+	lo := 0
+	for i := 1; i <= w && lo < n; i++ {
+		hi := n
+		if i < w {
+			target := total * int64(i) / int64(w)
+			hi = sort.Search(n, func(v int) bool { return cost(v) >= target })
+			if hi <= lo {
+				hi = lo + 1 // cost is monotone; still guarantee progress
+			}
 		}
 		wg.Add(1)
 		go func(lo, hi int32) {
 			defer wg.Done()
 			fn(lo, hi)
 		}(int32(lo), int32(hi))
+		lo = hi
 	}
 	wg.Wait()
 }

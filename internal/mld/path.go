@@ -1,6 +1,8 @@
 package mld
 
 import (
+	"sync/atomic"
+
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/obs"
@@ -16,6 +18,9 @@ func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
 	}
 	if k > g.NumVertices() {
 		return false, nil
+	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena() // share slabs across this call's rounds
 	}
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
@@ -48,10 +53,13 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 	n2 := opt.batch(k)
 	iters := uint64(1) << uint(k)
 
-	base := make([]gf.Elem, n*n2)
-	prev := make([]gf.Elem, n*n2)
-	cur := make([]gf.Elem, n*n2)
+	base := opt.Arena.Grab(n * n2)
+	prev := opt.Arena.Grab(n * n2)
+	cur := opt.Arena.Grab(n * n2)
+	defer opt.Arena.Put(base, prev, cur)
+	one := CachedMulTable(1) // NoFingerprints path
 	var total gf.Elem
+	var skipped int64
 
 	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
@@ -69,21 +77,30 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 		for j := 2; j <= k; j++ {
 			opt.obsSpan(obs.LevelName, j, "level")
 			opt.obsLevel(levelElems * int64(nb))
-			opt.parallelVertices(n, func(lo, hi int32) {
+			opt.parallelVertices(g, func(lo, hi int32) {
+				var sk int64
 				for i := lo; i < hi; i++ {
 					dst := cur[int(i)*n2 : int(i)*n2+nb]
 					for q := range dst {
 						dst[q] = 0
 					}
 					for _, u := range g.Neighbors(i) {
-						var r gf.Elem = 1
-						if !opt.NoFingerprints {
-							r = a.EdgeCoeff(u, i, j)
+						src := prev[int(u)*n2 : int(u)*n2+nb]
+						if !gf.AnyNonZero(src) {
+							sk++ // dead cell: all-zero vector contributes nothing
+							continue
 						}
-						gf.MulSlice16(dst, prev[int(u)*n2:int(u)*n2+nb], r)
+						t := one
+						if !opt.NoFingerprints {
+							t = a.EdgeTable(u, i, j)
+						}
+						gf.MulSliceTable16(dst, src, t)
 					}
 					// P(i,j) = x_i · Σ_u r·P(u,j-1)
 					gf.HadamardInto(dst, dst, base[int(i)*n2:int(i)*n2+nb])
+				}
+				if sk != 0 {
+					atomic.AddInt64(&skipped, sk)
 				}
 			})
 			opt.obsEnd()
@@ -96,16 +113,22 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 		}
 		opt.obsEnd()
 	}
+	opt.Obs.Add(obs.CellsSkipped, skipped)
 	return total
 }
 
 // koutisPathRound is Algorithm 1 as printed: one full pass of 2^k
 // iterations with arithmetic mod 2^(k+1), plus the integer fingerprints
 // discussed in DESIGN.md §2. Returns the trace (nonzero ⇒ k-path).
+//
+// The modulus is a power of two, so every `% mod` reduces to masking
+// with mod-1; intermediate products stay well inside uint64 (operands
+// are < 2^(k+1) ≤ 2^27, so r·prev < 2^54). TestKoutisMaskMatchesModulo
+// pins the trace against the literal-modulo form.
 func koutisPathRound(g *graph.Graph, k int, opt Options, round int) uint64 {
 	n := g.NumVertices()
 	a := NewKoutisAssignment(n, k, opt.Seed, round)
-	mod := a.Mod
+	mask := a.Mod - 1
 	iters := uint64(1) << uint(k)
 	base := make([]uint64, n)
 	prev := make([]uint64, n)
@@ -124,14 +147,14 @@ func koutisPathRound(g *graph.Graph, k int, opt Options, round int) uint64 {
 					if !opt.NoFingerprints {
 						r = a.EdgeCoeff(u, i, j)
 					}
-					acc = (acc + r*prev[u]) % mod
+					acc = (acc + r*prev[u]) & mask
 				}
-				cur[i] = (acc * base[i]) % mod
+				cur[i] = (acc * base[i]) & mask
 			}
 			prev, cur = cur, prev
 		}
 		for i := 0; i < n; i++ {
-			total = (total + prev[i]) % mod
+			total = (total + prev[i]) & mask
 		}
 	}
 	return total

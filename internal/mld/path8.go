@@ -3,6 +3,7 @@ package mld
 import (
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
 	"github.com/midas-hpc/midas/internal/rng"
 )
 
@@ -67,10 +68,13 @@ func pathRound8(g *graph.Graph, k int, opt Options, round int) uint8 {
 	n2 := opt.batch(k)
 	iters := uint64(1) << uint(k)
 
-	base := make([]uint8, n*n2)
-	prev := make([]uint8, n*n2)
-	cur := make([]uint8, n*n2)
+	base := opt.Arena.Grab8(n * n2)
+	prev := opt.Arena.Grab8(n * n2)
+	cur := opt.Arena.Grab8(n * n2)
+	defer opt.Arena.Put8(base, prev, cur)
+	one := CachedMulTable8(1)
 	var total uint8
+	var skipped int64
 
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
 		nb := n2
@@ -88,11 +92,16 @@ func pathRound8(g *graph.Graph, k int, opt Options, round int) uint8 {
 			for i := int32(0); i < int32(n); i++ {
 				dst := cur[int(i)*n2 : int(i)*n2+nb]
 				for _, u := range g.Neighbors(i) {
-					var r uint8 = 1
-					if !opt.NoFingerprints {
-						r = a.edgeCoeff(u, i, j)
+					src := prev[int(u)*n2 : int(u)*n2+nb]
+					if !gf.AnyNonZero8(src) {
+						skipped++
+						continue
 					}
-					gf.MulSlice8(dst, prev[int(u)*n2:int(u)*n2+nb], r)
+					t := one
+					if !opt.NoFingerprints {
+						t = CachedMulTable8(a.edgeCoeff(u, i, j))
+					}
+					gf.MulSliceTable8(dst, src, t)
 				}
 				gf.HadamardInto8(dst, dst, base[int(i)*n2:int(i)*n2+nb])
 			}
@@ -104,5 +113,6 @@ func pathRound8(g *graph.Graph, k int, opt Options, round int) uint8 {
 			}
 		}
 	}
+	opt.Obs.Add(obs.CellsSkipped, skipped)
 	return total
 }

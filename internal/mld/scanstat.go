@@ -2,6 +2,7 @@ package mld
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
@@ -37,6 +38,9 @@ func ScanTable(g *graph.Graph, k int, zmax int64, opt Options) ([][]bool, error)
 	for j := 1; j <= k; j++ {
 		feas[j] = make([]bool, zmax+1)
 	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena() // share slabs across sizes and rounds
+	}
 	for j := 1; j <= k && j <= g.NumVertices(); j++ {
 		rounds := opt.RoundsFor(j)
 		for round := 0; round < rounds; round++ {
@@ -68,6 +72,9 @@ func CellFeasible(g *graph.Graph, j int, z int64, opt Options) (bool, error) {
 	}
 	if j > g.NumVertices() {
 		return false, nil
+	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena()
 	}
 	rounds := opt.RoundsFor(j)
 	for round := 0; round < rounds; round++ {
@@ -110,11 +117,18 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 	for jj := 1; jj <= j; jj++ {
 		p[jj] = make([][]gf.Elem, nz)
 		for z := 0; z < nz; z++ {
-			p[jj][z] = make([]gf.Elem, n*n2)
+			p[jj][z] = opt.Arena.Grab(n * n2)
 		}
 	}
-	base := make([]gf.Elem, n*n2)
+	base := opt.Arena.Grab(n * n2)
+	defer func() {
+		opt.Arena.Put(base)
+		for jj := 1; jj <= j; jj++ {
+			opt.Arena.Put(p[jj]...)
+		}
+	}()
 	totals := make([]gf.Elem, nz)
+	var skipped int64
 
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
 		nb := n2
@@ -147,7 +161,8 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 			opt.obsSpan(obs.LevelName, jj, "level")
 			opt.Obs.Add(obs.Levels, 1)
 			jj := jj
-			opt.parallelVertices(n, func(lo, hi int32) {
+			opt.parallelVertices(g, func(lo, hi int32) {
+				var sk int64
 				for i := lo; i < hi; i++ {
 					iLo, iHi := int(i)*n2, int(i)*n2+nb
 					for _, u := range g.Neighbors(i) {
@@ -157,6 +172,7 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 							for zp := 0; zp <= zcap(jp); zp++ {
 								src1 := p[jp][zp][iLo:iHi]
 								if !gf.AnyNonZero(src1) {
+									sk++
 									continue
 								}
 								var r gf.Elem = 1
@@ -166,6 +182,7 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 								for zr := 0; zr <= zcap(jr) && zp+zr < nz; zr++ {
 									src2 := p[jr][zr][uLo:uHi]
 									if !gf.AnyNonZero(src2) {
+										sk++
 										continue
 									}
 									gf.MulHadamardAccumScaled(p[jj][zp+zr][iLo:iHi], src1, src2, r)
@@ -173,6 +190,9 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 							}
 						}
 					}
+				}
+				if sk != 0 {
+					atomic.AddInt64(&skipped, sk)
 				}
 			})
 			opt.obsEnd()
@@ -186,6 +206,7 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 			}
 		}
 	}
+	opt.Obs.Add(obs.CellsSkipped, skipped)
 	return totals
 }
 

@@ -1,6 +1,8 @@
 package mld
 
 import (
+	"sync/atomic"
+
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/obs"
@@ -18,6 +20,9 @@ func DetectTree(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) 
 	}
 	if k > g.NumVertices() {
 		return false, nil
+	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena() // share slabs across this call's rounds
 	}
 	d := tpl.Decompose()
 	rounds := opt.RoundsFor(k)
@@ -42,15 +47,19 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 	n2 := opt.batch(k)
 	iters := uint64(1) << uint(k)
 
-	base := make([]gf.Elem, n*n2)
+	base := opt.Arena.Grab(n * n2)
+	defer opt.Arena.Put(base)
 	// one value buffer per internal decomposition node; leaves share base.
 	vals := make([][]gf.Elem, len(d.Nodes))
 	for j, nd := range d.Nodes {
 		if nd.Left >= 0 {
-			vals[j] = make([]gf.Elem, n*n2)
+			vals[j] = opt.Arena.Grab(n * n2)
+			defer opt.Arena.Put(vals[j])
 		}
 	}
+	one := CachedMulTable(1)
 	var total gf.Elem
+	var skipped int64
 
 	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
@@ -73,23 +82,32 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 			left, right := vals[nd.Left], vals[nd.Right]
 			dstAll := vals[j]
 			j := j // capture for the closure
-			opt.parallelVertices(n, func(lo, hi int32) {
+			opt.parallelVertices(g, func(lo, hi int32) {
 				av := make([]gf.Elem, nb) // per-worker scratch
+				var sk int64
 				for i := lo; i < hi; i++ {
 					for q := range av {
 						av[q] = 0
 					}
 					for _, u := range g.Neighbors(i) {
-						var r gf.Elem = 1
+						src := right[int(u)*n2 : int(u)*n2+nb]
+						if !gf.AnyNonZero(src) {
+							sk++
+							continue
+						}
+						t := one
 						if !opt.NoFingerprints {
 							// level key: the decomposition node index,
 							// unique per subtree shape.
-							r = a.EdgeCoeff(u, i, j)
+							t = a.EdgeTable(u, i, j)
 						}
-						gf.MulSlice16(av, right[int(u)*n2:int(u)*n2+nb], r)
+						gf.MulSliceTable16(av, src, t)
 					}
 					// P(i, H') = P(i, H'_1) · Σ_u r·P(u, H'_2)
 					gf.HadamardInto(dstAll[int(i)*n2:int(i)*n2+nb], left[int(i)*n2:int(i)*n2+nb], av)
+				}
+				if sk != 0 {
+					atomic.AddInt64(&skipped, sk)
 				}
 			})
 			opt.obsEnd()
@@ -102,5 +120,6 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 		}
 		opt.obsEnd()
 	}
+	opt.Obs.Add(obs.CellsSkipped, skipped)
 	return total
 }

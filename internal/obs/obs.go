@@ -85,6 +85,10 @@ const (
 	// FlowsDropped counts message-flow events discarded after the
 	// MaxFlows cap (trace stitching degrades; counters stay exact).
 	FlowsDropped
+	// CellsSkipped counts DP cell updates elided because the source
+	// iteration-vector was all-zero (gf.AnyNonZero pre-check): work
+	// that DPOps models analytically but the kernels never executed.
+	CellsSkipped
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -92,7 +96,7 @@ const (
 
 var counterNames = [NumCounters]string{
 	"halo-msgs", "halo-bytes", "dp-ops", "rounds", "phases", "levels", "spans-dropped",
-	"faults-injected", "send-retries", "backoff-nanos", "flows-dropped",
+	"faults-injected", "send-retries", "backoff-nanos", "flows-dropped", "cells-skipped",
 }
 
 // String returns the stable kebab-case name used by the exporters.
