@@ -10,7 +10,7 @@ GO ?= go
 # a significance test (`make bench > new.txt && benchstat old.txt new.txt`).
 BENCH_COUNT ?= 6
 
-.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures bench-compare
+.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures bench-compare serve-smoke
 
 all: check
 
@@ -31,7 +31,7 @@ fmt-check:
 	fi
 
 race:
-	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/...
+	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/... ./internal/serve/...
 
 check: build vet fmt-check test race
 
@@ -44,6 +44,12 @@ bench:
 # that nothing bench-shaped has rotted.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+# Black-box smoke of the query daemon over a real socket: start
+# midas-serve, load a graph via the API, query + cache-hit repeat,
+# cancel a slow query mid-flight, check /metrics, drain on SIGTERM.
+serve-smoke:
+	bash scripts/serve_smoke.sh
 
 # The paper-figure benchmarks (heavyweight; regenerate EXPERIMENTS.md).
 bench-figures:

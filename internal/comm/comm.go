@@ -324,6 +324,14 @@ func (c *Comm) AllreduceXor(data []uint64) []uint64 {
 	return c.AllreduceUint64(data, func(a, b uint64) uint64 { return a ^ b })
 }
 
+// AllreduceOr ors slices element-wise across ranks — the collective
+// "any rank raised a flag?" agreement internal/core's cooperative
+// cancellation uses at phase-step boundaries (every rank learns the
+// union, so all ranks take the same exit).
+func (c *Comm) AllreduceOr(data []uint64) []uint64 {
+	return c.AllreduceUint64(data, func(a, b uint64) uint64 { return a | b })
+}
+
 // AllreduceSumMod sums slices element-wise modulo mod across ranks (the
 // Koutis-variant reduction, mod 2^(k+1)).
 func (c *Comm) AllreduceSumMod(data []uint64, mod uint64) []uint64 {

@@ -26,7 +26,7 @@ func benchmarkPathRound(b *testing.B, n, k, n2 int) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		a := mld.NewPathAssignment(g.NumVertices(), k, 1, i%4)
-		benchSink = p.pathRoundLocal(a)
+		benchSink, _ = p.pathRoundLocal(a)
 	}
 }
 

@@ -27,6 +27,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -52,6 +53,25 @@ type Config struct {
 	NoFingerprints bool // ablation: the unsound verbatim pseudo-code
 	NoGray         bool // ablation: recompute base values per iteration
 	NoTiming       bool // skip wall-time clock advancement (pure answers)
+
+	// Ctx, when non-nil, makes the run cancellable: between phase steps
+	// the ranks agree on the cancellation state with a one-word
+	// all-reduce (replacing the plain barrier, so every rank leaves the
+	// collective schedule at the same step) and return the context's
+	// error. Nil — the default — keeps the exact barrier protocol, so
+	// message-count-pinned tests and cost models are unchanged. All
+	// ranks must receive the same context. The serving layer
+	// (internal/serve) threads each request's deadline context here.
+	Ctx context.Context
+
+	// Part, when non-nil, is a precomputed partition to use instead of
+	// running the configured Scheme — the mechanism by which a resident
+	// service reuses one partition across many queries on the same
+	// graph. It must have exactly N1 parts (after N1 defaulting) and
+	// cover the graph's vertices; its Members cache must already be
+	// materialized if ranks share the pointer concurrently (call
+	// Members(i) for every part once before handing it out).
+	Part *partition.Partition
 }
 
 func (cfg Config) withDefaults(worldSize, k int) (Config, error) {
@@ -127,9 +147,19 @@ func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
 	p.group = world.Split(p.gid, world.Rank()%cfg.N1)
 	p.myPart = p.group.Rank()
 
-	part, err := partition.ByScheme(cfg.Scheme, g, cfg.N1, cfg.Seed^0x70a3d70a3d70a3d7)
-	if err != nil {
-		return nil, err
+	part := cfg.Part
+	if part != nil {
+		if part.Parts != cfg.N1 {
+			return nil, fmt.Errorf("core: precomputed partition has %d parts, want N1=%d", part.Parts, cfg.N1)
+		}
+		if len(part.Of) != g.NumVertices() {
+			return nil, fmt.Errorf("core: precomputed partition covers %d vertices, graph has %d", len(part.Of), g.NumVertices())
+		}
+	} else {
+		part, err = partition.ByScheme(cfg.Scheme, g, cfg.N1, cfg.Seed^0x70a3d70a3d70a3d7)
+		if err != nil {
+			return nil, err
+		}
 	}
 	p.part = part
 	p.owned = append([]int32(nil), part.Members(p.myPart)...)
@@ -198,6 +228,43 @@ func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
 		p.sumDegOwned += g.Degree(v)
 	}
 	return p, nil
+}
+
+// syncStep is the end-of-phase-step world synchronization (Algorithm 2
+// line 12). Without a context it is the plain barrier. With one, it
+// becomes a one-word OR all-reduce of the local cancellation flag, so
+// every rank observes the decision at the same step and the collective
+// schedule never diverges (a local-only context check would leave the
+// other ranks blocked in the next collective); a nonzero result returns
+// the context's error on every rank.
+func (p *plan) syncStep() error {
+	if p.cfg.Ctx == nil {
+		p.world.Barrier()
+		return nil
+	}
+	return p.checkCtx()
+}
+
+// checkCtx is the collective cancellation probe on its own: a no-op
+// without a context, otherwise the OR all-reduce described on syncStep.
+// Round loops call it before starting a round's work.
+func (p *plan) checkCtx() error {
+	if p.cfg.Ctx == nil {
+		return nil
+	}
+	var flag uint64
+	if p.cfg.Ctx.Err() != nil {
+		flag = 1
+	}
+	if p.world.AllreduceOr([]uint64{flag})[0] != 0 {
+		if err := p.cfg.Ctx.Err(); err != nil {
+			return err
+		}
+		// Another rank saw the cancellation first; ours may race a hair
+		// behind, but the run is cancelled either way.
+		return context.Canceled
+	}
+	return nil
 }
 
 // advanceCompute charges dt modeled seconds of compute to this rank.
@@ -323,10 +390,17 @@ func RunPathProfiled(world *comm.Comm, g *graph.Graph, cfg Config) (bool, Profil
 	answer := false
 	rounds := cfg.mldOptions().RoundsFor(cfg.K)
 	for round := 0; round < rounds; round++ {
+		if err := p.checkCtx(); err != nil {
+			return false, Profile{}, err
+		}
 		p.span(obs.RoundName, round, "round")
 		p.rec.Add(obs.Rounds, 1)
 		a := mld.NewPathAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
-		total := p.pathRoundLocal(a)
+		total, err := p.pathRoundLocal(a)
+		if err != nil {
+			p.endSpan()
+			return false, Profile{}, err
+		}
 		global := world.AllreduceXor([]uint64{uint64(total)})
 		p.endSpan()
 		if global[0] != 0 {

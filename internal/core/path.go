@@ -21,8 +21,10 @@ func validateConfig(g *graph.Graph, cfg Config) error {
 }
 
 // pathRoundLocal runs this rank's share of one round's 2^k iterations
-// and returns its partial field total.
-func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
+// and returns its partial field total. With a configured context the
+// per-step synchronization doubles as the cancellation point (see
+// syncStep).
+func (p *plan) pathRoundLocal(a *mld.Assignment) (gf.Elem, error) {
 	k, n2 := p.cfg.K, p.cfg.N2
 	iters := uint64(1) << uint(k)
 	numPhases := p.phases(k)
@@ -102,9 +104,13 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) gf.Elem {
 			p.countDPOps(float64(len(p.owned)) * float64(nb))
 			p.endSpan()
 		}
-		// Algorithm 2 line 12: all groups synchronize between batches.
-		p.world.Barrier()
+		// Algorithm 2 line 12: all groups synchronize between batches
+		// (and, with a context, agree on cancellation).
+		if err := p.syncStep(); err != nil {
+			p.rec.Add(obs.CellsSkipped, skipped)
+			return 0, err
+		}
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
-	return total
+	return total, nil
 }

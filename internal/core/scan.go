@@ -48,10 +48,17 @@ func RunScan(world *comm.Comm, g *graph.Graph, cfg ScanConfig) ([][]bool, error)
 		}
 		rounds := sub.mldOptions().RoundsFor(j)
 		for round := 0; round < rounds; round++ {
+			if err := p.checkCtx(); err != nil {
+				return nil, err
+			}
 			p.span(obs.RoundName, round, "round")
 			p.rec.Add(obs.Rounds, 1)
 			a := mld.NewScanAssignment(g.NumVertices(), j, cfg.Seed, round)
-			totals := p.scanRoundLocal(a, j, cfg.ZMax)
+			totals, err := p.scanRoundLocal(a, j, cfg.ZMax)
+			if err != nil {
+				p.endSpan()
+				return nil, err
+			}
 			packed := make([]uint64, len(totals))
 			for z, t := range totals {
 				packed[z] = uint64(t)
@@ -69,8 +76,10 @@ func RunScan(world *comm.Comm, g *graph.Graph, cfg ScanConfig) ([][]bool, error)
 }
 
 // scanRoundLocal runs this rank's share of one round at target size j
-// and returns the partial per-weight totals.
-func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
+// and returns the partial per-weight totals. With a configured context
+// the per-step synchronization doubles as the cancellation point (see
+// syncStep).
+func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) ([]gf.Elem, error) {
 	n2 := p.cfg.N2
 	if total := uint64(1) << uint(j); uint64(n2) > total {
 		n2 = int(total)
@@ -205,8 +214,11 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) []gf.Elem {
 			p.countDPOps(float64(nz*len(p.owned)) * float64(nb))
 			p.endSpan()
 		}
-		p.world.Barrier()
+		if err := p.syncStep(); err != nil {
+			p.rec.Add(obs.CellsSkipped, skipped)
+			return nil, err
+		}
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
-	return totals
+	return totals, nil
 }

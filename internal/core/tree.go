@@ -26,10 +26,17 @@ func RunTree(world *comm.Comm, g *graph.Graph, tpl *graph.Template, cfg Config) 
 	d := tpl.Decompose()
 	rounds := cfg.mldOptions().RoundsFor(cfg.K)
 	for round := 0; round < rounds; round++ {
+		if err := p.checkCtx(); err != nil {
+			return false, err
+		}
 		p.span(obs.RoundName, round, "round")
 		p.rec.Add(obs.Rounds, 1)
 		a := mld.NewTreeAssignment(g.NumVertices(), cfg.K, cfg.Seed, round)
-		total := p.treeRoundLocal(d, a)
+		total, err := p.treeRoundLocal(d, a)
+		if err != nil {
+			p.endSpan()
+			return false, err
+		}
 		global := world.AllreduceXor([]uint64{uint64(total)})
 		p.endSpan()
 		if global[0] != 0 {
@@ -40,8 +47,10 @@ func RunTree(world *comm.Comm, g *graph.Graph, tpl *graph.Template, cfg Config) 
 }
 
 // treeRoundLocal runs this rank's share of one round over the template
-// decomposition and returns its partial field total.
-func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem {
+// decomposition and returns its partial field total. With a configured
+// context the per-step synchronization doubles as the cancellation
+// point (see syncStep).
+func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) (gf.Elem, error) {
 	k, n2 := p.cfg.K, p.cfg.N2
 	iters := uint64(1) << uint(k)
 	numPhases := p.phases(k)
@@ -137,8 +146,11 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) gf.Elem
 			p.countDPOps(float64(len(p.owned)) * float64(nb))
 			p.endSpan()
 		}
-		p.world.Barrier()
+		if err := p.syncStep(); err != nil {
+			p.rec.Add(obs.CellsSkipped, skipped)
+			return 0, err
+		}
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
-	return total
+	return total, nil
 }

@@ -1,0 +1,56 @@
+package graph
+
+// Digest is a stable 64-bit content hash of the graph: a function of
+// the CSR arrays (offsets, adjacency) and the attached weight and
+// baseline vectors, nothing else. Two graphs with identical CSR form —
+// however their edges were inserted — digest identically, and the
+// value is stable across process runs and builds (no map iteration, no
+// address-dependent state feeds it). The serving layer uses it as the
+// graph component of result-cache and partition-cache keys
+// (docs/SERVING.md), so cached answers can never be served for a
+// different graph that happens to share a name.
+//
+// The hash is FNV-1a over a tagged little-endian byte stream. Section
+// tags separate the arrays so that, e.g., moving a value from the
+// weight vector to the baseline vector cannot collide trivially.
+func (g *Graph) Digest() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	u64 := func(v uint64) {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(v >> s))
+			h *= prime64
+		}
+	}
+	tag := func(t byte) {
+		h ^= uint64(t)
+		h *= prime64
+	}
+
+	tag('n')
+	u64(uint64(g.NumVertices()))
+	tag('o')
+	for _, o := range g.offsets {
+		u64(uint64(o))
+	}
+	tag('a')
+	for _, v := range g.adj {
+		u64(uint64(uint32(v)))
+	}
+	if g.weights != nil {
+		tag('w')
+		for _, w := range g.weights {
+			u64(uint64(w))
+		}
+	}
+	if g.base != nil {
+		tag('b')
+		for _, b := range g.base {
+			u64(uint64(b))
+		}
+	}
+	return h
+}

@@ -1,0 +1,93 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestDigestInsertionOrderInvariant: any edge-insertion order that
+// builds the same CSR must digest identically — the property the
+// result cache depends on.
+func TestDigestInsertionOrderInvariant(t *testing.T) {
+	edges := [][2]int32{{0, 1}, {1, 2}, {2, 3}, {3, 0}, {1, 3}, {0, 2}}
+	want := FromEdges(5, edges).Digest()
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		perm := rng.Perm(len(edges))
+		b := NewBuilder(5)
+		for _, i := range perm {
+			u, v := edges[i][0], edges[i][1]
+			if trial%2 == 1 {
+				u, v = v, u // reversed endpoints build the same CSR too
+			}
+			b.AddEdge(u, v)
+		}
+		if got := b.Build().Digest(); got != want {
+			t.Fatalf("trial %d: digest %#x, want %#x", trial, got, want)
+		}
+	}
+	// Duplicates and self-loops are dropped by Build, so they cannot
+	// perturb the digest either.
+	b := NewBuilder(5)
+	for _, e := range edges {
+		b.AddEdge(e[0], e[1])
+		b.AddEdge(e[0], e[1])
+	}
+	b.AddEdge(2, 2)
+	if got := b.Build().Digest(); got != want {
+		t.Fatalf("dup/self-loop build: digest %#x, want %#x", got, want)
+	}
+}
+
+// TestDigestStable pins the digest of a fixed graph so accidental
+// algorithm changes (which would invalidate every persisted cache key)
+// fail loudly.
+func TestDigestStable(t *testing.T) {
+	g := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	first := g.Digest()
+	if second := g.Digest(); second != first {
+		t.Fatalf("repeated Digest differs: %#x vs %#x", first, second)
+	}
+	if first == 0 {
+		t.Fatal("digest is zero, suspicious")
+	}
+}
+
+// TestDigestDistinguishes: different structure, weights, baselines, or
+// vertex counts give different digests.
+func TestDigestDistinguishes(t *testing.T) {
+	base := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	seen := map[uint64]string{base.Digest(): "base"}
+
+	add := func(name string, g *Graph) {
+		t.Helper()
+		d := g.Digest()
+		if prev, dup := seen[d]; dup {
+			t.Fatalf("%s collides with %s (%#x)", name, prev, d)
+		}
+		seen[d] = name
+	}
+
+	add("extra edge", FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}, {0, 3}}))
+	add("more vertices", FromEdges(5, [][2]int32{{0, 1}, {1, 2}, {2, 3}}))
+
+	weighted := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	weighted.SetWeights([]int64{1, 0, 0, 0})
+	add("weighted", weighted)
+
+	baselined := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	baselined.SetBaselines([]int64{1, 0, 0, 0})
+	add("baselined", baselined)
+
+	zeroW := FromEdges(4, [][2]int32{{0, 1}, {1, 2}, {2, 3}})
+	zeroW.SetWeights([]int64{0, 0, 0, 0})
+	add("zero weights attached", zeroW)
+
+	// Generators are seeded-deterministic, so their digests are too.
+	if RandomNLogN(200, 3).Digest() != RandomNLogN(200, 3).Digest() {
+		t.Fatal("same-seed generator digests differ")
+	}
+	if RandomNLogN(200, 3).Digest() == RandomNLogN(200, 4).Digest() {
+		t.Fatal("different-seed generator digests collide")
+	}
+}

@@ -1,6 +1,7 @@
 package mld
 
 import (
+	"container/list"
 	"sync"
 
 	"github.com/midas-hpc/midas/internal/gf"
@@ -14,19 +15,150 @@ import (
 // Detect*/ScanTable entry points install a fresh Arena per call when
 // the caller did not provide one via Options.Arena, so rounds within a
 // call are allocation-free in steady state; long-lived callers
-// (internal/core's distributed plan, the bench harness) hold one Arena
-// across calls.
+// (internal/core's distributed plan, the bench harness, the query
+// service's shared worker arena) hold one Arena across calls.
 //
-// Slabs are pooled by exact length. A nil *Arena is valid and simply
-// allocates: round functions never need to nil-check.
+// Slabs are pooled by exact length, and the pool is bounded: at most
+// MaxBytes of retained slab memory and MaxClasses distinct
+// (length, element width) classes. A long-lived arena serving queries
+// of many different graph sizes and batch widths would otherwise
+// retain the union of every working set it has ever seen. When a Put
+// pushes either bound over its cap, the oldest retained slabs are
+// dropped first (insertion order), so the classes in active rotation —
+// which keep cycling through Grab/Put — stay warm while one-off sizes
+// age out. Slabs larger than MaxBytes on their own are not retained at
+// all.
+//
+// A nil *Arena is valid and simply allocates: round functions never
+// need to nil-check.
 type Arena struct {
-	mu     sync.Mutex
-	slabs  map[int][][]gf.Elem
-	slabs8 map[int][][]uint8
+	mu         sync.Mutex
+	maxBytes   int64
+	maxClasses int
+	retained   int64                        // bytes currently pooled
+	order      *list.List                   // *slabEntry; front = oldest Put
+	classes    map[classKey][]*list.Element // per-class stack; top = newest
 }
 
-// NewArena returns an empty arena.
-func NewArena() *Arena { return &Arena{} }
+// classKey identifies a slab pool: exact element count plus element
+// width (GF(2^16) vs the GF(2^8) evaluators' byte slabs).
+type classKey struct {
+	n   int
+	is8 bool
+}
+
+// slabEntry is one pooled slab, linked into the age list. Exactly one
+// of e16/e8 is non-nil, matching key.is8.
+type slabEntry struct {
+	key classKey
+	e16 []gf.Elem
+	e8  []uint8
+}
+
+func (k classKey) bytes() int64 {
+	if k.is8 {
+		return int64(k.n)
+	}
+	return 2 * int64(k.n)
+}
+
+// Default retention bounds for NewArena. 512 MiB of slabs is a few
+// concurrent k=18 working sets on million-vertex graphs; 64 classes
+// covers every (graph, N2) combination a service realistically keeps
+// hot at once.
+const (
+	DefaultArenaMaxBytes   = 512 << 20
+	DefaultArenaMaxClasses = 64
+)
+
+// NewArena returns an empty arena with the default retention bounds.
+func NewArena() *Arena {
+	return NewArenaCap(DefaultArenaMaxBytes, DefaultArenaMaxClasses)
+}
+
+// NewArenaCap returns an empty arena retaining at most maxBytes of
+// slab memory across at most maxClasses distinct slab classes. Zero
+// (or negative) disables the respective bound.
+func NewArenaCap(maxBytes int64, maxClasses int) *Arena {
+	return &Arena{maxBytes: maxBytes, maxClasses: maxClasses}
+}
+
+// RetainedBytes reports the bytes currently held in the pool.
+func (a *Arena) RetainedBytes() int64 {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retained
+}
+
+// Classes reports the number of distinct slab classes currently pooled.
+func (a *Arena) Classes() int {
+	if a == nil {
+		return 0
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.classes)
+}
+
+// grab pops the newest pooled slab of class k, or nil.
+func (a *Arena) grab(k classKey) *slabEntry {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	es := a.classes[k]
+	if len(es) == 0 {
+		return nil
+	}
+	e := es[len(es)-1]
+	a.detach(k, e)
+	return e.Value.(*slabEntry)
+}
+
+// detach removes element e (known to be the top of class k's stack or
+// found within it) from both the class stack and the age list, and
+// adjusts the byte account.
+func (a *Arena) detach(k classKey, e *list.Element) {
+	es := a.classes[k]
+	for i := len(es) - 1; i >= 0; i-- {
+		if es[i] == e {
+			a.classes[k] = append(es[:i], es[i+1:]...)
+			break
+		}
+	}
+	if len(a.classes[k]) == 0 {
+		delete(a.classes, k)
+	}
+	a.order.Remove(e)
+	a.retained -= k.bytes()
+}
+
+// put retains entry se, evicting oldest slabs while over either bound.
+func (a *Arena) put(se *slabEntry) {
+	b := se.key.bytes()
+	if a.maxBytes > 0 && b > a.maxBytes {
+		return // single slab over budget: never retain
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.order == nil {
+		a.order = list.New()
+		a.classes = make(map[classKey][]*list.Element)
+	}
+	e := a.order.PushBack(se)
+	a.classes[se.key] = append(a.classes[se.key], e)
+	a.retained += b
+	for (a.maxBytes > 0 && a.retained > a.maxBytes) ||
+		(a.maxClasses > 0 && len(a.classes) > a.maxClasses) {
+		oldest := a.order.Front()
+		if oldest == nil || oldest == e && a.order.Len() == 1 {
+			break // never evict what was just inserted as the sole slab
+		}
+		se := oldest.Value.(*slabEntry)
+		a.detach(se.key, oldest)
+	}
+}
 
 // Grab returns a zeroed slab of n GF(2^16) elements, reusing a pooled
 // one when available.
@@ -34,15 +166,10 @@ func (a *Arena) Grab(n int) []gf.Elem {
 	if a == nil {
 		return make([]gf.Elem, n)
 	}
-	a.mu.Lock()
-	if ss := a.slabs[n]; len(ss) > 0 {
-		s := ss[len(ss)-1]
-		a.slabs[n] = ss[:len(ss)-1]
-		a.mu.Unlock()
-		clear(s)
-		return s
+	if se := a.grab(classKey{n: n}); se != nil {
+		clear(se.e16)
+		return se.e16
 	}
-	a.mu.Unlock()
 	return make([]gf.Elem, n)
 }
 
@@ -51,16 +178,11 @@ func (a *Arena) Put(slabs ...[]gf.Elem) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.slabs == nil {
-		a.slabs = make(map[int][][]gf.Elem)
-	}
 	for _, s := range slabs {
 		if s == nil {
 			continue
 		}
-		a.slabs[len(s)] = append(a.slabs[len(s)], s)
+		a.put(&slabEntry{key: classKey{n: len(s)}, e16: s})
 	}
 }
 
@@ -69,15 +191,10 @@ func (a *Arena) Grab8(n int) []uint8 {
 	if a == nil {
 		return make([]uint8, n)
 	}
-	a.mu.Lock()
-	if ss := a.slabs8[n]; len(ss) > 0 {
-		s := ss[len(ss)-1]
-		a.slabs8[n] = ss[:len(ss)-1]
-		a.mu.Unlock()
-		clear(s)
-		return s
+	if se := a.grab(classKey{n: n, is8: true}); se != nil {
+		clear(se.e8)
+		return se.e8
 	}
-	a.mu.Unlock()
 	return make([]uint8, n)
 }
 
@@ -86,15 +203,10 @@ func (a *Arena) Put8(slabs ...[]uint8) {
 	if a == nil {
 		return
 	}
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.slabs8 == nil {
-		a.slabs8 = make(map[int][][]uint8)
-	}
 	for _, s := range slabs {
 		if s == nil {
 			continue
 		}
-		a.slabs8[len(s)] = append(a.slabs8[len(s)], s)
+		a.put(&slabEntry{key: classKey{n: len(s), is8: true}, e8: s})
 	}
 }

@@ -1,0 +1,129 @@
+package mld
+
+import (
+	"testing"
+)
+
+func TestArenaReuse(t *testing.T) {
+	a := NewArena()
+	s := a.Grab(1000)
+	s[5] = 7
+	a.Put(s)
+	s2 := a.Grab(1000)
+	if &s[0] != &s2[0] {
+		t.Fatal("same-length grab did not reuse the pooled slab")
+	}
+	if s2[5] != 0 {
+		t.Fatal("reused slab was not zeroed")
+	}
+	s8 := a.Grab8(512)
+	a.Put8(s8)
+	if got := a.Grab8(512); &got[0] != &s8[0] {
+		t.Fatal("Grab8 did not reuse the pooled slab")
+	}
+}
+
+// TestArenaNilSafe: a nil arena allocates and ignores puts.
+func TestArenaNilSafe(t *testing.T) {
+	var a *Arena
+	s := a.Grab(64)
+	if len(s) != 64 {
+		t.Fatal("nil arena Grab returned wrong length")
+	}
+	a.Put(s)
+	a.Put8(a.Grab8(32))
+	if a.RetainedBytes() != 0 || a.Classes() != 0 {
+		t.Fatal("nil arena claims retained state")
+	}
+}
+
+// TestArenaByteCapEvictsOldest: hammering the pool with many distinct
+// lengths keeps retained bytes under the cap, evicting oldest-first.
+func TestArenaByteCapEvictsOldest(t *testing.T) {
+	const maxBytes = 64 << 10
+	a := NewArenaCap(maxBytes, 0)
+	// 100 distinct classes of 2000-element (4000-byte) slabs: ~400 KB
+	// offered against a 64 KB budget.
+	for i := 0; i < 100; i++ {
+		a.Put(make([]gf16, 2000+i))
+	}
+	if got := a.RetainedBytes(); got > maxBytes {
+		t.Fatalf("retained %d bytes, cap %d", got, maxBytes)
+	}
+	// The survivors must be the newest classes.
+	if ss := a.Grab(2099); cap(ss) == 0 {
+		t.Fatal("grab returned empty slab") // unreachable; silences vet
+	}
+	old := a.Grab(2000)
+	a.Put(old)
+	if a.RetainedBytes() > maxBytes {
+		t.Fatal("re-putting an evicted-length slab broke the cap")
+	}
+}
+
+// gf16 aliases the element type so the test reads clearly.
+type gf16 = uint16
+
+// TestArenaClassCap: the number of distinct pooled classes stays
+// bounded no matter how many lengths are offered.
+func TestArenaClassCap(t *testing.T) {
+	a := NewArenaCap(0, 8)
+	for i := 0; i < 200; i++ {
+		s := a.Grab(100 + i)
+		a.Put(s)
+	}
+	if got := a.Classes(); got > 8 {
+		t.Fatalf("%d classes retained, cap 8", got)
+	}
+	// Newest classes survive: length 299 must still be pooled.
+	s := a.Grab(299)
+	a.Put(s)
+	if got := a.Classes(); got > 8 {
+		t.Fatalf("%d classes after re-put, cap 8", got)
+	}
+}
+
+// TestArenaOverBudgetSlabNotRetained: a slab larger than the whole
+// byte budget is dropped outright.
+func TestArenaOverBudgetSlabNotRetained(t *testing.T) {
+	a := NewArenaCap(1<<10, 0)
+	a.Put(make([]gf16, 4096)) // 8 KB > 1 KB budget
+	if a.RetainedBytes() != 0 {
+		t.Fatalf("over-budget slab retained (%d bytes)", a.RetainedBytes())
+	}
+}
+
+// TestArenaMixedLengthHammer simulates a long-lived service arena
+// churning through many query shapes: mixed grab/put of 8- and
+// 16-bit slabs of varying lengths must respect both caps throughout.
+func TestArenaMixedLengthHammer(t *testing.T) {
+	const (
+		maxBytes   = 256 << 10
+		maxClasses = 16
+	)
+	a := NewArenaCap(maxBytes, maxClasses)
+	for round := 0; round < 50; round++ {
+		held := make([][]gf16, 0, 10)
+		held8 := make([][]uint8, 0, 10)
+		for i := 0; i < 10; i++ {
+			n := 1000 + 977*((round*10+i)%37)
+			held = append(held, a.Grab(n))
+			held8 = append(held8, a.Grab8(n/2))
+		}
+		for _, s := range held {
+			a.Put(s)
+		}
+		for _, s := range held8 {
+			a.Put8(s)
+		}
+		if got := a.RetainedBytes(); got > maxBytes {
+			t.Fatalf("round %d: retained %d bytes, cap %d", round, got, maxBytes)
+		}
+		if got := a.Classes(); got > maxClasses {
+			t.Fatalf("round %d: %d classes, cap %d", round, got, maxClasses)
+		}
+	}
+	if a.RetainedBytes() == 0 {
+		t.Fatal("hammer left the pool empty; caps are evicting everything")
+	}
+}

@@ -1,0 +1,83 @@
+package mld
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// TestDetectCancelledContext: an already-cancelled context makes every
+// evaluator return its error before doing any DP work.
+func TestDetectCancelledContext(t *testing.T) {
+	g := graph.RandomGNM(30, 80, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt := Options{Ctx: ctx}
+
+	if _, err := DetectPath(g, 6, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DetectPath: got %v, want context.Canceled", err)
+	}
+	tpl := graph.RandomTemplate(4, 2)
+	if _, err := DetectTree(g, tpl, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("DetectTree: got %v, want context.Canceled", err)
+	}
+	wg := graph.RandomGNM(20, 50, 3)
+	w := make([]int64, wg.NumVertices())
+	for i := range w {
+		w[i] = int64(i % 4)
+	}
+	wg.SetWeights(w)
+	if _, err := ScanTable(wg, 4, 8, opt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ScanTable: got %v, want context.Canceled", err)
+	}
+}
+
+// TestDetectDeadlineStopsEarly: a deadline expiring mid-run aborts the
+// 2^k iteration sweep between batches — the phase counter stays well
+// short of the full count and the error is DeadlineExceeded.
+func TestDetectDeadlineStopsEarly(t *testing.T) {
+	g := graph.RandomGNM(200, 800, 2)
+	const k = 18 // 2^18 iterations: seconds of work, far beyond the deadline
+	rec := obs.NewRecorder(0, nil)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	opt := Options{Ctx: ctx, Rounds: 1, N2: 32, Obs: rec}
+
+	start := time.Now()
+	_, err := DetectPath(g, k, opt)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v; batches are not checking the context", elapsed)
+	}
+	totalPhases := int64((1 << k) / 32)
+	if got := rec.Snapshot().Counter(obs.Phases); got >= totalPhases {
+		t.Fatalf("executed all %d phases despite the deadline", got)
+	}
+}
+
+// TestDetectCancelNoGoroutineLeak: cancelling a parallel run must not
+// strand DP worker goroutines.
+func TestDetectCancelNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	g := graph.RandomGNM(100, 400, 7)
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := DetectPath(g, 16, Options{Ctx: ctx, Rounds: 1, Workers: 4}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want context.DeadlineExceeded", err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}

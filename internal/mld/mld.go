@@ -42,6 +42,7 @@
 package mld
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -112,6 +113,16 @@ type Options struct {
 	// one call are allocation-free either way; set it to share slabs
 	// across calls (the distributed plan and the bench harness do).
 	Arena *Arena
+
+	// Ctx, when non-nil, makes the evaluation cancellable: the round
+	// and iteration-batch loops of the path/tree/scan evaluators check
+	// it and return its error instead of finishing the remaining 2^k
+	// iterations. Nil (the default) means run to completion with zero
+	// per-batch overhead. The serving layer (internal/serve) sets it to
+	// the per-request deadline context so abandoned queries stop
+	// burning CPU; cancellation granularity is one iteration batch
+	// (N2 iterations × one DP level sweep).
+	Ctx context.Context
 }
 
 func (o Options) epsilon() float64 {
@@ -169,6 +180,15 @@ func (o Options) obsSpan(name func(int) string, idx int, cat string) {
 }
 
 func (o Options) obsEnd() { o.Obs.End() }
+
+// ctxErr reports the options context's cancellation state (nil when no
+// context is attached — the non-cancellable fast path).
+func (o Options) ctxErr() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	return o.Ctx.Err()
+}
 
 // obsLevel charges one DP level to the recorder: the Levels counter and
 // elems field-element operations (the analytic per-level op count; see

@@ -139,15 +139,35 @@ func TestBatchingInvariance(t *testing.T) {
 	g := graph.RandomGNM(20, 50, 5)
 	const k = 5
 	a := NewAssignment(g.NumVertices(), k, 99, 0, tagPath)
-	ref := pathRound(g, a, Options{N2: 1})
+	ref := mustPathRound(t, g, a, Options{N2: 1})
 	for _, n2 := range []int{2, 3, 7, 16, 32, 1 << k} {
-		if got := pathRound(g, a, Options{N2: n2}); got != ref {
+		if got := mustPathRound(t, g, a, Options{N2: n2}); got != ref {
 			t.Fatalf("N2=%d: total %#x != reference %#x", n2, got, ref)
 		}
 	}
-	if got := pathRound(g, a, Options{N2: 8, NoGray: true}); got != ref {
+	if got := mustPathRound(t, g, a, Options{N2: 8, NoGray: true}); got != ref {
 		t.Fatalf("NoGray: total %#x != reference %#x", got, ref)
 	}
+}
+
+// mustPathRound / mustTreeRound unwrap the (total, error) round results
+// for tests that never attach a context (the only error source).
+func mustPathRound(t *testing.T, g *graph.Graph, a *Assignment, opt Options) gf.Elem {
+	t.Helper()
+	total, err := pathRound(g, a, opt)
+	if err != nil {
+		t.Fatalf("pathRound: %v", err)
+	}
+	return total
+}
+
+func mustTreeRound(t *testing.T, g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Options) gf.Elem {
+	t.Helper()
+	total, err := treeRound(g, d, a, opt)
+	if err != nil {
+		t.Fatalf("treeRound: %v", err)
+	}
+	return total
 }
 
 // TestPathRoundMatchesSymbolicOracle builds the k-path polynomial
@@ -189,7 +209,7 @@ func TestPathRoundMatchesSymbolicOracle(t *testing.T) {
 		total = total.Add(prev[i])
 	}
 	want := total.FullCoeff()
-	got := pathRound(g, a, Options{N2: 4})
+	got := mustPathRound(t, g, a, Options{N2: 4})
 	if got != want {
 		t.Fatalf("scalar evaluation %#x != symbolic coefficient %#x", got, want)
 	}
@@ -387,18 +407,18 @@ func TestWorkersInvariance(t *testing.T) {
 	g := graph.RandomGNM(40, 120, 14)
 	const k = 6
 	a := NewAssignment(g.NumVertices(), k, 5, 0, tagPath)
-	ref := pathRound(g, a, Options{N2: 8})
+	ref := mustPathRound(t, g, a, Options{N2: 8})
 	for _, w := range []int{2, 3, 8} {
-		if got := pathRound(g, a, Options{N2: 8, Workers: w}); got != ref {
+		if got := mustPathRound(t, g, a, Options{N2: 8, Workers: w}); got != ref {
 			t.Fatalf("workers=%d changed path total: %#x != %#x", w, got, ref)
 		}
 	}
 	tpl := graph.RandomTemplate(5, 3)
 	d := tpl.Decompose()
 	at := NewAssignment(g.NumVertices(), 5, 5, 0, tagTree)
-	refT := treeRound(g, d, at, Options{N2: 8})
+	refT := mustTreeRound(t, g, d, at, Options{N2: 8})
 	for _, w := range []int{2, 4} {
-		if got := treeRound(g, d, at, Options{N2: 8, Workers: w}); got != refT {
+		if got := mustTreeRound(t, g, d, at, Options{N2: 8, Workers: w}); got != refT {
 			t.Fatalf("workers=%d changed tree total: %#x != %#x", w, got, refT)
 		}
 	}

@@ -24,9 +24,13 @@ func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
 	}
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
+		if err := opt.ctxErr(); err != nil {
+			return false, err
+		}
 		opt.obsSpan(obs.RoundName, round, "round")
 		opt.Obs.Add(obs.Rounds, 1)
 		var hit bool
+		var err error
 		switch opt.Variant {
 		case VariantKoutis:
 			hit = koutisPathRound(g, k, opt, round) != 0
@@ -34,9 +38,14 @@ func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
 			hit = pathRound8(g, k, opt, round) != 0
 		default:
 			a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagPath)
-			hit = pathRound(g, a, opt) != 0
+			var total gf.Elem
+			total, err = pathRound(g, a, opt)
+			hit = total != 0
 		}
 		opt.obsEnd()
+		if err != nil {
+			return false, err
+		}
 		if hit {
 			return true, nil
 		}
@@ -46,8 +55,9 @@ func DetectPath(g *graph.Graph, k int, opt Options) (bool, error) {
 
 // pathRound evaluates the k-path polynomial over all 2^k iterations for
 // one assignment and returns the accumulated field total (nonzero ⇒
-// a k-path exists).
-func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
+// a k-path exists). A non-nil opt.Ctx aborts between iteration batches
+// with the context's error.
+func pathRound(g *graph.Graph, a *Assignment, opt Options) (gf.Elem, error) {
 	n := g.NumVertices()
 	k := a.K
 	n2 := opt.batch(k)
@@ -63,6 +73,10 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 
 	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		if err := opt.ctxErr(); err != nil {
+			opt.Obs.Add(obs.CellsSkipped, skipped)
+			return 0, err
+		}
 		opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
 		opt.Obs.Add(obs.Phases, 1)
 		nb := n2
@@ -114,7 +128,7 @@ func pathRound(g *graph.Graph, a *Assignment, opt Options) gf.Elem {
 		opt.obsEnd()
 	}
 	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return total
+	return total, nil
 }
 
 // koutisPathRound is Algorithm 1 as printed: one full pass of 2^k

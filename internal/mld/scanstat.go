@@ -44,11 +44,17 @@ func ScanTable(g *graph.Graph, k int, zmax int64, opt Options) ([][]bool, error)
 	for j := 1; j <= k && j <= g.NumVertices(); j++ {
 		rounds := opt.RoundsFor(j)
 		for round := 0; round < rounds; round++ {
+			if err := opt.ctxErr(); err != nil {
+				return nil, err
+			}
 			opt.obsSpan(obs.RoundName, round, "round")
 			opt.Obs.Add(obs.Rounds, 1)
 			a := NewAssignment(g.NumVertices(), j, opt.Seed, round, tagScan)
-			row := scanRound(g, j, zmax, a, opt)
+			row, err := scanRound(g, j, zmax, a, opt)
 			opt.obsEnd()
+			if err != nil {
+				return nil, err
+			}
 			for z := int64(0); z <= zmax; z++ {
 				if row[z] != 0 {
 					feas[j][z] = true
@@ -79,7 +85,10 @@ func CellFeasible(g *graph.Graph, j int, z int64, opt Options) (bool, error) {
 	rounds := opt.RoundsFor(j)
 	for round := 0; round < rounds; round++ {
 		a := NewAssignment(g.NumVertices(), j, opt.Seed, round, tagScan)
-		row := scanRound(g, j, z, a, opt)
+		row, err := scanRound(g, j, z, a, opt)
+		if err != nil {
+			return false, err
+		}
 		if row[z] != 0 {
 			return true, nil
 		}
@@ -90,8 +99,9 @@ func CellFeasible(g *graph.Graph, j int, z int64, opt Options) (bool, error) {
 // scanRound evaluates the scan polynomial for subgraph size exactly j
 // over all 2^j iterations of one assignment, returning the per-weight
 // field totals (nonzero at z ⇒ a connected size-j weight-z subgraph
-// exists).
-func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []gf.Elem {
+// exists). A non-nil opt.Ctx aborts between iteration batches with the
+// context's error.
+func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) ([]gf.Elem, error) {
 	n := g.NumVertices()
 	n2 := opt.batch(j)
 	iters := uint64(1) << uint(j)
@@ -131,6 +141,10 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 	var skipped int64
 
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		if err := opt.ctxErr(); err != nil {
+			opt.Obs.Add(obs.CellsSkipped, skipped)
+			return nil, err
+		}
 		nb := n2
 		if rem := iters - q0; uint64(nb) > rem {
 			nb = int(rem)
@@ -207,7 +221,7 @@ func scanRound(g *graph.Graph, j int, zmax int64, a *Assignment, opt Options) []
 		}
 	}
 	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return totals
+	return totals, nil
 }
 
 // BruteScanTable computes the exact feasibility table by enumerating all

@@ -27,12 +27,18 @@ func DetectTree(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) 
 	d := tpl.Decompose()
 	rounds := opt.RoundsFor(k)
 	for round := 0; round < rounds; round++ {
+		if err := opt.ctxErr(); err != nil {
+			return false, err
+		}
 		opt.obsSpan(obs.RoundName, round, "round")
 		opt.Obs.Add(obs.Rounds, 1)
 		a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagTree)
-		hit := treeRound(g, d, a, opt) != 0
+		total, err := treeRound(g, d, a, opt)
 		opt.obsEnd()
-		if hit {
+		if err != nil {
+			return false, err
+		}
+		if total != 0 {
 			return true, nil
 		}
 	}
@@ -40,8 +46,10 @@ func DetectTree(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) 
 }
 
 // treeRound evaluates the k-tree polynomial over all 2^k iterations for
-// one assignment; a nonzero return means an embedding exists.
-func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Options) gf.Elem {
+// one assignment; a nonzero return means an embedding exists. A
+// non-nil opt.Ctx aborts between iteration batches with the context's
+// error.
+func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Options) (gf.Elem, error) {
 	n := g.NumVertices()
 	k := a.K
 	n2 := opt.batch(k)
@@ -63,6 +71,10 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 
 	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
 	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
+		if err := opt.ctxErr(); err != nil {
+			opt.Obs.Add(obs.CellsSkipped, skipped)
+			return 0, err
+		}
 		opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
 		opt.Obs.Add(obs.Phases, 1)
 		nb := n2
@@ -121,5 +133,5 @@ func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Option
 		opt.obsEnd()
 	}
 	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return total
+	return total, nil
 }

@@ -95,9 +95,9 @@ func TestTreeBatchingInvariance(t *testing.T) {
 	tpl := graph.RandomTemplate(5, 9)
 	d := tpl.Decompose()
 	a := NewAssignment(g.NumVertices(), 5, 77, 0, tagTree)
-	ref := treeRound(g, d, a, Options{N2: 1})
+	ref := mustTreeRound(t, g, d, a, Options{N2: 1})
 	for _, n2 := range []int{2, 5, 8, 32} {
-		if got := treeRound(g, d, a, Options{N2: n2}); got != ref {
+		if got := mustTreeRound(t, g, d, a, Options{N2: n2}); got != ref {
 			t.Fatalf("N2=%d: %#x != %#x", n2, got, ref)
 		}
 	}

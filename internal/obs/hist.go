@@ -45,6 +45,13 @@ const (
 	// (fault-injected drops in virtual time, TCP write failures in
 	// wall time) — the distribution behind the BackoffNanos counter.
 	HistRetryBackoff
+	// HistServeQueueWait is the wall time a served query spent in the
+	// admission queue before a worker picked it up (internal/serve).
+	HistServeQueueWait
+	// HistServeQueryLatency is the wall time from a served query's
+	// admission to its terminal state — queueing, execution (or cache /
+	// singleflight attach), and result publication (internal/serve).
+	HistServeQueryLatency
 
 	// NumHists is the number of defined histograms.
 	NumHists
@@ -52,6 +59,7 @@ const (
 
 var histNames = [NumHists]string{
 	"send-latency", "recv-wait", "barrier-wait", "halo-exchange", "retry-backoff",
+	"serve-queue-wait", "serve-query-latency",
 }
 
 // String returns the stable kebab-case name used by the exporters.

@@ -90,6 +90,32 @@ const (
 	// that DPOps models analytically but the kernels never executed.
 	CellsSkipped
 
+	// The serve-* counters belong to the query-service plane
+	// (internal/serve, docs/SERVING.md): the serving daemon holds one
+	// process-wide Recorder and charges admission, cache, and lifecycle
+	// events to it, so the service shares the /metrics pipeline with
+	// the algorithm counters above.
+
+	// ServeAdmitted counts queries accepted into the admission queue.
+	ServeAdmitted
+	// ServeRejected counts queries refused admission (queue full, or
+	// the server was draining).
+	ServeRejected
+	// ServeCacheHits counts queries answered from the result cache.
+	ServeCacheHits
+	// ServeCacheMisses counts queries that actually executed the DP
+	// (the singleflight leader's runs).
+	ServeCacheMisses
+	// ServeSingleflightShared counts queries that attached to an
+	// identical in-flight execution instead of running their own.
+	ServeSingleflightShared
+	// ServeCancelled counts queries that ended cancelled or past their
+	// deadline.
+	ServeCancelled
+	// ServeCompleted counts queries that ran (or were served from
+	// cache/singleflight) to a successful result.
+	ServeCompleted
+
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
@@ -97,6 +123,8 @@ const (
 var counterNames = [NumCounters]string{
 	"halo-msgs", "halo-bytes", "dp-ops", "rounds", "phases", "levels", "spans-dropped",
 	"faults-injected", "send-retries", "backoff-nanos", "flows-dropped", "cells-skipped",
+	"serve-admitted", "serve-rejected", "serve-cache-hits", "serve-cache-misses",
+	"serve-singleflight-shared", "serve-cancelled", "serve-completed",
 }
 
 // String returns the stable kebab-case name used by the exporters.

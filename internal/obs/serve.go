@@ -33,6 +33,33 @@ type Server struct {
 	source func() []Snapshot
 }
 
+// Metric is one extra gauge/counter family an embedding server merges
+// into the /metrics exposition alongside the Recorder-derived series —
+// the hook the query service uses for values that are states, not
+// events (queue depth, in-flight executions, cache occupancy), which a
+// monotone Counter cannot represent. Name must be a full Prometheus
+// metric name ("midas_serve_queue_depth").
+type Metric struct {
+	Name    string
+	Help    string
+	Type    string // "gauge" or "counter"
+	Samples []MetricSample
+}
+
+// MetricSample is one sample of an extra Metric. Labels is the
+// pre-rendered label set including braces (`{worker="3"}`), or empty
+// for an unlabelled sample.
+type MetricSample struct {
+	Labels string
+	Value  float64
+}
+
+// Gauge is a single-sample unlabelled gauge Metric — the common case
+// for the extra-metrics hook.
+func Gauge(name, help string, v float64) Metric {
+	return Metric{Name: name, Help: help, Type: "gauge", Samples: []MetricSample{{Value: v}}}
+}
+
 // Serve binds addr (host:port; ":0" picks a free port — read it back
 // via Addr) and serves /metrics, /healthz and /debug/pprof/ until
 // Close. source is invoked per request and must be safe for concurrent
@@ -44,16 +71,23 @@ func Serve(addr string, source func() []Snapshot) (*Server, error) {
 	}
 	s := &Server{ln: ln, source: source}
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.Handle("/metrics", MetricsHandler(source, nil))
+	mux.Handle("/healthz", HealthzHandler(source))
+	RegisterPprof(mux)
+	s.srv = &http.Server{Handler: mux}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return s, nil
+}
+
+// RegisterPprof mounts the standard net/http/pprof profiler under
+// /debug/pprof/ on mux — shared by the obs Server and any embedding
+// server (internal/serve) that builds its own mux.
+func RegisterPprof(mux *http.ServeMux) {
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	s.srv = &http.Server{Handler: mux}
-	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
-	return s, nil
 }
 
 // SnapshotSource adapts a fixed recorder list into the source callback
@@ -89,8 +123,22 @@ func fmtFloat(v float64) string {
 // name component ("halo-msgs" → "halo_msgs").
 func metricName(name string) string { return strings.ReplaceAll(name, "-", "_") }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	snaps := s.source()
+// MetricsHandler returns the Prometheus text-format /metrics handler
+// over a snapshot source, optionally merged with extra gauge families
+// (extra may be nil; it is invoked per request and must be safe for
+// concurrent use). The obs Server uses it with no extras; the query
+// service mounts it on its own mux with the admission/cache gauges.
+func MetricsHandler(source func() []Snapshot, extra func() []Metric) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		var extras []Metric
+		if extra != nil {
+			extras = extra()
+		}
+		writeMetrics(w, source(), extras)
+	})
+}
+
+func writeMetrics(w http.ResponseWriter, snaps []Snapshot, extras []Metric) {
 	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Rank < snaps[j].Rank })
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	var b strings.Builder
@@ -180,6 +228,24 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 			sample(name+"_count", rank, strconv.FormatInt(h.Count, 10))
 		}
 	}
+
+	// Extra families from the embedding server (gauges the Recorder
+	// model has no slot for).
+	for _, m := range extras {
+		typ := m.Type
+		if typ == "" {
+			typ = "gauge"
+		}
+		fmt.Fprintf(&b, "# HELP %s %s\n", m.Name, m.Help)
+		fmt.Fprintf(&b, "# TYPE %s %s\n", m.Name, typ)
+		for _, sm := range m.Samples {
+			b.WriteString(m.Name)
+			b.WriteString(sm.Labels)
+			b.WriteByte(' ')
+			b.WriteString(fmtFloat(sm.Value))
+			b.WriteByte('\n')
+		}
+	}
 	w.Write([]byte(b.String())) //nolint:errcheck
 }
 
@@ -201,21 +267,26 @@ type Health struct {
 	Ranks  []HealthRank `json:"ranks"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	snaps := s.source()
-	sort.Slice(snaps, func(i, j int) bool { return snaps[i].Rank < snaps[j].Rank })
-	h := Health{Status: "ok", Ranks: make([]HealthRank, 0, len(snaps))}
-	for _, sn := range snaps {
-		h.Ranks = append(h.Ranks, HealthRank{
-			Rank:      sn.Rank,
-			Phase:     sn.Phase,
-			ClockSecs: sn.End,
-			Rounds:    sn.Counter(Rounds),
-			Phases:    sn.Counter(Phases),
-			Levels:    sn.Counter(Levels),
-			Spans:     sn.SpansRecorded,
-		})
-	}
-	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(h) //nolint:errcheck
+// HealthzHandler returns the JSON rank-liveness /healthz handler over
+// a snapshot source (invoked per request; must be safe for concurrent
+// use).
+func HealthzHandler(source func() []Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		snaps := source()
+		sort.Slice(snaps, func(i, j int) bool { return snaps[i].Rank < snaps[j].Rank })
+		h := Health{Status: "ok", Ranks: make([]HealthRank, 0, len(snaps))}
+		for _, sn := range snaps {
+			h.Ranks = append(h.Ranks, HealthRank{
+				Rank:      sn.Rank,
+				Phase:     sn.Phase,
+				ClockSecs: sn.End,
+				Rounds:    sn.Counter(Rounds),
+				Phases:    sn.Counter(Phases),
+				Levels:    sn.Counter(Levels),
+				Spans:     sn.SpansRecorded,
+			})
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(h) //nolint:errcheck
+	})
 }

@@ -1,0 +1,409 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// Query kinds.
+const (
+	KindPath     = "path"
+	KindTree     = "tree"
+	KindScanStat = "scanstat"
+)
+
+// QueryRequest is the body of POST /v1/query.
+type QueryRequest struct {
+	Graph string `json:"graph"`
+	Kind  string `json:"kind"`
+	K     int    `json:"k,omitempty"` // path/scanstat size; tree derives k from the template
+
+	Template [][2]int32 `json:"template,omitempty"` // tree edge list
+	ZMax     int64      `json:"zmax,omitempty"`     // scanstat weight cap
+
+	Seed    uint64  `json:"seed,omitempty"`
+	Epsilon float64 `json:"epsilon,omitempty"`
+	Rounds  int     `json:"rounds,omitempty"`
+	N2      int     `json:"n2,omitempty"`
+	Workers int     `json:"workers,omitempty"` // shared-memory DP workers (ranks ≤ 1)
+
+	Ranks  int    `json:"ranks,omitempty"`  // >1 = distributed in-process world
+	N1     int    `json:"n1,omitempty"`     // graph parts; default ranks
+	Scheme string `json:"scheme,omitempty"` // partition scheme; default "block"
+
+	TimeoutMillis int64 `json:"timeoutMillis,omitempty"` // per-query deadline
+	Wait          *bool `json:"wait,omitempty"`          // default true: block until terminal
+}
+
+func (r *QueryRequest) wait() bool { return r.Wait == nil || *r.Wait }
+
+func (r *QueryRequest) template() (*graph.Template, error) {
+	if len(r.Template) == 0 {
+		return nil, errors.New("tree query needs a template edge list")
+	}
+	k := int32(0)
+	for _, e := range r.Template {
+		if e[0] > k {
+			k = e[0]
+		}
+		if e[1] > k {
+			k = e[1]
+		}
+	}
+	return graph.NewTemplate(int(k)+1, r.Template)
+}
+
+// validate normalizes the request and rejects malformed ones before
+// admission, so the queue only ever holds runnable queries.
+func (r *QueryRequest) validate() error {
+	if r.Graph == "" {
+		return errors.New("missing graph name")
+	}
+	switch r.Kind {
+	case KindPath, KindScanStat:
+		if err := mld.ValidateK(r.K); err != nil {
+			return err
+		}
+		if r.Kind == KindScanStat && r.ZMax < 0 {
+			return fmt.Errorf("negative zmax %d", r.ZMax)
+		}
+	case KindTree:
+		tpl, err := r.template()
+		if err != nil {
+			return err
+		}
+		r.K = tpl.K()
+		if err := mld.ValidateK(r.K); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown query kind %q (want path, tree, or scanstat)", r.Kind)
+	}
+	if r.Ranks > 1 {
+		n1 := r.N1
+		if n1 <= 0 {
+			n1 = r.Ranks
+		}
+		if r.Ranks%n1 != 0 {
+			return fmt.Errorf("n1=%d must divide ranks=%d", n1, r.Ranks)
+		}
+	}
+	return nil
+}
+
+// batch mirrors mld.Options.batch for the phase-count plan.
+func (r *QueryRequest) batch() int {
+	n2 := r.N2
+	if n2 <= 0 {
+		n2 = 128
+	}
+	if total := 1 << uint(r.K); n2 > total {
+		n2 = total
+	}
+	return n2
+}
+
+// plannedPhases is the full sweep's phase count for one round — what
+// Phases would reach if a single-round query ran to completion
+// (scanstat runs one sweep per size j ≤ k; this reports the size-k
+// sweep, the dominant term).
+func (r *QueryRequest) plannedPhases() int64 {
+	n2 := uint64(r.batch())
+	total := uint64(1) << uint(r.K)
+	return int64((total + n2 - 1) / n2)
+}
+
+// key is the query's cache/singleflight identity: the graph's content
+// digest plus every parameter that selects what is computed and how it
+// is seeded or placed. Workers is deliberately excluded — shared-memory
+// worker count provably never changes the totals.
+func (r *QueryRequest) key(digest uint64) string {
+	tpl := uint64(0)
+	if len(r.Template) > 0 {
+		const prime = 1099511628211
+		h := uint64(14695981039346656037)
+		for _, e := range r.Template {
+			h ^= uint64(uint32(e[0]))
+			h *= prime
+			h ^= uint64(uint32(e[1]))
+			h *= prime
+		}
+		tpl = h
+	}
+	return fmt.Sprintf("g=%016x|kind=%s|k=%d|tpl=%016x|z=%d|seed=%d|eps=%g|r=%d|n2=%d|ranks=%d|n1=%d|sch=%s",
+		digest, r.Kind, r.K, tpl, r.ZMax, r.Seed, r.Epsilon, r.Rounds, r.N2, r.Ranks, r.N1, r.Scheme)
+}
+
+// Result is a finished query's payload.
+type Result struct {
+	Kind  string   `json:"kind"`
+	Found bool     `json:"found,omitempty"`
+	Table [][]bool `json:"table,omitempty"`
+	// Cached marks a result served from the result cache.
+	Cached bool `json:"cached,omitempty"`
+	// Rounds/Phases are the DP execution counters; for a query stopped
+	// by its deadline, Phases < TotalPhases is the proof it did not
+	// finish the 2^k sweep.
+	Rounds      int64 `json:"rounds"`
+	Phases      int64 `json:"phases"`
+	TotalPhases int64 `json:"totalPhases,omitempty"`
+}
+
+func (r *Result) cachedCopy() *Result {
+	c := *r
+	c.Cached = true
+	return &c
+}
+
+// size approximates the result's retained bytes for the cache bound.
+func (r *Result) size() int64 {
+	n := int64(128)
+	for _, row := range r.Table {
+		n += int64(len(row)) + 24
+	}
+	return n
+}
+
+// JobView is the API's job representation (POST /v1/query responses
+// and GET /v1/jobs/{id}).
+type JobView struct {
+	ID        string  `json:"id"`
+	Status    string  `json:"status"`
+	Result    *Result `json:"result,omitempty"`
+	Error     string  `json:"error,omitempty"`
+	RunMillis float64 `json:"runMillis,omitempty"`
+}
+
+// GraphRequest is the body of POST /v1/graphs: load a graph under a
+// name, from an inline edge list, a server-local file, or a seeded
+// generator (handy for smoke tests).
+type GraphRequest struct {
+	Name    string      `json:"name"`
+	Path    string      `json:"path,omitempty"`  // server-local file (graph.Load formats)
+	N       int         `json:"n,omitempty"`     // inline: vertex count
+	Edges   [][2]int32  `json:"edges,omitempty"` // inline: edge list
+	Weights []int64     `json:"weights,omitempty"`
+	Random  *RandomSpec `json:"random,omitempty"`
+}
+
+// RandomSpec asks the server to generate an Erdős–Rényi n·ln n graph.
+type RandomSpec struct {
+	N    int    `json:"n"`
+	Seed uint64 `json:"seed"`
+}
+
+// GraphView describes a resident graph.
+type GraphView struct {
+	Name     string `json:"name"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Digest   string `json:"digest"` // hex of graph.Digest()
+}
+
+func graphView(e *graphEntry) GraphView {
+	return GraphView{
+		Name:     e.Name,
+		Vertices: e.G.NumVertices(),
+		Edges:    e.G.NumEdges(),
+		Digest:   strconv.FormatUint(e.Digest, 16),
+	}
+}
+
+// Handler returns the service's HTTP API:
+//
+//	POST   /v1/graphs      load/register a graph
+//	GET    /v1/graphs      list resident graphs
+//	POST   /v1/query       run (or join, or hit the cache for) a query
+//	GET    /v1/jobs/{id}   job status and result
+//	DELETE /v1/jobs/{id}   cancel a job
+//	GET    /metrics        Prometheus text format (midas_serve_* series)
+//	GET    /healthz        liveness
+//	/debug/pprof/          standard profiler
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	source := obs.SnapshotSource(s.rec)
+	mux.Handle("GET /metrics", obs.MetricsHandler(source, s.gauges))
+	mux.Handle("GET /healthz", obs.HealthzHandler(source))
+	obs.RegisterPprof(mux)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req GraphRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad graph request: %v", err)
+		return
+	}
+	if req.Name == "" {
+		writeErr(w, http.StatusBadRequest, "missing graph name")
+		return
+	}
+	var g *graph.Graph
+	switch {
+	case req.Path != "":
+		var err error
+		g, err = graph.Load(req.Path)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "load %s: %v", req.Path, err)
+			return
+		}
+	case req.Random != nil:
+		if req.Random.N <= 0 {
+			writeErr(w, http.StatusBadRequest, "random graph needs n > 0")
+			return
+		}
+		g = graph.RandomNLogN(req.Random.N, req.Random.Seed)
+	case req.N > 0:
+		g = graph.FromEdges(req.N, req.Edges)
+	default:
+		writeErr(w, http.StatusBadRequest, "graph request needs path, random, or n+edges")
+		return
+	}
+	if len(req.Weights) > 0 {
+		if len(req.Weights) != g.NumVertices() {
+			writeErr(w, http.StatusBadRequest, "%d weights for %d vertices", len(req.Weights), g.NumVertices())
+			return
+		}
+		g.SetWeights(req.Weights)
+	}
+	e := s.registry.add(req.Name, g)
+	writeJSON(w, http.StatusOK, graphView(e))
+}
+
+func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
+	entries := s.registry.list()
+	out := make([]GraphView, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, graphView(e))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req QueryRequest
+	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	if err := req.validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad query: %v", err)
+		return
+	}
+	entry, err := s.registry.get(req.Graph)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	key := req.key(entry.Digest)
+
+	// Fast path: an identical finished query.
+	if res, ok := s.cache.get(key); ok {
+		s.rec.Add(obs.ServeCacheHits, 1)
+		writeJSON(w, http.StatusOK, JobView{Status: StatusDone, Result: res.cachedCopy()})
+		return
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMillis > 0 {
+		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
+	}
+	j := s.jobs.newJob(s.baseCtx, key, &req, timeout)
+	select {
+	case s.queue <- j:
+		s.rec.Add(obs.ServeAdmitted, 1)
+	default:
+		s.rec.Add(obs.ServeRejected, 1)
+		j.finish(StatusFailed, nil, errors.New("admission queue full"))
+		writeErr(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
+		return
+	}
+
+	if !req.wait() {
+		writeJSON(w, http.StatusAccepted, j.view())
+		return
+	}
+	select {
+	case <-j.done:
+		writeJobView(w, j)
+	case <-r.Context().Done():
+		// Client went away; stop charging them for the answer.
+		j.cancel()
+		<-j.done
+		writeJobView(w, j)
+	}
+}
+
+// writeJobView maps a terminal job to its HTTP status: 200 for done
+// and client-side cancels, 504 for a query killed by its deadline, 500
+// for other failures.
+func writeJobView(w http.ResponseWriter, j *job) {
+	v := j.view()
+	code := http.StatusOK
+	j.mu.Lock()
+	err := j.err
+	j.mu.Unlock()
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		code = http.StatusGatewayTimeout
+	case v.Status == StatusFailed:
+		code = http.StatusInternalServerError
+	}
+	writeJSON(w, code, v)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		return
+	}
+	j.cancel()
+	writeJSON(w, http.StatusOK, j.view())
+}

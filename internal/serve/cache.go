@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the LRU result cache: completed query results keyed by
+// the full query identity (graph digest, kind, k/template, seeding —
+// see queryKey), bounded by entries and approximate bytes. A repeat of
+// any finished query is answered from here without touching the DP.
+type resultCache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	bytes      int64
+	order      *list.List               // *cacheEntry; front = most recent
+	m          map[string]*list.Element // key → element
+}
+
+type cacheEntry struct {
+	key   string
+	res   *Result
+	bytes int64
+}
+
+func newResultCache(maxEntries int, maxBytes int64) *resultCache {
+	return &resultCache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		order:      list.New(),
+		m:          make(map[string]*list.Element),
+	}
+}
+
+func (c *resultCache) get(key string) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(e)
+	return e.Value.(*cacheEntry).res, true
+}
+
+// put stores res under key, evicting least-recently-used entries while
+// over either bound. A result alone larger than the byte budget is not
+// cached.
+func (c *resultCache) put(key string, res *Result, size int64) {
+	if c.maxBytes > 0 && size > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.m[key]; ok {
+		ce := e.Value.(*cacheEntry)
+		c.bytes += size - ce.bytes
+		ce.res, ce.bytes = res, size
+		c.order.MoveToFront(e)
+	} else {
+		c.m[key] = c.order.PushFront(&cacheEntry{key: key, res: res, bytes: size})
+		c.bytes += size
+	}
+	for (c.maxEntries > 0 && c.order.Len() > c.maxEntries) ||
+		(c.maxBytes > 0 && c.bytes > c.maxBytes && c.order.Len() > 1) {
+		oldest := c.order.Back()
+		ce := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.m, ce.key)
+		c.bytes -= ce.bytes
+	}
+}
+
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len(), c.bytes
+}

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// flight is one in-flight execution of a query identity that any
+// number of identical concurrent queries share. The DP runs under the
+// flight's context, which is detached from any single requester's
+// deadline: it is cancelled only when *every* participant has left
+// (each leaving because its own context expired or the client went
+// away), so one impatient client cannot kill a result others are
+// still waiting for — and a sole impatient client does stop the DP.
+type flight struct {
+	key    string
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	done chan struct{} // closed when res/err are set
+	res  *Result
+	err  error
+
+	mu   sync.Mutex
+	refs int
+}
+
+// flightGroup deduplicates identical in-flight queries.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flight
+}
+
+func newFlightGroup() *flightGroup { return &flightGroup{m: make(map[string]*flight)} }
+
+// join returns the flight for key, creating it (leader=true) when no
+// identical query is in flight. The caller holds one reference either
+// way; pair with leave.
+func (g *flightGroup) join(base context.Context, key string) (f *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.m[key]; ok {
+		f.mu.Lock()
+		f.refs++
+		f.mu.Unlock()
+		return f, false
+	}
+	ctx, cancel := context.WithCancel(base)
+	f = &flight{key: key, ctx: ctx, cancel: cancel, done: make(chan struct{}), refs: 1}
+	g.m[key] = f
+	return f, true
+}
+
+// leave drops one participant. When the last one leaves before the
+// flight finished, the flight context is cancelled so the DP stops
+// burning iterations for a result nobody wants; the return value
+// reports whether this leave triggered that cancellation.
+func (g *flightGroup) leave(f *flight) bool {
+	f.mu.Lock()
+	f.refs--
+	last := f.refs == 0
+	f.mu.Unlock()
+	if !last {
+		return false
+	}
+	select {
+	case <-f.done:
+		return false // finished normally; nothing to stop
+	default:
+		f.cancel()
+		return true
+	}
+}
+
+// finish publishes the result and removes the flight from the group
+// (later identical queries start fresh or hit the result cache).
+func (g *flightGroup) finish(f *flight, res *Result, err error) {
+	g.mu.Lock()
+	delete(g.m, f.key)
+	g.mu.Unlock()
+	f.res, f.err = res, err
+	close(f.done)
+	f.cancel()
+}

@@ -1,0 +1,100 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+// graphEntry is one resident graph: loaded once, partitioned lazily per
+// (scheme, parts, seed) and reused by every query that names it — the
+// "persistent cluster" half of the service (the other half being the
+// shared DP arena and the process-global coefficient tables, which are
+// warm for any graph).
+type graphEntry struct {
+	Name   string
+	G      *graph.Graph
+	Digest uint64
+
+	mu    sync.Mutex
+	parts map[partKey]*partition.Partition
+}
+
+type partKey struct {
+	scheme partition.Scheme
+	n1     int
+	seed   uint64
+}
+
+// partitionFor returns the cached partition for (scheme, n1, seed),
+// computing it on first use. The returned partition's Members cache is
+// materialized before it is published, so rank goroutines may share the
+// pointer concurrently (core.Config.Part's contract).
+func (e *graphEntry) partitionFor(scheme partition.Scheme, n1 int, seed uint64) (*partition.Partition, error) {
+	key := partKey{scheme: scheme, n1: n1, seed: seed}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if p, ok := e.parts[key]; ok {
+		return p, nil
+	}
+	p, err := partition.ByScheme(scheme, e.G, n1, seed)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < p.Parts; i++ {
+		p.Members(i)
+	}
+	if e.parts == nil {
+		e.parts = make(map[partKey]*partition.Partition)
+	}
+	e.parts[key] = p
+	return p, nil
+}
+
+// registry is the named-graph table behind /v1/graphs.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]*graphEntry
+}
+
+func newRegistry() *registry { return &registry{m: make(map[string]*graphEntry)} }
+
+func (r *registry) get(name string) (*graphEntry, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown graph %q (load it via POST /v1/graphs first)", name)
+	}
+	return e, nil
+}
+
+// add registers g under name, replacing any previous graph of that
+// name (and its partition cache).
+func (r *registry) add(name string, g *graph.Graph) *graphEntry {
+	e := &graphEntry{Name: name, G: g, Digest: g.Digest()}
+	r.mu.Lock()
+	r.m[name] = e
+	r.mu.Unlock()
+	return e
+}
+
+func (r *registry) list() []*graphEntry {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*graphEntry, 0, len(r.m))
+	for _, e := range r.m {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}

@@ -1,0 +1,464 @@
+// Package serve is midas-serve: a long-running multi-tenant query
+// service over the MIDAS detectors. Graphs are loaded once into a
+// registry and reused by every query that names them — together with
+// the per-graph partition cache, the shared DP slab arena, and the
+// process-global GF coefficient tables, a resident process answers
+// repeated queries without re-paying any setup cost.
+//
+// The request path is: bounded admission queue (full → 429, draining →
+// 503) → worker pool → singleflight dedup (identical in-flight queries
+// share one DP execution) → LRU result cache (a repeat of any finished
+// query is answered without running the DP). Every query runs under a
+// context assembled from the server's lifetime, the request deadline,
+// and the singleflight membership, threaded down into the evaluators'
+// round/batch loops — an abandoned or timed-out query stops burning
+// its 2^k iterations at the next batch boundary.
+//
+// docs/SERVING.md is the operator guide: API reference, admission,
+// caching and deadline semantics, and capacity tuning.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+// Config tunes the service. The zero value is usable; every field has
+// a serving-appropriate default.
+type Config struct {
+	// QueueDepth bounds the admission queue; a query arriving with the
+	// queue full is rejected with 429. Default 64.
+	QueueDepth int
+	// Workers is the number of concurrent query executions. Default 2.
+	Workers int
+	// CacheMaxEntries / CacheMaxBytes bound the result cache.
+	// Defaults 1024 entries, 64 MiB.
+	CacheMaxEntries int
+	CacheMaxBytes   int64
+	// ArenaMaxBytes / ArenaMaxClasses bound the shared DP slab arena
+	// (see mld.NewArenaCap). Defaults are the mld package defaults.
+	ArenaMaxBytes   int64
+	ArenaMaxClasses int
+	// DefaultTimeout applies to queries that set no timeoutMillis.
+	// Zero means no default deadline.
+	DefaultTimeout time.Duration
+	// MaxJobs bounds the finished-job table. Default 4096.
+	MaxJobs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheMaxEntries <= 0 {
+		c.CacheMaxEntries = 1024
+	}
+	if c.CacheMaxBytes <= 0 {
+		c.CacheMaxBytes = 64 << 20
+	}
+	if c.ArenaMaxBytes <= 0 {
+		c.ArenaMaxBytes = mld.DefaultArenaMaxBytes
+	}
+	if c.ArenaMaxClasses <= 0 {
+		c.ArenaMaxClasses = mld.DefaultArenaMaxClasses
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	return c
+}
+
+// Server is the query service. Construct with New, expose via Handler
+// or Start, stop with Shutdown.
+type Server struct {
+	cfg      Config
+	rec      *obs.Recorder // serve-plane counters and histograms
+	arena    *mld.Arena    // DP slabs shared by every query execution
+	registry *registry
+	cache    *resultCache
+	flights  *flightGroup
+	jobs     *jobTable
+	queue    chan *job
+
+	baseCtx    context.Context // parent of every flight; cancelled at forced stop
+	baseCancel context.CancelFunc
+	stopCh     chan struct{}
+	draining   atomic.Bool
+	inflight   atomic.Int64   // leaders currently executing a DP
+	wg         sync.WaitGroup // workers
+	followers  sync.WaitGroup // per-job resolution goroutines
+
+	ln   net.Listener
+	hsrv *http.Server
+}
+
+// New returns an idle server. Call Start (own listener) or mount
+// Handler on an existing mux, then Shutdown when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		rec:        obs.NewRecorder(0, nil),
+		arena:      mld.NewArenaCap(cfg.ArenaMaxBytes, cfg.ArenaMaxClasses),
+		registry:   newRegistry(),
+		cache:      newResultCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
+		flights:    newFlightGroup(),
+		jobs:       newJobTable(cfg.MaxJobs),
+		queue:      make(chan *job, cfg.QueueDepth),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		stopCh:     make(chan struct{}),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// AddGraph registers g under name programmatically (the API equivalent
+// is POST /v1/graphs). Replaces any previous graph of that name.
+func (s *Server) AddGraph(name string, g *graph.Graph) uint64 {
+	return s.registry.add(name, g).Digest
+}
+
+// Start binds addr (":0" picks a free port; read it back with Addr)
+// and serves the API until Shutdown.
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.hsrv = &http.Server{Handler: s.Handler()}
+	go s.hsrv.Serve(ln) //nolint:errcheck // ErrServerClosed on Shutdown
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Shutdown drains the service: new admissions get 503 immediately,
+// queued and in-flight queries are given until ctx's deadline to
+// finish, then everything still running is cancelled. Always stops the
+// workers and the HTTP listener before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	drained := s.awaitIdle(ctx)
+	// Cut off whatever remains (no-op when drained cleanly).
+	s.baseCancel()
+	close(s.stopCh)
+	s.wg.Wait()
+	// Queued jobs no worker picked up: fail them out.
+	for {
+		select {
+		case j := <-s.queue:
+			s.finishErr(j, nil, errors.New("serve: shut down before execution"))
+			continue
+		default:
+		}
+		break
+	}
+	s.followers.Wait()
+	var err error
+	if s.hsrv != nil {
+		if herr := s.hsrv.Shutdown(context.Background()); herr != nil {
+			err = herr
+		}
+	}
+	if !drained && err == nil {
+		err = fmt.Errorf("serve: drain deadline expired with work in flight")
+	}
+	return err
+}
+
+// awaitIdle polls until the queue is empty and no execution is in
+// flight, or ctx expires. Reports whether the service went idle.
+func (s *Server) awaitIdle(ctx context.Context) bool {
+	tick := time.NewTicker(5 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if len(s.queue) == 0 && s.inflight.Load() == 0 {
+			return true
+		}
+		select {
+		case <-ctx.Done():
+			return false
+		case <-tick.C:
+		}
+	}
+}
+
+// Recorder exposes the serve-plane recorder (counters named serve-*,
+// queue-wait and query-latency histograms) for embedding in a larger
+// telemetry surface.
+func (s *Server) Recorder() *obs.Recorder { return s.rec }
+
+// worker executes queued jobs until the server stops.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case j := <-s.queue:
+			s.runJob(j)
+		case <-s.stopCh:
+			return
+		}
+	}
+}
+
+// runJob takes one admitted job through cache, singleflight, and
+// execution. Followers do not occupy the worker: they are parked on a
+// resolution goroutine and the worker moves on.
+func (s *Server) runJob(j *job) {
+	if err := j.ctx.Err(); err != nil {
+		s.finishErr(j, nil, err) // expired while queued
+		return
+	}
+	s.rec.Observe(obs.HistServeQueueWait, time.Since(j.enqueued).Seconds())
+	if res, ok := s.cache.get(j.Key); ok {
+		s.rec.Add(obs.ServeCacheHits, 1)
+		s.rec.Add(obs.ServeCompleted, 1)
+		j.finish(StatusDone, res.cachedCopy(), nil)
+		return
+	}
+	f, leader := s.flights.join(s.baseCtx, j.Key)
+	s.followers.Add(1)
+	go s.resolve(j, f)
+	if !leader {
+		s.rec.Add(obs.ServeSingleflightShared, 1)
+		j.setStatus(StatusRunning)
+		return
+	}
+	s.rec.Add(obs.ServeCacheMisses, 1)
+	j.setStatus(StatusRunning)
+	s.inflight.Add(1)
+	start := time.Now()
+	res, err := s.execute(f.ctx, j.Req)
+	s.rec.Observe(obs.HistServeQueryLatency, time.Since(start).Seconds())
+	if err == nil {
+		s.cache.put(j.Key, res, res.size())
+	}
+	s.flights.finish(f, res, err)
+	s.inflight.Add(-1)
+}
+
+// resolve settles one job against its flight: normally when the flight
+// finishes, early when the job's own context expires first. A job
+// leaving as the flight's last member cancels the shared execution —
+// and then waits out the (now aborting) flight so the partial DP
+// counters still reach the job's result.
+func (s *Server) resolve(j *job, f *flight) {
+	defer s.followers.Done()
+	select {
+	case <-f.done:
+		s.flights.leave(f)
+		s.settle(j, f.res, f.err)
+	case <-j.ctx.Done():
+		if s.flights.leave(f) {
+			<-f.done // aborts at the next batch boundary
+			s.settle(j, f.res, j.ctx.Err())
+		} else {
+			s.settle(j, nil, j.ctx.Err())
+		}
+	}
+}
+
+func (s *Server) settle(j *job, res *Result, err error) {
+	if err == nil {
+		s.rec.Add(obs.ServeCompleted, 1)
+		j.finish(StatusDone, res, nil)
+		return
+	}
+	// The flight's context error is the shared execution's view; the
+	// job's own context error (deadline vs explicit cancel) is the one
+	// the client should see when both are set.
+	if jerr := j.ctx.Err(); jerr != nil && isCtxErr(err) {
+		err = jerr
+	}
+	s.finishErr(j, res, err)
+}
+
+// finishErr moves a job to its terminal error state, counting
+// abandoned work (context errors) as cancellations.
+func (s *Server) finishErr(j *job, res *Result, err error) {
+	status := StatusFailed
+	if isCtxErr(err) {
+		s.rec.Add(obs.ServeCancelled, 1)
+		if errors.Is(err, context.Canceled) {
+			status = StatusCancelled
+		}
+	}
+	j.finish(status, res, err)
+}
+
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// execute runs the query's DP under ctx and returns the result with
+// its execution counters (also on error, so an aborted sweep reports
+// how far it got). Ranks ≤ 1 runs the shared-memory evaluators with
+// the server's warm arena; ranks > 1 runs the distributed engine on an
+// in-process world with the graph's cached partition.
+func (s *Server) execute(ctx context.Context, req *QueryRequest) (*Result, error) {
+	entry, err := s.registry.get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	rec := obs.NewRecorder(0, nil)
+	res := &Result{Kind: req.Kind}
+	if req.Ranks > 1 {
+		err = s.executeDistributed(ctx, entry, req, rec, res)
+	} else {
+		err = s.executeSequential(ctx, entry, req, rec, res)
+	}
+	snap := rec.Snapshot()
+	res.Rounds = snap.Counter(obs.Rounds)
+	res.Phases = snap.Counter(obs.Phases)
+	res.TotalPhases = req.plannedPhases()
+	return res, err
+}
+
+func (s *Server) executeSequential(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result) error {
+	opt := mld.Options{
+		Seed: req.Seed, Epsilon: req.Epsilon, Rounds: req.Rounds,
+		N2: req.N2, Workers: req.Workers,
+		Arena: s.arena, Ctx: ctx, Obs: rec,
+	}
+	switch req.Kind {
+	case KindPath:
+		found, err := mld.DetectPath(entry.G, req.K, opt)
+		res.Found = found
+		return err
+	case KindTree:
+		tpl, err := req.template()
+		if err != nil {
+			return err
+		}
+		found, err := mld.DetectTree(entry.G, tpl, opt)
+		res.Found = found
+		return err
+	case KindScanStat:
+		table, err := mld.ScanTable(entry.G, req.K, req.ZMax, opt)
+		res.Table = table
+		return err
+	default:
+		return fmt.Errorf("unknown query kind %q", req.Kind)
+	}
+}
+
+func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result) error {
+	scheme := partition.Scheme(req.Scheme)
+	if scheme == "" {
+		scheme = partition.SchemeBlock
+	}
+	n1 := req.N1
+	if n1 <= 0 {
+		n1 = req.Ranks
+	}
+	// Same derived seed buildPlan would use, so the cached partition is
+	// bit-identical to a from-scratch run.
+	part, err := entry.partitionFor(scheme, n1, req.Seed^0x70a3d70a3d70a3d7)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		K: req.K, N1: n1, N2: req.N2, Seed: req.Seed,
+		Epsilon: req.Epsilon, Rounds: req.Rounds, Scheme: scheme,
+		Ctx: ctx, Part: part, NoTiming: true,
+	}
+	var mu sync.Mutex
+	run := func(c *comm.Comm) error {
+		c.EnableObs()
+		var rerr error
+		switch req.Kind {
+		case KindPath:
+			var found bool
+			found, rerr = core.RunPath(c, entry.G, cfg)
+			if c.Rank() == 0 {
+				res.Found = found
+			}
+		case KindTree:
+			var tpl *graph.Template
+			tpl, rerr = req.template()
+			if rerr == nil {
+				var found bool
+				found, rerr = core.RunTree(c, entry.G, tpl, cfg)
+				if c.Rank() == 0 {
+					res.Found = found
+				}
+			}
+		case KindScanStat:
+			var table [][]bool
+			table, rerr = core.RunScan(c, entry.G, core.ScanConfig{Config: cfg, ZMax: req.ZMax})
+			if c.Rank() == 0 {
+				res.Table = table
+			}
+		default:
+			rerr = fmt.Errorf("unknown query kind %q", req.Kind)
+		}
+		snap := c.ObsSnapshot()
+		mu.Lock()
+		rec.Add(obs.Rounds, snap.Counter(obs.Rounds))
+		rec.Add(obs.Phases, snap.Counter(obs.Phases))
+		mu.Unlock()
+		return rerr
+	}
+	err = comm.RunLocal(req.Ranks, comm.CostModel{}, run)
+	// Every rank returns the same context error; unwrap the world
+	// aggregation so clients see the cause directly.
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			return context.DeadlineExceeded
+		}
+		if errors.Is(err, context.Canceled) {
+			return context.Canceled
+		}
+	}
+	return err
+}
+
+// gauges renders the service's state gauges for /metrics (values that
+// are states, not events — the Recorder counter model can't carry
+// them).
+func (s *Server) gauges() []obs.Metric {
+	entries, bytes := s.cache.stats()
+	var draining float64
+	if s.draining.Load() {
+		draining = 1
+	}
+	return []obs.Metric{
+		obs.Gauge("midas_serve_queue_depth", "Admitted queries waiting for a worker.", float64(len(s.queue))),
+		obs.Gauge("midas_serve_queue_capacity", "Admission queue bound (QueueDepth).", float64(s.cfg.QueueDepth)),
+		obs.Gauge("midas_serve_inflight", "Query executions currently running a DP.", float64(s.inflight.Load())),
+		obs.Gauge("midas_serve_cache_entries", "Result cache entries.", float64(entries)),
+		obs.Gauge("midas_serve_cache_bytes", "Approximate result cache bytes.", float64(bytes)),
+		obs.Gauge("midas_serve_graphs", "Graphs resident in the registry.", float64(s.registry.size())),
+		obs.Gauge("midas_serve_jobs", "Jobs retained in the job table.", float64(s.jobs.size())),
+		obs.Gauge("midas_serve_arena_retained_bytes", "DP slab bytes retained by the shared arena.", float64(s.arena.RetainedBytes())),
+		obs.Gauge("midas_serve_draining", "1 while the server refuses new admissions to drain.", draining),
+	}
+}

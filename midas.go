@@ -57,6 +57,7 @@
 package midas
 
 import (
+	"context"
 	"io"
 	"os"
 
@@ -170,10 +171,14 @@ type Options struct {
 	// attached automatically if Obs is nil. For an endpoint that
 	// outlives a single call, use ServeObs directly.
 	ObsAddr string
+	// Ctx, when non-nil, makes the detection cancellable: the evaluators
+	// check it between iteration batches and return its error instead of
+	// finishing the 2^k sweep. Nil (the default) runs to completion.
+	Ctx context.Context
 }
 
 func (o Options) mld() mld.Options {
-	return mld.Options{Seed: o.Seed, Epsilon: o.Epsilon, Rounds: o.Rounds, N2: o.N2, Workers: o.Workers, Obs: o.Obs}
+	return mld.Options{Seed: o.Seed, Epsilon: o.Epsilon, Rounds: o.Rounds, N2: o.N2, Workers: o.Workers, Obs: o.Obs, Ctx: o.Ctx}
 }
 
 // obsSetup applies Options.ObsAddr: when set, it ensures a recorder is
