@@ -10,7 +10,7 @@ GO ?= go
 # a significance test (`make bench > new.txt && benchstat old.txt new.txt`).
 BENCH_COUNT ?= 6
 
-.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures bench-compare serve-smoke
+.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures bench-compare serve-smoke doc-links
 
 all: check
 
@@ -33,7 +33,12 @@ fmt-check:
 race:
 	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/... ./internal/serve/...
 
-check: build vet fmt-check test race
+check: build vet fmt-check test race doc-links
+
+# Fail on dead relative links in README.md and docs/*.md (guide
+# cross-references rot silently when files move).
+doc-links:
+	$(GO) run ./cmd/doccheck
 
 # Microbenchmarks of the hot kernels (GF(2^w) multiplies, DP inner
 # loop), repeated for benchstat-friendly output.

@@ -1,0 +1,109 @@
+// Command doccheck verifies the relative links in the repo's Markdown
+// documentation. Every `[text](target)` whose target is neither an
+// absolute URL nor a bare #fragment must resolve to an existing file
+// (or directory) relative to the Markdown file that contains it. It is
+// the CI gate behind `make doc-links`: guide cross-references rot
+// silently when files move, and the docs index in README.md links
+// every guide, so one dead link means a reader hits a 404.
+//
+// Usage:
+//
+//	doccheck [-root .] [file.md ...]
+//
+// With no file arguments it checks README.md plus every *.md under
+// docs/. Exit status 1 if any link is dead, listing each as
+// file.md: [text](target): resolved-path does not exist.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+func main() {
+	root := flag.String("root", ".", "repository root to resolve default files against")
+	flag.Parse()
+
+	files := flag.Args()
+	if len(files) == 0 {
+		var err error
+		files, err = defaultFiles(*root)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+	}
+	var dead []string
+	for _, f := range files {
+		d, err := CheckFile(f)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "doccheck:", err)
+			os.Exit(2)
+		}
+		dead = append(dead, d...)
+	}
+	if len(dead) > 0 {
+		for _, l := range dead {
+			fmt.Println("DEAD LINK:", l)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("doccheck: OK (%d files)\n", len(files))
+}
+
+// defaultFiles returns README.md plus every Markdown file under docs/.
+func defaultFiles(root string) ([]string, error) {
+	files := []string{filepath.Join(root, "README.md")}
+	docs, err := filepath.Glob(filepath.Join(root, "docs", "*.md"))
+	if err != nil {
+		return nil, err
+	}
+	return append(files, docs...), nil
+}
+
+// linkRe matches inline Markdown links. Reference-style links and
+// autolinks are rare in this repo and not checked.
+var linkRe = regexp.MustCompile(`\[[^\]]*\]\(([^)\s]+)\)`)
+
+// CheckFile returns one line per dead relative link in path. A link is
+// checked when it is not an absolute URL (scheme://... or mailto:) and
+// not a pure fragment; the #fragment suffix, if any, is stripped
+// before resolving against the file's directory.
+func CheckFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	var dead []string
+	for _, m := range linkRe.FindAllStringSubmatch(string(data), -1) {
+		target := m[1]
+		if skipTarget(target) {
+			continue
+		}
+		rel := target
+		if i := strings.IndexByte(rel, '#'); i >= 0 {
+			rel = rel[:i]
+		}
+		if rel == "" {
+			continue
+		}
+		resolved := filepath.Join(dir, filepath.FromSlash(rel))
+		if _, err := os.Stat(resolved); err != nil {
+			dead = append(dead, fmt.Sprintf("%s: %s: %s does not exist", path, m[0], resolved))
+		}
+	}
+	return dead, nil
+}
+
+// skipTarget reports whether a link target is outside doccheck's
+// scope: absolute URLs, mailto links, and in-page fragments.
+func skipTarget(t string) bool {
+	return strings.Contains(t, "://") ||
+		strings.HasPrefix(t, "mailto:") ||
+		strings.HasPrefix(t, "#")
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckFileCleanAndDead(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "docs", "A.md"), "see [B](B.md) and [up](../README.md) and [gone](missing.md)")
+	write(t, filepath.Join(dir, "docs", "B.md"), "ok")
+	write(t, filepath.Join(dir, "README.md"), "ok")
+
+	dead, err := CheckFile(filepath.Join(dir, "docs", "A.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 1 {
+		t.Fatalf("want exactly the missing.md link flagged, got %v", dead)
+	}
+	if !strings.Contains(dead[0], "missing.md") {
+		t.Fatalf("finding does not name the dead target: %q", dead[0])
+	}
+}
+
+func TestCheckFileSkipsURLsFragmentsAndAnchors(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "doc.md"),
+		"[web](https://example.com/x) [mail](mailto:a@b.c) [frag](#section) [anchored](other.md#part)")
+	write(t, filepath.Join(dir, "other.md"), "ok")
+
+	dead, err := CheckFile(filepath.Join(dir, "doc.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 0 {
+		t.Fatalf("out-of-scope links flagged: %v", dead)
+	}
+}
+
+func TestCheckFileDirectoryTargetIsAlive(t *testing.T) {
+	dir := t.TempDir()
+	write(t, filepath.Join(dir, "doc.md"), "[examples](examples/)")
+	if err := os.MkdirAll(filepath.Join(dir, "examples"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	dead, err := CheckFile(filepath.Join(dir, "doc.md"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dead) != 0 {
+		t.Fatalf("directory link flagged: %v", dead)
+	}
+}
+
+// The repo's own documentation must be link-clean — this is the same
+// set of files `make doc-links` checks in CI.
+func TestRepoDocsHaveNoDeadLinks(t *testing.T) {
+	files, err := defaultFiles("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 2 {
+		t.Fatalf("expected README.md plus docs/*.md, got %v", files)
+	}
+	var dead []string
+	for _, f := range files {
+		d, err := CheckFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dead = append(dead, d...)
+	}
+	if len(dead) > 0 {
+		t.Fatalf("dead documentation links:\n%s", strings.Join(dead, "\n"))
+	}
+}

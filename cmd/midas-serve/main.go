@@ -8,6 +8,7 @@
 //	midas-serve -addr :8080
 //	midas-serve -addr :8080 -graph social=graphs/social.txt -graph road=graphs/road.bin
 //	midas-serve -addr :8080 -workers 4 -queue-depth 128 -default-timeout 30s
+//	midas-serve -addr :8080 -batch-window 2ms -batch-lanes 16
 //
 // Then:
 //
@@ -50,6 +51,8 @@ func main() {
 		arenaMB        = flag.Int64("arena-mb", 512, "shared DP arena retention bound in MiB")
 		defaultTimeout = flag.Duration("default-timeout", 0, "deadline for queries that set none (0 = unbounded)")
 		drainTimeout   = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window")
+		batchWindow    = flag.Duration("batch-window", 2*time.Millisecond, "admission batching window; 0 disables batching")
+		batchLanes     = flag.Int("batch-lanes", 16, "max queries per batched DP execution")
 		graphs         graphFlags
 	)
 	flag.Var(&graphs, "graph", "preload graph as name=path (repeatable)")
@@ -62,6 +65,8 @@ func main() {
 		CacheMaxEntries: *cacheEntries,
 		ArenaMaxBytes:   *arenaMB << 20,
 		DefaultTimeout:  *defaultTimeout,
+		BatchWindow:     *batchWindow,
+		BatchMaxLanes:   *batchLanes,
 	})
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")

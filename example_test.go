@@ -1,6 +1,8 @@
 package midas_test
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	midas "github.com/midas-hpc/midas"
@@ -60,6 +62,20 @@ func ExampleDetectAnomaly() {
 	fmt.Printf("size=%d weight=%d\n", res.Size, res.Weight)
 	// Output:
 	// size=2 weight=12
+}
+
+func ExampleFindPath_cancellation() {
+	// Options.Ctx makes a detection cancellable mid-sweep: the
+	// evaluators poll the context once per iteration batch, so an
+	// expired deadline stops the 2^k loop at the next batch boundary
+	// instead of running to completion.
+	g := midas.NewRandomGraph(2_000, 7)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: the sweep stops before the first batch
+	_, err := midas.FindPath(g, 12, midas.Options{Seed: 7, Ctx: ctx})
+	fmt.Println(errors.Is(err, context.Canceled))
+	// Output:
+	// true
 }
 
 func ExampleRunLocal() {

@@ -3,8 +3,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	midas "github.com/midas-hpc/midas"
 )
@@ -15,8 +17,15 @@ func main() {
 	g := midas.NewRandomGraph(20_000, 42)
 	fmt.Printf("network: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
 
+	// Options.Ctx bounds the run: the 2^k sweep polls the context per
+	// iteration batch, so the deadline cuts a too-slow detection off
+	// mid-sweep rather than after it. (To watch a long run live, also
+	// set Options.ObsAddr — e.g. ":9090" — and curl /metrics.)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+
 	const k = 12
-	found, err := midas.FindPath(g, k, midas.Options{Seed: 42})
+	found, err := midas.FindPath(g, k, midas.Options{Seed: 42, Ctx: ctx})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -26,7 +35,7 @@ func main() {
 	}
 
 	// Recover an actual path (self-reduction over the detector).
-	path, err := midas.FindPathVertices(g, k, midas.Options{Seed: 42, Epsilon: 1e-6})
+	path, err := midas.FindPathVertices(g, k, midas.Options{Seed: 42, Epsilon: 1e-6, Ctx: ctx})
 	if err != nil {
 		log.Fatal(err)
 	}

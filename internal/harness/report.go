@@ -22,7 +22,7 @@ import (
 
 // BenchSchemaVersion identifies the report layout. Bump it on any
 // incompatible change to Report/RunRecord/HistQuantiles.
-const BenchSchemaVersion = "midas-bench/v1"
+const BenchSchemaVersion = "midas-bench/v2"
 
 // HistQuantiles summarizes one latency-histogram family merged over
 // all ranks of a run (seconds; quantiles carry the ~19% bucket
@@ -70,6 +70,7 @@ type Report struct {
 	Schema  string         `json:"schema"`
 	Params  ReportParams   `json:"params"`
 	Runs    []RunRecord    `json:"runs"`
+	Batches []BatchRecord  `json:"batches,omitempty"` // occupancy-4 batch vs sequential (see BatchBench)
 	Kernels []KernelRecord `json:"kernels,omitempty"` // GF kernel throughput on this host
 }
 
@@ -142,6 +143,11 @@ func BenchReport(p Params) (Report, error) {
 			rep.Runs = append(rep.Runs, rec)
 		}
 	}
+	batches, err := BatchBench(p)
+	if err != nil {
+		return rep, err
+	}
+	rep.Batches = batches
 	rep.Kernels = KernelBench()
 	return rep, nil
 }

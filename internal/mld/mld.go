@@ -39,6 +39,21 @@
 // cache-locality speedup reported in the paper's Section IV-B. Iteration
 // index q is mapped to the mask gray(q), so consecutive iterations in a
 // batch differ in one bit and base values update incrementally.
+//
+// # Multi-query batching
+//
+// DetectPathBatch, DetectTreeBatch and ScanTableBatch answer several
+// queries ("lanes") with one pass over the iteration space. Each lane
+// keeps its own Assignment and a contiguous N2-wide block of every DP
+// row (stride = lanes × N2), so the per-constant multiply kernels
+// stream across lanes and answers stay byte-identical to the solo
+// evaluators. Lanes of smaller k ride the prefix of a deeper sweep —
+// gray(q) restricted to q < 2^k' enumerates exactly the k'-lane's
+// iteration space — and retire early; a lane whose BatchLane.Ctx is
+// cancelled is masked out at the next phase boundary while the rest of
+// the batch runs on. docs/BATCHING.md derives the layout, the prefix
+// bijection, and the amortized cost model; internal/core mirrors the
+// scheme for distributed k-path batches.
 package mld
 
 import (

@@ -52,6 +52,15 @@ const (
 	// admission to its terminal state — queueing, execution (or cache /
 	// singleflight attach), and result publication (internal/serve).
 	HistServeQueryLatency
+	// HistServeBatchOccupancy is the lane count of each batched DP
+	// execution the admission window assembled (internal/serve). Note
+	// the unit caveat: histograms export under a `_seconds` suffix for
+	// uniformity, but this one observes a dimensionless lane count.
+	HistServeBatchOccupancy
+	// HistServeLaneCost is the per-query amortized execution time of a
+	// batched flight: the batch's wall time divided by its occupancy,
+	// observed once per lane (internal/serve).
+	HistServeLaneCost
 
 	// NumHists is the number of defined histograms.
 	NumHists
@@ -60,6 +69,7 @@ const (
 var histNames = [NumHists]string{
 	"send-latency", "recv-wait", "barrier-wait", "halo-exchange", "retry-backoff",
 	"serve-queue-wait", "serve-query-latency",
+	"serve-batch-occupancy", "serve-lane-cost",
 }
 
 // String returns the stable kebab-case name used by the exporters.

@@ -115,6 +115,13 @@ const (
 	// ServeCompleted counts queries that ran (or were served from
 	// cache/singleflight) to a successful result.
 	ServeCompleted
+	// ServeBatches counts batched DP executions assembled by the
+	// admission window (occupancy ≥ 2; single-lane flights run the
+	// ordinary path and are not counted here).
+	ServeBatches
+	// ServeBatchLanes counts lanes answered by batched executions;
+	// ServeBatchLanes / ServeBatches is the mean occupancy.
+	ServeBatchLanes
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -125,6 +132,7 @@ var counterNames = [NumCounters]string{
 	"faults-injected", "send-retries", "backoff-nanos", "flows-dropped", "cells-skipped",
 	"serve-admitted", "serve-rejected", "serve-cache-hits", "serve-cache-misses",
 	"serve-singleflight-shared", "serve-cancelled", "serve-completed",
+	"serve-batches", "serve-batch-lanes",
 }
 
 // String returns the stable kebab-case name used by the exporters.

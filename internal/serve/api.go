@@ -346,10 +346,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		timeout = time.Duration(req.TimeoutMillis) * time.Millisecond
 	}
 	j := s.jobs.newJob(s.baseCtx, key, &req, timeout)
-	select {
-	case s.queue <- j:
+	j.digest = entry.Digest
+	if s.queue.push(j) {
 		s.rec.Add(obs.ServeAdmitted, 1)
-	default:
+	} else {
 		s.rec.Add(obs.ServeRejected, 1)
 		j.finish(StatusFailed, nil, errors.New("admission queue full"))
 		writeErr(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)

@@ -1,0 +1,297 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/core"
+	"github.com/midas-hpc/midas/internal/mld"
+	"github.com/midas-hpc/midas/internal/obs"
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+// Admission batching: when Config.BatchWindow > 0, a worker that picks
+// up a query does not execute it immediately. It becomes the batch
+// leader: for up to one window it keeps harvesting compatible queued
+// queries (same graph, same kind, same world shape — see compatible),
+// assembles every singleflight *leader* among them into a lane, and
+// runs the whole set through the mld/core batched evaluators in one DP
+// sweep. Results fan back out through each lane's flight, so cache
+// fills, singleflight followers, and per-query cancellation behave
+// exactly as in the single-query path; a lane whose last requester
+// leaves mid-flight is masked out of the batch while the other lanes
+// run on. docs/BATCHING.md is the full story.
+
+// laneJob is one batch lane: the job that leads its flight plus the
+// flight the result fans back through.
+type laneJob struct {
+	j *job
+	f *flight
+}
+
+// compatible reports whether cand can share a batched DP execution
+// with lead: same graph content, same kind, and — for distributed
+// queries — the same world shape, since the batch runs on one
+// in-process world with one partition. Seeds, k, rounds, epsilon,
+// zmax, templates, N2 and Workers may all differ: each lane keeps its
+// own assignment, and the batch adopts the leader's sweep geometry
+// (answers are geometry-independent). Distributed batching covers
+// paths only; other kinds and shapes fall back to solo runs.
+func compatible(lead, cand *job) bool {
+	a, b := lead.Req, cand.Req
+	if lead.digest != cand.digest || a.Graph != b.Graph || a.Kind != b.Kind {
+		return false
+	}
+	if a.Ranks != b.Ranks {
+		return false
+	}
+	if a.Ranks > 1 {
+		if a.Kind != KindPath {
+			return false
+		}
+		if a.N1 != b.N1 || a.Scheme != b.Scheme {
+			return false
+		}
+	}
+	return true
+}
+
+// batchable reports whether a query may lead or join a batch at all.
+func batchable(j *job) bool {
+	r := j.Req
+	if r.Ranks > 1 {
+		return r.Kind == KindPath // core batches paths only
+	}
+	return true
+}
+
+// runBatched is the worker's entry point when admission batching is
+// on: prep the first job, harvest compatible peers for one window,
+// then execute. Occupancy 1 falls through to the ordinary solo path,
+// so an idle service behaves exactly as with batching off (modulo the
+// window of added latency).
+func (s *Server) runBatched(first *job) {
+	lead, ok := s.prepLane(first)
+	if !ok {
+		return // served from cache, joined a flight, or already expired
+	}
+	// Count the assembly window as in-flight work so drain waits for it.
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	lanes := []*laneJob{lead}
+	if !s.draining.Load() {
+		lanes = s.collectLanes(lanes)
+	}
+	if len(lanes) == 1 {
+		s.executeLane(lead)
+		return
+	}
+	s.executeBatch(lanes)
+}
+
+// collectLanes harvests compatible queued jobs until the batch window
+// closes or the batch is full. The queue is polled rather than
+// subscribed: a few sweeps per window keep the leader responsive to
+// late arrivals without a wakeup protocol.
+func (s *Server) collectLanes(lanes []*laneJob) []*laneJob {
+	lead := lanes[0].j
+	deadline := time.NewTimer(s.cfg.BatchWindow)
+	defer deadline.Stop()
+	poll := s.cfg.BatchWindow / 8
+	if poll <= 0 {
+		poll = time.Millisecond
+	}
+	tick := time.NewTicker(poll)
+	defer tick.Stop()
+	for len(lanes) < s.cfg.BatchMaxLanes {
+		for _, cj := range s.queue.take(func(c *job) bool { return compatible(lead, c) },
+			s.cfg.BatchMaxLanes-len(lanes)) {
+			if lj, ok := s.prepLane(cj); ok {
+				lanes = append(lanes, lj)
+			}
+		}
+		if len(lanes) >= s.cfg.BatchMaxLanes {
+			break
+		}
+		select {
+		case <-deadline.C:
+			return lanes
+		case <-tick.C:
+		}
+	}
+	return lanes
+}
+
+// prepLane takes an admitted job through the same cache/singleflight
+// gauntlet as the solo path. ok=false means the job was fully handled
+// here (cache hit, flight follower, expired); ok=true means the job
+// leads a fresh flight and must be executed — as a batch lane or solo.
+func (s *Server) prepLane(j *job) (*laneJob, bool) {
+	if err := j.ctx.Err(); err != nil {
+		s.finishErr(j, nil, err) // expired while queued
+		return nil, false
+	}
+	s.rec.Observe(obs.HistServeQueueWait, time.Since(j.enqueued).Seconds())
+	if res, ok := s.cache.get(j.Key); ok {
+		s.rec.Add(obs.ServeCacheHits, 1)
+		s.rec.Add(obs.ServeCompleted, 1)
+		j.finish(StatusDone, res.cachedCopy(), nil)
+		return nil, false
+	}
+	f, leader := s.flights.join(s.baseCtx, j.Key)
+	s.followers.Add(1)
+	go s.resolve(j, f)
+	if !leader {
+		s.rec.Add(obs.ServeSingleflightShared, 1)
+		j.setStatus(StatusRunning)
+		return nil, false
+	}
+	s.rec.Add(obs.ServeCacheMisses, 1)
+	j.setStatus(StatusRunning)
+	return &laneJob{j: j, f: f}, true
+}
+
+// executeLane runs a solo flight-leader job to completion (the
+// occupancy-1 tail of runBatched; the no-batching worker path builds
+// the same laneJob in runJob).
+func (s *Server) executeLane(lj *laneJob) {
+	start := time.Now()
+	res, err := s.execute(lj.f.ctx, lj.j.Req)
+	s.rec.Observe(obs.HistServeQueryLatency, time.Since(start).Seconds())
+	if err == nil {
+		s.cache.put(lj.j.Key, res, res.size())
+	}
+	s.flights.finish(lj.f, res, err)
+}
+
+// executeBatch runs ≥2 lanes through one batched DP execution and fans
+// the per-lane results back through their flights. Each lane's context
+// is its flight's context, so a lane all of whose requesters left is
+// masked out of the sweep (LaneResult.Err = context.Canceled) while
+// the others continue; the batch as a whole runs under the server's
+// lifetime context.
+func (s *Server) executeBatch(lanes []*laneJob) {
+	first := lanes[0].j.Req
+	blanes := make([]mld.BatchLane, len(lanes))
+	laneErrs := make([]error, len(lanes))
+	for i, lj := range lanes {
+		req := lj.j.Req
+		bl := mld.BatchLane{
+			K: req.K, ZMax: req.ZMax,
+			Seed: req.Seed, Epsilon: req.Epsilon, Rounds: req.Rounds,
+			Ctx: lj.f.ctx,
+		}
+		if req.Kind == KindTree {
+			tpl, err := req.template()
+			if err != nil {
+				laneErrs[i] = err // validate() makes this unreachable; fail the lane, not the batch
+			}
+			bl.Template = tpl
+		}
+		blanes[i] = bl
+	}
+	start := time.Now()
+	var results []mld.LaneResult
+	var batchErr error
+	entry, err := s.registry.get(first.Graph)
+	switch {
+	case err != nil:
+		batchErr = err // graph evicted between admission and execution
+	case first.Ranks > 1:
+		results, batchErr = s.batchDistributed(entry, first, blanes)
+	default:
+		results, batchErr = s.batchSequential(entry, first, blanes)
+	}
+	wall := time.Since(start).Seconds()
+	s.rec.Add(obs.ServeBatches, 1)
+	s.rec.Add(obs.ServeBatchLanes, int64(len(lanes)))
+	s.rec.Observe(obs.HistServeBatchOccupancy, float64(len(lanes)))
+	for i, lj := range lanes {
+		s.rec.Observe(obs.HistServeLaneCost, wall/float64(len(lanes)))
+		s.rec.Observe(obs.HistServeQueryLatency, wall)
+		var res *Result
+		err := laneErrs[i]
+		if err == nil {
+			switch {
+			case results != nil:
+				lr := results[i]
+				res = &Result{
+					Kind: lj.j.Req.Kind, Found: lr.Found, Table: lr.Table,
+					Rounds: lr.Rounds, Phases: lr.Phases, TotalPhases: lr.TotalPhases,
+				}
+				err = lr.Err
+			case batchErr != nil:
+				err = batchErr
+			default:
+				err = errors.New("serve: batch produced no results")
+			}
+		}
+		if err == nil {
+			s.cache.put(lj.j.Key, res, res.size())
+		}
+		s.flights.finish(lj.f, res, err)
+	}
+}
+
+// batchSequential dispatches to the shared-memory batched evaluators.
+// The sweep geometry (N2, Workers) is the leader's; every lane keeps
+// its own seeding, so answers match solo runs exactly.
+func (s *Server) batchSequential(entry *graphEntry, first *QueryRequest, blanes []mld.BatchLane) ([]mld.LaneResult, error) {
+	opt := mld.Options{
+		N2: first.N2, Workers: first.Workers,
+		Arena: s.arena, Ctx: s.baseCtx,
+	}
+	switch first.Kind {
+	case KindPath:
+		return mld.DetectPathBatch(entry.G, blanes, opt)
+	case KindTree:
+		return mld.DetectTreeBatch(entry.G, blanes, opt)
+	case KindScanStat:
+		return mld.ScanTableBatch(entry.G, blanes, opt)
+	default:
+		return nil, errors.New("serve: unbatchable kind " + first.Kind)
+	}
+}
+
+// batchDistributed runs the lanes on one in-process world via
+// core.RunPathBatch, with the leader's partition (cached per graph —
+// answers are partition-independent, so lanes with other seeds still
+// match their solo runs).
+func (s *Server) batchDistributed(entry *graphEntry, first *QueryRequest, blanes []mld.BatchLane) ([]mld.LaneResult, error) {
+	scheme := partition.Scheme(first.Scheme)
+	if scheme == "" {
+		scheme = partition.SchemeBlock
+	}
+	n1 := first.N1
+	if n1 <= 0 {
+		n1 = first.Ranks
+	}
+	part, err := entry.partitionFor(scheme, n1, first.Seed^0x70a3d70a3d70a3d7)
+	if err != nil {
+		return nil, err
+	}
+	cfg := core.Config{
+		N1: n1, N2: first.N2, Seed: first.Seed, Scheme: scheme,
+		Ctx: s.baseCtx, Part: part, NoTiming: true,
+	}
+	var results []mld.LaneResult
+	run := func(c *comm.Comm) error {
+		res, rerr := core.RunPathBatch(c, entry.G, cfg, core.BatchSpec{Lanes: blanes})
+		if c.Rank() == 0 {
+			results = res
+		}
+		return rerr
+	}
+	err = comm.RunLocal(first.Ranks, comm.CostModel{}, run)
+	// Unwrap the world aggregation so clients see the cause directly.
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			err = context.DeadlineExceeded
+		} else if errors.Is(err, context.Canceled) {
+			err = context.Canceled
+		}
+	}
+	return results, err
+}

@@ -21,9 +21,10 @@ const (
 // terminal result. Jobs survive in the table after finishing so
 // GET /v1/jobs/{id} can report the outcome of async queries.
 type job struct {
-	ID  string
-	Key string
-	Req *QueryRequest
+	ID     string
+	Key    string
+	Req    *QueryRequest
+	digest uint64 // content digest of the named graph (batch compatibility)
 
 	ctx    context.Context
 	cancel context.CancelFunc

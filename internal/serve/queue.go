@@ -1,0 +1,104 @@
+package serve
+
+import "sync"
+
+// admitQueue is the admission queue. It behaves like the bounded
+// channel it replaces — push rejects when full, popWait blocks until
+// work arrives — but additionally supports take: a batch leader
+// removing the queued jobs compatible with its own, in admission
+// order, without disturbing the rest. A channel can't express that
+// (anything popped and found incompatible would have to be re-queued
+// behind newer arrivals, and could be re-popped by the same leader in
+// a spin); a condition variable over a slice can.
+type admitQueue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []*job
+	depth  int
+	closed bool
+}
+
+func newAdmitQueue(depth int) *admitQueue {
+	q := &admitQueue{depth: depth}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// push appends j; false when the queue is full or closed.
+func (q *admitQueue) push(j *job) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || len(q.items) >= q.depth {
+		return false
+	}
+	q.items = append(q.items, j)
+	q.cond.Signal()
+	return true
+}
+
+// popWait blocks until a job is available (ok=true) or the queue is
+// closed (ok=false). Close wins immediately even with items queued —
+// shutdown fails leftovers out via drain, exactly like the channel
+// version did.
+func (q *admitQueue) popWait() (*job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for !q.closed && len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	if q.closed {
+		return nil, false
+	}
+	j := q.items[0]
+	q.items = q.items[1:]
+	return j, true
+}
+
+// take removes and returns up to max queued jobs satisfying pred, in
+// admission order, without blocking. Non-matching jobs keep their
+// positions.
+func (q *admitQueue) take(pred func(*job) bool, max int) []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed || max <= 0 {
+		return nil
+	}
+	var out []*job
+	kept := q.items[:0]
+	for _, j := range q.items {
+		if len(out) < max && pred(j) {
+			out = append(out, j)
+		} else {
+			kept = append(kept, j)
+		}
+	}
+	// Zero the tail so dropped jobs don't pin memory via the backing array.
+	for i := len(kept); i < len(q.items); i++ {
+		q.items[i] = nil
+	}
+	q.items = kept
+	return out
+}
+
+func (q *admitQueue) len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// close wakes every waiter with ok=false and rejects further pushes.
+func (q *admitQueue) close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// drain empties the queue (post-close leftover collection at shutdown).
+func (q *admitQueue) drain() []*job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := q.items
+	q.items = nil
+	return out
+}

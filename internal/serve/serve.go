@@ -14,8 +14,19 @@
 // round/batch loops — an abandoned or timed-out query stops burning
 // its 2^k iterations at the next batch boundary.
 //
+// With Config.BatchWindow > 0, a worker additionally holds each
+// batchable query for the window and sweeps the queue for compatible
+// ones (same graph digest, kind and rank layout), running them as
+// lanes of one multi-query DP execution (internal/mld's batch
+// evaluators; core.RunPathBatch when distributed). Singleflight and
+// the cache compose in front of batching — only flight leaders become
+// lanes — and cancellation stays per-query: a dead lane is masked out
+// of the batch while its batch-mates finish. Answers are byte-identical
+// to solo execution.
+//
 // docs/SERVING.md is the operator guide: API reference, admission,
-// caching and deadline semantics, and capacity tuning.
+// caching and deadline semantics, and capacity tuning. docs/BATCHING.md
+// covers the batching design and its metrics.
 package serve
 
 import (
@@ -57,6 +68,16 @@ type Config struct {
 	DefaultTimeout time.Duration
 	// MaxJobs bounds the finished-job table. Default 4096.
 	MaxJobs int
+	// BatchWindow, when positive, enables admission batching: a worker
+	// picking up a query waits up to this long, harvesting compatible
+	// queued queries (same graph/kind/world shape) into one batched DP
+	// execution. Zero — the default — disables batching entirely; every
+	// query runs solo exactly as before. A few milliseconds is a
+	// sensible window (docs/BATCHING.md discusses the tradeoff).
+	BatchWindow time.Duration
+	// BatchMaxLanes caps the lanes per batched execution. Default 16,
+	// hard cap mld.MaxBatchLanes.
+	BatchMaxLanes int
 }
 
 func (c Config) withDefaults() Config {
@@ -81,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 4096
 	}
+	if c.BatchMaxLanes <= 0 {
+		c.BatchMaxLanes = 16
+	}
+	if c.BatchMaxLanes > mld.MaxBatchLanes {
+		c.BatchMaxLanes = mld.MaxBatchLanes
+	}
 	return c
 }
 
@@ -94,11 +121,10 @@ type Server struct {
 	cache    *resultCache
 	flights  *flightGroup
 	jobs     *jobTable
-	queue    chan *job
+	queue    *admitQueue
 
 	baseCtx    context.Context // parent of every flight; cancelled at forced stop
 	baseCancel context.CancelFunc
-	stopCh     chan struct{}
 	draining   atomic.Bool
 	inflight   atomic.Int64   // leaders currently executing a DP
 	wg         sync.WaitGroup // workers
@@ -121,10 +147,9 @@ func New(cfg Config) *Server {
 		cache:      newResultCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
 		flights:    newFlightGroup(),
 		jobs:       newJobTable(cfg.MaxJobs),
-		queue:      make(chan *job, cfg.QueueDepth),
+		queue:      newAdmitQueue(cfg.QueueDepth),
 		baseCtx:    ctx,
 		baseCancel: cancel,
-		stopCh:     make(chan struct{}),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -169,17 +194,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	drained := s.awaitIdle(ctx)
 	// Cut off whatever remains (no-op when drained cleanly).
 	s.baseCancel()
-	close(s.stopCh)
+	s.queue.close()
 	s.wg.Wait()
 	// Queued jobs no worker picked up: fail them out.
-	for {
-		select {
-		case j := <-s.queue:
-			s.finishErr(j, nil, errors.New("serve: shut down before execution"))
-			continue
-		default:
-		}
-		break
+	for _, j := range s.queue.drain() {
+		s.finishErr(j, nil, errors.New("serve: shut down before execution"))
 	}
 	s.followers.Wait()
 	var err error
@@ -200,7 +219,7 @@ func (s *Server) awaitIdle(ctx context.Context) bool {
 	tick := time.NewTicker(5 * time.Millisecond)
 	defer tick.Stop()
 	for {
-		if len(s.queue) == 0 && s.inflight.Load() == 0 {
+		if s.queue.len() == 0 && s.inflight.Load() == 0 {
 			return true
 		}
 		select {
@@ -220,48 +239,29 @@ func (s *Server) Recorder() *obs.Recorder { return s.rec }
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case j := <-s.queue:
-			s.runJob(j)
-		case <-s.stopCh:
+		j, ok := s.queue.popWait()
+		if !ok {
 			return
 		}
+		s.runJob(j)
 	}
 }
 
 // runJob takes one admitted job through cache, singleflight, and
-// execution. Followers do not occupy the worker: they are parked on a
-// resolution goroutine and the worker moves on.
+// execution — batched when admission batching is on and the query is
+// batchable, solo otherwise. Followers do not occupy the worker: they
+// are parked on a resolution goroutine and the worker moves on.
 func (s *Server) runJob(j *job) {
-	if err := j.ctx.Err(); err != nil {
-		s.finishErr(j, nil, err) // expired while queued
+	if s.cfg.BatchWindow > 0 && batchable(j) {
+		s.runBatched(j)
 		return
 	}
-	s.rec.Observe(obs.HistServeQueueWait, time.Since(j.enqueued).Seconds())
-	if res, ok := s.cache.get(j.Key); ok {
-		s.rec.Add(obs.ServeCacheHits, 1)
-		s.rec.Add(obs.ServeCompleted, 1)
-		j.finish(StatusDone, res.cachedCopy(), nil)
+	lj, ok := s.prepLane(j)
+	if !ok {
 		return
 	}
-	f, leader := s.flights.join(s.baseCtx, j.Key)
-	s.followers.Add(1)
-	go s.resolve(j, f)
-	if !leader {
-		s.rec.Add(obs.ServeSingleflightShared, 1)
-		j.setStatus(StatusRunning)
-		return
-	}
-	s.rec.Add(obs.ServeCacheMisses, 1)
-	j.setStatus(StatusRunning)
 	s.inflight.Add(1)
-	start := time.Now()
-	res, err := s.execute(f.ctx, j.Req)
-	s.rec.Observe(obs.HistServeQueryLatency, time.Since(start).Seconds())
-	if err == nil {
-		s.cache.put(j.Key, res, res.size())
-	}
-	s.flights.finish(f, res, err)
+	s.executeLane(lj)
 	s.inflight.Add(-1)
 }
 
@@ -451,7 +451,7 @@ func (s *Server) gauges() []obs.Metric {
 		draining = 1
 	}
 	return []obs.Metric{
-		obs.Gauge("midas_serve_queue_depth", "Admitted queries waiting for a worker.", float64(len(s.queue))),
+		obs.Gauge("midas_serve_queue_depth", "Admitted queries waiting for a worker.", float64(s.queue.len())),
 		obs.Gauge("midas_serve_queue_capacity", "Admission queue bound (QueueDepth).", float64(s.cfg.QueueDepth)),
 		obs.Gauge("midas_serve_inflight", "Query executions currently running a DP.", float64(s.inflight.Load())),
 		obs.Gauge("midas_serve_cache_entries", "Result cache entries.", float64(entries)),
@@ -460,5 +460,7 @@ func (s *Server) gauges() []obs.Metric {
 		obs.Gauge("midas_serve_jobs", "Jobs retained in the job table.", float64(s.jobs.size())),
 		obs.Gauge("midas_serve_arena_retained_bytes", "DP slab bytes retained by the shared arena.", float64(s.arena.RetainedBytes())),
 		obs.Gauge("midas_serve_draining", "1 while the server refuses new admissions to drain.", draining),
+		obs.Gauge("midas_serve_batch_window_seconds", "Admission batching window (0 = batching off).", s.cfg.BatchWindow.Seconds()),
+		obs.Gauge("midas_serve_batch_max_lanes", "Lane cap per batched execution.", float64(s.cfg.BatchMaxLanes)),
 	}
 }
