@@ -2,7 +2,8 @@
 # (.github/workflows/ci.yml) and PR hygiene run: build, vet,
 # formatting, full tests, and the race detector over the
 # concurrency-heavy packages (the message runtime with its fault
-# injection, the distributed core that drives it, and the
+# injection, the distributed core that drives it, the batched DP
+# engine with its worker pools and per-lane cancellation, and the
 # observability layer they feed).
 
 GO ?= go
@@ -10,7 +11,7 @@ GO ?= go
 # a significance test (`make bench > new.txt && benchstat old.txt new.txt`).
 BENCH_COUNT ?= 6
 
-.PHONY: all build test vet fmt-check check race bench bench-smoke bench-figures bench-compare serve-smoke doc-links
+.PHONY: all build test vet fmt-check check race fuzz-smoke bench bench-smoke bench-figures bench-compare serve-smoke doc-links
 
 all: check
 
@@ -31,7 +32,13 @@ fmt-check:
 	fi
 
 race:
-	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/obs/... ./internal/serve/...
+	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/mld/... ./internal/obs/... ./internal/serve/...
+
+# A short burst of the differential fuzzer: random labeled graphs and
+# constraints, constrained-motif detection vs. brute-force enumeration.
+FUZZTIME ?= 20s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz FuzzMotifVsBruteForce -fuzztime $(FUZZTIME) ./internal/mld
 
 check: build vet fmt-check test race doc-links
 

@@ -15,12 +15,15 @@
 //   - a counted field (msgs, bytes, dp-ops, halo-msgs, halo-bytes,
 //     rounds, phases, levels) grew by more than -tol (default 10%),
 //   - a batch record's occupancy dropped, or its amortized per-query
-//     msgs / dp-ops grew by more than -tol.
+//     msgs / dp-ops grew by more than -tol,
+//   - a motif record's sieve answer changed, or its sieve dp-ops or
+//     the FASCIA table footprint grew by more than -tol.
 //
-// cells-skipped, the batch speedup ratios and the kernel throughput
-// records are informational: skips elide work the analytic dp-ops
-// counter still models, speedups fold in the α–β model constants, and
-// kernel MB/s depends on the host CPU.
+// cells-skipped, the batch speedup ratios, the motif wall-time ratio
+// and the kernel throughput records are informational: skips elide
+// work the analytic dp-ops counter still models, speedups fold in the
+// α–β model constants, wall time and kernel MB/s depend on the host
+// CPU.
 package main
 
 import (
@@ -112,6 +115,7 @@ func Compare(oldRep, newRep harness.Report, tol float64) (findings, info []strin
 		}
 	}
 	findings, info = compareBatches(oldRep, newRep, tol, findings, info)
+	findings, info = compareMotifs(oldRep, newRep, tol, findings, info)
 	for _, k := range newRep.Kernels {
 		info = append(info, fmt.Sprintf("kernel %s: %.0f MB/s (informational)", k.Name, k.MBPerSec))
 	}
@@ -169,6 +173,72 @@ func compareBatches(oldRep, newRep harness.Report, tol float64, findings, info [
 		gateF(key, "per-query-msgs", o.PerQueryMsgs, n.PerQueryMsgs)
 		gateF(key, "per-query-dp-ops", o.PerQueryDPOps, n.PerQueryDPOps)
 		info = append(info, fmt.Sprintf("%s speedup: %.2fx → %.2fx (informational)", key, o.PerQuerySpeedup, n.PerQuerySpeedup))
+	}
+	return findings, info
+}
+
+// compareMotifs gates the motif-vs-FASCIA records: the sieve's answer
+// and DP-op count and FASCIA's table footprint are deterministic in the
+// parameters, so a changed answer, missing record, or counted growth
+// beyond tolerance is a finding. FASCIA's answer under its capped
+// coloring budget and the wall-time ratio between the engines are
+// informational — the former is Monte Carlo by design, the latter is
+// host-dependent.
+func compareMotifs(oldRep, newRep harness.Report, tol float64, findings, info []string) ([]string, []string) {
+	index := func(recs []harness.MotifRecord) map[string]harness.MotifRecord {
+		m := make(map[string]harness.MotifRecord, len(recs))
+		for _, r := range recs {
+			con := r.Constraint
+			if con == "" {
+				con = "any"
+			}
+			m[fmt.Sprintf("motif %s/k=%d/%s", r.Dataset, r.K, con)] = r
+		}
+		return m
+	}
+	oldM, newM := index(oldRep.Motifs), index(newRep.Motifs)
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	gate := func(key, field string, o, n int64) {
+		if o == n {
+			return
+		}
+		change := "∞"
+		if o != 0 {
+			change = fmt.Sprintf("%+.1f%%", 100*(float64(n)-float64(o))/float64(o))
+		}
+		line := fmt.Sprintf("%s %s: %d → %d (%s)", key, field, o, n, change)
+		if float64(n) > float64(o)*(1+tol) {
+			findings = append(findings, line)
+		} else {
+			info = append(info, line)
+		}
+	}
+	for _, key := range keys {
+		o := oldM[key]
+		n, ok := newM[key]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: motif record missing from new report", key))
+			continue
+		}
+		if o.MidasFound != n.MidasFound {
+			findings = append(findings, fmt.Sprintf("%s: sieve answer changed %v → %v", key, o.MidasFound, n.MidasFound))
+		}
+		gate(key, "midas-dp-ops", o.MidasDPOps, n.MidasDPOps)
+		gate(key, "fascia-table-bytes", o.FasciaTableBytes, n.FasciaTableBytes)
+		if o.FasciaFound != n.FasciaFound {
+			info = append(info, fmt.Sprintf("%s: fascia answer changed %v → %v (informational, capped budget)", key, o.FasciaFound, n.FasciaFound))
+		}
+		if n.MidasWallSecs > 0 {
+			info = append(info, fmt.Sprintf("%s fascia/sieve wall ratio: %.2fx (informational)", key, n.FasciaWallSecs/n.MidasWallSecs))
+		}
 	}
 	return findings, info
 }

@@ -161,6 +161,80 @@ func TestCompareBatchMissingGated(t *testing.T) {
 	}
 }
 
+func mkMotif(k int, constraint string, found bool, dpops int64) harness.MotifRecord {
+	return harness.MotifRecord{
+		Dataset: "random", Vertices: 300, K: k, Constraint: constraint,
+		MidasFound: found, MidasDPOps: dpops,
+		FasciaFound: found, FasciaTableBytes: 300 << uint(k),
+	}
+}
+
+func TestCompareMotifClean(t *testing.T) {
+	old := mkReport()
+	neu := mkReport()
+	old.Motifs = []harness.MotifRecord{mkMotif(4, "", true, 9000), mkMotif(4, "0:2,1:1", true, 9000)}
+	neu.Motifs = []harness.MotifRecord{mkMotif(4, "", true, 9000), mkMotif(4, "0:2,1:1", true, 9000)}
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("identical motif records produced findings: %v", findings)
+	}
+}
+
+func TestCompareMotifAnswerChangeGated(t *testing.T) {
+	old := mkReport()
+	neu := mkReport()
+	old.Motifs = []harness.MotifRecord{mkMotif(4, "0:2", true, 9000)}
+	neu.Motifs = []harness.MotifRecord{mkMotif(4, "0:2", false, 9000)}
+	findings, _ := Compare(old, neu, 0.10)
+	// Both the sieve answer flip (gated) and the fascia flip
+	// (informational) occur; only the former may be a finding.
+	if len(findings) != 1 || !strings.Contains(findings[0], "sieve answer") {
+		t.Fatalf("sieve answer flip not flagged exactly once: %v", findings)
+	}
+}
+
+func TestCompareMotifDPOpsGrowthGated(t *testing.T) {
+	old := mkReport()
+	neu := mkReport()
+	old.Motifs = []harness.MotifRecord{mkMotif(4, "", true, 9000)}
+	neu.Motifs = []harness.MotifRecord{mkMotif(4, "", true, 14000)} // +55%
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "midas-dp-ops") {
+		t.Fatalf("dp-ops growth not flagged: %v", findings)
+	}
+}
+
+func TestCompareMotifFasciaAnswerInformational(t *testing.T) {
+	old := mkReport()
+	neu := mkReport()
+	old.Motifs = []harness.MotifRecord{mkMotif(5, "", true, 9000)}
+	neu.Motifs = []harness.MotifRecord{mkMotif(5, "", true, 9000)}
+	neu.Motifs[0].FasciaFound = false // Monte Carlo miss must not gate
+	findings, info := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("fascia answer change gated: %v", findings)
+	}
+	var seen bool
+	for _, l := range info {
+		if strings.Contains(l, "fascia answer") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("fascia answer change not reported informationally")
+	}
+}
+
+func TestCompareMotifMissingGated(t *testing.T) {
+	old := mkReport()
+	neu := mkReport()
+	old.Motifs = []harness.MotifRecord{mkMotif(4, "", true, 9000)}
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing") {
+		t.Fatalf("missing motif record not flagged: %v", findings)
+	}
+}
+
 func TestCompareCellsSkippedInformational(t *testing.T) {
 	o := mkRun("er", 4, 100, 5000, true)
 	n := mkRun("er", 4, 100, 5000, true)

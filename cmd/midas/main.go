@@ -1,12 +1,13 @@
-// Command midas detects k-paths, tree templates, and anomalous
-// connected subgraphs in edge-list graphs, sequentially or distributed
-// over TCP ranks.
+// Command midas detects k-paths, tree templates, colored motifs, and
+// anomalous connected subgraphs in edge-list graphs, sequentially or
+// distributed over TCP ranks.
 //
 // Usage:
 //
 //	midas -graph g.txt -mode path -k 12
 //	midas -graph g.txt -mode tree -template t.txt
 //	midas -graph g.txt -mode scan -k 8 -weights w.txt -stat kulldorff
+//	midas -graph g.txt -mode motif -k 6 -labels c.txt -motif 0:2,1:1
 //
 // Distributed (run one process per rank):
 //
@@ -34,6 +35,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 
 	midas "github.com/midas-hpc/midas"
@@ -43,10 +46,12 @@ import (
 // sequential path run with library defaults.
 type cliConfig struct {
 	graphPath string
-	mode      string // path | tree | scan | maxweight
+	mode      string // path | tree | scan | maxweight | motif
 	k         int
 	tplPath   string
 	weights   string
+	labels    string
+	motif     string
 	statName  string
 	alpha     float64
 	seed      uint64
@@ -71,10 +76,12 @@ type cliConfig struct {
 func main() {
 	var cfg cliConfig
 	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list graph file (required)")
-	flag.StringVar(&cfg.mode, "mode", "path", "path | tree | scan | maxweight")
+	flag.StringVar(&cfg.mode, "mode", "path", "path | tree | scan | maxweight | motif")
 	flag.IntVar(&cfg.k, "k", 8, "subgraph size")
 	flag.StringVar(&cfg.tplPath, "template", "", "tree template edge list (mode=tree)")
 	flag.StringVar(&cfg.weights, "weights", "", "vertex weights file 'v w [b]' (mode=scan)")
+	flag.StringVar(&cfg.labels, "labels", "", "vertex colors file 'v c' (mode=motif)")
+	flag.StringVar(&cfg.motif, "motif", "", "color multiset 'c:m,c:m' — color c at least m times (mode=motif; empty = any connected k-subgraph)")
 	flag.StringVar(&cfg.statName, "stat", "kulldorff", "kulldorff | elevated | berkjones (mode=scan)")
 	flag.Float64Var(&cfg.alpha, "alpha", 0.05, "Berk-Jones significance level")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "random seed")
@@ -171,6 +178,11 @@ func run(cfg cliConfig) error {
 			return err
 		}
 	}
+	if cfg.labels != "" {
+		if err := midas.LoadLabels(cfg.labels, g); err != nil {
+			return err
+		}
+	}
 
 	if cfg.rank >= 0 {
 		return runDistributed(g, cfg)
@@ -234,6 +246,16 @@ func run(cfg cliConfig) error {
 			break
 		}
 		fmt.Printf("maximum %d-path weight: %d\n", cfg.k, w)
+	case "motif":
+		spec, err := parseMotif(cfg.k, cfg.motif)
+		if err != nil {
+			return err
+		}
+		found, err := midas.FindMotif(g, spec, opt)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%d-motif %s: %v\n", cfg.k, motifString(cfg.motif), found)
 	case "scan":
 		stat, err := pickStat(cfg.statName, cfg.alpha)
 		if err != nil {
@@ -376,6 +398,18 @@ func runDistributed(g *midas.Graph, cfg cliConfig) error {
 		if cfg.rank == 0 {
 			fmt.Printf("%d-tree: %v (world of %d ranks)\n", tpl.K(), found, cfg.size)
 		}
+	case "motif":
+		spec, err := parseMotif(cfg.k, cfg.motif)
+		if err != nil {
+			return err
+		}
+		found, err := midas.DistributedFindMotif(c, g, spec, ccfg)
+		if err != nil {
+			return err
+		}
+		if cfg.rank == 0 {
+			fmt.Printf("%d-motif %s: %v (world of %d ranks)\n", cfg.k, motifString(cfg.motif), found, cfg.size)
+		}
 	case "scan":
 		zmax := cfg.zmax
 		if zmax <= 0 {
@@ -404,6 +438,40 @@ func runDistributed(g *midas.Graph, cfg cliConfig) error {
 		return cfg.emitObs(snaps...)
 	}
 	return nil
+}
+
+// parseMotif builds a MotifSpec from the -motif grammar "c:m,c:m"
+// (color c required at least m times; empty = unconstrained).
+func parseMotif(k int, text string) (*midas.MotifSpec, error) {
+	spec := &midas.MotifSpec{K: k, Counts: map[int32]int{}}
+	if text != "" {
+		for _, part := range strings.Split(text, ",") {
+			cs, ms, ok := strings.Cut(strings.TrimSpace(part), ":")
+			if !ok {
+				return nil, fmt.Errorf("-motif entry %q: want 'color:count'", part)
+			}
+			c, err := strconv.ParseInt(cs, 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("-motif color %q: %v", cs, err)
+			}
+			m, err := strconv.Atoi(ms)
+			if err != nil {
+				return nil, fmt.Errorf("-motif count %q: %v", ms, err)
+			}
+			spec.Counts[int32(c)] = m
+		}
+	}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+func motifString(text string) string {
+	if text == "" {
+		return "(unconstrained)"
+	}
+	return "{" + text + "}"
 }
 
 func pickStat(name string, alpha float64) (midas.Statistic, error) {

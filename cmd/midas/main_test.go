@@ -405,3 +405,37 @@ func TestRunObsOutFile(t *testing.T) {
 		t.Fatalf("summary file content wrong:\n%s", raw)
 	}
 }
+
+func TestRunMotifMode(t *testing.T) {
+	g, _, _ := writeFixtures(t)
+	dir := filepath.Dir(g)
+	labels := filepath.Join(dir, "c.txt")
+	if err := os.WriteFile(labels, []byte("0 1\n1 1\n2 2\n# comment\n3 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := seqConfig(g)
+	cfg.mode, cfg.labels, cfg.motif, cfg.k = "motif", labels, "0:2,1:1", 5
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// Unconstrained motif (any connected 5-subgraph).
+	cfg.motif = ""
+	if err := run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseMotifErrors(t *testing.T) {
+	for _, text := range []string{"0", "x:1", "0:y", "0:4"} {
+		if _, err := parseMotif(3, text); err == nil {
+			t.Errorf("parseMotif(3, %q) accepted", text)
+		}
+	}
+	spec, err := parseMotif(5, " 0:2 ,1:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.K != 5 || spec.Counts[0] != 2 || spec.Counts[1] != 1 {
+		t.Fatalf("parsed %+v", spec)
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+// Distributed refactor-equivalence goldens: pinned answers of the
+// ranks=2 path / tree / scan runs on fixed graphs and seeds. The
+// distributed evaluators build the same assignments as the sequential
+// ones and differ only in where work happens, so any refactor of the
+// shared mld layer (e.g. the Family-engine extraction) must leave
+// these results bit-identical. Regenerate only when the randomness
+// derivation changes: go test ./internal/core -run TestGolden -update-golden
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite golden transcript files")
+
+type coreGolden struct {
+	Name  string   `json:"name"`
+	Found bool     `json:"found"`
+	Table []string `json:"table,omitempty"`
+}
+
+func coreTableRows(tab [][]bool) []string {
+	if tab == nil {
+		return nil
+	}
+	rows := make([]string, 0, len(tab))
+	for _, r := range tab {
+		b := make([]byte, len(r))
+		for i, v := range r {
+			b[i] = '0'
+			if v {
+				b[i] = '1'
+			}
+		}
+		rows = append(rows, string(b))
+	}
+	return rows
+}
+
+func TestGoldenDistributed(t *testing.T) {
+	gA := graph.RandomGNM(24, 60, 1)
+	gW := graph.RandomGNM(12, 26, 3)
+	w := make([]int64, gW.NumVertices())
+	for v := range w {
+		w[v] = int64(v % 3)
+	}
+	gW.SetWeights(w)
+
+	var got []coreGolden
+	run := func(name string, fn func(c *comm.Comm) (coreGolden, error)) {
+		t.Helper()
+		results := make([]coreGolden, 2)
+		err := comm.RunLocal(2, comm.CostModel{}, func(c *comm.Comm) error {
+			r, err := fn(c)
+			if err != nil {
+				return err
+			}
+			results[c.Rank()] = r
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !reflect.DeepEqual(results[0], results[1]) {
+			t.Fatalf("%s: ranks disagree: %+v vs %+v", name, results[0], results[1])
+		}
+		results[0].Name = name
+		got = append(got, results[0])
+	}
+
+	for _, tc := range []struct{ k, n1, n2 int }{{4, 2, 4}, {5, 1, 8}} {
+		tc := tc
+		name := fmt.Sprintf("path/k%d/n1-%d/n2-%d", tc.k, tc.n1, tc.n2)
+		run(name, func(c *comm.Comm) (coreGolden, error) {
+			found, err := RunPath(c, gA, Config{K: tc.k, N1: tc.n1, N2: tc.n2, Seed: 5, Rounds: 2})
+			return coreGolden{Found: found}, err
+		})
+	}
+
+	run("tree/star4", func(c *comm.Comm) (coreGolden, error) {
+		found, err := RunTree(c, gA, graph.StarTemplate(4), Config{K: 4, N1: 2, N2: 4, Seed: 6, Rounds: 2})
+		return coreGolden{Found: found}, err
+	})
+
+	run("scan/k3/z4", func(c *comm.Comm) (coreGolden, error) {
+		table, err := RunScan(c, gW, ScanConfig{Config: Config{K: 3, N1: 2, N2: 4, Seed: 7, Rounds: 2}, ZMax: 4})
+		return coreGolden{Table: coreTableRows(table)}, err
+	})
+
+	path := filepath.Join("testdata", "golden_distributed.json")
+	if *updateGolden {
+		buf, err := json.MarshalIndent(got, "", " ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s", path)
+		return
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden transcripts (run with -update-golden): %v", err)
+	}
+	var want []coreGolden
+	if err := json.Unmarshal(buf, &want); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("distributed goldens diverged:\n golden:  %+v\n current: %+v", want, got)
+	}
+}

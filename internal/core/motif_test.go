@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+)
+
+// TestDistributedMotifMatchesSequential: for the same seed, RunMotif's
+// partitioned evaluation computes the same field totals as
+// mld.DetectMotif, so answers agree exactly — across world sizes,
+// batching widths, and constraint shapes (empty, partial, exact).
+func TestDistributedMotifMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	graphs := []*graph.Graph{
+		graph.RandomGNM(40, 100, 1),
+		graph.Grid(6, 7),
+		graph.BarabasiAlbert(50, 2, 3),
+	}
+	for gi, g := range graphs {
+		n := g.NumVertices()
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(r.Intn(3))
+		}
+		g.SetLabels(labels)
+		specs := []*mld.MotifSpec{
+			{K: 4},                              // unconstrained
+			{K: 5, Counts: map[int32]int{0: 2}}, // partial
+			{K: 4, Counts: map[int32]int{0: 2, 1: 1, 2: 1}}, // exact
+		}
+		for si, spec := range specs {
+			seed := r.Uint64()
+			want, err := mld.DetectMotif(g, spec, mld.Options{Seed: seed, Rounds: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, tc := range []struct{ n, n1, n2 int }{
+				{1, 1, 4}, {2, 2, 1}, {2, 1, 8}, {4, 2, 2}, {4, 4, 16},
+			} {
+				cfg := Config{N1: tc.n1, N2: tc.n2, Seed: seed, Rounds: 1}
+				answers := make([]bool, tc.n)
+				err := comm.RunLocal(tc.n, comm.CostModel{}, func(c *comm.Comm) error {
+					got, rerr := RunMotif(c, g, spec, cfg)
+					if rerr != nil {
+						return rerr
+					}
+					answers[c.Rank()] = got
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for rk := range answers {
+					if answers[rk] != want {
+						t.Fatalf("graph %d spec %d world %+v rank %d: distributed %v, sequential %v",
+							gi, si, tc, rk, answers[rk], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunMotifValidation: invalid specs and k > n resolve before any
+// communication.
+func TestRunMotifValidation(t *testing.T) {
+	g := graph.RandomGNM(10, 20, 1)
+	g.SetLabels(make([]int32, 10))
+	err := comm.RunLocal(2, comm.CostModel{}, func(c *comm.Comm) error {
+		if _, err := RunMotif(c, g, &mld.MotifSpec{K: 2, Counts: map[int32]int{0: 5}}, Config{Rounds: 1}); err == nil {
+			return errAssert("invalid spec accepted")
+		}
+		found, err := RunMotif(c, g, &mld.MotifSpec{K: 15}, Config{Rounds: 1})
+		if err != nil {
+			return err
+		}
+		if found {
+			return errAssert("k > n reported found")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+type errAssert string
+
+func (e errAssert) Error() string { return string(e) }

@@ -1,0 +1,159 @@
+package fascia
+
+// Refined-label color coding for generalized graph motifs — the
+// baseline MIDAS's constrained multilinear detection is compared
+// against. Instead of k uniform colors, every vertex draws a random
+// *slot* from the slots its own label is allowed to occupy (the
+// refined labeling of FASCIA's motif mode): listed label c owns a
+// block of m_c slots, the remaining k − Σ m_c slots are wildcards open
+// to everyone. A boolean colorset DP over connected subgraphs then
+// looks for a subgraph whose slot set is all of [k]; distinct slots
+// give a system of distinct representatives, so by Hall's theorem a
+// hit always satisfies the constraint (one-sided error, like Detect).
+//
+// Per coloring the DP costs O(3^k·m) time and n·2^k table bytes — the
+// same exponential table wall as Count, which is what the
+// motif-vs-MIDAS benchmark crossover measures.
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/rng"
+)
+
+// DetectMotif reports whether g contains a connected k-vertex subgraph
+// whose vertex labels satisfy counts: each listed label must appear at
+// least counts[c] times (exactly, when the counts sum to k). A "yes"
+// is always correct; a satisfying motif is missed with probability at
+// most (1 − k^-k)^iterations.
+func DetectMotif(g *graph.Graph, k int, counts map[int32]int, opt Options) (bool, error) {
+	if k < 1 {
+		return false, fmt.Errorf("fascia: motif size %d", k)
+	}
+	if k > 20 {
+		return false, fmt.Errorf("fascia: k=%d beyond color-coding practicality (tables are n·2^%d)", k, k)
+	}
+	total := 0
+	for c, m := range counts {
+		if m <= 0 {
+			return false, fmt.Errorf("fascia: motif label %d has non-positive count %d", c, m)
+		}
+		total += m
+	}
+	if total > k {
+		return false, fmt.Errorf("fascia: motif counts sum to %d > k=%d", total, k)
+	}
+	n := g.NumVertices()
+	if k > n {
+		return false, nil
+	}
+	iters := opt.Iterations
+	if iters <= 0 {
+		iters = IterationsForApprox(k, 0.05)
+	}
+
+	// Slot layout: blocks in ascending label order, wildcards trailing —
+	// the same deterministic layout as mld's constrained assignment.
+	labels := make([]int32, 0, len(counts))
+	for c := range counts {
+		labels = append(labels, c)
+	}
+	sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+	allowed := make(map[int32][]uint8, len(counts))
+	off := 0
+	for _, c := range labels {
+		for s := 0; s < counts[c]; s++ {
+			allowed[c] = append(allowed[c], uint8(off+s))
+		}
+		off += counts[c]
+	}
+	wild := make([]uint8, 0, k-off)
+	for s := off; s < k; s++ {
+		wild = append(wild, uint8(s))
+	}
+	for _, c := range labels {
+		allowed[c] = append(allowed[c], wild...)
+	}
+
+	slots := make([]int8, n) // −1: excluded (no allowed slot this run)
+	full := uint32(1)<<uint(k) - 1
+	// f[mask][v]: a connected subgraph containing v occupies exactly
+	// the slots of mask.
+	f := make([][]bool, 1<<uint(k))
+	for m := range f {
+		f[m] = make([]bool, n)
+	}
+	r := rng.New(rng.Hash2(opt.Seed, 0x707F, uint64(k)))
+
+	for it := 0; it < iters; it++ {
+		for v := 0; v < n; v++ {
+			pool := wild
+			if a, ok := allowed[g.Label(int32(v))]; ok {
+				pool = a
+			}
+			if len(pool) == 0 {
+				slots[v] = -1 // exact constraint, unlisted label: excluded
+				continue
+			}
+			slots[v] = int8(pool[r.Intn(len(pool))])
+		}
+		if motifColoring(g, k, slots, f, full) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// motifColoring runs one refined coloring's boolean DP and reports
+// whether any vertex roots a subgraph covering every slot.
+func motifColoring(g *graph.Graph, k int, slots []int8, f [][]bool, full uint32) bool {
+	n := g.NumVertices()
+	for m := uint32(1); m <= full; m++ {
+		row := f[m]
+		if popcount(m) == 1 {
+			for v := 0; v < n; v++ {
+				row[v] = slots[v] >= 0 && m == 1<<uint8(slots[v])
+			}
+			continue
+		}
+		for v := 0; v < n; v++ {
+			row[v] = false
+			if slots[v] < 0 {
+				continue
+			}
+			own := uint32(1) << uint8(slots[v])
+			if m&own == 0 {
+				continue
+			}
+			// f(v,S) = ∃u∈N(v), S1 ⊎ S2 = S with v's piece S1 ∋ slot(v):
+			// f(v,S1) ∧ f(u,S2). Submasks of m are numerically below m,
+			// so ascending mask order sees both halves finished.
+		search:
+			for _, u := range g.Neighbors(int32(v)) {
+				for s1 := (m - 1) & m; s1 != 0; s1 = (s1 - 1) & m {
+					if s1&own != 0 && f[s1][v] && f[m&^s1][int(u)] {
+						row[v] = true
+						break search
+					}
+				}
+			}
+		}
+	}
+	res := f[full]
+	for v := 0; v < n; v++ {
+		if res[v] {
+			return true
+		}
+	}
+	return false
+}
+
+func popcount(x uint32) int {
+	c := 0
+	for ; x != 0; x &= x - 1 {
+		c++
+	}
+	return c
+}

@@ -1,0 +1,49 @@
+package fascia
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/mld"
+)
+
+func TestDetectMotifMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	agree := 0
+	for trial := 0; trial < 300; trial++ {
+		n := 4 + r.Intn(7)
+		m := r.Intn(n * (n - 1) / 2)
+		g := graph.RandomGNM(n, m, uint64(trial))
+		nc := 1 + r.Intn(3)
+		labels := make([]int32, n)
+		for i := range labels {
+			labels[i] = int32(r.Intn(nc))
+		}
+		g.SetLabels(labels)
+		k := 1 + r.Intn(5)
+		if k > n {
+			k = n
+		}
+		counts := map[int32]int{}
+		budget := k
+		for c := 0; c < nc && budget > 0; c++ {
+			if r.Intn(2) == 0 {
+				m := 1 + r.Intn(budget)
+				counts[int32(c)] = m
+				budget -= m
+			}
+		}
+		spec := &mld.MotifSpec{K: k, Counts: counts}
+		want := mld.BruteMotif(g, spec)
+		got, err := DetectMotif(g, k, counts, Options{Seed: uint64(trial), Iterations: 200})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: fascia=%v brute=%v k=%d counts=%v", trial, got, want, k, counts)
+		}
+		agree++
+	}
+	t.Logf("%d/300 agree", agree)
+}

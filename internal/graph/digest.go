@@ -52,5 +52,11 @@ func (g *Graph) Digest() uint64 {
 			u64(uint64(b))
 		}
 	}
+	if g.labels != nil {
+		tag('l')
+		for _, l := range g.labels {
+			u64(uint64(uint32(l)))
+		}
+	}
 	return h
 }

@@ -21,6 +21,7 @@ type Graph struct {
 	adj     []int32
 	weights []int64 // optional per-node event weights (scan statistics); nil if unweighted
 	base    []int64 // optional per-node baseline counts; nil if absent
+	labels  []int32 // optional per-node colors (motif detection); nil if unlabeled
 }
 
 // NumVertices returns n.
@@ -113,6 +114,28 @@ func (g *Graph) SetBaselines(b []int64) {
 
 // Weights returns the weight slice (nil if unweighted). Read-only.
 func (g *Graph) Weights() []int64 { return g.weights }
+
+// Label returns the color of v (0 if the graph is unlabeled).
+func (g *Graph) Label(v int32) int32 {
+	if g.labels == nil {
+		return 0
+	}
+	return g.labels[v]
+}
+
+// Labeled reports whether per-node colors are attached.
+func (g *Graph) Labeled() bool { return g.labels != nil }
+
+// SetLabels attaches per-node colors. len(l) must equal n.
+func (g *Graph) SetLabels(l []int32) {
+	if len(l) != g.NumVertices() {
+		panic(fmt.Sprintf("graph: SetLabels got %d labels for %d vertices", len(l), g.NumVertices()))
+	}
+	g.labels = l
+}
+
+// Labels returns the label slice (nil if unlabeled). Read-only.
+func (g *Graph) Labels() []int32 { return g.labels }
 
 // String summarizes the graph.
 func (g *Graph) String() string {
@@ -239,6 +262,13 @@ func (g *Graph) InducedSubgraph(keep []int32) (*Graph, []int32) {
 			bb[i] = g.base[v]
 		}
 		sub.base = bb
+	}
+	if g.labels != nil {
+		ll := make([]int32, len(keep))
+		for i, v := range keep {
+			ll[i] = g.labels[v]
+		}
+		sub.labels = ll
 	}
 	old := make([]int32, len(keep))
 	copy(old, keep)

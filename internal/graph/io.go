@@ -159,3 +159,42 @@ func ReadWeights(r io.Reader, g *Graph) error {
 	g.SetBaselines(base)
 	return nil
 }
+
+// ReadLabels reads a per-vertex "v c" label (color) file and attaches
+// it to g. Absent vertices default to label 0; blank lines and
+// #-comments are skipped.
+func ReadLabels(r io.Reader, g *Graph) error {
+	n := g.NumVertices()
+	labels := make([]int32, n)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return fmt.Errorf("graph: labels line %d: want 'v c', got %q", lineNo, line)
+		}
+		v, err := strconv.ParseInt(fields[0], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graph: labels line %d: %v", lineNo, err)
+		}
+		if v < 0 || int(v) >= n {
+			return fmt.Errorf("graph: labels line %d: vertex %d out of range", lineNo, v)
+		}
+		c, err := strconv.ParseInt(fields[1], 10, 32)
+		if err != nil {
+			return fmt.Errorf("graph: labels line %d: %v", lineNo, err)
+		}
+		labels[v] = int32(c)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	g.SetLabels(labels)
+	return nil
+}

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMotifBench: two records per k, sane deterministic fields, and —
+// on the unconstrained queries, where both engines have overwhelming
+// detection probability on the dense random dataset — agreement.
+func TestMotifBench(t *testing.T) {
+	p := Params{Scale: 120, N: 2, Ks: []int{4, 5}, Seed: 1, Reps: 1}
+	recs, err := MotifBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 2 * len(p.Ks); len(recs) != want {
+		t.Fatalf("got %d records, want %d", len(recs), want)
+	}
+	for _, r := range recs {
+		if r.MidasDPOps <= 0 || r.MidasWallSecs <= 0 || r.FasciaWallSecs <= 0 {
+			t.Fatalf("record looks empty: %+v", r)
+		}
+		if want := int64(r.Vertices) << uint(r.K); r.FasciaTableBytes != want {
+			t.Fatalf("table bytes %d, want n·2^k = %d", r.FasciaTableBytes, want)
+		}
+		if r.FasciaIterRun > motifBenchIterCap || r.FasciaIterRun > r.FasciaIterations {
+			t.Fatalf("iteration cap violated: %+v", r)
+		}
+		if r.Constraint == "" {
+			if r.MidasFound != r.FasciaFound {
+				t.Fatalf("unconstrained k=%d: sieve=%v fascia=%v", r.K, r.MidasFound, r.FasciaFound)
+			}
+		} else if !strings.Contains(r.Constraint, ":") {
+			t.Fatalf("malformed constraint %q", r.Constraint)
+		}
+	}
+
+	// The non-wall fields are pure functions of the parameters.
+	again, err := MotifBench(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		a, b := recs[i], again[i]
+		if a.MidasFound != b.MidasFound || a.MidasDPOps != b.MidasDPOps ||
+			a.FasciaFound != b.FasciaFound || a.FasciaTableBytes != b.FasciaTableBytes {
+			t.Fatalf("record %d not deterministic:\n%+v\n%+v", i, a, b)
+		}
+	}
+}

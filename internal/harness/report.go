@@ -22,7 +22,7 @@ import (
 
 // BenchSchemaVersion identifies the report layout. Bump it on any
 // incompatible change to Report/RunRecord/HistQuantiles.
-const BenchSchemaVersion = "midas-bench/v2"
+const BenchSchemaVersion = "midas-bench/v3"
 
 // HistQuantiles summarizes one latency-histogram family merged over
 // all ranks of a run (seconds; quantiles carry the ~19% bucket
@@ -71,6 +71,7 @@ type Report struct {
 	Params  ReportParams   `json:"params"`
 	Runs    []RunRecord    `json:"runs"`
 	Batches []BatchRecord  `json:"batches,omitempty"` // occupancy-4 batch vs sequential (see BatchBench)
+	Motifs  []MotifRecord  `json:"motifs,omitempty"`  // constrained sieve vs FASCIA baseline (see MotifBench)
 	Kernels []KernelRecord `json:"kernels,omitempty"` // GF kernel throughput on this host
 }
 
@@ -148,6 +149,11 @@ func BenchReport(p Params) (Report, error) {
 		return rep, err
 	}
 	rep.Batches = batches
+	motifs, err := MotifBench(p)
+	if err != nil {
+		return rep, err
+	}
+	rep.Motifs = motifs
 	rep.Kernels = KernelBench()
 	return rep, nil
 }

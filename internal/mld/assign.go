@@ -18,12 +18,13 @@ type Assignment struct {
 	n    int
 }
 
-// Algorithm tags folded into the seed so path/tree/scan runs over the
-// same user seed draw independent randomness.
+// Algorithm tags folded into the seed so path/tree/scan/motif runs
+// over the same user seed draw independent randomness.
 const (
 	tagPath = iota + 1
 	tagTree
 	tagScan
+	tagMotif
 )
 
 // NewPathAssignment derives the round's assignment for the k-path
@@ -116,6 +117,17 @@ func (a *Assignment) ScanCoeff(u, i int32, j, jp int, zp int64) gf.Elem {
 		uint64(uint32(u))<<32|uint64(uint32(i)),
 		uint64(uint32(j))<<32|uint64(uint32(jp)),
 		uint64(zp))
+	return gf.NonZero(h)
+}
+
+// MotifCoeff is EdgeCoeff for the constrained-motif DP, indexed by the
+// size split (j, j') like ScanCoeff (the motif DP is the scan DP minus
+// the weight axis).
+func (a *Assignment) MotifCoeff(u, i int32, j, jp int) gf.Elem {
+	h := rng.Hash3(a.Seed,
+		uint64(uint32(u))<<32|uint64(uint32(i)),
+		uint64(uint32(j))<<32|uint64(uint32(jp)),
+		1)
 	return gf.NonZero(h)
 }
 

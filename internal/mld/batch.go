@@ -30,11 +30,9 @@ package mld
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
-	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // MaxBatchLanes bounds the lanes of one batch. The distributed batch
@@ -47,9 +45,10 @@ const MaxBatchLanes = 64
 // entry points take via Options. Fields irrelevant to the batch kind
 // (Template for paths, ZMax for paths/trees) are ignored.
 type BatchLane struct {
-	K        int             // subgraph size (ignored for tree lanes: the template decides)
+	K        int             // subgraph size (ignored for tree/motif lanes: the template/spec decides)
 	Template *graph.Template // tree lanes only
 	ZMax     int64           // scan lanes only: weight cap
+	Motif    *MotifSpec      // motif lanes only: color-multiset constraint
 	Seed     uint64
 	Epsilon  float64         // 0 → the batch Options' default
 	Rounds   int             // 0 → derived from Epsilon
@@ -107,6 +106,7 @@ type laneState struct {
 	err         error
 	roundsRun   int64
 	phases      int64
+	scan        *scanExt // scan lanes only: table + weight-stratified DP
 }
 
 // span is a contiguous element range [lo, hi) within a vertex row
@@ -206,51 +206,11 @@ func DetectPathBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResu
 		opt.Arena = NewArena()
 	}
 	n := g.NumVertices()
-	sts, kmax, maxRounds := batchStates(lanes, n, res, opt, func(l BatchLane) (int, error) { return l.K, nil })
+	sts, kmax, _ := batchStates(lanes, n, res, opt, func(l BatchLane) (int, error) { return l.K, nil })
 	n2 := opt.batch(kmax)
 
-	var batchErr error
-	for round := 0; round < maxRounds && batchErr == nil; round++ {
-		var active []*laneState
-		for _, st := range sts {
-			if !st.done && round < st.roundsTotal {
-				active = append(active, st)
-			}
-		}
-		if len(active) == 0 {
-			break
-		}
-		if err := opt.ctxErr(); err != nil {
-			batchErr = err
-			break
-		}
-		opt.obsSpan(obs.RoundName, round, "round")
-		opt.Obs.Add(obs.Rounds, int64(len(active)))
-		for _, st := range active {
-			st.a = NewPathAssignment(n, st.k, st.Seed, round)
-			st.total = 0
-			st.roundsRun++
-		}
-		err := batchPathRound(g, active, n2, opt)
-		opt.obsEnd()
-		if err != nil {
-			batchErr = err
-			break
-		}
-		for _, st := range active {
-			if st.done {
-				continue // cancelled mid-round; total is void
-			}
-			if st.total != 0 {
-				st.found, st.done = true, true
-			} else if round+1 >= st.roundsTotal {
-				st.done = true
-			}
-		}
-	}
-	if batchErr != nil {
-		failOpen(sts, batchErr)
-	}
+	gr := &famGroup{fam: &pathFamily{}, sts: sts}
+	batchErr := runGroups(g, []*famGroup{gr}, n2, opt)
 	for _, st := range sts {
 		res[st.idx] = LaneResult{
 			Found: st.found, Rounds: st.roundsRun, Phases: st.phases,
@@ -259,136 +219,4 @@ func DetectPathBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResu
 		}
 	}
 	return res, batchErr
-}
-
-// batchPathRound runs one round's joint sweep for the active lanes.
-// Lane l's DP block for vertex i is [i*stride + l.off, +nb); the level
-// loop runs to the deepest live k, with shallower lanes folding their
-// totals at their own final level and lanes past their Gray prefix
-// (or cancelled) masked out of subsequent phases.
-func batchPathRound(g *graph.Graph, sts []*laneState, n2 int, opt Options) error {
-	n := g.NumVertices()
-	stride := len(sts) * n2
-	var itersMax uint64
-	for i, st := range sts {
-		st.off = i * n2
-		if st.iters > itersMax {
-			itersMax = st.iters
-		}
-	}
-	base := opt.Arena.Grab(n * stride)
-	prev := opt.Arena.Grab(n * stride)
-	cur := opt.Arena.Grab(n * stride)
-	defer opt.Arena.Put(base, prev, cur)
-	one := CachedMulTable(1)
-	var skipped int64
-
-	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
-	for q0 := uint64(0); q0 < itersMax; q0 += uint64(n2) {
-		if err := opt.ctxErr(); err != nil {
-			opt.Obs.Add(obs.CellsSkipped, skipped)
-			return err
-		}
-		var live []*laneState
-		kPhase := 0
-		for _, st := range sts {
-			if st.done || q0 >= st.iters {
-				continue // retired: answer already folded from its Gray prefix
-			}
-			if err := st.ctxErr(); err != nil {
-				st.done, st.err = true, err // mask out; the rest keep running
-				continue
-			}
-			st.nb = n2
-			if rem := st.iters - q0; uint64(st.nb) > rem {
-				st.nb = int(rem)
-			}
-			live = append(live, st)
-			if st.k > kPhase {
-				kPhase = st.k
-			}
-			st.phases++
-		}
-		if len(live) == 0 {
-			break
-		}
-		opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
-		opt.Obs.Add(obs.Phases, 1)
-		for i := 0; i < n; i++ {
-			row := i * stride
-			for _, st := range live {
-				st.a.FillBase(base[row+st.off:row+st.off+st.nb], int32(i), q0, opt.NoGray)
-			}
-		}
-		// level 1: P(i,1) = x_i, copied span-fused; k=1 lanes are done.
-		spans := liveSpans(live)
-		for i := 0; i < n; i++ {
-			row := i * stride
-			for _, sp := range spans {
-				copy(prev[row+sp.lo:row+sp.hi], base[row+sp.lo:row+sp.hi])
-			}
-		}
-		for _, st := range live {
-			if st.k == 1 {
-				st.accumulate(prev, stride, n)
-			}
-		}
-		for j := 2; j <= kPhase; j++ {
-			var lvl []*laneState
-			var lvlWidth int64
-			for _, st := range live {
-				if st.k >= j {
-					lvl = append(lvl, st)
-					lvlWidth += int64(st.nb)
-				}
-			}
-			spans = liveSpans(lvl)
-			opt.obsSpan(obs.LevelName, j, "level")
-			opt.obsLevel(levelElems * lvlWidth)
-			j := j
-			opt.parallelVertices(g, func(lo, hi int32) {
-				var sk int64
-				for i := lo; i < hi; i++ {
-					row := int(i) * stride
-					for _, sp := range spans {
-						dst := cur[row+sp.lo : row+sp.hi]
-						for q := range dst {
-							dst[q] = 0
-						}
-					}
-					for _, u := range g.Neighbors(i) {
-						urow := int(u) * stride
-						for _, st := range lvl {
-							src := prev[urow+st.off : urow+st.off+st.nb]
-							if !gf.AnyNonZero(src) {
-								sk++
-								continue
-							}
-							t := one
-							if !opt.NoFingerprints {
-								t = st.a.EdgeTable(u, i, j)
-							}
-							gf.MulSliceTable16(cur[row+st.off:row+st.off+st.nb], src, t)
-						}
-					}
-					for _, sp := range spans {
-						gf.HadamardInto(cur[row+sp.lo:row+sp.hi], cur[row+sp.lo:row+sp.hi], base[row+sp.lo:row+sp.hi])
-					}
-				}
-				if sk != 0 {
-					atomic.AddInt64(&skipped, sk)
-				}
-			})
-			opt.obsEnd()
-			prev, cur = cur, prev
-			for _, st := range lvl {
-				if st.k == j {
-					st.accumulate(prev, stride, n)
-				}
-			}
-		}
-		opt.obsEnd()
-	}
-	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return nil
 }

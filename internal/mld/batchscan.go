@@ -2,28 +2,9 @@ package mld
 
 import (
 	"fmt"
-	"sync/atomic"
 
-	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
-	"github.com/midas-hpc/midas/internal/obs"
 )
-
-// scanLane is one lane's per-call scan state: the feasibility table
-// under construction plus the per-sweep DP strata. The weight axis is
-// lane-private (ZMax differs per lane), so scan batching shares the
-// iteration sweep and the vertex fan-out but keeps per-lane weight
-// buffers rather than a lane-contiguous layout.
-type scanLane struct {
-	*laneState
-	feas [][]bool
-	nz   int
-
-	// per-(size, round) sweep state
-	p      [][][]gf.Elem // p[jj][z]: flat n×n2, like scanRound
-	base   []gf.Elem
-	totals []gf.Elem
-}
 
 // ScanTableBatch computes len(lanes) independent scan-statistics
 // feasibility tables (see ScanTable) in one batched evaluation: for
@@ -48,16 +29,13 @@ func ScanTableBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResul
 	}
 	n := g.NumVertices()
 	var weightErr error
-	var maxw int64
 	for v := int32(0); v < int32(n); v++ {
-		w := g.Weight(v)
-		if w < 0 && weightErr == nil {
+		if w := g.Weight(v); w < 0 {
 			weightErr = fmt.Errorf("mld: vertex %d has negative weight %d", v, w)
-		}
-		if w > maxw {
-			maxw = w
+			break
 		}
 	}
+	maxw := scanMaxWeight(g)
 	if opt.Arena == nil {
 		opt.Arena = NewArena()
 	}
@@ -70,226 +48,55 @@ func ScanTableBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResul
 		}
 		return l.K, nil
 	})
-	sls := make([]*scanLane, len(sts))
-	for i, st := range sts {
+	for _, st := range sts {
 		if weightErr != nil {
 			st.done, st.err = true, weightErr
 		}
-		sl := &scanLane{laneState: st, nz: int(st.ZMax) + 1}
-		sl.feas = make([][]bool, st.k+1)
+		st.scan = &scanExt{nz: int(st.ZMax) + 1}
+		st.scan.feas = make([][]bool, st.k+1)
 		for j := 1; j <= st.k; j++ {
-			sl.feas[j] = make([]bool, sl.nz)
+			st.scan.feas[j] = make([]bool, st.scan.nz)
 		}
-		sls[i] = sl
 	}
 
 	var batchErr error
-sizes:
 	for j := 1; j <= kmax && j <= n; j++ {
-		n2 := opt.batch(j)
-		maxRounds := 0
-		for _, sl := range sls {
-			if sl.k >= j && !sl.done {
-				if r := laneOptions(opt, sl.BatchLane).RoundsFor(j); r > maxRounds {
-					maxRounds = r
-				}
-			}
-		}
-		for round := 0; round < maxRounds; round++ {
-			var active []*scanLane
-			for _, sl := range sls {
-				if sl.k >= j && !sl.done && round < laneOptions(opt, sl.BatchLane).RoundsFor(j) {
-					active = append(active, sl)
-				}
-			}
-			if len(active) == 0 {
+		// Each size is one engine pass over the lanes still interested:
+		// a shared 2^j iteration space, per-lane round budgets derived
+		// from the lane's own amplification knobs.
+		var grpSts []*laneState
+		for _, st := range sts {
+			if st.k < j || st.done {
 				continue
 			}
-			if err := opt.ctxErr(); err != nil {
-				batchErr = err
-				break sizes
-			}
-			opt.obsSpan(obs.RoundName, round, "round")
-			opt.Obs.Add(obs.Rounds, int64(len(active)))
-			for _, sl := range active {
-				sl.a = NewAssignment(n, j, sl.Seed, round, tagScan)
-				sl.roundsRun++
-			}
-			err := batchScanRound(g, j, active, n2, maxw, opt)
-			opt.obsEnd()
-			if err != nil {
-				batchErr = err
-				break sizes
-			}
-			for _, sl := range active {
-				if sl.done {
-					continue // cancelled mid-round; totals are void
-				}
-				for z := int64(0); z < int64(sl.nz); z++ {
-					if sl.totals[z] != 0 {
-						sl.feas[j][z] = true
-					}
-				}
-			}
+			st.iters = uint64(1) << uint(j)
+			st.roundsTotal = laneOptions(opt, st.BatchLane).RoundsFor(j)
+			grpSts = append(grpSts, st)
+		}
+		if len(grpSts) == 0 {
+			continue
+		}
+		gr := &famGroup{fam: &scanFamily{j: j, maxw: maxw}, sts: grpSts}
+		if err := runGroups(g, []*famGroup{gr}, opt.batch(j), opt); err != nil {
+			batchErr = err
+			break
 		}
 	}
 	if batchErr != nil {
 		failOpen(sts, batchErr)
 	}
-	for i, sl := range sls {
-		table := sl.feas
-		if sl.err != nil {
+	for _, st := range sts {
+		table := st.scan.feas
+		if st.err != nil {
 			table = nil // match ScanTable: an aborted call yields no table
 		}
-		res[sts[i].idx] = LaneResult{
-			Table: table, Rounds: sl.roundsRun,
-			TotalPhases: int64((sl.iters + uint64(opt.batch(sl.k)) - 1) / uint64(opt.batch(sl.k))),
-			Phases:      sl.phases,
-			Err:         sl.err,
+		iters := uint64(1) << uint(st.k)
+		res[st.idx] = LaneResult{
+			Table: table, Rounds: st.roundsRun,
+			TotalPhases: int64((iters + uint64(opt.batch(st.k)) - 1) / uint64(opt.batch(st.k))),
+			Phases:      st.phases,
+			Err:         st.err,
 		}
 	}
 	return res, batchErr
-}
-
-// batchScanRound runs one (size, round) joint sweep: every active lane
-// evaluates its own weight-stratified DP (exactly scanRound's math)
-// over the shared 2^j iteration loop, with one parallelVertices
-// fan-out per DP level covering all lanes.
-func batchScanRound(g *graph.Graph, j int, active []*scanLane, n2 int, maxw int64, opt Options) error {
-	n := g.NumVertices()
-	iters := uint64(1) << uint(j)
-	for _, sl := range active {
-		sl.p = make([][][]gf.Elem, j+1)
-		for jj := 1; jj <= j; jj++ {
-			sl.p[jj] = make([][]gf.Elem, sl.nz)
-			for z := 0; z < sl.nz; z++ {
-				sl.p[jj][z] = opt.Arena.Grab(n * n2)
-			}
-		}
-		sl.base = opt.Arena.Grab(n * n2)
-		sl.totals = make([]gf.Elem, sl.nz)
-	}
-	defer func() {
-		for _, sl := range active {
-			if sl.base == nil {
-				continue
-			}
-			opt.Arena.Put(sl.base)
-			for jj := 1; jj <= j; jj++ {
-				opt.Arena.Put(sl.p[jj]...)
-			}
-			sl.base, sl.p = nil, nil
-		}
-	}()
-	var skipped int64
-
-	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
-		if err := opt.ctxErr(); err != nil {
-			opt.Obs.Add(obs.CellsSkipped, skipped)
-			return err
-		}
-		var live []*scanLane
-		for _, sl := range active {
-			if sl.done {
-				continue
-			}
-			if err := sl.ctxErr(); err != nil {
-				sl.done, sl.err = true, err
-				continue
-			}
-			live = append(live, sl)
-		}
-		if len(live) == 0 {
-			break
-		}
-		nb := n2
-		if rem := iters - q0; uint64(nb) > rem {
-			nb = int(rem)
-		}
-		for _, sl := range live {
-			sl.nb = nb
-			// base case: P(i,1,w(i)) = x_i
-			for i := 0; i < n; i++ {
-				sl.a.FillBase(sl.base[i*n2:i*n2+nb], int32(i), q0, opt.NoGray)
-			}
-			for jj := 1; jj <= j; jj++ {
-				for z := 0; z < sl.nz; z++ {
-					buf := sl.p[jj][z]
-					for i := range buf {
-						buf[i] = 0
-					}
-				}
-			}
-			for i := 0; i < n; i++ {
-				w := g.Weight(int32(i))
-				if w > sl.ZMax {
-					continue
-				}
-				copy(sl.p[1][w][i*n2:i*n2+nb], sl.base[i*n2:i*n2+nb])
-			}
-		}
-		// inductive: P(i,jj,z) = Σ_u Σ_{j'} Σ_{z'} r·P(i,j',z')·P(u,jj-j',z-z')
-		// — scanRound's recurrence per lane, one vertex fan-out for all.
-		for jj := 2; jj <= j; jj++ {
-			opt.obsSpan(obs.LevelName, jj, "level")
-			opt.Obs.Add(obs.Levels, int64(len(live)))
-			jj := jj
-			opt.parallelVertices(g, func(lo, hi int32) {
-				var sk int64
-				for _, sl := range live {
-					zcap := func(s int) int {
-						c := int64(s) * maxw
-						if c > sl.ZMax {
-							c = sl.ZMax
-						}
-						return int(c)
-					}
-					for i := lo; i < hi; i++ {
-						iLo, iHi := int(i)*n2, int(i)*n2+nb
-						for _, u := range g.Neighbors(i) {
-							uLo, uHi := int(u)*n2, int(u)*n2+nb
-							for jp := 1; jp < jj; jp++ {
-								jr := jj - jp
-								for zp := 0; zp <= zcap(jp); zp++ {
-									src1 := sl.p[jp][zp][iLo:iHi]
-									if !gf.AnyNonZero(src1) {
-										sk++
-										continue
-									}
-									var r gf.Elem = 1
-									if !opt.NoFingerprints {
-										r = sl.a.ScanCoeff(u, i, jj, jp, int64(zp))
-									}
-									for zr := 0; zr <= zcap(jr) && zp+zr < sl.nz; zr++ {
-										src2 := sl.p[jr][zr][uLo:uHi]
-										if !gf.AnyNonZero(src2) {
-											sk++
-											continue
-										}
-										gf.MulHadamardAccumScaled(sl.p[jj][zp+zr][iLo:iHi], src1, src2, r)
-									}
-								}
-							}
-						}
-					}
-				}
-				if sk != 0 {
-					atomic.AddInt64(&skipped, sk)
-				}
-			})
-			opt.obsEnd()
-		}
-		for _, sl := range live {
-			for z := 0; z < sl.nz; z++ {
-				buf := sl.p[j][z]
-				for i := 0; i < n; i++ {
-					for q := 0; q < nb; q++ {
-						sl.totals[z] ^= buf[i*n2+q]
-					}
-				}
-			}
-		}
-	}
-	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return nil
 }

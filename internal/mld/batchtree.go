@@ -3,11 +3,8 @@ package mld
 import (
 	"errors"
 	"fmt"
-	"sync/atomic"
 
-	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
-	"github.com/midas-hpc/midas/internal/obs"
 )
 
 // templateDigest fingerprints a template's shape so batch lanes with
@@ -25,21 +22,6 @@ func templateDigest(t *graph.Template) uint64 {
 		}
 	}
 	return h
-}
-
-// treeGroup is the per-template slice of a tree batch: lanes sharing
-// one decomposition, laid out contiguously in the group's buffers.
-type treeGroup struct {
-	d     *graph.Decomposition
-	k     int
-	iters uint64
-	sts   []*laneState // every lane of this template
-
-	// per-round sweep state
-	live   []*laneState
-	stride int
-	base   []gf.Elem
-	vals   [][]gf.Elem
 }
 
 // DetectTreeBatch answers len(lanes) independent tree-embedding
@@ -71,7 +53,7 @@ func DetectTreeBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResu
 		opt.Arena = NewArena()
 	}
 	n := g.NumVertices()
-	sts, kmax, maxRounds := batchStates(lanes, n, res, opt, func(l BatchLane) (int, error) {
+	sts, kmax, _ := batchStates(lanes, n, res, opt, func(l BatchLane) (int, error) {
 		if l.Template == nil {
 			return 0, errors.New("mld: tree lane has no template")
 		}
@@ -79,69 +61,20 @@ func DetectTreeBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResu
 	})
 	n2 := opt.batch(kmax)
 
-	groups := make([]*treeGroup, 0, len(sts))
-	byDigest := make(map[uint64]*treeGroup)
+	groups := make([]*famGroup, 0, len(sts))
+	byDigest := make(map[uint64]*famGroup)
 	for _, st := range sts {
 		dig := templateDigest(st.Template)
 		gr, ok := byDigest[dig]
 		if !ok {
-			gr = &treeGroup{d: st.Template.Decompose(), k: st.k, iters: st.iters}
+			gr = &famGroup{fam: &treeFamily{d: st.Template.Decompose()}}
 			byDigest[dig] = gr
 			groups = append(groups, gr)
 		}
 		gr.sts = append(gr.sts, st)
 	}
 
-	var batchErr error
-	for round := 0; round < maxRounds && batchErr == nil; round++ {
-		activeTotal := 0
-		for _, gr := range groups {
-			gr.live = gr.live[:0]
-			for _, st := range gr.sts {
-				if !st.done && round < st.roundsTotal {
-					gr.live = append(gr.live, st)
-				}
-			}
-			activeTotal += len(gr.live)
-		}
-		if activeTotal == 0 {
-			break
-		}
-		if err := opt.ctxErr(); err != nil {
-			batchErr = err
-			break
-		}
-		opt.obsSpan(obs.RoundName, round, "round")
-		opt.Obs.Add(obs.Rounds, int64(activeTotal))
-		for _, gr := range groups {
-			for _, st := range gr.live {
-				st.a = NewAssignment(n, st.k, st.Seed, round, tagTree)
-				st.total = 0
-				st.roundsRun++
-			}
-		}
-		err := batchTreeRound(g, groups, n2, opt)
-		opt.obsEnd()
-		if err != nil {
-			batchErr = err
-			break
-		}
-		for _, gr := range groups {
-			for _, st := range gr.live {
-				if st.done {
-					continue // cancelled mid-round
-				}
-				if st.total != 0 {
-					st.found, st.done = true, true
-				} else if round+1 >= st.roundsTotal {
-					st.done = true
-				}
-			}
-		}
-	}
-	if batchErr != nil {
-		failOpen(sts, batchErr)
-	}
+	batchErr := runGroups(g, groups, n2, opt)
 	for _, st := range sts {
 		res[st.idx] = LaneResult{
 			Found: st.found, Rounds: st.roundsRun, Phases: st.phases,
@@ -150,161 +83,4 @@ func DetectTreeBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResu
 		}
 	}
 	return res, batchErr
-}
-
-// batchTreeRound interleaves every group's phases through one sweep:
-// phase q0 of each group with live lanes and q0 < 2^k runs before any
-// group advances to q0+n2. Within a group the lanes are contiguous,
-// so the per-node kernels stream each vertex row across all of them.
-func batchTreeRound(g *graph.Graph, groups []*treeGroup, n2 int, opt Options) error {
-	n := g.NumVertices()
-	var itersMax uint64
-	for _, gr := range groups {
-		if len(gr.live) == 0 {
-			continue
-		}
-		if gr.iters > itersMax {
-			itersMax = gr.iters
-		}
-		gr.stride = len(gr.live) * n2
-		for i, st := range gr.live {
-			st.off = i * n2
-		}
-		gr.base = opt.Arena.Grab(n * gr.stride)
-		gr.vals = make([][]gf.Elem, len(gr.d.Nodes))
-		for j, nd := range gr.d.Nodes {
-			if nd.Left >= 0 {
-				gr.vals[j] = opt.Arena.Grab(n * gr.stride)
-			}
-		}
-	}
-	defer func() {
-		for _, gr := range groups {
-			if gr.base == nil {
-				continue
-			}
-			opt.Arena.Put(gr.base)
-			for j, nd := range gr.d.Nodes {
-				if nd.Left >= 0 {
-					opt.Arena.Put(gr.vals[j])
-				}
-			}
-			gr.base, gr.vals = nil, nil
-		}
-	}()
-
-	var skipped int64
-	for q0 := uint64(0); q0 < itersMax; q0 += uint64(n2) {
-		if err := opt.ctxErr(); err != nil {
-			opt.Obs.Add(obs.CellsSkipped, skipped)
-			return err
-		}
-		anyLive := false
-		for _, gr := range groups {
-			if gr.base == nil || q0 >= gr.iters {
-				continue
-			}
-			var live []*laneState
-			for _, st := range gr.live {
-				if st.done {
-					continue
-				}
-				if err := st.ctxErr(); err != nil {
-					st.done, st.err = true, err
-					continue
-				}
-				live = append(live, st)
-			}
-			if len(live) == 0 {
-				continue
-			}
-			anyLive = true
-			gr.phase(g, live, q0, n2, opt, &skipped)
-		}
-		if !anyLive {
-			break
-		}
-	}
-	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return nil
-}
-
-// phase runs one iteration batch of the group's decomposition DP for
-// the live lanes and folds their root totals.
-func (gr *treeGroup) phase(g *graph.Graph, live []*laneState, q0 uint64, n2 int, opt Options, skipped *int64) {
-	n := g.NumVertices()
-	stride := gr.stride
-	nb := n2
-	if rem := gr.iters - q0; uint64(nb) > rem {
-		nb = int(rem)
-	}
-	for _, st := range live {
-		st.nb = nb
-		st.phases++
-	}
-	opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
-	opt.Obs.Add(obs.Phases, 1)
-	spans := liveSpans(live)
-	for i := 0; i < n; i++ {
-		row := i * stride
-		for _, st := range live {
-			st.a.FillBase(gr.base[row+st.off:row+st.off+st.nb], int32(i), q0, opt.NoGray)
-		}
-	}
-	one := CachedMulTable(1)
-	levelElems := int64(2*g.NumEdges() + n)
-	for j, nd := range gr.d.Nodes {
-		if nd.Left < 0 {
-			gr.vals[j] = gr.base
-			continue
-		}
-		opt.obsSpan(obs.LevelName, j, "level")
-		opt.obsLevel(levelElems * int64(nb) * int64(len(live)))
-		left, right := gr.vals[nd.Left], gr.vals[nd.Right]
-		dstAll := gr.vals[j]
-		j := j // capture for the closure
-		opt.parallelVertices(g, func(lo, hi int32) {
-			av := make([]gf.Elem, stride) // per-worker scratch, all lanes
-			var sk int64
-			for i := lo; i < hi; i++ {
-				row := int(i) * stride
-				for _, sp := range spans {
-					seg := av[sp.lo:sp.hi]
-					for q := range seg {
-						seg[q] = 0
-					}
-				}
-				for _, u := range g.Neighbors(i) {
-					urow := int(u) * stride
-					for _, st := range live {
-						src := right[urow+st.off : urow+st.off+st.nb]
-						if !gf.AnyNonZero(src) {
-							sk++
-							continue
-						}
-						t := one
-						if !opt.NoFingerprints {
-							// level key: the decomposition node index,
-							// unique per subtree shape.
-							t = st.a.EdgeTable(u, i, j)
-						}
-						gf.MulSliceTable16(av[st.off:st.off+st.nb], src, t)
-					}
-				}
-				for _, sp := range spans {
-					// P(i, H') = P(i, H'_1) · Σ_u r·P(u, H'_2)
-					gf.HadamardInto(dstAll[row+sp.lo:row+sp.hi], left[row+sp.lo:row+sp.hi], av[sp.lo:sp.hi])
-				}
-			}
-			if sk != 0 {
-				atomic.AddInt64(skipped, sk)
-			}
-		})
-		opt.obsEnd()
-	}
-	root := gr.vals[gr.d.Root]
-	for _, st := range live {
-		st.accumulate(root, stride, n)
-	}
-	opt.obsEnd()
 }

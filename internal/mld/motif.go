@@ -1,0 +1,387 @@
+package mld
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/midas-hpc/midas/internal/gf"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// MotifSpec is a generalized graph-motif query: does g contain a
+// connected subgraph on exactly K vertices whose color multiset
+// satisfies the constraint? Counts maps a vertex color to its required
+// multiplicity m_c: each listed color must appear at least m_c times,
+// and when Σ m_c == K the constraint is exact — every vertex of the
+// motif must carry a listed color, each exactly m_c times. Colors not
+// listed are unconstrained (they may fill the K − Σ m_c free slots).
+type MotifSpec struct {
+	K      int
+	Counts map[int32]int
+}
+
+// Validate checks the spec: K within [1, MaxK], positive
+// multiplicities, Σ m_c ≤ K.
+func (s *MotifSpec) Validate() error {
+	if s == nil {
+		return fmt.Errorf("mld: nil motif spec")
+	}
+	if err := ValidateK(s.K); err != nil {
+		return err
+	}
+	total := 0
+	for c, m := range s.Counts {
+		if m <= 0 {
+			return fmt.Errorf("mld: motif color %d has non-positive count %d", c, m)
+		}
+		total += m
+	}
+	if total > s.K {
+		return fmt.Errorf("mld: motif counts sum to %d > k=%d", total, s.K)
+	}
+	return nil
+}
+
+// Exact reports whether the constraint pins the whole multiset
+// (Σ m_c == K, no free slots).
+func (s *MotifSpec) Exact() bool {
+	total := 0
+	for _, m := range s.Counts {
+		total += m
+	}
+	return total == s.K
+}
+
+// colors returns the listed colors in ascending order — the
+// deterministic block layout of the constrained sieve.
+func (s *MotifSpec) colors() []int32 {
+	out := make([]int32, 0, len(s.Counts))
+	for c := range s.Counts {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Admits reports whether a color multiset (histogram over the motif's
+// vertices) satisfies the constraint; the multiset must have exactly K
+// entries. Used by the brute-force oracle and the FASCIA baseline.
+func (s *MotifSpec) Admits(hist map[int32]int) bool {
+	for c, m := range s.Counts {
+		if hist[c] < m {
+			return false
+		}
+	}
+	return true
+}
+
+// NewMotifAssignment derives the round's constrained assignment: the
+// usual n×K random matrix with the Björklund–Kaski–Kowalik variable
+// groups imposed by zeroing. Listed color c owns a block of m_c label
+// columns (blocks laid out in ascending color order); the trailing
+// K − Σ m_c columns are wildcards open to every vertex. A vertex of
+// color c draws randomness only in c's block and the wildcards, so by
+// Hall's theorem a K-vertex monomial survives the 2^K sieve iff every
+// listed color appears at least m_c times — and, in the exact case,
+// vertices of unlisted colors get all-zero rows, which excludes them
+// from every surviving term with no special-casing in the DP.
+//
+// The full matrix is drawn before masking, so the randomness consumed
+// is a pure function of (seed, round, tagMotif, K) exactly like every
+// other assignment — ranks and batch lanes reproduce solo runs.
+func NewMotifAssignment(g *graph.Graph, spec *MotifSpec, seed uint64, round int) *Assignment {
+	n := g.NumVertices()
+	k := spec.K
+	a := NewAssignment(n, k, seed, round, tagMotif)
+	blockLo := make(map[int32]int, len(spec.Counts))
+	blockHi := make(map[int32]int, len(spec.Counts))
+	wlo := 0
+	for _, c := range spec.colors() {
+		blockLo[c] = wlo
+		wlo += spec.Counts[c]
+		blockHi[c] = wlo
+	}
+	// Columns [wlo, k) are wildcards and stay random for everyone;
+	// within [0, wlo) a vertex keeps only its own color's block.
+	for i := int32(0); i < int32(n); i++ {
+		lo, hi := 0, 0
+		if h, ok := blockHi[g.Label(i)]; ok {
+			lo, hi = blockLo[g.Label(i)], h
+		}
+		row := a.u[int(i)*k : int(i)*k+k]
+		for j := 0; j < wlo; j++ {
+			if j < lo || j >= hi {
+				row[j] = 0
+			}
+		}
+	}
+	return a
+}
+
+// motifFamily is the constrained-motif polynomial as a sweep-engine
+// Family: the scan-statistics recurrence without the weight axis —
+// P(i,1) = x_i, P(i,j) = Σ_u Σ_{j'} r·P(i,j')⊙P(u,j−j') — over
+// lane-contiguous level slabs, each lane folding at its own K.
+// Constraints live entirely in the assignment's zero pattern, so
+// heterogeneous specs share one group.
+type motifFamily struct {
+	g *graph.Graph // labels feed the per-lane constrained assignments
+	p [][]gf.Elem  // p[j]: flat n×stride, j = 1..kmax of the round's live set
+}
+
+func (f *motifFamily) Kind() string      { return "motif" }
+func (f *motifFamily) CountPhases() bool { return true }
+
+func (f *motifFamily) NewAssignment(n int, st *laneState, round int) *Assignment {
+	return NewMotifAssignment(f.g, st.Motif, st.Seed, round)
+}
+
+func (f *motifFamily) BeginRound(st *laneState) { st.total = 0 }
+
+func (f *motifFamily) EndRound(st *laneState, round int) {
+	if st.total != 0 {
+		st.found, st.done = true, true
+	} else if round+1 >= st.roundsTotal {
+		st.done = true
+	}
+}
+
+func (f *motifFamily) groupK(e *groupRun) int {
+	k := 0
+	for _, st := range e.gr.live {
+		if st.k > k {
+			k = st.k
+		}
+	}
+	return k
+}
+
+func (f *motifFamily) Alloc(e *groupRun) {
+	n := e.g.NumVertices()
+	kmax := f.groupK(e)
+	f.p = make([][]gf.Elem, kmax+1)
+	for j := 1; j <= kmax; j++ {
+		f.p[j] = e.opt.Arena.Grab(n * e.gr.stride)
+	}
+}
+
+func (f *motifFamily) Free(e *groupRun) {
+	e.opt.Arena.Put(f.p[1:]...)
+	f.p = nil
+}
+
+func (f *motifFamily) InitRow(e *groupRun) {
+	n := e.g.NumVertices()
+	stride := e.gr.stride
+	// level 1: P(i,1) = x_i; deeper levels start empty. k=1 lanes fold
+	// immediately (a single constrained vertex is a valid motif).
+	for i := 0; i < n; i++ {
+		row := i * stride
+		for _, st := range e.live {
+			st.a.FillBase(f.p[1][row+st.off:row+st.off+st.nb], int32(i), e.q0, e.opt.NoGray)
+		}
+	}
+	spans := liveSpans(e.live)
+	for j := 2; j < len(f.p); j++ {
+		buf := f.p[j]
+		for i := 0; i < n; i++ {
+			row := i * stride
+			for _, sp := range spans {
+				seg := buf[row+sp.lo : row+sp.hi]
+				for q := range seg {
+					seg[q] = 0
+				}
+			}
+		}
+	}
+	for _, st := range e.live {
+		if st.k == 1 {
+			st.accumulate(f.p[1], stride, n)
+		}
+	}
+}
+
+func (f *motifFamily) Transfers(e *groupRun) int {
+	kPhase := 0
+	for _, st := range e.live {
+		if st.k > kPhase {
+			kPhase = st.k
+		}
+	}
+	return kPhase - 1
+}
+
+func (f *motifFamily) Transfer(e *groupRun, step int) {
+	jj := step + 1
+	g, opt, stride := e.g, e.opt, e.gr.stride
+	var lvl []*laneState
+	var lvlWidth int64
+	for _, st := range e.live {
+		if st.k >= jj {
+			lvl = append(lvl, st)
+			lvlWidth += int64(st.nb)
+		}
+	}
+	opt.obsSpan(obs.LevelName, jj, "level")
+	opt.obsLevel(levelElems(g) * lvlWidth)
+	dst := f.p[jj]
+	opt.parallelVertices(g, func(lo, hi int32) {
+		var sk int64
+		for i := lo; i < hi; i++ {
+			row := int(i) * stride
+			for _, u := range g.Neighbors(i) {
+				urow := int(u) * stride
+				for _, st := range lvl {
+					for jp := 1; jp < jj; jp++ {
+						src1 := f.p[jp][row+st.off : row+st.off+st.nb]
+						if !gf.AnyNonZero(src1) {
+							sk++
+							continue
+						}
+						src2 := f.p[jj-jp][urow+st.off : urow+st.off+st.nb]
+						if !gf.AnyNonZero(src2) {
+							sk++
+							continue
+						}
+						var r gf.Elem = 1
+						if !opt.NoFingerprints {
+							r = st.a.MotifCoeff(u, i, jj, jp)
+						}
+						// P(i,jj) += r · P(i,jp) ⊙ P(u,jj−jp)
+						gf.MulHadamardAccumScaled(dst[row+st.off:row+st.off+st.nb], src1, src2, r)
+					}
+				}
+			}
+		}
+		e.addSkipped(sk)
+	})
+	opt.obsEnd()
+	n := g.NumVertices()
+	for _, st := range lvl {
+		if st.k == jj {
+			st.accumulate(dst, stride, n)
+		}
+	}
+}
+
+func (f *motifFamily) Finalize(e *groupRun) {}
+
+// DetectMotif decides whether g contains a connected K-vertex subgraph
+// whose colors satisfy spec, with one-sided failure probability at
+// most opt.Epsilon (a "yes" is always correct). Always evaluated over
+// GF(2^16); the Variant option is ignored.
+func DetectMotif(g *graph.Graph, spec *MotifSpec, opt Options) (bool, error) {
+	if err := spec.Validate(); err != nil {
+		return false, err
+	}
+	k := spec.K
+	if k > g.NumVertices() {
+		return false, nil
+	}
+	if opt.Arena == nil {
+		opt.Arena = NewArena() // share slabs across this call's rounds
+	}
+	st := soloLane(k, opt)
+	st.Motif = spec
+	gr := &famGroup{fam: &motifFamily{g: g}, sts: []*laneState{st}}
+	if err := runGroups(g, []*famGroup{gr}, opt.batch(k), opt); err != nil {
+		return false, err
+	}
+	return st.found, st.err
+}
+
+// DetectMotifBatch answers len(lanes) independent motif queries (each
+// lane's Motif field carries its spec; lane K is taken from the spec)
+// in one batched evaluation. Results match per-lane DetectMotif calls
+// byte-for-byte. Lanes with heterogeneous specs and sizes share one
+// group: the constraint is a per-lane zero pattern, not a layout.
+func DetectMotifBatch(g *graph.Graph, lanes []BatchLane, opt Options) ([]LaneResult, error) {
+	if len(lanes) == 0 {
+		return nil, nil
+	}
+	if len(lanes) > MaxBatchLanes {
+		return nil, fmt.Errorf("mld: batch of %d lanes exceeds MaxBatchLanes=%d", len(lanes), MaxBatchLanes)
+	}
+	res := make([]LaneResult, len(lanes))
+	if opt.Arena == nil {
+		opt.Arena = NewArena()
+	}
+	n := g.NumVertices()
+	sts, kmax, _ := batchStates(lanes, n, res, opt, func(l BatchLane) (int, error) {
+		if err := l.Motif.Validate(); err != nil {
+			return 0, err
+		}
+		return l.Motif.K, nil
+	})
+	n2 := opt.batch(kmax)
+
+	gr := &famGroup{fam: &motifFamily{g: g}, sts: sts}
+	batchErr := runGroups(g, []*famGroup{gr}, n2, opt)
+	for _, st := range sts {
+		res[st.idx] = LaneResult{
+			Found: st.found, Rounds: st.roundsRun, Phases: st.phases,
+			TotalPhases: int64((st.iters + uint64(n2) - 1) / uint64(n2)),
+			Err:         st.err,
+		}
+	}
+	return res, batchErr
+}
+
+// motifRound evaluates the constrained-motif polynomial over all 2^K
+// iterations of one assignment (nonzero ⇒ a satisfying motif exists):
+// one engine sweep of a single motif lane.
+func motifRound(g *graph.Graph, spec *MotifSpec, a *Assignment, opt Options) (gf.Elem, error) {
+	if opt.Arena == nil {
+		opt.Arena = NewArena()
+	}
+	st := &laneState{BatchLane: BatchLane{K: a.K, Motif: spec}, k: a.K, iters: uint64(1) << uint(a.K), a: a}
+	gr := &famGroup{fam: &motifFamily{g: g}, sts: []*laneState{st}, live: []*laneState{st}}
+	if err := sweepGroups(g, []*famGroup{gr}, opt.batch(a.K), opt); err != nil {
+		return 0, err
+	}
+	return st.total, nil
+}
+
+// BruteMotif answers the motif query by enumerating every connected
+// K-vertex subset and checking its color histogram — the
+// obviously-correct exponential oracle for DetectMotif. Small graphs
+// only.
+func BruteMotif(g *graph.Graph, spec *MotifSpec) bool {
+	if err := spec.Validate(); err != nil {
+		return false
+	}
+	n := g.NumVertices()
+	k := spec.K
+	if k > n {
+		return false
+	}
+	set := make([]int32, 0, k)
+	found := false
+	var rec func(start int32)
+	rec = func(start int32) {
+		if found {
+			return
+		}
+		if len(set) == k {
+			if !graph.IsConnectedSubset(g, set) {
+				return
+			}
+			hist := make(map[int32]int, k)
+			for _, v := range set {
+				hist[g.Label(v)]++
+			}
+			if spec.Admits(hist) {
+				found = true
+			}
+			return
+		}
+		for v := start; v < int32(n); v++ {
+			set = append(set, v)
+			rec(v + 1)
+			set = set[:len(set)-1]
+		}
+	}
+	rec(0)
+	return found
+}

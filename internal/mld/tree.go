@@ -1,12 +1,135 @@
 package mld
 
 import (
-	"sync/atomic"
-
 	"github.com/midas-hpc/midas/internal/gf"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/obs"
 )
+
+// treeFamily is the k-tree template polynomial as a sweep-engine
+// Family: one transfer step per decomposition node (leaves bind the
+// base row, internal nodes combine their children over the group's
+// halo of neighbor values), and every lane folds the root slab in
+// Finalize. All lanes of a group share one template shape — grouping
+// by templateDigest is the batch entry point's job.
+type treeFamily struct {
+	d    *graph.Decomposition
+	base []gf.Elem
+	vals [][]gf.Elem
+}
+
+func (f *treeFamily) Kind() string      { return "tree" }
+func (f *treeFamily) CountPhases() bool { return true }
+
+func (f *treeFamily) NewAssignment(n int, st *laneState, round int) *Assignment {
+	return NewTreeAssignment(n, st.k, st.Seed, round)
+}
+
+func (f *treeFamily) BeginRound(st *laneState) { st.total = 0 }
+
+func (f *treeFamily) EndRound(st *laneState, round int) {
+	if st.total != 0 {
+		st.found, st.done = true, true
+	} else if round+1 >= st.roundsTotal {
+		st.done = true
+	}
+}
+
+func (f *treeFamily) Alloc(e *groupRun) {
+	n := e.g.NumVertices()
+	f.base = e.opt.Arena.Grab(n * e.gr.stride)
+	// one value buffer per internal decomposition node; leaves share base.
+	f.vals = make([][]gf.Elem, len(f.d.Nodes))
+	for j, nd := range f.d.Nodes {
+		if nd.Left >= 0 {
+			f.vals[j] = e.opt.Arena.Grab(n * e.gr.stride)
+		}
+	}
+}
+
+func (f *treeFamily) Free(e *groupRun) {
+	e.opt.Arena.Put(f.base)
+	for j, nd := range f.d.Nodes {
+		if nd.Left >= 0 {
+			e.opt.Arena.Put(f.vals[j])
+		}
+	}
+	f.base, f.vals = nil, nil
+}
+
+func (f *treeFamily) InitRow(e *groupRun) {
+	n := e.g.NumVertices()
+	stride := e.gr.stride
+	for i := 0; i < n; i++ {
+		row := i * stride
+		for _, st := range e.live {
+			st.a.FillBase(f.base[row+st.off:row+st.off+st.nb], int32(i), e.q0, e.opt.NoGray)
+		}
+	}
+}
+
+func (f *treeFamily) Transfers(e *groupRun) int { return len(f.d.Nodes) }
+
+func (f *treeFamily) Transfer(e *groupRun, step int) {
+	j := step - 1
+	nd := f.d.Nodes[j]
+	if nd.Left < 0 {
+		f.vals[j] = f.base
+		return
+	}
+	g, opt, stride := e.g, e.opt, e.gr.stride
+	live := e.live
+	spans := liveSpans(live)
+	one := CachedMulTable(1)
+	opt.obsSpan(obs.LevelName, j, "level")
+	opt.obsLevel(levelElems(g) * e.liveWidth())
+	left, right := f.vals[nd.Left], f.vals[nd.Right]
+	dstAll := f.vals[j]
+	opt.parallelVertices(g, func(lo, hi int32) {
+		av := make([]gf.Elem, stride) // per-worker scratch, all lanes
+		var sk int64
+		for i := lo; i < hi; i++ {
+			row := int(i) * stride
+			for _, sp := range spans {
+				seg := av[sp.lo:sp.hi]
+				for q := range seg {
+					seg[q] = 0
+				}
+			}
+			for _, u := range g.Neighbors(i) {
+				urow := int(u) * stride
+				for _, st := range live {
+					src := right[urow+st.off : urow+st.off+st.nb]
+					if !gf.AnyNonZero(src) {
+						sk++
+						continue
+					}
+					t := one
+					if !opt.NoFingerprints {
+						// level key: the decomposition node index,
+						// unique per subtree shape.
+						t = st.a.EdgeTable(u, i, j)
+					}
+					gf.MulSliceTable16(av[st.off:st.off+st.nb], src, t)
+				}
+			}
+			for _, sp := range spans {
+				// P(i, H') = P(i, H'_1) · Σ_u r·P(u, H'_2)
+				gf.HadamardInto(dstAll[row+sp.lo:row+sp.hi], left[row+sp.lo:row+sp.hi], av[sp.lo:sp.hi])
+			}
+		}
+		e.addSkipped(sk)
+	})
+	opt.obsEnd()
+}
+
+func (f *treeFamily) Finalize(e *groupRun) {
+	root := f.vals[f.d.Root]
+	n := e.g.NumVertices()
+	for _, st := range e.live {
+		st.accumulate(root, e.gr.stride, n)
+	}
+}
 
 // DetectTree decides whether the tree template has a non-induced
 // embedding in g, with one-sided failure probability at most
@@ -24,114 +147,26 @@ func DetectTree(g *graph.Graph, tpl *graph.Template, opt Options) (bool, error) 
 	if opt.Arena == nil {
 		opt.Arena = NewArena() // share slabs across this call's rounds
 	}
-	d := tpl.Decompose()
-	rounds := opt.RoundsFor(k)
-	for round := 0; round < rounds; round++ {
-		if err := opt.ctxErr(); err != nil {
-			return false, err
-		}
-		opt.obsSpan(obs.RoundName, round, "round")
-		opt.Obs.Add(obs.Rounds, 1)
-		a := NewAssignment(g.NumVertices(), k, opt.Seed, round, tagTree)
-		total, err := treeRound(g, d, a, opt)
-		opt.obsEnd()
-		if err != nil {
-			return false, err
-		}
-		if total != 0 {
-			return true, nil
-		}
+	st := soloLane(k, opt)
+	gr := &famGroup{fam: &treeFamily{d: tpl.Decompose()}, sts: []*laneState{st}}
+	if err := runGroups(g, []*famGroup{gr}, opt.batch(k), opt); err != nil {
+		return false, err
 	}
-	return false, nil
+	return st.found, st.err
 }
 
 // treeRound evaluates the k-tree polynomial over all 2^k iterations for
-// one assignment; a nonzero return means an embedding exists. A
-// non-nil opt.Ctx aborts between iteration batches with the context's
-// error.
+// one assignment; a nonzero return means an embedding exists: one
+// engine sweep of a single tree lane. A non-nil opt.Ctx aborts between
+// iteration batches with the context's error.
 func treeRound(g *graph.Graph, d *graph.Decomposition, a *Assignment, opt Options) (gf.Elem, error) {
-	n := g.NumVertices()
-	k := a.K
-	n2 := opt.batch(k)
-	iters := uint64(1) << uint(k)
-
-	base := opt.Arena.Grab(n * n2)
-	defer opt.Arena.Put(base)
-	// one value buffer per internal decomposition node; leaves share base.
-	vals := make([][]gf.Elem, len(d.Nodes))
-	for j, nd := range d.Nodes {
-		if nd.Left >= 0 {
-			vals[j] = opt.Arena.Grab(n * n2)
-			defer opt.Arena.Put(vals[j])
-		}
+	if opt.Arena == nil {
+		opt.Arena = NewArena()
 	}
-	one := CachedMulTable(1)
-	var total gf.Elem
-	var skipped int64
-
-	levelElems := int64(2*g.NumEdges() + n) // Σdeg + n per batched iteration
-	for q0 := uint64(0); q0 < iters; q0 += uint64(n2) {
-		if err := opt.ctxErr(); err != nil {
-			opt.Obs.Add(obs.CellsSkipped, skipped)
-			return 0, err
-		}
-		opt.obsSpan(obs.PhaseName, int(q0)/n2, "phase")
-		opt.Obs.Add(obs.Phases, 1)
-		nb := n2
-		if rem := iters - q0; uint64(nb) > rem {
-			nb = int(rem)
-		}
-		for i := 0; i < n; i++ {
-			a.FillBase(base[i*n2:i*n2+nb], int32(i), q0, opt.NoGray)
-		}
-		for j, nd := range d.Nodes {
-			if nd.Left < 0 {
-				vals[j] = base
-				continue
-			}
-			opt.obsSpan(obs.LevelName, j, "level")
-			opt.obsLevel(levelElems * int64(nb))
-			left, right := vals[nd.Left], vals[nd.Right]
-			dstAll := vals[j]
-			j := j // capture for the closure
-			opt.parallelVertices(g, func(lo, hi int32) {
-				av := make([]gf.Elem, nb) // per-worker scratch
-				var sk int64
-				for i := lo; i < hi; i++ {
-					for q := range av {
-						av[q] = 0
-					}
-					for _, u := range g.Neighbors(i) {
-						src := right[int(u)*n2 : int(u)*n2+nb]
-						if !gf.AnyNonZero(src) {
-							sk++
-							continue
-						}
-						t := one
-						if !opt.NoFingerprints {
-							// level key: the decomposition node index,
-							// unique per subtree shape.
-							t = a.EdgeTable(u, i, j)
-						}
-						gf.MulSliceTable16(av, src, t)
-					}
-					// P(i, H') = P(i, H'_1) · Σ_u r·P(u, H'_2)
-					gf.HadamardInto(dstAll[int(i)*n2:int(i)*n2+nb], left[int(i)*n2:int(i)*n2+nb], av)
-				}
-				if sk != 0 {
-					atomic.AddInt64(&skipped, sk)
-				}
-			})
-			opt.obsEnd()
-		}
-		root := vals[d.Root]
-		for i := 0; i < n; i++ {
-			for q := 0; q < nb; q++ {
-				total ^= root[i*n2+q]
-			}
-		}
-		opt.obsEnd()
+	st := &laneState{BatchLane: BatchLane{K: a.K}, k: a.K, iters: uint64(1) << uint(a.K), a: a}
+	gr := &famGroup{fam: &treeFamily{d: d}, sts: []*laneState{st}, live: []*laneState{st}}
+	if err := sweepGroups(g, []*famGroup{gr}, opt.batch(a.K), opt); err != nil {
+		return 0, err
 	}
-	opt.Obs.Add(obs.CellsSkipped, skipped)
-	return total, nil
+	return st.total, nil
 }

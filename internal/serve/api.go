@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
@@ -19,6 +20,7 @@ const (
 	KindPath     = "path"
 	KindTree     = "tree"
 	KindScanStat = "scanstat"
+	KindMotif    = "motif"
 )
 
 // QueryRequest is the body of POST /v1/query.
@@ -27,8 +29,9 @@ type QueryRequest struct {
 	Kind  string `json:"kind"`
 	K     int    `json:"k,omitempty"` // path/scanstat size; tree derives k from the template
 
-	Template [][2]int32 `json:"template,omitempty"` // tree edge list
-	ZMax     int64      `json:"zmax,omitempty"`     // scanstat weight cap
+	Template [][2]int32     `json:"template,omitempty"` // tree edge list
+	ZMax     int64          `json:"zmax,omitempty"`     // scanstat weight cap
+	Motif    map[string]int `json:"motif,omitempty"`    // motif color → minimum count (JSON keys are decimal colors)
 
 	Seed    uint64  `json:"seed,omitempty"`
 	Epsilon float64 `json:"epsilon,omitempty"`
@@ -62,6 +65,24 @@ func (r *QueryRequest) template() (*graph.Template, error) {
 	return graph.NewTemplate(int(k)+1, r.Template)
 }
 
+// motifSpec builds the query's constraint. JSON object keys are
+// strings, so colors arrive as decimal text ("2": 1).
+func (r *QueryRequest) motifSpec() (*mld.MotifSpec, error) {
+	counts := make(map[int32]int, len(r.Motif))
+	for cs, m := range r.Motif {
+		c, err := strconv.ParseInt(cs, 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("motif color %q: %v", cs, err)
+		}
+		counts[int32(c)] = m
+	}
+	spec := &mld.MotifSpec{K: r.K, Counts: counts}
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
 // validate normalizes the request and rejects malformed ones before
 // admission, so the queue only ever holds runnable queries.
 func (r *QueryRequest) validate() error {
@@ -85,8 +106,12 @@ func (r *QueryRequest) validate() error {
 		if err := mld.ValidateK(r.K); err != nil {
 			return err
 		}
+	case KindMotif:
+		if _, err := r.motifSpec(); err != nil {
+			return err
+		}
 	default:
-		return fmt.Errorf("unknown query kind %q (want path, tree, or scanstat)", r.Kind)
+		return fmt.Errorf("unknown query kind %q (want path, tree, scanstat, or motif)", r.Kind)
 	}
 	if r.Ranks > 1 {
 		n1 := r.N1
@@ -127,9 +152,9 @@ func (r *QueryRequest) plannedPhases() int64 {
 // is seeded or placed. Workers is deliberately excluded — shared-memory
 // worker count provably never changes the totals.
 func (r *QueryRequest) key(digest uint64) string {
+	const prime = 1099511628211
 	tpl := uint64(0)
 	if len(r.Template) > 0 {
-		const prime = 1099511628211
 		h := uint64(14695981039346656037)
 		for _, e := range r.Template {
 			h ^= uint64(uint32(e[0]))
@@ -139,8 +164,28 @@ func (r *QueryRequest) key(digest uint64) string {
 		}
 		tpl = h
 	}
-	return fmt.Sprintf("g=%016x|kind=%s|k=%d|tpl=%016x|z=%d|seed=%d|eps=%g|r=%d|n2=%d|ranks=%d|n1=%d|sch=%s",
-		digest, r.Kind, r.K, tpl, r.ZMax, r.Seed, r.Epsilon, r.Rounds, r.N2, r.Ranks, r.N1, r.Scheme)
+	motif := uint64(0)
+	if len(r.Motif) > 0 {
+		// Canonical order: sorted color keys, so equal constraints hash
+		// equal regardless of map iteration.
+		keys := make([]string, 0, len(r.Motif))
+		for c := range r.Motif {
+			keys = append(keys, c)
+		}
+		sort.Strings(keys)
+		h := uint64(14695981039346656037)
+		for _, c := range keys {
+			for i := 0; i < len(c); i++ {
+				h ^= uint64(c[i])
+				h *= prime
+			}
+			h ^= uint64(uint32(r.Motif[c]))
+			h *= prime
+		}
+		motif = h
+	}
+	return fmt.Sprintf("g=%016x|kind=%s|k=%d|tpl=%016x|z=%d|mo=%016x|seed=%d|eps=%g|r=%d|n2=%d|ranks=%d|n1=%d|sch=%s",
+		digest, r.Kind, r.K, tpl, r.ZMax, motif, r.Seed, r.Epsilon, r.Rounds, r.N2, r.Ranks, r.N1, r.Scheme)
 }
 
 // Result is a finished query's payload.
@@ -192,6 +237,7 @@ type GraphRequest struct {
 	N       int         `json:"n,omitempty"`     // inline: vertex count
 	Edges   [][2]int32  `json:"edges,omitempty"` // inline: edge list
 	Weights []int64     `json:"weights,omitempty"`
+	Labels  []int32     `json:"labels,omitempty"` // per-vertex colors (motif queries)
 	Random  *RandomSpec `json:"random,omitempty"`
 }
 
@@ -298,6 +344,13 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		g.SetWeights(req.Weights)
+	}
+	if len(req.Labels) > 0 {
+		if len(req.Labels) != g.NumVertices() {
+			writeErr(w, http.StatusBadRequest, "%d labels for %d vertices", len(req.Labels), g.NumVertices())
+			return
+		}
+		g.SetLabels(req.Labels)
 	}
 	e := s.registry.add(req.Name, g)
 	writeJSON(w, http.StatusOK, graphView(e))

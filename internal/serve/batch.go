@@ -183,12 +183,19 @@ func (s *Server) executeBatch(lanes []*laneJob) {
 			Seed: req.Seed, Epsilon: req.Epsilon, Rounds: req.Rounds,
 			Ctx: lj.f.ctx,
 		}
-		if req.Kind == KindTree {
+		switch req.Kind {
+		case KindTree:
 			tpl, err := req.template()
 			if err != nil {
 				laneErrs[i] = err // validate() makes this unreachable; fail the lane, not the batch
 			}
 			bl.Template = tpl
+		case KindMotif:
+			spec, err := req.motifSpec()
+			if err != nil {
+				laneErrs[i] = err // validate() makes this unreachable too
+			}
+			bl.Motif = spec
 		}
 		blanes[i] = bl
 	}
@@ -250,6 +257,8 @@ func (s *Server) batchSequential(entry *graphEntry, first *QueryRequest, blanes 
 		return mld.DetectTreeBatch(entry.G, blanes, opt)
 	case KindScanStat:
 		return mld.ScanTableBatch(entry.G, blanes, opt)
+	case KindMotif:
+		return mld.DetectMotifBatch(entry.G, blanes, opt)
 	default:
 		return nil, errors.New("serve: unbatchable kind " + first.Kind)
 	}

@@ -365,6 +365,14 @@ func (s *Server) executeSequential(ctx context.Context, entry *graphEntry, req *
 		table, err := mld.ScanTable(entry.G, req.K, req.ZMax, opt)
 		res.Table = table
 		return err
+	case KindMotif:
+		spec, err := req.motifSpec()
+		if err != nil {
+			return err
+		}
+		found, err := mld.DetectMotif(entry.G, spec, opt)
+		res.Found = found
+		return err
 	default:
 		return fmt.Errorf("unknown query kind %q", req.Kind)
 	}
@@ -416,6 +424,16 @@ func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req 
 			table, rerr = core.RunScan(c, entry.G, core.ScanConfig{Config: cfg, ZMax: req.ZMax})
 			if c.Rank() == 0 {
 				res.Table = table
+			}
+		case KindMotif:
+			var spec *mld.MotifSpec
+			spec, rerr = req.motifSpec()
+			if rerr == nil {
+				var found bool
+				found, rerr = core.RunMotif(c, entry.G, spec, cfg)
+				if c.Rank() == 0 {
+					res.Found = found
+				}
 			}
 		default:
 			rerr = fmt.Errorf("unknown query kind %q", req.Kind)

@@ -111,6 +111,18 @@ func LoadWeights(path string, g *Graph) error {
 	return graph.ReadWeights(f, g)
 }
 
+// LoadLabels reads a per-vertex "v c" color file and attaches it to g
+// (absent vertices default to color 0). Colors feed FindMotif's
+// multiset constraints.
+func LoadLabels(path string, g *Graph) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return graph.ReadLabels(f, g)
+}
+
 // LoadTemplate reads a tree template from an edge-list file; the
 // template has max-id+1 vertices and the edges must form a tree.
 func LoadTemplate(path string) (*Template, error) {
@@ -263,6 +275,25 @@ func FindTreeVertices(g *Graph, tpl *Template, opt Options) ([]int32, error) {
 	}
 	defer stop()
 	return mld.ExtractTree(g, tpl, opt.mld())
+}
+
+// MotifSpec is the generalized graph-motif query answered by FindMotif:
+// a connected subgraph on exactly K vertices whose colors (set them
+// with Graph.SetLabels or LoadLabels) contain each listed color at
+// least Counts[c] times — exactly, when the counts sum to K.
+type MotifSpec = mld.MotifSpec
+
+// FindMotif reports whether g contains a connected spec.K-vertex
+// subgraph satisfying spec's color-multiset constraint, via the
+// constrained multilinear sieve (same 2^k·m time and k·n memory scaling
+// as FindPath — no 2^k-per-vertex color-coding tables).
+func FindMotif(g *Graph, spec *MotifSpec, opt Options) (bool, error) {
+	opt, stop, err := opt.obsSetup()
+	if err != nil {
+		return false, err
+	}
+	defer stop()
+	return mld.DetectMotif(g, spec, opt.mld())
 }
 
 // Statistic scores candidate anomalous subgraphs; see KulldorffPoisson,
@@ -477,6 +508,12 @@ func DistributedFindPath(c *Cluster, g *Graph, k int, cfg ClusterConfig) (bool, 
 // DistributedFindTree runs Algorithm 2 with the tree evaluator.
 func DistributedFindTree(c *Cluster, g *Graph, tpl *Template, cfg ClusterConfig) (bool, error) {
 	return core.RunTree(c, g, tpl, cfg)
+}
+
+// DistributedFindMotif runs Algorithm 2 with the constrained-motif
+// evaluator; answers match FindMotif with the same seed exactly.
+func DistributedFindMotif(c *Cluster, g *Graph, spec *MotifSpec, cfg ClusterConfig) (bool, error) {
+	return core.RunMotif(c, g, spec, cfg)
 }
 
 // DistributedFindPathVertices extracts an actual k-path using the whole
