@@ -9,6 +9,7 @@
 //	midas-serve -addr :8080 -graph social=graphs/social.txt -graph road=graphs/road.bin
 //	midas-serve -addr :8080 -workers 4 -queue-depth 128 -default-timeout 30s
 //	midas-serve -addr :8080 -batch-window 2ms -batch-lanes 16
+//	midas-serve -addr :8080 -log-level debug -slow-query 500ms -flight-recorder 512
 //
 // Then:
 //
@@ -25,6 +26,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,6 +36,22 @@ import (
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/serve"
 )
+
+// parseLogLevel maps the -log-level flag to a slog level.
+func parseLogLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
 
 // graphFlags collects repeated -graph name=path pairs.
 type graphFlags []string
@@ -53,20 +71,33 @@ func main() {
 		drainTimeout   = flag.Duration("drain-timeout", 15*time.Second, "graceful shutdown drain window")
 		batchWindow    = flag.Duration("batch-window", 2*time.Millisecond, "admission batching window; 0 disables batching")
 		batchLanes     = flag.Int("batch-lanes", 16, "max queries per batched DP execution")
+		logLevel       = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
+		slowQuery      = flag.Duration("slow-query", 0, "log queries slower than this at warn level (0 disables)")
+		flightRecorder = flag.Int("flight-recorder", 256, "completed query traces retained for /v1/debug/requests")
 		graphs         graphFlags
 	)
 	flag.Var(&graphs, "graph", "preload graph as name=path (repeatable)")
 	flag.Parse()
 
+	level, err := parseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "midas-serve: %v\n", err)
+		os.Exit(2)
+	}
+	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
 	s := serve.New(serve.Config{
-		QueueDepth:      *queueDepth,
-		Workers:         *workers,
-		CacheMaxBytes:   *cacheMB << 20,
-		CacheMaxEntries: *cacheEntries,
-		ArenaMaxBytes:   *arenaMB << 20,
-		DefaultTimeout:  *defaultTimeout,
-		BatchWindow:     *batchWindow,
-		BatchMaxLanes:   *batchLanes,
+		QueueDepth:         *queueDepth,
+		Workers:            *workers,
+		CacheMaxBytes:      *cacheMB << 20,
+		CacheMaxEntries:    *cacheEntries,
+		ArenaMaxBytes:      *arenaMB << 20,
+		DefaultTimeout:     *defaultTimeout,
+		BatchWindow:        *batchWindow,
+		BatchMaxLanes:      *batchLanes,
+		Logger:             logger,
+		SlowQuery:          *slowQuery,
+		FlightRecorderSize: *flightRecorder,
 	})
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")

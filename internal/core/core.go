@@ -72,6 +72,15 @@ type Config struct {
 	// materialized if ranks share the pointer concurrently (call
 	// Members(i) for every part once before handing it out).
 	Part *partition.Partition
+
+	// Progress, when non-nil, receives global phase progress for the
+	// current round's iteration sweep: after each collective phase
+	// step, world rank 0 (only — one reporter per world) calls it with
+	// the number of phases all groups have finished jointly and the
+	// round's total. The serving layer threads each query's trace
+	// updater here; the callback runs on rank 0's execution goroutine
+	// between collectives, so keep it cheap and non-blocking.
+	Progress func(done, total int64)
 }
 
 func (cfg Config) withDefaults(worldSize, k int) (Config, error) {
@@ -228,6 +237,21 @@ func buildPlan(world *comm.Comm, g *graph.Graph, cfg Config) (*plan, error) {
 		p.sumDegOwned += g.Degree(v)
 	}
 	return p, nil
+}
+
+// reportProgress surfaces global sweep progress to Config.Progress
+// from world rank 0 after phase step s: once syncStep has returned,
+// every group has finished its s-th phase, so (s+1)·groups phases
+// (clamped to the sweep total) are done world-wide.
+func (p *plan) reportProgress(s, numPhases uint64) {
+	if p.cfg.Progress == nil || p.world.Rank() != 0 {
+		return
+	}
+	done := (s + 1) * uint64(p.groups)
+	if done > numPhases {
+		done = numPhases
+	}
+	p.cfg.Progress(int64(done), int64(numPhases))
 }
 
 // syncStep is the end-of-phase-step world synchronization (Algorithm 2

@@ -154,6 +154,7 @@ func (p *plan) motifRoundLocal(a *mld.Assignment, k int) (gf.Elem, error) {
 			p.rec.Add(obs.CellsSkipped, skipped)
 			return 0, err
 		}
+		p.reportProgress(s, numPhases)
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
 	return total, nil

@@ -110,6 +110,7 @@ func (p *plan) pathRoundLocal(a *mld.Assignment) (gf.Elem, error) {
 			p.rec.Add(obs.CellsSkipped, skipped)
 			return 0, err
 		}
+		p.reportProgress(s, numPhases)
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
 	return total, nil

@@ -1,0 +1,101 @@
+package core
+
+// Config.Progress contract: world rank 0 (only) reports monotone
+// global sweep progress reaching exactly (done, total) = (numPhases,
+// numPhases) by the end of each round.
+
+import (
+	"sync"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func TestRunPathProgressRankZeroMonotone(t *testing.T) {
+	g := graph.RandomGNM(40, 120, 7)
+	var mu sync.Mutex
+	var fromRanks []int
+	var dones []int64
+	var totals []int64
+	err := comm.RunLocal(4, comm.CostModel{}, func(c *comm.Comm) error {
+		rank := c.Rank()
+		cfg := Config{
+			K: 10, N2: 64, Seed: 3, Rounds: 1,
+			Progress: func(done, total int64) {
+				mu.Lock()
+				fromRanks = append(fromRanks, rank)
+				dones = append(dones, done)
+				totals = append(totals, total)
+				mu.Unlock()
+			},
+		}
+		_, err := RunPath(c, g, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) == 0 {
+		t.Fatal("Progress never called")
+	}
+	for _, r := range fromRanks {
+		if r != 0 {
+			t.Fatalf("Progress called from rank %d, want rank 0 only", r)
+		}
+	}
+	// 2^10 / 64 = 16 phases; every report carries the round total, done
+	// climbs monotonically and finishes exactly at the total.
+	const numPhases = 16
+	prev := int64(0)
+	for i, d := range dones {
+		if totals[i] != numPhases {
+			t.Fatalf("report %d total = %d, want %d", i, totals[i], numPhases)
+		}
+		if d < prev || d > numPhases {
+			t.Fatalf("report %d done = %d not monotone within [%d, %d]", i, d, prev, numPhases)
+		}
+		prev = d
+	}
+	if prev != numPhases {
+		t.Fatalf("final done = %d, want %d", prev, numPhases)
+	}
+}
+
+func TestRunPathProgressGroupedClamped(t *testing.T) {
+	// Two groups of two ranks sweep concurrently: the joint done count
+	// advances by the group count per step but must clamp at the phase
+	// total even when it does not divide evenly.
+	g := graph.RandomGNM(40, 120, 7)
+	var mu sync.Mutex
+	var dones []int64
+	err := comm.RunLocal(4, comm.CostModel{}, func(c *comm.Comm) error {
+		cfg := Config{
+			K: 9, N1: 2, N2: 128, Seed: 3, Rounds: 1, // 2^9/128 = 4 phases, 2 groups
+			Progress: func(done, total int64) {
+				mu.Lock()
+				dones = append(dones, done)
+				mu.Unlock()
+				if total != 4 {
+					t.Errorf("total = %d, want 4", total)
+				}
+			},
+		}
+		_, err := RunPath(c, g, cfg)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dones) == 0 {
+		t.Fatal("Progress never called")
+	}
+	for i, d := range dones {
+		if d > 4 {
+			t.Fatalf("report %d done = %d exceeds the phase total", i, d)
+		}
+	}
+	if dones[len(dones)-1] != 4 {
+		t.Fatalf("final done = %d, want 4", dones[len(dones)-1])
+	}
+}

@@ -218,6 +218,7 @@ func (p *plan) scanRoundLocal(a *mld.Assignment, j int, zmax int64) ([]gf.Elem, 
 			p.rec.Add(obs.CellsSkipped, skipped)
 			return nil, err
 		}
+		p.reportProgress(s, numPhases)
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
 	return totals, nil

@@ -150,6 +150,7 @@ func (p *plan) treeRoundLocal(d *graph.Decomposition, a *mld.Assignment) (gf.Ele
 			p.rec.Add(obs.CellsSkipped, skipped)
 			return 0, err
 		}
+		p.reportProgress(s, numPhases)
 	}
 	p.rec.Add(obs.CellsSkipped, skipped)
 	return total, nil

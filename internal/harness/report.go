@@ -67,8 +67,13 @@ type ReportParams struct {
 
 // Report is the versioned output of `midas-bench -json`.
 type Report struct {
-	Schema  string         `json:"schema"`
-	Params  ReportParams   `json:"params"`
+	Schema string       `json:"schema"`
+	Params ReportParams `json:"params"`
+	// Build stamps the binary that produced the report (module version,
+	// toolchain, VCS revision), so a regression found in a stored
+	// baseline ties back to the exact revision. Optional — absent in
+	// reports from older binaries — so the schema version is unchanged.
+	Build   *obs.BuildInfo `json:"build,omitempty"`
 	Runs    []RunRecord    `json:"runs"`
 	Batches []BatchRecord  `json:"batches,omitempty"` // occupancy-4 batch vs sequential (see BatchBench)
 	Motifs  []MotifRecord  `json:"motifs,omitempty"`  // constrained sieve vs FASCIA baseline (see MotifBench)
@@ -84,9 +89,11 @@ type Report struct {
 // WallSecs is honest wall time and varies freely.
 func BenchReport(p Params) (Report, error) {
 	p = p.withDefaults()
+	build := obs.GetBuildInfo()
 	rep := Report{
 		Schema: BenchSchemaVersion,
 		Params: ReportParams{Scale: p.Scale, N: p.N, Ks: p.Ks, Seed: p.Seed, Reps: p.Reps},
+		Build:  &build,
 	}
 	for _, ds := range Datasets() {
 		g := ds.Build(p.Scale, p.Seed)

@@ -135,6 +135,7 @@ func runGroups(g *graph.Graph, groups []*famGroup, n2 int, opt Options) error {
 	}
 	n := g.NumVertices()
 	var batchErr error
+	var phasesDone int64 // cumulative across rounds, fed to opt.Progress
 	for round := 0; round < maxRounds && batchErr == nil; round++ {
 		activeTotal := 0
 		for _, gr := range groups {
@@ -162,7 +163,7 @@ func runGroups(g *graph.Graph, groups []*famGroup, n2 int, opt Options) error {
 				st.roundsRun++
 			}
 		}
-		err := sweepGroups(g, groups, n2, opt)
+		err := sweepGroupsFrom(g, groups, n2, opt, &phasesDone)
 		opt.obsEnd()
 		if err != nil {
 			batchErr = err
@@ -193,6 +194,14 @@ func runGroups(g *graph.Graph, groups []*famGroup, n2 int, opt Options) error {
 // past their Gray prefix, and trims the final short phase, then calls
 // the family's InitRow / Transfer / Finalize hooks.
 func sweepGroups(g *graph.Graph, groups []*famGroup, n2 int, opt Options) error {
+	var done int64
+	return sweepGroupsFrom(g, groups, n2, opt, &done)
+}
+
+// sweepGroupsFrom is sweepGroups with an externally-owned cumulative
+// phase counter, so the round loop reports run-wide progress through
+// opt.Progress rather than per-sweep progress.
+func sweepGroupsFrom(g *graph.Graph, groups []*famGroup, n2 int, opt Options, done *int64) error {
 	var itersMax uint64
 	anyAlloc := false
 	for _, gr := range groups {
@@ -274,6 +283,10 @@ func sweepGroups(g *graph.Graph, groups []*famGroup, n2 int, opt Options) error 
 			gr.fam.Finalize(e)
 			if count {
 				opt.obsEnd()
+				*done++
+				if opt.Progress != nil {
+					opt.Progress(*done)
+				}
 			}
 		}
 		if !anyLive {

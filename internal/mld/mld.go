@@ -138,6 +138,16 @@ type Options struct {
 	// burning CPU; cancellation granularity is one iteration batch
 	// (N2 iterations × one DP level sweep).
 	Ctx context.Context
+
+	// Progress, when non-nil, is invoked after each completed
+	// iteration phase with the cumulative number of phases finished so
+	// far — the same accounting as the obs.Phases counter, surfaced
+	// synchronously so a caller (the serving layer's per-query traces)
+	// can report live sweep progress without polling a recorder. It
+	// runs on the sweep hot path, once per N2 iterations, from the
+	// sweeping goroutine: keep it cheap and non-blocking. Families
+	// with phase-less accounting (the scan table) never invoke it.
+	Progress func(phasesDone int64)
 }
 
 func (o Options) epsilon() float64 {

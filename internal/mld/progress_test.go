@@ -1,0 +1,53 @@
+package mld
+
+// Options.Progress contract: cumulative phase counts, one call per
+// completed phase, running to Rounds × plannedPhases on "no"
+// instances (which never exit early).
+
+import (
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+func TestDetectPathProgressCumulative(t *testing.T) {
+	g := graph.Star(20) // no 8-path: every round runs its full sweep
+	var calls []int64
+	opt := Options{
+		Seed: 2, Rounds: 2, N2: 16,
+		Progress: func(done int64) { calls = append(calls, done) },
+	}
+	got, err := DetectPath(g, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got {
+		t.Fatal("false positive on a star")
+	}
+	// 2^8 / 16 = 16 phases per round, cumulative across both rounds.
+	const want = 32
+	if len(calls) != want {
+		t.Fatalf("%d progress calls, want %d", len(calls), want)
+	}
+	for i, d := range calls {
+		if d != int64(i+1) {
+			t.Fatalf("call %d reported %d phases done, want %d (cumulative, +1 per phase)", i, d, i+1)
+		}
+	}
+}
+
+func TestDetectPathProgressAbsentByDefault(t *testing.T) {
+	// The nil default must not change behavior — same answer either way.
+	g := graph.RandomGNM(20, 60, 9)
+	plain, err := DetectPath(g, 6, Options{Seed: 4, Rounds: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced, err := DetectPath(g, 6, Options{Seed: 4, Rounds: 1, Progress: func(int64) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain != traced {
+		t.Fatalf("Progress callback changed the answer: %v vs %v", plain, traced)
+	}
+}

@@ -1,0 +1,105 @@
+package obs
+
+// Build identity of the running binary, read once from the Go
+// toolchain's embedded module and VCS metadata. The serving layer
+// exports it as the midas_build_info gauge (the Prometheus convention:
+// constant 1 with the identity in labels) and the bench harness stamps
+// it into reports so a regression can be tied to the exact revision
+// that produced it.
+
+import (
+	"runtime/debug"
+	"strings"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: module version, Go
+// toolchain, and — when the binary was built inside a VCS checkout —
+// the revision it was built from.
+type BuildInfo struct {
+	// Version is the main module's version ("(devel)" for source
+	// builds, a semver tag for released ones).
+	Version string `json:"version"`
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string `json:"goVersion"`
+	// Revision is the VCS commit hash ("" when built outside a
+	// checkout or with -buildvcs=false).
+	Revision string `json:"revision,omitempty"`
+	// Dirty reports uncommitted changes in the build's checkout.
+	Dirty bool `json:"dirty,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// GetBuildInfo returns the binary's build identity (cached after the
+// first call). Every field degrades to a stable placeholder when the
+// runtime carries no metadata, so callers can render it unconditionally.
+func GetBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo = readBuildInfo(debug.ReadBuildInfo())
+	})
+	return buildInfo
+}
+
+// readBuildInfo extracts the fields from a runtime/debug.BuildInfo
+// (split from GetBuildInfo so tests can feed synthetic metadata).
+func readBuildInfo(bi *debug.BuildInfo, ok bool) BuildInfo {
+	out := BuildInfo{Version: "unknown", GoVersion: "unknown"}
+	if !ok || bi == nil {
+		return out
+	}
+	if bi.Main.Version != "" {
+		out.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		out.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			out.Revision = s.Value
+		case "vcs.modified":
+			out.Dirty = s.Value == "true"
+		}
+	}
+	return out
+}
+
+// ShortRevision is the conventional 12-character abbreviation of the
+// build's VCS revision ("" when unknown).
+func (b BuildInfo) ShortRevision() string {
+	if len(b.Revision) > 12 {
+		return b.Revision[:12]
+	}
+	return b.Revision
+}
+
+// BuildInfoMetric renders the build identity as the standard
+// info-style gauge: constant value 1 with the identity in labels, for
+// the MetricsHandler extra-metrics hook.
+func BuildInfoMetric() Metric {
+	b := GetBuildInfo()
+	var lb strings.Builder
+	lb.WriteString(`{version="`)
+	lb.WriteString(promEscape(b.Version))
+	lb.WriteString(`",goversion="`)
+	lb.WriteString(promEscape(b.GoVersion))
+	lb.WriteString(`",revision="`)
+	lb.WriteString(promEscape(b.ShortRevision()))
+	lb.WriteString(`"}`)
+	return Metric{
+		Name:    "midas_build_info",
+		Help:    "Build identity of this binary (constant 1; the identity is in the labels).",
+		Type:    "gauge",
+		Samples: []MetricSample{{Labels: lb.String(), Value: 1}},
+	}
+}
+
+// promEscape escapes a label value for the Prometheus text format.
+func promEscape(s string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(s)
+}

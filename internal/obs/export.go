@@ -46,9 +46,13 @@ func WriteTrace(w io.Writer, snaps ...Snapshot) error {
 		if rank < 0 {
 			rank = 0
 		}
+		proc := s.ProcName
+		if proc == "" {
+			proc = fmt.Sprintf("rank %d", rank)
+		}
 		tf.TraceEvents = append(tf.TraceEvents, traceEvent{
 			Name: "process_name", Ph: "M", Pid: rank, Tid: 0,
-			Args: map[string]any{"name": fmt.Sprintf("rank %d", rank)},
+			Args: map[string]any{"name": proc},
 		})
 		for _, sp := range s.Spans {
 			dur := sp.Dur * 1e6
@@ -59,7 +63,7 @@ func WriteTrace(w io.Writer, snaps ...Snapshot) error {
 				Ts:   sp.Start * 1e6,
 				Dur:  &dur,
 				Pid:  rank,
-				Tid:  0,
+				Tid:  sp.Tid,
 			})
 		}
 		for _, f := range s.Flows {

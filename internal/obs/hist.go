@@ -61,6 +61,14 @@ const (
 	// batched flight: the batch's wall time divided by its occupancy,
 	// observed once per lane (internal/serve).
 	HistServeLaneCost
+	// HistServeDPTime is the wall time each flight-leading query spent
+	// executing its DP — the dp stage of its QueryTrace, excluding
+	// queueing and result publication (internal/serve).
+	HistServeDPTime
+	// HistServeBatchAssembly is the wall time a batch leader spent
+	// holding the admission window collecting compatible lanes before
+	// executing (internal/serve; zero observations with batching off).
+	HistServeBatchAssembly
 
 	// NumHists is the number of defined histograms.
 	NumHists
@@ -70,6 +78,7 @@ var histNames = [NumHists]string{
 	"send-latency", "recv-wait", "barrier-wait", "halo-exchange", "retry-backoff",
 	"serve-queue-wait", "serve-query-latency",
 	"serve-batch-occupancy", "serve-lane-cost",
+	"serve-dp-time", "serve-batch-assembly",
 }
 
 // String returns the stable kebab-case name used by the exporters.

@@ -1,0 +1,138 @@
+package obs
+
+// Edge cases of HistSnapshot.Merge and Quantile beyond the random
+// associativity properties in hist_test.go: disjoint sparse bucket
+// sets, empty-into-nonempty copies, and quantile clamping in the top
+// (+Inf-bounded) octave.
+
+import (
+	"math"
+	"testing"
+)
+
+// sparse builds a snapshot directly from (bucket, count) pairs with
+// the given exact stats, bypassing observe — the form a deserialized
+// cross-rank gather arrives in.
+func sparse(name string, min, max float64, pairs ...int64) HistSnapshot {
+	s := HistSnapshot{Name: name, Min: min, Max: max}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		s.Bucket = append(s.Bucket, int(pairs[i]))
+		s.N = append(s.N, pairs[i+1])
+		s.Count += pairs[i+1]
+		s.Sum += float64(pairs[i+1]) * HistUpperBound(int(pairs[i])) / 2
+	}
+	return s
+}
+
+func TestHistMergeDisjointSparseBuckets(t *testing.T) {
+	// a occupies even-ish low buckets, b strictly higher ones; the merge
+	// must interleave in ascending bucket order with no coalescing.
+	a := sparse("lat", 1e-9, 1e-6, 2, 5, 10, 3, 40, 1)
+	b := sparse("lat", 1e-4, 1e-2, 5, 7, 20, 2, 80, 4)
+	m := a.Merge(b)
+	wantBuckets := []int{2, 5, 10, 20, 40, 80}
+	wantN := []int64{5, 7, 3, 2, 1, 4}
+	if len(m.Bucket) != len(wantBuckets) {
+		t.Fatalf("merged bucket count %d, want %d", len(m.Bucket), len(wantBuckets))
+	}
+	for i := range wantBuckets {
+		if m.Bucket[i] != wantBuckets[i] || m.N[i] != wantN[i] {
+			t.Fatalf("merged[%d] = (%d, %d), want (%d, %d)", i, m.Bucket[i], m.N[i], wantBuckets[i], wantN[i])
+		}
+	}
+	if m.Count != a.Count+b.Count {
+		t.Fatalf("merged count %d, want %d", m.Count, a.Count+b.Count)
+	}
+	if m.Min != 1e-9 || m.Max != 1e-2 {
+		t.Fatalf("merged min/max = %g/%g, want 1e-9/1e-2", m.Min, m.Max)
+	}
+	// Symmetric order produces the identical distribution.
+	if !histEq(m, b.Merge(a)) {
+		t.Fatal("disjoint merge is not commutative")
+	}
+}
+
+func TestHistMergeEmptyIntoNonempty(t *testing.T) {
+	full := sparse("queue-wait", 1e-6, 1e-3, 8, 3, 16, 9)
+	empty := HistSnapshot{Name: "other"}
+
+	for _, tc := range []struct {
+		name string
+		got  HistSnapshot
+		want string // expected merged Name
+	}{
+		{"nonempty.Merge(empty)", full.Merge(empty), "queue-wait"},
+		{"empty.Merge(nonempty)", empty.Merge(full), "other"}, // a's name wins when set
+		{"unnamed-empty.Merge(nonempty)", HistSnapshot{}.Merge(full), "queue-wait"},
+	} {
+		if tc.got.Name != tc.want {
+			t.Errorf("%s: name %q, want %q", tc.name, tc.got.Name, tc.want)
+		}
+		if tc.got.Count != full.Count || tc.got.Sum != full.Sum || tc.got.Min != full.Min || tc.got.Max != full.Max {
+			t.Errorf("%s: stats %+v do not match the nonempty side", tc.name, tc.got)
+		}
+		if len(tc.got.Bucket) != 2 || tc.got.Bucket[0] != 8 || tc.got.N[1] != 9 {
+			t.Errorf("%s: buckets %v/%v, want the nonempty side's", tc.name, tc.got.Bucket, tc.got.N)
+		}
+		// The merge must copy, never alias: mutating the result cannot
+		// reach back into the input's slices.
+		if len(tc.got.Bucket) > 0 {
+			tc.got.Bucket[0] = -1
+			tc.got.N[0] = -1
+			if full.Bucket[0] == -1 || full.N[0] == -1 {
+				t.Fatalf("%s: merged snapshot aliases the input's slices", tc.name)
+			}
+			if empty.Bucket != nil {
+				t.Fatalf("%s: empty input grew buckets", tc.name)
+			}
+		}
+	}
+
+	// Both-empty merge is a named empty snapshot.
+	both := HistSnapshot{Name: "a"}.Merge(HistSnapshot{Name: "b"})
+	if both.Name != "a" || both.Count != 0 || both.Bucket != nil {
+		t.Fatalf("empty.Merge(empty) = %+v, want named empty", both)
+	}
+}
+
+func TestHistQuantileClampsAtTopOctave(t *testing.T) {
+	// All mass in the last bucket, whose upper bound is +Inf: every
+	// quantile must clamp to the exact observed Max, never report Inf.
+	var h Hist
+	vals := []float64{4e5, 7e5, 9.5e5} // all above the ~2.8e5 s range
+	for _, v := range vals {
+		h.observe(v)
+	}
+	s := h.snapshot("top")
+	if len(s.Bucket) != 1 || s.Bucket[0] != histBuckets-1 {
+		t.Fatalf("values did not all land in the overflow bucket: %v", s.Bucket)
+	}
+	if !math.IsInf(HistUpperBound(s.Bucket[0]), 1) {
+		t.Fatal("overflow bucket bound is not +Inf")
+	}
+	for _, p := range []float64{0.01, 0.5, 0.99, 1} {
+		if q := s.Quantile(p); q != 9.5e5 {
+			t.Fatalf("Quantile(%g) = %g, want the exact Max 9.5e5", p, q)
+		}
+	}
+	if q := s.Quantile(0); q != 4e5 {
+		t.Fatalf("Quantile(0) = %g, want the exact Min 4e5", q)
+	}
+
+	// A merge whose p-th bucket is the overflow bucket clamps the same
+	// way.
+	low := sparse("top", 2.5, 3, 140, 10) // bucket 140 bound ≈ 34.4 s > Max ⇒ clamp down
+	m := low.Merge(s)
+	if q := m.Quantile(0.99); q != 9.5e5 {
+		t.Fatalf("merged Quantile(0.99) = %g, want clamped Max", q)
+	}
+	if q := low.Quantile(0.5); q != 3 {
+		t.Fatalf("Quantile in a bucket wider than [Min,Max] = %g, want clamped Max 3", q)
+	}
+	// And when a bucket's bound sits below the exact Min (possible in a
+	// deserialized snapshot), the quantile clamps up to Min instead.
+	under := sparse("top", 2.5, 3, 100, 10) // bucket 100 bound ≈ 33.6 ms < Min ⇒ clamp up
+	if q := under.Quantile(0.5); q != 2.5 {
+		t.Fatalf("Quantile below [Min,Max] = %g, want clamped Min 2.5", q)
+	}
+}

@@ -122,6 +122,13 @@ const (
 	// ServeBatchLanes counts lanes answered by batched executions;
 	// ServeBatchLanes / ServeBatches is the mean occupancy.
 	ServeBatchLanes
+	// ServeSlowQueries counts queries whose total latency exceeded the
+	// service's slow-query threshold (each also emits a Warn-level
+	// slow-query log with its full stage timeline).
+	ServeSlowQueries
+	// ServeTraceEvictions counts completed QueryTraces evicted from the
+	// flight recorder's ring buffer to make room for newer ones.
+	ServeTraceEvictions
 
 	// NumCounters is the number of defined counters.
 	NumCounters
@@ -133,6 +140,7 @@ var counterNames = [NumCounters]string{
 	"serve-admitted", "serve-rejected", "serve-cache-hits", "serve-cache-misses",
 	"serve-singleflight-shared", "serve-cancelled", "serve-completed",
 	"serve-batches", "serve-batch-lanes",
+	"serve-slow-queries", "serve-trace-evictions",
 }
 
 // String returns the stable kebab-case name used by the exporters.
@@ -145,13 +153,17 @@ func (c Counter) String() string {
 
 // Span is one closed (or still-open, at snapshot time) timed section of
 // a rank's execution. Start is seconds since the recorder's time base;
-// Dur is its extent in the same base.
+// Dur is its extent in the same base. Tid selects the trace-export row
+// within the snapshot's pid lane; Recorder-produced spans always carry
+// 0 (one thread per rank), while synthesized snapshots (the serving
+// layer's query lane) spread concurrent work across rows.
 type Span struct {
 	Name  string  `json:"name"`
 	Cat   string  `json:"cat"`
 	Start float64 `json:"start"`
 	Dur   float64 `json:"dur"`
 	Depth int     `json:"depth"`
+	Tid   int     `json:"tid,omitempty"`
 }
 
 // DefaultMaxSpans bounds a Recorder's span buffer (~24 MiB of spans per
@@ -558,6 +570,11 @@ type Snapshot struct {
 	// Phase is the rank's phase label at snapshot time ("" if never
 	// set) — the live /healthz progress field.
 	Phase string `json:"phase,omitempty"`
+
+	// ProcName, when non-empty, overrides the trace exporter's default
+	// "rank N" process label for this snapshot's pid lane — synthesized
+	// snapshots (the serving layer's query lane) name themselves here.
+	ProcName string `json:"procName,omitempty"`
 
 	// End is the rank's time-base reading at snapshot (virtual seconds
 	// for distributed ranks — the rank's share of the modeled

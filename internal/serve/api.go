@@ -266,14 +266,20 @@ func graphView(e *graphEntry) GraphView {
 
 // Handler returns the service's HTTP API:
 //
-//	POST   /v1/graphs      load/register a graph
-//	GET    /v1/graphs      list resident graphs
-//	POST   /v1/query       run (or join, or hit the cache for) a query
-//	GET    /v1/jobs/{id}   job status and result
-//	DELETE /v1/jobs/{id}   cancel a job
-//	GET    /metrics        Prometheus text format (midas_serve_* series)
-//	GET    /healthz        liveness
-//	/debug/pprof/          standard profiler
+//	POST   /v1/graphs              load/register a graph
+//	GET    /v1/graphs              list resident graphs
+//	POST   /v1/query               run (or join, or hit the cache for) a query
+//	GET    /v1/jobs/{id}           job status and result
+//	DELETE /v1/jobs/{id}           cancel a job
+//	GET    /v1/debug/requests      flight recorder + live service snapshot
+//	GET    /v1/debug/requests/{id} one request's stage timeline
+//	GET    /v1/debug/trace         flight recorder as Chrome trace JSON
+//	GET    /metrics                Prometheus text format (midas_serve_* series)
+//	GET    /healthz                liveness
+//	/debug/pprof/                  standard profiler
+//
+// The whole tree runs behind the request-ID/recovery/access-log
+// middleware: every response carries X-Midas-Request-Id.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/graphs", s.handleAddGraph)
@@ -281,11 +287,14 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	mux.HandleFunc("GET /v1/debug/requests", s.handleDebugRequests)
+	mux.HandleFunc("GET /v1/debug/requests/{id}", s.handleDebugRequest)
+	mux.HandleFunc("GET /v1/debug/trace", s.handleDebugTrace)
 	source := obs.SnapshotSource(s.rec)
 	mux.Handle("GET /metrics", obs.MetricsHandler(source, s.gauges))
 	mux.Handle("GET /healthz", obs.HealthzHandler(source))
 	obs.RegisterPprof(mux)
-	return mux
+	return s.middleware(mux)
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -294,27 +303,32 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck
 }
 
+// apiError is the uniform error envelope: every non-2xx response body
+// is {error, request_id}, so a client (or an operator grepping logs)
+// can correlate any failure with its access-log line and flight-recorder
+// trace by ID.
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+func writeErr(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...), RequestID: requestIDOf(r)})
 }
 
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req GraphRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 256<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad graph request: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad graph request: %v", err)
 		return
 	}
 	if req.Name == "" {
-		writeErr(w, http.StatusBadRequest, "missing graph name")
+		writeErr(w, r, http.StatusBadRequest, "missing graph name")
 		return
 	}
 	var g *graph.Graph
@@ -323,36 +337,39 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		var err error
 		g, err = graph.Load(req.Path)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "load %s: %v", req.Path, err)
+			writeErr(w, r, http.StatusBadRequest, "load %s: %v", req.Path, err)
 			return
 		}
 	case req.Random != nil:
 		if req.Random.N <= 0 {
-			writeErr(w, http.StatusBadRequest, "random graph needs n > 0")
+			writeErr(w, r, http.StatusBadRequest, "random graph needs n > 0")
 			return
 		}
 		g = graph.RandomNLogN(req.Random.N, req.Random.Seed)
 	case req.N > 0:
 		g = graph.FromEdges(req.N, req.Edges)
 	default:
-		writeErr(w, http.StatusBadRequest, "graph request needs path, random, or n+edges")
+		writeErr(w, r, http.StatusBadRequest, "graph request needs path, random, or n+edges")
 		return
 	}
 	if len(req.Weights) > 0 {
 		if len(req.Weights) != g.NumVertices() {
-			writeErr(w, http.StatusBadRequest, "%d weights for %d vertices", len(req.Weights), g.NumVertices())
+			writeErr(w, r, http.StatusBadRequest, "%d weights for %d vertices", len(req.Weights), g.NumVertices())
 			return
 		}
 		g.SetWeights(req.Weights)
 	}
 	if len(req.Labels) > 0 {
 		if len(req.Labels) != g.NumVertices() {
-			writeErr(w, http.StatusBadRequest, "%d labels for %d vertices", len(req.Labels), g.NumVertices())
+			writeErr(w, r, http.StatusBadRequest, "%d labels for %d vertices", len(req.Labels), g.NumVertices())
 			return
 		}
 		g.SetLabels(req.Labels)
 	}
 	e := s.registry.add(req.Name, g)
+	s.logger.Info("graph registered",
+		"name", req.Name, "vertices", g.NumVertices(), "edges", g.NumEdges(),
+		"digest", strconv.FormatUint(e.Digest, 16))
 	writeJSON(w, http.StatusOK, graphView(e))
 }
 
@@ -367,29 +384,36 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
-		writeErr(w, http.StatusServiceUnavailable, "server is draining")
+		writeErr(w, r, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
 	var req QueryRequest
 	r.Body = http.MaxBytesReader(w, r.Body, 4<<20)
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad query: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad query: %v", err)
 		return
 	}
 	if err := req.validate(); err != nil {
-		writeErr(w, http.StatusBadRequest, "bad query: %v", err)
+		writeErr(w, r, http.StatusBadRequest, "bad query: %v", err)
 		return
 	}
 	entry, err := s.registry.get(req.Graph)
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeErr(w, r, http.StatusNotFound, "%v", err)
 		return
 	}
 	key := req.key(entry.Digest)
+	ri := s.requestInfo(r)
+	tr := newQueryTrace(ri.id, ri.received, &req, entry.Digest)
+	s.flightRec.start(tr)
 
-	// Fast path: an identical finished query.
+	// Fast path: an identical finished query — the trace never becomes
+	// a job: received → cache-hit → done, all on the handler goroutine.
 	if res, ok := s.cache.get(key); ok {
 		s.rec.Add(obs.ServeCacheHits, 1)
+		tr.setDisposition(DispCacheHit, 0)
+		tr.stage(StageCacheHit)
+		s.finishTrace(tr, StatusDone, nil)
 		writeJSON(w, http.StatusOK, JobView{Status: StatusDone, Result: res.cachedCopy()})
 		return
 	}
@@ -400,12 +424,20 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	j := s.jobs.newJob(s.baseCtx, key, &req, timeout)
 	j.digest = entry.Digest
+	j.trace = tr
+	j.finishHook = s.completeTrace
+	tr.setJob(j.ID)
+	// Stage "queued" before the push: once pushed, a worker may stamp
+	// "admitted" at any instant, and the timeline must stay monotone.
+	tr.stage(StageQueued)
 	if s.queue.push(j) {
 		s.rec.Add(obs.ServeAdmitted, 1)
+		s.logger.Debug("query admitted",
+			"requestId", ri.id, "jobId", j.ID, "kind", req.Kind, "graph", req.Graph, "k", req.K)
 	} else {
 		s.rec.Add(obs.ServeRejected, 1)
 		j.finish(StatusFailed, nil, errors.New("admission queue full"))
-		writeErr(w, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
+		writeErr(w, r, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
 		return
 	}
 
@@ -445,7 +477,7 @@ func writeJobView(w http.ResponseWriter, j *job) {
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErr(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.view())
@@ -454,9 +486,10 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.jobs.get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
+		writeErr(w, r, http.StatusNotFound, "unknown job %q", r.PathValue("id"))
 		return
 	}
+	s.logger.Info("job cancel requested", "jobId", j.ID, "requestId", requestIDOf(r))
 	j.cancel()
 	writeJSON(w, http.StatusOK, j.view())
 }

@@ -3,6 +3,7 @@ package serve
 import (
 	"context"
 	"errors"
+	"strconv"
 	"time"
 
 	"github.com/midas-hpc/midas/internal/comm"
@@ -80,14 +81,19 @@ func (s *Server) runBatched(first *job) {
 	// Count the assembly window as in-flight work so drain waits for it.
 	s.inflight.Add(1)
 	defer s.inflight.Add(-1)
+	hold := time.Now()
 	lanes := []*laneJob{lead}
 	if !s.draining.Load() {
 		lanes = s.collectLanes(lanes)
 	}
+	s.rec.Observe(obs.HistServeBatchAssembly, time.Since(hold).Seconds())
 	if len(lanes) == 1 {
 		s.executeLane(lead)
 		return
 	}
+	s.logger.Debug("batch assembled",
+		"lanes", len(lanes), "kind", lead.j.Req.Kind, "graph", lead.j.Req.Graph,
+		"holdMillis", millis(hold, time.Now()))
 	s.executeBatch(lanes)
 }
 
@@ -129,6 +135,7 @@ func (s *Server) collectLanes(lanes []*laneJob) []*laneJob {
 // here (cache hit, flight follower, expired); ok=true means the job
 // leads a fresh flight and must be executed — as a batch lane or solo.
 func (s *Server) prepLane(j *job) (*laneJob, bool) {
+	j.traceStage(StageAdmitted)
 	if err := j.ctx.Err(); err != nil {
 		s.finishErr(j, nil, err) // expired while queued
 		return nil, false
@@ -137,6 +144,8 @@ func (s *Server) prepLane(j *job) (*laneJob, bool) {
 	if res, ok := s.cache.get(j.Key); ok {
 		s.rec.Add(obs.ServeCacheHits, 1)
 		s.rec.Add(obs.ServeCompleted, 1)
+		j.traceDisposition(DispCacheHit, 0)
+		j.traceStage(StageCacheHit)
 		j.finish(StatusDone, res.cachedCopy(), nil)
 		return nil, false
 	}
@@ -145,10 +154,13 @@ func (s *Server) prepLane(j *job) (*laneJob, bool) {
 	go s.resolve(j, f)
 	if !leader {
 		s.rec.Add(obs.ServeSingleflightShared, 1)
+		j.traceDisposition(DispSingleflight, 0)
+		j.traceStage(StageSingleflightJoined)
 		j.setStatus(StatusRunning)
 		return nil, false
 	}
 	s.rec.Add(obs.ServeCacheMisses, 1)
+	j.traceDisposition(DispSolo, 0)
 	j.setStatus(StatusRunning)
 	return &laneJob{j: j, f: f}, true
 }
@@ -158,8 +170,14 @@ func (s *Server) prepLane(j *job) (*laneJob, bool) {
 // the same laneJob in runJob).
 func (s *Server) executeLane(lj *laneJob) {
 	start := time.Now()
-	res, err := s.execute(lj.f.ctx, lj.j.Req)
+	if tr := lj.j.trace; tr != nil {
+		tr.beginDP(lj.j.Req.plannedPhases())
+	}
+	res, err := s.execute(lj.f.ctx, lj.j.Req, lj.j.trace)
 	s.rec.Observe(obs.HistServeQueryLatency, time.Since(start).Seconds())
+	if res != nil && lj.j.trace != nil {
+		lj.j.trace.setDPResult(res.Phases, res.TotalPhases)
+	}
 	if err == nil {
 		s.cache.put(lj.j.Key, res, res.size())
 	}
@@ -176,8 +194,14 @@ func (s *Server) executeBatch(lanes []*laneJob) {
 	first := lanes[0].j.Req
 	blanes := make([]mld.BatchLane, len(lanes))
 	laneErrs := make([]error, len(lanes))
+	laneDetail := strconv.Itoa(len(lanes)) + " lanes"
 	for i, lj := range lanes {
 		req := lj.j.Req
+		lj.j.traceDisposition(DispBatchedLane, len(lanes))
+		if tr := lj.j.trace; tr != nil {
+			tr.stageDetail(StageBatchAssembled, laneDetail)
+			tr.beginDP(req.plannedPhases())
+		}
 		bl := mld.BatchLane{
 			K: req.K, ZMax: req.ZMax,
 			Seed: req.Seed, Epsilon: req.Epsilon, Rounds: req.Rounds,
@@ -227,6 +251,9 @@ func (s *Server) executeBatch(lanes []*laneJob) {
 				res = &Result{
 					Kind: lj.j.Req.Kind, Found: lr.Found, Table: lr.Table,
 					Rounds: lr.Rounds, Phases: lr.Phases, TotalPhases: lr.TotalPhases,
+				}
+				if tr := lj.j.trace; tr != nil {
+					tr.setDPResult(lr.Phases, lr.TotalPhases)
 				}
 				err = lr.Err
 			case batchErr != nil:

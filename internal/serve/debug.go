@@ -1,0 +1,128 @@
+package serve
+
+// The flight-recorder debug API:
+//
+//	GET /v1/debug/requests       live service snapshot + every in-flight
+//	                             trace + the ring of recent completions
+//	GET /v1/debug/requests/{id}  one request's full stage timeline
+//	GET /v1/debug/trace          the recorder as Chrome trace_event JSON
+//	                             (a "midas-serve queries" process lane;
+//	                             load at chrome://tracing or Perfetto)
+//
+// Always on: the recorder costs a bounded ring of completed traces, so
+// there is no sampling flag to forget before an incident.
+
+import (
+	"net/http"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// RecorderStats describes the flight recorder's occupancy.
+type RecorderStats struct {
+	Inflight int   `json:"inflight"`
+	Recent   int   `json:"recent"`
+	Capacity int   `json:"capacity"`
+	Evicted  int64 `json:"evicted"`
+}
+
+// DebugSnapshot is the live service introspection block of
+// GET /v1/debug/requests: the state gauges of /metrics plus the bits
+// Prometheus text format cannot carry (per-worker states, build info).
+type DebugSnapshot struct {
+	Now           time.Time     `json:"now"`
+	UptimeSeconds float64       `json:"uptimeSeconds"`
+	Build         obs.BuildInfo `json:"build"`
+	Draining      bool          `json:"draining"`
+
+	QueueDepth    int      `json:"queueDepth"`
+	QueueCapacity int      `json:"queueCapacity"`
+	Inflight      int64    `json:"inflight"`
+	Workers       []string `json:"workers"` // per-worker state: idle | running | batching
+
+	CacheEntries       int   `json:"cacheEntries"`
+	CacheBytes         int64 `json:"cacheBytes"`
+	ArenaRetainedBytes int64 `json:"arenaRetainedBytes"`
+	Graphs             int   `json:"graphs"`
+	Jobs               int   `json:"jobs"`
+
+	BatchWindowMillis float64 `json:"batchWindowMillis"`
+	BatchMaxLanes     int     `json:"batchMaxLanes"`
+
+	FlightRecorder RecorderStats `json:"flightRecorder"`
+}
+
+// DebugRequests is the GET /v1/debug/requests response body.
+type DebugRequests struct {
+	Snapshot DebugSnapshot `json:"snapshot"`
+	Inflight []TraceView   `json:"inflight"` // newest first
+	Recent   []TraceView   `json:"recent"`   // newest first
+}
+
+// debugSnapshot assembles the live introspection block.
+func (s *Server) debugSnapshot() DebugSnapshot {
+	entries, bytes := s.cache.stats()
+	fin, frec, fcap, fev := s.flightRec.stats()
+	workers := make([]string, len(s.workerState))
+	for i := range s.workerState {
+		st, _ := s.workerState[i].Load().(string)
+		if st == "" {
+			st = "idle"
+		}
+		workers[i] = st
+	}
+	return DebugSnapshot{
+		Now:           time.Now(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Build:         obs.GetBuildInfo(),
+		Draining:      s.draining.Load(),
+
+		QueueDepth:    s.queue.len(),
+		QueueCapacity: s.cfg.QueueDepth,
+		Inflight:      s.inflight.Load(),
+		Workers:       workers,
+
+		CacheEntries:       entries,
+		CacheBytes:         bytes,
+		ArenaRetainedBytes: s.arena.RetainedBytes(),
+		Graphs:             s.registry.size(),
+		Jobs:               s.jobs.size(),
+
+		BatchWindowMillis: float64(s.cfg.BatchWindow) / float64(time.Millisecond),
+		BatchMaxLanes:     s.cfg.BatchMaxLanes,
+
+		FlightRecorder: RecorderStats{Inflight: fin, Recent: frec, Capacity: fcap, Evicted: fev},
+	}
+}
+
+func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
+	inflight, recent := s.flightRec.list()
+	out := DebugRequests{
+		Snapshot: s.debugSnapshot(),
+		Inflight: make([]TraceView, 0, len(inflight)),
+		Recent:   make([]TraceView, 0, len(recent)),
+	}
+	for _, tr := range inflight {
+		out.Inflight = append(out.Inflight, tr.view())
+	}
+	for _, tr := range recent {
+		out.Recent = append(out.Recent, tr.view())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleDebugRequest(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr, ok := s.flightRec.get(id)
+	if !ok {
+		writeErr(w, r, http.StatusNotFound, "no trace for request %q (evicted, or never seen)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr.view())
+}
+
+func (s *Server) handleDebugTrace(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	obs.WriteTrace(w, s.flightRec.traceSnapshot()) //nolint:errcheck
+}

@@ -26,6 +26,14 @@ type job struct {
 	Req    *QueryRequest
 	digest uint64 // content digest of the named graph (batch compatibility)
 
+	// trace is the job's query trace; finishHook (the server's
+	// completeTrace) runs exactly once when the job reaches a terminal
+	// state, on whichever goroutine finished it. Both are set before
+	// the job enters the queue and never mutated after, so workers read
+	// them without the job lock.
+	trace      *QueryTrace
+	finishHook func(*job)
+
 	ctx    context.Context
 	cancel context.CancelFunc
 
@@ -63,8 +71,25 @@ func (j *job) finish(status string, res *Result, err error) {
 	j.status, j.res, j.err = status, res, err
 	j.finished = time.Now()
 	j.mu.Unlock()
+	if j.finishHook != nil {
+		j.finishHook(j)
+	}
 	close(j.done)
 	j.cancel()
+}
+
+// traceStage appends a stage to the job's trace (no-op untraced).
+func (j *job) traceStage(name string) {
+	if j.trace != nil {
+		j.trace.stage(name)
+	}
+}
+
+// traceDisposition records how the job's query is being answered.
+func (j *job) traceDisposition(d string, lanes int) {
+	if j.trace != nil {
+		j.trace.setDisposition(d, lanes)
+	}
 }
 
 // view snapshots the job for the API.

@@ -1,0 +1,130 @@
+package serve
+
+// HTTP middleware: request-ID assignment, panic recovery, and the
+// structured access log. Every response — success or error, any route —
+// carries an X-Midas-Request-Id header: the caller's own value when the
+// request supplied one, a generated ID otherwise. The ID is the join
+// key across the access log, the flight recorder's debug endpoints, and
+// the exported serve trace lane.
+
+import (
+	"context"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime/debug"
+	"strconv"
+	"time"
+)
+
+// RequestIDHeader is the request/response header carrying the query's
+// request ID.
+const RequestIDHeader = "X-Midas-Request-Id"
+
+// reqInfo travels the request context from the middleware to handlers:
+// the request ID and the HTTP-boundary arrival time (so traces include
+// decode/validate latency).
+type reqInfo struct {
+	id       string
+	received time.Time
+}
+
+type reqInfoKey struct{}
+
+// requestInfo extracts the middleware's request info; the zero info
+// (generated on the spot) covers handlers invoked without it (tests
+// hitting handlers directly).
+func (s *Server) requestInfo(r *http.Request) reqInfo {
+	if ri, ok := r.Context().Value(reqInfoKey{}).(reqInfo); ok {
+		return ri
+	}
+	return reqInfo{id: s.nextRequestID(), received: time.Now()}
+}
+
+// requestIDOf returns the request's ID for error envelopes ("" when the
+// middleware did not run).
+func requestIDOf(r *http.Request) string {
+	if r == nil {
+		return ""
+	}
+	if ri, ok := r.Context().Value(reqInfoKey{}).(reqInfo); ok {
+		return ri.id
+	}
+	return ""
+}
+
+// nextRequestID generates a process-unique request ID. The prefix is
+// derived from the server's start instant, so IDs from successive
+// process generations do not collide in downstream log stores.
+func (s *Server) nextRequestID() string {
+	return s.idPrefix + strconv.FormatUint(s.reqSeq.Add(1), 10)
+}
+
+// statusWriter captures the response status and size for the access
+// log, and whether a handler already wrote headers (so the recovery
+// path knows if an error envelope can still be sent).
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int64
+	wrote bool
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if !sw.wrote {
+		sw.code = code
+		sw.wrote = true
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if !sw.wrote {
+		sw.code = http.StatusOK
+		sw.wrote = true
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// middleware wraps the API mux: assigns/propagates the request ID,
+// stamps it on the response, recovers panics into a JSON 500 envelope,
+// and emits one structured access-log line per request.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id := r.Header.Get(RequestIDHeader)
+		if id == "" {
+			id = s.nextRequestID()
+		}
+		w.Header().Set(RequestIDHeader, id)
+		r = r.WithContext(context.WithValue(r.Context(), reqInfoKey{}, reqInfo{id: id, received: start}))
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		defer func() {
+			if p := recover(); p != nil {
+				s.logger.Error("panic serving request",
+					"requestId", id, "method", r.Method, "path", r.URL.Path,
+					"panic", fmt.Sprint(p), "stack", string(debug.Stack()))
+				if !sw.wrote {
+					writeErr(sw, r, http.StatusInternalServerError, "internal server error")
+				}
+			}
+			s.logger.Info("http request",
+				"requestId", id, "method", r.Method, "path", r.URL.Path,
+				"status", sw.code, "bytes", sw.bytes,
+				"millis", millis(start, time.Now()))
+		}()
+		next.ServeHTTP(sw, r)
+	})
+}
+
+// noopHandler is the logger backing Config.Logger == nil: disabled at
+// every level, so log call sites cost one Enabled test and no
+// formatting. (slog.DiscardHandler postdates this module's Go version.)
+type noopHandler struct{}
+
+func (noopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (noopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (noopHandler) WithAttrs([]slog.Attr) slog.Handler        { return noopHandler{} }
+func (noopHandler) WithGroup(string) slog.Handler             { return noopHandler{} }

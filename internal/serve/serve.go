@@ -33,6 +33,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -78,6 +79,21 @@ type Config struct {
 	// BatchMaxLanes caps the lanes per batched execution. Default 16,
 	// hard cap mld.MaxBatchLanes.
 	BatchMaxLanes int
+	// Logger receives the service's structured logs: the per-request
+	// HTTP access log, the per-query access log (request ID, identity,
+	// disposition, stage latencies, status), lifecycle events, and the
+	// slow-query log. Nil — the default — discards everything at zero
+	// formatting cost. cmd/midas-serve installs a JSON handler on
+	// stderr, leveled by -log-level.
+	Logger *slog.Logger
+	// SlowQuery, when positive, logs any query whose total latency
+	// (received → terminal) meets the threshold at Warn level and
+	// counts it in the serve-slow-queries counter. Zero disables.
+	SlowQuery time.Duration
+	// FlightRecorderSize bounds the ring of completed query traces the
+	// flight recorder retains for GET /v1/debug/requests (in-flight
+	// traces are always all held). Default 256.
+	FlightRecorderSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -108,20 +124,30 @@ func (c Config) withDefaults() Config {
 	if c.BatchMaxLanes > mld.MaxBatchLanes {
 		c.BatchMaxLanes = mld.MaxBatchLanes
 	}
+	if c.FlightRecorderSize <= 0 {
+		c.FlightRecorderSize = 256
+	}
 	return c
 }
 
 // Server is the query service. Construct with New, expose via Handler
 // or Start, stop with Shutdown.
 type Server struct {
-	cfg      Config
-	rec      *obs.Recorder // serve-plane counters and histograms
-	arena    *mld.Arena    // DP slabs shared by every query execution
-	registry *registry
-	cache    *resultCache
-	flights  *flightGroup
-	jobs     *jobTable
-	queue    *admitQueue
+	cfg       Config
+	rec       *obs.Recorder // serve-plane counters and histograms
+	arena     *mld.Arena    // DP slabs shared by every query execution
+	registry  *registry
+	cache     *resultCache
+	flights   *flightGroup
+	jobs      *jobTable
+	queue     *admitQueue
+	logger    *slog.Logger
+	flightRec *flightRecorder
+
+	started     time.Time
+	idPrefix    string        // request-ID prefix, unique per process generation
+	reqSeq      atomic.Uint64 // generated request-ID sequence
+	workerState []atomic.Value
 
 	baseCtx    context.Context // parent of every flight; cancelled at forced stop
 	baseCancel context.CancelFunc
@@ -139,21 +165,35 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	now := time.Now()
 	s := &Server{
-		cfg:        cfg,
-		rec:        obs.NewRecorder(0, nil),
-		arena:      mld.NewArenaCap(cfg.ArenaMaxBytes, cfg.ArenaMaxClasses),
-		registry:   newRegistry(),
-		cache:      newResultCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
-		flights:    newFlightGroup(),
-		jobs:       newJobTable(cfg.MaxJobs),
-		queue:      newAdmitQueue(cfg.QueueDepth),
-		baseCtx:    ctx,
-		baseCancel: cancel,
+		cfg:         cfg,
+		rec:         obs.NewRecorder(0, nil),
+		arena:       mld.NewArenaCap(cfg.ArenaMaxBytes, cfg.ArenaMaxClasses),
+		registry:    newRegistry(),
+		cache:       newResultCache(cfg.CacheMaxEntries, cfg.CacheMaxBytes),
+		flights:     newFlightGroup(),
+		jobs:        newJobTable(cfg.MaxJobs),
+		queue:       newAdmitQueue(cfg.QueueDepth),
+		logger:      cfg.Logger,
+		flightRec:   newFlightRecorder(cfg.FlightRecorderSize),
+		started:     now,
+		idPrefix:    fmt.Sprintf("r%08x-", uint32(now.UnixNano())),
+		workerState: make([]atomic.Value, cfg.Workers),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
 	}
+	if s.logger == nil {
+		s.logger = slog.New(noopHandler{})
+	}
+	b := obs.GetBuildInfo()
+	s.logger.Info("midas-serve starting",
+		"version", b.Version, "goversion", b.GoVersion, "revision", b.ShortRevision(),
+		"workers", cfg.Workers, "queueDepth", cfg.QueueDepth,
+		"batchWindow", cfg.BatchWindow, "flightRecorder", cfg.FlightRecorderSize)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(i)
 	}
 	return s
 }
@@ -191,6 +231,7 @@ func (s *Server) Addr() string {
 // workers and the HTTP listener before returning.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.draining.Store(true)
+	s.logger.Info("draining", "queued", s.queue.len(), "inflight", s.inflight.Load())
 	drained := s.awaitIdle(ctx)
 	// Cut off whatever remains (no-op when drained cleanly).
 	s.baseCancel()
@@ -210,6 +251,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if !drained && err == nil {
 		err = fmt.Errorf("serve: drain deadline expired with work in flight")
 	}
+	s.logger.Info("stopped", "drained", drained)
 	return err
 }
 
@@ -235,15 +277,18 @@ func (s *Server) awaitIdle(ctx context.Context) bool {
 // telemetry surface.
 func (s *Server) Recorder() *obs.Recorder { return s.rec }
 
-// worker executes queued jobs until the server stops.
-func (s *Server) worker() {
+// worker executes queued jobs until the server stops. Its id indexes
+// the workerState table the debug snapshot reads.
+func (s *Server) worker(id int) {
 	defer s.wg.Done()
 	for {
+		s.workerState[id].Store("idle")
 		j, ok := s.queue.popWait()
 		if !ok {
+			s.workerState[id].Store("stopped")
 			return
 		}
-		s.runJob(j)
+		s.runJob(id, j)
 	}
 }
 
@@ -251,11 +296,13 @@ func (s *Server) worker() {
 // execution — batched when admission batching is on and the query is
 // batchable, solo otherwise. Followers do not occupy the worker: they
 // are parked on a resolution goroutine and the worker moves on.
-func (s *Server) runJob(j *job) {
+func (s *Server) runJob(wid int, j *job) {
 	if s.cfg.BatchWindow > 0 && batchable(j) {
+		s.workerState[wid].Store("batching")
 		s.runBatched(j)
 		return
 	}
+	s.workerState[wid].Store("running")
 	lj, ok := s.prepLane(j)
 	if !ok {
 		return
@@ -263,6 +310,49 @@ func (s *Server) runJob(j *job) {
 	s.inflight.Add(1)
 	s.executeLane(lj)
 	s.inflight.Add(-1)
+}
+
+// completeTrace is every job's finish hook: it closes the job's trace
+// with the terminal status and hands it to finishTrace. Set at job
+// creation, invoked exactly once from job.finish — so every completion
+// path (settle, finishErr, drain failures, queue-full rejects) feeds
+// the flight recorder and the query access log.
+func (s *Server) completeTrace(j *job) {
+	if j.trace == nil {
+		return
+	}
+	j.mu.Lock()
+	status, err := j.status, j.err
+	j.mu.Unlock()
+	s.finishTrace(j.trace, status, err)
+}
+
+// finishTrace finalizes a query trace: terminal stage, flight-recorder
+// retirement (counting ring evictions), the dp-time histogram, the
+// structured query access log, and the slow-query log.
+func (s *Server) finishTrace(tr *QueryTrace, status string, err error) {
+	tr.finish(status, err)
+	if ev := s.flightRec.complete(tr); ev > 0 {
+		s.rec.Add(obs.ServeTraceEvictions, ev)
+	}
+	v := tr.view()
+	if v.DPMillis > 0 {
+		s.rec.Observe(obs.HistServeDPTime, v.DPMillis/1e3)
+	}
+	attrs := []any{
+		"requestId", v.ID, "jobId", v.JobID, "kind", v.Kind, "graph", v.Graph,
+		"digest", v.Digest, "k", v.K, "ranks", v.Ranks,
+		"disposition", v.Disposition, "lanes", v.Lanes, "status", v.Status,
+		"queueMillis", v.QueueMillis, "dpMillis", v.DPMillis, "totalMillis", v.TotalMillis,
+	}
+	if v.Error != "" {
+		attrs = append(attrs, "error", v.Error)
+	}
+	s.logger.Info("query", attrs...)
+	if s.cfg.SlowQuery > 0 && v.TotalMillis >= float64(s.cfg.SlowQuery)/float64(time.Millisecond) {
+		s.rec.Add(obs.ServeSlowQueries, 1)
+		s.logger.Warn("slow query", attrs...)
+	}
 }
 
 // resolve settles one job against its flight: normally when the flight
@@ -322,8 +412,10 @@ func isCtxErr(err error) bool {
 // its execution counters (also on error, so an aborted sweep reports
 // how far it got). Ranks ≤ 1 runs the shared-memory evaluators with
 // the server's warm arena; ranks > 1 runs the distributed engine on an
-// in-process world with the graph's cached partition.
-func (s *Server) execute(ctx context.Context, req *QueryRequest) (*Result, error) {
+// in-process world with the graph's cached partition. A non-nil trace
+// receives live per-phase sweep progress through the evaluators'
+// progress callbacks.
+func (s *Server) execute(ctx context.Context, req *QueryRequest, tr *QueryTrace) (*Result, error) {
 	entry, err := s.registry.get(req.Graph)
 	if err != nil {
 		return nil, err
@@ -331,9 +423,9 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest) (*Result, error
 	rec := obs.NewRecorder(0, nil)
 	res := &Result{Kind: req.Kind}
 	if req.Ranks > 1 {
-		err = s.executeDistributed(ctx, entry, req, rec, res)
+		err = s.executeDistributed(ctx, entry, req, rec, res, tr)
 	} else {
-		err = s.executeSequential(ctx, entry, req, rec, res)
+		err = s.executeSequential(ctx, entry, req, rec, res, tr)
 	}
 	snap := rec.Snapshot()
 	res.Rounds = snap.Counter(obs.Rounds)
@@ -342,11 +434,14 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest) (*Result, error
 	return res, err
 }
 
-func (s *Server) executeSequential(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result) error {
+func (s *Server) executeSequential(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result, tr *QueryTrace) error {
 	opt := mld.Options{
 		Seed: req.Seed, Epsilon: req.Epsilon, Rounds: req.Rounds,
 		N2: req.N2, Workers: req.Workers,
 		Arena: s.arena, Ctx: ctx, Obs: rec,
+	}
+	if tr != nil {
+		opt.Progress = tr.progress
 	}
 	switch req.Kind {
 	case KindPath:
@@ -378,7 +473,7 @@ func (s *Server) executeSequential(ctx context.Context, entry *graphEntry, req *
 	}
 }
 
-func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result) error {
+func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result, tr *QueryTrace) error {
 	scheme := partition.Scheme(req.Scheme)
 	if scheme == "" {
 		scheme = partition.SchemeBlock
@@ -397,6 +492,9 @@ func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req 
 		K: req.K, N1: n1, N2: req.N2, Seed: req.Seed,
 		Epsilon: req.Epsilon, Rounds: req.Rounds, Scheme: scheme,
 		Ctx: ctx, Part: part, NoTiming: true,
+	}
+	if tr != nil {
+		cfg.Progress = func(done, _ int64) { tr.progress(done) }
 	}
 	var mu sync.Mutex
 	run := func(c *comm.Comm) error {
@@ -464,6 +562,7 @@ func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req 
 // them).
 func (s *Server) gauges() []obs.Metric {
 	entries, bytes := s.cache.stats()
+	_, frRecent, _, _ := s.flightRec.stats()
 	var draining float64
 	if s.draining.Load() {
 		draining = 1
@@ -480,5 +579,8 @@ func (s *Server) gauges() []obs.Metric {
 		obs.Gauge("midas_serve_draining", "1 while the server refuses new admissions to drain.", draining),
 		obs.Gauge("midas_serve_batch_window_seconds", "Admission batching window (0 = batching off).", s.cfg.BatchWindow.Seconds()),
 		obs.Gauge("midas_serve_batch_max_lanes", "Lane cap per batched execution.", float64(s.cfg.BatchMaxLanes)),
+		obs.Gauge("midas_serve_flight_recorder_traces", "Completed query traces retained by the flight recorder.", float64(frRecent)),
+		obs.Gauge("midas_uptime_seconds", "Seconds since this midas-serve process started.", time.Since(s.started).Seconds()),
+		obs.BuildInfoMetric(),
 	}
 }

@@ -1,0 +1,402 @@
+package serve
+
+// Request-scoped tracing: every query gets an ID at the HTTP boundary
+// (caller-supplied X-Midas-Request-Id or generated) and a QueryTrace —
+// a timestamped stage timeline from received through queued, admitted,
+// its disposition (solo DP, batched lane, cache hit, singleflight
+// join), live DP phase progress, to its terminal state. Traces live in
+// the flight recorder: an always-on fixed-size ring of the last N
+// completed traces plus every in-flight one, served at
+// GET /v1/debug/requests (debug.go) and exportable as a Chrome trace
+// lane that stitches visually onto the rank-level flows
+// (docs/OBSERVABILITY.md §"Query tracing & flight recorder").
+
+import (
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// Stage names, in lifecycle order. A trace's timeline is monotone:
+// stages are appended as they happen, each stamped once.
+const (
+	StageReceived           = "received"            // request parsed and validated
+	StageQueued             = "queued"              // entered the admission queue
+	StageAdmitted           = "admitted"            // a worker picked it up
+	StageCacheHit           = "cache-hit"           // answered from the result cache
+	StageSingleflightJoined = "singleflight-joined" // attached to an identical in-flight DP
+	StageBatchAssembled     = "batch-assembled"     // became a lane of a batched execution
+	StageDP                 = "dp"                  // DP sweep running (carries phase progress)
+	StageDone               = "done"                // terminal: result published
+	StageError              = "error"               // terminal: failed, cancelled, or timed out
+)
+
+// Dispositions: how the query was ultimately answered.
+const (
+	DispSolo         = "solo"                // led its own flight, ran the DP alone
+	DispBatchedLane  = "batched-lane"        // lane of a multi-query DP execution
+	DispCacheHit     = "cache-hit"           // result cache, no DP
+	DispSingleflight = "singleflight-joined" // shared an identical in-flight DP
+)
+
+// StageEvent is one timestamped point of a query's timeline. The dp
+// stage additionally carries live sweep progress, updated in place by
+// the evaluators' progress callbacks (mld.Options.Progress /
+// core.Config.Progress).
+type StageEvent struct {
+	Stage string    `json:"stage"`
+	At    time.Time `json:"at"`
+	// Detail is stage-specific context: the batch lane count on
+	// batch-assembled, the error text on error.
+	Detail string `json:"detail,omitempty"`
+	// Phases/TotalPhases carry DP progress on the dp stage (TotalPhases
+	// is the planned single-round sweep length; Phases counts completed
+	// phases and may exceed it for multi-round queries).
+	Phases      int64 `json:"phases,omitempty"`
+	TotalPhases int64 `json:"totalPhases,omitempty"`
+}
+
+// QueryTrace records one query's identity and stage timeline. Safe for
+// concurrent use: the HTTP handler, the worker, the progress callback,
+// and the debug endpoints all touch it.
+type QueryTrace struct {
+	mu sync.Mutex
+
+	id     string // request ID (caller-supplied or generated)
+	jobID  string // job table ID ("" for cache fast-path hits)
+	kind   string
+	graph  string
+	digest uint64
+	k      int
+	ranks  int
+
+	disposition string
+	lanes       int // batch occupancy for batched-lane traces
+
+	status string // terminal job status ("" while in flight)
+	errMsg string
+
+	stages []StageEvent
+	dpIdx  int // index of the dp stage in stages; -1 before it exists
+
+	seq uint64 // flight-recorder admission order (assigned by start)
+}
+
+// newQueryTrace starts a trace for a validated query. received is the
+// HTTP-boundary arrival time (stamped by the middleware), so the
+// timeline includes decode/validate latency.
+func newQueryTrace(id string, received time.Time, req *QueryRequest, digest uint64) *QueryTrace {
+	tr := &QueryTrace{
+		id: id, kind: req.Kind, graph: req.Graph, digest: digest,
+		k: req.K, ranks: req.Ranks, dpIdx: -1,
+	}
+	tr.stages = append(tr.stages, StageEvent{Stage: StageReceived, At: received})
+	return tr
+}
+
+// ID returns the trace's request ID.
+func (t *QueryTrace) ID() string { return t.id }
+
+// stage appends a plain timeline event.
+func (t *QueryTrace) stage(name string) { t.stageDetail(name, "") }
+
+// stageDetail appends a timeline event with stage-specific context.
+func (t *QueryTrace) stageDetail(name, detail string) {
+	t.mu.Lock()
+	t.stages = append(t.stages, StageEvent{Stage: name, At: time.Now(), Detail: detail})
+	t.mu.Unlock()
+}
+
+// setJob links the trace to its admission-queue job.
+func (t *QueryTrace) setJob(id string) {
+	t.mu.Lock()
+	t.jobID = id
+	t.mu.Unlock()
+}
+
+// setDisposition records how the query is being answered. The first
+// call wins: a batched lane that was first marked solo upgrades, but a
+// terminal disposition (cache-hit, singleflight) never changes.
+func (t *QueryTrace) setDisposition(d string, lanes int) {
+	t.mu.Lock()
+	t.disposition = d
+	t.lanes = lanes
+	t.mu.Unlock()
+}
+
+// beginDP opens the dp stage with the planned single-round phase total.
+func (t *QueryTrace) beginDP(totalPhases int64) {
+	t.mu.Lock()
+	t.dpIdx = len(t.stages)
+	t.stages = append(t.stages, StageEvent{Stage: StageDP, At: time.Now(), TotalPhases: totalPhases})
+	t.mu.Unlock()
+}
+
+// progress updates the dp stage's completed-phase count in place (the
+// evaluators' per-phase callback; a no-op before beginDP).
+func (t *QueryTrace) progress(done int64) {
+	t.mu.Lock()
+	if t.dpIdx >= 0 && done > t.stages[t.dpIdx].Phases {
+		t.stages[t.dpIdx].Phases = done
+	}
+	t.mu.Unlock()
+}
+
+// setDPResult backfills the dp stage's final counters from an execution
+// result (batched lanes get their per-lane phase counts this way).
+func (t *QueryTrace) setDPResult(phases, totalPhases int64) {
+	t.mu.Lock()
+	if t.dpIdx >= 0 {
+		if phases > t.stages[t.dpIdx].Phases {
+			t.stages[t.dpIdx].Phases = phases
+		}
+		if totalPhases > 0 {
+			t.stages[t.dpIdx].TotalPhases = totalPhases
+		}
+	}
+	t.mu.Unlock()
+}
+
+// finish closes the timeline with done or error. Idempotent: the first
+// terminal stage wins.
+func (t *QueryTrace) finish(status string, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.status != "" {
+		return
+	}
+	t.status = status
+	ev := StageEvent{Stage: StageDone, At: time.Now()}
+	if err != nil {
+		t.errMsg = err.Error()
+		ev.Stage = StageError
+		ev.Detail = t.errMsg
+	}
+	t.stages = append(t.stages, ev)
+}
+
+// done reports whether the trace reached a terminal stage.
+func (t *QueryTrace) done() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.status != ""
+}
+
+// TraceView is the debug API's rendering of one QueryTrace.
+type TraceView struct {
+	ID          string       `json:"id"`
+	JobID       string       `json:"jobId,omitempty"`
+	Kind        string       `json:"kind"`
+	Graph       string       `json:"graph"`
+	Digest      string       `json:"digest"`
+	K           int          `json:"k,omitempty"`
+	Ranks       int          `json:"ranks,omitempty"`
+	Disposition string       `json:"disposition,omitempty"`
+	Lanes       int          `json:"lanes,omitempty"`
+	Status      string       `json:"status,omitempty"` // "" while in flight
+	Error       string       `json:"error,omitempty"`
+	Stages      []StageEvent `json:"stages"`
+	// Derived stage latencies (milliseconds), for operators who read
+	// JSON by eye: queue wait (queued→admitted), DP time (dp→terminal),
+	// and the whole timeline's extent so far.
+	QueueMillis float64 `json:"queueMillis,omitempty"`
+	DPMillis    float64 `json:"dpMillis,omitempty"`
+	TotalMillis float64 `json:"totalMillis"`
+}
+
+// view snapshots the trace for the debug endpoints.
+func (t *QueryTrace) view() TraceView {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := TraceView{
+		ID: t.id, JobID: t.jobID, Kind: t.kind, Graph: t.graph,
+		Digest:      strconv.FormatUint(t.digest, 16),
+		K:           t.k,
+		Ranks:       t.ranks,
+		Disposition: t.disposition,
+		Lanes:       t.lanes,
+		Status:      t.status,
+		Error:       t.errMsg,
+		Stages:      append([]StageEvent(nil), t.stages...),
+	}
+	end := time.Now()
+	if t.status != "" {
+		end = t.stages[len(t.stages)-1].At
+	}
+	v.TotalMillis = millis(t.stages[0].At, end)
+	var queuedAt, admittedAt, dpAt time.Time
+	for _, ev := range t.stages {
+		switch ev.Stage {
+		case StageQueued:
+			queuedAt = ev.At
+		case StageAdmitted:
+			admittedAt = ev.At
+		case StageDP:
+			dpAt = ev.At
+		}
+	}
+	if !queuedAt.IsZero() && !admittedAt.IsZero() {
+		v.QueueMillis = millis(queuedAt, admittedAt)
+	}
+	if !dpAt.IsZero() {
+		v.DPMillis = millis(dpAt, end)
+	}
+	return v
+}
+
+func millis(from, to time.Time) float64 {
+	return float64(to.Sub(from)) / float64(time.Millisecond)
+}
+
+// flightRecorder is the always-on request recorder: every in-flight
+// QueryTrace plus a fixed-size ring of the most recently completed
+// ones. Overflowing the ring evicts the oldest completed trace and
+// counts it in obs.ServeTraceEvictions.
+type flightRecorder struct {
+	mu       sync.Mutex
+	cap      int
+	seq      uint64
+	inflight []*QueryTrace
+	recent   []*QueryTrace // completed, oldest first
+	evicted  int64
+}
+
+func newFlightRecorder(capacity int) *flightRecorder {
+	return &flightRecorder{cap: capacity}
+}
+
+// start registers an in-flight trace.
+func (fr *flightRecorder) start(tr *QueryTrace) {
+	fr.mu.Lock()
+	fr.seq++
+	tr.seq = fr.seq
+	fr.inflight = append(fr.inflight, tr)
+	fr.mu.Unlock()
+}
+
+// complete moves a trace from the in-flight set into the completed
+// ring, evicting the oldest completed traces past the capacity.
+// Returns the number of evictions this call caused.
+func (fr *flightRecorder) complete(tr *QueryTrace) int64 {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for i, f := range fr.inflight {
+		if f == tr {
+			fr.inflight = append(fr.inflight[:i], fr.inflight[i+1:]...)
+			break
+		}
+	}
+	fr.recent = append(fr.recent, tr)
+	var ev int64
+	for len(fr.recent) > fr.cap {
+		fr.recent = fr.recent[1:]
+		ev++
+	}
+	fr.evicted += ev
+	return ev
+}
+
+// get returns the newest trace with the given request ID — in-flight
+// traces win over completed ones, newer over older (caller-supplied
+// IDs may repeat).
+func (fr *flightRecorder) get(id string) (*QueryTrace, bool) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	for i := len(fr.inflight) - 1; i >= 0; i-- {
+		if fr.inflight[i].id == id {
+			return fr.inflight[i], true
+		}
+	}
+	for i := len(fr.recent) - 1; i >= 0; i-- {
+		if fr.recent[i].id == id {
+			return fr.recent[i], true
+		}
+	}
+	return nil, false
+}
+
+// list snapshots the recorder: in-flight traces and completed ones,
+// each newest first.
+func (fr *flightRecorder) list() (inflight, recent []*QueryTrace) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	inflight = make([]*QueryTrace, 0, len(fr.inflight))
+	for i := len(fr.inflight) - 1; i >= 0; i-- {
+		inflight = append(inflight, fr.inflight[i])
+	}
+	recent = make([]*QueryTrace, 0, len(fr.recent))
+	for i := len(fr.recent) - 1; i >= 0; i-- {
+		recent = append(recent, fr.recent[i])
+	}
+	return inflight, recent
+}
+
+// stats reports the recorder's occupancy and lifetime evictions.
+func (fr *flightRecorder) stats() (inflight, recent int, capacity int, evicted int64) {
+	fr.mu.Lock()
+	defer fr.mu.Unlock()
+	return len(fr.inflight), len(fr.recent), fr.cap, fr.evicted
+}
+
+// serveTracePid is the pid lane the serve-plane query timeline occupies
+// in exported Chrome traces — far from the rank pids (0..N-1), so serve
+// stages render as their own process row above the rank-level flows.
+const serveTracePid = 1000
+
+// traceSnapshot renders the recorder's traces as a synthetic
+// obs.Snapshot in the serve pid lane: per query one depth-0 span named
+// by its request ID (tid = arrival order, so concurrent queries occupy
+// separate rows) with one depth-1 child span per stage interval.
+// base is the snapshot's time zero (the earliest stage of the set is a
+// natural choice); in-flight traces extend to now.
+func (fr *flightRecorder) traceSnapshot() obs.Snapshot {
+	inflight, recent := fr.list()
+	all := append(append([]*QueryTrace(nil), recent...), inflight...)
+	snap := obs.Snapshot{Rank: serveTracePid, ProcName: "midas-serve queries"}
+	if len(all) == 0 {
+		return snap
+	}
+	var base time.Time
+	for _, tr := range all {
+		tr.mu.Lock()
+		if at := tr.stages[0].At; base.IsZero() || at.Before(base) {
+			base = at
+		}
+		tr.mu.Unlock()
+	}
+	now := time.Now()
+	for _, tr := range all {
+		tr.mu.Lock()
+		end := now
+		terminal := tr.status != ""
+		if terminal {
+			end = tr.stages[len(tr.stages)-1].At
+		}
+		tid := int(tr.seq)
+		name := "req " + tr.id + " (" + tr.kind + " k=" + strconv.Itoa(tr.k) + ")"
+		snap.Spans = append(snap.Spans, obs.Span{
+			Name: name, Cat: "serve-query", Tid: tid, Depth: 0,
+			Start: tr.stages[0].At.Sub(base).Seconds(),
+			Dur:   end.Sub(tr.stages[0].At).Seconds(),
+		})
+		for i, ev := range tr.stages {
+			stageEnd := end
+			if i+1 < len(tr.stages) {
+				stageEnd = tr.stages[i+1].At
+			}
+			snap.Spans = append(snap.Spans, obs.Span{
+				Name: ev.Stage, Cat: "serve-stage", Tid: tid, Depth: 1,
+				Start: ev.At.Sub(base).Seconds(),
+				Dur:   stageEnd.Sub(ev.At).Seconds(),
+			})
+		}
+		if snap.End < end.Sub(base).Seconds() {
+			snap.End = end.Sub(base).Seconds()
+		}
+		tr.mu.Unlock()
+	}
+	snap.SpansRecorded = len(snap.Spans)
+	return snap
+}

@@ -37,11 +37,27 @@ echo "serve-smoke: daemon up at $base"
 curl -sf "$base/v1/graphs" -d '{"name":"g","random":{"n":300,"seed":1}}' \
     | grep -q '"digest"' || fail "graph load returned no digest"
 
-# First query computes; the identical repeat must come from cache.
+# First query computes; the identical repeat must come from cache. The
+# caller-supplied request ID must come back on the response and be
+# findable in the flight recorder afterwards.
 q='{"graph":"g","kind":"path","k":8,"seed":3,"rounds":1}'
-curl -sf "$base/v1/query" -d "$q" | grep -q '"status":"done"' || fail "query did not complete"
+rid="smoke-$$"
+curl -sf -D "$workdir/headers" -H "X-Midas-Request-Id: $rid" "$base/v1/query" -d "$q" \
+    | grep -q '"status":"done"' || fail "query did not complete"
+grep -qi "^x-midas-request-id: $rid" "$workdir/headers" || fail "response did not echo the request ID"
 curl -sf "$base/v1/query" -d "$q" | grep -q '"cached":true' || fail "repeat query was not served from cache"
 echo "serve-smoke: query + cache hit OK"
+
+# The flight recorder has the query's trace under its ID, with the
+# complete received → queued → admitted → dp → done stage timeline.
+curl -sf "$base/v1/debug/requests" | grep -q "\"$rid\"" || fail "request ID missing from /v1/debug/requests"
+trace="$(curl -sf "$base/v1/debug/requests/$rid")"
+for stage in received queued admitted dp done; do
+    echo "$trace" | grep -q "\"stage\":\"$stage\"" || fail "trace for $rid is missing the '$stage' stage"
+done
+echo "$trace" | grep -q '"status":"done"' || fail "trace for $rid did not finish done"
+grep -q "\"requestId\":\"$rid\"" "$workdir/serve.log" || fail "access log has no line for $rid"
+echo "serve-smoke: query trace + flight recorder OK"
 
 # Cancel a slow k=18 query mid-flight via DELETE /v1/jobs/{id}.
 slow='{"graph":"g","kind":"path","k":18,"seed":9,"rounds":1,"n2":32,"wait":false}'
