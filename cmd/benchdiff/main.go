@@ -116,6 +116,7 @@ func Compare(oldRep, newRep harness.Report, tol float64) (findings, info []strin
 	}
 	findings, info = compareBatches(oldRep, newRep, tol, findings, info)
 	findings, info = compareMotifs(oldRep, newRep, tol, findings, info)
+	findings, info = compareStores(oldRep, newRep, tol, findings, info)
 	for _, k := range newRep.Kernels {
 		info = append(info, fmt.Sprintf("kernel %s: %.0f MB/s (informational)", k.Name, k.MBPerSec))
 	}
@@ -239,6 +240,59 @@ func compareMotifs(oldRep, newRep harness.Report, tol float64, findings, info []
 		if n.MidasWallSecs > 0 {
 			info = append(info, fmt.Sprintf("%s fascia/sieve wall ratio: %.2fx (informational)", key, n.FasciaWallSecs/n.MidasWallSecs))
 		}
+	}
+	return findings, info
+}
+
+// compareStores gates the graph-store cold-start records: the v2 file
+// size is a pure function of the graph shape (growth beyond tolerance
+// is format bloat), and the two correctness booleans — the mmap'd
+// graph digest-matching its source, the partition artifact
+// round-tripping bit-identically — must stay true. The cold-start
+// milliseconds are host wall time, reported but never gated.
+func compareStores(oldRep, newRep harness.Report, tol float64, findings, info []string) ([]string, []string) {
+	index := func(recs []harness.StoreRecord) map[string]harness.StoreRecord {
+		m := make(map[string]harness.StoreRecord, len(recs))
+		for _, r := range recs {
+			m["store "+r.Dataset] = r
+		}
+		return m
+	}
+	oldS, newS := index(oldRep.Stores), index(newRep.Stores)
+	keys := make([]string, 0, len(oldS))
+	for k := range oldS {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, key := range keys {
+		o := oldS[key]
+		n, ok := newS[key]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: store record missing from new report", key))
+			continue
+		}
+		if o.FileBytes != n.FileBytes {
+			line := fmt.Sprintf("%s file-bytes: %d → %d", key, o.FileBytes, n.FileBytes)
+			if float64(n.FileBytes) > float64(o.FileBytes)*(1+tol) {
+				findings = append(findings, line)
+			} else {
+				info = append(info, line)
+			}
+		}
+		if o.MapDigestOK && !n.MapDigestOK {
+			findings = append(findings, fmt.Sprintf("%s: mapped graph no longer digest-identical to its source", key))
+		}
+		if o.PartReused && !n.PartReused {
+			findings = append(findings, fmt.Sprintf("%s: partition artifact no longer round-trips bit-identically", key))
+		}
+		info = append(info, fmt.Sprintf("%s cold-start ms: parse %.1f / binary %.1f / mmap %.2f (informational)",
+			key, n.ParseMillis, n.ReadMillis, n.MapMillis))
+		info = append(info, fmt.Sprintf("%s partition ms: derive %.1f / load %.2f (informational)",
+			key, n.PartDeriveMillis, n.PartLoadMillis))
 	}
 	return findings, info
 }

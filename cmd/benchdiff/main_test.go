@@ -254,3 +254,72 @@ func TestCompareCellsSkippedInformational(t *testing.T) {
 		t.Fatal("cells-skipped change not reported informationally")
 	}
 }
+
+func mkStore(dataset string, fileBytes int64, digestOK, reused bool) harness.StoreRecord {
+	return harness.StoreRecord{
+		Dataset: dataset, Vertices: 300, Edges: 1700,
+		TextBytes: 12000, FileBytes: fileBytes,
+		ParseMillis: 0.8, ReadMillis: 0.4, MapMillis: 0.07,
+		MapDigestOK: digestOK,
+		Parts:       8, PartDeriveMillis: 0.02, PartLoadMillis: 0.05,
+		PartReused: reused,
+	}
+}
+
+func TestCompareStoreClean(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Stores = []harness.StoreRecord{mkStore("random", 16248, true, true)}
+	neu.Stores = []harness.StoreRecord{mkStore("random", 16248, true, true)}
+	findings, info := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("identical store records produced findings: %v", findings)
+	}
+	seen := false
+	for _, line := range info {
+		if strings.Contains(line, "cold-start") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("cold-start times not reported informationally")
+	}
+}
+
+func TestCompareStoreFileBloatGated(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Stores = []harness.StoreRecord{mkStore("random", 16248, true, true)}
+	neu.Stores = []harness.StoreRecord{mkStore("random", 20000, true, true)} // +23%
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "file-bytes") {
+		t.Fatalf("23%% file growth not flagged as file-bytes: %v", findings)
+	}
+}
+
+func TestCompareStoreDigestMismatchGated(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Stores = []harness.StoreRecord{mkStore("random", 16248, true, true)}
+	neu.Stores = []harness.StoreRecord{mkStore("random", 16248, false, true)}
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "digest") {
+		t.Fatalf("digest mismatch not flagged: %v", findings)
+	}
+}
+
+func TestCompareStoreArtifactReuseGated(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Stores = []harness.StoreRecord{mkStore("random", 16248, true, true)}
+	neu.Stores = []harness.StoreRecord{mkStore("random", 16248, true, false)}
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "partition artifact") {
+		t.Fatalf("artifact reuse regression not flagged: %v", findings)
+	}
+}
+
+func TestCompareStoreMissingGated(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Stores = []harness.StoreRecord{mkStore("random", 16248, true, true)}
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing") {
+		t.Fatalf("missing store record not flagged: %v", findings)
+	}
+}

@@ -10,6 +10,7 @@
 //	midas-serve -addr :8080 -workers 4 -queue-depth 128 -default-timeout 30s
 //	midas-serve -addr :8080 -batch-window 2ms -batch-lanes 16
 //	midas-serve -addr :8080 -log-level debug -slow-query 500ms -flight-recorder 512
+//	midas-serve -addr :8080 -store /var/lib/midas -store-mapped-mb 2048
 //
 // Then:
 //
@@ -35,6 +36,7 @@ import (
 
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/serve"
+	"github.com/midas-hpc/midas/internal/store"
 )
 
 // parseLogLevel maps the -log-level flag to a slog level.
@@ -74,6 +76,9 @@ func main() {
 		logLevel       = flag.String("log-level", "info", "structured log level on stderr: debug, info, warn, error")
 		slowQuery      = flag.Duration("slow-query", 0, "log queries slower than this at warn level (0 disables)")
 		flightRecorder = flag.Int("flight-recorder", 256, "completed query traces retained for /v1/debug/requests")
+		storeDir       = flag.String("store", "", "persistent graph store directory (docs/STORAGE.md); empty = in-memory only")
+		storeMappedMB  = flag.Int64("store-mapped-mb", 0, "resident mapped-bytes budget for the store in MiB (0 = unlimited)")
+		storeVerify    = flag.Bool("store-verify", false, "checksum every section on cold open (defeats lazy mapping; for distrusted stores)")
 		graphs         graphFlags
 	)
 	flag.Var(&graphs, "graph", "preload graph as name=path (repeatable)")
@@ -85,6 +90,20 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	var st *store.Store
+	if *storeDir != "" {
+		st, err = store.Open(*storeDir, store.Options{
+			MaxMappedBytes: *storeMappedMB << 20,
+			VerifyOnOpen:   *storeVerify,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "midas-serve: %v\n", err)
+			os.Exit(1)
+		}
+		defer st.Close()
+		fmt.Printf("midas-serve: store %s (%d named graphs)\n", *storeDir, len(st.Names()))
+	}
 
 	s := serve.New(serve.Config{
 		QueueDepth:         *queueDepth,
@@ -98,6 +117,7 @@ func main() {
 		Logger:             logger,
 		SlowQuery:          *slowQuery,
 		FlightRecorderSize: *flightRecorder,
+		Store:              st,
 	})
 	for _, spec := range graphs {
 		name, path, ok := strings.Cut(spec, "=")

@@ -9,6 +9,12 @@
 //	midas -graph g.txt -mode scan -k 8 -weights w.txt -stat kulldorff
 //	midas -graph g.txt -mode motif -k 6 -labels c.txt -motif 0:2,1:1
 //
+// Persistent graph store management (docs/STORAGE.md):
+//
+//	midas store import -dir /var/lib/midas -name social graphs/social.txt
+//	midas store inspect -dir /var/lib/midas
+//	midas store verify -dir /var/lib/midas social
+//
 // Distributed (run one process per rank):
 //
 //	midas -graph g.txt -mode path -k 12 -rank 0 -size 4 -root :9000 -n1 2 -n2 64
@@ -74,6 +80,15 @@ type cliConfig struct {
 }
 
 func main() {
+	// Subcommand dispatch (currently just `midas store ...`); everything
+	// else is the classic flag-driven detection CLI.
+	if len(os.Args) > 1 && os.Args[1] == "store" {
+		if err := runStore(os.Args[2:]); err != nil {
+			fmt.Fprintln(os.Stderr, "midas:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	var cfg cliConfig
 	flag.StringVar(&cfg.graphPath, "graph", "", "edge-list graph file (required)")
 	flag.StringVar(&cfg.mode, "mode", "path", "path | tree | scan | maxweight | motif")

@@ -1,0 +1,218 @@
+package main
+
+// The `midas store` subcommand family: offline management of the
+// persistent graph repository midas-serve mounts with -store
+// (docs/STORAGE.md).
+//
+//	midas store import  -dir DIR -name NAME [-weights W] [-labels L] GRAPH
+//	midas store inspect -dir DIR [NAME|DIGEST]
+//	midas store verify  -dir DIR [NAME|DIGEST]
+//
+// import converts any graph.Load format to the v2 aligned binary
+// layout and binds the name; inspect prints the repository (or one
+// graph's section table) from file headers only; verify re-reads every
+// byte against the per-section checksums.
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	midas "github.com/midas-hpc/midas"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/store"
+)
+
+func runStore(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("store: want a subcommand: import, inspect, or verify")
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "import":
+		return storeImport(rest)
+	case "inspect":
+		return storeInspect(rest)
+	case "verify":
+		return storeVerify(rest)
+	default:
+		return fmt.Errorf("store: unknown subcommand %q (want import, inspect, or verify)", sub)
+	}
+}
+
+// storeFlags builds the shared flag set; every subcommand takes -dir.
+func storeFlags(name string) (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("store "+name, flag.ContinueOnError)
+	dir := fs.String("dir", "", "repository directory (required)")
+	return fs, dir
+}
+
+func openFlagStore(fs *flag.FlagSet, dir *string, args []string) (*store.Store, error) {
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if *dir == "" {
+		return nil, fmt.Errorf("store: -dir is required")
+	}
+	return store.Open(*dir, store.Options{})
+}
+
+// resolveDigest accepts a manifest name or a hex digest.
+func resolveDigest(s *store.Store, arg string) (uint64, error) {
+	if ni, ok := s.Names()[arg]; ok {
+		return ni.Digest, nil
+	}
+	if d, err := strconv.ParseUint(arg, 16, 64); err == nil && s.Has(d) {
+		return d, nil
+	}
+	return 0, fmt.Errorf("store: %q is neither a manifest name nor a stored digest", arg)
+}
+
+func storeImport(args []string) error {
+	fs, dir := storeFlags("import")
+	name := fs.String("name", "", "manifest name to bind (required)")
+	weights := fs.String("weights", "", "vertex weights file 'v w [b]'")
+	labels := fs.String("labels", "", "vertex colors file 'v c'")
+	s, err := openFlagStore(fs, dir, args)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if *name == "" || fs.NArg() != 1 {
+		return fmt.Errorf("store import: want -name NAME and exactly one graph file")
+	}
+	g, err := graph.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *weights != "" {
+		if err := midas.LoadWeights(*weights, g); err != nil {
+			return err
+		}
+	}
+	if *labels != "" {
+		if err := midas.LoadLabels(*labels, g); err != nil {
+			return err
+		}
+	}
+	digest, created, err := s.Put(g)
+	if err != nil {
+		return err
+	}
+	if err := s.SetName(*name, digest, g.NumVertices(), g.NumEdges()); err != nil {
+		return err
+	}
+	verb := "stored"
+	if !created {
+		verb = "already stored"
+	}
+	fmt.Printf("%s %s: %d vertices, %d edges, digest %016x (%s)\n",
+		verb, *name, g.NumVertices(), g.NumEdges(), digest, graphFileSize(g))
+	return nil
+}
+
+func graphFileSize(g *graph.Graph) string {
+	n := graph.V2FileSize(g)
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+func storeInspect(args []string) error {
+	fs, dir := storeFlags("inspect")
+	s, err := openFlagStore(fs, dir, args)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	if fs.NArg() > 1 {
+		return fmt.Errorf("store inspect: at most one NAME|DIGEST")
+	}
+	if fs.NArg() == 1 {
+		d, err := resolveDigest(s, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		info, err := s.Info(d)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("digest   %016x\n", info.Digest)
+		fmt.Printf("file     %d bytes\n", info.FileBytes)
+		fmt.Printf("shape    %d vertices, %d edges\n", info.Vertices, info.Edges)
+		fmt.Printf("derived  %d partition artifact(s)\n", info.Partitions)
+		fmt.Println("sections:")
+		for _, sec := range info.Sections {
+			fmt.Printf("  %-8s off=%-10d len=%-10d elem=%d crc=%08x\n",
+				graph.SectionName(sec.ID), sec.Off, sec.Len, sec.Elem, sec.CRC)
+		}
+		return nil
+	}
+	infos, err := s.List()
+	if err != nil {
+		return err
+	}
+	if len(infos) == 0 {
+		fmt.Println("empty repository")
+		return nil
+	}
+	for _, info := range infos {
+		names := "-"
+		if len(info.Names) > 0 {
+			sort.Strings(info.Names)
+			names = info.Names[0]
+			for _, n := range info.Names[1:] {
+				names += "," + n
+			}
+		}
+		fmt.Printf("%016x  %9d vertices %10d edges %12d bytes  parts=%d  %s\n",
+			info.Digest, info.Vertices, info.Edges, info.FileBytes, info.Partitions, names)
+	}
+	return nil
+}
+
+func storeVerify(args []string) error {
+	fs, dir := storeFlags("verify")
+	s, err := openFlagStore(fs, dir, args)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+	var digests []uint64
+	if fs.NArg() == 1 {
+		d, err := resolveDigest(s, fs.Arg(0))
+		if err != nil {
+			return err
+		}
+		digests = []uint64{d}
+	} else {
+		infos, err := s.List()
+		if err != nil {
+			return err
+		}
+		for _, info := range infos {
+			digests = append(digests, info.Digest)
+		}
+	}
+	bad := 0
+	for _, d := range digests {
+		if err := s.Verify(d); err != nil {
+			bad++
+			fmt.Fprintf(os.Stderr, "FAIL %016x: %v\n", d, err)
+		} else {
+			fmt.Printf("ok   %016x\n", d)
+		}
+	}
+	if bad > 0 {
+		return fmt.Errorf("store verify: %d of %d graphs corrupt", bad, len(digests))
+	}
+	fmt.Printf("verified %d graph(s)\n", len(digests))
+	return nil
+}

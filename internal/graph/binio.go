@@ -8,9 +8,11 @@ import (
 	"os"
 )
 
-// Binary graph format: the CSR arrays dumped directly, little-endian,
+// Binary graph formats: the CSR arrays dumped directly, little-endian,
 // for fast loading of large graphs (text edge lists parse at tens of
-// MB/s; this loads at memory bandwidth). Layout:
+// MB/s; these load at memory bandwidth). Two versions share the magic:
+//
+// Version 1 — a plain sequential stream, written by WriteBinary:
 //
 //	magic   u32  = 0x4d494447 ("MIDG")
 //	version u32  = 1
@@ -21,12 +23,24 @@ import (
 //	adj     [halfEdges]u32
 //	weights [n]i64         (if flag bit 0)
 //	base    [n]i64         (if flag bit 1)
+//
+// Version 2 — the aligned, checksummed, section-table layout written
+// by WriteBinaryV2 and served zero-copy from an mmap by MapBinaryV2
+// (binio2.go; docs/STORAGE.md describes it field by field).
 const (
-	binMagic   = 0x4d494447
-	binVersion = 1
+	binMagic    = 0x4d494447
+	binVersion  = 1
+	binVersion2 = 2
 )
 
-// WriteBinary writes g in the binary CSR format.
+// encChunk is the staging-buffer size for bulk section encode/decode:
+// big enough that the per-chunk call overhead vanishes, small enough
+// to stay cache-resident.
+const encChunk = 64 << 10
+
+// WriteBinary writes g in the version-1 binary CSR format. Sections
+// are bulk-encoded through a reused staging buffer — one Write per
+// 64 KiB, not one per element.
 func WriteBinary(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
 	flags := uint32(0)
@@ -36,116 +50,163 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	if g.base != nil {
 		flags |= 2
 	}
-	hdr := []interface{}{
-		uint32(binMagic), uint32(binVersion), flags,
-		uint64(g.NumVertices()), uint64(len(g.adj)),
+	var hdr [28]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], binVersion)
+	binary.LittleEndian.PutUint32(hdr[8:], flags)
+	binary.LittleEndian.PutUint64(hdr[12:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[20:], uint64(len(g.adj)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
 	}
-	for _, v := range hdr {
-		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
-			return err
-		}
+	buf := make([]byte, encChunk)
+	if err := writeI64s(bw, buf, g.offsets); err != nil {
+		return err
 	}
-	for _, o := range g.offsets {
-		if err := binary.Write(bw, binary.LittleEndian, uint64(o)); err != nil {
-			return err
-		}
-	}
-	buf := make([]byte, 4)
-	for _, a := range g.adj {
-		binary.LittleEndian.PutUint32(buf, uint32(a))
-		if _, err := bw.Write(buf); err != nil {
-			return err
-		}
+	if err := writeI32s(bw, buf, g.adj); err != nil {
+		return err
 	}
 	if g.weights != nil {
-		if err := writeI64s(bw, g.weights); err != nil {
+		if err := writeI64s(bw, buf, g.weights); err != nil {
 			return err
 		}
 	}
 	if g.base != nil {
-		if err := writeI64s(bw, g.base); err != nil {
+		if err := writeI64s(bw, buf, g.base); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
 }
 
-func writeI64s(w io.Writer, v []int64) error {
-	buf := make([]byte, 8)
-	for _, x := range v {
-		binary.LittleEndian.PutUint64(buf, uint64(x))
-		if _, err := w.Write(buf); err != nil {
+// writeI64s bulk-encodes v little-endian through buf (chunk staging).
+func writeI64s(w io.Writer, buf []byte, v []int64) error {
+	per := len(buf) / 8
+	for len(v) > 0 {
+		n := per
+		if n > len(v) {
+			n = len(v)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint64(buf[8*i:], uint64(v[i]))
+		}
+		if _, err := w.Write(buf[:8*n]); err != nil {
 			return err
 		}
+		v = v[n:]
 	}
 	return nil
 }
 
-// ReadBinary parses the binary CSR format, validating structural
+// writeI32s bulk-encodes v little-endian through buf.
+func writeI32s(w io.Writer, buf []byte, v []int32) error {
+	per := len(buf) / 4
+	for len(v) > 0 {
+		n := per
+		if n > len(v) {
+			n = len(v)
+		}
+		for i := 0; i < n; i++ {
+			binary.LittleEndian.PutUint32(buf[4*i:], uint32(v[i]))
+		}
+		if _, err := w.Write(buf[:4*n]); err != nil {
+			return err
+		}
+		v = v[n:]
+	}
+	return nil
+}
+
+// ReadBinary parses either binary CSR version, validating structural
 // invariants (monotone offsets, in-range adjacency) so corrupted files
-// fail loudly rather than corrupting downstream DPs.
+// fail loudly rather than corrupting downstream DPs. Version-2 files
+// are fully buffered and decoded through the section table; for
+// zero-copy access to a version-2 file use MapBinaryV2 (or
+// internal/store, which manages the mmap lifecycle).
 func ReadBinary(r io.Reader) (*Graph, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	var magic, version, flags uint32
-	var n, half uint64
-	for _, p := range []interface{}{&magic, &version, &flags} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("graph: binary header: %w", err)
-		}
+	var hdr [28]byte
+	if _, err := io.ReadFull(br, hdr[:8]); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
 	}
+	magic := binary.LittleEndian.Uint32(hdr[0:])
+	version := binary.LittleEndian.Uint32(hdr[4:])
 	if magic != binMagic {
 		return nil, fmt.Errorf("graph: bad magic %#x (not a midas binary graph)", magic)
 	}
-	if version != binVersion {
+	switch version {
+	case binVersion:
+	case binVersion2:
+		return readBinaryV2(br, hdr[:8])
+	default:
 		return nil, fmt.Errorf("graph: unsupported binary version %d", version)
 	}
-	for _, p := range []interface{}{&n, &half} {
-		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
-			return nil, fmt.Errorf("graph: binary header: %w", err)
-		}
+	if _, err := io.ReadFull(br, hdr[8:]); err != nil {
+		return nil, fmt.Errorf("graph: binary header: %w", err)
 	}
+	flags := binary.LittleEndian.Uint32(hdr[8:])
+	n := binary.LittleEndian.Uint64(hdr[12:])
+	half := binary.LittleEndian.Uint64(hdr[20:])
 	const maxN = 1 << 31
 	if n > maxN || half > 16*maxN {
 		return nil, fmt.Errorf("graph: implausible sizes n=%d halfEdges=%d", n, half)
 	}
-	// Grow arrays while reading rather than trusting the header with a
-	// huge up-front allocation: a hostile or truncated header then fails
-	// at the first missing byte, having allocated only in proportion to
-	// the data actually present.
+	// Decode in chunks, growing the arrays as data actually arrives
+	// rather than trusting the header with a huge up-front allocation: a
+	// hostile or truncated header then fails at the first missing byte,
+	// having allocated only in proportion to the data present.
 	g := &Graph{}
-	buf := make([]byte, 8)
-	for i := uint64(0); i <= n; i++ {
-		if _, err := io.ReadFull(br, buf); err != nil {
+	buf := make([]byte, encChunk)
+	remaining := n + 1
+	var prev int64
+	for remaining > 0 {
+		c := uint64(len(buf) / 8)
+		if c > remaining {
+			c = remaining
+		}
+		if _, err := io.ReadFull(br, buf[:8*c]); err != nil {
 			return nil, fmt.Errorf("graph: offsets: %w", err)
 		}
-		off := int64(binary.LittleEndian.Uint64(buf))
-		if i > 0 && off < g.offsets[i-1] {
-			return nil, fmt.Errorf("graph: offsets not monotone at %d", i)
+		for i := uint64(0); i < c; i++ {
+			off := int64(binary.LittleEndian.Uint64(buf[8*i:]))
+			if len(g.offsets) > 0 && off < prev {
+				return nil, fmt.Errorf("graph: offsets not monotone at %d", len(g.offsets))
+			}
+			prev = off
+			g.offsets = append(g.offsets, off)
 		}
-		g.offsets = append(g.offsets, off)
+		remaining -= c
 	}
 	if uint64(g.offsets[n]) != half {
 		return nil, fmt.Errorf("graph: offsets end %d != halfEdges %d", g.offsets[n], half)
 	}
-	for i := uint64(0); i < half; i++ {
-		if _, err := io.ReadFull(br, buf[:4]); err != nil {
+	remaining = half
+	for remaining > 0 {
+		c := uint64(len(buf) / 4)
+		if c > remaining {
+			c = remaining
+		}
+		if _, err := io.ReadFull(br, buf[:4*c]); err != nil {
 			return nil, fmt.Errorf("graph: adjacency: %w", err)
 		}
-		a := binary.LittleEndian.Uint32(buf[:4])
-		if uint64(a) >= n {
-			return nil, fmt.Errorf("graph: adjacency entry %d out of range", a)
+		for i := uint64(0); i < c; i++ {
+			a := binary.LittleEndian.Uint32(buf[4*i:])
+			if uint64(a) >= n {
+				return nil, fmt.Errorf("graph: adjacency entry %d out of range", a)
+			}
+			g.adj = append(g.adj, int32(a))
 		}
-		g.adj = append(g.adj, int32(a))
+		remaining -= c
 	}
 	if flags&1 != 0 {
-		w, err := readI64s(br, int(n))
+		w, err := readI64s(br, buf, int(n))
 		if err != nil {
 			return nil, fmt.Errorf("graph: weights: %w", err)
 		}
 		g.weights = w
 	}
 	if flags&2 != 0 {
-		b, err := readI64s(br, int(n))
+		b, err := readI64s(br, buf, int(n))
 		if err != nil {
 			return nil, fmt.Errorf("graph: baselines: %w", err)
 		}
@@ -154,14 +215,21 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	return g, nil
 }
 
-func readI64s(r io.Reader, n int) ([]int64, error) {
-	out := make([]int64, n)
-	buf := make([]byte, 8)
-	for i := range out {
-		if _, err := io.ReadFull(r, buf); err != nil {
+// readI64s bulk-decodes n little-endian int64s through buf.
+func readI64s(r io.Reader, buf []byte, n int) ([]int64, error) {
+	out := make([]int64, 0, n)
+	for n > 0 {
+		c := len(buf) / 8
+		if c > n {
+			c = n
+		}
+		if _, err := io.ReadFull(r, buf[:8*c]); err != nil {
 			return nil, err
 		}
-		out[i] = int64(binary.LittleEndian.Uint64(buf))
+		for i := 0; i < c; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[8*i:])))
+		}
+		n -= c
 	}
 	return out, nil
 }
@@ -179,7 +247,7 @@ func SaveBinary(path string, g *Graph) error {
 	return f.Close()
 }
 
-// LoadBinary reads a binary graph from path.
+// LoadBinary reads a binary graph (either version) from path.
 func LoadBinary(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -189,7 +257,7 @@ func LoadBinary(path string) (*Graph, error) {
 	return ReadBinary(f)
 }
 
-// Load reads a graph in either format, sniffing the binary magic.
+// Load reads a graph in any supported format, sniffing the binary magic.
 func Load(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {

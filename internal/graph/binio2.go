@@ -1,0 +1,545 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"unsafe"
+)
+
+// Version-2 binary layout: the mmap-servable format behind
+// internal/store. Every array the DP loops touch lives in its own
+// 64-byte-aligned section described by a section table, so a mapped
+// file's bytes ARE the CSR arrays — MapBinaryV2 wraps them in a Graph
+// without copying a single edge. All integers little-endian.
+//
+//	header (64 bytes):
+//	  0  magic        u32 = "MIDG"
+//	  4  version      u32 = 2
+//	  8  flags        u32 (bit 0 weights, bit 1 baselines, bit 2 labels)
+//	  12 sectionCount u32
+//	  16 n            u64
+//	  24 halfEdges    u64
+//	  32 tableOff     u64 (= 64)
+//	  40 tableLen     u64 (= sectionCount * 32)
+//	  48 headerCRC    u32 — CRC-32C of header[0:48] ++ section table
+//	  52 reserved     12 zero bytes
+//	section table entry (32 bytes each):
+//	  0  id       u32 (1 offsets, 2 adj, 3 weights, 4 base, 5 labels)
+//	  8  elemSize u32 (bytes per element: 8 or 4)
+//	  8  off      u64 (absolute file offset, 64-byte aligned)
+//	  16 len      u64 (section length in bytes)
+//	  24 crc      u32 — CRC-32C of the section's bytes
+//	  28 reserved u32 zero
+//	sections, each padded to the next 64-byte boundary
+//
+// The header checksum makes truncation and table corruption loud at
+// open time in O(header) work; the per-section checksums make silent
+// data corruption detectable by VerifyBinaryV2 (an explicit O(bytes)
+// pass — deliberately not paid on every open, or mapping would fault
+// in every page and defeat lazy residency). docs/STORAGE.md covers the
+// crash-safety model.
+const (
+	v2Align       = 64
+	v2HeaderLen   = 64
+	v2SecEntryLen = 32
+	v2MaxSections = 16
+)
+
+// Section ids. Required: offsets, adj. Optional by flag: weights,
+// base, labels.
+const (
+	SecOffsets uint32 = 1
+	SecAdj     uint32 = 2
+	SecWeights uint32 = 3
+	SecBase    uint32 = 4
+	SecLabels  uint32 = 5
+)
+
+var secNames = map[uint32]string{
+	SecOffsets: "offsets", SecAdj: "adj", SecWeights: "weights",
+	SecBase: "base", SecLabels: "labels",
+}
+
+// SectionName returns the human name of a section id ("sec-7" for
+// unknown ids).
+func SectionName(id uint32) string {
+	if n, ok := secNames[id]; ok {
+		return n
+	}
+	return fmt.Sprintf("sec-%d", id)
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// FormatError describes a structurally invalid or corrupt binary
+// graph. Every open/verify failure is one of these (wrapped), never a
+// panic — corrupt stores must fail loudly and recoverably.
+type FormatError struct {
+	Section string // offending section name, "" for header/table faults
+	Reason  string
+}
+
+func (e *FormatError) Error() string {
+	if e.Section == "" {
+		return "graph: v2 format: " + e.Reason
+	}
+	return fmt.Sprintf("graph: v2 section %s: %s", e.Section, e.Reason)
+}
+
+func formatErrf(section, format string, args ...any) error {
+	return &FormatError{Section: section, Reason: fmt.Sprintf(format, args...)}
+}
+
+// V2Section is one section-table entry, as parsed.
+type V2Section struct {
+	ID   uint32
+	Elem uint32 // element width in bytes
+	Off  uint64 // absolute offset, v2Align-aligned
+	Len  uint64 // bytes
+	CRC  uint32
+}
+
+// V2Info is the parsed header + section table of a version-2 file.
+type V2Info struct {
+	Flags     uint32
+	N         uint64
+	HalfEdges uint64
+	FileLen   uint64 // minimum file length the table promises
+	Sections  []V2Section
+}
+
+// Section returns the entry with the given id, if present.
+func (i *V2Info) Section(id uint32) (V2Section, bool) {
+	for _, s := range i.Sections {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return V2Section{}, false
+}
+
+// v2Layout plans the sections a graph serializes to, in file order.
+func v2Layout(g *Graph) (flags uint32, secs []V2Section) {
+	n := uint64(g.NumVertices())
+	add := func(id, elem uint32, count uint64) {
+		secs = append(secs, V2Section{ID: id, Elem: elem, Len: uint64(elem) * count})
+	}
+	add(SecOffsets, 8, n+1)
+	add(SecAdj, 4, uint64(len(g.adj)))
+	if g.weights != nil {
+		flags |= 1
+		add(SecWeights, 8, n)
+	}
+	if g.base != nil {
+		flags |= 2
+		add(SecBase, 8, n)
+	}
+	if g.labels != nil {
+		flags |= 4
+		add(SecLabels, 4, n)
+	}
+	cur := uint64(v2HeaderLen) + uint64(len(secs))*v2SecEntryLen
+	for i := range secs {
+		cur = alignUp(cur, v2Align)
+		secs[i].Off = cur
+		cur += secs[i].Len
+	}
+	return flags, secs
+}
+
+func alignUp(v, a uint64) uint64 { return (v + a - 1) &^ (a - 1) }
+
+// sectionData returns the graph array behind a section id as a
+// bulk-encode closure plus its raw element slice length.
+func (g *Graph) sectionEncode(id uint32, buf []byte, w io.Writer) error {
+	switch id {
+	case SecOffsets:
+		return writeI64s(w, buf, g.offsets)
+	case SecAdj:
+		return writeI32s(w, buf, g.adj)
+	case SecWeights:
+		return writeI64s(w, buf, g.weights)
+	case SecBase:
+		return writeI64s(w, buf, g.base)
+	case SecLabels:
+		return writeI32s(w, buf, g.labels)
+	}
+	return formatErrf("", "unknown section id %d", id)
+}
+
+// WriteBinaryV2 writes g in the version-2 aligned section layout.
+// Section checksums are computed in a first encoding pass, then the
+// header, table, and sections stream out sequentially — the writer
+// never buffers a whole section.
+func WriteBinaryV2(w io.Writer, g *Graph) error {
+	flags, secs := v2Layout(g)
+	buf := make([]byte, encChunk)
+	// Pass 1: per-section CRC-32C over the encoded bytes.
+	for i := range secs {
+		h := crc32.New(crcTable)
+		if err := g.sectionEncode(secs[i].ID, buf, h); err != nil {
+			return err
+		}
+		secs[i].CRC = h.Sum32()
+	}
+	table := make([]byte, len(secs)*v2SecEntryLen)
+	for i, s := range secs {
+		e := table[i*v2SecEntryLen:]
+		binary.LittleEndian.PutUint32(e[0:], s.ID)
+		binary.LittleEndian.PutUint32(e[4:], s.Elem)
+		binary.LittleEndian.PutUint64(e[8:], s.Off)
+		binary.LittleEndian.PutUint64(e[16:], s.Len)
+		binary.LittleEndian.PutUint32(e[24:], s.CRC)
+	}
+	var hdr [v2HeaderLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:], binMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], binVersion2)
+	binary.LittleEndian.PutUint32(hdr[8:], flags)
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(secs)))
+	binary.LittleEndian.PutUint64(hdr[16:], uint64(g.NumVertices()))
+	binary.LittleEndian.PutUint64(hdr[24:], uint64(len(g.adj)))
+	binary.LittleEndian.PutUint64(hdr[32:], v2HeaderLen)
+	binary.LittleEndian.PutUint64(hdr[40:], uint64(len(table)))
+	hcrc := crc32.New(crcTable)
+	hcrc.Write(hdr[:48])
+	hcrc.Write(table)
+	binary.LittleEndian.PutUint32(hdr[48:], hcrc.Sum32())
+
+	bw := newCountingWriter(w)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := bw.Write(table); err != nil {
+		return err
+	}
+	// Pass 2: sections with alignment padding.
+	var pad [v2Align]byte
+	for i := range secs {
+		if gap := secs[i].Off - bw.n; gap > 0 {
+			if _, err := bw.Write(pad[:gap]); err != nil {
+				return err
+			}
+		}
+		if err := g.sectionEncode(secs[i].ID, buf, bw); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// countingWriter tracks the absolute output offset so the section
+// writer can emit alignment padding.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func newCountingWriter(w io.Writer) *countingWriter { return &countingWriter{w: w} }
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += uint64(n)
+	return n, err
+}
+
+func (c *countingWriter) Flush() error {
+	if f, ok := c.w.(interface{ Flush() error }); ok {
+		return f.Flush()
+	}
+	return nil
+}
+
+// SaveBinaryV2 writes a graph to path in the version-2 layout.
+func SaveBinaryV2(path string, g *Graph) error {
+	return saveWith(path, func(w io.Writer) error { return WriteBinaryV2(w, g) })
+}
+
+// V2FileSize reports the exact byte length WriteBinaryV2 will produce
+// for g (header + table + aligned sections).
+func V2FileSize(g *Graph) int64 {
+	_, secs := v2Layout(g)
+	last := secs[len(secs)-1]
+	return int64(last.Off + last.Len)
+}
+
+// ParseV2Header validates the fixed header and section table of a
+// version-2 file in O(header) work: magic, version, header checksum,
+// section bounds, alignment, element widths, and the exact section
+// lengths the (n, halfEdges, flags) triple implies. It reads no
+// section data — mapping stays lazy.
+func ParseV2Header(data []byte) (*V2Info, error) {
+	return parseV2Header(data, uint64(len(data)))
+}
+
+// ParseV2HeaderPrefix parses a header + section table from a prefix of
+// the file (at least V2HeaderPrefixLen bytes), checking section bounds
+// against the stated total file size instead of the prefix length —
+// the cheap inspection path for store listings, which read 64 bytes +
+// the table, never the sections.
+func ParseV2HeaderPrefix(prefix []byte, fileSize int64) (*V2Info, error) {
+	if fileSize < 0 || uint64(len(prefix)) > uint64(fileSize) {
+		return nil, formatErrf("", "header prefix %d bytes exceeds stated file size %d", len(prefix), fileSize)
+	}
+	return parseV2Header(prefix, uint64(fileSize))
+}
+
+// V2HeaderPrefixLen is the number of bytes ParseV2HeaderPrefix needs:
+// the fixed header plus the largest possible section table.
+const V2HeaderPrefixLen = v2HeaderLen + v2MaxSections*v2SecEntryLen
+
+func parseV2Header(data []byte, fileLen uint64) (*V2Info, error) {
+	if len(data) < v2HeaderLen {
+		return nil, formatErrf("", "file truncated: %d bytes, header needs %d", len(data), v2HeaderLen)
+	}
+	if m := binary.LittleEndian.Uint32(data[0:]); m != binMagic {
+		return nil, formatErrf("", "bad magic %#x (not a midas binary graph)", m)
+	}
+	if v := binary.LittleEndian.Uint32(data[4:]); v != binVersion2 {
+		return nil, formatErrf("", "version %d, want %d", v, binVersion2)
+	}
+	info := &V2Info{
+		Flags:     binary.LittleEndian.Uint32(data[8:]),
+		N:         binary.LittleEndian.Uint64(data[16:]),
+		HalfEdges: binary.LittleEndian.Uint64(data[24:]),
+	}
+	count := binary.LittleEndian.Uint32(data[12:])
+	tableOff := binary.LittleEndian.Uint64(data[32:])
+	tableLen := binary.LittleEndian.Uint64(data[40:])
+	const maxN = 1 << 31
+	if info.N > maxN || info.HalfEdges > 16*maxN {
+		return nil, formatErrf("", "implausible sizes n=%d halfEdges=%d", info.N, info.HalfEdges)
+	}
+	if count == 0 || count > v2MaxSections {
+		return nil, formatErrf("", "section count %d out of range [1,%d]", count, v2MaxSections)
+	}
+	if tableOff != v2HeaderLen || tableLen != uint64(count)*v2SecEntryLen {
+		return nil, formatErrf("", "section table geometry off=%d len=%d inconsistent with count %d", tableOff, tableLen, count)
+	}
+	if uint64(len(data)) < tableOff+tableLen {
+		return nil, formatErrf("", "file truncated inside section table")
+	}
+	table := data[tableOff : tableOff+tableLen]
+	hcrc := crc32.New(crcTable)
+	hcrc.Write(data[:48])
+	hcrc.Write(table)
+	if got, want := hcrc.Sum32(), binary.LittleEndian.Uint32(data[48:]); got != want {
+		return nil, formatErrf("", "header checksum mismatch (got %#x, stored %#x)", got, want)
+	}
+
+	wantLen := map[uint32]uint64{
+		SecOffsets: 8 * (info.N + 1),
+		SecAdj:     4 * info.HalfEdges,
+		SecWeights: 8 * info.N,
+		SecBase:    8 * info.N,
+		SecLabels:  4 * info.N,
+	}
+	wantElem := map[uint32]uint32{
+		SecOffsets: 8, SecAdj: 4, SecWeights: 8, SecBase: 8, SecLabels: 4,
+	}
+	prevEnd := tableOff + tableLen
+	for i := uint32(0); i < count; i++ {
+		e := table[i*v2SecEntryLen:]
+		s := V2Section{
+			ID:   binary.LittleEndian.Uint32(e[0:]),
+			Elem: binary.LittleEndian.Uint32(e[4:]),
+			Off:  binary.LittleEndian.Uint64(e[8:]),
+			Len:  binary.LittleEndian.Uint64(e[16:]),
+			CRC:  binary.LittleEndian.Uint32(e[24:]),
+		}
+		name := SectionName(s.ID)
+		want, known := wantLen[s.ID]
+		if !known {
+			return nil, formatErrf(name, "unknown section id")
+		}
+		if _, dup := info.Section(s.ID); dup {
+			return nil, formatErrf(name, "duplicate section")
+		}
+		if s.Elem != wantElem[s.ID] {
+			return nil, formatErrf(name, "element size %d, want %d", s.Elem, wantElem[s.ID])
+		}
+		if s.Len != want {
+			return nil, formatErrf(name, "length %d bytes, header implies %d", s.Len, want)
+		}
+		if s.Off%v2Align != 0 {
+			return nil, formatErrf(name, "offset %d not %d-byte aligned", s.Off, v2Align)
+		}
+		if s.Off < prevEnd {
+			return nil, formatErrf(name, "offset %d overlaps preceding data ending at %d", s.Off, prevEnd)
+		}
+		end := s.Off + s.Len
+		if end < s.Off || fileLen < end {
+			return nil, formatErrf(name, "section [%d,%d) exceeds file length %d", s.Off, end, fileLen)
+		}
+		prevEnd = end
+		info.Sections = append(info.Sections, s)
+		if end > info.FileLen {
+			info.FileLen = end
+		}
+	}
+	// Required sections, and flag/section consistency both ways.
+	for _, req := range []uint32{SecOffsets, SecAdj} {
+		if _, ok := info.Section(req); !ok {
+			return nil, formatErrf(SectionName(req), "required section missing")
+		}
+	}
+	for _, opt := range []struct {
+		id  uint32
+		bit uint32
+	}{{SecWeights, 1}, {SecBase, 2}, {SecLabels, 4}} {
+		_, present := info.Section(opt.id)
+		if present != (info.Flags&opt.bit != 0) {
+			return nil, formatErrf(SectionName(opt.id), "presence disagrees with header flags %#x", info.Flags)
+		}
+	}
+	return info, nil
+}
+
+// hostLittleEndian reports whether native integer layout matches the
+// on-disk little-endian format, enabling the zero-copy wrap.
+var hostLittleEndian = func() bool {
+	var x uint16 = 1
+	return *(*byte)(unsafe.Pointer(&x)) == 1
+}()
+
+// MapBinaryV2 wraps a version-2 file image (typically an mmap'd file)
+// in a Graph. On little-endian hosts with aligned sections — always
+// true for mmap'd files, since section offsets are 64-byte aligned and
+// mappings are page-aligned — the Graph's CSR arrays alias data
+// directly: no per-edge copy, no per-edge validation, O(header +
+// sections) work total. The caller keeps ownership of data and must
+// keep it valid (mapped) for the Graph's lifetime.
+//
+// Structural integrity beyond the header checksum is the writer's
+// responsibility (WriteBinaryV2 only emits valid CSR); use
+// VerifyBinaryV2 for an explicit full check of an untrusted file.
+func MapBinaryV2(data []byte) (*Graph, *V2Info, error) {
+	info, err := ParseV2Header(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	i64 := func(id uint32) []int64 {
+		s, ok := info.Section(id)
+		if !ok || s.Len == 0 {
+			return nil
+		}
+		return wrapI64(data[s.Off : s.Off+s.Len])
+	}
+	i32 := func(id uint32) []int32 {
+		s, ok := info.Section(id)
+		if !ok || s.Len == 0 {
+			return nil
+		}
+		return wrapI32(data[s.Off : s.Off+s.Len])
+	}
+	offsets := i64(SecOffsets)
+	adj := i32(SecAdj)
+	if adj == nil {
+		adj = []int32{} // n>0 graphs with zero edges still need a non-nil adj
+	}
+	if offsets[0] != 0 {
+		return nil, nil, formatErrf("offsets", "first offset %d, want 0", offsets[0])
+	}
+	if uint64(offsets[info.N]) != info.HalfEdges {
+		return nil, nil, formatErrf("offsets", "last offset %d != halfEdges %d", offsets[info.N], info.HalfEdges)
+	}
+	g, err := FromCSR(offsets, adj, i64(SecWeights), i64(SecBase), i32(SecLabels))
+	if err != nil {
+		return nil, nil, err
+	}
+	return g, info, nil
+}
+
+// wrapI64 reinterprets little-endian bytes as []int64 — zero-copy when
+// the host layout allows, decoded otherwise.
+func wrapI64(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%8 == 0 {
+		return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+	}
+	out := make([]int64, len(b)/8)
+	for i := range out {
+		out[i] = int64(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out
+}
+
+// wrapI32 reinterprets little-endian bytes as []int32, like wrapI64.
+func wrapI32(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if hostLittleEndian && uintptr(unsafe.Pointer(&b[0]))%4 == 0 {
+		return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+	}
+	out := make([]int32, len(b)/4)
+	for i := range out {
+		out[i] = int32(binary.LittleEndian.Uint32(b[4*i:]))
+	}
+	return out
+}
+
+// VerifyBinaryV2 runs the full O(bytes) integrity check on a
+// version-2 file image: header and table (as ParseV2Header), then
+// every section's CRC-32C, then the CSR structural invariants
+// (monotone offsets, in-range adjacency). A file passing this check
+// maps to a well-formed graph on any host.
+func VerifyBinaryV2(data []byte) error {
+	info, err := ParseV2Header(data)
+	if err != nil {
+		return err
+	}
+	for _, s := range info.Sections {
+		if got := crc32.Checksum(data[s.Off:s.Off+s.Len], crcTable); got != s.CRC {
+			return formatErrf(SectionName(s.ID), "checksum mismatch (got %#x, stored %#x)", got, s.CRC)
+		}
+	}
+	g, _, err := MapBinaryV2(data)
+	if err != nil {
+		return err
+	}
+	return g.ValidateCSR()
+}
+
+// readBinaryV2 is ReadBinary's version-2 path: the magic and version
+// (already consumed into prefix) plus the rest of the stream are
+// buffered and decoded through MapBinaryV2. The graph aliases the read
+// buffer — one allocation proportional to the file, zero further
+// copies.
+func readBinaryV2(r io.Reader, prefix []byte) (*Graph, error) {
+	rest, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("graph: v2 read: %w", err)
+	}
+	data := make([]byte, 0, len(prefix)+len(rest))
+	data = append(data, prefix...)
+	data = append(data, rest...)
+	g, _, err := MapBinaryV2(data)
+	if err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// saveWith writes path via fn with create/close error plumbing.
+func saveWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	if err := fn(bw); err != nil {
+		f.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

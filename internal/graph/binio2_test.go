@@ -1,0 +1,223 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// v2TestGraph builds a graph exercising every optional section.
+func v2TestGraph() *Graph {
+	g := RandomGNM(120, 400, 11)
+	n := g.NumVertices()
+	w := make([]int64, n)
+	b := make([]int64, n)
+	l := make([]int32, n)
+	for i := 0; i < n; i++ {
+		w[i] = int64(i * 3)
+		b[i] = int64(1 + i%4)
+		l[i] = int32(i % 5)
+	}
+	g.SetWeights(w)
+	g.SetBaselines(b)
+	g.SetLabels(l)
+	return g
+}
+
+func v2Bytes(t testing.TB, g *Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func graphsEqualLabeled(t *testing.T, a, b *Graph) {
+	t.Helper()
+	graphsEqual(t, a, b)
+	for v := int32(0); v < int32(a.NumVertices()); v++ {
+		if a.Label(v) != b.Label(v) {
+			t.Fatalf("label mismatch at %d", v)
+		}
+	}
+}
+
+func TestV2RoundTripMapped(t *testing.T) {
+	g := v2TestGraph()
+	data := v2Bytes(t, g)
+	if got := int64(len(data)); got != V2FileSize(g) {
+		t.Fatalf("file size %d, V2FileSize promised %d", got, V2FileSize(g))
+	}
+	g2, info, err := MapBinaryV2(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqualLabeled(t, g, g2)
+	if !g2.Weighted() || !g2.Labeled() {
+		t.Fatal("optional sections lost")
+	}
+	if len(info.Sections) != 5 {
+		t.Fatalf("section count %d, want 5", len(info.Sections))
+	}
+	for _, s := range info.Sections {
+		if s.Off%v2Align != 0 {
+			t.Fatalf("section %s misaligned at %d", SectionName(s.ID), s.Off)
+		}
+	}
+	if g.Digest() != g2.Digest() {
+		t.Fatal("digest changed across v2 round trip")
+	}
+	if err := VerifyBinaryV2(data); err != nil {
+		t.Fatalf("verify of freshly-written file: %v", err)
+	}
+}
+
+func TestV2RoundTripMinimal(t *testing.T) {
+	// No optional sections; also the degenerate single-vertex graph.
+	for _, g := range []*Graph{Path(7), FromEdges(1, nil)} {
+		data := v2Bytes(t, g)
+		g2, _, err := MapBinaryV2(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphsEqual(t, g, g2)
+	}
+}
+
+func TestV2ReadBinaryDispatch(t *testing.T) {
+	// ReadBinary and Load must transparently handle v2 files.
+	g := v2TestGraph()
+	data := v2Bytes(t, g)
+	g2, err := ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	graphsEqualLabeled(t, g, g2)
+}
+
+func TestV2RejectsCorruption(t *testing.T) {
+	g := v2TestGraph()
+	good := v2Bytes(t, g)
+
+	mustFailOpen := func(name string, data []byte) {
+		t.Helper()
+		if _, _, err := MapBinaryV2(data); err == nil {
+			t.Fatalf("%s: corrupt file mapped without error", name)
+		}
+	}
+
+	// Truncation at every prefix: structured error, never a panic. A
+	// truncated file either fails the header parse (cut inside header or
+	// table) or the section bounds check.
+	for cut := 0; cut < len(good); cut += 31 {
+		mustFailOpen("truncate", good[:cut])
+	}
+
+	flip := func(i int) []byte {
+		bad := append([]byte(nil), good...)
+		bad[i] ^= 0xff
+		return bad
+	}
+	mustFailOpen("magic", flip(0))
+	mustFailOpen("version", flip(4))
+	mustFailOpen("flags", flip(8))          // header CRC catches it
+	mustFailOpen("section count", flip(12)) // geometry/CRC catches it
+	mustFailOpen("n", flip(16))
+	mustFailOpen("header crc", flip(48))
+	// Any flipped bit inside the section table breaks the header CRC.
+	mustFailOpen("table", flip(v2HeaderLen+9))
+
+	// Flipped data bytes pass the O(header) open — that is the lazy
+	// mapping contract — but must fail the full verify.
+	info, err := ParseV2Header(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range info.Sections {
+		bad := flip(int(s.Off) + int(s.Len)/2)
+		if err := VerifyBinaryV2(bad); err == nil {
+			t.Fatalf("flipped byte in %s passed verify", SectionName(s.ID))
+		}
+	}
+}
+
+func TestFromCSRValidation(t *testing.T) {
+	if _, err := FromCSR(nil, nil, nil, nil, nil); err == nil {
+		t.Fatal("empty offsets accepted")
+	}
+	if _, err := FromCSR([]int64{1, 2}, []int32{0, 0}, nil, nil, nil); err == nil {
+		t.Fatal("nonzero first offset accepted")
+	}
+	if _, err := FromCSR([]int64{0, 1}, []int32{0, 0}, nil, nil, nil); err == nil {
+		t.Fatal("offsets/adj length mismatch accepted")
+	}
+	if _, err := FromCSR([]int64{0, 0}, nil, []int64{1, 2}, nil, nil); err == nil {
+		t.Fatal("wrong weights length accepted")
+	}
+	g, err := FromCSR([]int64{0, 1, 2}, []int32{1, 0}, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 2 || g.NumEdges() != 1 || !g.HasEdge(0, 1) {
+		t.Fatalf("wrapped graph malformed: %v", g)
+	}
+	if err := g.ValidateCSR(); err != nil {
+		t.Fatal(err)
+	}
+	bad, _ := FromCSR([]int64{0, 2}, []int32{0, 9}, nil, nil, nil)
+	if err := bad.ValidateCSR(); err == nil {
+		t.Fatal("out-of-range adjacency passed ValidateCSR")
+	}
+	bad2, _ := FromCSR([]int64{0, 2, 1, 2}, []int32{0, 1}, nil, nil, nil)
+	if err := bad2.ValidateCSR(); err == nil {
+		t.Fatal("non-monotone offsets passed ValidateCSR")
+	}
+}
+
+// FuzzV2Header feeds arbitrary bytes to the v2 header/section-table
+// parser (and, when the header parses, the full verify): any input
+// must produce a graph or a structured error — never a panic, never an
+// out-of-bounds access.
+func FuzzV2Header(f *testing.F) {
+	f.Add([]byte{})
+	g := v2TestGraph()
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add(good[:v2HeaderLen])
+	f.Add(good[:v2HeaderLen+3*v2SecEntryLen])
+	mut := append([]byte(nil), good...)
+	mut[50] ^= 0x10
+	f.Add(mut)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		info, err := ParseV2Header(data)
+		if err != nil {
+			return
+		}
+		// A parse that succeeds promises in-bounds sections; mapping and
+		// verifying must then be safe (errors fine, panics not).
+		if uint64(len(data)) < info.FileLen {
+			t.Fatalf("header accepted but FileLen %d > data %d", info.FileLen, len(data))
+		}
+		if g, _, err := MapBinaryV2(data); err == nil {
+			_ = g.NumVertices()
+			_ = g.NumEdges()
+		}
+		_ = VerifyBinaryV2(data)
+	})
+}
+
+func BenchmarkV2Map(b *testing.B) {
+	g := RandomGNM(5000, 40000, 1)
+	data := v2Bytes(b, g)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := MapBinaryV2(data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

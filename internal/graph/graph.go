@@ -137,6 +137,75 @@ func (g *Graph) SetLabels(l []int32) {
 // Labels returns the label slice (nil if unlabeled). Read-only.
 func (g *Graph) Labels() []int32 { return g.labels }
 
+// Offsets returns the CSR offset array (length n+1). Read-only: the
+// slice aliases internal — possibly externally-owned, see FromCSR —
+// storage.
+func (g *Graph) Offsets() []int64 { return g.offsets }
+
+// Adj returns the CSR adjacency array (length 2m). Read-only, like
+// Offsets.
+func (g *Graph) Adj() []int32 { return g.adj }
+
+// Baselines returns the baseline slice (nil if absent). Read-only.
+func (g *Graph) Baselines() []int64 { return g.base }
+
+// FromCSR wraps prebuilt CSR arrays in a Graph without copying them.
+// The slices may be externally owned — internal/store passes views
+// straight into an mmap'd file — and the caller must keep them valid
+// and unmodified for the Graph's lifetime. Only O(1) shape checks run
+// here (the zero-copy open path must not touch every edge); use
+// ValidateCSR for the full structural check of untrusted arrays.
+//
+// offsets must have length n+1; adj holds both directions of every
+// edge; weights, base, and labels are optional (nil) and must have
+// length n when present.
+func FromCSR(offsets []int64, adj []int32, weights, base []int64, labels []int32) (*Graph, error) {
+	if len(offsets) == 0 {
+		return nil, fmt.Errorf("graph: FromCSR needs a non-empty offsets array")
+	}
+	n := len(offsets) - 1
+	if offsets[0] != 0 {
+		return nil, fmt.Errorf("graph: FromCSR offsets[0] = %d, want 0", offsets[0])
+	}
+	if offsets[n] != int64(len(adj)) {
+		return nil, fmt.Errorf("graph: FromCSR offsets end %d != len(adj) %d", offsets[n], len(adj))
+	}
+	check := func(name string, l int) error {
+		if l != 0 && l != n {
+			return fmt.Errorf("graph: FromCSR %d %s for %d vertices", l, name, n)
+		}
+		return nil
+	}
+	if err := check("weights", len(weights)); err != nil {
+		return nil, err
+	}
+	if err := check("baselines", len(base)); err != nil {
+		return nil, err
+	}
+	if err := check("labels", len(labels)); err != nil {
+		return nil, err
+	}
+	return &Graph{offsets: offsets, adj: adj, weights: weights, base: base, labels: labels}, nil
+}
+
+// ValidateCSR runs the O(n+m) structural check FromCSR skips: monotone
+// offsets and in-range adjacency entries. A graph passing this cannot
+// drive the DP loops out of bounds.
+func (g *Graph) ValidateCSR() error {
+	n := int64(g.NumVertices())
+	for i := 1; i < len(g.offsets); i++ {
+		if g.offsets[i] < g.offsets[i-1] {
+			return fmt.Errorf("graph: offsets not monotone at %d", i)
+		}
+	}
+	for i, a := range g.adj {
+		if a < 0 || int64(a) >= n {
+			return fmt.Errorf("graph: adjacency entry %d (index %d) out of range [0,%d)", a, i, n)
+		}
+	}
+	return nil
+}
+
 // String summarizes the graph.
 func (g *Graph) String() string {
 	return fmt.Sprintf("graph{n=%d m=%d weighted=%v}", g.NumVertices(), g.NumEdges(), g.weights != nil)

@@ -22,7 +22,7 @@ import (
 
 // BenchSchemaVersion identifies the report layout. Bump it on any
 // incompatible change to Report/RunRecord/HistQuantiles.
-const BenchSchemaVersion = "midas-bench/v3"
+const BenchSchemaVersion = "midas-bench/v4"
 
 // HistQuantiles summarizes one latency-histogram family merged over
 // all ranks of a run (seconds; quantiles carry the ~19% bucket
@@ -78,6 +78,7 @@ type Report struct {
 	Batches []BatchRecord  `json:"batches,omitempty"` // occupancy-4 batch vs sequential (see BatchBench)
 	Motifs  []MotifRecord  `json:"motifs,omitempty"`  // constrained sieve vs FASCIA baseline (see MotifBench)
 	Kernels []KernelRecord `json:"kernels,omitempty"` // GF kernel throughput on this host
+	Stores  []StoreRecord  `json:"stores,omitempty"`  // cold-start: parse vs binary vs mmap (see StoreBench)
 }
 
 // BenchReport runs the standard report suite. The counted quantities
@@ -162,6 +163,11 @@ func BenchReport(p Params) (Report, error) {
 	}
 	rep.Motifs = motifs
 	rep.Kernels = KernelBench()
+	stores, err := StoreBench(p)
+	if err != nil {
+		return rep, err
+	}
+	rep.Stores = stores
 	return rep, nil
 }
 

@@ -1,0 +1,175 @@
+package harness
+
+// Cold-start bench for the persistent graph store: the same graph
+// brought to query-ready three ways — text edge-list parse, v1 binary
+// read (decode onto the heap), and the store's zero-copy mmap — plus
+// the derived-partition artifact (BFS-grown partition derived from
+// scratch vs loaded from its .midp file). Wall times are
+// machine-dependent and informational; the gated quantities are the
+// deterministic ones: the v2 file size (format bloat is a regression),
+// the mapped graph's digest matching the source (the zero-copy wrap
+// must not misread a byte), and the artifact round-tripping
+// bit-identically. docs/STORAGE.md quotes this record's shape.
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/partition"
+	"github.com/midas-hpc/midas/internal/store"
+)
+
+// storeBenchParts is the partition arity of the derived-artifact leg.
+const storeBenchParts = 8
+
+// StoreRecord is one dataset's cold-start comparison.
+type StoreRecord struct {
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+
+	TextBytes int64 `json:"textBytes"` // edge-list file size
+	FileBytes int64 `json:"fileBytes"` // v2 store file size (gated)
+
+	// Cold-start wall times in milliseconds (informational).
+	ParseMillis float64 `json:"parseMillis"` // text parse
+	ReadMillis  float64 `json:"readMillis"`  // v1 binary decode
+	MapMillis   float64 `json:"mapMillis"`   // store open + mmap + wrap
+
+	// MapDigestOK pins the zero-copy wrap: the mapped graph's content
+	// digest equals the source graph's (gated — must stay true).
+	MapDigestOK bool `json:"mapDigestOK"`
+
+	// Derived-artifact leg: a BFS-grown partition derived from scratch
+	// vs loaded from its persisted .midp file.
+	Parts            int     `json:"parts"`
+	PartDeriveMillis float64 `json:"partDeriveMillis"` // informational
+	PartLoadMillis   float64 `json:"partLoadMillis"`   // informational
+	// PartReused pins the artifact round trip: the loaded partition is
+	// bit-identical to the derived one (gated — must stay true).
+	PartReused bool `json:"partReused"`
+}
+
+// StoreBench measures every dataset's cold-start paths at p.Scale.
+func StoreBench(p Params) ([]StoreRecord, error) {
+	p = p.withDefaults()
+	dir, err := os.MkdirTemp("", "midas-storebench-*")
+	if err != nil {
+		return nil, fmt.Errorf("harness: store bench: %w", err)
+	}
+	defer os.RemoveAll(dir)
+
+	var out []StoreRecord
+	for _, ds := range Datasets() {
+		g := ds.Build(p.Scale, p.Seed)
+		rec, err := storeBenchOne(dir, ds.Name, g, p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: store bench %s: %w", ds.Name, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func storeBenchOne(dir, name string, g *graph.Graph, seed uint64) (StoreRecord, error) {
+	rec := StoreRecord{
+		Dataset: name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
+		Parts: storeBenchParts,
+	}
+
+	// Leg 1: text parse.
+	textPath := dir + "/" + name + ".txt"
+	if err := graph.SaveEdgeList(textPath, g); err != nil {
+		return rec, err
+	}
+	if st, err := os.Stat(textPath); err == nil {
+		rec.TextBytes = st.Size()
+	}
+	start := time.Now()
+	parsed, err := graph.LoadEdgeList(textPath)
+	if err != nil {
+		return rec, err
+	}
+	rec.ParseMillis = msSince(start)
+
+	// Leg 2: v1 binary decode.
+	binPath := dir + "/" + name + ".bin"
+	if err := graph.SaveBinary(binPath, g); err != nil {
+		return rec, err
+	}
+	start = time.Now()
+	if _, err := graph.LoadBinary(binPath); err != nil {
+		return rec, err
+	}
+	rec.ReadMillis = msSince(start)
+
+	// Leg 3: the store's mmap, measured from a cold Open so the
+	// manifest read and file open are in the number.
+	s, err := store.Open(dir+"/"+name+".store", store.Options{})
+	if err != nil {
+		return rec, err
+	}
+	defer s.Close()
+	digest, _, err := s.Put(g)
+	if err != nil {
+		return rec, err
+	}
+	rec.FileBytes = graph.V2FileSize(g)
+	start = time.Now()
+	h, err := s.Acquire(digest)
+	if err != nil {
+		return rec, err
+	}
+	rec.MapMillis = msSince(start)
+	rec.MapDigestOK = h.Graph().Digest() == parsed.Digest()
+	h.Close()
+
+	// Derived-artifact leg.
+	key := store.PartKey{Scheme: partition.SchemeBFSGrow, Parts: storeBenchParts, Seed: seed}
+	start = time.Now()
+	derived := partition.BFSGrow(g, storeBenchParts, seed)
+	for i := 0; i < derived.Parts; i++ {
+		derived.Members(i)
+	}
+	rec.PartDeriveMillis = msSince(start)
+	if err := s.PutPartition(digest, key, derived); err != nil {
+		return rec, err
+	}
+	start = time.Now()
+	loaded, err := s.GetPartition(digest, key)
+	if err != nil {
+		return rec, err
+	}
+	rec.PartLoadMillis = msSince(start)
+	rec.PartReused = partitionsEqual(derived, loaded)
+	return rec, nil
+}
+
+func msSince(start time.Time) float64 {
+	return float64(time.Since(start).Nanoseconds()) / 1e6
+}
+
+func partitionsEqual(a, b *partition.Partition) bool {
+	if a.Parts != b.Parts || len(a.Of) != len(b.Of) {
+		return false
+	}
+	for v := range a.Of {
+		if a.Of[v] != b.Of[v] {
+			return false
+		}
+	}
+	for p := 0; p < a.Parts; p++ {
+		am, bm := a.Members(p), b.Members(p)
+		if len(am) != len(bm) {
+			return false
+		}
+		for i := range am {
+			if am[i] != bm[i] {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -69,6 +69,11 @@ const (
 	// holding the admission window collecting compatible lanes before
 	// executing (internal/serve; zero observations with batching off).
 	HistServeBatchAssembly
+	// HistStoreColdStart is the wall time to bring a stored graph from
+	// disk to query-ready: open, header validation, and mmap of the
+	// repository file (internal/store; a resident re-acquire observes
+	// nothing — that is a store hit).
+	HistStoreColdStart
 
 	// NumHists is the number of defined histograms.
 	NumHists
@@ -79,6 +84,7 @@ var histNames = [NumHists]string{
 	"serve-queue-wait", "serve-query-latency",
 	"serve-batch-occupancy", "serve-lane-cost",
 	"serve-dp-time", "serve-batch-assembly",
+	"store-cold-start",
 }
 
 // String returns the stable kebab-case name used by the exporters.

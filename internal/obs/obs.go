@@ -130,6 +130,20 @@ const (
 	// flight recorder's ring buffer to make room for newer ones.
 	ServeTraceEvictions
 
+	// The store-* counters belong to the persistent graph repository
+	// (internal/store, docs/STORAGE.md).
+
+	// StoreHits counts graph acquisitions served by an already-mapped
+	// resident handle (no filesystem work).
+	StoreHits
+	// StoreMisses counts graph acquisitions that had to open and map
+	// the backing file (cold starts; their latency lands in the
+	// store-cold-start histogram).
+	StoreMisses
+	// StoreEvictions counts mapped graphs unmapped by the residency
+	// LRU to stay under the mapped-bytes budget.
+	StoreEvictions
+
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
@@ -141,6 +155,7 @@ var counterNames = [NumCounters]string{
 	"serve-singleflight-shared", "serve-cancelled", "serve-completed",
 	"serve-batches", "serve-batch-lanes",
 	"serve-slow-queries", "serve-trace-evictions",
+	"store-hits", "store-misses", "store-evictions",
 }
 
 // String returns the stable kebab-case name used by the exporters.

@@ -45,6 +45,48 @@ func New(parts int, of []int32) (*Partition, error) {
 	return &Partition{Parts: parts, Of: of}, nil
 }
 
+// NewMaterialized wraps a precomputed assignment together with its
+// already-materialized member lists — the shape internal/store
+// persists, so a loaded partition never re-derives what the file
+// carries. members[p] must list exactly the vertices v with of[v]==p,
+// in ascending order (the order Members itself builds); the store's
+// reader guarantees this by construction, and Validate() is available
+// for untrusted inputs.
+func NewMaterialized(parts int, of []int32, members [][]int32) (*Partition, error) {
+	p, err := New(parts, of)
+	if err != nil {
+		return nil, err
+	}
+	if len(members) != parts {
+		return nil, fmt.Errorf("partition: %d member lists for %d parts", len(members), parts)
+	}
+	total := 0
+	for _, m := range members {
+		total += len(m)
+	}
+	if total != len(of) {
+		return nil, fmt.Errorf("partition: member lists cover %d vertices, assignment has %d", total, len(of))
+	}
+	p.members = members
+	return p, nil
+}
+
+// Validate cross-checks materialized member lists against the
+// assignment (O(n)); used on partitions loaded from disk.
+func (p *Partition) Validate() error {
+	if p.members == nil {
+		return nil
+	}
+	for part, m := range p.members {
+		for _, v := range m {
+			if int(v) < 0 || int(v) >= len(p.Of) || int(p.Of[v]) != part {
+				return fmt.Errorf("partition: member list %d claims vertex %d (assignment says %d)", part, v, p.Of[v])
+			}
+		}
+	}
+	return nil
+}
+
 // Members returns the vertex list of part p (built once, cached).
 func (p *Partition) Members(part int) []int32 {
 	if p.members == nil {

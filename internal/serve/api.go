@@ -256,10 +256,12 @@ type GraphView struct {
 }
 
 func graphView(e *graphEntry) GraphView {
+	// Shape comes from the entry, not e.G: a store-backed graph may not
+	// be mapped yet, and listings must not force the map.
 	return GraphView{
 		Name:     e.Name,
-		Vertices: e.G.NumVertices(),
-		Edges:    e.G.NumEdges(),
+		Vertices: e.Vertices,
+		Edges:    e.Edges,
 		Digest:   strconv.FormatUint(e.Digest, 16),
 	}
 }
@@ -366,10 +368,15 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		}
 		g.SetLabels(req.Labels)
 	}
-	e := s.registry.add(req.Name, g)
+	digest := s.AddGraph(req.Name, g)
 	s.logger.Info("graph registered",
 		"name", req.Name, "vertices", g.NumVertices(), "edges", g.NumEdges(),
-		"digest", strconv.FormatUint(e.Digest, 16))
+		"digest", strconv.FormatUint(digest, 16))
+	e, err := s.registry.get(req.Name)
+	if err != nil {
+		writeErr(w, r, http.StatusInternalServerError, "%v", err)
+		return
+	}
 	writeJSON(w, http.StatusOK, graphView(e))
 }
 
@@ -399,7 +406,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	entry, err := s.registry.get(req.Graph)
 	if err != nil {
-		writeErr(w, r, http.StatusNotFound, "%v", err)
+		// Unknown name is the client's mistake; a store map failure
+		// (missing or corrupt repository file) is ours.
+		code := http.StatusNotFound
+		if !errors.Is(err, errUnknownGraph) {
+			code = http.StatusInternalServerError
+		}
+		writeErr(w, r, code, "%v", err)
 		return
 	}
 	key := req.key(entry.Digest)

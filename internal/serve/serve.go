@@ -46,6 +46,7 @@ import (
 	"github.com/midas-hpc/midas/internal/mld"
 	"github.com/midas-hpc/midas/internal/obs"
 	"github.com/midas-hpc/midas/internal/partition"
+	"github.com/midas-hpc/midas/internal/store"
 )
 
 // Config tunes the service. The zero value is usable; every field has
@@ -94,6 +95,16 @@ type Config struct {
 	// flight recorder retains for GET /v1/debug/requests (in-flight
 	// traces are always all held). Default 256.
 	FlightRecorderSize int
+	// Store, when non-nil, backs the registry with a persistent
+	// content-addressed graph repository (internal/store): graphs
+	// POSTed to /v1/graphs are written through, every name in the
+	// store's manifest is re-registered at startup, and a query naming
+	// a stored graph maps its file zero-copy on first use — a restart
+	// answers queries against previously-loaded graphs with no
+	// re-parse. The server adopts the store's telemetry (store-hit/
+	// miss/evict counters land in Recorder()) and releases its pins at
+	// Shutdown; closing the store itself stays with whoever opened it.
+	Store *store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -191,6 +202,18 @@ func New(cfg Config) *Server {
 		"version", b.Version, "goversion", b.GoVersion, "revision", b.ShortRevision(),
 		"workers", cfg.Workers, "queueDepth", cfg.QueueDepth,
 		"batchWindow", cfg.BatchWindow, "flightRecorder", cfg.FlightRecorderSize)
+	if cfg.Store != nil {
+		cfg.Store.SetRecorder(s.rec)
+		// Re-register every manifest name as a lazy entry: the process
+		// is query-ready immediately, and each graph's file maps on the
+		// first query that names it.
+		for name, ni := range cfg.Store.Names() {
+			s.registry.addStored(name, ni, cfg.Store)
+			s.logger.Info("graph restored from store",
+				"name", name, "digest", fmt.Sprintf("%016x", ni.Digest),
+				"vertices", ni.Vertices, "edges", ni.Edges)
+		}
+	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker(i)
@@ -199,9 +222,28 @@ func New(cfg Config) *Server {
 }
 
 // AddGraph registers g under name programmatically (the API equivalent
-// is POST /v1/graphs). Replaces any previous graph of that name.
+// is POST /v1/graphs). Replaces any previous graph of that name. With
+// a store configured the graph is written through (content-addressed,
+// so re-adding is a free no-op) and the name bound in the manifest —
+// a restarted process finds it again.
 func (s *Server) AddGraph(name string, g *graph.Graph) uint64 {
-	return s.registry.add(name, g).Digest
+	e := s.registry.add(name, g, s.cfg.Store)
+	if s.cfg.Store != nil {
+		if err := s.writeThrough(name, g, e.Digest); err != nil {
+			s.logger.Warn("store write-through failed", "name", name, "error", err.Error())
+		}
+	}
+	return e.Digest
+}
+
+// writeThrough persists a freshly-registered graph and its name
+// binding. Failure leaves the graph serving from memory — persistence
+// degrades, queries do not.
+func (s *Server) writeThrough(name string, g *graph.Graph, digest uint64) error {
+	if _, _, err := s.cfg.Store.Put(g); err != nil {
+		return err
+	}
+	return s.cfg.Store.SetName(name, digest, g.NumVertices(), g.NumEdges())
 }
 
 // Start binds addr (":0" picks a free port; read it back with Addr)
@@ -242,6 +284,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.finishErr(j, nil, errors.New("serve: shut down before execution"))
 	}
 	s.followers.Wait()
+	// No query can be running now; drop the registry's store pins so
+	// the mappings become evictable/unmappable.
+	s.registry.releaseAll()
 	var err error
 	if s.hsrv != nil {
 		if herr := s.hsrv.Shutdown(context.Background()); herr != nil {
@@ -567,7 +612,7 @@ func (s *Server) gauges() []obs.Metric {
 	if s.draining.Load() {
 		draining = 1
 	}
-	return []obs.Metric{
+	out := []obs.Metric{
 		obs.Gauge("midas_serve_queue_depth", "Admitted queries waiting for a worker.", float64(s.queue.len())),
 		obs.Gauge("midas_serve_queue_capacity", "Admission queue bound (QueueDepth).", float64(s.cfg.QueueDepth)),
 		obs.Gauge("midas_serve_inflight", "Query executions currently running a DP.", float64(s.inflight.Load())),
@@ -583,4 +628,11 @@ func (s *Server) gauges() []obs.Metric {
 		obs.Gauge("midas_uptime_seconds", "Seconds since this midas-serve process started.", time.Since(s.started).Seconds()),
 		obs.BuildInfoMetric(),
 	}
+	if st := s.cfg.Store; st != nil {
+		out = append(out,
+			obs.Gauge("midas_store_mapped_bytes", "Bytes of graph files resident via the store's mappings.", float64(st.MappedBytes())),
+			obs.Gauge("midas_store_resident_graphs", "Stored graphs currently mapped.", float64(st.Resident())),
+		)
+	}
+	return out
 }

@@ -1,0 +1,26 @@
+//go:build !(linux || darwin)
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile on platforms without the mmap path reads the file onto the
+// heap. mapped=false tells the caller there is nothing to munmap; the
+// residency accounting and LRU behave identically, the bytes are just
+// GC-owned.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data = make([]byte, size)
+	if _, err := io.ReadFull(f, data); err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+// unmapBytes is a no-op for heap-backed data.
+func unmapBytes(data []byte) error { return nil }

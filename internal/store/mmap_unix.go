@@ -1,0 +1,37 @@
+//go:build linux || darwin
+
+package store
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps size bytes of f read-only and shared, advising the
+// kernel that access will be random (graph queries hop across the
+// adjacency section, so readahead is wasted effort). Returns
+// mapped=false with a heap read instead when the file is empty —
+// mmap of length 0 is an error on both platforms.
+func mapFile(f *os.File, size int64) (data []byte, mapped bool, err error) {
+	if size == 0 {
+		return nil, false, nil
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	_ = madviseRandom(data) // advisory; failure is harmless
+	return data, true, nil
+}
+
+func madviseRandom(data []byte) error {
+	return syscall.Madvise(data, syscall.MADV_RANDOM)
+}
+
+// unmapBytes releases a mapping produced by mapFile.
+func unmapBytes(data []byte) error {
+	if data == nil {
+		return nil
+	}
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,195 @@
+package store
+
+// Derived-artifact persistence: partitions. Deriving a partition is
+// the expensive half of a cold start (BFS growing or multilevel
+// coarsening is O(n+m) with bad constants), so the store persists one
+// file per (scheme, parts, seed) under parts/<digest>/ with the member
+// lists already materialized — a restart re-reads an array instead of
+// re-running the partitioner. Degree prefix sums, the other derived
+// quantity serve needs, are exactly the offsets section of the graph
+// file itself and need no separate artifact.
+//
+// Format "MIDP" v1, little-endian:
+//
+//	u32 magic "MIDP" (0x4d494450)  u32 version (1)
+//	u32 parts                      u32 reserved
+//	u64 n (vertex count)
+//	i32 of[n]                      part assignment
+//	i64 memberOff[parts+1]         prefix offsets into members
+//	i32 members[n]                 concatenated ascending member lists
+//	u32 crc32c over everything above
+//
+// Unlike the graph file this is small (8n + O(parts) bytes) and read
+// in one gulp — no mmap, no laziness, checksum always verified.
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+const (
+	partMagic   = 0x4d494450 // "MIDP"
+	partVersion = 1
+)
+
+var crcTab = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoPartition reports a partition-artifact cache miss.
+var ErrNoPartition = errors.New("store: partition artifact not found")
+
+// PartKey identifies a derived partition of one graph.
+type PartKey struct {
+	Scheme partition.Scheme
+	Parts  int
+	Seed   uint64
+}
+
+func (s *Store) partDir(digest uint64) string {
+	return filepath.Join(s.dir, "parts", fmt.Sprintf("%016x", digest))
+}
+
+func (s *Store) partPath(digest uint64, key PartKey) string {
+	return filepath.Join(s.partDir(digest), fmt.Sprintf("%s-p%d-s%d.midp", key.Scheme, key.Parts, key.Seed))
+}
+
+// PutPartition persists p as a derived artifact of the graph with this
+// digest. Idempotent: an existing artifact for the same key is left in
+// place.
+func (s *Store) PutPartition(digest uint64, key PartKey, p *partition.Partition) error {
+	if p.Parts != key.Parts {
+		return fmt.Errorf("store: partition has %d parts, key says %d", p.Parts, key.Parts)
+	}
+	path := s.partPath(digest, key)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.partDir(digest), 0o755); err != nil {
+		return fmt.Errorf("store: put partition: %w", err)
+	}
+
+	n := len(p.Of)
+	buf := make([]byte, 0, 24+4*n+8*(p.Parts+1)+4*n+4)
+	var w [8]byte
+	put32 := func(v uint32) {
+		binary.LittleEndian.PutUint32(w[:4], v)
+		buf = append(buf, w[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		buf = append(buf, w[:]...)
+	}
+	put32(partMagic)
+	put32(partVersion)
+	put32(uint32(key.Parts))
+	put32(0)
+	put64(uint64(n))
+	for _, v := range p.Of {
+		put32(uint32(v))
+	}
+	off := int64(0)
+	put64(uint64(off)) // memberOff[0]
+	for pt := 0; pt < p.Parts; pt++ {
+		off += int64(len(p.Members(pt)))
+		put64(uint64(off))
+	}
+	for pt := 0; pt < p.Parts; pt++ {
+		for _, v := range p.Members(pt) {
+			put32(uint32(v))
+		}
+	}
+	put32(crc32.Checksum(buf, crcTab))
+	if err := s.atomicWrite(path, buf); err != nil {
+		return fmt.Errorf("store: put partition: %w", err)
+	}
+	return nil
+}
+
+// GetPartition loads a persisted partition artifact. Returns
+// ErrNoPartition on a cache miss; any other error means the artifact
+// exists but is corrupt.
+func (s *Store) GetPartition(digest uint64, key PartKey) (*partition.Partition, error) {
+	data, err := os.ReadFile(s.partPath(digest, key))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoPartition
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: get partition: %w", err)
+	}
+	p, err := decodePartition(data, key)
+	if err != nil {
+		return nil, fmt.Errorf("store: partition %s-p%d-s%d of %016x: %w",
+			key.Scheme, key.Parts, key.Seed, digest, err)
+	}
+	return p, nil
+}
+
+func decodePartition(data []byte, key PartKey) (*partition.Partition, error) {
+	if len(data) < 28 {
+		return nil, fmt.Errorf("artifact truncated: %d bytes", len(data))
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := binary.LittleEndian.Uint32(tail), crc32.Checksum(body, crcTab); got != want {
+		return nil, fmt.Errorf("checksum mismatch: file %08x, computed %08x", got, want)
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(body[0:]); m != partMagic {
+		return nil, fmt.Errorf("bad magic %08x", m)
+	}
+	if v := le.Uint32(body[4:]); v != partVersion {
+		return nil, fmt.Errorf("unsupported version %d", v)
+	}
+	parts := int(le.Uint32(body[8:]))
+	n64 := le.Uint64(body[16:])
+	if parts != key.Parts {
+		return nil, fmt.Errorf("file has %d parts, key says %d", parts, key.Parts)
+	}
+	if parts <= 0 || n64 > uint64(len(body)) {
+		return nil, fmt.Errorf("implausible shape: parts=%d n=%d", parts, n64)
+	}
+	n := int(n64)
+	want := 24 + 4*n + 8*(parts+1) + 4*n
+	if len(body) != want {
+		return nil, fmt.Errorf("artifact is %d bytes, layout needs %d", len(data), want+4)
+	}
+	of := make([]int32, n)
+	p := 24
+	for i := range of {
+		of[i] = int32(le.Uint32(body[p:]))
+		p += 4
+	}
+	memberOff := make([]int64, parts+1)
+	for i := range memberOff {
+		memberOff[i] = int64(le.Uint64(body[p:]))
+		p += 8
+	}
+	if memberOff[0] != 0 || memberOff[parts] != int64(n) {
+		return nil, fmt.Errorf("member offsets span [%d,%d], want [0,%d]", memberOff[0], memberOff[parts], n)
+	}
+	flat := make([]int32, n)
+	for i := range flat {
+		flat[i] = int32(le.Uint32(body[p:]))
+		p += 4
+	}
+	members := make([][]int32, parts)
+	for pt := 0; pt < parts; pt++ {
+		lo, hi := memberOff[pt], memberOff[pt+1]
+		if lo > hi || hi > int64(n) {
+			return nil, fmt.Errorf("member offsets not monotone at part %d", pt)
+		}
+		members[pt] = flat[lo:hi:hi]
+	}
+	part, err := partition.NewMaterialized(parts, of, members)
+	if err != nil {
+		return nil, err
+	}
+	if err := part.Validate(); err != nil {
+		return nil, err
+	}
+	return part, nil
+}

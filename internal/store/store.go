@@ -1,0 +1,567 @@
+// Package store is the content-addressed persistent graph repository
+// behind midas-serve's -store flag and the `midas store` CLI: graphs
+// keyed by their content digest, laid out in the version-2 aligned
+// binary format (internal/graph/binio2.go) so their CSR arrays serve
+// directly from an mmap with zero copying, plus derived artifacts —
+// partitions with materialized member lists — persisted next to them
+// so a replica cold-starts a large graph in milliseconds instead of
+// re-parsing and re-deriving.
+//
+// # Layout
+//
+//	DIR/graphs/<digest>.midg          version-2 binary graph
+//	DIR/parts/<digest>/<scheme>-p<n1>-s<seed>.midp
+//	DIR/MANIFEST.json                 name → digest bindings
+//	DIR/tmp/                          staging for atomic writes
+//
+// Every file lands via write-to-tmp + rename, so a crash mid-write
+// leaves at worst an orphan in tmp/, never a half graph under its
+// final name; the v2 header checksum catches truncation and table
+// corruption at open time, and per-section checksums make silent data
+// corruption detectable by Verify (docs/STORAGE.md covers the model).
+//
+// # Residency
+//
+// Acquire maps a graph and hands out a refcounted *Handle; identical
+// acquisitions share one mapping. Handles with no remaining references
+// become evictable, and an optional mapped-bytes budget (MaxMappedBytes)
+// evicts least-recently-used idle mappings (munmap) the way the serve
+// arena caps DP slabs. Counters: store-hits / store-misses /
+// store-evictions; cold-start latency lands in the store-cold-start
+// histogram.
+package store
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// Options tunes a Store. The zero value is a valid configuration:
+// unlimited residency, no telemetry, lazy (header-only) open checks.
+type Options struct {
+	// MaxMappedBytes bounds the total bytes of resident mappings; 0
+	// means unlimited. Only idle graphs (no outstanding Handle) are
+	// evictable — the budget is a target, not a hard cap, when every
+	// resident graph is pinned by a reference.
+	MaxMappedBytes int64
+	// VerifyOnOpen runs the full checksum + structural verification on
+	// every cold open. Off by default: it touches every page, which
+	// defeats lazy residency; the intended use is distrusted stores
+	// (see also Store.Verify and `midas store verify`).
+	VerifyOnOpen bool
+	// Rec receives the store-hit/miss/evict counters and the
+	// cold-start histogram (nil = no telemetry).
+	Rec *obs.Recorder
+}
+
+// Store is a content-addressed graph repository rooted at a directory.
+// Safe for concurrent use.
+type Store struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	resident map[uint64]*Handle
+	lruHead  *Handle // doubly-linked idle list, most recent first
+	lruTail  *Handle
+	mapped   int64 // total bytes of resident mappings
+	names    map[string]NameInfo
+}
+
+// NameInfo is one manifest binding: a stable name pointing at a
+// content digest, with the shape echoed so listings need no file IO.
+type NameInfo struct {
+	Digest   uint64
+	Vertices int
+	Edges    int
+}
+
+// manifest is the on-disk MANIFEST.json shape (digests in hex so the
+// file is greppable against filenames).
+type manifest struct {
+	Version int                     `json:"version"`
+	Names   map[string]manifestName `json:"names"`
+}
+
+type manifestName struct {
+	Digest   string `json:"digest"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+}
+
+// Open opens (creating if necessary) a repository at dir.
+func Open(dir string, opt Options) (*Store, error) {
+	for _, sub := range []string{"graphs", "parts", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	s := &Store{
+		dir:      dir,
+		opt:      opt,
+		resident: make(map[uint64]*Handle),
+		names:    make(map[string]NameInfo),
+	}
+	if err := s.loadManifest(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Dir returns the repository root.
+func (s *Store) Dir() string { return s.dir }
+
+// SetRecorder redirects the store's telemetry (hit/miss/evict
+// counters, cold-start histogram) to rec — internal/serve adopts a
+// caller-opened store this way. Call before concurrent use.
+func (s *Store) SetRecorder(rec *obs.Recorder) { s.opt.Rec = rec }
+
+func (s *Store) graphPath(digest uint64) string {
+	return filepath.Join(s.dir, "graphs", fmt.Sprintf("%016x.midg", digest))
+}
+
+func (s *Store) manifestPath() string { return filepath.Join(s.dir, "MANIFEST.json") }
+
+func (s *Store) loadManifest() error {
+	data, err := os.ReadFile(s.manifestPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: manifest: %w", err)
+	}
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return fmt.Errorf("store: manifest corrupt: %w", err)
+	}
+	for name, e := range m.Names {
+		d, err := strconv.ParseUint(e.Digest, 16, 64)
+		if err != nil {
+			return fmt.Errorf("store: manifest name %q: bad digest %q", name, e.Digest)
+		}
+		s.names[name] = NameInfo{Digest: d, Vertices: e.Vertices, Edges: e.Edges}
+	}
+	return nil
+}
+
+// saveManifestLocked writes the manifest atomically. Callers hold s.mu.
+func (s *Store) saveManifestLocked() error {
+	m := manifest{Version: 1, Names: make(map[string]manifestName, len(s.names))}
+	for name, e := range s.names {
+		m.Names[name] = manifestName{
+			Digest:   fmt.Sprintf("%016x", e.Digest),
+			Vertices: e.Vertices,
+			Edges:    e.Edges,
+		}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	return s.atomicWrite(s.manifestPath(), append(data, '\n'))
+}
+
+// atomicWrite lands data at path via tmp + rename.
+func (s *Store) atomicWrite(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "w-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Put writes g into the repository under its content digest, returning
+// the digest and whether a new file was created (false = the graph was
+// already stored; content addressing makes the write idempotent).
+func (s *Store) Put(g *graph.Graph) (uint64, bool, error) {
+	digest := g.Digest()
+	path := s.graphPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, false, nil
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.dir, "tmp"), "g-*")
+	if err != nil {
+		return 0, false, fmt.Errorf("store: put: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := graph.WriteBinaryV2(tmp, g); err != nil {
+		tmp.Close()
+		return 0, false, fmt.Errorf("store: put %016x: %w", digest, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, false, fmt.Errorf("store: put %016x: %w", digest, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, false, fmt.Errorf("store: put %016x: %w", digest, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, false, fmt.Errorf("store: put %016x: %w", digest, err)
+	}
+	return digest, true, nil
+}
+
+// Has reports whether the repository holds a graph with this digest.
+func (s *Store) Has(digest uint64) bool {
+	_, err := os.Stat(s.graphPath(digest))
+	return err == nil
+}
+
+// SetName binds name → digest in the manifest (replacing any previous
+// binding) so a restart can re-register graphs under their serving
+// names. The digest must already be stored.
+func (s *Store) SetName(name string, digest uint64, vertices, edges int) error {
+	if !s.Has(digest) {
+		return fmt.Errorf("store: name %q: digest %016x not in repository", name, digest)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.names[name] = NameInfo{Digest: digest, Vertices: vertices, Edges: edges}
+	return s.saveManifestLocked()
+}
+
+// DeleteName removes a manifest binding (the graph file stays; content
+// may be shared by other names).
+func (s *Store) DeleteName(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.names, name)
+	return s.saveManifestLocked()
+}
+
+// Names returns a copy of the manifest bindings.
+func (s *Store) Names() map[string]NameInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]NameInfo, len(s.names))
+	for k, v := range s.names {
+		out[k] = v
+	}
+	return out
+}
+
+// Handle is one acquisition of a stored graph. The Graph's CSR arrays
+// alias the underlying mapping: use it freely until Close, after which
+// the mapping may be unmapped by the residency LRU and the Graph must
+// not be touched.
+type Handle struct {
+	st     *Store
+	digest uint64
+	data   []byte
+	mapped bool // true when data is an mmap (vs the heap fallback)
+	g      *graph.Graph
+	info   *graph.V2Info
+
+	// Guarded by st.mu.
+	refs       int
+	prev, next *Handle // idle-LRU links, nil when referenced
+}
+
+// Graph returns the mapped graph.
+func (h *Handle) Graph() *graph.Graph { return h.g }
+
+// Digest returns the content digest this handle maps.
+func (h *Handle) Digest() uint64 { return h.digest }
+
+// Bytes returns the size of the backing mapping.
+func (h *Handle) Bytes() int64 { return int64(len(h.data)) }
+
+// Info returns the parsed v2 header of the backing file.
+func (h *Handle) Info() *graph.V2Info { return h.info }
+
+// Close releases the reference. The last Close makes the mapping
+// evictable; it stays resident (a future Acquire is a hit) until the
+// LRU needs the bytes back.
+func (h *Handle) Close() {
+	s := h.st
+	s.mu.Lock()
+	if h.refs <= 0 {
+		s.mu.Unlock()
+		panic("store: Handle closed twice")
+	}
+	h.refs--
+	if h.refs == 0 {
+		s.lruPushFront(h)
+	}
+	unmap := s.evictOverBudgetLocked()
+	s.mu.Unlock()
+	releaseMappings(unmap)
+}
+
+// Acquire maps the stored graph with this digest (or shares the
+// resident mapping) and returns a referenced handle. A cold open is
+// O(header + section table): the section bytes are mapped, not read —
+// pages fault in as queries touch them.
+func (s *Store) Acquire(digest uint64) (*Handle, error) {
+	s.mu.Lock()
+	if h, ok := s.resident[digest]; ok {
+		h.refs++
+		if h.refs == 1 {
+			s.lruRemove(h)
+		}
+		s.mu.Unlock()
+		s.opt.Rec.Add(obs.StoreHits, 1)
+		return h, nil
+	}
+	s.mu.Unlock()
+
+	// Cold path: open and map outside the lock (file IO under a mutex
+	// would serialize unrelated queries), then publish; a racing
+	// duplicate open loses and unmaps.
+	start := time.Now()
+	h, err := s.openCold(digest)
+	if err != nil {
+		return nil, err
+	}
+	s.opt.Rec.Add(obs.StoreMisses, 1)
+	s.opt.Rec.Observe(obs.HistStoreColdStart, time.Since(start).Seconds())
+
+	s.mu.Lock()
+	if winner, ok := s.resident[digest]; ok {
+		winner.refs++
+		if winner.refs == 1 {
+			s.lruRemove(winner)
+		}
+		s.mu.Unlock()
+		releaseMappings([]*Handle{h})
+		return winner, nil
+	}
+	s.resident[digest] = h
+	s.mapped += h.Bytes()
+	unmap := s.evictOverBudgetLocked()
+	s.mu.Unlock()
+	releaseMappings(unmap)
+	return h, nil
+}
+
+// openCold maps the digest's file and wraps it in a Graph.
+func (s *Store) openCold(digest uint64) (*Handle, error) {
+	path := s.graphPath(digest)
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	data, mapped, err := mapFile(f, st.Size())
+	if err != nil {
+		return nil, fmt.Errorf("store: %016x: map: %w", digest, err)
+	}
+	bail := func(err error) (*Handle, error) {
+		if mapped {
+			_ = unmapBytes(data)
+		}
+		return nil, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	if s.opt.VerifyOnOpen {
+		if err := graph.VerifyBinaryV2(data); err != nil {
+			return bail(err)
+		}
+	}
+	g, info, err := graph.MapBinaryV2(data)
+	if err != nil {
+		return bail(err)
+	}
+	return &Handle{st: s, digest: digest, data: data, mapped: mapped, g: g, info: info, refs: 1}, nil
+}
+
+// lruPushFront / lruRemove maintain the idle list. Callers hold s.mu.
+func (s *Store) lruPushFront(h *Handle) {
+	h.prev, h.next = nil, s.lruHead
+	if s.lruHead != nil {
+		s.lruHead.prev = h
+	}
+	s.lruHead = h
+	if s.lruTail == nil {
+		s.lruTail = h
+	}
+}
+
+func (s *Store) lruRemove(h *Handle) {
+	if h.prev != nil {
+		h.prev.next = h.next
+	} else {
+		s.lruHead = h.next
+	}
+	if h.next != nil {
+		h.next.prev = h.prev
+	} else {
+		s.lruTail = h.prev
+	}
+	h.prev, h.next = nil, nil
+}
+
+// evictOverBudgetLocked pops idle mappings (least recent first) until
+// the budget is met, removing them from the resident table. The
+// returned handles must be passed to releaseMappings AFTER s.mu is
+// dropped — munmap is a syscall and needs no lock.
+func (s *Store) evictOverBudgetLocked() []*Handle {
+	if s.opt.MaxMappedBytes <= 0 {
+		return nil
+	}
+	var out []*Handle
+	for s.mapped > s.opt.MaxMappedBytes && s.lruTail != nil {
+		h := s.lruTail
+		s.lruRemove(h)
+		delete(s.resident, h.digest)
+		s.mapped -= h.Bytes()
+		s.opt.Rec.Add(obs.StoreEvictions, 1)
+		out = append(out, h)
+	}
+	return out
+}
+
+// releaseMappings unmaps evicted handles.
+func releaseMappings(hs []*Handle) {
+	for _, h := range hs {
+		if h.mapped {
+			_ = unmapBytes(h.data)
+		}
+		h.data, h.g, h.info = nil, nil, nil
+	}
+}
+
+// MappedBytes returns the total bytes of resident mappings (pinned +
+// idle) — the /metrics mapped-bytes gauge.
+func (s *Store) MappedBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mapped
+}
+
+// Resident returns the number of resident (mapped) graphs.
+func (s *Store) Resident() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.resident)
+}
+
+// Close unmaps every idle mapping and forgets resident state. Handles
+// still referenced stay mapped (their owners must Close them); the
+// Store must not be used afterwards.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	var idle []*Handle
+	for h := s.lruHead; h != nil; h = h.next {
+		delete(s.resident, h.digest)
+		s.mapped -= h.Bytes()
+		idle = append(idle, h)
+	}
+	s.lruHead, s.lruTail = nil, nil
+	s.mu.Unlock()
+	releaseMappings(idle)
+	return nil
+}
+
+// Verify runs the full integrity check (header, every section
+// checksum, CSR structural invariants) on one stored graph.
+func (s *Store) Verify(digest uint64) error {
+	data, err := os.ReadFile(s.graphPath(digest))
+	if err != nil {
+		return fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	if err := graph.VerifyBinaryV2(data); err != nil {
+		return fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	return nil
+}
+
+// GraphInfo describes one stored graph for listings (`midas store
+// inspect`). Built from the file's header + section table only.
+type GraphInfo struct {
+	Digest     uint64
+	FileBytes  int64
+	Vertices   int
+	Edges      int
+	Sections   []graph.V2Section
+	Names      []string // manifest bindings pointing here
+	Partitions int      // persisted derived partitions
+}
+
+// List scans the repository and describes every stored graph,
+// digest-ordered. Cost is O(graphs): a header-prefix read per file,
+// never a full map.
+func (s *Store) List() ([]GraphInfo, error) {
+	ents, err := os.ReadDir(filepath.Join(s.dir, "graphs"))
+	if err != nil {
+		return nil, fmt.Errorf("store: list: %w", err)
+	}
+	names := s.Names()
+	var out []GraphInfo
+	for _, ent := range ents {
+		var digest uint64
+		if _, err := fmt.Sscanf(ent.Name(), "%016x.midg", &digest); err != nil {
+			continue // foreign file; not ours to describe
+		}
+		info, err := s.Info(digest)
+		if err != nil {
+			return nil, err
+		}
+		for name, ni := range names {
+			if ni.Digest == digest {
+				info.Names = append(info.Names, name)
+			}
+		}
+		sort.Strings(info.Names)
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Digest < out[j].Digest })
+	return out, nil
+}
+
+// Info describes one stored graph from its header prefix.
+func (s *Store) Info(digest uint64) (GraphInfo, error) {
+	path := s.graphPath(digest)
+	f, err := os.Open(path)
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	prefix := make([]byte, graph.V2HeaderPrefixLen)
+	n, err := f.Read(prefix)
+	if err != nil && n == 0 {
+		return GraphInfo{}, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	info, err := graph.ParseV2HeaderPrefix(prefix[:n], st.Size())
+	if err != nil {
+		return GraphInfo{}, fmt.Errorf("store: %016x: %w", digest, err)
+	}
+	parts, _ := os.ReadDir(s.partDir(digest))
+	return GraphInfo{
+		Digest:     digest,
+		FileBytes:  st.Size(),
+		Vertices:   int(info.N),
+		Edges:      int(info.HalfEdges / 2),
+		Sections:   info.Sections,
+		Partitions: len(parts),
+	}, nil
+}

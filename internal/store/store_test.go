@@ -1,0 +1,450 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+// testGraph builds a store-sized graph with every optional section.
+func testGraph(t testing.TB, n, m int, seed uint64) *graph.Graph {
+	t.Helper()
+	g := graph.RandomGNM(n, m, seed)
+	w := make([]int64, g.NumVertices())
+	b := make([]int64, g.NumVertices())
+	l := make([]int32, g.NumVertices())
+	for i := range w {
+		w[i] = int64(i % 7)
+		b[i] = int64(1 + i%3)
+		l[i] = int32(i % 4)
+	}
+	g.SetWeights(w)
+	g.SetBaselines(b)
+	g.SetLabels(l)
+	return g
+}
+
+func openStore(t testing.TB, opt Options) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+func TestPutAcquireRoundTrip(t *testing.T) {
+	rec := obs.NewRecorder(0, nil)
+	s := openStore(t, Options{Rec: rec})
+	g := testGraph(t, 200, 800, 7)
+
+	digest, created, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !created {
+		t.Fatal("first Put reported existing file")
+	}
+	if digest != g.Digest() {
+		t.Fatalf("Put returned digest %016x, graph says %016x", digest, g.Digest())
+	}
+	if _, created, err = s.Put(g); err != nil || created {
+		t.Fatalf("second Put: created=%v err=%v, want idempotent no-op", created, err)
+	}
+	if !s.Has(digest) {
+		t.Fatal("Has: stored digest not found")
+	}
+
+	h, err := s.Acquire(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	got := h.Graph()
+	if got.NumVertices() != g.NumVertices() || got.NumEdges() != g.NumEdges() {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d",
+			got.NumVertices(), got.NumEdges(), g.NumVertices(), g.NumEdges())
+	}
+	if got.Digest() != g.Digest() {
+		t.Fatal("mapped graph digest differs from original")
+	}
+	if rec.Get(obs.StoreMisses) != 1 {
+		t.Fatalf("cold open: misses=%d, want 1", rec.Get(obs.StoreMisses))
+	}
+
+	// A second acquire of a resident graph shares the mapping.
+	h2, err := s.Acquire(digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h2 != h {
+		t.Fatal("resident acquire returned a distinct handle")
+	}
+	h2.Close()
+	if rec.Get(obs.StoreHits) != 1 {
+		t.Fatalf("warm open: hits=%d, want 1", rec.Get(obs.StoreHits))
+	}
+	if s.MappedBytes() != h.Bytes() || s.Resident() != 1 {
+		t.Fatalf("residency accounting: mapped=%d resident=%d", s.MappedBytes(), s.Resident())
+	}
+}
+
+func TestAcquireMissing(t *testing.T) {
+	s := openStore(t, Options{})
+	if _, err := s.Acquire(0xdeadbeef); err == nil {
+		t.Fatal("Acquire of absent digest succeeded")
+	}
+}
+
+func TestLRUEvictionAndPinning(t *testing.T) {
+	rec := obs.NewRecorder(0, nil)
+	g1 := testGraph(t, 300, 900, 1)
+	g2 := testGraph(t, 300, 900, 2)
+	g3 := testGraph(t, 300, 900, 3)
+	one := int64(graph.V2FileSize(g1))
+	// Budget fits two graphs but not three.
+	s := openStore(t, Options{MaxMappedBytes: 2*one + one/2, Rec: rec})
+	var digests []uint64
+	for _, g := range []*graph.Graph{g1, g2, g3} {
+		d, _, err := s.Put(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		digests = append(digests, d)
+	}
+
+	h1, err := s.Acquire(digests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1.Close() // idle → evictable
+	h2, err := s.Acquire(digests[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// h2 stays referenced (pinned). Acquiring the third graph must
+	// evict idle g1, not pinned g2.
+	h3, err := s.Acquire(digests[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Get(obs.StoreEvictions) != 1 {
+		t.Fatalf("evictions=%d, want 1", rec.Get(obs.StoreEvictions))
+	}
+	if s.Resident() != 2 {
+		t.Fatalf("resident=%d, want 2 (g1 evicted)", s.Resident())
+	}
+	// The pinned mapping must still be live and correct.
+	if h2.Graph().Digest() != digests[1] {
+		t.Fatal("pinned graph corrupted by eviction")
+	}
+	// Re-acquiring g1 is a miss again (it was unmapped).
+	misses := rec.Get(obs.StoreMisses)
+	h1b, err := s.Acquire(digests[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Get(obs.StoreMisses) != misses+1 {
+		t.Fatal("evicted graph re-acquired without a miss")
+	}
+	h1b.Close()
+	h2.Close()
+	h3.Close()
+}
+
+func TestHandleDoubleClosePanics(t *testing.T) {
+	s := openStore(t, Options{})
+	d, _, err := s.Put(testGraph(t, 50, 120, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Close did not panic")
+		}
+	}()
+	h.Close()
+}
+
+func TestManifestNamesSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := testGraph(t, 80, 200, 5)
+	d, _, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetName("toy", d, g.NumVertices(), g.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetName("ghost", d+1, 0, 0); err == nil {
+		t.Fatal("SetName accepted a digest not in the repository")
+	}
+	s.Close()
+
+	s2, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	names := s2.Names()
+	ni, ok := names["toy"]
+	if !ok || ni.Digest != d || ni.Vertices != g.NumVertices() || ni.Edges != g.NumEdges() {
+		t.Fatalf("manifest lost across reopen: %+v", names)
+	}
+	if err := s2.DeleteName("toy"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s2.Names()) != 0 {
+		t.Fatal("DeleteName left a binding")
+	}
+}
+
+func TestListAndInfo(t *testing.T) {
+	s := openStore(t, Options{})
+	g := testGraph(t, 90, 250, 6)
+	d, _, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetName("main", d, g.NumVertices(), g.NumEdges()); err != nil {
+		t.Fatal(err)
+	}
+	p := partition.Block(g, 4)
+	if err := s.PutPartition(d, PartKey{Scheme: partition.SchemeBlock, Parts: 4, Seed: 0}, p); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign file in graphs/ must be skipped, not break the listing.
+	if err := os.WriteFile(filepath.Join(s.Dir(), "graphs", "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	infos, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("List: %d entries, want 1", len(infos))
+	}
+	in := infos[0]
+	if in.Digest != d || in.Vertices != g.NumVertices() || in.Edges != g.NumEdges() {
+		t.Fatalf("List shape: %+v", in)
+	}
+	if len(in.Names) != 1 || in.Names[0] != "main" {
+		t.Fatalf("List names: %v", in.Names)
+	}
+	if in.Partitions != 1 {
+		t.Fatalf("List partitions: %d, want 1", in.Partitions)
+	}
+	if len(in.Sections) != 5 {
+		t.Fatalf("List sections: %d, want 5", len(in.Sections))
+	}
+	if in.FileBytes != graph.V2FileSize(g) {
+		t.Fatalf("List file bytes %d, want %d", in.FileBytes, graph.V2FileSize(g))
+	}
+}
+
+func TestVerifyCatchesBitRot(t *testing.T) {
+	s := openStore(t, Options{})
+	g := testGraph(t, 100, 300, 8)
+	d, _, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(d); err != nil {
+		t.Fatalf("verify of fresh file: %v", err)
+	}
+	// Flip one byte deep inside a data section (past the header, so a
+	// lazy open would not notice — only Verify's section CRCs catch it).
+	path := s.graphPath(d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-9] ^= 0x40
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Verify(d); err == nil {
+		t.Fatal("Verify missed a flipped data byte")
+	}
+}
+
+func TestCorruptStoreFiles(t *testing.T) {
+	// Every corruption of the file under a digest must surface as a
+	// structured error from Acquire — never a panic, never a wrong graph.
+	g := testGraph(t, 100, 300, 9)
+	var buf bytes.Buffer
+	if err := graph.WriteBinaryV2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	d := g.Digest()
+
+	cases := map[string]func([]byte) []byte{
+		"truncated header":  func(b []byte) []byte { return b[:32] },
+		"truncated section": func(b []byte) []byte { return b[:len(b)-64] },
+		"empty":             func(b []byte) []byte { return nil },
+		"wrong magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] ^= 0xff
+			return c
+		},
+		"wrong version": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 9
+			return c
+		},
+		"flipped header checksum": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[48] ^= 1
+			return c
+		},
+		"flipped table byte": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[64+5] ^= 1
+			return c
+		},
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			s := openStore(t, Options{})
+			if err := os.WriteFile(s.graphPath(d), corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Acquire(d); err == nil {
+				t.Fatal("Acquire accepted a corrupt file")
+			} else if !strings.Contains(err.Error(), "store:") {
+				t.Fatalf("error not store-labeled: %v", err)
+			}
+		})
+	}
+}
+
+func TestVerifyOnOpenRejectsDataRot(t *testing.T) {
+	g := testGraph(t, 100, 300, 10)
+	var buf bytes.Buffer
+	if err := graph.WriteBinaryV2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-9] ^= 0x40 // deep data flip: lazy open passes, VerifyOnOpen must not
+
+	lazy := openStore(t, Options{})
+	if err := os.WriteFile(lazy.graphPath(g.Digest()), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if h, err := lazy.Acquire(g.Digest()); err != nil {
+		t.Fatalf("lazy open should not checksum sections: %v", err)
+	} else {
+		h.Close()
+	}
+
+	strict := openStore(t, Options{VerifyOnOpen: true})
+	if err := os.WriteFile(strict.graphPath(g.Digest()), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.Acquire(g.Digest()); err == nil {
+		t.Fatal("VerifyOnOpen accepted rotted section data")
+	}
+}
+
+func TestPartitionArtifactRoundTrip(t *testing.T) {
+	s := openStore(t, Options{})
+	g := testGraph(t, 150, 500, 12)
+	d, _, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := PartKey{Scheme: partition.SchemeBFSGrow, Parts: 5, Seed: 42}
+	if _, err := s.GetPartition(d, key); !errors.Is(err, ErrNoPartition) {
+		t.Fatalf("miss: got %v, want ErrNoPartition", err)
+	}
+	p := partition.BFSGrow(g, key.Parts, key.Seed)
+	if err := s.PutPartition(d, key, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.PutPartition(d, key, p); err != nil {
+		t.Fatalf("idempotent re-put: %v", err)
+	}
+	got, err := s.GetPartition(d, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Parts != p.Parts || len(got.Of) != len(p.Of) {
+		t.Fatalf("shape mismatch: %d/%d vs %d/%d", got.Parts, len(got.Of), p.Parts, len(p.Of))
+	}
+	for v := range p.Of {
+		if got.Of[v] != p.Of[v] {
+			t.Fatalf("assignment differs at vertex %d", v)
+		}
+	}
+	for pt := 0; pt < p.Parts; pt++ {
+		a, b := p.Members(pt), got.Members(pt)
+		if len(a) != len(b) {
+			t.Fatalf("part %d member count %d vs %d", pt, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("part %d member %d differs", pt, i)
+			}
+		}
+	}
+	if err := got.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Key mismatch must be rejected.
+	if err := s.PutPartition(d, PartKey{Scheme: partition.SchemeBlock, Parts: 3, Seed: 0}, p); err == nil {
+		t.Fatal("PutPartition accepted parts/key mismatch")
+	}
+}
+
+func TestPartitionArtifactCorruption(t *testing.T) {
+	s := openStore(t, Options{})
+	g := testGraph(t, 100, 300, 13)
+	d, _, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := PartKey{Scheme: partition.SchemeRandom, Parts: 4, Seed: 9}
+	p := partition.Random(g, key.Parts, key.Seed)
+	if err := s.PutPartition(d, key, p); err != nil {
+		t.Fatal(err)
+	}
+	path := s.partPath(d, key)
+	good, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"truncated":    func(b []byte) []byte { return b[:len(b)/2] },
+		"tiny":         func(b []byte) []byte { return b[:8] },
+		"flipped body": func(b []byte) []byte { c := append([]byte(nil), b...); c[30] ^= 1; return c },
+		"flipped crc":  func(b []byte) []byte { c := append([]byte(nil), b...); c[len(c)-1] ^= 1; return c },
+	} {
+		t.Run(name, func(t *testing.T) {
+			if err := os.WriteFile(path, corrupt(good), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.GetPartition(d, key); err == nil || errors.Is(err, ErrNoPartition) {
+				t.Fatalf("corrupt artifact: got %v, want a corruption error", err)
+			}
+		})
+	}
+}

@@ -1,0 +1,79 @@
+package store
+
+import (
+	"runtime"
+	"testing"
+
+	"github.com/midas-hpc/midas/internal/graph"
+)
+
+// TestColdOpenAllocationIsHeaderSized pins the zero-copy contract: a
+// cold Acquire allocates O(header + section table) — handle, Graph
+// shell, parsed section metadata — NOT O(edges). The graph file here
+// is several megabytes; if the open path ever copies or decodes a
+// section onto the heap (the pre-mmap behavior), the allocation delta
+// jumps past the megabyte mark and this test fails.
+func TestColdOpenAllocationIsHeaderSized(t *testing.T) {
+	g := testGraph(t, 50_000, 400_000, 21)
+	s := openStore(t, Options{})
+	d, _, err := s.Put(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileBytes := graph.V2FileSize(g)
+	if fileBytes < 4<<20 {
+		t.Fatalf("test graph too small to discriminate: %d bytes", fileBytes)
+	}
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	h, err := s.Acquire(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runtime.ReadMemStats(&after)
+	defer h.Close()
+
+	delta := int64(after.TotalAlloc - before.TotalAlloc)
+	// Generous ceiling for the fixed-size open machinery (os.File,
+	// handle, V2Info, Graph shell); the adjacency section alone is an
+	// order of magnitude bigger.
+	const ceiling = 256 << 10
+	if delta > ceiling {
+		t.Fatalf("cold open allocated %d bytes for a %d-byte graph file; want O(header) < %d",
+			delta, fileBytes, ceiling)
+	}
+
+	// And the mapped graph must actually be the real thing.
+	if h.Graph().Digest() != d {
+		t.Fatal("mapped graph digest mismatch")
+	}
+	t.Logf("cold open: %d bytes allocated for a %d-byte file (%.2f%%)",
+		delta, fileBytes, 100*float64(delta)/float64(fileBytes))
+}
+
+// TestWarmAcquireAllocationFree pins the hit path: re-acquiring a
+// resident graph is a refcount bump, no allocation at all.
+func TestWarmAcquireAllocationFree(t *testing.T) {
+	s := openStore(t, Options{})
+	d, _, err := s.Put(testGraph(t, 1000, 4000, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := s.Acquire(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	allocs := testing.AllocsPerRun(100, func() {
+		h2, err := s.Acquire(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h2.Close()
+	})
+	if allocs > 0 {
+		t.Fatalf("warm Acquire allocates %.1f objects/op, want 0", allocs)
+	}
+}

@@ -95,4 +95,45 @@ done
 [ -z "$pid" ] || fail "daemon did not exit after SIGTERM"
 grep -q "midas-serve: stopped" "$workdir/serve.log" || fail "daemon exited without a clean drain"
 echo "serve-smoke: graceful drain OK"
+
+# Restart with a persistent store (docs/STORAGE.md): generation 1
+# stores the graph via POST write-through, generation 2 must answer
+# the same query against the mmap'd file without re-parsing, and the
+# answer must be identical.
+store="$workdir/store"
+start_daemon() {
+    : >"$workdir/serve.log"
+    "$workdir/midas-serve" -addr 127.0.0.1:0 -workers 2 -store "$store" >"$workdir/serve.log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr="$(sed -n 's/^midas-serve: listening on //p' "$workdir/serve.log")"
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { cat "$workdir/serve.log" >&2; fail "store daemon exited during startup"; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] && base="http://$addr" || fail "store daemon never reported its address"
+}
+
+start_daemon
+curl -sf "$base/v1/graphs" -d '{"name":"persisted","random":{"n":300,"seed":7}}' >/dev/null \
+    || fail "store-backed graph load failed"
+sq='{"graph":"persisted","kind":"path","k":6,"seed":5,"rounds":1}'
+ans1="$(curl -sf "$base/v1/query" -d "$sq" | sed -n 's/.*"found":\(true\|false\).*/\1/p')"
+[ -n "$ans1" ] || fail "gen-1 store query returned no answer"
+ls "$store"/graphs/*.midg >/dev/null 2>&1 || fail "write-through left no graph file in the store"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do kill -0 "$pid" 2>/dev/null || { pid=""; break; }; sleep 0.1; done
+[ -z "$pid" ] || fail "gen-1 store daemon did not drain"
+
+start_daemon
+curl -sf "$base/v1/graphs" | grep -q '"persisted"' || fail "restarted daemon does not list the stored graph"
+ans2="$(curl -sf "$base/v1/query" -d "$sq" | sed -n 's/.*"found":\(true\|false\).*/\1/p')"
+[ "$ans1" = "$ans2" ] || fail "restart changed the answer: gen1=$ans1 gen2=$ans2"
+curl -sf "$base/metrics" | grep -q '^midas_store_mapped_bytes [1-9]' \
+    || fail "/metrics shows no mapped store bytes after the query"
+kill -TERM "$pid"
+for _ in $(seq 1 100); do kill -0 "$pid" 2>/dev/null || { pid=""; break; }; sleep 0.1; done
+[ -z "$pid" ] || fail "gen-2 store daemon did not drain"
+echo "serve-smoke: store restart OK"
 echo "serve-smoke: PASS"
