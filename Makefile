@@ -32,7 +32,7 @@ fmt-check:
 	fi
 
 race:
-	$(GO) test -race ./internal/comm/... ./internal/core/... ./internal/mld/... ./internal/obs/... ./internal/serve/... ./internal/store/...
+	$(GO) test -race ./internal/cluster/... ./internal/comm/... ./internal/core/... ./internal/mld/... ./internal/obs/... ./internal/serve/... ./internal/store/...
 
 # A short burst of the differential fuzzer: random labeled graphs and
 # constraints, constrained-motif detection vs. brute-force enumeration.

@@ -17,7 +17,9 @@
 //   - a batch record's occupancy dropped, or its amortized per-query
 //     msgs / dp-ops grew by more than -tol,
 //   - a motif record's sieve answer changed, or its sieve dp-ops or
-//     the FASCIA table footprint grew by more than -tol.
+//     the FASCIA table footprint grew by more than -tol,
+//   - a cluster record's answer changed, or its routing/transparency/
+//     handoff booleans (forwarded, forwardOK, handoffOK) went false.
 //
 // cells-skipped, the batch speedup ratios, the motif wall-time ratio
 // and the kernel throughput records are informational: skips elide
@@ -117,6 +119,7 @@ func Compare(oldRep, newRep harness.Report, tol float64) (findings, info []strin
 	findings, info = compareBatches(oldRep, newRep, tol, findings, info)
 	findings, info = compareMotifs(oldRep, newRep, tol, findings, info)
 	findings, info = compareStores(oldRep, newRep, tol, findings, info)
+	findings, info = compareClusters(oldRep, newRep, findings, info)
 	for _, k := range newRep.Kernels {
 		info = append(info, fmt.Sprintf("kernel %s: %.0f MB/s (informational)", k.Name, k.MBPerSec))
 	}
@@ -293,6 +296,56 @@ func compareStores(oldRep, newRep harness.Report, tol float64, findings, info []
 			key, n.ParseMillis, n.ReadMillis, n.MapMillis))
 		info = append(info, fmt.Sprintf("%s partition ms: derive %.1f / load %.2f (informational)",
 			key, n.PartDeriveMillis, n.PartLoadMillis))
+	}
+	return findings, info
+}
+
+// compareClusters gates the fleet records (docs/CLUSTER.md): the query
+// answer is deterministic in the graph and parameters, and the three
+// behavior booleans — the non-owner front forwarding to the owner, the
+// forwarded answer matching the owner-local one byte for byte, the
+// owner adopting the shard via a counted store handoff — must stay
+// true. The hop, handoff and local wall times are host-dependent,
+// reported but never gated. No -tol here: every gated field is exact.
+func compareClusters(oldRep, newRep harness.Report, findings, info []string) ([]string, []string) {
+	index := func(recs []harness.ClusterRecord) map[string]harness.ClusterRecord {
+		m := make(map[string]harness.ClusterRecord, len(recs))
+		for _, r := range recs {
+			m[fmt.Sprintf("cluster %s/k=%d", r.Dataset, r.K)] = r
+		}
+		return m
+	}
+	oldC, newC := index(oldRep.Clusters), index(newRep.Clusters)
+	keys := make([]string, 0, len(oldC))
+	for k := range oldC {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	for _, key := range keys {
+		o := oldC[key]
+		n, ok := newC[key]
+		if !ok {
+			findings = append(findings, fmt.Sprintf("%s: cluster record missing from new report", key))
+			continue
+		}
+		if o.Answer != n.Answer {
+			findings = append(findings, fmt.Sprintf("%s: answer changed %v → %v", key, o.Answer, n.Answer))
+		}
+		if o.Forwarded && !n.Forwarded {
+			findings = append(findings, fmt.Sprintf("%s: the non-owner front no longer forwards to the owner", key))
+		}
+		if o.ForwardOK && !n.ForwardOK {
+			findings = append(findings, fmt.Sprintf("%s: forwarded answer no longer identical to the owner-local one", key))
+		}
+		if o.HandoffOK && !n.HandoffOK {
+			findings = append(findings, fmt.Sprintf("%s: owner no longer adopts the shard via store handoff", key))
+		}
+		info = append(info, fmt.Sprintf("%s wall ms: local %.1f / forward hop %.2f / handoff %.2f (informational)",
+			key, n.LocalMillis, n.ForwardMillis, n.HandoffMillis))
 	}
 	return findings, info
 }

@@ -323,3 +323,61 @@ func TestCompareStoreMissingGated(t *testing.T) {
 		t.Fatalf("missing store record not flagged: %v", findings)
 	}
 }
+
+func mkCluster(dataset string, answer, forwarded, forwardOK, handoffOK bool) harness.ClusterRecord {
+	return harness.ClusterRecord{
+		Dataset: dataset, Vertices: 300, Edges: 1712, K: 4, Nodes: 3, Replicas: 1,
+		Answer: answer, Forwarded: forwarded, ForwardOK: forwardOK, HandoffOK: handoffOK,
+		LocalMillis: 12.5, ForwardMillis: 0.8, HandoffMillis: 1.1,
+	}
+}
+
+func TestCompareClusterClean(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Clusters = []harness.ClusterRecord{mkCluster("random", true, true, true, true)}
+	neu.Clusters = []harness.ClusterRecord{mkCluster("random", true, true, true, true)}
+	neu.Clusters[0].ForwardMillis = 42.0 // wall time is informational
+	findings, info := Compare(old, neu, 0.10)
+	if len(findings) != 0 {
+		t.Fatalf("identical cluster records produced findings: %v", findings)
+	}
+	seen := false
+	for _, line := range info {
+		if strings.Contains(line, "forward hop") {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("cluster wall times not reported informationally")
+	}
+}
+
+func TestCompareClusterBooleansGated(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		rec  harness.ClusterRecord
+		want string
+	}{
+		{"answer", mkCluster("random", false, true, true, true), "answer changed"},
+		{"forwarded", mkCluster("random", true, false, true, true), "no longer forwards"},
+		{"forwardOK", mkCluster("random", true, true, false, true), "no longer identical"},
+		{"handoffOK", mkCluster("random", true, true, true, false), "store handoff"},
+	} {
+		old, neu := mkReport(), mkReport()
+		old.Clusters = []harness.ClusterRecord{mkCluster("random", true, true, true, true)}
+		neu.Clusters = []harness.ClusterRecord{tc.rec}
+		findings, _ := Compare(old, neu, 0.10)
+		if len(findings) != 1 || !strings.Contains(findings[0], tc.want) {
+			t.Fatalf("%s regression not flagged (want %q): %v", tc.name, tc.want, findings)
+		}
+	}
+}
+
+func TestCompareClusterMissingGated(t *testing.T) {
+	old, neu := mkReport(), mkReport()
+	old.Clusters = []harness.ClusterRecord{mkCluster("random", true, true, true, true)}
+	findings, _ := Compare(old, neu, 0.10)
+	if len(findings) != 1 || !strings.Contains(findings[0], "missing") {
+		t.Fatalf("missing cluster record not flagged: %v", findings)
+	}
+}

@@ -12,15 +12,23 @@
 //	midas-serve -addr :8080 -log-level debug -slow-query 500ms -flight-recorder 512
 //	midas-serve -addr :8080 -store /var/lib/midas -store-mapped-mb 2048
 //
+// Cluster mode (docs/CLUSTER.md) — a fleet of replicas sharding graphs
+// by digest with store-based handoff; requires -store:
+//
+//	midas-serve -addr :8080 -store /var/lib/midas \
+//	    -advertise 10.0.0.1:8080 -peers 10.0.0.2:8080,10.0.0.3:8080 -replicas 2
+//
 // Then:
 //
 //	curl -s localhost:8080/v1/graphs -d '{"name":"g","random":{"n":5000,"seed":1}}'
 //	curl -s localhost:8080/v1/query  -d '{"graph":"g","kind":"path","k":10,"seed":1}'
+//	curl -s localhost:8080/v1/cluster/status | jq .
 //	curl -s localhost:8080/metrics | grep midas_serve
 //
-// On SIGINT/SIGTERM the server drains: new admissions get 503, queued
-// and running queries get -drain-timeout to finish, then the rest are
-// cancelled (their DP loops abort at the next batch boundary).
+// On SIGINT/SIGTERM the server drains: new admissions get 503 with a
+// Retry-After hint, queued and running queries get -drain-timeout to
+// finish, then the rest are cancelled (their DP loops abort at the
+// next batch boundary).
 package main
 
 import (
@@ -34,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"github.com/midas-hpc/midas/internal/cluster"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/serve"
 	"github.com/midas-hpc/midas/internal/store"
@@ -61,6 +70,19 @@ type graphFlags []string
 func (g *graphFlags) String() string     { return strings.Join(*g, ",") }
 func (g *graphFlags) Set(v string) error { *g = append(*g, v); return nil }
 
+// splitPeers turns the -peers flag (comma-separated host:port seed
+// list) into its entries, dropping empty fields so trailing commas are
+// not a crash.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
 func main() {
 	var (
 		addr           = flag.String("addr", ":8080", "listen address")
@@ -79,7 +101,14 @@ func main() {
 		storeDir       = flag.String("store", "", "persistent graph store directory (docs/STORAGE.md); empty = in-memory only")
 		storeMappedMB  = flag.Int64("store-mapped-mb", 0, "resident mapped-bytes budget for the store in MiB (0 = unlimited)")
 		storeVerify    = flag.Bool("store-verify", false, "checksum every section on cold open (defeats lazy mapping; for distrusted stores)")
-		graphs         graphFlags
+
+		advertise  = flag.String("advertise", "", "cluster: address peers reach this node at (host:port); defaults to -addr, which must then be concrete")
+		peers      = flag.String("peers", "", "cluster: comma-separated static seed list of peer advertise addresses (host:port); enables cluster mode")
+		replicas   = flag.Int("replicas", 2, "cluster: shard replication factor")
+		hbInterval = flag.Duration("heartbeat-interval", time.Second, "cluster: peer health probe period")
+		hbMisses   = flag.Int("heartbeat-misses", 3, "cluster: consecutive misses that declare a peer dead")
+		fwdTimeout = flag.Duration("forward-timeout", 30*time.Second, "cluster: per-hop budget for a forwarded query")
+		graphs     graphFlags
 	)
 	flag.Var(&graphs, "graph", "preload graph as name=path (repeatable)")
 	flag.Parse()
@@ -90,6 +119,25 @@ func main() {
 		os.Exit(2)
 	}
 	logger := slog.New(slog.NewJSONHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
+
+	peerList := splitPeers(*peers)
+	clustered := len(peerList) > 0 || *advertise != ""
+	if clustered {
+		// Validate the seed list up front: a typo should be a clear
+		// startup error, not a silent solo fleet.
+		if err := cluster.ValidatePeers(peerList); err != nil {
+			fmt.Fprintf(os.Stderr, "midas-serve: -peers: %v\n", err)
+			os.Exit(2)
+		}
+		if *storeDir == "" {
+			fmt.Fprintln(os.Stderr, "midas-serve: cluster mode needs -store (shard handoff lands graphs there)")
+			os.Exit(2)
+		}
+		if *advertise == "" && strings.HasPrefix(*addr, ":") {
+			fmt.Fprintf(os.Stderr, "midas-serve: cluster mode with wildcard -addr %q needs -advertise host:port (peers must be able to dial this node)\n", *addr)
+			os.Exit(2)
+		}
+	}
 
 	var st *store.Store
 	if *storeDir != "" {
@@ -105,7 +153,7 @@ func main() {
 		fmt.Printf("midas-serve: store %s (%d named graphs)\n", *storeDir, len(st.Names()))
 	}
 
-	s := serve.New(serve.Config{
+	cfg := serve.Config{
 		QueueDepth:         *queueDepth,
 		Workers:            *workers,
 		CacheMaxBytes:      *cacheMB << 20,
@@ -118,30 +166,71 @@ func main() {
 		SlowQuery:          *slowQuery,
 		FlightRecorderSize: *flightRecorder,
 		Store:              st,
-	})
-	for _, spec := range graphs {
-		name, path, ok := strings.Cut(spec, "=")
-		if !ok {
-			fmt.Fprintf(os.Stderr, "midas-serve: -graph wants name=path, got %q\n", spec)
-			os.Exit(2)
-		}
-		g, err := graph.Load(path)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "midas-serve: load %s: %v\n", path, err)
-			os.Exit(1)
-		}
-		digest := s.AddGraph(name, g)
-		fmt.Printf("midas-serve: loaded %s (%d vertices, %d edges, digest %016x)\n",
-			name, g.NumVertices(), g.NumEdges(), digest)
 	}
 
+	loadGraphs := func(s *serve.Server) {
+		for _, spec := range graphs {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "midas-serve: -graph wants name=path, got %q\n", spec)
+				os.Exit(2)
+			}
+			g, err := graph.Load(path)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "midas-serve: load %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			digest := s.AddGraph(name, g)
+			fmt.Printf("midas-serve: loaded %s (%d vertices, %d edges, digest %016x)\n",
+				name, g.NumVertices(), g.NumEdges(), digest)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	if clustered {
+		node, err := cluster.New(cluster.Config{
+			Serve:             cfg,
+			Advertise:         *advertise,
+			Peers:             peerList,
+			Replicas:          *replicas,
+			HeartbeatInterval: *hbInterval,
+			HeartbeatMisses:   *hbMisses,
+			ForwardTimeout:    *fwdTimeout,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "midas-serve: %v\n", err)
+			os.Exit(2)
+		}
+		loadGraphs(node.Serve())
+		if err := node.Start(*addr); err != nil {
+			fmt.Fprintf(os.Stderr, "midas-serve: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("midas-serve: cluster node on %s (advertise %s, %d peers, replicas %d)\n",
+			node.Addr(), node.Advertise(), len(peerList), *replicas)
+		<-ctx.Done()
+		stop()
+		fmt.Println("midas-serve: draining")
+		drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := node.Shutdown(drainCtx); err != nil {
+			fmt.Fprintf(os.Stderr, "midas-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("midas-serve: stopped")
+		return
+	}
+
+	s := serve.New(cfg)
+	loadGraphs(s)
 	if err := s.Start(*addr); err != nil {
 		fmt.Fprintf(os.Stderr, "midas-serve: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("midas-serve: listening on %s\n", s.Addr())
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	<-ctx.Done()
 	stop()
 	fmt.Println("midas-serve: draining")

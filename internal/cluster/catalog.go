@@ -1,0 +1,84 @@
+package cluster
+
+// The graph catalog: every node's view of which named graphs exist in
+// the fleet, regardless of which replicas hold their bytes. Entries
+// arrive via the announce fan-out that follows every POST /v1/graphs
+// (the adding node tells everyone) and carry the graph's identity —
+// name, content digest, shape — plus the origin address, the fallback
+// source for a handoff pull when every ranked owner is gone.
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+)
+
+// GraphMeta is one catalog entry — also the wire shape of
+// POST /v1/cluster/announce. The digest travels as hex text (JSON
+// numbers would corrupt 64-bit values).
+type GraphMeta struct {
+	Name     string `json:"name"`
+	Digest   string `json:"digest"` // hex of graph.Digest()
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	Origin   string `json:"origin"` // advertise addr of the registering node
+}
+
+// digestValue parses the hex digest ("" on malformed input → 0, false).
+func (g GraphMeta) digestValue() (uint64, bool) {
+	d, err := strconv.ParseUint(g.Digest, 16, 64)
+	return d, err == nil
+}
+
+func metaFor(name string, digest uint64, vertices, edges int, origin string) GraphMeta {
+	return GraphMeta{
+		Name:     name,
+		Digest:   fmt.Sprintf("%016x", digest),
+		Vertices: vertices,
+		Edges:    edges,
+		Origin:   origin,
+	}
+}
+
+// catalog is the name → GraphMeta table. Safe for concurrent use.
+type catalog struct {
+	mu sync.Mutex
+	m  map[string]GraphMeta
+}
+
+func newCatalog() *catalog { return &catalog{m: make(map[string]GraphMeta)} }
+
+// put records (or replaces) an entry. Returns false when an identical
+// entry is already present — the announce fan-out's idempotence check.
+func (c *catalog) put(meta GraphMeta) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if old, ok := c.m[meta.Name]; ok && old == meta {
+		return false
+	}
+	c.m[meta.Name] = meta
+	return true
+}
+
+func (c *catalog) get(name string) (GraphMeta, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	meta, ok := c.m[name]
+	return meta, ok
+}
+
+func (c *catalog) list() []GraphMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]GraphMeta, 0, len(c.m))
+	for _, meta := range c.m {
+		out = append(out, meta)
+	}
+	return out
+}
+
+func (c *catalog) size() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}

@@ -1,0 +1,128 @@
+package cluster
+
+// Shard handoff, pull side. When placement assigns this node a graph
+// it does not hold, it pulls the sealed v2 .midg bytes (and any
+// persisted partition artifacts) from a replica that has them, lands
+// them in the local store via the verified import path, and mmaps the
+// result — a handoff never re-parses or re-derives anything. Sources
+// are tried in placement order, falling back to the graph's origin
+// node, which always keeps a copy of what it registered.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/obs"
+)
+
+// adoptShard makes meta's graph locally served: pull the bytes if the
+// store lacks them, then register the stored graph under its fleet
+// name. Idempotent — adopting a shard the node already holds only
+// (re)binds the name.
+func (n *Node) adoptShard(meta GraphMeta) error {
+	digest, ok := meta.digestValue()
+	if !ok {
+		return fmt.Errorf("cluster: graph %q has malformed digest %q", meta.Name, meta.Digest)
+	}
+	st := n.srv.Store()
+	if !st.Has(digest) {
+		start := time.Now()
+		var sources []string
+		seen := map[string]bool{n.self: true}
+		for _, src := range append(n.ownersOf(digest), meta.Origin) {
+			if src == "" || seen[src] {
+				continue
+			}
+			seen[src] = true
+			sources = append(sources, src)
+		}
+		var lastErr error
+		pulled := false
+		for _, src := range sources {
+			if err := n.pullShard(src, digest); err != nil {
+				lastErr = err
+				n.logger.Warn("shard pull failed", "graph", meta.Name, "source", src, "error", err.Error())
+				continue
+			}
+			pulled = true
+			break
+		}
+		if !pulled {
+			if lastErr == nil {
+				lastErr = fmt.Errorf("no live source")
+			}
+			return fmt.Errorf("cluster: shard %s (%q): %w", meta.Digest, meta.Name, lastErr)
+		}
+		n.rec.Add(obs.ClusterHandoffs, 1)
+		n.rec.Observe(obs.HistClusterHandoff, time.Since(start).Seconds())
+	}
+	return n.srv.AdoptStored(meta.Name, digest, meta.Vertices, meta.Edges)
+}
+
+// pullShard fetches one graph's sealed bytes plus partition artifacts
+// from src. The graph import verifies the full v2 envelope and the
+// recovered digest must match the cataloged one — a corrupt or
+// mismatched transfer never lands. Partition artifacts are derived
+// data: a failed artifact pull is logged and skipped, the shard is
+// still good (the owner re-derives partitions on demand).
+func (n *Node) pullShard(src string, digest uint64) error {
+	data, err := n.fetch(src, fmt.Sprintf("/v1/cluster/graphs/%016x", digest))
+	if err != nil {
+		return err
+	}
+	got, err := n.srv.Store().ImportBytes(data)
+	if err != nil {
+		return fmt.Errorf("import from %s: %w", src, err)
+	}
+	if got != digest {
+		return fmt.Errorf("import from %s: digest mismatch: got %016x want %016x", src, got, digest)
+	}
+	listData, err := n.fetch(src, fmt.Sprintf("/v1/cluster/parts/%016x", digest))
+	if err != nil {
+		n.logger.Warn("partition artifact list failed", "source", src, "error", err.Error())
+		return nil
+	}
+	var list struct {
+		Artifacts []string `json:"artifacts"`
+	}
+	if err := json.Unmarshal(listData, &list); err != nil {
+		n.logger.Warn("partition artifact list malformed", "source", src, "error", err.Error())
+		return nil
+	}
+	for _, name := range list.Artifacts {
+		art, err := n.fetch(src, fmt.Sprintf("/v1/cluster/parts/%016x/%s", digest, name))
+		if err == nil {
+			err = n.srv.Store().WritePartArtifact(digest, name, art)
+		}
+		if err != nil {
+			n.logger.Warn("partition artifact pull failed",
+				"source", src, "artifact", name, "error", err.Error())
+		}
+	}
+	return nil
+}
+
+// fetch GETs a fleet-internal path from a peer, bounded by the forward
+// timeout.
+func (n *Node) fetch(addr, path string) ([]byte, error) {
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("GET %s%s: %s: %s", addr, path, resp.Status, msg)
+	}
+	return io.ReadAll(resp.Body)
+}

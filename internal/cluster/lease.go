@@ -1,0 +1,225 @@
+package cluster
+
+// Distributed detections across the fleet: when a query asks for
+// ranks > 1 and sibling replicas hold the graph, the fronting node
+// coordinates a leased phase-group world instead of simulating every
+// rank in-process. It picks a rendezvous root, asks each participant
+// to join at an assigned rank over POST /v1/cluster/lease, and runs
+// rank 0 itself; the DP then proceeds over the hardened TCP transport
+// exactly as a standalone multi-rank run would. Any lease failure —
+// a dead replica, a severed link, a failed rendezvous — degrades the
+// query back to the in-process world rather than failing it: the
+// resilient-retry promise holds across the fleet boundary.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/obs"
+	"github.com/midas-hpc/midas/internal/serve"
+)
+
+// leaseRequest is the wire shape of POST /v1/cluster/lease: the full
+// (already validated and auto-tuned) query plus this participant's
+// world coordinates. Every rank must receive the identical query —
+// the DP's transcript determinism depends on it.
+type leaseRequest struct {
+	serve.QueryRequest
+	LeaseRank int    `json:"leaseRank"`
+	LeaseSize int    `json:"leaseSize"`
+	RootAddr  string `json:"rootAddr"`
+	Fault     string `json:"fault,omitempty"` // comm.FaultSpec, String() form
+}
+
+// runDistributed is the serve DistRunner hook: try to lease the
+// multi-rank world across the fleet. handled=false means "no fleet
+// world ran (or it failed); fall back to the in-process path" — the
+// query itself never fails on account of the fleet, except when its
+// own context is already dead.
+func (n *Node) runDistributed(ctx context.Context, req *serve.QueryRequest, rec *obs.Recorder, res *serve.Result, tr *serve.QueryTrace) (bool, error) {
+	digest, _, _, ok := n.srv.LookupGraph(req.Graph)
+	if !ok {
+		return false, nil
+	}
+	mem := n.members()
+	if mem == nil {
+		return false, nil
+	}
+	var peers []string
+	for _, o := range n.ownersOf(digest) {
+		if o != n.self && mem.alive(o) {
+			peers = append(peers, o)
+		}
+	}
+	if len(peers) == 0 {
+		return false, nil // solo fleet for this shard: in-process world
+	}
+	size := req.Ranks
+	participants := append([]string{n.self}, peers...)
+	if len(participants) > size {
+		participants = participants[:size]
+	}
+	rootAddr, err := n.leaseRootAddr()
+	if err != nil {
+		n.rec.Add(obs.ClusterLeaseFailures, 1)
+		n.logger.Warn("lease root addr failed", "error", err.Error())
+		return false, nil
+	}
+	fault := ""
+	if n.cfg.LeaseFault != nil {
+		fault = n.cfg.LeaseFault.String()
+	}
+	opts := comm.TCPOptions{ConnectTimeout: n.cfg.LeaseConnectTimeout, Fault: n.cfg.LeaseFault}
+
+	// Ranks round-robin over the participants; rank 0 is always self
+	// (the front keeps the answer). Extra self ranks run as goroutines
+	// in this process — a small fleet still fills a wide world. Every
+	// participant runs under one shared lease context: the first
+	// failure cancels it, which closes every rank's world and unblocks
+	// any rank stuck receiving from the lost one.
+	leaseCtx, cancelLease := context.WithCancel(ctx)
+	defer cancelLease()
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 1; r < size; r++ {
+		addr := participants[r%len(participants)]
+		wg.Add(1)
+		go func(rank int, addr string) {
+			defer wg.Done()
+			if addr == n.self {
+				_, errs[rank] = n.srv.ExecuteLease(leaseCtx, req, serve.LeaseWorld{
+					Rank: rank, Size: size, RootAddr: rootAddr, Options: opts,
+				})
+			} else {
+				errs[rank] = n.postLease(leaseCtx, addr, req, rank, size, rootAddr, fault)
+			}
+			if errs[rank] != nil {
+				cancelLease()
+			}
+		}(r, addr)
+	}
+	res0, err0 := n.srv.ExecuteLease(leaseCtx, req, serve.LeaseWorld{
+		Rank: 0, Size: size, RootAddr: rootAddr, Options: opts,
+	})
+	if err0 != nil {
+		cancelLease() // unblock any peer still waiting on rank 0
+	}
+	wg.Wait()
+	errs[0] = err0
+	for rank, e := range errs {
+		if e == nil {
+			continue
+		}
+		n.rec.Add(obs.ClusterLeaseFailures, 1)
+		if ctx.Err() != nil {
+			return true, ctx.Err() // the query itself is dead; don't re-run
+		}
+		n.logger.Warn("lease world failed; degrading to in-process ranks",
+			"graph", req.Graph, "rank", rank, "size", size, "error", e.Error())
+		return false, nil
+	}
+	res.Found = res0.Found
+	res.Table = res0.Table
+	rec.Add(obs.Rounds, res0.Rounds)
+	rec.Add(obs.Phases, res0.Phases)
+	n.logger.Info("lease world completed",
+		"graph", req.Graph, "size", size, "participants", participants)
+	return true, nil
+}
+
+// leaseRootAddr picks a fresh rendezvous address on this node's host:
+// bind port 0, read the assignment, release it for the world's rank 0.
+func (n *Node) leaseRootAddr() (string, error) {
+	host, _, err := net.SplitHostPort(n.self)
+	if err != nil || host == "" {
+		host = "127.0.0.1"
+	}
+	ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// postLease asks a peer to hold one rank of the world. The call lasts
+// as long as the peer's DP does, so it is bounded only by the query's
+// own context, never the forward timeout.
+func (n *Node) postLease(ctx context.Context, addr string, req *serve.QueryRequest, rank, size int, rootAddr, fault string) error {
+	body, err := json.Marshal(leaseRequest{
+		QueryRequest: *req, LeaseRank: rank, LeaseSize: size, RootAddr: rootAddr, Fault: fault,
+	})
+	if err != nil {
+		return err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/v1/cluster/lease", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := n.leaseClient.Do(hreq)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("lease rank %d on %s: %s: %s", rank, addr, resp.Status, msg)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return nil
+}
+
+// handleLease joins a leased world at the requested rank and blocks
+// until that world's DP finishes. A node leased for a graph it has not
+// yet adopted pulls the shard first — a lease is also a placement
+// hint.
+func (n *Node) handleLease(w http.ResponseWriter, r *http.Request) {
+	var lr leaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&lr); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": "bad lease: " + err.Error()})
+		return
+	}
+	if lr.LeaseSize < 2 || lr.LeaseRank < 1 || lr.LeaseRank >= lr.LeaseSize || lr.RootAddr == "" {
+		writeJSONStatus(w, http.StatusBadRequest,
+			map[string]string{"error": fmt.Sprintf("bad lease coordinates rank=%d size=%d root=%q", lr.LeaseRank, lr.LeaseSize, lr.RootAddr)})
+		return
+	}
+	if _, _, _, ok := n.srv.LookupGraph(lr.Graph); !ok {
+		meta, ok := n.cat.get(lr.Graph)
+		if !ok {
+			writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": fmt.Sprintf("unknown graph %q", lr.Graph)})
+			return
+		}
+		if err := n.adoptShard(meta); err != nil {
+			writeJSONStatus(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+			return
+		}
+	}
+	opts := comm.TCPOptions{ConnectTimeout: n.cfg.LeaseConnectTimeout}
+	if lr.Fault != "" {
+		spec, err := comm.ParseFaultSpec(lr.Fault)
+		if err != nil {
+			writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": "bad fault spec: " + err.Error()})
+			return
+		}
+		opts.Fault = &spec
+	}
+	if _, err := n.srv.ExecuteLease(r.Context(), &lr.QueryRequest, serve.LeaseWorld{
+		Rank: lr.LeaseRank, Size: lr.LeaseSize, RootAddr: lr.RootAddr, Options: opts,
+	}); err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	n.rec.Add(obs.ClusterLeases, 1)
+	writeJSONStatus(w, http.StatusOK, map[string]any{"ok": true, "rank": lr.LeaseRank})
+}

@@ -1,0 +1,161 @@
+package cluster
+
+// Static-seed membership with heartbeat health. The member set is
+// fixed at startup (the -peers seed list plus the node itself); what
+// moves is each member's health state, probed by periodic pings:
+//
+//	alive ──miss──▶ suspect ──misses ≥ threshold──▶ dead
+//	  ▲                                              │
+//	  └──────────────── successful ping ─────────────┘
+//
+// Suspect members still own their shards (one dropped ping must not
+// reshuffle the fleet); dead ones are filtered out of placement, which
+// promotes the next member in rendezvous order. Every alive↔dead
+// transition bumps the epoch — the rebalancer's trigger to re-examine
+// which shards this node now owns.
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Member health states.
+const (
+	StateAlive   = "alive"
+	StateSuspect = "suspect"
+	StateDead    = "dead"
+)
+
+type member struct {
+	addr     string
+	state    string
+	misses   int
+	lastSeen time.Time
+}
+
+// membership tracks the fleet's health. Safe for concurrent use.
+type membership struct {
+	mu      sync.Mutex
+	self    string
+	members map[string]*member
+	order   []string // sorted static membership, placement input
+	epoch   uint64
+}
+
+func newMembership(self string, peers []string) *membership {
+	m := &membership{self: self, members: make(map[string]*member)}
+	add := func(addr string) {
+		if _, ok := m.members[addr]; ok {
+			return
+		}
+		m.members[addr] = &member{addr: addr, state: StateAlive, lastSeen: time.Now()}
+		m.order = append(m.order, addr)
+	}
+	add(self)
+	for _, p := range peers {
+		add(p)
+	}
+	sort.Strings(m.order)
+	return m
+}
+
+// list returns the full static membership, sorted (placement input).
+func (m *membership) list() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]string(nil), m.order...)
+}
+
+// alive reports whether addr may own shards (alive or suspect — only
+// confirmed-dead members lose their placement).
+func (m *membership) alive(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if addr == m.self {
+		return true
+	}
+	mem, ok := m.members[addr]
+	return ok && mem.state != StateDead
+}
+
+// markAlive records a successful probe. Returns true when the member
+// came back from the dead (an epoch-bumping placement change).
+func (m *membership) markAlive(addr string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[addr]
+	if !ok {
+		return false
+	}
+	revived := mem.state == StateDead
+	mem.state = StateAlive
+	mem.misses = 0
+	mem.lastSeen = time.Now()
+	if revived {
+		m.epoch++
+	}
+	return revived
+}
+
+// markMissed records a failed probe. Returns true when the miss count
+// crossed the death threshold (an epoch-bumping placement change).
+func (m *membership) markMissed(addr string, threshold int) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	mem, ok := m.members[addr]
+	if !ok || mem.state == StateDead {
+		return false
+	}
+	mem.misses++
+	if mem.misses >= threshold {
+		mem.state = StateDead
+		m.epoch++
+		return true
+	}
+	mem.state = StateSuspect
+	return false
+}
+
+// Epoch returns the current placement epoch (bumps on alive↔dead).
+func (m *membership) Epoch() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epoch
+}
+
+// MemberView is one member's health in the status API.
+type MemberView struct {
+	Addr     string `json:"addr"`
+	State    string `json:"state"`
+	Misses   int    `json:"misses,omitempty"`
+	Self     bool   `json:"self,omitempty"`
+	LastSeen string `json:"lastSeen,omitempty"`
+}
+
+func (m *membership) views() []MemberView {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberView, 0, len(m.order))
+	for _, addr := range m.order {
+		mem := m.members[addr]
+		v := MemberView{Addr: addr, State: mem.state, Misses: mem.misses, Self: addr == m.self}
+		if !mem.lastSeen.IsZero() {
+			v.LastSeen = mem.lastSeen.UTC().Format(time.RFC3339)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// counts returns (alive-or-suspect, total) for the gauges.
+func (m *membership) counts() (live, total int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mem := range m.members {
+		if mem.state != StateDead {
+			live++
+		}
+	}
+	return live, len(m.members)
+}

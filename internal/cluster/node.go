@@ -1,0 +1,764 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/comm"
+	"github.com/midas-hpc/midas/internal/obs"
+	"github.com/midas-hpc/midas/internal/serve"
+)
+
+// Fleet-internal HTTP headers.
+const (
+	// ForwardedHeader marks a fleet-internal forwarded query with the
+	// fronting replica's advertise address. Its presence is the loop
+	// guard: a forwarded query is always served where it lands.
+	ForwardedHeader = "X-Midas-Forwarded"
+	// ServedByHeader names the replica that executed a forwarded
+	// query, so clients (and tests) can see the second hop.
+	ServedByHeader = "X-Midas-Served-By"
+)
+
+// Config tunes a cluster node. Serve configures the embedded
+// midas-serve instance; a Store is mandatory — shard handoff lands
+// sealed graph files there.
+type Config struct {
+	Serve serve.Config
+
+	// Advertise is the address peers reach this node at. Defaults to
+	// the Start listen address — set it when the node listens on a
+	// wildcard or sits behind a NAT. Placement hashes advertise
+	// addresses, so every node must use each member's same spelling.
+	Advertise string
+	// Peers is the static seed list of peer advertise addresses (the
+	// node itself may be included; it is deduplicated). The fleet's
+	// membership is this set — nodes do not discover each other.
+	Peers []string
+	// Replicas is the shard replication factor R: each graph is owned
+	// by the R live members ranking highest in rendezvous order.
+	// Default 2; values beyond the fleet size degrade gracefully.
+	Replicas int
+	// HeartbeatInterval is the health-probe period (default 1s).
+	HeartbeatInterval time.Duration
+	// HeartbeatMisses is the consecutive-miss count that declares a
+	// member dead and re-places its shards (default 3).
+	HeartbeatMisses int
+	// ForwardTimeout bounds one forwarded query's proxy round trip
+	// (default 30s). Lease calls are bounded by the query's own
+	// deadline instead — distributed detections outlive any proxy hop.
+	ForwardTimeout time.Duration
+	// LeaseConnectTimeout bounds a leased world's TCP rendezvous
+	// (default 5s); past it the lease fails and the query degrades to
+	// an in-process world.
+	LeaseConnectTimeout time.Duration
+	// LeaseFault, when non-nil, injects a chaos schedule into every
+	// leased world this node coordinates (the spec is shipped to every
+	// participant — all ranks must share it). Test-only.
+	LeaseFault *comm.FaultSpec
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas < 1 {
+		c.Replicas = 2
+	}
+	if c.HeartbeatInterval <= 0 {
+		c.HeartbeatInterval = time.Second
+	}
+	if c.HeartbeatMisses <= 0 {
+		c.HeartbeatMisses = 3
+	}
+	if c.ForwardTimeout <= 0 {
+		c.ForwardTimeout = 30 * time.Second
+	}
+	if c.LeaseConnectTimeout <= 0 {
+		c.LeaseConnectTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// ValidatePeers rejects obviously broken seed lists before the fleet
+// half-starts: every entry must be host:port with a non-empty host and
+// a concrete port (cmd/midas-serve calls this on -peers at startup so
+// a typo is a clear error, not a silent solo fleet).
+func ValidatePeers(peers []string) error {
+	for _, p := range peers {
+		host, port, err := net.SplitHostPort(p)
+		if err != nil {
+			return fmt.Errorf("cluster: peer %q: %v (want host:port)", p, err)
+		}
+		if host == "" {
+			return fmt.Errorf("cluster: peer %q has no host", p)
+		}
+		pn, err := strconv.Atoi(port)
+		if err != nil || pn <= 0 || pn > 65535 {
+			return fmt.Errorf("cluster: peer %q has invalid port %q", p, port)
+		}
+	}
+	return nil
+}
+
+// Node is one replica of a midas-serve fleet: an embedded serve.Server
+// plus the cluster plane (membership, placement, forwarding, handoff,
+// lease coordination). Construct with New, Start to serve, SetPeers to
+// (re)seed membership, Shutdown to drain, Kill to crash (tests).
+type Node struct {
+	cfg    Config
+	srv    *serve.Server
+	rec    *obs.Recorder
+	logger *slog.Logger
+	cat    *catalog
+
+	mem  atomic.Pointer[membership]
+	self string // advertise address, fixed at Start
+
+	client      *http.Client // forwards, pings, announces, handoff pulls
+	leaseClient *http.Client // lease calls: no client timeout, ctx-bounded
+
+	ln   net.Listener
+	hsrv *http.Server
+
+	stopCh      chan struct{}
+	stopOnce    sync.Once
+	rebalanceCh chan struct{}
+	bg          sync.WaitGroup
+}
+
+// New builds an idle node. The serve.Config must carry a Store — the
+// cluster's shard handoff lands sealed graph files there. AutoTune is
+// forced on: every replica derives the same query plan from the same
+// pure functions, which keeps fleet-wide caches coherent.
+func New(cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Serve.Store == nil {
+		return nil, errors.New("cluster: serve.Config.Store is required (shard handoff lands graphs there)")
+	}
+	if err := ValidatePeers(cfg.Peers); err != nil {
+		return nil, err
+	}
+	if cfg.Advertise != "" {
+		if err := ValidatePeers([]string{cfg.Advertise}); err != nil {
+			return nil, fmt.Errorf("cluster: -advertise: %w", err)
+		}
+	}
+	cfg.Serve.AutoTune = true
+	n := &Node{
+		cfg:         cfg,
+		cat:         newCatalog(),
+		client:      &http.Client{},
+		leaseClient: &http.Client{},
+		stopCh:      make(chan struct{}),
+		rebalanceCh: make(chan struct{}, 1),
+	}
+	n.srv = serve.New(cfg.Serve)
+	n.rec = n.srv.Recorder()
+	n.logger = n.srv.Logger()
+	n.srv.SetQueryRouter(n.routeQuery)
+	n.srv.SetGraphAdded(n.graphAdded)
+	n.srv.SetDistributedRunner(n.runDistributed)
+	n.srv.SetClusterInfo(func() any { return n.Status() })
+	n.srv.SetExtraGauges(n.gauges)
+	n.srv.SetExtraRoutes(n.registerRoutes)
+	return n, nil
+}
+
+// Serve returns the embedded serve.Server (programmatic graph loading,
+// recorder access).
+func (n *Node) Serve() *serve.Server { return n.srv }
+
+// Advertise returns the node's advertise address (empty before Start
+// when Config.Advertise was left defaulted).
+func (n *Node) Advertise() string { return n.self }
+
+// Start binds addr (":0" picks a free port) and serves the full API —
+// the serve plane plus /v1/cluster/* — until Shutdown. Membership
+// seeds from Config.Peers; SetPeers may re-seed afterwards.
+func (n *Node) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("cluster: listen %s: %w", addr, err)
+	}
+	n.ln = ln
+	n.self = n.cfg.Advertise
+	if n.self == "" {
+		n.self = ln.Addr().String()
+	}
+	n.mem.Store(newMembership(n.self, n.cfg.Peers))
+	n.hsrv = &http.Server{Handler: n.srv.Handler()}
+	go n.hsrv.Serve(ln) //nolint:errcheck // ErrServerClosed on Shutdown
+	n.bg.Add(2)
+	go n.heartbeatLoop()
+	go n.rebalanceLoop()
+	n.logger.Info("cluster node up",
+		"listen", ln.Addr().String(), "advertise", n.self,
+		"peers", n.cfg.Peers, "replicas", n.cfg.Replicas,
+		"heartbeatInterval", n.cfg.HeartbeatInterval,
+		"heartbeatMisses", n.cfg.HeartbeatMisses,
+		"forwardTimeout", n.cfg.ForwardTimeout)
+	return nil
+}
+
+// Addr returns the bound listen address (empty before Start).
+func (n *Node) Addr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// SetPeers re-seeds the static membership (the node itself is always a
+// member). Tests boot a fleet on ":0" listeners and wire the final
+// addresses here; every node must receive the same set, spelled the
+// same way, for placement to agree.
+func (n *Node) SetPeers(peers []string) error {
+	if err := ValidatePeers(peers); err != nil {
+		return err
+	}
+	n.mem.Store(newMembership(n.self, peers))
+	n.triggerRebalance()
+	return nil
+}
+
+func (n *Node) members() *membership { return n.mem.Load() }
+
+// Shutdown drains the node: the serve plane finishes its queries (new
+// ones get 503 + Retry-After), then the HTTP listener and background
+// loops stop.
+func (n *Node) Shutdown(ctx context.Context) error {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	err := n.srv.Shutdown(ctx)
+	if n.hsrv != nil {
+		if herr := n.hsrv.Shutdown(context.Background()); herr != nil && err == nil {
+			err = herr
+		}
+	}
+	n.bg.Wait()
+	return err
+}
+
+// Kill crash-stops the node: in-flight HTTP connections reset, nothing
+// drains (queued and running queries are cut off). Test helper for the
+// replica-death legs — a real crash is a process exit, and this is the
+// closest an in-process fleet gets.
+func (n *Node) Kill() {
+	n.stopOnce.Do(func() { close(n.stopCh) })
+	if n.hsrv != nil {
+		n.hsrv.Close() //nolint:errcheck
+	}
+	expired, cancel := context.WithDeadline(context.Background(), time.Unix(0, 0))
+	defer cancel()
+	n.srv.Shutdown(expired) //nolint:errcheck // crash semantics: nobody reads the error
+	n.bg.Wait()
+}
+
+// ---- membership probing ----
+
+func (n *Node) heartbeatLoop() {
+	defer n.bg.Done()
+	tick := time.NewTicker(n.cfg.HeartbeatInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-tick.C:
+			n.probeAll()
+		}
+	}
+}
+
+func (n *Node) probeAll() {
+	mem := n.members()
+	if mem == nil {
+		return
+	}
+	for _, addr := range mem.list() {
+		if addr == n.self {
+			continue
+		}
+		if n.probe(addr) {
+			if mem.markAlive(addr) {
+				n.logger.Info("member revived", "addr", addr, "epoch", mem.Epoch())
+				n.triggerRebalance()
+			}
+		} else {
+			n.rec.Add(obs.ClusterHeartbeatMisses, 1)
+			if mem.markMissed(addr, n.cfg.HeartbeatMisses) {
+				n.logger.Warn("member declared dead", "addr", addr, "epoch", mem.Epoch())
+				n.triggerRebalance()
+			}
+		}
+	}
+}
+
+func (n *Node) probe(addr string) bool {
+	// The probe deadline is floored at one second: a crashed peer fails
+	// fast (connection refused), so a short heartbeat cadence still
+	// detects death quickly, but a live peer answering slowly — GC
+	// pause, loaded box, race-detector slowdown in tests — must not
+	// read as a miss just because the cadence is aggressive.
+	timeout := n.cfg.HeartbeatInterval
+	if timeout < time.Second {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, "http://"+addr+"/v1/cluster/ping", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// ---- graph registration and replication ----
+
+// graphAdded runs synchronously inside every successful POST
+// /v1/graphs: catalog the graph, then announce it to every live
+// member. Owners adopt the shard inside their announce handler, so a
+// 200 from the add means the placement is materialized. The adding
+// node keeps its own registration regardless of ownership — the
+// "origin copy" that serves as a handoff source and a degraded-mode
+// fallback.
+func (n *Node) graphAdded(name string, digest uint64, vertices, edges int) {
+	meta := metaFor(name, digest, vertices, edges, n.self)
+	n.cat.put(meta)
+	mem := n.members()
+	if mem == nil {
+		return
+	}
+	for _, addr := range mem.list() {
+		if addr == n.self || !mem.alive(addr) {
+			continue
+		}
+		if err := n.postAnnounce(addr, meta); err != nil {
+			n.logger.Warn("announce failed", "graph", name, "peer", addr, "error", err.Error())
+		}
+	}
+}
+
+func (n *Node) postAnnounce(addr string, meta GraphMeta) error {
+	body, err := json.Marshal(meta)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), n.cfg.ForwardTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		"http://"+addr+"/v1/cluster/announce", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := n.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("announce to %s: %s: %s", addr, resp.Status, msg)
+	}
+	io.Copy(io.Discard, resp.Body) //nolint:errcheck
+	return nil
+}
+
+// ownersOf places a digest on the current membership.
+func (n *Node) ownersOf(digest uint64) []string {
+	mem := n.members()
+	if mem == nil {
+		return []string{n.self}
+	}
+	return owners(digest, mem.list(), n.cfg.Replicas, mem.alive)
+}
+
+// ---- query routing ----
+
+// routeQuery is the serve query-router hook: decide whether this node
+// serves the query or proxies it to a shard owner. Runs inside serve's
+// middleware, so the request ID is already assigned (readable off the
+// response header) and every outcome is access-logged.
+func (n *Node) routeQuery(w http.ResponseWriter, r *http.Request) bool {
+	if r.Header.Get(ForwardedHeader) != "" {
+		// Second hop: serve where we stand, whatever placement says —
+		// the front already decided, and one hop is the maximum.
+		n.rec.Add(obs.ClusterReplicaHits, 1)
+		return false
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 4<<20))
+	if err != nil {
+		http.Error(w, `{"error":"request body too large"}`, http.StatusRequestEntityTooLarge)
+		return true
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	var q struct {
+		Graph string `json:"graph"`
+	}
+	if json.Unmarshal(body, &q) != nil || q.Graph == "" {
+		return false // malformed; serve's validator owns the 400
+	}
+	meta, ok := n.cat.get(q.Graph)
+	if !ok {
+		return false // not cataloged; the local registry may still know it
+	}
+	digest, ok := meta.digestValue()
+	if !ok {
+		return false
+	}
+	own := n.ownersOf(digest)
+	for _, o := range own {
+		if o == n.self {
+			n.rec.Add(obs.ClusterReplicaHits, 1)
+			return false // we own this shard; serve locally
+		}
+	}
+	if n.forward(w, r, body, own) {
+		return true
+	}
+	// Every owner is unreachable. Degrade, don't fail: serve locally
+	// when this node can hold the graph (origin copy, or a handoff
+	// pull from whoever still has the bytes).
+	if _, _, _, registered := n.srv.LookupGraph(q.Graph); registered {
+		n.logger.Warn("owners unreachable; serving locally", "graph", q.Graph, "owners", own)
+		n.rec.Add(obs.ClusterReplicaHits, 1)
+		return false
+	}
+	if err := n.adoptShard(meta); err == nil {
+		n.logger.Warn("owners unreachable; adopted shard locally", "graph", q.Graph, "owners", own)
+		n.rec.Add(obs.ClusterReplicaHits, 1)
+		return false
+	}
+	writeJSONStatus(w, http.StatusBadGateway, map[string]string{
+		"error":      fmt.Sprintf("no reachable owner for graph %q (owners %v)", q.Graph, own),
+		"request_id": w.Header().Get(serve.RequestIDHeader),
+	})
+	return true
+}
+
+// forward proxies the query to the first owner that answers, retrying
+// the next owner on transport errors and load-shed responses (503/
+// 429 honor a small pause only via the caller's retry loop — the
+// Retry-After hint is for external clients; fleet-internal retry just
+// moves on to a sibling replica). Writes nothing and returns false
+// when every owner fails, so the caller can degrade.
+func (n *Node) forward(w http.ResponseWriter, r *http.Request, body []byte, own []string) bool {
+	reqID := w.Header().Get(serve.RequestIDHeader)
+	start := time.Now()
+	tried := 0
+	for _, owner := range own {
+		if owner == n.self {
+			continue
+		}
+		if tried > 0 {
+			n.rec.Add(obs.ClusterForwardRetries, 1)
+		}
+		tried++
+		resp, err := n.forwardOnce(r.Context(), owner, body, reqID)
+		if err != nil {
+			n.logger.Warn("forward failed", "owner", owner, "requestId", reqID, "error", err.Error())
+			n.noteUnreachable(owner)
+			continue
+		}
+		if resp.StatusCode == http.StatusServiceUnavailable || resp.StatusCode == http.StatusTooManyRequests {
+			io.Copy(io.Discard, resp.Body) //nolint:errcheck
+			resp.Body.Close()
+			n.logger.Warn("owner shed load", "owner", owner, "requestId", reqID, "status", resp.StatusCode)
+			continue
+		}
+		n.rec.Add(obs.ClusterForwards, 1)
+		n.rec.Observe(obs.HistClusterForward, time.Since(start).Seconds())
+		w.Header().Set(ServedByHeader, owner)
+		if ct := resp.Header.Get("Content-Type"); ct != "" {
+			w.Header().Set("Content-Type", ct)
+		}
+		w.WriteHeader(resp.StatusCode)
+		io.Copy(w, resp.Body) //nolint:errcheck
+		resp.Body.Close()
+		n.logger.Info("query forwarded",
+			"requestId", reqID, "owner", owner, "status", resp.StatusCode,
+			"millis", float64(time.Since(start))/float64(time.Millisecond))
+		return true
+	}
+	return false
+}
+
+func (n *Node) forwardOnce(ctx context.Context, owner string, body []byte, reqID string) (*http.Response, error) {
+	fctx, cancel := context.WithTimeout(ctx, n.cfg.ForwardTimeout)
+	req, err := http.NewRequestWithContext(fctx, http.MethodPost,
+		"http://"+owner+"/v1/query", bytes.NewReader(body))
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(serve.RequestIDHeader, reqID)
+	req.Header.Set(ForwardedHeader, n.self)
+	resp, err := n.client.Do(req)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	resp.Body = &cancelOnClose{ReadCloser: resp.Body, cancel: cancel}
+	return resp, nil
+}
+
+// cancelOnClose ties a response body's context cancel to its Close, so
+// forwards neither leak contexts nor cancel mid-copy.
+type cancelOnClose struct {
+	io.ReadCloser
+	cancel context.CancelFunc
+}
+
+func (c *cancelOnClose) Close() error {
+	err := c.ReadCloser.Close()
+	c.cancel()
+	return err
+}
+
+// noteUnreachable accelerates failure detection: a forward that died
+// on the wire counts as a heartbeat miss, so an owner that crashed
+// mid-query is declared dead after the usual threshold without
+// waiting out full heartbeat intervals.
+func (n *Node) noteUnreachable(addr string) {
+	mem := n.members()
+	if mem == nil {
+		return
+	}
+	n.rec.Add(obs.ClusterHeartbeatMisses, 1)
+	if mem.markMissed(addr, n.cfg.HeartbeatMisses) {
+		n.logger.Warn("member declared dead", "addr", addr, "epoch", mem.Epoch())
+		n.triggerRebalance()
+	}
+}
+
+// ---- rebalancing ----
+
+func (n *Node) triggerRebalance() {
+	select {
+	case n.rebalanceCh <- struct{}{}:
+	default:
+	}
+}
+
+func (n *Node) rebalanceLoop() {
+	defer n.bg.Done()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-n.rebalanceCh:
+			n.rebalance()
+		}
+	}
+}
+
+// rebalance re-derives this node's shard set from the catalog and the
+// current placement, pulling any shard it now owns but does not hold.
+// Runs on membership epochs (death, revival, re-seeding); the announce
+// path covers the initial placement of new graphs.
+func (n *Node) rebalance() {
+	for _, meta := range n.cat.list() {
+		digest, ok := meta.digestValue()
+		if !ok {
+			continue
+		}
+		mine := false
+		for _, o := range n.ownersOf(digest) {
+			if o == n.self {
+				mine = true
+				break
+			}
+		}
+		if !mine {
+			continue
+		}
+		if _, _, _, registered := n.srv.LookupGraph(meta.Name); registered {
+			continue
+		}
+		if err := n.adoptShard(meta); err != nil {
+			n.logger.Warn("rebalance: shard adoption failed",
+				"graph", meta.Name, "digest", meta.Digest, "error", err.Error())
+		} else {
+			n.logger.Info("rebalance: shard adopted", "graph", meta.Name, "digest", meta.Digest)
+		}
+	}
+}
+
+// ---- cluster API handlers ----
+
+func (n *Node) registerRoutes(mux *http.ServeMux) {
+	mux.HandleFunc("GET /v1/cluster/ping", n.handlePing)
+	mux.HandleFunc("GET /v1/cluster/status", n.handleStatus)
+	mux.HandleFunc("POST /v1/cluster/announce", n.handleAnnounce)
+	mux.HandleFunc("POST /v1/cluster/lease", n.handleLease)
+	mux.HandleFunc("GET /v1/cluster/graphs/{digest}", n.handleGraphBytes)
+	mux.HandleFunc("GET /v1/cluster/parts/{digest}", n.handlePartList)
+	mux.HandleFunc("GET /v1/cluster/parts/{digest}/{file}", n.handlePartBytes)
+}
+
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck
+}
+
+func (n *Node) handlePing(w http.ResponseWriter, _ *http.Request) {
+	epoch := uint64(0)
+	if mem := n.members(); mem != nil {
+		epoch = mem.Epoch()
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"ok": true, "addr": n.self, "epoch": epoch})
+}
+
+func (n *Node) handleStatus(w http.ResponseWriter, _ *http.Request) {
+	writeJSONStatus(w, http.StatusOK, n.Status())
+}
+
+// handleAnnounce records a fleet graph and, when this node is one of
+// its owners, adopts the shard before answering — the announcing node
+// learns the placement landed, not just that the message did.
+func (n *Node) handleAnnounce(w http.ResponseWriter, r *http.Request) {
+	var meta GraphMeta
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&meta); err != nil {
+		writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": "bad announce: " + err.Error()})
+		return
+	}
+	digest, ok := meta.digestValue()
+	if meta.Name == "" || !ok {
+		writeJSONStatus(w, http.StatusBadRequest, map[string]string{"error": "announce needs name and hex digest"})
+		return
+	}
+	n.cat.put(meta)
+	for _, o := range n.ownersOf(digest) {
+		if o != n.self {
+			continue
+		}
+		if err := n.adoptShard(meta); err != nil {
+			writeJSONStatus(w, http.StatusInternalServerError,
+				map[string]string{"error": fmt.Sprintf("adopt %q: %v", meta.Name, err)})
+			return
+		}
+		break
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+func (n *Node) handleGraphBytes(w http.ResponseWriter, r *http.Request) {
+	digest, err := strconv.ParseUint(r.PathValue("digest"), 16, 64)
+	st := n.srv.Store()
+	if err != nil || !st.Has(digest) {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "no such graph"})
+		return
+	}
+	http.ServeFile(w, r, st.GraphFilePath(digest))
+}
+
+func (n *Node) handlePartList(w http.ResponseWriter, r *http.Request) {
+	digest, err := strconv.ParseUint(r.PathValue("digest"), 16, 64)
+	if err != nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "bad digest"})
+		return
+	}
+	names, err := n.srv.Store().PartArtifacts(digest)
+	if err != nil {
+		writeJSONStatus(w, http.StatusInternalServerError, map[string]string{"error": err.Error()})
+		return
+	}
+	writeJSONStatus(w, http.StatusOK, map[string]any{"artifacts": names})
+}
+
+func (n *Node) handlePartBytes(w http.ResponseWriter, r *http.Request) {
+	digest, err := strconv.ParseUint(r.PathValue("digest"), 16, 64)
+	if err != nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": "bad digest"})
+		return
+	}
+	data, err := n.srv.Store().ReadPartArtifact(digest, r.PathValue("file"))
+	if err != nil {
+		writeJSONStatus(w, http.StatusNotFound, map[string]string{"error": err.Error()})
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Write(data) //nolint:errcheck
+}
+
+// ---- status and metrics ----
+
+// PlacementView is one catalog entry with its current placement.
+type PlacementView struct {
+	Name   string   `json:"name"`
+	Digest string   `json:"digest"`
+	Owners []string `json:"owners"`
+	Local  bool     `json:"local"` // this node holds the graph
+}
+
+// StatusView is the cluster block of GET /v1/cluster/status and the
+// serve debug snapshot: configuration as parsed, membership health,
+// and every cataloged graph's placement.
+type StatusView struct {
+	Self     string          `json:"self"`
+	Listen   string          `json:"listen,omitempty"`
+	Peers    []string        `json:"peers"`
+	Replicas int             `json:"replicas"`
+	Epoch    uint64          `json:"epoch"`
+	Members  []MemberView    `json:"members"`
+	Graphs   []PlacementView `json:"graphs,omitempty"`
+}
+
+// Status assembles the node's fleet view.
+func (n *Node) Status() StatusView {
+	out := StatusView{
+		Self:     n.self,
+		Listen:   n.Addr(),
+		Peers:    append([]string(nil), n.cfg.Peers...),
+		Replicas: n.cfg.Replicas,
+	}
+	if mem := n.members(); mem != nil {
+		out.Epoch = mem.Epoch()
+		out.Members = mem.views()
+	}
+	for _, meta := range n.cat.list() {
+		digest, ok := meta.digestValue()
+		if !ok {
+			continue
+		}
+		_, _, _, local := n.srv.LookupGraph(meta.Name)
+		out.Graphs = append(out.Graphs, PlacementView{
+			Name: meta.Name, Digest: meta.Digest,
+			Owners: n.ownersOf(digest), Local: local,
+		})
+	}
+	return out
+}
+
+func (n *Node) gauges() []obs.Metric {
+	var live, total int
+	var epoch uint64
+	if mem := n.members(); mem != nil {
+		live, total = mem.counts()
+		epoch = mem.Epoch()
+	}
+	return []obs.Metric{
+		obs.Gauge("midas_cluster_members_alive", "Fleet members currently alive or suspect.", float64(live)),
+		obs.Gauge("midas_cluster_members_total", "Static fleet membership size.", float64(total)),
+		obs.Gauge("midas_cluster_epoch", "Placement epoch (bumps on member death or revival).", float64(epoch)),
+		obs.Gauge("midas_cluster_graphs_cataloged", "Graphs known to the fleet catalog.", float64(n.cat.size())),
+		obs.Gauge("midas_cluster_replication_factor", "Configured shard replication factor.", float64(n.cfg.Replicas)),
+	}
+}

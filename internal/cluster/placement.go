@@ -1,0 +1,83 @@
+// Package cluster is the scale-out layer over midas-serve: a fleet of
+// replicas with static-seed membership and heartbeat health, placing
+// graphs on members by rendezvous hashing of graph.Digest() with a
+// configurable replication factor. Any replica fronts any request —
+// it serves locally when it owns the graph and forwards to an owner
+// otherwise, threading the request ID through so both hops correlate.
+// Distributed detections lease phase-group worlds across replicas over
+// the hardened TCP transport; placement changes rebalance by store
+// handoff (the new owner pulls the sealed v2 file plus partition
+// artifacts and mmaps them — nothing is re-parsed or re-derived).
+// docs/CLUSTER.md is the operator guide.
+package cluster
+
+import "sort"
+
+// rendezvousScore is the HRW weight of (member, graph): a 64-bit
+// FNV-1a over the member's advertise address followed by the digest's
+// eight little-endian bytes. Every node computes the same score table
+// from the same static membership, so placement needs no coordination.
+func rendezvousScore(addr string, digest uint64) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(addr); i++ {
+		h ^= uint64(addr[i])
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		h ^= (digest >> (8 * i)) & 0xff
+		h *= prime64
+	}
+	return h
+}
+
+// rendezvousRank orders members by descending score for digest
+// (addresses break score ties, so the order is total and
+// deterministic). The full static membership is ranked — health is
+// filtered afterwards — which is what makes failover stable: a dead
+// member's shards promote the next-ranked member and every other
+// assignment stays put.
+func rendezvousRank(digest uint64, members []string) []string {
+	out := append([]string(nil), members...)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := rendezvousScore(out[i], digest), rendezvousScore(out[j], digest)
+		if si != sj {
+			return si > sj
+		}
+		return out[i] < out[j]
+	})
+	return out
+}
+
+// PlacementOwners computes the owners of digest over a fully-live
+// static membership: the pure placement function, exported so tooling
+// (the bench harness, capacity planners) can predict where a graph
+// lands before loading it. A live Node's view, which also folds in
+// member health, is Node.Status().
+func PlacementOwners(digest uint64, members []string, replicas int) []string {
+	return owners(digest, members, replicas, nil)
+}
+
+// owners returns the replicas responsible for digest: the first r
+// members in rendezvous order that pass the alive filter. Fewer than r
+// live members means fewer owners, never an error — a degraded fleet
+// keeps placing.
+func owners(digest uint64, members []string, r int, alive func(string) bool) []string {
+	if r < 1 {
+		r = 1
+	}
+	var out []string
+	for _, m := range rendezvousRank(digest, members) {
+		if alive != nil && !alive(m) {
+			continue
+		}
+		out = append(out, m)
+		if len(out) == r {
+			break
+		}
+	}
+	return out
+}

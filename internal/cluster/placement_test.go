@@ -1,0 +1,124 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestRendezvousRankDeterministic: placement depends only on the
+// member set and the digest — never on input order.
+func TestRendezvousRankDeterministic(t *testing.T) {
+	members := []string{"10.0.0.1:9000", "10.0.0.2:9000", "10.0.0.3:9000", "10.0.0.4:9000"}
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		digest := rng.Uint64()
+		want := rendezvousRank(digest, members)
+		shuffled := append([]string(nil), members...)
+		rng.Shuffle(len(shuffled), func(a, b int) { shuffled[a], shuffled[b] = shuffled[b], shuffled[a] })
+		if got := rendezvousRank(digest, shuffled); !reflect.DeepEqual(got, want) {
+			t.Fatalf("digest %x: rank depends on input order: %v vs %v", digest, got, want)
+		}
+	}
+}
+
+// TestOwnersStableUnderDeath: killing one member only moves the shards
+// it owned — every other placement stays put. This is the property
+// that makes failover cheap: one handoff per lost replica slot, no
+// fleet-wide reshuffle.
+func TestOwnersStableUnderDeath(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1", "d:1", "e:1"}
+	dead := "c:1"
+	aliveAll := func(string) bool { return true }
+	aliveSansDead := func(m string) bool { return m != dead }
+	rng := rand.New(rand.NewSource(2))
+	moved, kept := 0, 0
+	for i := 0; i < 500; i++ {
+		digest := rng.Uint64()
+		before := owners(digest, members, 2, aliveAll)
+		after := owners(digest, members, 2, aliveSansDead)
+		hadDead := false
+		for _, o := range before {
+			if o == dead {
+				hadDead = true
+			}
+		}
+		if !hadDead {
+			kept++
+			if !reflect.DeepEqual(before, after) {
+				t.Fatalf("digest %x: placement moved without owning the dead member: %v -> %v", digest, before, after)
+			}
+			continue
+		}
+		moved++
+		// The surviving owner must keep its slot; the dead one is
+		// replaced by the next-ranked live member.
+		for _, o := range after {
+			if o == dead {
+				t.Fatalf("digest %x: dead member still owns: %v", digest, after)
+			}
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate sample: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestOwnersDegradedFleet: fewer live members than the replication
+// factor yields fewer owners, never an error.
+func TestOwnersDegradedFleet(t *testing.T) {
+	members := []string{"a:1", "b:1", "c:1"}
+	only := func(m string) bool { return m == "b:1" }
+	got := owners(42, members, 3, only)
+	if !reflect.DeepEqual(got, []string{"b:1"}) {
+		t.Fatalf("degraded owners = %v, want [b:1]", got)
+	}
+}
+
+func TestValidatePeers(t *testing.T) {
+	if err := ValidatePeers([]string{"10.0.0.1:9000", "host.example:80"}); err != nil {
+		t.Fatalf("valid peers rejected: %v", err)
+	}
+	for _, bad := range []string{"nohost", ":9000", "h:", "h:0", "h:notaport", "h:70000"} {
+		if err := ValidatePeers([]string{bad}); err == nil {
+			t.Errorf("peer %q accepted, want error", bad)
+		}
+	}
+}
+
+// TestMembershipTransitions: alive → suspect on one miss (still owns),
+// dead past the threshold (epoch bump), revived on success (epoch
+// bump).
+func TestMembershipTransitions(t *testing.T) {
+	m := newMembership("self:1", []string{"peer:1", "self:1"})
+	if got := m.list(); len(got) != 2 {
+		t.Fatalf("membership %v, want deduped pair", got)
+	}
+	if m.markMissed("peer:1", 2) {
+		t.Fatal("first miss declared death")
+	}
+	if !m.alive("peer:1") {
+		t.Fatal("suspect member lost ownership")
+	}
+	if e := m.Epoch(); e != 0 {
+		t.Fatalf("epoch %d after suspect, want 0", e)
+	}
+	if !m.markMissed("peer:1", 2) {
+		t.Fatal("threshold miss did not declare death")
+	}
+	if m.alive("peer:1") {
+		t.Fatal("dead member still owns")
+	}
+	if e := m.Epoch(); e != 1 {
+		t.Fatalf("epoch %d after death, want 1", e)
+	}
+	if !m.markAlive("peer:1") {
+		t.Fatal("revival not reported")
+	}
+	if e := m.Epoch(); e != 2 {
+		t.Fatalf("epoch %d after revival, want 2", e)
+	}
+	if !m.alive("self:1") {
+		t.Fatal("self must always be alive")
+	}
+}

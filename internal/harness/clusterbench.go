@@ -1,0 +1,234 @@
+package harness
+
+// Cluster bench for the scale-out layer (docs/CLUSTER.md): boot a real
+// 3-node in-process fleet per dataset, load the graph through a
+// non-owner front so the announce forces a store handoff onto the
+// rendezvous owner, then answer the same query twice — once directly
+// on the owner, once through the front (a forwarded hop against the
+// owner's warm cache, so the wall time isolates the proxy overhead).
+// Wall times are machine-dependent and informational; the gated
+// quantities are the deterministic ones: the query answer, the front
+// actually forwarding, the forwarded answer matching the owner-local
+// one byte for byte, and the owner having adopted the shard via a
+// counted store handoff rather than a re-parse.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"time"
+
+	"github.com/midas-hpc/midas/internal/cluster"
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/obs"
+	"github.com/midas-hpc/midas/internal/serve"
+	"github.com/midas-hpc/midas/internal/store"
+)
+
+// clusterBenchNodes is the fleet size; replication factor 1 makes the
+// owner unique, so exactly one handoff and one forward hop happen.
+const clusterBenchNodes = 3
+
+// ClusterRecord is one dataset's fleet measurement.
+type ClusterRecord struct {
+	Dataset  string `json:"dataset"`
+	Vertices int    `json:"vertices"`
+	Edges    int    `json:"edges"`
+	K        int    `json:"k"`
+	Nodes    int    `json:"nodes"`
+	Replicas int    `json:"replicas"`
+
+	// Answer is the path query's result (gated — deterministic in the
+	// graph and query parameters).
+	Answer bool `json:"answer"`
+	// Forwarded pins the routing: the query through the non-owner
+	// front was proxied to the owner (gated — must stay true).
+	Forwarded bool `json:"forwarded"`
+	// ForwardOK pins transparency: the forwarded answer is
+	// byte-identical to the owner-local one after normalizing the
+	// cache flag (gated — must stay true).
+	ForwardOK bool `json:"forwardOK"`
+	// HandoffOK pins the handoff: loading through the front landed the
+	// shard on the owner via a counted store pull — sealed bytes
+	// mmapped, nothing re-parsed (gated — must stay true).
+	HandoffOK bool `json:"handoffOK"`
+
+	// Wall times in milliseconds (informational).
+	LocalMillis   float64 `json:"localMillis"`   // owner-local cold query
+	ForwardMillis float64 `json:"forwardMillis"` // front hop against the owner's warm cache
+	HandoffMillis float64 `json:"handoffMillis"` // announce-time pull + mmap on the owner
+}
+
+// ClusterBench measures every dataset's fleet behavior at p.Scale,
+// with a fresh fleet per dataset so counters and histograms are
+// per-record.
+func ClusterBench(p Params) ([]ClusterRecord, error) {
+	p = p.withDefaults()
+	var out []ClusterRecord
+	for _, ds := range Datasets() {
+		g := ds.Build(p.Scale, p.Seed)
+		rec, err := clusterBenchOne(ds.Name, g, p.Ks[0], p.Seed)
+		if err != nil {
+			return nil, fmt.Errorf("harness: cluster bench %s: %w", ds.Name, err)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func clusterBenchOne(name string, g *graph.Graph, k int, seed uint64) (ClusterRecord, error) {
+	rec := ClusterRecord{
+		Dataset: name, Vertices: g.NumVertices(), Edges: g.NumEdges(),
+		K: k, Nodes: clusterBenchNodes, Replicas: 1,
+	}
+
+	nodes := make([]*cluster.Node, clusterBenchNodes)
+	dirs := make([]string, clusterBenchNodes)
+	defer func() {
+		for _, n := range nodes {
+			if n != nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+				n.Shutdown(ctx) //nolint:errcheck
+				cancel()
+			}
+		}
+		for _, d := range dirs {
+			if d != "" {
+				os.RemoveAll(d)
+			}
+		}
+	}()
+	for i := range nodes {
+		dir, err := os.MkdirTemp("", "midas-clusterbench-*")
+		if err != nil {
+			return rec, err
+		}
+		dirs[i] = dir
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			return rec, err
+		}
+		n, err := cluster.New(cluster.Config{
+			Serve:    serve.Config{Workers: 2, Store: st},
+			Replicas: 1,
+		})
+		if err != nil {
+			return rec, err
+		}
+		if err := n.Start("127.0.0.1:0"); err != nil {
+			return rec, err
+		}
+		nodes[i] = n
+	}
+	addrs := make([]string, len(nodes))
+	for i, n := range nodes {
+		addrs[i] = n.Advertise()
+	}
+	for _, n := range nodes {
+		if err := n.SetPeers(addrs); err != nil {
+			return rec, err
+		}
+	}
+
+	// Placement is known before loading: pick the owner from the pure
+	// rendezvous function and front the load through a non-owner, so
+	// the announce forces the owner to pull the shard from the origin.
+	digest := g.Digest()
+	owner := cluster.PlacementOwners(digest, addrs, 1)[0]
+	var ownerNode, frontNode *cluster.Node
+	for i, n := range nodes {
+		if addrs[i] == owner {
+			ownerNode = n
+		} else if frontNode == nil {
+			frontNode = n
+		}
+	}
+
+	greq := serve.GraphRequest{Name: name, N: g.NumVertices(), Edges: g.Edges()}
+	if g.Weighted() {
+		greq.Weights = g.Weights()
+	}
+	if g.Labeled() {
+		greq.Labels = g.Labels()
+	}
+	var gview serve.GraphView
+	if err := postBench(frontNode.Advertise(), "/v1/graphs", greq, nil, &gview); err != nil {
+		return rec, err
+	}
+	if gview.Digest != strconv.FormatUint(digest, 16) {
+		return rec, fmt.Errorf("uploaded digest %s != local %x (edge round trip changed the graph)", gview.Digest, digest)
+	}
+
+	// The owner adopted inside the announce: its handoff counter and
+	// cold-start histogram carry the pull.
+	snap := ownerNode.Serve().Recorder().Snapshot()
+	rec.HandoffOK = snap.Counter(obs.ClusterHandoffs) >= 1
+	if h := snap.Hist(obs.HistClusterHandoff.String()); h.Count > 0 {
+		rec.HandoffMillis = h.Mean() * 1e3
+	}
+
+	q := serve.QueryRequest{Graph: name, Kind: serve.KindPath, K: k, Seed: seed, Rounds: 1, N2: 16}
+
+	// Leg 1: owner-local, cold.
+	var localJob serve.JobView
+	start := time.Now()
+	if err := postBench(owner, "/v1/query", q, nil, &localJob); err != nil {
+		return rec, err
+	}
+	rec.LocalMillis = msSince(start)
+	if localJob.Status != "done" || localJob.Result == nil {
+		return rec, fmt.Errorf("owner-local query ended %q (%s)", localJob.Status, localJob.Error)
+	}
+	rec.Answer = localJob.Result.Found
+
+	// Leg 2: through the front — forwarded to the owner, whose cache
+	// is now warm, so this wall time is the hop overhead.
+	var fwdJob serve.JobView
+	var hdr http.Header
+	start = time.Now()
+	if err := postBench(frontNode.Advertise(), "/v1/query", q, &hdr, &fwdJob); err != nil {
+		return rec, err
+	}
+	rec.ForwardMillis = msSince(start)
+	if fwdJob.Status != "done" || fwdJob.Result == nil {
+		return rec, fmt.Errorf("forwarded query ended %q (%s)", fwdJob.Status, fwdJob.Error)
+	}
+	rec.Forwarded = hdr.Get(cluster.ServedByHeader) == owner
+	// Normalize the cache flag (the forwarded repeat hits the owner's
+	// cache) and compare the rest byte for byte.
+	localJob.Result.Cached, fwdJob.Result.Cached = false, false
+	lj, _ := json.Marshal(localJob.Result)
+	fj, _ := json.Marshal(fwdJob.Result)
+	rec.ForwardOK = bytes.Equal(lj, fj)
+	return rec, nil
+}
+
+// postBench POSTs a JSON body and decodes the JSON response, failing
+// on any non-200.
+func postBench(addr, path string, body any, hdr *http.Header, out any) error {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post("http://"+addr+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST %s%s: %d: %s", addr, path, resp.StatusCode, data)
+	}
+	if hdr != nil {
+		*hdr = resp.Header.Clone()
+	}
+	return json.Unmarshal(data, out)
+}

@@ -22,7 +22,7 @@ import (
 
 // BenchSchemaVersion identifies the report layout. Bump it on any
 // incompatible change to Report/RunRecord/HistQuantiles.
-const BenchSchemaVersion = "midas-bench/v4"
+const BenchSchemaVersion = "midas-bench/v5"
 
 // HistQuantiles summarizes one latency-histogram family merged over
 // all ranks of a run (seconds; quantiles carry the ~19% bucket
@@ -73,12 +73,13 @@ type Report struct {
 	// toolchain, VCS revision), so a regression found in a stored
 	// baseline ties back to the exact revision. Optional — absent in
 	// reports from older binaries — so the schema version is unchanged.
-	Build   *obs.BuildInfo `json:"build,omitempty"`
-	Runs    []RunRecord    `json:"runs"`
-	Batches []BatchRecord  `json:"batches,omitempty"` // occupancy-4 batch vs sequential (see BatchBench)
-	Motifs  []MotifRecord  `json:"motifs,omitempty"`  // constrained sieve vs FASCIA baseline (see MotifBench)
-	Kernels []KernelRecord `json:"kernels,omitempty"` // GF kernel throughput on this host
-	Stores  []StoreRecord  `json:"stores,omitempty"`  // cold-start: parse vs binary vs mmap (see StoreBench)
+	Build    *obs.BuildInfo  `json:"build,omitempty"`
+	Runs     []RunRecord     `json:"runs"`
+	Batches  []BatchRecord   `json:"batches,omitempty"`  // occupancy-4 batch vs sequential (see BatchBench)
+	Motifs   []MotifRecord   `json:"motifs,omitempty"`   // constrained sieve vs FASCIA baseline (see MotifBench)
+	Kernels  []KernelRecord  `json:"kernels,omitempty"`  // GF kernel throughput on this host
+	Stores   []StoreRecord   `json:"stores,omitempty"`   // cold-start: parse vs binary vs mmap (see StoreBench)
+	Clusters []ClusterRecord `json:"clusters,omitempty"` // fleet forward hop + shard handoff (see ClusterBench)
 }
 
 // BenchReport runs the standard report suite. The counted quantities
@@ -168,6 +169,11 @@ func BenchReport(p Params) (Report, error) {
 		return rep, err
 	}
 	rep.Stores = stores
+	clusters, err := ClusterBench(p)
+	if err != nil {
+		return rep, err
+	}
+	rep.Clusters = clusters
 	return rep, nil
 }
 

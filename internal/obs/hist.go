@@ -74,6 +74,15 @@ const (
 	// repository file (internal/store; a resident re-acquire observes
 	// nothing — that is a store hit).
 	HistStoreColdStart
+	// HistClusterForward is the wall time of each forwarded query's
+	// proxy round trip to a shard owner, as seen by the fronting
+	// replica (internal/cluster).
+	HistClusterForward
+	// HistClusterHandoff is the wall time of each shard handoff: pull
+	// the sealed v2 graph file plus its partition artifacts from a
+	// peer, land them in the local store, and register the graph
+	// (internal/cluster).
+	HistClusterHandoff
 
 	// NumHists is the number of defined histograms.
 	NumHists
@@ -85,6 +94,7 @@ var histNames = [NumHists]string{
 	"serve-batch-occupancy", "serve-lane-cost",
 	"serve-dp-time", "serve-batch-assembly",
 	"store-cold-start",
+	"cluster-forward", "cluster-handoff",
 }
 
 // String returns the stable kebab-case name used by the exporters.

@@ -144,6 +144,35 @@ const (
 	// LRU to stay under the mapped-bytes budget.
 	StoreEvictions
 
+	// The cluster-* counters belong to the scale-out fleet layer
+	// (internal/cluster, docs/CLUSTER.md): digest-sharded placement,
+	// query forwarding, store-based shard handoff, and cross-replica
+	// lease worlds.
+
+	// ClusterForwards counts queries this replica proxied to a shard
+	// owner instead of serving locally.
+	ClusterForwards
+	// ClusterForwardRetries counts forward attempts repeated against
+	// another owner after a transport failure or a 503 from the first.
+	ClusterForwardRetries
+	// ClusterReplicaHits counts queries this replica answered locally
+	// because placement named it an owner of the graph's shard.
+	ClusterReplicaHits
+	// ClusterHandoffs counts shards this replica pulled from a peer
+	// (sealed v2 graph file + partition artifacts) after placement made
+	// it an owner — rebalances and on-demand pulls both count.
+	ClusterHandoffs
+	// ClusterLeaseFailures counts cross-replica lease worlds that died
+	// (a leased rank failed or never joined) and fell back to the
+	// local resilient path.
+	ClusterLeaseFailures
+	// ClusterHeartbeatMisses counts failed heartbeat probes against
+	// fleet peers (enough consecutive misses mark the peer dead).
+	ClusterHeartbeatMisses
+	// ClusterLeases counts lease worlds this replica joined as a
+	// leased (non-coordinating) rank on a peer's behalf.
+	ClusterLeases
+
 	// NumCounters is the number of defined counters.
 	NumCounters
 )
@@ -156,6 +185,9 @@ var counterNames = [NumCounters]string{
 	"serve-batches", "serve-batch-lanes",
 	"serve-slow-queries", "serve-trace-evictions",
 	"store-hits", "store-misses", "store-evictions",
+	"cluster-forwards", "cluster-forward-retries", "cluster-replica-hits",
+	"cluster-handoffs", "cluster-lease-failures", "cluster-heartbeat-misses",
+	"cluster-leases",
 }
 
 // String returns the stable kebab-case name used by the exporters.

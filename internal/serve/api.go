@@ -10,6 +10,7 @@ import (
 	"strconv"
 	"time"
 
+	"github.com/midas-hpc/midas/internal/core"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
 	"github.com/midas-hpc/midas/internal/obs"
@@ -296,6 +297,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /metrics", obs.MetricsHandler(source, s.gauges))
 	mux.Handle("GET /healthz", obs.HealthzHandler(source))
 	obs.RegisterPprof(mux)
+	if s.extraRoutes != nil {
+		s.extraRoutes(mux)
+	}
 	return s.middleware(mux)
 }
 
@@ -318,8 +322,18 @@ func writeErr(w http.ResponseWriter, r *http.Request, code int, format string, a
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...), RequestID: requestIDOf(r)})
 }
 
+// Backoff hints on load-shedding responses, so fleet-internal
+// forwarding and external clients sleep instead of hot-looping. Queue
+// pressure clears in about a query's latency; a drain means the
+// process is going away and the client should find another replica.
+const (
+	retryAfterQueueFull = "1"  // seconds; 429
+	retryAfterDraining  = "10" // seconds; 503
+)
+
 func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterDraining)
 		writeErr(w, r, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
@@ -377,6 +391,9 @@ func (s *Server) handleAddGraph(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, r, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	if s.graphAdded != nil {
+		s.graphAdded(e.Name, e.Digest, e.Vertices, e.Edges)
+	}
 	writeJSON(w, http.StatusOK, graphView(e))
 }
 
@@ -391,7 +408,13 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
+		w.Header().Set("Retry-After", retryAfterDraining)
 		writeErr(w, r, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// Cluster routing: the hook may proxy the query to a shard owner
+	// and fully handle the exchange; a false return serves it here.
+	if s.queryRouter != nil && s.queryRouter(w, r) {
 		return
 	}
 	var req QueryRequest
@@ -414,6 +437,18 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		writeErr(w, r, code, "%v", err)
 		return
+	}
+	// Auto-plan unset execution knobs from the graph's shape and the
+	// current load — before the cache key is computed, so the chosen
+	// plan is part of the query's identity. Answers do not depend on
+	// the plan (the equivalence suites pin this); only performance.
+	if s.cfg.AutoTune {
+		if req.N2 <= 0 {
+			req.N2 = core.AutoPlanN2(entry.Vertices, req.K, s.loadLevel())
+		}
+		if req.Ranks > 1 && req.N1 <= 0 {
+			req.N1 = core.AutoPlanN1(entry.Vertices, req.Ranks)
+		}
 	}
 	key := req.key(entry.Digest)
 	ri := s.requestInfo(r)
@@ -450,6 +485,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	} else {
 		s.rec.Add(obs.ServeRejected, 1)
 		j.finish(StatusFailed, nil, errors.New("admission queue full"))
+		w.Header().Set("Retry-After", retryAfterQueueFull)
 		writeErr(w, r, http.StatusTooManyRequests, "admission queue full (depth %d)", s.cfg.QueueDepth)
 		return
 	}

@@ -51,6 +51,11 @@ type DebugSnapshot struct {
 	BatchMaxLanes     int     `json:"batchMaxLanes"`
 
 	FlightRecorder RecorderStats `json:"flightRecorder"`
+
+	// Cluster is the fleet view (membership, placement, advertise/peer
+	// configuration) when this server runs as a cluster node; absent on
+	// a standalone server. Shape: cluster.StatusView.
+	Cluster any `json:"cluster,omitempty"`
 }
 
 // DebugRequests is the GET /v1/debug/requests response body.
@@ -96,10 +101,18 @@ func (s *Server) debugSnapshot() DebugSnapshot {
 	}
 }
 
+func (s *Server) debugSnapshotWithCluster() DebugSnapshot {
+	snap := s.debugSnapshot()
+	if s.clusterInfo != nil {
+		snap.Cluster = s.clusterInfo()
+	}
+	return snap
+}
+
 func (s *Server) handleDebugRequests(w http.ResponseWriter, _ *http.Request) {
 	inflight, recent := s.flightRec.list()
 	out := DebugRequests{
-		Snapshot: s.debugSnapshot(),
+		Snapshot: s.debugSnapshotWithCluster(),
 		Inflight: make([]TraceView, 0, len(inflight)),
 		Recent:   make([]TraceView, 0, len(recent)),
 	}

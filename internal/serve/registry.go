@@ -144,6 +144,15 @@ func (r *registry) get(name string) (*graphEntry, error) {
 	return e, nil
 }
 
+// peek resolves a name WITHOUT materializing the graph — identity and
+// shape only, for placement decisions that must not force an mmap.
+func (r *registry) peek(name string) (*graphEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.m[name]
+	return e, ok
+}
+
 // add registers g under name, replacing any previous graph of that
 // name (and its partition cache). A replaced store-backed entry keeps
 // its mapping pinned — an in-flight query may still be reading it; the

@@ -41,11 +41,9 @@ import (
 	"time"
 
 	"github.com/midas-hpc/midas/internal/comm"
-	"github.com/midas-hpc/midas/internal/core"
 	"github.com/midas-hpc/midas/internal/graph"
 	"github.com/midas-hpc/midas/internal/mld"
 	"github.com/midas-hpc/midas/internal/obs"
-	"github.com/midas-hpc/midas/internal/partition"
 	"github.com/midas-hpc/midas/internal/store"
 )
 
@@ -95,6 +93,13 @@ type Config struct {
 	// flight recorder retains for GET /v1/debug/requests (in-flight
 	// traces are always all held). Default 256.
 	FlightRecorderSize int
+	// AutoTune, when set, fills a query's unset N2 (and, for
+	// distributed queries, unset N1) from core.AutoPlanN2/AutoPlanN1 —
+	// graph size and current load pick the plan instead of static
+	// defaults. Answers are plan-independent; only performance moves.
+	// Cluster nodes enable this so every replica derives the same plan
+	// for the same query (docs/CLUSTER.md).
+	AutoTune bool
 	// Store, when non-nil, backs the registry with a persistent
 	// content-addressed graph repository (internal/store): graphs
 	// POSTed to /v1/graphs are written through, every name in the
@@ -169,6 +174,92 @@ type Server struct {
 
 	ln   net.Listener
 	hsrv *http.Server
+
+	// Cluster integration hooks (internal/cluster). All are set before
+	// Start — the queue's mutex orders them before any worker read.
+	distRunner  DistRunner          // intercepts ranks>1 queries
+	clusterInfo func() any          // /v1/debug/requests cluster block
+	extraGauges func() []obs.Metric // extra /metrics gauges
+	queryRouter func(http.ResponseWriter, *http.Request) bool
+	graphAdded  func(name string, digest uint64, vertices, edges int)
+	extraRoutes func(*http.ServeMux)
+}
+
+// DistRunner is the cluster hook for distributed queries: given a
+// ranks>1 query it may run the DP across a fleet of replicas instead
+// of the in-process world. handled=false means the hook declined (no
+// peers, unsupported shape) and the server falls back to the local
+// world — the degrade path when the fleet cannot assemble. Counters
+// the runner adds to rec surface as the result's Rounds/Phases.
+type DistRunner func(ctx context.Context, req *QueryRequest, rec *obs.Recorder, res *Result, tr *QueryTrace) (handled bool, err error)
+
+// SetDistributedRunner installs the cluster's distributed-query hook.
+// Call before Start.
+func (s *Server) SetDistributedRunner(fn DistRunner) { s.distRunner = fn }
+
+// SetClusterInfo installs a provider for the cluster block of
+// GET /v1/debug/requests. Call before Start.
+func (s *Server) SetClusterInfo(fn func() any) { s.clusterInfo = fn }
+
+// SetExtraGauges appends provider-supplied gauges (cluster membership,
+// placement state) to /metrics. Call before Start.
+func (s *Server) SetExtraGauges(fn func() []obs.Metric) { s.extraGauges = fn }
+
+// SetQueryRouter installs the cluster's routing hook in front of
+// POST /v1/query, inside the middleware (the hook sees the assigned
+// request ID). Returning true means the hook fully handled the request
+// (forwarded it to a shard owner); false falls through to local
+// serving. The hook may read the body as long as it restores r.Body
+// on the false path. Call before Start.
+func (s *Server) SetQueryRouter(fn func(http.ResponseWriter, *http.Request) bool) {
+	s.queryRouter = fn
+}
+
+// SetGraphAdded installs a callback invoked synchronously after every
+// successful POST /v1/graphs registration, before the response is
+// written — the cluster replicates and announces the graph here, so a
+// 200 means the fleet knows it. Call before Start.
+func (s *Server) SetGraphAdded(fn func(name string, digest uint64, vertices, edges int)) {
+	s.graphAdded = fn
+}
+
+// SetExtraRoutes registers additional routes (the /v1/cluster/* plane)
+// on the API mux, inside the request-ID/recovery/access-log
+// middleware. Call before Start/Handler.
+func (s *Server) SetExtraRoutes(fn func(*http.ServeMux)) { s.extraRoutes = fn }
+
+// Store returns the configured graph repository (nil without one).
+func (s *Server) Store() *store.Store { return s.cfg.Store }
+
+// Logger returns the server's structured logger (never nil).
+func (s *Server) Logger() *slog.Logger { return s.logger }
+
+// LookupGraph resolves a registered graph's identity without forcing
+// a store map — the shape comes from the registry entry.
+func (s *Server) LookupGraph(name string) (digest uint64, vertices, edges int, ok bool) {
+	e, found := s.registry.peek(name)
+	if !found {
+		return 0, 0, 0, false
+	}
+	return e.Digest, e.Vertices, e.Edges, true
+}
+
+// AdoptStored registers a graph that already sits in the store (landed
+// by shard handoff) under name: a lazy entry — nothing maps until the
+// first query — plus the manifest binding so a restart finds it again.
+func (s *Server) AdoptStored(name string, digest uint64, vertices, edges int) error {
+	st := s.cfg.Store
+	if st == nil {
+		return errors.New("serve: no store configured")
+	}
+	if !st.Has(digest) {
+		return fmt.Errorf("serve: adopt %q: digest %016x not in store", name, digest)
+	}
+	if err := st.SetName(name, digest, vertices, edges); err != nil {
+		return err
+	}
+	s.registry.addStored(name, store.NameInfo{Digest: digest, Vertices: vertices, Edges: edges}, st)
+	return nil
 }
 
 // New returns an idle server. Call Start (own listener) or mount
@@ -467,9 +558,16 @@ func (s *Server) execute(ctx context.Context, req *QueryRequest, tr *QueryTrace)
 	}
 	rec := obs.NewRecorder(0, nil)
 	res := &Result{Kind: req.Kind}
-	if req.Ranks > 1 {
+	handled := false
+	if req.Ranks > 1 && s.distRunner != nil {
+		handled, err = s.distRunner(ctx, req, rec, res, tr)
+	}
+	switch {
+	case handled:
+		// The cluster ran it (or degraded it internally); err stands.
+	case req.Ranks > 1:
 		err = s.executeDistributed(ctx, entry, req, rec, res, tr)
-	} else {
+	default:
 		err = s.executeSequential(ctx, entry, req, rec, res, tr)
 	}
 	snap := rec.Snapshot()
@@ -519,68 +617,15 @@ func (s *Server) executeSequential(ctx context.Context, entry *graphEntry, req *
 }
 
 func (s *Server) executeDistributed(ctx context.Context, entry *graphEntry, req *QueryRequest, rec *obs.Recorder, res *Result, tr *QueryTrace) error {
-	scheme := partition.Scheme(req.Scheme)
-	if scheme == "" {
-		scheme = partition.SchemeBlock
-	}
-	n1 := req.N1
-	if n1 <= 0 {
-		n1 = req.Ranks
-	}
-	// Same derived seed buildPlan would use, so the cached partition is
-	// bit-identical to a from-scratch run.
-	part, err := entry.partitionFor(scheme, n1, req.Seed^0x70a3d70a3d70a3d7)
+	cfg, err := s.distConfig(entry, req, req.Ranks, tr)
 	if err != nil {
 		return err
 	}
-	cfg := core.Config{
-		K: req.K, N1: n1, N2: req.N2, Seed: req.Seed,
-		Epsilon: req.Epsilon, Rounds: req.Rounds, Scheme: scheme,
-		Ctx: ctx, Part: part, NoTiming: true,
-	}
-	if tr != nil {
-		cfg.Progress = func(done, _ int64) { tr.progress(done) }
-	}
+	cfg.Ctx = ctx
 	var mu sync.Mutex
 	run := func(c *comm.Comm) error {
 		c.EnableObs()
-		var rerr error
-		switch req.Kind {
-		case KindPath:
-			var found bool
-			found, rerr = core.RunPath(c, entry.G, cfg)
-			if c.Rank() == 0 {
-				res.Found = found
-			}
-		case KindTree:
-			var tpl *graph.Template
-			tpl, rerr = req.template()
-			if rerr == nil {
-				var found bool
-				found, rerr = core.RunTree(c, entry.G, tpl, cfg)
-				if c.Rank() == 0 {
-					res.Found = found
-				}
-			}
-		case KindScanStat:
-			var table [][]bool
-			table, rerr = core.RunScan(c, entry.G, core.ScanConfig{Config: cfg, ZMax: req.ZMax})
-			if c.Rank() == 0 {
-				res.Table = table
-			}
-		case KindMotif:
-			var spec *mld.MotifSpec
-			spec, rerr = req.motifSpec()
-			if rerr == nil {
-				var found bool
-				found, rerr = core.RunMotif(c, entry.G, spec, cfg)
-				if c.Rank() == 0 {
-					res.Found = found
-				}
-			}
-		default:
-			rerr = fmt.Errorf("unknown query kind %q", req.Kind)
-		}
+		rerr := runDistributedKind(c, entry.G, req, cfg, res)
 		snap := c.ObsSnapshot()
 		mu.Lock()
 		rec.Add(obs.Rounds, snap.Counter(obs.Rounds))
@@ -634,5 +679,15 @@ func (s *Server) gauges() []obs.Metric {
 			obs.Gauge("midas_store_resident_graphs", "Stored graphs currently mapped.", float64(st.Resident())),
 		)
 	}
+	if s.extraGauges != nil {
+		out = append(out, s.extraGauges()...)
+	}
 	return out
+}
+
+// loadLevel quantizes the current queue pressure for core.AutoPlanN2:
+// queued queries per worker, floored. 0 = an idle or keeping-up
+// service.
+func (s *Server) loadLevel() int {
+	return s.queue.len() / s.cfg.Workers
 }

@@ -268,6 +268,9 @@ func TestAdmissionRejects(t *testing.T) {
 		resp, _ := postJSON(t, base+"/v1/query", q)
 		if resp.StatusCode == http.StatusTooManyRequests {
 			got429 = true
+			if ra := resp.Header.Get("Retry-After"); ra != retryAfterQueueFull {
+				t.Fatalf("429 Retry-After %q, want %q", ra, retryAfterQueueFull)
+			}
 			break
 		}
 	}
@@ -425,6 +428,9 @@ func TestGracefulDrain(t *testing.T) {
 		resp.Body.Close()
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			refused = true
+			if ra := resp.Header.Get("Retry-After"); ra != retryAfterDraining {
+				t.Errorf("draining 503 Retry-After %q, want %q", ra, retryAfterDraining)
+			}
 			break
 		}
 		time.Sleep(2 * time.Millisecond)

@@ -1,0 +1,146 @@
+package store
+
+// Shard-handoff surface: the raw-bytes APIs internal/cluster uses to
+// move a graph between replicas' repositories. A handoff ships the
+// sealed v2 .midg file plus the MIDP partition artifacts exactly as
+// they sit on disk — the receiver re-verifies and lands them via the
+// same tmp+rename discipline as local writes, then mmaps; nothing is
+// ever re-parsed or re-derived (docs/CLUSTER.md describes the
+// protocol).
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"github.com/midas-hpc/midas/internal/graph"
+	"github.com/midas-hpc/midas/internal/partition"
+)
+
+// GraphFilePath returns the repository path of the sealed v2 graph
+// file for this digest, for zero-copy serving (http.ServeFile) during
+// shard handoff. The file exists iff Has(digest).
+func (s *Store) GraphFilePath(digest uint64) string { return s.graphPath(digest) }
+
+// ImportBytes lands a sealed v2 graph received from a peer in the
+// repository. The bytes are fully verified (header, every section
+// checksum, structural invariants — the sender is another process, so
+// trust nothing), mapped once to recover the content digest, and
+// written atomically under it. Idempotent for content already stored.
+func (s *Store) ImportBytes(data []byte) (uint64, error) {
+	if err := graph.VerifyBinaryV2(data); err != nil {
+		return 0, fmt.Errorf("store: import: %w", err)
+	}
+	g, _, err := graph.MapBinaryV2(data)
+	if err != nil {
+		return 0, fmt.Errorf("store: import: %w", err)
+	}
+	digest := g.Digest()
+	path := s.graphPath(digest)
+	if _, err := os.Stat(path); err == nil {
+		return digest, nil
+	}
+	if err := s.atomicWrite(path, data); err != nil {
+		return 0, fmt.Errorf("store: import %016x: %w", digest, err)
+	}
+	return digest, nil
+}
+
+// PartArtifacts lists the persisted partition artifacts of one graph
+// as base filenames (sorted), the unit of transfer for handoff. An
+// absent parts directory is an empty list, not an error.
+func (s *Store) PartArtifacts(digest uint64) ([]string, error) {
+	ents, err := os.ReadDir(s.partDir(digest))
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("store: part artifacts %016x: %w", digest, err)
+	}
+	var out []string
+	for _, ent := range ents {
+		if !ent.IsDir() && strings.HasSuffix(ent.Name(), ".midp") {
+			out = append(out, ent.Name())
+		}
+	}
+	sort.Strings(out)
+	return out, nil
+}
+
+// ReadPartArtifact returns the raw sealed bytes of one partition
+// artifact by base filename (as listed by PartArtifacts).
+func (s *Store) ReadPartArtifact(digest uint64, name string) ([]byte, error) {
+	if err := checkArtifactName(name); err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(filepath.Join(s.partDir(digest), name))
+	if err != nil {
+		return nil, fmt.Errorf("store: part artifact %016x/%s: %w", digest, name, err)
+	}
+	return data, nil
+}
+
+// WritePartArtifact lands a partition artifact received from a peer
+// under its original filename after validating the MIDP envelope
+// (magic, version, checksum, layout) against the key encoded in the
+// name. Idempotent: an existing artifact is left in place.
+func (s *Store) WritePartArtifact(digest uint64, name string, data []byte) error {
+	if err := checkArtifactName(name); err != nil {
+		return err
+	}
+	key, err := parseArtifactName(name)
+	if err != nil {
+		return err
+	}
+	if _, err := decodePartition(data, key); err != nil {
+		return fmt.Errorf("store: import artifact %s: %w", name, err)
+	}
+	path := filepath.Join(s.partDir(digest), name)
+	if _, err := os.Stat(path); err == nil {
+		return nil
+	}
+	if err := os.MkdirAll(s.partDir(digest), 0o755); err != nil {
+		return fmt.Errorf("store: import artifact: %w", err)
+	}
+	if err := s.atomicWrite(path, data); err != nil {
+		return fmt.Errorf("store: import artifact %s: %w", name, err)
+	}
+	return nil
+}
+
+// checkArtifactName rejects names that could escape the parts
+// directory or that we did not generate.
+func checkArtifactName(name string) error {
+	if name == "" || name != filepath.Base(name) || strings.ContainsAny(name, "/\\") ||
+		strings.HasPrefix(name, ".") || !strings.HasSuffix(name, ".midp") {
+		return fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	return nil
+}
+
+// parseArtifactName inverts partPath's "<scheme>-p<n>-s<seed>.midp"
+// naming. Scheme names contain no dashes, so splitting on the last
+// two dash-delimited fields is unambiguous.
+func parseArtifactName(name string) (PartKey, error) {
+	stem := strings.TrimSuffix(name, ".midp")
+	var key PartKey
+	i := strings.LastIndexByte(stem, '-')
+	if i < 0 || !strings.HasPrefix(stem[i:], "-s") {
+		return key, fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	if _, err := fmt.Sscanf(stem[i:], "-s%d", &key.Seed); err != nil {
+		return key, fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	stem = stem[:i]
+	i = strings.LastIndexByte(stem, '-')
+	if i < 0 || !strings.HasPrefix(stem[i:], "-p") {
+		return key, fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	if _, err := fmt.Sscanf(stem[i:], "-p%d", &key.Parts); err != nil {
+		return key, fmt.Errorf("store: invalid artifact name %q", name)
+	}
+	key.Scheme = partition.Scheme(stem[:i])
+	return key, nil
+}

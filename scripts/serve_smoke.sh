@@ -136,4 +136,73 @@ kill -TERM "$pid"
 for _ in $(seq 1 100); do kill -0 "$pid" 2>/dev/null || { pid=""; break; }; sleep 0.1; done
 [ -z "$pid" ] || fail "gen-2 store daemon did not drain"
 echo "serve-smoke: store restart OK"
+
+# Cluster leg (docs/CLUSTER.md): two replicas, replication factor 1 so
+# exactly one node owns each shard. Load a graph whose placement lands
+# on the OTHER node, query it through the non-owner (a forwarded hop,
+# visible in X-Midas-Served-By), then kill the owner and re-query: the
+# front still answers, identically, from its origin copy.
+pid2=""
+cleanup2() {
+    [ -n "$pid" ] && kill -9 "$pid" 2>/dev/null || true
+    [ -n "$pid2" ] && kill -9 "$pid2" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup2 EXIT
+
+port1=$((21000 + RANDOM % 9000))
+port2=$((port1 + 1))
+addr1="127.0.0.1:$port1"
+addr2="127.0.0.1:$port2"
+
+start_node() { # log store self peer
+    "$workdir/midas-serve" -addr "$3" -advertise "$3" -peers "$4" -replicas 1 \
+        -heartbeat-interval 200ms -heartbeat-misses 2 -store "$2" \
+        >"$1" 2>&1 &
+}
+start_node "$workdir/nodeA.log" "$workdir/storeA" "$addr1" "$addr2"; pid=$!
+start_node "$workdir/nodeB.log" "$workdir/storeB" "$addr2" "$addr1"; pid2=$!
+for log in "$workdir/nodeA.log" "$workdir/nodeB.log"; do
+    up=""
+    for _ in $(seq 1 100); do
+        grep -q "midas-serve: cluster node on" "$log" && { up=1; break; }
+        sleep 0.1
+    done
+    [ -n "$up" ] || { cat "$log" >&2; fail "cluster node never came up ($log)"; }
+done
+echo "serve-smoke: 2-replica fleet up at $addr1 / $addr2"
+
+# Find a graph the fleet places on node B, loading through node A.
+owned=""
+for seed in $(seq 1 32); do
+    curl -sf "http://$addr1/v1/graphs" \
+        -d "{\"name\":\"cg$seed\",\"random\":{\"n\":120,\"seed\":$seed}}" >/dev/null \
+        || fail "cluster graph load failed"
+    if curl -sf "http://$addr1/v1/cluster/status" \
+        | grep -q "\"name\":\"cg$seed\",[^}]*\"owners\":\[\"$addr2\"\]"; then
+        owned="cg$seed"
+        break
+    fi
+done
+[ -n "$owned" ] || fail "no graph placed on the peer in 32 seeds"
+
+cq="{\"graph\":\"$owned\",\"kind\":\"path\",\"k\":6,\"seed\":5,\"rounds\":1}"
+ans1="$(curl -sf -D "$workdir/cheaders" "http://$addr1/v1/query" -d "$cq" \
+    | sed -n 's/.*"found":\(true\|false\).*/\1/p')"
+[ -n "$ans1" ] || fail "forwarded cluster query returned no answer"
+grep -qi "^x-midas-served-by: $addr2" "$workdir/cheaders" \
+    || fail "query via the non-owner was not forwarded to $addr2"
+echo "serve-smoke: forwarded query via non-owner OK"
+
+# Kill the owner; the front must still answer, with the same result.
+kill -9 "$pid2"; pid2=""
+ans2="$(curl -sf "http://$addr1/v1/query" -d "$cq" \
+    | sed -n 's/.*"found":\(true\|false\).*/\1/p')"
+[ "$ans1" = "$ans2" ] || fail "owner kill changed the answer: before=$ans1 after=$ans2"
+echo "serve-smoke: owner kill survived, answer unchanged"
+
+kill -TERM "$pid"
+for _ in $(seq 1 100); do kill -0 "$pid" 2>/dev/null || { pid=""; break; }; sleep 0.1; done
+[ -z "$pid" ] || fail "cluster node A did not drain"
+echo "serve-smoke: cluster leg OK"
 echo "serve-smoke: PASS"
